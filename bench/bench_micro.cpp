@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) for the core algorithmic kernels:
+// Bellman-Ford (1-D and lexicographic 2-D), the constraint solver, the four
+// fusion algorithms, dependence analysis and the cache simulator.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/dependence.hpp"
+#include "fusion/acyclic_doall.hpp"
+#include "fusion/cyclic_doall.hpp"
+#include "fusion/driver.hpp"
+#include "fusion/hyperplane.hpp"
+#include "fusion/llofra.hpp"
+#include "graph/bellman_ford.hpp"
+#include "ir/parser.hpp"
+#include "sim/cache.hpp"
+#include "workloads/gallery.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/sources.hpp"
+
+namespace {
+
+using namespace lf;
+
+std::vector<WeightedEdge<std::int64_t>> random_edges_1d(int nodes, int edges, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<WeightedEdge<std::int64_t>> out;
+    out.reserve(static_cast<std::size_t>(edges));
+    for (int k = 0; k < edges; ++k) {
+        out.push_back({static_cast<int>(rng.uniform(0, nodes - 1)),
+                       static_cast<int>(rng.uniform(0, nodes - 1)), rng.uniform(0, 20)});
+    }
+    return out;
+}
+
+void BM_BellmanFord1D(benchmark::State& state) {
+    const int nodes = static_cast<int>(state.range(0));
+    const auto edges = random_edges_1d(nodes, nodes * 4, 42);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bellman_ford_all_sources<std::int64_t>(nodes, edges));
+    }
+    state.SetComplexityN(nodes);
+}
+BENCHMARK(BM_BellmanFord1D)->Range(16, 1024)->Complexity();
+
+void BM_BellmanFord2DLexicographic(benchmark::State& state) {
+    const int nodes = static_cast<int>(state.range(0));
+    Rng rng(7);
+    std::vector<WeightedEdge<Vec2>> edges;
+    for (int k = 0; k < nodes * 4; ++k) {
+        edges.push_back({static_cast<int>(rng.uniform(0, nodes - 1)),
+                         static_cast<int>(rng.uniform(0, nodes - 1)),
+                         Vec2{rng.uniform(0, 5), rng.uniform(-5, 5)}});
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bellman_ford_all_sources<Vec2>(nodes, edges));
+    }
+    state.SetComplexityN(nodes);
+}
+BENCHMARK(BM_BellmanFord2DLexicographic)->Range(16, 1024)->Complexity();
+
+Mldg random_graph(int nodes, std::uint64_t seed) {
+    Rng rng(seed);
+    workloads::RandomGraphOptions opt;
+    opt.num_nodes = nodes;
+    opt.forward_edge_prob = 6.0 / nodes;
+    opt.backward_edge_prob = 2.0 / nodes;
+    return workloads::random_legal_mldg(rng, opt);
+}
+
+void BM_Llofra(benchmark::State& state) {
+    const Mldg g = random_graph(static_cast<int>(state.range(0)), 11);
+    for (auto _ : state) benchmark::DoNotOptimize(llofra(g));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Llofra)->Range(16, 512)->Complexity();
+
+void BM_AcyclicDoall(benchmark::State& state) {
+    Rng rng(13);
+    workloads::RandomGraphOptions opt;
+    opt.num_nodes = static_cast<int>(state.range(0));
+    opt.forward_edge_prob = 6.0 / opt.num_nodes;
+    opt.backward_edge_prob = 0;
+    opt.self_edge_prob = 0;
+    const Mldg g = workloads::random_legal_mldg(rng, opt);
+    for (auto _ : state) benchmark::DoNotOptimize(acyclic_doall_fusion(g));
+}
+BENCHMARK(BM_AcyclicDoall)->Range(16, 512);
+
+void BM_CyclicDoall(benchmark::State& state) {
+    const Mldg g = random_graph(static_cast<int>(state.range(0)), 17);
+    for (auto _ : state) benchmark::DoNotOptimize(cyclic_doall_fusion(g));
+}
+BENCHMARK(BM_CyclicDoall)->Range(16, 512);
+
+void BM_HyperplaneFusion(benchmark::State& state) {
+    const Mldg g = random_graph(static_cast<int>(state.range(0)), 19);
+    for (auto _ : state) benchmark::DoNotOptimize(hyperplane_fusion(g));
+}
+BENCHMARK(BM_HyperplaneFusion)->Range(16, 512);
+
+void BM_PlanFusionFig2(benchmark::State& state) {
+    const Mldg g = workloads::fig2_graph();
+    for (auto _ : state) benchmark::DoNotOptimize(plan_fusion(g));
+}
+BENCHMARK(BM_PlanFusionFig2);
+
+void BM_DependenceAnalysis(benchmark::State& state) {
+    const ir::Program p = ir::parse_program(workloads::sources::kIirChain);
+    for (auto _ : state) benchmark::DoNotOptimize(analysis::analyze_dependences(p));
+}
+BENCHMARK(BM_DependenceAnalysis);
+
+void BM_ParseFig2(benchmark::State& state) {
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ir::parse_program(workloads::sources::kFig2));
+    }
+}
+BENCHMARK(BM_ParseFig2);
+
+void BM_CacheSimSweep(benchmark::State& state) {
+    sim::CacheSim cache(sim::CacheConfig{8, 64, 4});
+    std::int64_t address = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(address));
+        address = (address + 7) % 100000;
+    }
+}
+BENCHMARK(BM_CacheSimSweep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

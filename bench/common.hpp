@@ -1,0 +1,48 @@
+#pragma once
+// Shared helpers for the table/figure harnesses: fixed-width table printing
+// and workload access.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/dependence.hpp"
+#include "fusion/driver.hpp"
+#include "ir/parser.hpp"
+#include "workloads/gallery.hpp"
+
+namespace lf::bench {
+
+/// Prints one row of '|'-separated cells with the given column widths.
+inline void print_row(const std::vector<int>& widths, const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t k = 0; k < widths.size(); ++k) {
+        std::string cell = k < cells.size() ? cells[k] : "";
+        const int w = widths[k];
+        if (static_cast<int>(cell.size()) > w) cell = cell.substr(0, static_cast<std::size_t>(w));
+        line += " " + cell + std::string(static_cast<std::size_t>(w) - cell.size(), ' ') + " |";
+    }
+    std::cout << line << '\n';
+}
+
+inline void print_rule(const std::vector<int>& widths) {
+    std::string line = "+";
+    for (const int w : widths) line += std::string(static_cast<std::size_t>(w) + 2, '-') + "+";
+    std::cout << line << '\n';
+}
+
+inline std::string fmt(double v, int precision = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+inline std::string fmt(std::int64_t v) { return std::to_string(v); }
+
+/// Parses the workload's DSL source; only valid for executable workloads.
+inline ir::Program parse_workload(const workloads::Workload& w) {
+    return ir::parse_program(w.dsl_source);
+}
+
+}  // namespace lf::bench

@@ -1,0 +1,151 @@
+// Locality figure -- the data-locality half of the paper's motivation
+// ("because of array reuse, fusion reduces the references to main memory"),
+// measured two ways on the executable workloads:
+//
+//   (a) register forwarding: flow dependences retimed to (0,0) let the
+//       consumer reuse the just-computed value without touching memory;
+//   (b) cache misses: simulated set-associative LRU cache over the real
+//       address traces, comparing the original schedule against the
+//       inner-aligned (shift-and-peel shifts) and fully-retimed fused
+//       schedules across cache sizes.
+//
+// Shape being checked: inner alignment strictly reduces misses once the
+// cache is smaller than a row's working set; full x-retiming trades some of
+// that locality for row parallelism (an honest tradeoff the paper does not
+// quantify -- see EXPERIMENTS.md).
+
+#include "baselines/shift_and_peel.hpp"
+#include "common.hpp"
+#include "exec/engines.hpp"
+#include "ldg/legality.hpp"
+#include "sim/cache.hpp"
+#include "sim/metrics.hpp"
+#include "transform/fused_program.hpp"
+
+namespace {
+
+using namespace lf;
+
+transform::FusedProgram make_plan_program(const ir::Program& p, const FusionPlan& plan) {
+    return transform::fuse_program(p, plan);
+}
+
+/// Fused program with a y-only alignment (the shift-and-peel shifts).
+transform::FusedProgram make_aligned_program(const ir::Program& p, const Mldg& g) {
+    const auto sp = baselines::shift_and_peel_fusion(g);
+    FusionPlan plan;
+    plan.retiming = Retiming(g.num_nodes());
+    for (int v = 0; v < g.num_nodes(); ++v) {
+        plan.retiming.of(v) = Vec2{0, sp.shift[static_cast<std::size_t>(v)]};
+    }
+    plan.retimed = plan.retiming.apply(g);
+    plan.body_order = *fused_body_order(plan.retimed);
+    plan.level = ParallelismLevel::Hyperplane;  // rows serial; rowwise engine is fine
+    return transform::fuse_program(p, plan);
+}
+
+std::int64_t misses(const std::vector<exec::TraceEntry>& trace, std::int64_t cache_elements) {
+    sim::CacheSim cache(sim::CacheConfig{8, static_cast<int>(cache_elements / (8 * 4)), 4});
+    cache.access_trace(trace);
+    return cache.stats().misses;
+}
+
+}  // namespace
+
+int main() {
+    using namespace lf::bench;
+
+    const Domain dom{30, 1500};
+
+    std::cout << "(a) REGISTER FORWARDING (loads eliminable by (0,0)-retimed flow deps),\n"
+                 "    n=" << dom.n << ", m=" << dom.m << "\n";
+    {
+        const std::vector<int> widths{8, 12, 14, 16, 10};
+        print_rule(widths);
+        print_row(widths, {"example", "total loads", "forwardable", "deps at (0,0)", "fraction"});
+        print_rule(widths);
+        for (const auto& w : workloads::paper_workloads()) {
+            if (w.dsl_source.empty()) continue;
+            const ir::Program p = parse_workload(w);
+            const auto info = analysis::analyze_dependences(p);
+            const FusionPlan plan = plan_fusion(info.graph);
+            const auto reuse = sim::forwarding_reuse(p, info, plan.retiming, dom);
+            print_row(widths, {w.id, fmt(reuse.total_loads), fmt(reuse.forwardable_loads),
+                               fmt(reuse.forwardable_dependences), fmt(reuse.fraction(), 3)});
+        }
+        print_rule(widths);
+    }
+
+    std::cout << "\n(b) CACHE MISSES vs cache size (4-way LRU, 8-element lines),\n"
+                 "    n=" << dom.n << ", m=" << dom.m << " (one row = " << dom.cols()
+              << " elements)\n";
+    for (const auto& w : workloads::paper_workloads()) {
+        if (w.dsl_source.empty()) continue;
+        const ir::Program p = parse_workload(w);
+        const Mldg g = analysis::build_mldg(p);
+        const FusionPlan plan = plan_fusion(g);
+
+        exec::ArrayStore orig_store(p, dom);
+        orig_store.enable_tracing();
+        (void)exec::run_original(p, dom, orig_store);
+
+        exec::ArrayStore aligned_store(p, dom);
+        aligned_store.enable_tracing();
+        (void)exec::run_fused_rowwise(make_aligned_program(p, g), dom, aligned_store);
+
+        exec::ArrayStore fused_store(p, dom);
+        fused_store.enable_tracing();
+        (void)exec::run_fused_rowwise(make_plan_program(p, plan), dom, fused_store);
+
+        std::cout << "\n" << w.id << " (accesses: " << orig_store.trace().size() << ")\n";
+        const std::vector<int> widths{10, 12, 14, 14};
+        print_rule(widths);
+        print_row(widths, {"cache(el)", "original", "y-aligned", "fully-retimed"});
+        print_rule(widths);
+        for (const std::int64_t size : {256LL, 512LL, 1024LL, 2048LL, 4096LL, 16384LL}) {
+            print_row(widths, {fmt(size), fmt(misses(orig_store.trace(), size)),
+                               fmt(misses(aligned_store.trace(), size)),
+                               fmt(misses(fused_store.trace(), size))});
+        }
+        print_rule(widths);
+    }
+
+    std::cout << "\n(c) PRIVATE per-processor caches (P = 8, block partition of j);\n"
+                 "    total misses across processors. The fused block's working set is\n"
+                 "    ~|V|x a single loop's, so the private cache must be large enough to\n"
+                 "    hold it -- below that capacity fusion loses, above it fusion wins:\n";
+    {
+        const int P = 8;
+        const std::vector<int> widths{8, 12, 14, 12, 14};
+        print_rule(widths);
+        print_row(widths, {"example", "original", "y-aligned", "original", "y-aligned"});
+        print_row(widths, {"", "(256 el)", "(256 el)", "(2048 el)", "(2048 el)"});
+        print_rule(widths);
+        for (const auto& w : workloads::paper_workloads()) {
+            if (w.dsl_source.empty()) continue;
+            const ir::Program p = parse_workload(w);
+            const Mldg g = analysis::build_mldg(p);
+
+            exec::ArrayStore orig(p, dom);
+            orig.enable_tracing();
+            (void)exec::run_original_blocked(p, dom, orig, P);
+
+            exec::ArrayStore aligned(p, dom);
+            aligned.enable_tracing();
+            (void)exec::run_fused_blocked(make_aligned_program(p, g), dom, aligned, P);
+
+            const sim::CacheConfig small{8, 8, 4};    // 256 elements
+            const sim::CacheConfig large{8, 64, 4};   // 2048 elements
+            print_row(widths,
+                      {w.id,
+                       fmt(sim::total_misses(sim::simulate_private_caches(orig.trace(), P, small))),
+                       fmt(sim::total_misses(
+                           sim::simulate_private_caches(aligned.trace(), P, small))),
+                       fmt(sim::total_misses(sim::simulate_private_caches(orig.trace(), P, large))),
+                       fmt(sim::total_misses(
+                           sim::simulate_private_caches(aligned.trace(), P, large)))});
+        }
+        print_rule(widths);
+    }
+    return 0;
+}

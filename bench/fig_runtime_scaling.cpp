@@ -1,0 +1,54 @@
+// Runtime-scaling figure -- the polynomial-time claim in the paper's title.
+//
+// All algorithms reduce to O(|V| * |E|) Bellman-Ford passes; we time the
+// complete fusion planner on random legal 2LDGs of growing size and report
+// time / (|V| * |E|), which should stay roughly flat.
+
+#include <chrono>
+
+#include "common.hpp"
+#include "workloads/generators.hpp"
+
+int main() {
+    using namespace lf;
+    using namespace lf::bench;
+    using clock = std::chrono::steady_clock;
+
+    std::cout << "RUNTIME SCALING of plan_fusion on random legal 2LDGs\n";
+    const std::vector<int> widths{6, 8, 10, 12, 16};
+    print_rule(widths);
+    print_row(widths, {"|V|", "|E|", "runs", "time (ms)", "us / (V*E/1000)"});
+    print_rule(widths);
+
+    for (const int v : {8, 16, 32, 64, 128, 256, 512}) {
+        workloads::RandomGraphOptions opt;
+        opt.num_nodes = v;
+        // Keep average degree constant so |E| grows linearly with |V|.
+        opt.forward_edge_prob = 4.0 / v;
+        opt.backward_edge_prob = 2.0 / v;
+
+        Rng rng(static_cast<std::uint64_t>(v) * 31 + 7);
+        const int runs = v <= 64 ? 50 : 10;
+        std::int64_t total_edges = 0;
+        double total_ms = 0.0;
+        for (int run = 0; run < runs; ++run) {
+            const Mldg g = workloads::random_legal_mldg(rng, opt);
+            total_edges += g.num_edges();
+            const auto start = clock::now();
+            const FusionPlan plan = plan_fusion(g);
+            const auto stop = clock::now();
+            (void)plan;
+            total_ms += std::chrono::duration<double, std::milli>(stop - start).count();
+        }
+        const double avg_edges = static_cast<double>(total_edges) / runs;
+        const double avg_ms = total_ms / runs;
+        const double normalized = avg_ms * 1000.0 / (static_cast<double>(v) * avg_edges / 1000.0);
+        print_row(widths, {fmt(static_cast<std::int64_t>(v)),
+                           fmt(static_cast<std::int64_t>(avg_edges)),
+                           fmt(static_cast<std::int64_t>(runs)), fmt(avg_ms, 3),
+                           fmt(normalized, 2)});
+    }
+    print_rule(widths);
+    std::cout << "A roughly flat last column confirms the O(|V|*|E|) bound.\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+// Speedup figure -- simulated parallel execution time of the original,
+// grouped-baseline and fused schedules on the multiprocessor cost model,
+// as processor count and barrier cost vary.
+//
+// Shape being checked: fusion wins everywhere; the win grows with the
+// barrier cost sigma and with P (barriers are the serial fraction); the
+// grouped baseline sits between the two.
+
+#include "baselines/kennedy_mckinley.hpp"
+#include "common.hpp"
+#include "ldg/legality.hpp"
+#include "sim/machine.hpp"
+
+int main() {
+    using namespace lf;
+    using namespace lf::bench;
+
+    const Domain dom{500, 1000};
+
+    std::cout << "SPEEDUP vs processors (sigma = 200, n=" << dom.n << ", m=" << dom.m << ")\n";
+    for (const auto& w : workloads::paper_workloads()) {
+        const FusionPlan plan = plan_fusion(w.graph);
+        std::cout << "\n" << w.id << " [" << to_string(plan.level) << "]\n";
+        const std::vector<int> widths{5, 13, 13, 13, 12, 12};
+        print_rule(widths);
+        print_row(widths, {"P", "original", "KM-grouped", "fused(ours)", "ours-vs-org",
+                           "ours-vs-KM"});
+        print_rule(widths);
+        for (const int p : {1, 2, 4, 8, 16, 32, 64}) {
+            const sim::MachineConfig machine{p, 200};
+            const auto orig = sim::estimate_original(w.graph, dom, machine);
+            const auto ours = sim::estimate_fused(w.graph, plan, dom, machine);
+            std::string km_time = "n/a", km_ratio = "n/a";
+            if (is_legal_mldg(w.graph)) {
+                const auto groups = baselines::kennedy_mckinley_fusion(w.graph);
+                const auto km = sim::estimate_grouped(w.graph, groups.groups,
+                                                      groups.group_is_doall, dom, machine);
+                km_time = fmt(km.total_time);
+                km_ratio = fmt(ours.speedup_over(km), 2) + "x";
+            }
+            print_row(widths, {fmt(static_cast<std::int64_t>(p)), fmt(orig.total_time), km_time,
+                               fmt(ours.total_time), fmt(ours.speedup_over(orig), 2) + "x",
+                               km_ratio});
+        }
+        print_rule(widths);
+    }
+
+    std::cout << "\nSPEEDUP vs barrier cost (P = 16), workload fig2\n";
+    {
+        const auto& w = workloads::paper_workloads()[1];
+        const FusionPlan plan = plan_fusion(w.graph);
+        const std::vector<int> widths{8, 13, 13, 12};
+        print_rule(widths);
+        print_row(widths, {"sigma", "original", "fused(ours)", "speedup"});
+        print_rule(widths);
+        for (const std::int64_t sigma : {0LL, 10LL, 100LL, 1000LL, 10000LL}) {
+            const sim::MachineConfig machine{16, sigma};
+            const auto orig = sim::estimate_original(w.graph, dom, machine);
+            const auto ours = sim::estimate_fused(w.graph, plan, dom, machine);
+            print_row(widths, {fmt(sigma), fmt(orig.total_time), fmt(ours.total_time),
+                               fmt(ours.speedup_over(orig), 2) + "x"});
+        }
+        print_rule(widths);
+    }
+    return 0;
+}

@@ -1,0 +1,49 @@
+// Synchronization-count figure -- measured barrier counts as the outer trip
+// count n grows (the paper's "7n synchronizations -> n-2" argument of
+// Section 4.2, generalized to all five workloads and to the grouped
+// baseline).
+//
+// Shape being checked: original = |V|*(n+1); Kennedy-McKinley = groups*(n+1);
+// ours = n + O(1) for DOALL plans and #hyperplanes for Algorithm 5 plans.
+
+#include "baselines/kennedy_mckinley.hpp"
+#include "common.hpp"
+#include "ldg/legality.hpp"
+#include "sim/machine.hpp"
+
+int main() {
+    using namespace lf;
+    using namespace lf::bench;
+
+    const std::int64_t m = 1000;
+    const sim::MachineConfig machine{1, 0};
+
+    for (const auto& w : workloads::paper_workloads()) {
+        std::cout << "barriers(" << w.id << "), m=" << m << ":\n";
+        const std::vector<int> widths{8, 12, 14, 12, 10};
+        print_rule(widths);
+        print_row(widths, {"n", "original", "KM-grouped", "this paper", "reduction"});
+        print_rule(widths);
+        for (const std::int64_t n : {10LL, 100LL, 1000LL, 10000LL}) {
+            const Domain dom{n, m};
+            const FusionPlan plan = plan_fusion(w.graph);
+            const auto orig = sim::estimate_original(w.graph, dom, machine);
+            const auto ours = sim::estimate_fused(w.graph, plan, dom, machine);
+            std::string km = "n/a";
+            if (is_legal_mldg(w.graph)) {
+                const auto groups = baselines::kennedy_mckinley_fusion(w.graph);
+                km = fmt(static_cast<std::int64_t>(groups.num_groups()) * dom.rows());
+            }
+            print_row(widths, {fmt(n), fmt(orig.barriers), km, fmt(ours.barriers),
+                               fmt(static_cast<double>(orig.barriers) /
+                                       static_cast<double>(ours.barriers),
+                                   2) + "x"});
+        }
+        print_rule(widths);
+        std::cout << '\n';
+    }
+    std::cout << "Note: hyperplane plans (fig14, iir) trade barrier count for parallelism --\n"
+                 "their barriers grow with s.x * n + m, but each barrier closes a fully\n"
+                 "parallel phase, unlike the serial rows every baseline leaves behind.\n";
+    return 0;
+}

@@ -1,0 +1,80 @@
+// Table 1 -- fusion summary over the five experiment MLDGs (the paper's
+// Section 5 set): structure, algorithm applied, resulting parallelism, and
+// synchronization counts before/after fusion at n = m = 1000.
+//
+// Paper claims being checked: every workload fuses legally; acyclic ->
+// Algorithm 3, cyclic satisfying Theorem 4.2 -> Algorithm 4 (both giving a
+// DOALL inner loop, |V| barriers/iteration -> 1), the rest -> Algorithm 5
+// (DOALL hyperplanes).
+
+#include "analysis/dependence.hpp"
+#include "common.hpp"
+#include "ir/parser.hpp"
+#include "sim/machine.hpp"
+#include "workloads/extra.hpp"
+
+int main() {
+    using namespace lf;
+    using namespace lf::bench;
+
+    const Domain dom{1000, 1000};
+    const sim::MachineConfig machine{1, 0};  // barriers counted, not priced
+
+    std::cout << "TABLE 1: fusion summary over the Section-5 workloads (n=m=" << dom.n << ")\n";
+    const std::vector<int> widths{8, 4, 4, 5, 7, 5, 26, 17, 11, 11, 9};
+    print_rule(widths);
+    print_row(widths, {"example", "|V|", "|E|", "|D_L|", "cyclic", "hard", "algorithm",
+                       "parallelism", "syncs-pre", "syncs-post", "reduction"});
+    print_rule(widths);
+
+    for (const auto& w : workloads::paper_workloads()) {
+        const Mldg& g = w.graph;
+        const FusionPlan plan = plan_fusion(g);
+
+        int hard = 0;
+        for (const auto& e : g.edges()) hard += e.is_hard() ? 1 : 0;
+
+        const auto before = sim::estimate_original(g, dom, machine);
+        const auto after = sim::estimate_fused(g, plan, dom, machine);
+
+        print_row(widths,
+                  {w.id, fmt(static_cast<std::int64_t>(g.num_nodes())),
+                   fmt(static_cast<std::int64_t>(g.num_edges())),
+                   fmt(static_cast<std::int64_t>(g.total_vectors())),
+                   g.is_acyclic() ? "no" : "yes", fmt(static_cast<std::int64_t>(hard)),
+                   to_string(plan.algorithm), to_string(plan.level), fmt(before.barriers),
+                   fmt(after.barriers),
+                   fmt(static_cast<double>(before.barriers) / static_cast<double>(after.barriers),
+                       2) + "x"});
+    }
+    print_rule(widths);
+
+    std::cout << "\nEXTENDED SET (literature-style kernels, see workloads/extra.hpp)\n";
+    print_rule(widths);
+    for (const auto& w : workloads::extra_workloads()) {
+        const Mldg g = analysis::build_mldg(ir::parse_program(w.dsl_source));
+        const FusionPlan plan = plan_fusion(g);
+        int hard = 0;
+        for (const auto& e : g.edges()) hard += e.is_hard() ? 1 : 0;
+        const auto before = sim::estimate_original(g, dom, machine);
+        const auto after = sim::estimate_fused(g, plan, dom, machine);
+        print_row(widths,
+                  {w.id, fmt(static_cast<std::int64_t>(g.num_nodes())),
+                   fmt(static_cast<std::int64_t>(g.num_edges())),
+                   fmt(static_cast<std::int64_t>(g.total_vectors())),
+                   g.is_acyclic() ? "no" : "yes", fmt(static_cast<std::int64_t>(hard)),
+                   to_string(plan.algorithm), to_string(plan.level), fmt(before.barriers),
+                   fmt(after.barriers),
+                   fmt(static_cast<double>(before.barriers) / static_cast<double>(after.barriers),
+                       2) + "x"});
+    }
+    print_rule(widths);
+
+    std::cout << "\nRetimings and schedules:\n";
+    for (const auto& w : workloads::paper_workloads()) {
+        const FusionPlan plan = plan_fusion(w.graph);
+        std::cout << "  " << w.id << ": " << plan.retiming.str(w.graph) << "; s = "
+                  << plan.schedule.str() << ", h = " << plan.hyperplane.str() << '\n';
+    }
+    return 0;
+}

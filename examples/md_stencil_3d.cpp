@@ -1,0 +1,57 @@
+// Example: the n-dimensional generalization on a 3-D problem
+// (time x plane x column), exercising the general MLDG of Definition 2.2.
+//
+// A three-stage volume pipeline whose stages exchange data within a time
+// step (fusion-preventing at the innermost level) and feed back across
+// steps. The 3-D planner retimes it legally and computes a strict schedule
+// vector over Z^3; iterations on each hyperplane of the schedule execute in
+// parallel.
+
+#include <iostream>
+
+#include "fusion/multidim.hpp"
+
+int main() {
+    using namespace lf;
+
+    MldgN g(3);
+    const int smooth = g.add_node("Smooth", 4);
+    const int grad = g.add_node("Gradient", 3);
+    const int accum = g.add_node("Accumulate", 2);
+
+    // Within one (time, plane): Gradient reads Smooth at columns j-1/j+1.
+    g.add_edge(smooth, grad, {VecN{0, 0, -1}, VecN{0, 0, 1}});   // hard
+    // Accumulate reads Gradient from the previous plane, columns j-2/j+2.
+    g.add_edge(grad, accum, {VecN{0, 1, -2}, VecN{0, 1, 2}});
+    // Feedback: Smooth reads Accumulate from the previous time step.
+    g.add_edge(accum, smooth, {VecN{1, -1, 0}});
+    // Smooth's own relaxation across time.
+    g.add_edge(smooth, smooth, {VecN{1, 0, 1}, VecN{1, 0, -1}});  // hard self
+
+    std::cout << "3-D pipeline MLDG:\n" << g.summary() << '\n';
+    std::cout << "schedulable: " << (is_schedulable_nd(g) ? "yes" : "NO") << "\n\n";
+
+    const NdFusionPlan plan = plan_fusion_nd(g);
+    std::cout << "plan: "
+              << (plan.level == NdParallelism::OutermostCarried ? "outermost-carried DOALL"
+                                                                : "DOALL hyperplane")
+              << '\n';
+    for (int v = 0; v < g.num_nodes(); ++v) {
+        std::cout << "  r(" << g.node(v).name << ") = " << plan.retiming.of(v).str() << '\n';
+    }
+    std::cout << "  schedule s = " << plan.schedule.str() << '\n';
+    std::cout << "\nretimed graph:\n" << plan.retimed.summary();
+
+    // Demonstrate strictness: every nonzero retimed dependence advances the
+    // schedule.
+    std::cout << "\nschedule progress per dependence (s . d, must be > 0):\n";
+    for (const auto& e : plan.retimed.edges()) {
+        for (const VecN& d : e.vectors) {
+            if (d.is_zero()) continue;
+            std::cout << "  " << plan.retimed.node(e.from).name << " -> "
+                      << plan.retimed.node(e.to).name << "  " << d.str() << " : "
+                      << plan.schedule.dot(d) << '\n';
+        }
+    }
+    return 0;
+}

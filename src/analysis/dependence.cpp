@@ -1,0 +1,124 @@
+#include "analysis/dependence.hpp"
+
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace lf::analysis {
+
+std::string to_string(DepKind kind) {
+    switch (kind) {
+        case DepKind::Flow: return "flow";
+        case DepKind::Anti: return "anti";
+        case DepKind::Output: return "output";
+    }
+    return "?";
+}
+
+std::string Dependence::str(const ir::Program& p) const {
+    std::ostringstream os;
+    os << to_string(kind) << ' ' << p.loops[static_cast<std::size_t>(from_loop)].label << " -> "
+       << p.loops[static_cast<std::size_t>(to_loop)].label << ' ' << vector.str() << " (" << array
+       << ')';
+    return os.str();
+}
+
+namespace {
+
+struct Access {
+    int loop = 0;
+    ir::ArrayRef ref;
+    bool is_write = false;
+};
+
+/// Execution-order comparison of an instance of loop u at the *source* end
+/// and an instance of loop v displaced by `d` (instance_v = instance_u + d):
+/// returns +1 when the u-instance executes first, -1 when the v-instance
+/// does, 0 when they are unordered or identical.
+int order_of(int u, int v, const Vec2& d) {
+    if (d.x > 0) return +1;
+    if (d.x < 0) return -1;
+    // Same outer iteration: loop position decides; within one DOALL loop
+    // distinct j's are unordered and d.y == 0 is the same instance (for
+    // cross-statement, statement order within the body serializes it -- not
+    // an MLDG edge).
+    if (u < v) return +1;
+    if (u > v) return -1;
+    return 0;
+}
+
+}  // namespace
+
+DependenceInfo analyze_dependences(const ir::Program& p) {
+    DependenceInfo info;
+    for (const ir::LoopNest& loop : p.loops) {
+        info.graph.add_node(loop.label, loop.body_cost());
+    }
+
+    std::vector<Access> writes;
+    std::vector<Access> reads;
+    for (int k = 0; k < static_cast<int>(p.loops.size()); ++k) {
+        for (const ir::Statement& s : p.loops[static_cast<std::size_t>(k)].body) {
+            writes.push_back({k, s.target, true});
+            for (const ir::ArrayRef& r : s.reads()) reads.push_back({k, r, false});
+        }
+    }
+
+    auto record = [&info, &p](int from, int to, Vec2 vector, DepKind kind,
+                              const std::string& array) {
+        if (from == to && vector.is_zero()) return;  // intra-instance
+        if (from == to && vector.x == 0) {
+            throw Error("dependence analysis: loop " + p.loops[static_cast<std::size_t>(from)].label +
+                        " is not DOALL (vector " + vector.str() + " on array " + array + ")");
+        }
+        info.graph.add_edge(from, to, {vector});
+        info.dependences.push_back(Dependence{from, to, vector, kind, array});
+    };
+
+    // Flow / anti: every (write, read) pair on the same array.
+    for (const Access& w : writes) {
+        for (const Access& r : reads) {
+            if (w.ref.array != r.ref.array) continue;
+            // read_instance = write_instance + d
+            const Vec2 d = w.ref.offset - r.ref.offset;
+            const int ord = order_of(w.loop, r.loop, d);
+            if (ord > 0) {
+                record(w.loop, r.loop, d, DepKind::Flow, w.ref.array);
+            } else if (ord < 0) {
+                record(r.loop, w.loop, -d, DepKind::Anti, w.ref.array);
+            } else if (!d.is_zero()) {
+                // Unordered conflicting instances within one DOALL loop.
+                throw Error("dependence analysis: loop " +
+                            p.loops[static_cast<std::size_t>(w.loop)].label +
+                            " is not DOALL (vector " + d.str() + " on array " + w.ref.array + ")");
+            }
+        }
+    }
+
+    // Output: every ordered pair of writes on the same array.
+    for (std::size_t a = 0; a < writes.size(); ++a) {
+        for (std::size_t b = a + 1; b < writes.size(); ++b) {
+            const Access& w1 = writes[a];
+            const Access& w2 = writes[b];
+            if (w1.ref.array != w2.ref.array) continue;
+            const Vec2 d = w1.ref.offset - w2.ref.offset;
+            const int ord = order_of(w1.loop, w2.loop, d);
+            if (ord > 0) {
+                record(w1.loop, w2.loop, d, DepKind::Output, w1.ref.array);
+            } else if (ord < 0) {
+                record(w2.loop, w1.loop, -d, DepKind::Output, w1.ref.array);
+            } else if (!d.is_zero()) {
+                throw Error("dependence analysis: loop " +
+                            p.loops[static_cast<std::size_t>(w1.loop)].label +
+                            " is not DOALL (output vector " + d.str() + " on array " +
+                            w1.ref.array + ")");
+            }
+        }
+    }
+
+    return info;
+}
+
+Mldg build_mldg(const ir::Program& p) { return analyze_dependences(p).graph; }
+
+}  // namespace lf::analysis

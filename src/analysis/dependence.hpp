@@ -1,0 +1,52 @@
+#pragma once
+// Dependence analysis: from a Figure-1 program to its MLDG (Definition 2.2).
+//
+// For every pair of accesses to the same array with at least one write, the
+// instances touching a common cell differ by the constant vector
+// d = offset(first) - offset(second). Under the program model's execution
+// order (outer iterations in sequence; within one outer iteration the loops
+// in program order, with a barrier after each DOALL loop) the earlier access
+// is the dependence source; the MLDG edge runs source -> sink with the
+// iteration-distance vector. Flow (write->read), anti (read->write) and
+// output (write->write) dependences all constrain fusion and are all
+// recorded (the paper, Section 2.1, names the same taxonomy).
+
+#include <string>
+#include <vector>
+
+#include "ir/ast.hpp"
+#include "ldg/mldg.hpp"
+
+namespace lf::analysis {
+
+enum class DepKind { Flow, Anti, Output };
+
+[[nodiscard]] std::string to_string(DepKind kind);
+
+/// One elementary dependence between two statement instances.
+struct Dependence {
+    int from_loop = 0;  // source loop index (executes first)
+    int to_loop = 0;    // sink loop index
+    Vec2 vector;        // sink instance minus source instance
+    DepKind kind = DepKind::Flow;
+    std::string array;
+
+    [[nodiscard]] std::string str(const ir::Program& p) const;
+};
+
+struct DependenceInfo {
+    /// The MLDG: node k represents p.loops[k]; body costs from
+    /// LoopNest::body_cost(). Always program-model legal by construction.
+    Mldg graph;
+    /// Every elementary dependence (before per-edge merging/deduplication).
+    std::vector<Dependence> dependences;
+};
+
+/// Analyzes a validated program. Throws lf::Error if the program violates
+/// the model (e.g. a non-DOALL inner loop that slipped past sema).
+[[nodiscard]] DependenceInfo analyze_dependences(const ir::Program& p);
+
+/// Convenience: just the graph.
+[[nodiscard]] Mldg build_mldg(const ir::Program& p);
+
+}  // namespace lf::analysis

@@ -1,0 +1,62 @@
+#include "baselines/kennedy_mckinley.hpp"
+
+#include <algorithm>
+
+#include "ldg/legality.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lf::baselines {
+
+bool KennedyMcKinleyResult::all_doall() const {
+    return std::all_of(group_is_doall.begin(), group_is_doall.end(), [](bool b) { return b; });
+}
+
+KennedyMcKinleyResult kennedy_mckinley_fusion(const Mldg& g) {
+    check(is_legal_mldg(g), "kennedy_mckinley_fusion: input MLDG is not program-model legal");
+
+    const int n = g.num_nodes();
+    // Process nodes in program order; group(v) = max over forward in-edges
+    // u -> v of group(u) (+1 when the edge is fusion-preventing). Backward
+    // (outer-carried) edges and self-edges impose no grouping constraint.
+    std::vector<int> node_group(static_cast<std::size_t>(n), 0);
+    std::vector<int> by_order(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) by_order[static_cast<std::size_t>(g.node(v).order)] = v;
+
+    for (int v : by_order) {
+        int group = 0;
+        for (int eid = 0; eid < g.num_edges(); ++eid) {
+            const auto& e = g.edge(eid);
+            if (e.to != v || e.from == v) continue;
+            if (g.is_backward_edge(eid)) continue;  // outer-loop carried
+            const bool preventing = e.delta() < Vec2{0, 0};
+            group = std::max(group, node_group[static_cast<std::size_t>(e.from)] +
+                                        (preventing ? 1 : 0));
+        }
+        node_group[static_cast<std::size_t>(v)] = group;
+    }
+
+    KennedyMcKinleyResult result;
+    const int num_groups = 1 + *std::max_element(node_group.begin(), node_group.end());
+    result.groups.assign(static_cast<std::size_t>(num_groups), {});
+    for (int v : by_order) {
+        result.groups[static_cast<std::size_t>(node_group[static_cast<std::size_t>(v)])].push_back(v);
+    }
+
+    // A group's fused row is DOALL iff no internal dependence has the form
+    // (0, k != 0) (same-row, different-j) after direct fusion. (0,0)
+    // dependences follow statement order; carried ones cross rows.
+    result.group_is_doall.assign(static_cast<std::size_t>(num_groups), true);
+    for (const auto& e : g.edges()) {
+        const int gu = node_group[static_cast<std::size_t>(e.from)];
+        const int gv = node_group[static_cast<std::size_t>(e.to)];
+        if (gu != gv) continue;
+        for (const Vec2& d : e.vectors) {
+            if (d.x == 0 && d.y != 0) {
+                result.group_is_doall[static_cast<std::size_t>(gu)] = false;
+            }
+        }
+    }
+    return result;
+}
+
+}  // namespace lf::baselines

@@ -1,0 +1,34 @@
+#pragma once
+// Baseline 2: greedy legal fusion partitioning in the style of Kennedy &
+// McKinley ("Maximizing loop parallelism...", and the typed-fusion line of
+// work the paper compares against in Section 1).
+//
+// Loops are scanned in program order and greedily packed into fusion groups:
+// a fusion-preventing dependence (delta < (0,0)) from group k forces its
+// sink into a group > k; other same-or-earlier-group dependences keep
+// ordering constraints (sink group >= source group). No retiming is
+// performed -- this is exactly the "cannot handle fusion-preventing
+// dependences" limitation the paper highlights: such edges always cost an
+// extra group (an extra barrier per outer iteration).
+
+#include <vector>
+
+#include "ldg/mldg.hpp"
+
+namespace lf::baselines {
+
+struct KennedyMcKinleyResult {
+    /// groups[k] lists the loop nodes fused into the k-th fused loop.
+    std::vector<std::vector<int>> groups;
+    /// Per group: is its fused innermost loop DOALL?
+    std::vector<bool> group_is_doall;
+
+    /// Barriers per outer iteration = number of groups.
+    [[nodiscard]] int num_groups() const { return static_cast<int>(groups.size()); }
+    [[nodiscard]] bool all_doall() const;
+};
+
+/// Requires a program-model legal MLDG (throws lf::Error otherwise).
+[[nodiscard]] KennedyMcKinleyResult kennedy_mckinley_fusion(const Mldg& g);
+
+}  // namespace lf::baselines

@@ -1,0 +1,14 @@
+#include "baselines/naive.hpp"
+
+#include "ldg/legality.hpp"
+
+namespace lf::baselines {
+
+NaiveFusionResult naive_fusion(const Mldg& g) {
+    NaiveFusionResult r;
+    r.legal = is_fusion_legal(g);
+    r.inner_doall = r.legal && is_fused_inner_doall(g);
+    return r;
+}
+
+}  // namespace lf::baselines

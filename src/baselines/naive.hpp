@@ -1,0 +1,20 @@
+#pragma once
+// Baseline 1: naive (direct) fusion. Concatenate the loop bodies in program
+// order with no transformation. Legal only when no fusion-preventing
+// dependence exists (Theorem 3.1 with program order); fully parallel only
+// when no dependence lands inside a fused row.
+
+#include "ldg/mldg.hpp"
+
+namespace lf::baselines {
+
+struct NaiveFusionResult {
+    /// Direct fusion does not reverse any dependence.
+    bool legal = false;
+    /// The fused innermost loop is DOALL.
+    bool inner_doall = false;
+};
+
+[[nodiscard]] NaiveFusionResult naive_fusion(const Mldg& g);
+
+}  // namespace lf::baselines

@@ -1,0 +1,44 @@
+#include "baselines/shift_and_peel.hpp"
+
+#include <algorithm>
+
+#include "graph/constraint_system.hpp"
+#include "ldg/legality.hpp"
+#include "ldg/retiming.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lf::baselines {
+
+ShiftAndPeelResult shift_and_peel_fusion(const Mldg& g) {
+    check(is_legal_mldg(g), "shift_and_peel_fusion: input MLDG is not program-model legal");
+    ShiftAndPeelResult result;
+
+    // Alignment constraints come only from same-outer-iteration dependences:
+    // after a y-shift r, a (0, dy) dependence becomes (0, dy + r(u) - r(v))
+    // and must stay >= 0, i.e. r(v) - r(u) <= dy. Carried dependences
+    // (x >= 1) are legal for any finite shift.
+    DifferenceConstraintSystem<std::int64_t> sys;
+    for (int v = 0; v < g.num_nodes(); ++v) sys.add_variable(g.node(v).name);
+    for (const auto& e : g.edges()) {
+        for (const Vec2& d : e.vectors) {
+            if (d.x == 0) sys.add_constraint(e.from, e.to, d.y);
+        }
+    }
+    const auto solution = sys.solve();
+    if (!solution.feasible) {
+        return result;  // alignment conflict: shift-and-peel cannot fuse
+    }
+    result.feasible = true;
+    result.shift = solution.values;
+
+    const auto [lo, hi] = std::minmax_element(result.shift.begin(), result.shift.end());
+    result.peel = *hi - *lo;
+
+    // Evaluate the fused row with the shifts applied as a y-only retiming.
+    Retiming r(g.num_nodes());
+    for (int v = 0; v < g.num_nodes(); ++v) r.of(v) = Vec2{0, result.shift[static_cast<std::size_t>(v)]};
+    result.inner_doall = is_fused_inner_doall(r.apply(g));
+    return result;
+}
+
+}  // namespace lf::baselines

@@ -1,0 +1,35 @@
+#pragma once
+// Baseline 3: shift-and-peel (Manjikian & Abdelrahman). Loops are aligned by
+// shifting their iteration spaces along the *inner* dimension only (a
+// y-only retiming); iterations that fall outside the common range are
+// peeled. Shifting can legalize fusion-preventing (0, k<0) dependences, but
+//   (a) it cannot move anything across outer iterations, so same-row
+//       dependences (0, k>0) survive and keep the fused row serial (the
+//       peeled iterations are what allow *partitioned* parallelism, at a
+//       cost that grows with the peel amount -- the inefficiency the paper
+//       notes when peels approach the per-processor share), and
+//   (b) it fails outright when the inner-dimension alignment constraints
+//       cycle with negative weight.
+
+#include <optional>
+#include <vector>
+
+#include "ldg/mldg.hpp"
+
+namespace lf::baselines {
+
+struct ShiftAndPeelResult {
+    bool feasible = false;
+    /// Per-node inner-dimension shift (as a y-only retiming).
+    std::vector<std::int64_t> shift;
+    /// Total peeled iterations per outer iteration: max shift - min shift.
+    std::int64_t peel = 0;
+    /// After shifting, is the fused row DOALL? (Usually false: shifted
+    /// dependences land on (0, k >= 0) and any k > 0 serializes.)
+    bool inner_doall = false;
+};
+
+/// Requires a program-model legal MLDG (throws lf::Error otherwise).
+[[nodiscard]] ShiftAndPeelResult shift_and_peel_fusion(const Mldg& g);
+
+}  // namespace lf::baselines

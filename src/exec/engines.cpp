@@ -1,0 +1,274 @@
+#include "exec/engines.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace lf::exec {
+
+namespace {
+
+/// Executes body `b`'s statements for the instance at original iteration
+/// (qi, qj). Returns the number of statement instances run.
+std::int64_t run_instance(const transform::FusedLoopBody& b, std::int64_t qi, std::int64_t qj,
+                          ArrayStore& store) {
+    for (const ir::Statement& s : b.statements) {
+        const double value = s.eval(store, qi, qj);
+        const Vec2 cell = s.target.cell(qi, qj);
+        store.store(s.target.array, cell.x, cell.y, value);
+    }
+    return static_cast<std::int64_t>(b.statements.size());
+}
+
+/// Executes all active bodies at fused point (pi, pj), in body order.
+std::int64_t run_point(const transform::FusedProgram& fp, const Domain& dom, std::int64_t pi,
+                       std::int64_t pj, ArrayStore& store) {
+    std::int64_t instances = 0;
+    for (const transform::FusedLoopBody& b : fp.bodies) {
+        const std::int64_t qi = pi + b.retiming.x;
+        const std::int64_t qj = pj + b.retiming.y;
+        if (dom.contains(qi, qj)) instances += run_instance(b, qi, qj, store);
+    }
+    return instances;
+}
+
+/// Executes one body at fused point (pi, pj) if active (peel sections).
+std::int64_t run_point_for_body(const transform::FusedProgram&, const Domain& dom,
+                                const transform::FusedLoopBody& b, std::int64_t pi,
+                                std::int64_t pj, ArrayStore& store) {
+    const std::int64_t qi = pi + b.retiming.x;
+    const std::int64_t qj = pj + b.retiming.y;
+    return dom.contains(qi, qj) ? run_instance(b, qi, qj, store) : 0;
+}
+
+}  // namespace
+
+ExecStats run_original(const ir::Program& p, const Domain& dom, ArrayStore& store) {
+    ExecStats stats;
+    for (std::int64_t i = 0; i <= dom.n; ++i) {
+        for (const ir::LoopNest& loop : p.loops) {
+            for (std::int64_t j = 0; j <= dom.m; ++j) {
+                for (const ir::Statement& s : loop.body) {
+                    const double value = s.eval(store, i, j);
+                    const Vec2 cell = s.target.cell(i, j);
+                    store.store(s.target.array, cell.x, cell.y, value);
+                    ++stats.instances;
+                }
+            }
+            ++stats.barriers;  // one barrier terminates each DOALL loop
+        }
+    }
+    stats.phases = stats.barriers;
+    return stats;
+}
+
+ExecStats run_fused_rowwise(const transform::FusedProgram& fp, const Domain& dom,
+                            ArrayStore& store) {
+    ExecStats stats;
+    const std::int64_t jlo = fp.point_j_lo(), jhi = fp.point_j_hi(dom);
+    for (std::int64_t pi = fp.point_i_lo(); pi <= fp.point_i_hi(dom); ++pi) {
+        std::int64_t row_instances = 0;
+        for (std::int64_t pj = jlo; pj <= jhi; ++pj) {
+            row_instances += run_point(fp, dom, pi, pj, store);
+        }
+        if (row_instances > 0) {
+            stats.instances += row_instances;
+            ++stats.barriers;  // one barrier terminates each fused row
+        }
+    }
+    stats.phases = stats.barriers;
+    return stats;
+}
+
+ExecStats run_wavefront(const transform::FusedProgram& fp, const Domain& dom, ArrayStore& store) {
+    ExecStats stats;
+    const Vec2 s = fp.schedule;
+    const std::int64_t ilo = fp.point_i_lo(), ihi = fp.point_i_hi(dom);
+    const std::int64_t jlo = fp.point_j_lo(), jhi = fp.point_j_hi(dom);
+
+    // Bucket the fused points by t = s . p, then sweep hyperplanes in order.
+    const std::int64_t c1 = s.x * ilo + s.y * jlo, c2 = s.x * ilo + s.y * jhi;
+    const std::int64_t c3 = s.x * ihi + s.y * jlo, c4 = s.x * ihi + s.y * jhi;
+    const std::int64_t tlo = std::min({c1, c2, c3, c4});
+    const std::int64_t thi = std::max({c1, c2, c3, c4});
+
+    std::vector<std::vector<Vec2>> buckets(static_cast<std::size_t>(thi - tlo + 1));
+    for (std::int64_t pi = ilo; pi <= ihi; ++pi) {
+        for (std::int64_t pj = jlo; pj <= jhi; ++pj) {
+            bool active = false;
+            for (const transform::FusedLoopBody& b : fp.bodies) {
+                if (dom.contains(pi + b.retiming.x, pj + b.retiming.y)) {
+                    active = true;
+                    break;
+                }
+            }
+            if (active) {
+                const std::int64_t t = s.x * pi + s.y * pj;
+                buckets[static_cast<std::size_t>(t - tlo)].push_back(Vec2{pi, pj});
+            }
+        }
+    }
+    for (const auto& bucket : buckets) {
+        if (bucket.empty()) continue;
+        for (const Vec2& p : bucket) {
+            stats.instances += run_point(fp, dom, p.x, p.y, store);
+        }
+        ++stats.barriers;  // one barrier terminates each hyperplane
+    }
+    stats.phases = stats.barriers;
+    return stats;
+}
+
+ExecStats run_fused_blocked(const transform::FusedProgram& fp, const Domain& dom,
+                            ArrayStore& store, int processors) {
+    check(processors >= 1, "run_fused_blocked: need at least one processor");
+    ExecStats stats;
+    const std::int64_t jlo = fp.point_j_lo(), jhi = fp.point_j_hi(dom);
+    const std::int64_t width = jhi - jlo + 1;
+    const std::int64_t block = (width + processors - 1) / processors;
+    for (std::int64_t pi = fp.point_i_lo(); pi <= fp.point_i_hi(dom); ++pi) {
+        std::int64_t row_instances = 0;
+        for (int proc = 0; proc < processors; ++proc) {
+            store.set_trace_processor(static_cast<std::int16_t>(proc));
+            const std::int64_t my_lo = jlo + proc * block;
+            const std::int64_t my_hi = std::min(jhi, my_lo + block - 1);
+            for (std::int64_t pj = my_lo; pj <= my_hi; ++pj) {
+                row_instances += run_point(fp, dom, pi, pj, store);
+            }
+        }
+        if (row_instances > 0) {
+            stats.instances += row_instances;
+            ++stats.barriers;
+        }
+    }
+    store.set_trace_processor(-1);
+    stats.phases = stats.barriers;
+    return stats;
+}
+
+ExecStats run_original_blocked(const ir::Program& p, const Domain& dom, ArrayStore& store,
+                               int processors) {
+    check(processors >= 1, "run_original_blocked: need at least one processor");
+    ExecStats stats;
+    const std::int64_t block = (dom.cols() + processors - 1) / processors;
+    for (std::int64_t i = 0; i <= dom.n; ++i) {
+        for (const ir::LoopNest& loop : p.loops) {
+            for (int proc = 0; proc < processors; ++proc) {
+                store.set_trace_processor(static_cast<std::int16_t>(proc));
+                const std::int64_t my_lo = proc * block;
+                const std::int64_t my_hi = std::min(dom.m, my_lo + block - 1);
+                for (std::int64_t j = my_lo; j <= my_hi; ++j) {
+                    for (const ir::Statement& s : loop.body) {
+                        const double value = s.eval(store, i, j);
+                        const Vec2 cell = s.target.cell(i, j);
+                        store.store(s.target.array, cell.x, cell.y, value);
+                        ++stats.instances;
+                    }
+                }
+            }
+            ++stats.barriers;
+        }
+    }
+    store.set_trace_processor(-1);
+    stats.phases = stats.barriers;
+    return stats;
+}
+
+ExecStats run_fused_peeled(const transform::FusedProgram& fp, const Domain& dom,
+                           ArrayStore& store) {
+    check(fp.level == ParallelismLevel::InnerDoall,
+          "run_fused_peeled: only inner-DOALL plans have a row-peeled form");
+    ExecStats stats;
+    const std::int64_t ilo = fp.point_i_lo(), ihi = fp.point_i_hi(dom);
+    const std::int64_t main_ilo = fp.main_i_lo(), main_ihi = fp.main_i_hi(dom);
+    const std::int64_t jlo_all = fp.point_j_lo(), jhi_all = fp.point_j_hi(dom);
+    const std::int64_t main_jlo = fp.main_j_lo(), main_jhi = fp.main_j_hi(dom);
+    const bool has_steady = main_ilo <= main_ihi && main_jlo <= main_jhi;
+
+    // Executes one row as a sequence of stand-alone per-body DOALL loops
+    // (the prologue/epilogue row form): one barrier per active body.
+    auto run_row_per_body = [&](std::int64_t pi) {
+        for (const transform::FusedLoopBody& b : fp.bodies) {
+            const std::int64_t qi = pi + b.retiming.x;
+            if (qi < 0 || qi > dom.n) continue;
+            for (std::int64_t pj = -b.retiming.y; pj <= dom.m - b.retiming.y; ++pj) {
+                stats.instances += run_instance(b, qi, pj + b.retiming.y, store);
+            }
+            ++stats.barriers;
+        }
+    };
+
+    for (std::int64_t pi = ilo; pi <= ihi; ++pi) {
+        if (!has_steady || pi < main_ilo || pi > main_ihi) {
+            run_row_per_body(pi);
+            continue;
+        }
+        // Steady-state row: j-prologue peels (serial, per body) ...
+        for (const transform::FusedLoopBody& b : fp.bodies) {
+            const std::int64_t b_lo = -b.retiming.y;
+            for (std::int64_t pj = std::max(b_lo, jlo_all); pj < main_jlo; ++pj) {
+                stats.instances += run_point_for_body(fp, dom, b, pi, pj, store);
+            }
+        }
+        // ... the fused DOALL core (one barrier) ...
+        for (std::int64_t pj = main_jlo; pj <= main_jhi; ++pj) {
+            stats.instances += run_point(fp, dom, pi, pj, store);
+        }
+        // ... and j-epilogue peels.
+        for (const transform::FusedLoopBody& b : fp.bodies) {
+            const std::int64_t b_hi = dom.m - b.retiming.y;
+            for (std::int64_t pj = main_jhi + 1; pj <= std::min(b_hi, jhi_all); ++pj) {
+                stats.instances += run_point_for_body(fp, dom, b, pi, pj, store);
+            }
+        }
+        ++stats.barriers;
+    }
+    stats.phases = stats.barriers;
+    return stats;
+}
+
+ExecStats run_fused_threaded(const transform::FusedProgram& fp, const Domain& dom,
+                             ArrayStore& store, int num_threads) {
+    check(fp.level == ParallelismLevel::InnerDoall,
+          "run_fused_threaded: plan's fused rows are not DOALL; use run_wavefront");
+    check(!store.tracing(), "run_fused_threaded: tracing is single-threaded only");
+    check(num_threads >= 1, "run_fused_threaded: need at least one thread");
+
+    const std::int64_t ilo = fp.point_i_lo(), ihi = fp.point_i_hi(dom);
+    const std::int64_t jlo = fp.point_j_lo(), jhi = fp.point_j_hi(dom);
+    const std::int64_t width = jhi - jlo + 1;
+
+    std::atomic<std::int64_t> instances{0};
+    std::barrier row_barrier(num_threads);
+
+    auto worker = [&](int tid) {
+        // Static partition of the j-range.
+        const std::int64_t chunk = (width + num_threads - 1) / num_threads;
+        const std::int64_t my_lo = jlo + tid * chunk;
+        const std::int64_t my_hi = std::min(jhi, my_lo + chunk - 1);
+        std::int64_t my_instances = 0;
+        for (std::int64_t pi = ilo; pi <= ihi; ++pi) {
+            for (std::int64_t pj = my_lo; pj <= my_hi; ++pj) {
+                my_instances += run_point(fp, dom, pi, pj, store);
+            }
+            row_barrier.arrive_and_wait();  // end-of-row synchronization
+        }
+        instances.fetch_add(my_instances, std::memory_order_relaxed);
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(num_threads));
+    for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+    for (auto& t : threads) t.join();
+
+    ExecStats stats;
+    stats.instances = instances.load();
+    stats.barriers = ihi - ilo + 1;  // one barrier per fused row
+    stats.phases = stats.barriers;
+    return stats;
+}
+
+}  // namespace lf::exec

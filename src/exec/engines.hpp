@@ -1,0 +1,77 @@
+#pragma once
+// Execution engines. All engines execute every original statement instance
+// exactly once over the domain; they differ in *order* and in where the
+// synchronization barriers fall:
+//
+//   run_original        -- loop-by-loop, as written: |V| barriers per outer
+//                          iteration (one after each DOALL loop).
+//   run_fused_rowwise   -- the fused nest, row by row (schedule s = (1,0)):
+//                          one barrier per fused row. Rows are executed
+//                          left-to-right so it is also correct for
+//                          LLOFRA-only plans whose rows are serial.
+//   run_wavefront       -- hyperplane schedule: points grouped by t = s.p,
+//                          one barrier per non-empty hyperplane.
+//   run_fused_threaded  -- run_fused_rowwise with real std::threads splitting
+//                          each row; requires an inner-DOALL plan. Validates
+//                          the DOALL claim mechanically.
+//
+// Every engine returns ExecStats with the barrier count -- the quantity the
+// paper's synchronization-overhead argument is about.
+
+#include <cstdint>
+
+#include "exec/store.hpp"
+#include "ir/ast.hpp"
+#include "support/domain.hpp"
+#include "transform/fused_program.hpp"
+
+namespace lf::exec {
+
+struct ExecStats {
+    std::int64_t barriers = 0;
+    /// Statement instances executed.
+    std::int64_t instances = 0;
+    /// Parallel phases with at least one instance (equals barriers).
+    std::int64_t phases = 0;
+};
+
+[[nodiscard]] ExecStats run_original(const ir::Program& p, const Domain& dom, ArrayStore& store);
+
+[[nodiscard]] ExecStats run_fused_rowwise(const transform::FusedProgram& fp, const Domain& dom,
+                                          ArrayStore& store);
+
+[[nodiscard]] ExecStats run_wavefront(const transform::FusedProgram& fp, const Domain& dom,
+                                      ArrayStore& store);
+
+/// Threaded rowwise execution. Throws lf::Error unless fp.level is
+/// InnerDoall (rows of other plans are not safe to split) or if the store
+/// has tracing/order-checking enabled (those are single-threaded modes).
+[[nodiscard]] ExecStats run_fused_threaded(const transform::FusedProgram& fp, const Domain& dom,
+                                           ArrayStore& store, int num_threads);
+
+/// Sequential simulation of block-partitioned execution: each fused row is
+/// split into `processors` contiguous j-blocks executed block-by-block
+/// (processor 0's block first, then 1's, ...). Semantically identical to
+/// run_fused_rowwise; its purpose is the *trace*: with tracing enabled,
+/// every access is tagged with its owning processor, so private per-
+/// processor caches can be simulated (sim::simulate_private_caches).
+[[nodiscard]] ExecStats run_fused_blocked(const transform::FusedProgram& fp, const Domain& dom,
+                                          ArrayStore& store, int processors);
+
+/// Block-partitioned simulation of the *original* schedule (per loop, per
+/// row, block by block), for the same purpose.
+[[nodiscard]] ExecStats run_original_blocked(const ir::Program& p, const Domain& dom,
+                                             ArrayStore& store, int processors);
+
+/// Executes the *peeled* program structure emitted by
+/// transform::emit_fused_peeled (paper Figure 12(b)): prologue rows as
+/// stand-alone per-body DOALL loops, a steady state of per-row j-peels plus
+/// one fused DOALL core, then epilogue rows. Rows whose steady-state ranges
+/// degenerate (domains smaller than the retiming spread) fall back to
+/// per-body loops. Semantically validates the generated code shape, and
+/// reports the barrier count that code shape actually pays.
+/// Requires an inner-DOALL plan.
+[[nodiscard]] ExecStats run_fused_peeled(const transform::FusedProgram& fp, const Domain& dom,
+                                         ArrayStore& store);
+
+}  // namespace lf::exec

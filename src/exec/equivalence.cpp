@@ -1,0 +1,77 @@
+#include "exec/equivalence.hpp"
+
+#include <sstream>
+
+#include "analysis/dependence.hpp"
+#include "support/diagnostics.hpp"
+#include "transform/fused_program.hpp"
+
+namespace lf::exec {
+
+std::optional<std::string> first_difference(const ir::Program& p, const Domain& dom,
+                                            const ArrayStore& a, const ArrayStore& b) {
+    for (const std::string& name : p.written_arrays()) {
+        const Array2D& aa = a.array(name);
+        const Array2D& bb = b.array(name);
+        for (std::int64_t i = 0; i <= dom.n; ++i) {
+            for (std::int64_t j = 0; j <= dom.m; ++j) {
+                // Written cells may lie slightly outside the domain rectangle
+                // (constant target offsets); the domain cells are the
+                // canonical result region and cover every produced value
+                // consumed inside the domain.
+                if (!aa.in_bounds(i, j) || !bb.in_bounds(i, j)) continue;
+                if (aa.at(i, j) != bb.at(i, j)) {
+                    std::ostringstream os;
+                    os << name << '[' << i << "][" << j << "]: " << aa.at(i, j)
+                       << " != " << bb.at(i, j);
+                    return os.str();
+                }
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+VerificationResult verify_fusion(const ir::Program& p, const Domain& dom, EngineKind engine,
+                                 int num_threads) {
+    const Mldg g = analysis::build_mldg(p);
+    const FusionPlan plan = plan_fusion(g);
+    const transform::FusedProgram fp = transform::fuse_program(p, plan);
+
+    // Halo must absorb subscript offsets; retiming only moves *when* an
+    // instance runs, not *which* cells it touches, so the program's own
+    // max offset suffices for both runs.
+    ArrayStore golden(p, dom);
+    ArrayStore subject(p, dom);
+
+    VerificationResult result;
+    result.original = run_original(p, dom, golden);
+    switch (engine) {
+        case EngineKind::FusedRowwise:
+            // Sequential lexicographic order respects every dependence
+            // >= (0,0), so the rowwise engine is valid for all plan levels
+            // (rows are only *parallel* for inner-DOALL plans).
+            result.transformed = run_fused_rowwise(fp, dom, subject);
+            break;
+        case EngineKind::Peeled:
+            result.transformed = plan.level == ParallelismLevel::InnerDoall
+                                     ? run_fused_peeled(fp, dom, subject)
+                                     : run_wavefront(fp, dom, subject);
+            break;
+        case EngineKind::Wavefront:
+            result.transformed = run_wavefront(fp, dom, subject);
+            break;
+        case EngineKind::Threaded:
+            result.transformed = plan.level == ParallelismLevel::InnerDoall
+                                     ? run_fused_threaded(fp, dom, subject, num_threads)
+                                     : run_wavefront(fp, dom, subject);
+            break;
+    }
+
+    const auto diff = first_difference(p, dom, golden, subject);
+    result.equivalent = !diff.has_value();
+    result.detail = diff.value_or("");
+    return result;
+}
+
+}  // namespace lf::exec

@@ -1,0 +1,37 @@
+#pragma once
+// Golden-output equivalence: the transformed program must compute exactly
+// the same array contents as the original, bit for bit (every engine
+// executes the same floating-point operations per instance, so exact
+// equality is the right check).
+
+#include <optional>
+#include <string>
+
+#include "exec/engines.hpp"
+#include "fusion/driver.hpp"
+#include "ir/ast.hpp"
+
+namespace lf::exec {
+
+/// First difference between the two stores over the domain cells of the
+/// arrays written by `p` (halo cells are initialization, not results);
+/// nullopt when identical.
+[[nodiscard]] std::optional<std::string> first_difference(const ir::Program& p, const Domain& dom,
+                                                          const ArrayStore& a,
+                                                          const ArrayStore& b);
+
+struct VerificationResult {
+    bool equivalent = false;
+    std::string detail;  // mismatch description, empty when equivalent
+    ExecStats original;
+    ExecStats transformed;
+};
+
+enum class EngineKind { FusedRowwise, Peeled, Wavefront, Threaded };
+
+/// Plans fusion for `p`, executes original and transformed forms on
+/// independently initialized stores, and compares results.
+[[nodiscard]] VerificationResult verify_fusion(const ir::Program& p, const Domain& dom,
+                                               EngineKind engine, int num_threads = 2);
+
+}  // namespace lf::exec

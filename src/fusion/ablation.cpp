@@ -1,0 +1,70 @@
+#include "fusion/ablation.hpp"
+
+#include <algorithm>
+
+#include "graph/constraint_system.hpp"
+#include "ldg/legality.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lf::ablation {
+
+std::optional<Retiming> cyclic_doall_all_hard(const Mldg& g) {
+    check(is_schedulable(g), "cyclic_doall_all_hard: input MLDG is not schedulable");
+    DifferenceConstraintSystem<std::int64_t> sys;
+    for (int v = 0; v < g.num_nodes(); ++v) sys.add_variable(g.node(v).name);
+    for (const auto& e : g.edges()) {
+        sys.add_constraint(e.from, e.to, e.delta().x - 1);
+    }
+    const auto solution = sys.solve();
+    if (!solution.feasible) return std::nullopt;
+    Retiming r(g.num_nodes());
+    for (int v = 0; v < g.num_nodes(); ++v) {
+        r.of(v) = Vec2{solution.values[static_cast<std::size_t>(v)], 0};
+    }
+    return r;
+}
+
+Retiming acyclic_doall_keep_y(const Mldg& g) {
+    check(g.is_acyclic(), "acyclic_doall_keep_y: input MLDG has a cycle");
+    check(is_schedulable(g), "acyclic_doall_keep_y: input MLDG is not schedulable");
+    DifferenceConstraintSystem<Vec2> sys;
+    for (int v = 0; v < g.num_nodes(); ++v) sys.add_variable(g.node(v).name);
+    for (const auto& e : g.edges()) {
+        sys.add_constraint(e.from, e.to, e.delta() - Vec2{1, -1});
+    }
+    const auto solution = sys.solve();
+    check(solution.feasible, "acyclic_doall_keep_y: internal error");
+    return Retiming(solution.values);
+}
+
+std::int64_t prologue_rows(const Retiming& r) {
+    std::int64_t lo = 0, hi = 0;
+    for (int v = 0; v < r.num_nodes(); ++v) {
+        lo = std::min(lo, r.of(v).x);
+        hi = std::max(hi, r.of(v).x);
+    }
+    return hi - lo;
+}
+
+std::int64_t inner_peels(const Retiming& r) {
+    std::int64_t lo = 0, hi = 0;
+    for (int v = 0; v < r.num_nodes(); ++v) {
+        lo = std::min(lo, r.of(v).y);
+        hi = std::max(hi, r.of(v).y);
+    }
+    return hi - lo;
+}
+
+bool program_order_body_would_be_wrong(const Mldg& retimed) {
+    for (int eid = 0; eid < retimed.num_edges(); ++eid) {
+        const auto& e = retimed.edge(eid);
+        if (retimed.is_self_edge(eid)) continue;
+        const bool backward = retimed.is_backward_edge(eid);
+        for (const Vec2& d : e.vectors) {
+            if (d.is_zero() && backward) return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace lf::ablation

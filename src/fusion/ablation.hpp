@@ -1,0 +1,44 @@
+#pragma once
+// Ablation variants of the paper's design choices, for the ablation bench
+// (bench/fig_ablation). Each variant removes one deliberate refinement so
+// its contribution can be measured:
+//
+//   * cyclic_doall_all_hard  -- Algorithm 4 with *every* edge treated as
+//     hard in phase 1 (forced outer-carried). Shows why the paper's
+//     selective hard-edge handling matters: forcing all edges fails on any
+//     cycle whose x-weight is below its edge count, and deepens prologues.
+//   * acyclic_doall_keep_y   -- Algorithm 3 without its final y-zeroing
+//     step. Shows the cost the paper avoids: spurious inner-dimension
+//     shifts, i.e. j-peels, for no parallelism benefit.
+//   * plan_without_body_reorder -- counts how often a plain program-order
+//     fused body would be *incorrect* for a LLOFRA retiming ((0,0)
+//     dependences landing against statement order), motivating the
+//     fused-body reordering of DESIGN.md fidelity note 1.
+
+#include <optional>
+
+#include "ldg/mldg.hpp"
+#include "ldg/retiming.hpp"
+
+namespace lf::ablation {
+
+/// Algorithm 4 with all edges forced outer-carried in phase 1. Returns the
+/// retiming when feasible.
+[[nodiscard]] std::optional<Retiming> cyclic_doall_all_hard(const Mldg& g);
+
+/// Algorithm 3 without the final y-zeroing.
+[[nodiscard]] Retiming acyclic_doall_keep_y(const Mldg& g);
+
+/// Max spread of the first retiming components (the number of prologue /
+/// epilogue *rows* the transformed code pays).
+[[nodiscard]] std::int64_t prologue_rows(const Retiming& r);
+
+/// Max spread of the second retiming components (the number of peeled
+/// iterations per row).
+[[nodiscard]] std::int64_t inner_peels(const Retiming& r);
+
+/// True when fusing `retimed` with plain program order would violate some
+/// (0,0) dependence (i.e. body reordering is load-bearing for this plan).
+[[nodiscard]] bool program_order_body_would_be_wrong(const Mldg& retimed);
+
+}  // namespace lf::ablation

@@ -1,0 +1,26 @@
+#include "fusion/acyclic_doall.hpp"
+
+#include "graph/constraint_system.hpp"
+#include "ldg/legality.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lf {
+
+Retiming acyclic_doall_fusion(const Mldg& g) {
+    check(is_schedulable(g), "acyclic_doall_fusion: input MLDG is not schedulable");
+    check(g.is_acyclic(), "acyclic_doall_fusion: input MLDG has a cycle; use "
+                          "cyclic_doall_fusion or hyperplane_fusion");
+    DifferenceConstraintSystem<Vec2> sys;
+    for (int i = 0; i < g.num_nodes(); ++i) sys.add_variable(g.node(i).name);
+    for (const auto& e : g.edges()) {
+        sys.add_constraint(e.from, e.to, e.delta() - Vec2{1, -1});
+    }
+    const auto solution = sys.solve();
+    // The constraint graph is acyclic, so a negative cycle is impossible.
+    check(solution.feasible, "acyclic_doall_fusion: internal error (acyclic system infeasible)");
+    Retiming r(solution.values);
+    for (int i = 0; i < g.num_nodes(); ++i) r.of(i).y = 0;  // paper Alg. 3, final loop
+    return r;
+}
+
+}  // namespace lf

@@ -1,0 +1,23 @@
+#pragma once
+// Algorithm 3: legal loop fusion with full innermost parallelism for acyclic
+// 2LDGs (Theorem 4.1).
+//
+// Constructs the constraint graph with weights  delta(e) - (1,-1)  so that
+// every retimed minimal vector satisfies delta_r(e) >= (1,-1); since the
+// x-component of a lexicographic minimum is the minimum x over D_L, this
+// forces *every* dependence vector to have x >= 1 after retiming, which makes
+// the fused innermost loop DOALL (Property 4.1: strict schedule s = (1,0)).
+// Following the paper, the second retiming component is zeroed afterwards --
+// only the x-shift matters for the guarantee, and pure-x retimings need no
+// inner-dimension prologue.
+
+#include "ldg/mldg.hpp"
+#include "ldg/retiming.hpp"
+
+namespace lf {
+
+/// Requires `g` legal and acyclic (throws lf::Error otherwise); always
+/// succeeds on such inputs.
+[[nodiscard]] Retiming acyclic_doall_fusion(const Mldg& g);
+
+}  // namespace lf

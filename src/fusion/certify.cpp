@@ -1,0 +1,78 @@
+#include "fusion/certify.hpp"
+
+#include <algorithm>
+
+#include "ldg/legality.hpp"
+
+namespace lf {
+
+PlanCertificate certify_plan(const Mldg& original, const FusionPlan& plan) {
+    PlanCertificate cert;
+    auto fail = [&cert](const std::string& msg) {
+        cert.valid = false;
+        cert.violations.push_back(msg);
+    };
+
+    const int n = original.num_nodes();
+    if (plan.retiming.num_nodes() != n || plan.retimed.num_nodes() != n) {
+        fail("size mismatch between plan and original graph");
+        return cert;
+    }
+
+    // C3 + C4: recompute the retimed graph and compare edge by edge. An
+    // exact match also certifies cycle-weight preservation (weights are
+    // derived from the same retiming on both sides).
+    const Mldg recomputed = plan.retiming.apply(original);
+    if (recomputed.num_edges() != plan.retimed.num_edges()) {
+        fail("retimed graph edge count does not match retiming.apply(original)");
+    } else {
+        for (const auto& e : recomputed.edges()) {
+            const auto found = plan.retimed.find_edge(e.from, e.to);
+            if (!found || plan.retimed.edge(*found).vectors != e.vectors) {
+                fail("retimed graph disagrees with retiming.apply(original) on edge " +
+                     original.node(e.from).name + " -> " + original.node(e.to).name);
+                break;
+            }
+        }
+    }
+
+    // C2: body order is a permutation of the nodes.
+    {
+        std::vector<int> sorted = plan.body_order;
+        std::sort(sorted.begin(), sorted.end());
+        for (int v = 0; v < n; ++v) {
+            if (v >= static_cast<int>(sorted.size()) || sorted[static_cast<std::size_t>(v)] != v) {
+                fail("body order is not a permutation of the loop nodes");
+                break;
+            }
+        }
+    }
+
+    // C1 + C2: fusion legality under the body order.
+    if (static_cast<int>(plan.body_order.size()) == n &&
+        !is_fusion_legal(plan.retimed, plan.body_order)) {
+        fail("fusion is illegal: some retimed dependence is below (0,0) or a (0,0) "
+             "dependence violates the body order");
+    }
+
+    // C5: strict schedule, perpendicular hyperplane.
+    if (!is_strict_schedule_vector(plan.retimed, plan.schedule)) {
+        fail("schedule vector is not strict for the retimed graph");
+    }
+    if (plan.schedule.dot(plan.hyperplane) != 0) {
+        fail("hyperplane is not perpendicular to the schedule");
+    }
+    if (plan.schedule.is_zero()) {
+        fail("schedule vector is zero");
+    }
+
+    // C6: Property 4.2 for inner-DOALL plans.
+    if (plan.level == ParallelismLevel::InnerDoall &&
+        static_cast<int>(plan.body_order.size()) == n &&
+        !is_fused_inner_doall(plan.retimed, plan.body_order)) {
+        fail("plan claims inner-DOALL but Property 4.2 fails");
+    }
+    return cert;
+}
+
+}  // namespace lf

@@ -1,0 +1,36 @@
+#pragma once
+// Independent certification of fusion plans. plan_fusion() asserts its own
+// postconditions, but a library consumer (or a plan loaded/constructed
+// externally) deserves a standalone checker that re-derives every condition
+// the paper requires from first principles:
+//
+//   C1  the retimed graph's dependence vectors are all >= (0,0);
+//   C2  the body order is a permutation consistent with every retimed (0,0)
+//       dependence;
+//   C3  the retimed graph really is `retiming.apply(original)` (no stale or
+//       tampered copy);
+//   C4  cycle weights are preserved (retiming validity, Section 2.3);
+//   C5  the schedule vector is strict (s . d > 0 for nonzero d) and the
+//       hyperplane is perpendicular to it;
+//   C6  inner-DOALL plans satisfy Property 4.2 (every vector has x >= 1 or
+//       is (0,0) respecting body order).
+
+#include <string>
+#include <vector>
+
+#include "fusion/driver.hpp"
+
+namespace lf {
+
+struct PlanCertificate {
+    bool valid = true;
+    std::vector<std::string> violations;
+
+    explicit operator bool() const { return valid; }
+};
+
+/// Checks C1-C6 for `plan` against `original`. Never throws on a bad plan;
+/// every problem is reported as a violation string.
+[[nodiscard]] PlanCertificate certify_plan(const Mldg& original, const FusionPlan& plan);
+
+}  // namespace lf

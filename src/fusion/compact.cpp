@@ -1,0 +1,120 @@
+#include "fusion/compact.hpp"
+
+#include <algorithm>
+
+#include "fusion/cyclic_doall.hpp"
+#include "graph/constraint_system.hpp"
+#include "ldg/legality.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lf {
+
+namespace {
+
+struct XConstraint {
+    int from;
+    int to;
+    std::int64_t bound;
+};
+
+std::int64_t spread_of(const std::vector<std::int64_t>& values) {
+    const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+    return *hi - *lo;
+}
+
+/// Solves the base system plus pairwise spread bounds; nullopt if infeasible.
+std::optional<std::vector<std::int64_t>> solve_with_spread(
+    int num_nodes, const std::vector<XConstraint>& base, std::int64_t spread) {
+    DifferenceConstraintSystem<std::int64_t> sys;
+    for (int v = 0; v < num_nodes; ++v) sys.add_variable();
+    for (const XConstraint& c : base) sys.add_constraint(c.from, c.to, c.bound);
+    for (int u = 0; u < num_nodes; ++u) {
+        for (int v = 0; v < num_nodes; ++v) {
+            if (u != v) sys.add_constraint(u, v, spread);  // x_v - x_u <= spread
+        }
+    }
+    auto solution = sys.solve();
+    if (!solution.feasible) return std::nullopt;
+    return std::move(solution.values);
+}
+
+/// Minimum-spread solution of the base system, assuming it is feasible.
+std::vector<std::int64_t> min_spread_solution(int num_nodes,
+                                              const std::vector<XConstraint>& base) {
+    DifferenceConstraintSystem<std::int64_t> sys;
+    for (int v = 0; v < num_nodes; ++v) sys.add_variable();
+    for (const XConstraint& c : base) sys.add_constraint(c.from, c.to, c.bound);
+    const auto unconstrained = sys.solve();
+    check(unconstrained.feasible, "min_spread_solution: base system infeasible");
+
+    std::int64_t hi = spread_of(unconstrained.values);
+    std::vector<std::int64_t> best = unconstrained.values;
+    std::int64_t lo = 0;
+    while (lo < hi) {
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        if (auto solution = solve_with_spread(num_nodes, base, mid)) {
+            best = std::move(*solution);
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+std::optional<Retiming> cyclic_doall_fusion_compact(const Mldg& g) {
+    check(is_schedulable(g), "cyclic_doall_fusion_compact: input MLDG is not schedulable");
+
+    // Phase 1 constraints, exactly as in cyclic_doall_fusion.
+    std::vector<XConstraint> base;
+    base.reserve(static_cast<std::size_t>(g.num_edges()));
+    for (const auto& e : g.edges()) {
+        base.push_back({e.from, e.to, e.delta().x - (e.is_hard() ? 1 : 0)});
+    }
+    {
+        DifferenceConstraintSystem<std::int64_t> probe;
+        for (int v = 0; v < g.num_nodes(); ++v) probe.add_variable();
+        for (const XConstraint& c : base) probe.add_constraint(c.from, c.to, c.bound);
+        if (!probe.solve().feasible) return std::nullopt;  // same failure as phase 1
+    }
+    const std::vector<std::int64_t> rx = min_spread_solution(g.num_nodes(), base);
+
+    // Phase 2 against the compacted x-solution.
+    DifferenceConstraintSystem<std::int64_t> sys_y;
+    for (int v = 0; v < g.num_nodes(); ++v) sys_y.add_variable();
+    for (const auto& e : g.edges()) {
+        if (e.is_hard()) continue;
+        const std::int64_t retimed_x = e.delta().x + rx[static_cast<std::size_t>(e.from)] -
+                                       rx[static_cast<std::size_t>(e.to)];
+        if (retimed_x != 0) continue;
+        sys_y.add_equality(e.from, e.to, e.delta().y);
+    }
+    const auto sol_y = sys_y.solve();
+    if (!sol_y.feasible) {
+        // Compaction changed the zero-x edge set unfavourably; fall back.
+        return cyclic_doall_fusion(g).retiming;
+    }
+    Retiming r(g.num_nodes());
+    for (int v = 0; v < g.num_nodes(); ++v) {
+        r.of(v) = Vec2{rx[static_cast<std::size_t>(v)], sol_y.values[static_cast<std::size_t>(v)]};
+    }
+    return r;
+}
+
+Retiming acyclic_doall_fusion_compact(const Mldg& g) {
+    check(g.is_acyclic(), "acyclic_doall_fusion_compact: input MLDG has a cycle");
+    check(is_schedulable(g), "acyclic_doall_fusion_compact: input MLDG is not schedulable");
+    std::vector<XConstraint> base;
+    base.reserve(static_cast<std::size_t>(g.num_edges()));
+    for (const auto& e : g.edges()) {
+        base.push_back({e.from, e.to, e.delta().x - 1});
+    }
+    const std::vector<std::int64_t> rx = min_spread_solution(g.num_nodes(), base);
+    Retiming r(g.num_nodes());
+    for (int v = 0; v < g.num_nodes(); ++v) r.of(v) = Vec2{rx[static_cast<std::size_t>(v)], 0};
+    return r;
+}
+
+}  // namespace lf

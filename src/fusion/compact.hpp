@@ -1,0 +1,38 @@
+#pragma once
+// Retiming spread optimization -- and the optimality result it uncovers.
+//
+// The *x-spread* (max_u r_x(u) - min_u r_x(u)) is exactly the number of
+// prologue/epilogue rows the transformed code pays (ablation::
+// prologue_rows). These entry points find the minimum-spread solution of an
+// algorithm's x-constraint system by binary-searching the largest feasible
+// pairwise bound  x_u - x_v <= S  (still a difference system; feasibility
+// is monotone in S).
+//
+// OPTIMALITY RESULT (verified by tests/test_compact.cpp and the A4 ablation,
+// and provable): the plain all-sources Bellman-Ford solution the paper's
+// algorithms already use is spread-minimal. Its values are
+// x_v = min_u d(u, v) <= 0 (d = shortest constraint-graph distance), so its
+// spread is max_v max_u (-d(u, v)) -- and ANY feasible solution has
+// x_v - x_u >= -d(u, v) for every pair, so no solution can do better.
+// The binary search therefore never improves the spread; it serves as an
+// independent, executable cross-check of that optimality (and can still
+// pick a different solution of equal spread, after which Algorithm 4's
+// phase 2 is re-validated, with fallback to the plain solution).
+
+#include <optional>
+
+#include "ldg/mldg.hpp"
+#include "ldg/retiming.hpp"
+
+namespace lf {
+
+/// Algorithm 4 with x-spread minimization. Same success set as
+/// cyclic_doall_fusion (falls back to its solution if the compacted phase 1
+/// breaks phase 2).
+[[nodiscard]] std::optional<Retiming> cyclic_doall_fusion_compact(const Mldg& g);
+
+/// Algorithm 3 with x-spread minimization (y components zero, as in the
+/// paper). Requires an acyclic, schedulable graph.
+[[nodiscard]] Retiming acyclic_doall_fusion_compact(const Mldg& g);
+
+}  // namespace lf

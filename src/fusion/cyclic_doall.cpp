@@ -1,0 +1,57 @@
+#include "fusion/cyclic_doall.hpp"
+
+#include <cstdint>
+
+#include "graph/constraint_system.hpp"
+#include "ldg/legality.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lf {
+
+CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g) {
+    check(is_schedulable(g), "cyclic_doall_fusion: input MLDG is not schedulable");
+    CyclicDoallOutcome out;
+
+    // ---- Phase 1: first retiming component. ----
+    // Hard edges must end outer-loop-carried (retimed x >= 1); all others may
+    // stay within one outer iteration (retimed x >= 0).
+    DifferenceConstraintSystem<std::int64_t> sys_x;
+    for (int i = 0; i < g.num_nodes(); ++i) sys_x.add_variable(g.node(i).name);
+    for (const auto& e : g.edges()) {
+        sys_x.add_constraint(e.from, e.to, e.delta().x - (e.is_hard() ? 1 : 0));
+    }
+    const auto sol_x = sys_x.solve();
+    if (!sol_x.feasible) {
+        out.failed_phase = 1;
+        return out;
+    }
+
+    // ---- Phase 2: second retiming component. ----
+    // Only non-hard forward edges whose x-retimed weight is exactly zero are
+    // constrained: they must land on (0,0), hence an equality on y.
+    DifferenceConstraintSystem<std::int64_t> sys_y;
+    for (int i = 0; i < g.num_nodes(); ++i) sys_y.add_variable(g.node(i).name);
+    for (const auto& e : g.edges()) {
+        if (e.is_hard()) continue;
+        const std::int64_t retimed_x = e.delta().x +
+                                       sol_x.values[static_cast<std::size_t>(e.from)] -
+                                       sol_x.values[static_cast<std::size_t>(e.to)];
+        if (retimed_x != 0) continue;
+        sys_y.add_equality(e.from, e.to, e.delta().y);
+    }
+    const auto sol_y = sys_y.solve();
+    if (!sol_y.feasible) {
+        out.failed_phase = 2;
+        return out;
+    }
+
+    Retiming r(g.num_nodes());
+    for (int i = 0; i < g.num_nodes(); ++i) {
+        r.of(i) = Vec2{sol_x.values[static_cast<std::size_t>(i)],
+                       sol_y.values[static_cast<std::size_t>(i)]};
+    }
+    out.retiming = std::move(r);
+    return out;
+}
+
+}  // namespace lf

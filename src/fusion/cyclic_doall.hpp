@@ -1,0 +1,37 @@
+#pragma once
+// Algorithm 4: legal loop fusion with full innermost parallelism for cyclic
+// 2LDGs (Theorem 4.2).
+//
+// Two phases of ordinary (1-D) Bellman-Ford:
+//   Phase 1 (x): solve  r_x(v) - r_x(u) <= delta(e).x - [e is hard]  so hard
+//     edges end with retimed x >= 1 and all other edges with retimed x >= 0.
+//   Phase 2 (y): every non-hard edge whose x-retimed weight is zero must end
+//     exactly at (0,0); encode  r_y(v) - r_y(u) == delta(e).y  as a
+//     constraint pair (edge + negated back-edge) and solve. Edges forced to
+//     (0,0) are honored by the fused body's statement order, which the driver
+//     recomputes as a topological order of the (0,0)-dependence subgraph
+//     (always acyclic here: a (0,0)-cycle would be a zero-weight cycle,
+//     excluded by schedulability).
+// Either phase's constraint graph containing a negative cycle means no
+// retiming can make the fused innermost loop DOALL (the "only if" direction
+// of Theorem 4.2); the caller then falls back to hyperplane_fusion.
+
+#include <optional>
+
+#include "ldg/mldg.hpp"
+#include "ldg/retiming.hpp"
+
+namespace lf {
+
+struct CyclicDoallOutcome {
+    /// Present iff both phases were feasible.
+    std::optional<Retiming> retiming;
+    /// Which phase failed (1 or 2); 0 on success. For reports/diagnostics.
+    int failed_phase = 0;
+};
+
+/// Requires `g` legal (throws lf::Error otherwise). Accepts acyclic graphs
+/// too (both phases are then trivially feasible).
+[[nodiscard]] CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g);
+
+}  // namespace lf

@@ -1,0 +1,106 @@
+#include "fusion/driver.hpp"
+
+#include <sstream>
+
+#include "fusion/ablation.hpp"
+#include "fusion/compact.hpp"
+#include "fusion/acyclic_doall.hpp"
+#include "fusion/cyclic_doall.hpp"
+#include "fusion/hyperplane.hpp"
+#include "ldg/legality.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lf {
+
+std::string to_string(ParallelismLevel level) {
+    switch (level) {
+        case ParallelismLevel::InnerDoall: return "inner-DOALL";
+        case ParallelismLevel::Hyperplane: return "DOALL-hyperplane";
+    }
+    return "?";
+}
+
+std::string to_string(AlgorithmUsed algorithm) {
+    switch (algorithm) {
+        case AlgorithmUsed::AcyclicDoall: return "Algorithm 3 (acyclic)";
+        case AlgorithmUsed::CyclicDoall: return "Algorithm 4 (cyclic two-phase)";
+        case AlgorithmUsed::CyclicDoallForced: return "Algorithm 4 variant (forced carry)";
+        case AlgorithmUsed::Hyperplane: return "Algorithm 5 (hyperplane)";
+    }
+    return "?";
+}
+
+FusionPlan plan_fusion(const Mldg& g, const PlanOptions& options) {
+    {
+        const LegalityReport rep = check_schedulable(g);
+        check(rep.legal, "plan_fusion: input MLDG is not schedulable: " +
+                             (rep.violations.empty() ? std::string("?") : rep.violations.front()));
+    }
+    FusionPlan plan;
+    if (g.is_acyclic()) {
+        plan.retiming = options.compact_prologue ? acyclic_doall_fusion_compact(g)
+                                                 : acyclic_doall_fusion(g);
+        plan.algorithm = AlgorithmUsed::AcyclicDoall;
+        plan.level = ParallelismLevel::InnerDoall;
+    } else {
+        auto outcome = options.compact_prologue ? CyclicDoallOutcome{cyclic_doall_fusion_compact(g), 0}
+                                                : cyclic_doall_fusion(g);
+        if (!outcome.retiming.has_value() && options.compact_prologue) {
+            outcome = cyclic_doall_fusion(g);  // recover the failed-phase info
+        }
+        if (outcome.retiming.has_value()) {
+            plan.retiming = std::move(*outcome.retiming);
+            plan.algorithm = AlgorithmUsed::CyclicDoall;
+            plan.level = ParallelismLevel::InnerDoall;
+        } else if (auto forced = ablation::cyclic_doall_all_hard(g)) {
+            // Extension beyond the paper: phase 2 failed, but the cycles
+            // have enough outer slack to carry *every* dependence -- still
+            // a fully parallel inner loop, at the cost of deeper prologues.
+            plan.cyclic_doall_failed_phase = outcome.failed_phase;
+            plan.retiming = std::move(*forced);
+            plan.algorithm = AlgorithmUsed::CyclicDoallForced;
+            plan.level = ParallelismLevel::InnerDoall;
+        } else {
+            plan.cyclic_doall_failed_phase = outcome.failed_phase;
+            auto hp = hyperplane_fusion(g);
+            plan.retiming = std::move(hp.retiming);
+            plan.algorithm = AlgorithmUsed::Hyperplane;
+            plan.level = ParallelismLevel::Hyperplane;
+            plan.schedule = hp.schedule;
+            plan.hyperplane = hp.hyperplane;
+        }
+    }
+    plan.retimed = plan.retiming.apply(g);
+
+    auto order = fused_body_order(plan.retimed);
+    check(order.has_value(), "plan_fusion: internal error ((0,0)-dependence cycle)");
+    plan.body_order = std::move(*order);
+
+    // Post-conditions: DOALL plans must pass Property 4.2; all plans must be
+    // legally fusible and admit their schedule as a strict schedule vector.
+    check(is_fusion_legal(plan.retimed, plan.body_order),
+          "plan_fusion: internal error (fusion illegal)");
+    if (plan.level == ParallelismLevel::InnerDoall) {
+        check(is_fused_inner_doall(plan.retimed, plan.body_order),
+              "plan_fusion: internal error (inner loop not DOALL)");
+    }
+    check(is_strict_schedule_vector(plan.retimed, plan.schedule),
+          "plan_fusion: internal error (schedule not strict)");
+    return plan;
+}
+
+std::string FusionPlan::describe(const Mldg& original) const {
+    std::ostringstream os;
+    os << to_string(algorithm) << " -> " << to_string(level) << '\n';
+    os << "  retiming: " << retiming.str(original) << '\n';
+    os << "  schedule s = " << schedule.str() << ", hyperplane h = " << hyperplane.str() << '\n';
+    os << "  fused body order:";
+    for (int v : body_order) os << ' ' << original.node(v).name;
+    os << '\n';
+    if (cyclic_doall_failed_phase) {
+        os << "  (Algorithm 4 infeasible at phase " << *cyclic_doall_failed_phase << ")\n";
+    }
+    return os.str();
+}
+
+}  // namespace lf

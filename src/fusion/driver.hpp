@@ -1,0 +1,73 @@
+#pragma once
+// Fusion driver: applies the strongest applicable algorithm from the paper.
+//
+//   acyclic 2LDG          -> Algorithm 3 (always DOALL)          [Thm 4.1]
+//   cyclic, Thm 4.2 holds -> Algorithm 4 (DOALL)                 [Thm 4.2]
+//   cyclic, forced-carry feasible -> Algorithm 4 variant (DOALL) [extension]
+//   otherwise             -> Algorithm 5 (DOALL hyperplane)      [Thm 4.4]
+//
+// Every legal 2LDG therefore fuses with *some* form of full parallelism; the
+// plan records which, plus the schedule that realizes it.
+
+#include <optional>
+#include <string>
+
+#include "ldg/mldg.hpp"
+#include "ldg/retiming.hpp"
+
+namespace lf {
+
+enum class ParallelismLevel {
+    /// The fused innermost loop is DOALL: one barrier per outer iteration.
+    InnerDoall,
+    /// Iterations on hyperplanes perpendicular to `schedule` are DOALL:
+    /// one barrier per hyperplane (wavefront execution).
+    Hyperplane,
+};
+
+enum class AlgorithmUsed {
+    AcyclicDoall,      // paper Algorithm 3
+    CyclicDoall,       // paper Algorithm 4
+    CyclicDoallForced, // extension: Algorithm 4 with every edge forced
+                       // outer-carried -- rescues phase-2 failures whose
+                       // cycles have enough x-slack (see DESIGN.md,
+                       // "Extensions"); still yields DOALL rows
+    Hyperplane,        // paper Algorithm 5 (LLOFRA + Lemma 4.3 schedule)
+};
+
+[[nodiscard]] std::string to_string(ParallelismLevel level);
+[[nodiscard]] std::string to_string(AlgorithmUsed algorithm);
+
+struct FusionPlan {
+    Retiming retiming;
+    /// The retimed graph G_r (all dependence vectors shifted).
+    Mldg retimed;
+    ParallelismLevel level = ParallelismLevel::InnerDoall;
+    AlgorithmUsed algorithm = AlgorithmUsed::AcyclicDoall;
+    /// Strict schedule vector for the retimed, fused program. (1,0) for
+    /// InnerDoall (rows execute in sequence, row contents in parallel).
+    Vec2 schedule{1, 0};
+    /// DOALL hyperplane direction, perpendicular to `schedule`.
+    Vec2 hyperplane{0, 1};
+    /// Statement order of the fused body: body_order[k] is the node whose
+    /// loop body executes k-th at every fused iteration point. A topological
+    /// order of the retimed (0,0)-dependence subgraph (ties broken by
+    /// program order); usually equals program order.
+    std::vector<int> body_order;
+    /// Set when Algorithm 4 was attempted and failed: which phase (1 or 2).
+    std::optional<int> cyclic_doall_failed_phase;
+
+    [[nodiscard]] std::string describe(const Mldg& original) const;
+};
+
+struct PlanOptions {
+    /// Post-optimize DOALL retimings to minimize the x-spread (the number
+    /// of prologue/epilogue rows) via fusion/compact.hpp. Never changes the
+    /// achieved parallelism level.
+    bool compact_prologue = false;
+};
+
+/// Plans fusion for a legal 2LDG (throws lf::Error on illegal input).
+[[nodiscard]] FusionPlan plan_fusion(const Mldg& g, const PlanOptions& options = {});
+
+}  // namespace lf

@@ -1,0 +1,33 @@
+#pragma once
+// Algorithm 5: full hyperplane parallelism for general cyclic 2LDGs
+// (Theorem 4.4, Lemma 4.3).
+//
+// When no retiming can make the fused *row* (inner loop) DOALL, fuse legally
+// with LLOFRA (all retimed dependence vectors >= (0,0)) and then compute a
+// strict schedule vector s: iterations on a common hyperplane h (with
+// h . s = 0) carry no dependences among themselves and execute in parallel,
+// wavefront style.
+
+#include "ldg/mldg.hpp"
+#include "ldg/retiming.hpp"
+
+namespace lf {
+
+struct HyperplaneResult {
+    Retiming retiming;
+    /// Strict schedule vector: s . d > 0 for every nonzero retimed vector.
+    Vec2 schedule;
+    /// DOALL hyperplane direction, perpendicular to the schedule.
+    Vec2 hyperplane;
+};
+
+/// Requires `g` legal (throws lf::Error otherwise); always succeeds
+/// (Theorem 4.4: legal graphs have every cycle weight > (0,0)).
+[[nodiscard]] HyperplaneResult hyperplane_fusion(const Mldg& g);
+
+/// Lemma 4.3 in isolation: given a graph whose nonzero dependence vectors are
+/// all >= (0,0), produce a strict schedule vector. Exposed for testing and
+/// for the baselines.
+[[nodiscard]] Vec2 schedule_vector_for(const Mldg& retimed_graph);
+
+}  // namespace lf

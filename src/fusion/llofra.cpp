@@ -1,0 +1,28 @@
+#include "fusion/llofra.hpp"
+
+#include "graph/constraint_system.hpp"
+#include "ldg/legality.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lf {
+
+Retiming llofra(const Mldg& g) {
+    {
+        const LegalityReport rep = check_schedulable(g);
+        check(rep.legal, "llofra: input MLDG is not schedulable: " +
+                             (rep.violations.empty() ? std::string("?") : rep.violations.front()));
+    }
+    DifferenceConstraintSystem<Vec2> sys;
+    for (int i = 0; i < g.num_nodes(); ++i) sys.add_variable(g.node(i).name);
+    for (const auto& e : g.edges()) {
+        // Require delta_r(e) >= (0,0), i.e. r(to) - r(from) <= delta(e).
+        sys.add_constraint(e.from, e.to, e.delta());
+    }
+    const auto solution = sys.solve();
+    // Theorem 3.2: feasible because every cycle weighs > (0,0).
+    check(solution.feasible, "llofra: internal error (constraint system infeasible on a "
+                             "schedulable MLDG)");
+    return Retiming(solution.values);
+}
+
+}  // namespace lf

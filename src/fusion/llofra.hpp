@@ -1,0 +1,19 @@
+#pragma once
+// LLOFRA -- the Legal LOop Fusion Retiming Algorithm (paper Algorithm 2).
+//
+// Finds a retiming r with  delta_r(e) >= (0,0)  for every edge (Theorem 3.1).
+// Dependences retimed to exactly (0,0) are honored by the fused body's
+// statement order (see fused_body_order in ldg/legality.hpp). Theorem 3.2
+// guarantees feasibility for every schedulable 2LDG: every cycle of the
+// constraint graph weighs > (0,0). Runs in O(|V| * |E|).
+
+#include "ldg/mldg.hpp"
+#include "ldg/retiming.hpp"
+
+namespace lf {
+
+/// Computes the legal-fusion retiming. Throws lf::Error if `g` is not
+/// schedulable (the only way the constraint system can be infeasible).
+[[nodiscard]] Retiming llofra(const Mldg& g);
+
+}  // namespace lf

@@ -1,0 +1,93 @@
+#include "fusion/multidim.hpp"
+
+#include <algorithm>
+
+#include "graph/constraint_system_nd.hpp"
+#include "support/diagnostics.hpp"
+#include "support/math_util.hpp"
+
+namespace lf {
+
+RetimingN llofra_nd(const MldgN& g) {
+    check(is_schedulable_nd(g), "llofra_nd: input MLDG is not schedulable");
+    NdDifferenceConstraintSystem sys(g.dim());
+    for (int v = 0; v < g.num_nodes(); ++v) sys.add_variable(g.node(v).name);
+    for (const auto& e : g.edges()) {
+        sys.add_constraint(e.from, e.to, e.delta());
+    }
+    const auto solution = sys.solve();
+    check(solution.feasible, "llofra_nd: internal error (infeasible on schedulable input)");
+    return RetimingN(solution.values);
+}
+
+RetimingN acyclic_outermost_fusion_nd(const MldgN& g) {
+    check(g.is_acyclic(), "acyclic_outermost_fusion_nd: input MLDG has a cycle");
+    check(is_schedulable_nd(g), "acyclic_outermost_fusion_nd: input MLDG is not schedulable");
+    // 1-D constraints on the outermost component only: r0(v) - r0(u) <=
+    // delta(e)[0] - 1, so every vector's first retimed component is >= 1.
+    NdDifferenceConstraintSystem sys(1);
+    for (int v = 0; v < g.num_nodes(); ++v) sys.add_variable(g.node(v).name);
+    for (const auto& e : g.edges()) {
+        sys.add_constraint(e.from, e.to, VecN{e.delta()[0] - 1});
+    }
+    const auto solution = sys.solve();
+    check(solution.feasible, "acyclic_outermost_fusion_nd: internal error");
+    RetimingN r(g.num_nodes(), g.dim());
+    for (int v = 0; v < g.num_nodes(); ++v) {
+        r.of(v)[0] = solution.values[static_cast<std::size_t>(v)][0];
+    }
+    return r;
+}
+
+VecN schedule_vector_nd(const MldgN& retimed) {
+    const int dim = retimed.dim();
+    VecN s = VecN::zeros(dim);
+    if (dim == 0) return s;
+    s[dim - 1] = 1;
+    // Components are fixed innermost-outward; a vector with leading nonzero
+    // at level k only involves s[k..dim-1] in its dot product.
+    for (int k = dim - 2; k >= 0; --k) {
+        std::optional<std::int64_t> lower;
+        for (const auto& e : retimed.edges()) {
+            for (const VecN& d : e.vectors) {
+                if (d.is_zero()) continue;
+                check(d >= VecN::zeros(dim),
+                      "schedule_vector_nd: dependence vector below zero; run llofra_nd first");
+                if (d.leading_index() != k) continue;
+                std::int64_t tail = 0;
+                for (int i = k + 1; i < dim; ++i) tail += s[i] * d[i];
+                const std::int64_t bound = floor_div(-tail, d[k]) + 1;
+                lower = lower ? std::max(*lower, bound) : bound;
+            }
+        }
+        s[k] = lower.value_or(0);
+    }
+    return s;
+}
+
+NdFusionPlan plan_fusion_nd(const MldgN& g) {
+    NdFusionPlan plan;
+    if (g.is_acyclic()) {
+        plan.retiming = acyclic_outermost_fusion_nd(g);
+        plan.level = NdParallelism::OutermostCarried;
+        plan.retimed = plan.retiming.apply(g);
+        // Outermost-carried graphs admit the row schedule (1, 0, ..., 0).
+        plan.schedule = VecN::zeros(g.dim());
+        plan.schedule[0] = 1;
+    } else {
+        plan.retiming = llofra_nd(g);
+        plan.retimed = plan.retiming.apply(g);
+        plan.level = NdParallelism::Hyperplane;
+        plan.schedule = schedule_vector_nd(plan.retimed);
+    }
+    // Post-condition: the schedule is strict for every nonzero vector.
+    for (const auto& e : plan.retimed.edges()) {
+        for (const VecN& d : e.vectors) {
+            check(d.is_zero() || plan.schedule.dot(d) > 0,
+                  "plan_fusion_nd: internal error (schedule not strict)");
+        }
+    }
+    return plan;
+}
+
+}  // namespace lf

@@ -1,0 +1,62 @@
+#pragma once
+// n-dimensional generalizations of the paper's algorithms. Definition 2.2
+// states the MLDG for arbitrary dimension; the elaborated algorithms are
+// two-dimensional, but two of them generalize directly and soundly:
+//
+//   * LLOFRA (Thm 3.2): the feasibility argument only uses that every cycle
+//     weighs lexicographically more than zero, which holds in any dimension
+//     -- the constraint system is the n-dimensional 2-ILP analogue.
+//   * The hyperplane schedule (Lemma 4.3): build s from the innermost
+//     component outward; each component is chosen just large enough to make
+//     s . d > 0 for every retimed dependence whose leading nonzero sits at
+//     that level (the classical multi-dimensional retiming construction of
+//     Passos & Sha, which the paper builds on).
+//   * Algorithm 3 also generalizes for acyclic graphs: retime so every
+//     dependence is carried by the *outermost* loop (first component >= 1);
+//     all inner levels, including the DOALL innermost loop, are then free of
+//     same-iteration dependences and one barrier per outermost iteration
+//     suffices.
+//
+// Algorithm 4's two-phase trick is inherently two-dimensional (its phase 2
+// equates the single remaining component); we deliberately do not invent an
+// n-D variant -- the driver falls back to the hyperplane schedule instead,
+// which Theorem 4.4 guarantees.
+
+#include <optional>
+
+#include "ldg/mldg_nd.hpp"
+
+namespace lf {
+
+/// n-D LLOFRA: retiming with every retimed dependence >= 0 (lexicographic).
+/// Throws lf::Error when `g` is not schedulable.
+[[nodiscard]] RetimingN llofra_nd(const MldgN& g);
+
+/// n-D Algorithm 3: retiming making every dependence outermost-carried
+/// (first component >= 1). Requires `g` acyclic and schedulable.
+[[nodiscard]] RetimingN acyclic_outermost_fusion_nd(const MldgN& g);
+
+/// Generalized Lemma 4.3: a strict schedule vector for a retimed graph whose
+/// nonzero vectors are all >= 0. Throws if a vector is below zero.
+[[nodiscard]] VecN schedule_vector_nd(const MldgN& retimed);
+
+enum class NdParallelism {
+    /// Everything carried by the outermost loop: innermost fully DOALL,
+    /// one barrier per outermost iteration.
+    OutermostCarried,
+    /// Wavefront over hyperplanes of the computed schedule vector.
+    Hyperplane,
+};
+
+struct NdFusionPlan {
+    RetimingN retiming;
+    MldgN retimed{1};
+    NdParallelism level = NdParallelism::Hyperplane;
+    VecN schedule;
+};
+
+/// Acyclic -> OutermostCarried (Alg 3 generalization); otherwise LLOFRA +
+/// hyperplane schedule (Alg 5 generalization).
+[[nodiscard]] NdFusionPlan plan_fusion_nd(const MldgN& g);
+
+}  // namespace lf

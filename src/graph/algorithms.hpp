@@ -1,0 +1,36 @@
+#pragma once
+// Structural graph algorithms over plain adjacency lists: Tarjan SCC,
+// Kahn topological sort, acyclicity tests, reachability and Johnson's
+// simple-cycle enumeration (the latter is used by the legality checker and
+// by property tests that verify cycle-weight invariance under retiming).
+
+#include <optional>
+#include <vector>
+
+namespace lf {
+
+using Adjacency = std::vector<std::vector<int>>;
+
+/// Strongly connected components (Tarjan, iterative). Returns component id
+/// per node; ids are in reverse topological order of the condensation.
+[[nodiscard]] std::vector<int> strongly_connected_components(const Adjacency& adj);
+
+/// Number of distinct SCCs.
+[[nodiscard]] int count_sccs(const Adjacency& adj);
+
+/// Kahn topological order; nullopt when the graph has a cycle.
+[[nodiscard]] std::optional<std::vector<int>> topological_order(const Adjacency& adj);
+
+/// True when the directed graph contains no cycle (self-loops count as cycles).
+[[nodiscard]] bool is_acyclic(const Adjacency& adj);
+
+/// All simple cycles as node sequences (first node not repeated at the end),
+/// via Johnson's algorithm. `max_cycles` bounds output for safety; the
+/// enumeration stops once reached. Intended for small graphs (tests, reports).
+[[nodiscard]] std::vector<std::vector<int>> simple_cycles(const Adjacency& adj,
+                                                          std::size_t max_cycles = 100000);
+
+/// Nodes reachable from `start` (inclusive).
+[[nodiscard]] std::vector<int> reachable_from(const Adjacency& adj, int start);
+
+}  // namespace lf

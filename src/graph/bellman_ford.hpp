@@ -1,0 +1,160 @@
+#pragma once
+// Bellman-Ford shortest paths over an arbitrary totally-ordered,
+// translation-invariant weight domain (int64 or lexicographic Vec2).
+//
+// This is the computational core of every algorithm in the paper:
+//   * Alg. 1 (TwoDimBellmanFord) is bellman_ford<Vec2> from a virtual source
+//     connected to every vertex by zero-weight edges; we realize the virtual
+//     source by initializing every distance to zero instead of adding a node.
+//   * Algs. 2/3 call it on 2-D constraint graphs, Alg. 4 on two 1-D ones.
+//
+// Complexity O(|V| * |E|), matching the paper's polynomial-time claim.
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/weight_traits.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lf {
+
+/// A weighted edge for the solver; decoupled from Digraph so constraint
+/// systems can feed edge lists directly.
+template <typename W>
+struct WeightedEdge {
+    int from = -1;
+    int to = -1;
+    W weight{};
+};
+
+template <typename W>
+struct ShortestPaths {
+    /// dist[v]: shortest distance from the (virtual or explicit) source.
+    std::vector<W> dist;
+    /// pred_edge[v]: index into the input edge list of the edge that last
+    /// relaxed v, or -1. Used to extract witnesses of negative cycles.
+    std::vector<int> pred_edge;
+    bool has_negative_cycle = false;
+    /// When a negative cycle exists: the edge indices of one such cycle, in
+    /// order. Empty otherwise.
+    std::vector<int> negative_cycle;
+};
+
+namespace detail {
+
+/// Walks predecessor pointers from a vertex known to be reachable from a
+/// negative cycle until the walk closes, returning that cycle's edge ids.
+template <typename W>
+std::vector<int> extract_cycle(const std::vector<WeightedEdge<W>>& edges,
+                               const std::vector<int>& pred_edge, int start) {
+    const int n = static_cast<int>(pred_edge.size());
+    // After n predecessor hops we are guaranteed to sit on the cycle itself.
+    int v = start;
+    for (int hop = 0; hop < n; ++hop) {
+        const int pe = pred_edge[static_cast<std::size_t>(v)];
+        if (pe < 0) break;
+        v = edges[static_cast<std::size_t>(pe)].from;
+    }
+    std::vector<int> cycle;
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    int cur = v;
+    while (!seen[static_cast<std::size_t>(cur)]) {
+        seen[static_cast<std::size_t>(cur)] = true;
+        const int pe = pred_edge[static_cast<std::size_t>(cur)];
+        if (pe < 0) return {};  // defensive: should not happen on a real cycle
+        cycle.push_back(pe);
+        cur = edges[static_cast<std::size_t>(pe)].from;
+    }
+    // `cycle` currently lists edges backwards from v until the first repeat;
+    // trim the tail that is not part of the loop, then reverse.
+    std::vector<int> trimmed;
+    for (std::size_t k = 0; k < cycle.size(); ++k) {
+        trimmed.push_back(cycle[k]);
+        if (edges[static_cast<std::size_t>(cycle[k])].from == cur) break;
+    }
+    return {trimmed.rbegin(), trimmed.rend()};
+}
+
+}  // namespace detail
+
+/// Bellman-Ford with every vertex as a zero-distance source. This models the
+/// constraint-graph construction of the paper (virtual vertex v0 with
+/// zero-weight edges to every other vertex) without materializing v0.
+template <typename W>
+ShortestPaths<W> bellman_ford_all_sources(int num_nodes,
+                                          const std::vector<WeightedEdge<W>>& edges) {
+    using T = WeightTraits<W>;
+    ShortestPaths<W> r;
+    r.dist.assign(static_cast<std::size_t>(num_nodes), T::zero());
+    r.pred_edge.assign(static_cast<std::size_t>(num_nodes), -1);
+
+    for (int pass = 0; pass < num_nodes; ++pass) {
+        bool changed = false;
+        for (std::size_t ei = 0; ei < edges.size(); ++ei) {
+            const auto& e = edges[ei];
+            check(e.from >= 0 && e.from < num_nodes && e.to >= 0 && e.to < num_nodes,
+                  "bellman_ford: edge endpoint out of range");
+            const W cand = r.dist[static_cast<std::size_t>(e.from)] + e.weight;
+            if (cand < r.dist[static_cast<std::size_t>(e.to)]) {
+                r.dist[static_cast<std::size_t>(e.to)] = cand;
+                r.pred_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);
+                changed = true;
+            }
+        }
+        if (!changed) return r;
+    }
+    // An n-th pass that still relaxes implies a negative cycle.
+    for (std::size_t ei = 0; ei < edges.size(); ++ei) {
+        const auto& e = edges[ei];
+        const W cand = r.dist[static_cast<std::size_t>(e.from)] + e.weight;
+        if (cand < r.dist[static_cast<std::size_t>(e.to)]) {
+            r.has_negative_cycle = true;
+            r.pred_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);
+            r.negative_cycle = detail::extract_cycle(edges, r.pred_edge, e.to);
+            return r;
+        }
+    }
+    return r;
+}
+
+/// Classical single-source Bellman-Ford (distances from `source`; unreachable
+/// vertices keep the domain's infinity).
+template <typename W>
+ShortestPaths<W> bellman_ford(int num_nodes, const std::vector<WeightedEdge<W>>& edges,
+                              int source) {
+    using T = WeightTraits<W>;
+    check(source >= 0 && source < num_nodes, "bellman_ford: bad source");
+    ShortestPaths<W> r;
+    r.dist.assign(static_cast<std::size_t>(num_nodes), T::infinity());
+    r.pred_edge.assign(static_cast<std::size_t>(num_nodes), -1);
+    r.dist[static_cast<std::size_t>(source)] = T::zero();
+
+    for (int pass = 0; pass < num_nodes; ++pass) {
+        bool changed = false;
+        for (std::size_t ei = 0; ei < edges.size(); ++ei) {
+            const auto& e = edges[ei];
+            if (T::is_infinite(r.dist[static_cast<std::size_t>(e.from)])) continue;
+            const W cand = r.dist[static_cast<std::size_t>(e.from)] + e.weight;
+            if (cand < r.dist[static_cast<std::size_t>(e.to)]) {
+                r.dist[static_cast<std::size_t>(e.to)] = cand;
+                r.pred_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);
+                changed = true;
+            }
+        }
+        if (!changed) return r;
+    }
+    for (std::size_t ei = 0; ei < edges.size(); ++ei) {
+        const auto& e = edges[ei];
+        if (T::is_infinite(r.dist[static_cast<std::size_t>(e.from)])) continue;
+        const W cand = r.dist[static_cast<std::size_t>(e.from)] + e.weight;
+        if (cand < r.dist[static_cast<std::size_t>(e.to)]) {
+            r.has_negative_cycle = true;
+            r.pred_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);
+            r.negative_cycle = detail::extract_cycle(edges, r.pred_edge, e.to);
+            return r;
+        }
+    }
+    return r;
+}
+
+}  // namespace lf

@@ -1,0 +1,33 @@
+#include "graph/constraint_system.hpp"
+
+#include <cstdint>
+#include <sstream>
+
+#include "support/vec2.hpp"
+
+namespace lf {
+
+namespace {
+
+template <typename W>
+std::string describe_impl(const DifferenceConstraintSystem<W>&, const std::vector<int>& conflict) {
+    std::ostringstream os;
+    os << "negative-weight cycle through " << conflict.size() << " constraint(s)";
+    return os.str();
+}
+
+}  // namespace
+
+template <>
+std::string DifferenceConstraintSystem<std::int64_t>::describe_conflict(
+    const std::vector<int>& conflict) const {
+    return describe_impl(*this, conflict);
+}
+
+template <>
+std::string DifferenceConstraintSystem<Vec2>::describe_conflict(
+    const std::vector<int>& conflict) const {
+    return describe_impl(*this, conflict);
+}
+
+}  // namespace lf

@@ -1,0 +1,79 @@
+#pragma once
+// Systems of difference constraints  x_j - x_i <= w_ij  over int64 or Vec2,
+// i.e. the paper's "Problem ILP" and "Problem 2-ILP" (Section 2.4).
+//
+// Theorem 2.2 / 2.3: the system is feasible iff the constraint graph (edge
+// i -> j of weight w_ij for every constraint, plus a virtual source reaching
+// every vertex at cost zero) has no cycle of weight below zero; the shortest
+// path lengths from the virtual source are then a feasible assignment.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/bellman_ford.hpp"
+
+namespace lf {
+
+template <typename W>
+class DifferenceConstraintSystem {
+  public:
+    /// Adds a fresh unknown; returns its index. `name` is only used in
+    /// diagnostics.
+    int add_variable(std::string name = "") {
+        names_.push_back(name.empty() ? "x" + std::to_string(names_.size())
+                                      : std::move(name));
+        return static_cast<int>(names_.size()) - 1;
+    }
+
+    /// Adds the constraint  x_j - x_i <= bound.
+    void add_constraint(int i, int j, W bound) {
+        check(i >= 0 && i < num_variables() && j >= 0 && j < num_variables(),
+              "DifferenceConstraintSystem: variable index out of range");
+        edges_.push_back(WeightedEdge<W>{i, j, bound});
+    }
+
+    /// Adds the equality  x_j - x_i == value  as a pair of opposing
+    /// constraints (this is how Alg. 4 phase two encodes its back-edges).
+    void add_equality(int i, int j, W value) {
+        add_constraint(i, j, value);
+        add_constraint(j, i, -value);
+    }
+
+    [[nodiscard]] int num_variables() const { return static_cast<int>(names_.size()); }
+    [[nodiscard]] int num_constraints() const { return static_cast<int>(edges_.size()); }
+    [[nodiscard]] const std::string& variable_name(int i) const {
+        return names_.at(static_cast<std::size_t>(i));
+    }
+
+    struct Solution {
+        bool feasible = false;
+        /// A feasible assignment (shortest-path distances); empty if infeasible.
+        std::vector<W> values;
+        /// If infeasible: constraint indices forming a negative-weight cycle.
+        std::vector<int> conflict;
+    };
+
+    /// Solves in O(|V| * |E|) via Bellman-Ford from the virtual source.
+    [[nodiscard]] Solution solve() const {
+        Solution s;
+        auto sp = bellman_ford_all_sources<W>(num_variables(), edges_);
+        if (sp.has_negative_cycle) {
+            s.feasible = false;
+            s.conflict = std::move(sp.negative_cycle);
+            return s;
+        }
+        s.feasible = true;
+        s.values = std::move(sp.dist);
+        return s;
+    }
+
+    /// Human-readable dump of a conflict cycle for error messages.
+    [[nodiscard]] std::string describe_conflict(const std::vector<int>& conflict) const;
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<WeightedEdge<W>> edges_;
+};
+
+}  // namespace lf

@@ -1,0 +1,50 @@
+#include "graph/constraint_system_nd.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace lf {
+
+int NdDifferenceConstraintSystem::add_variable(std::string name) {
+    names_.push_back(name.empty() ? "x" + std::to_string(names_.size()) : std::move(name));
+    return static_cast<int>(names_.size()) - 1;
+}
+
+void NdDifferenceConstraintSystem::add_constraint(int i, int j, VecN bound) {
+    check(i >= 0 && i < num_variables() && j >= 0 && j < num_variables(),
+          "NdDifferenceConstraintSystem: variable index out of range");
+    check(bound.dim() == dim_, "NdDifferenceConstraintSystem: bound dimension mismatch");
+    constraints_.push_back(Constraint{i, j, std::move(bound)});
+}
+
+NdDifferenceConstraintSystem::Solution NdDifferenceConstraintSystem::solve() const {
+    Solution s;
+    const int n = num_variables();
+    std::vector<VecN> dist(static_cast<std::size_t>(n), VecN::zeros(dim_));
+
+    for (int pass = 0; pass < n; ++pass) {
+        bool changed = false;
+        for (const Constraint& c : constraints_) {
+            const VecN cand = dist[static_cast<std::size_t>(c.from)] + c.bound;
+            if (cand < dist[static_cast<std::size_t>(c.to)]) {
+                dist[static_cast<std::size_t>(c.to)] = cand;
+                changed = true;
+            }
+        }
+        if (!changed) {
+            s.feasible = true;
+            s.values = std::move(dist);
+            return s;
+        }
+    }
+    for (const Constraint& c : constraints_) {
+        if (dist[static_cast<std::size_t>(c.from)] + c.bound < dist[static_cast<std::size_t>(c.to)]) {
+            s.feasible = false;  // negative lexicographic cycle
+            return s;
+        }
+    }
+    s.feasible = true;
+    s.values = std::move(dist);
+    return s;
+}
+
+}  // namespace lf

@@ -1,0 +1,51 @@
+#pragma once
+// Difference-constraint systems over Z^n under lexicographic order: the
+// n-dimensional form of the paper's 2-ILP problem (Section 2.4). Solved by
+// Bellman-Ford exactly as in 2-D -- lexicographic order on Z^n is a
+// translation-invariant total order for every n.
+//
+// This is a stand-alone class (rather than DifferenceConstraintSystem<VecN>)
+// because VecN carries its dimension at run time, so zero/infinity values
+// cannot come from a static WeightTraits specialization.
+
+#include <string>
+#include <vector>
+
+#include "support/vecn.hpp"
+
+namespace lf {
+
+class NdDifferenceConstraintSystem {
+  public:
+    explicit NdDifferenceConstraintSystem(int dim) : dim_(dim) {}
+
+    [[nodiscard]] int dim() const { return dim_; }
+
+    int add_variable(std::string name = "");
+
+    /// Adds  x_j - x_i <= bound  (lexicographically).
+    void add_constraint(int i, int j, VecN bound);
+
+    [[nodiscard]] int num_variables() const { return static_cast<int>(names_.size()); }
+
+    struct Solution {
+        bool feasible = false;
+        std::vector<VecN> values;
+    };
+
+    /// O(|V| * |E| * n) Bellman-Ford from a virtual all-zero source.
+    [[nodiscard]] Solution solve() const;
+
+  private:
+    struct Constraint {
+        int from;
+        int to;
+        VecN bound;
+    };
+
+    int dim_;
+    std::vector<std::string> names_;
+    std::vector<Constraint> constraints_;
+};
+
+}  // namespace lf

@@ -1,0 +1,81 @@
+#pragma once
+// A small generic directed-multigraph container used by the constraint
+// solvers, the MLDG model and the random-graph generators.
+//
+// Nodes and edges are identified by dense integer ids (insertion order),
+// which keeps the algorithms cache-friendly and makes results trivially
+// reproducible.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace lf {
+
+template <typename NodeData, typename EdgeData>
+class Digraph {
+  public:
+    struct Edge {
+        int from = -1;
+        int to = -1;
+        EdgeData data{};
+    };
+
+    int add_node(NodeData data = NodeData{}) {
+        nodes_.push_back(std::move(data));
+        out_.emplace_back();
+        in_.emplace_back();
+        return static_cast<int>(nodes_.size()) - 1;
+    }
+
+    int add_edge(int from, int to, EdgeData data = EdgeData{}) {
+        check(valid_node(from) && valid_node(to),
+              "Digraph::add_edge: node id out of range");
+        edges_.push_back(Edge{from, to, std::move(data)});
+        const int id = static_cast<int>(edges_.size()) - 1;
+        out_[static_cast<std::size_t>(from)].push_back(id);
+        in_[static_cast<std::size_t>(to)].push_back(id);
+        return id;
+    }
+
+    [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes_.size()); }
+    [[nodiscard]] int num_edges() const { return static_cast<int>(edges_.size()); }
+
+    [[nodiscard]] const NodeData& node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+    [[nodiscard]] NodeData& node(int id) { return nodes_.at(static_cast<std::size_t>(id)); }
+    [[nodiscard]] const Edge& edge(int id) const { return edges_.at(static_cast<std::size_t>(id)); }
+    [[nodiscard]] Edge& edge(int id) { return edges_.at(static_cast<std::size_t>(id)); }
+
+    /// Ids of edges leaving `node`.
+    [[nodiscard]] std::span<const int> out_edges(int node) const {
+        return out_.at(static_cast<std::size_t>(node));
+    }
+    /// Ids of edges entering `node`.
+    [[nodiscard]] std::span<const int> in_edges(int node) const {
+        return in_.at(static_cast<std::size_t>(node));
+    }
+
+    [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+    [[nodiscard]] bool valid_node(int id) const {
+        return id >= 0 && id < num_nodes();
+    }
+
+    /// Plain successor adjacency (deduplicated per edge occurrence), for
+    /// algorithms that only need connectivity.
+    [[nodiscard]] std::vector<std::vector<int>> adjacency() const {
+        std::vector<std::vector<int>> adj(static_cast<std::size_t>(num_nodes()));
+        for (const Edge& e : edges_) adj[static_cast<std::size_t>(e.from)].push_back(e.to);
+        return adj;
+    }
+
+  private:
+    std::vector<NodeData> nodes_;
+    std::vector<Edge> edges_;
+    std::vector<std::vector<int>> out_;
+    std::vector<std::vector<int>> in_;
+};
+
+}  // namespace lf

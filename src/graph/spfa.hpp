@@ -1,0 +1,63 @@
+#pragma once
+// SPFA (queue-based Bellman-Ford) over the same generic weight domains:
+// an independent implementation of the shortest-path core, used as a
+// differential cross-check of graph/bellman_ford.hpp. Same O(|V| * |E|)
+// worst case; negative cycles are detected by counting relaxations per
+// vertex (a vertex relaxed |V| times sits on or behind a negative cycle).
+
+#include <deque>
+#include <vector>
+
+#include "graph/bellman_ford.hpp"
+
+namespace lf {
+
+template <typename W>
+struct SpfaResult {
+    std::vector<W> dist;
+    bool has_negative_cycle = false;
+};
+
+/// Shortest distances with every vertex a zero-distance source (the virtual
+/// source construction of the paper's constraint graphs).
+template <typename W>
+SpfaResult<W> spfa_all_sources(int num_nodes, const std::vector<WeightedEdge<W>>& edges) {
+    using T = WeightTraits<W>;
+    SpfaResult<W> r;
+    r.dist.assign(static_cast<std::size_t>(num_nodes), T::zero());
+
+    // Out-adjacency over edge indices.
+    std::vector<std::vector<int>> out(static_cast<std::size_t>(num_nodes));
+    for (std::size_t k = 0; k < edges.size(); ++k) {
+        out[static_cast<std::size_t>(edges[k].from)].push_back(static_cast<int>(k));
+    }
+
+    std::deque<int> queue;
+    std::vector<bool> queued(static_cast<std::size_t>(num_nodes), true);
+    std::vector<int> relaxations(static_cast<std::size_t>(num_nodes), 0);
+    for (int v = 0; v < num_nodes; ++v) queue.push_back(v);
+
+    while (!queue.empty()) {
+        const int u = queue.front();
+        queue.pop_front();
+        queued[static_cast<std::size_t>(u)] = false;
+        for (const int ei : out[static_cast<std::size_t>(u)]) {
+            const auto& e = edges[static_cast<std::size_t>(ei)];
+            const W cand = r.dist[static_cast<std::size_t>(u)] + e.weight;
+            if (cand < r.dist[static_cast<std::size_t>(e.to)]) {
+                r.dist[static_cast<std::size_t>(e.to)] = cand;
+                if (++relaxations[static_cast<std::size_t>(e.to)] >= num_nodes) {
+                    r.has_negative_cycle = true;
+                    return r;
+                }
+                if (!queued[static_cast<std::size_t>(e.to)]) {
+                    queued[static_cast<std::size_t>(e.to)] = true;
+                    queue.push_back(e.to);
+                }
+            }
+        }
+    }
+    return r;
+}
+
+}  // namespace lf

@@ -1,0 +1,34 @@
+#pragma once
+// Weight-domain traits for the shortest-path machinery.
+//
+// The paper's Alg. 1 ("TwoDimBellmanFord") is ordinary Bellman-Ford run over
+// (Z^2, +, lexicographic <). Lexicographic order is translation invariant
+// (u <= v implies u+w <= v+w), so the classical correctness argument carries
+// over verbatim; we express that by making the solver generic over a weight
+// domain and instantiating it for both int64 (the 1-D systems of Alg. 4's
+// phases) and Vec2 (the 2-D systems of Algs. 2/3).
+
+#include <cstdint>
+
+#include "support/vec2.hpp"
+
+namespace lf {
+
+template <typename W>
+struct WeightTraits;
+
+template <>
+struct WeightTraits<std::int64_t> {
+    static constexpr std::int64_t zero() { return 0; }
+    static constexpr std::int64_t infinity() { return std::int64_t{1} << 60; }
+    static constexpr bool is_infinite(std::int64_t w) { return w >= (std::int64_t{1} << 59); }
+};
+
+template <>
+struct WeightTraits<Vec2> {
+    static constexpr Vec2 zero() { return {0, 0}; }
+    static constexpr Vec2 infinity() { return kVecInfinity; }
+    static constexpr bool is_infinite(const Vec2& w) { return lf::is_infinite(w); }
+};
+
+}  // namespace lf

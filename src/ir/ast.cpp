@@ -1,0 +1,126 @@
+#include "ir/ast.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace lf::ir {
+
+namespace {
+
+void print_index(std::ostream& os, char var, std::int64_t offset) {
+    os << var;
+    if (offset > 0) os << '+' << offset;
+    if (offset < 0) os << offset;
+}
+
+void print_number(std::ostream& os, double v) {
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        os << static_cast<std::int64_t>(v) << ".0";
+    } else {
+        os << v;
+    }
+}
+
+}  // namespace
+
+std::string ArrayRef::str() const {
+    std::ostringstream os;
+    os << array << '[';
+    print_index(os, 'i', offset.x);
+    os << "][";
+    print_index(os, 'j', offset.y);
+    os << ']';
+    return os.str();
+}
+
+void LiteralExpr::print(std::ostream& os) const { print_number(os, value_); }
+
+void ReadExpr::print(std::ostream& os) const { os << ref_.str(); }
+
+void UnaryExpr::print(std::ostream& os) const {
+    os << "(-";
+    operand_->print(os);
+    os << ')';
+}
+
+void BinaryExpr::print(std::ostream& os) const {
+    os << '(';
+    lhs_->print(os);
+    os << ' ' << op_ << ' ';
+    rhs_->print(os);
+    os << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Expr& e) {
+    e.print(os);
+    return os;
+}
+
+std::string Statement::str() const {
+    std::ostringstream os;
+    os << target.str() << " = " << *value << ';';
+    return os.str();
+}
+
+std::int64_t LoopNest::body_cost() const {
+    std::int64_t cost = 0;
+    for (const Statement& s : body) {
+        cost += 1 + static_cast<std::int64_t>(s.reads().size());
+    }
+    return std::max<std::int64_t>(cost, 1);
+}
+
+std::vector<std::string> Program::arrays() const {
+    std::vector<std::string> out = written_arrays();
+    auto add = [&out](const std::string& name) {
+        if (std::find(out.begin(), out.end(), name) == out.end()) out.push_back(name);
+    };
+    for (const LoopNest& loop : loops) {
+        for (const Statement& s : loop.body) {
+            for (const ArrayRef& r : s.reads()) add(r.array);
+        }
+    }
+    return out;
+}
+
+std::vector<std::string> Program::written_arrays() const {
+    std::vector<std::string> out;
+    for (const LoopNest& loop : loops) {
+        for (const Statement& s : loop.body) {
+            if (std::find(out.begin(), out.end(), s.target.array) == out.end()) {
+                out.push_back(s.target.array);
+            }
+        }
+    }
+    return out;
+}
+
+std::int64_t Program::max_offset() const {
+    std::int64_t m = 0;
+    auto update = [&m](const ArrayRef& r) {
+        m = std::max({m, std::abs(r.offset.x), std::abs(r.offset.y)});
+    };
+    for (const LoopNest& loop : loops) {
+        for (const Statement& s : loop.body) {
+            update(s.target);
+            for (const ArrayRef& r : s.reads()) update(r);
+        }
+    }
+    return m;
+}
+
+std::string Program::str() const {
+    std::ostringstream os;
+    os << "program " << name << " {\n";
+    for (const LoopNest& loop : loops) {
+        os << "  loop " << loop.label << " {\n";
+        for (const Statement& s : loop.body) os << "    " << s.str() << '\n';
+        os << "  }\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+}  // namespace lf::ir

@@ -1,0 +1,17 @@
+#pragma once
+// Hand-written lexer for the loop DSL. `#` starts a to-end-of-line comment.
+// Numeric literals with a '.' or exponent become Number tokens; bare digit
+// runs become Integer tokens (subscript offsets).
+
+#include <string_view>
+#include <vector>
+
+#include "ir/token.hpp"
+
+namespace lf::ir {
+
+/// Tokenizes `source`; throws lf::Error with location info on bad input.
+/// The result always ends with a TokenKind::End token.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace lf::ir

@@ -1,0 +1,157 @@
+#include "ir/parser.hpp"
+
+#include "ir/lexer.hpp"
+#include "ir/sema.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lf::ir {
+
+namespace {
+
+class Parser {
+  public:
+    explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+    Program parse() {
+        Program p;
+        expect_keyword("program");
+        p.name = expect(TokenKind::Identifier).text;
+        expect(TokenKind::LBrace);
+        while (!at(TokenKind::RBrace)) {
+            p.loops.push_back(parse_loop());
+        }
+        expect(TokenKind::RBrace);
+        expect(TokenKind::End);
+        return p;
+    }
+
+  private:
+    [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+    [[nodiscard]] bool at(TokenKind kind) const { return peek().kind == kind; }
+
+    const Token& advance() { return tokens_[pos_++]; }
+
+    const Token& expect(TokenKind kind) {
+        if (!at(kind)) {
+            throw Error("parse error at " + peek().loc.str() + ": expected " + to_string(kind) +
+                        ", found " + to_string(peek().kind) +
+                        (peek().text.empty() ? "" : " '" + peek().text + "'"));
+        }
+        return advance();
+    }
+
+    void expect_keyword(const std::string& kw) {
+        const Token& t = expect(TokenKind::Identifier);
+        check(t.text == kw,
+              "parse error at " + t.loc.str() + ": expected '" + kw + "', found '" + t.text + "'");
+    }
+
+    bool accept(TokenKind kind) {
+        if (at(kind)) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    LoopNest parse_loop() {
+        LoopNest loop;
+        loop.loc = peek().loc;
+        expect_keyword("loop");
+        loop.label = expect(TokenKind::Identifier).text;
+        expect(TokenKind::LBrace);
+        while (!at(TokenKind::RBrace)) {
+            loop.body.push_back(parse_statement());
+        }
+        expect(TokenKind::RBrace);
+        check(!loop.body.empty(),
+              "parse error: loop " + loop.label + " at " + loop.loc.str() + " has an empty body");
+        return loop;
+    }
+
+    Statement parse_statement() {
+        ArrayRef target = parse_array_ref();
+        expect(TokenKind::Assign);
+        ExprPtr value = parse_expr();
+        expect(TokenKind::Semicolon);
+        return Statement(std::move(target), std::move(value));
+    }
+
+    ArrayRef parse_array_ref() {
+        ArrayRef ref;
+        const Token& name = expect(TokenKind::Identifier);
+        ref.array = name.text;
+        ref.loc = name.loc;
+        expect(TokenKind::LBracket);
+        ref.offset.x = parse_index('i');
+        expect(TokenKind::RBracket);
+        expect(TokenKind::LBracket);
+        ref.offset.y = parse_index('j');
+        expect(TokenKind::RBracket);
+        return ref;
+    }
+
+    std::int64_t parse_index(char var) {
+        const Token& v = expect(TokenKind::Identifier);
+        check(v.text.size() == 1 && v.text[0] == var,
+              "parse error at " + v.loc.str() + ": subscript must use '" + std::string(1, var) +
+                  "' (the paper's constant-distance model), found '" + v.text + "'");
+        if (accept(TokenKind::Plus)) return expect(TokenKind::Integer).integer;
+        if (accept(TokenKind::Minus)) return -expect(TokenKind::Integer).integer;
+        return 0;
+    }
+
+    ExprPtr parse_expr() {
+        ExprPtr lhs = parse_term();
+        while (at(TokenKind::Plus) || at(TokenKind::Minus)) {
+            const char op = advance().text[0];
+            lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), parse_term());
+        }
+        return lhs;
+    }
+
+    ExprPtr parse_term() {
+        ExprPtr lhs = parse_factor();
+        while (at(TokenKind::Star) || at(TokenKind::Slash)) {
+            const char op = advance().text[0];
+            lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), parse_factor());
+        }
+        return lhs;
+    }
+
+    ExprPtr parse_factor() {
+        if (at(TokenKind::Number) || at(TokenKind::Integer)) {
+            return std::make_unique<LiteralExpr>(advance().number);
+        }
+        if (accept(TokenKind::Minus)) {
+            return std::make_unique<UnaryExpr>(parse_factor());
+        }
+        if (accept(TokenKind::LParen)) {
+            ExprPtr e = parse_expr();
+            expect(TokenKind::RParen);
+            return e;
+        }
+        if (at(TokenKind::Identifier)) {
+            return std::make_unique<ReadExpr>(parse_array_ref());
+        }
+        throw Error("parse error at " + peek().loc.str() + ": expected an expression, found " +
+                    to_string(peek().kind));
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse_program_unchecked(std::string_view source) {
+    return Parser(tokenize(source)).parse();
+}
+
+Program parse_program(std::string_view source) {
+    Program p = parse_program_unchecked(source);
+    validate_program(p);
+    return p;
+}
+
+}  // namespace lf::ir

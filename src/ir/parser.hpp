@@ -1,0 +1,29 @@
+#pragma once
+// Recursive-descent parser for the loop DSL.
+//
+//   program   := "program" IDENT "{" loop+ "}"
+//   loop      := "loop" IDENT "{" statement+ "}"
+//   statement := arrayref "=" expr ";"
+//   arrayref  := IDENT "[" index("i") "]" "[" index("j") "]"
+//   index(v)  := v (("+" | "-") INTEGER)?
+//   expr      := term  (("+" | "-") term)*
+//   term      := factor (("*" | "/") factor)*
+//   factor    := NUMBER | INTEGER | arrayref | "(" expr ")" | "-" factor
+//
+// Subscripts are restricted to `i + constant` / `j + constant` -- the
+// constant-distance dependence model of the paper. Errors carry line:column.
+
+#include <string_view>
+
+#include "ir/ast.hpp"
+
+namespace lf::ir {
+
+/// Parses and semantically validates a program (see sema.hpp for the checks).
+/// Throws lf::Error on any lexical, syntactic or semantic problem.
+[[nodiscard]] Program parse_program(std::string_view source);
+
+/// Parse without semantic validation (used by tests that target sema itself).
+[[nodiscard]] Program parse_program_unchecked(std::string_view source);
+
+}  // namespace lf::ir

@@ -1,0 +1,60 @@
+#include "ir/sema.hpp"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace lf::ir {
+
+namespace {
+
+struct Access {
+    ArrayRef ref;
+    bool is_write = false;
+};
+
+std::vector<Access> loop_accesses(const LoopNest& loop) {
+    std::vector<Access> out;
+    for (const Statement& s : loop.body) {
+        out.push_back({s.target, true});
+        for (const ArrayRef& r : s.reads()) out.push_back({r, false});
+    }
+    return out;
+}
+
+}  // namespace
+
+void validate_program(const Program& p) {
+    check(!p.loops.empty(), "sema: program '" + p.name + "' has no loops");
+
+    std::set<std::string> labels;
+    for (const LoopNest& loop : p.loops) {
+        check(labels.insert(loop.label).second,
+              "sema: duplicate loop label '" + loop.label + "' at " + loop.loc.str());
+    }
+
+    // DOALL check per loop: two accesses to the same array with at least one
+    // write touch the same cell from instances (i, j1) != (i, j2) exactly
+    // when their offsets differ by (0, k), k != 0.
+    for (const LoopNest& loop : p.loops) {
+        const std::vector<Access> accesses = loop_accesses(loop);
+        for (std::size_t a = 0; a < accesses.size(); ++a) {
+            for (std::size_t b = a + 1; b < accesses.size(); ++b) {
+                const Access& p1 = accesses[a];
+                const Access& p2 = accesses[b];
+                if (!p1.is_write && !p2.is_write) continue;
+                if (p1.ref.array != p2.ref.array) continue;
+                const Vec2 d = p1.ref.offset - p2.ref.offset;
+                if (d.x == 0 && d.y != 0) {
+                    throw Error("sema: loop " + loop.label + " is not DOALL: accesses " +
+                                p1.ref.str() + " and " + p2.ref.str() +
+                                " conflict across j within one outer iteration");
+                }
+            }
+        }
+    }
+}
+
+}  // namespace lf::ir

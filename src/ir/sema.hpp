@@ -1,0 +1,19 @@
+#pragma once
+// Semantic validation of parsed programs against the paper's program model
+// (Figure 1):
+//   * loop labels are unique (bodies are non-empty by construction);
+//   * every innermost loop is genuinely DOALL: no pair of accesses within
+//     one loop (at least one a write, same array) may touch the same cell
+//     from different j's of the same outer iteration, i.e. no access-pair
+//     cell distance (0, k) with k != 0.
+// Anti- and output dependences *across* loops are allowed -- the dependence
+// analyzer models them as MLDG edges just like flow dependences.
+
+#include "ir/ast.hpp"
+
+namespace lf::ir {
+
+/// Throws lf::Error describing the first violation found.
+void validate_program(const Program& p);
+
+}  // namespace lf::ir

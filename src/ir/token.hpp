@@ -1,0 +1,48 @@
+#pragma once
+// Tokens and source locations for the loop DSL.
+
+#include <cstdint>
+#include <string>
+
+namespace lf::ir {
+
+struct SourceLoc {
+    int line = 1;
+    int column = 1;
+
+    [[nodiscard]] std::string str() const {
+        return std::to_string(line) + ":" + std::to_string(column);
+    }
+};
+
+enum class TokenKind {
+    Identifier,  // program, loop, array and index names
+    Number,      // floating-point literal
+    Integer,     // integer literal inside subscripts
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Semicolon,
+    Comma,
+    End,
+};
+
+[[nodiscard]] std::string to_string(TokenKind kind);
+
+struct Token {
+    TokenKind kind = TokenKind::End;
+    std::string text;
+    double number = 0.0;        // valid for Number
+    std::int64_t integer = 0;   // valid for Integer
+    SourceLoc loc;
+};
+
+}  // namespace lf::ir

@@ -1,0 +1,255 @@
+#include "ldg/legality.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+
+#include "graph/bellman_ford.hpp"
+
+namespace lf {
+
+namespace {
+
+std::string edge_desc(const Mldg& g, const DependenceEdge& e, const Vec2& d) {
+    std::ostringstream os;
+    os << g.node(e.from).name << " -> " << g.node(e.to).name << " " << d.str();
+    return os.str();
+}
+
+/// Renders a cycle witness (edge indices into `edge_nodes`) as "A -> B -> A".
+std::string describe_cycle(const Mldg& g, const std::vector<std::pair<int, int>>& edge_nodes,
+                           const std::vector<int>& cycle_edges) {
+    std::ostringstream os;
+    for (std::size_t k = 0; k < cycle_edges.size(); ++k) {
+        const auto& [from, to] = edge_nodes[static_cast<std::size_t>(cycle_edges[k])];
+        if (k == 0) os << g.node(from).name;
+        os << " -> " << g.node(to).name;
+    }
+    return os.str();
+}
+
+/// When some cycle of `edges` (1-D weights) has total weight <= 0, returns
+/// its edge-index witness. Standard scaling trick: replace w by w*K - 1 with
+/// K > number of edges; a cycle of length L <= |E| < K then has negative
+/// scaled weight iff its original weight is <= 0.
+std::optional<std::vector<int>> cycle_weight_leq_zero(
+    int num_nodes, const std::vector<WeightedEdge<std::int64_t>>& edges) {
+    if (edges.empty()) return std::nullopt;
+    const std::int64_t K = static_cast<std::int64_t>(edges.size()) + 1;
+    std::vector<WeightedEdge<std::int64_t>> scaled;
+    scaled.reserve(edges.size());
+    for (const auto& e : edges) scaled.push_back({e.from, e.to, e.weight * K - 1});
+    auto sp = bellman_ford_all_sources<std::int64_t>(num_nodes, scaled);
+    if (!sp.has_negative_cycle) return std::nullopt;
+    return std::move(sp.negative_cycle);
+}
+
+/// Witness of a cycle with negative x-weight (over deltas), if any.
+std::optional<std::vector<int>> negative_x_cycle(const Mldg& g) {
+    std::vector<WeightedEdge<std::int64_t>> edges;
+    edges.reserve(static_cast<std::size_t>(g.num_edges()));
+    for (const auto& e : g.edges()) edges.push_back({e.from, e.to, e.delta().x});
+    auto sp = bellman_ford_all_sources<std::int64_t>(g.num_nodes(), edges);
+    if (!sp.has_negative_cycle) return std::nullopt;
+    return std::move(sp.negative_cycle);
+}
+
+}  // namespace
+
+LegalityReport check_mldg_legality(const Mldg& g) {
+    LegalityReport report;
+    auto fail = [&report](const std::string& msg) {
+        report.legal = false;
+        report.violations.push_back(msg);
+    };
+
+    for (int eid = 0; eid < g.num_edges(); ++eid) {
+        const auto& e = g.edge(eid);
+        const bool self = g.is_self_edge(eid);
+        const bool backward = g.is_backward_edge(eid);
+        for (const Vec2& d : e.vectors) {
+            if (d.x < 0) {
+                fail("dependence flows to an earlier outer iteration: " + edge_desc(g, e, d));
+                continue;
+            }
+            if (d.x == 0) {
+                if (self) {
+                    fail((d.y == 0 ? std::string("degenerate (0,0) self-dependence: ")
+                                   : std::string("inner loop is not DOALL (self-dependence "
+                                                 "within one outer iteration): ")) +
+                         edge_desc(g, e, d));
+                } else if (backward) {
+                    fail("same-outer-iteration dependence against program order: " +
+                         edge_desc(g, e, d));
+                }
+            }
+        }
+    }
+    return report;
+}
+
+bool is_legal_mldg(const Mldg& g) { return check_mldg_legality(g).legal; }
+
+LegalityReport check_schedulable(const Mldg& g) {
+    LegalityReport report;
+    auto fail = [&report](const std::string& msg) {
+        report.legal = false;
+        report.violations.push_back(msg);
+    };
+
+    for (const auto& e : g.edges()) {
+        for (const Vec2& d : e.vectors) {
+            if (d.x < 0) {
+                fail("dependence flows to an earlier outer iteration: " + edge_desc(g, e, d));
+            }
+        }
+    }
+    if (!report.legal) return report;
+
+    // (S2) split by first coordinate. Since every delta.x >= 0, a cycle with
+    // x-weight zero consists solely of zero-x edges.
+    {
+        std::vector<std::pair<int, int>> edge_nodes;
+        for (const auto& e : g.edges()) edge_nodes.emplace_back(e.from, e.to);
+        if (const auto witness = negative_x_cycle(g)) {
+            fail("cycle with negative x-weight: " + describe_cycle(g, edge_nodes, *witness));
+            return report;
+        }
+    }
+    std::vector<WeightedEdge<std::int64_t>> zero_x_edges;
+    std::vector<std::pair<int, int>> zero_x_nodes;
+    for (const auto& e : g.edges()) {
+        if (e.delta().x == 0) {
+            zero_x_edges.push_back({e.from, e.to, e.delta().y});
+            zero_x_nodes.emplace_back(e.from, e.to);
+        }
+    }
+    if (const auto witness = cycle_weight_leq_zero(g.num_nodes(), zero_x_edges)) {
+        fail("cycle with weight <= (0,0), no execution order exists (Theorem 4.4 "
+             "hypothesis violated): " +
+             describe_cycle(g, zero_x_nodes, *witness));
+    }
+    return report;
+}
+
+bool is_schedulable(const Mldg& g) { return check_schedulable(g).legal; }
+
+namespace {
+
+std::vector<int> position_of(const std::vector<int>& body_order) {
+    std::vector<int> pos(body_order.size());
+    for (std::size_t k = 0; k < body_order.size(); ++k) {
+        pos[static_cast<std::size_t>(body_order[k])] = static_cast<int>(k);
+    }
+    return pos;
+}
+
+std::vector<int> program_order(const Mldg& g) {
+    std::vector<int> order(static_cast<std::size_t>(g.num_nodes()));
+    for (int i = 0; i < g.num_nodes(); ++i) {
+        order[static_cast<std::size_t>(g.node(i).order)] = i;
+    }
+    return order;
+}
+
+}  // namespace
+
+bool is_fusion_legal(const Mldg& g, const std::vector<int>& body_order) {
+    const auto pos = position_of(body_order);
+    for (const auto& e : g.edges()) {
+        for (const Vec2& d : e.vectors) {
+            if (d < Vec2{0, 0}) return false;
+            if (d.is_zero() &&
+                pos[static_cast<std::size_t>(e.from)] >= pos[static_cast<std::size_t>(e.to)]) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+bool is_fusion_legal(const Mldg& g) { return is_fusion_legal(g, program_order(g)); }
+
+bool is_fused_inner_doall(const Mldg& g, const std::vector<int>& body_order) {
+    const auto pos = position_of(body_order);
+    for (const auto& e : g.edges()) {
+        for (const Vec2& d : e.vectors) {
+            if (d.x >= 1) continue;
+            if (d.is_zero() &&
+                pos[static_cast<std::size_t>(e.from)] < pos[static_cast<std::size_t>(e.to)]) {
+                continue;
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+bool is_fused_inner_doall(const Mldg& g) { return is_fused_inner_doall(g, program_order(g)); }
+
+std::optional<std::vector<int>> fused_body_order(const Mldg& retimed) {
+    // Depth-first emission over the (0,0)-dependence subgraph: walk the loops
+    // in program order, hoisting each loop's not-yet-emitted (0,0)
+    // predecessors (themselves in program order) ahead of it. This yields a
+    // topological order that perturbs the original statement order as little
+    // as possible.
+    const int n = retimed.num_nodes();
+    std::vector<std::vector<int>> pred(static_cast<std::size_t>(n));
+    for (const auto& e : retimed.edges()) {
+        if (e.from == e.to) continue;
+        const bool same_point =
+            std::any_of(e.vectors.begin(), e.vectors.end(), [](const Vec2& d) { return d.is_zero(); });
+        if (!same_point) continue;
+        pred[static_cast<std::size_t>(e.to)].push_back(e.from);
+    }
+    for (auto& ps : pred) {
+        std::sort(ps.begin(), ps.end(), [&retimed](int a, int b) {
+            return retimed.node(a).order < retimed.node(b).order;
+        });
+    }
+
+    std::vector<int> by_program_order(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) by_program_order[static_cast<std::size_t>(retimed.node(v).order)] = v;
+
+    enum class Mark : unsigned char { Unseen, InProgress, Done };
+    std::vector<Mark> mark(static_cast<std::size_t>(n), Mark::Unseen);
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(n));
+
+    // Iterative DFS; frame = (node, next predecessor index).
+    for (int root : by_program_order) {
+        if (mark[static_cast<std::size_t>(root)] != Mark::Unseen) continue;
+        std::vector<std::pair<int, std::size_t>> frames{{root, 0}};
+        mark[static_cast<std::size_t>(root)] = Mark::InProgress;
+        while (!frames.empty()) {
+            auto& [v, next] = frames.back();
+            const auto& ps = pred[static_cast<std::size_t>(v)];
+            if (next < ps.size()) {
+                const int p = ps[next++];
+                if (mark[static_cast<std::size_t>(p)] == Mark::InProgress) {
+                    return std::nullopt;  // (0,0)-dependence cycle
+                }
+                if (mark[static_cast<std::size_t>(p)] == Mark::Unseen) {
+                    mark[static_cast<std::size_t>(p)] = Mark::InProgress;
+                    frames.emplace_back(p, 0);
+                }
+            } else {
+                mark[static_cast<std::size_t>(v)] = Mark::Done;
+                order.push_back(v);
+                frames.pop_back();
+            }
+        }
+    }
+    return order;
+}
+
+bool is_strict_schedule_vector(const Mldg& g, const Vec2& s) {
+    for (const auto& e : g.edges()) {
+        for (const Vec2& d : e.vectors) {
+            if (!d.is_zero() && s.dot(d) <= 0) return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace lf

@@ -1,0 +1,82 @@
+#pragma once
+// Legality of an MLDG (Section 2.2) and of fusion (Section 3.1).
+//
+// Two tiers (see DESIGN.md, "Fidelity notes"):
+//
+// *Program-model legality* (check_mldg_legality): the graph describes an
+// executable Figure-1 program -- loops run in program order, each innermost
+// loop is DOALL. Concretely:
+//   (L1) every dependence vector d has d.x >= 0;
+//   (L2) a vector with d.x == 0 appears only on a *forward* edge (an
+//        earlier loop feeding a later one) -- a same-outer-iteration
+//        dependence cannot flow against statement order;
+//   (L3) self-edges carry no vector with d.x == 0.
+// (L2)+(L3) imply every cycle has x-weight >= 1, the condition Lemma 2.1 /
+// Theorem 3.2 rely on. Dependence analysis of a real program always produces
+// a graph satisfying L1-L3.
+//
+// *Schedulability* (check_schedulable): the weaker condition under which the
+// paper's algorithms apply (the hypothesis of Theorem 4.4, satisfied by the
+// paper's Figure 14, which is NOT program-model legal):
+//   (S1) every dependence vector d has d.x >= 0;
+//   (S2) every cycle has weight > (0,0) (strictly, lexicographically).
+// (S2) guarantees both LLOFRA feasibility (constraint cycles >= (0,0)) and
+// the existence of a valid fused body order: the retimed (0,0)-dependence
+// subgraph is acyclic, so its topological order serializes same-point
+// dependences correctly.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ldg/mldg.hpp"
+
+namespace lf {
+
+struct LegalityReport {
+    bool legal = true;
+    std::vector<std::string> violations;
+
+    explicit operator bool() const { return legal; }
+};
+
+/// Program-model legality: checks (L1)-(L3).
+[[nodiscard]] LegalityReport check_mldg_legality(const Mldg& g);
+
+/// True iff `g` satisfies (L1)-(L3).
+[[nodiscard]] bool is_legal_mldg(const Mldg& g);
+
+/// Schedulability: checks (S1)-(S2). Program-model legality implies this.
+[[nodiscard]] LegalityReport check_schedulable(const Mldg& g);
+
+[[nodiscard]] bool is_schedulable(const Mldg& g);
+
+/// Theorem 3.1 under a given fused-body statement order (body_order[k] = node
+/// executed k-th inside the fused body): fusion is legal iff every dependence
+/// vector is >= (0,0), with equality (0,0) permitted only when the source
+/// node precedes the sink node in `body_order`.
+[[nodiscard]] bool is_fusion_legal(const Mldg& g, const std::vector<int>& body_order);
+
+/// Same with body order = program order (what *direct* fusion without
+/// retiming would produce; used by the naive baseline).
+[[nodiscard]] bool is_fusion_legal(const Mldg& g);
+
+/// Would the *fused* innermost loop be DOALL under `body_order`? True iff
+/// every dependence vector either has x >= 1 or is exactly (0,0) respecting
+/// the body order. This is the operative content of Property 4.2 (the
+/// paper's "d >= (1,-1)" is shorthand for d.x >= 1; see DESIGN.md).
+[[nodiscard]] bool is_fused_inner_doall(const Mldg& g, const std::vector<int>& body_order);
+
+[[nodiscard]] bool is_fused_inner_doall(const Mldg& g);
+
+/// Topological order of the (0,0)-dependence subgraph of a *retimed* graph,
+/// with ties broken by program order (so unconstrained loops keep their
+/// original relative position). nullopt when that subgraph is cyclic, i.e.
+/// the retimed graph cannot be fused at all (a same-point dependence cycle).
+[[nodiscard]] std::optional<std::vector<int>> fused_body_order(const Mldg& retimed);
+
+/// Strict schedule vector test (Section 2.3): s . d > 0 for every nonzero
+/// dependence vector in the graph.
+[[nodiscard]] bool is_strict_schedule_vector(const Mldg& g, const Vec2& s);
+
+}  // namespace lf

@@ -1,0 +1,128 @@
+#include "ldg/mldg.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace lf {
+
+bool DependenceEdge::is_hard() const {
+    // vectors are sorted lexicographically, so equal-x vectors are adjacent.
+    for (std::size_t k = 1; k < vectors.size(); ++k) {
+        if (vectors[k].x == vectors[k - 1].x && vectors[k].y != vectors[k - 1].y) return true;
+    }
+    return false;
+}
+
+int Mldg::add_node(std::string name, std::int64_t body_cost) {
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(LoopNode{std::move(name), id, body_cost});
+    return id;
+}
+
+int Mldg::add_edge(int from, int to, std::vector<Vec2> vectors) {
+    check(from >= 0 && from < num_nodes() && to >= 0 && to < num_nodes(),
+          "Mldg::add_edge: node id out of range");
+    check(!vectors.empty(), "Mldg::add_edge: empty dependence vector set");
+    if (auto existing = find_edge(from, to)) {
+        auto& vs = edges_[static_cast<std::size_t>(*existing)].vectors;
+        vs.insert(vs.end(), vectors.begin(), vectors.end());
+        std::sort(vs.begin(), vs.end());
+        vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
+        return *existing;
+    }
+    std::sort(vectors.begin(), vectors.end());
+    vectors.erase(std::unique(vectors.begin(), vectors.end()), vectors.end());
+    edges_.push_back(DependenceEdge{from, to, std::move(vectors)});
+    return static_cast<int>(edges_.size()) - 1;
+}
+
+const LoopNode& Mldg::node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+LoopNode& Mldg::node(int id) { return nodes_.at(static_cast<std::size_t>(id)); }
+const DependenceEdge& Mldg::edge(int id) const { return edges_.at(static_cast<std::size_t>(id)); }
+
+std::optional<int> Mldg::find_node(std::string_view name) const {
+    for (int i = 0; i < num_nodes(); ++i) {
+        if (nodes_[static_cast<std::size_t>(i)].name == name) return i;
+    }
+    return std::nullopt;
+}
+
+std::optional<int> Mldg::find_edge(int from, int to) const {
+    for (int e = 0; e < num_edges(); ++e) {
+        const auto& ed = edges_[static_cast<std::size_t>(e)];
+        if (ed.from == from && ed.to == to) return e;
+    }
+    return std::nullopt;
+}
+
+bool Mldg::is_backward_edge(int edge_id) const {
+    const auto& e = edge(edge_id);
+    return node(e.from).order > node(e.to).order;
+}
+
+bool Mldg::is_self_edge(int edge_id) const {
+    const auto& e = edge(edge_id);
+    return e.from == e.to;
+}
+
+Adjacency Mldg::adjacency() const {
+    Adjacency adj(static_cast<std::size_t>(num_nodes()));
+    for (const auto& e : edges_) adj[static_cast<std::size_t>(e.from)].push_back(e.to);
+    return adj;
+}
+
+bool Mldg::is_acyclic() const { return lf::is_acyclic(adjacency()); }
+
+Vec2 Mldg::path_weight(std::span<const int> edge_ids) const {
+    Vec2 w{0, 0};
+    for (int id : edge_ids) w += edge(id).delta();
+    return w;
+}
+
+std::size_t Mldg::total_vectors() const {
+    std::size_t n = 0;
+    for (const auto& e : edges_) n += e.vectors.size();
+    return n;
+}
+
+std::string Mldg::to_dot(const std::string& title) const {
+    std::ostringstream os;
+    os << "digraph \"" << title << "\" {\n  rankdir=TB;\n";
+    for (int i = 0; i < num_nodes(); ++i) {
+        os << "  n" << i << " [label=\"" << node(i).name << "\"];\n";
+    }
+    for (const auto& e : edges_) {
+        os << "  n" << e.from << " -> n" << e.to << " [label=\"";
+        for (std::size_t k = 0; k < e.vectors.size(); ++k) {
+            if (k) os << ' ';
+            os << e.vectors[k].str();
+        }
+        if (e.is_hard()) os << " *";
+        os << "\"";
+        if (e.is_hard()) os << ", style=bold";
+        os << "];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string Mldg::summary() const {
+    std::ostringstream os;
+    os << num_nodes() << " loops, " << num_edges() << " dependence edges ("
+       << (is_acyclic() ? "acyclic" : "cyclic") << ")\n";
+    for (const auto& e : edges_) {
+        os << "  " << node(e.from).name << " -> " << node(e.to).name << "  D_L = {";
+        for (std::size_t k = 0; k < e.vectors.size(); ++k) {
+            if (k) os << ", ";
+            os << e.vectors[k].str();
+        }
+        os << "}  delta = " << e.delta().str();
+        if (e.is_hard()) os << "  [hard]";
+        os << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace lf

@@ -1,0 +1,154 @@
+#include "ldg/mldg_nd.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lf {
+
+bool DependenceEdgeN::is_hard() const {
+    const int d = vectors.front().dim();
+    for (std::size_t a = 1; a < vectors.size(); ++a) {
+        bool same_prefix = true;
+        for (int k = 0; k + 1 < d; ++k) {
+            if (vectors[a][k] != vectors[a - 1][k]) {
+                same_prefix = false;
+                break;
+            }
+        }
+        // Sorted order puts equal-prefix vectors adjacent.
+        if (same_prefix && vectors[a][d - 1] != vectors[a - 1][d - 1]) return true;
+    }
+    return false;
+}
+
+int MldgN::add_node(std::string name, std::int64_t body_cost) {
+    const int id = static_cast<int>(nodes_.size());
+    nodes_.push_back(LoopNodeN{std::move(name), id, body_cost});
+    return id;
+}
+
+int MldgN::add_edge(int from, int to, std::vector<VecN> vectors) {
+    check(from >= 0 && from < num_nodes() && to >= 0 && to < num_nodes(),
+          "MldgN::add_edge: node id out of range");
+    check(!vectors.empty(), "MldgN::add_edge: empty dependence vector set");
+    for (const VecN& v : vectors) {
+        check(v.dim() == dim_, "MldgN::add_edge: vector dimension mismatch");
+    }
+    if (auto existing = find_edge(from, to)) {
+        auto& vs = edges_[static_cast<std::size_t>(*existing)].vectors;
+        vs.insert(vs.end(), vectors.begin(), vectors.end());
+        std::sort(vs.begin(), vs.end());
+        vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
+        return *existing;
+    }
+    std::sort(vectors.begin(), vectors.end());
+    vectors.erase(std::unique(vectors.begin(), vectors.end()), vectors.end());
+    edges_.push_back(DependenceEdgeN{from, to, std::move(vectors)});
+    return static_cast<int>(edges_.size()) - 1;
+}
+
+const LoopNodeN& MldgN::node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+const DependenceEdgeN& MldgN::edge(int id) const { return edges_.at(static_cast<std::size_t>(id)); }
+
+std::optional<int> MldgN::find_edge(int from, int to) const {
+    for (int e = 0; e < num_edges(); ++e) {
+        if (edges_[static_cast<std::size_t>(e)].from == from &&
+            edges_[static_cast<std::size_t>(e)].to == to)
+            return e;
+    }
+    return std::nullopt;
+}
+
+bool MldgN::is_acyclic() const {
+    Adjacency adj(static_cast<std::size_t>(num_nodes()));
+    for (const auto& e : edges_) adj[static_cast<std::size_t>(e.from)].push_back(e.to);
+    return lf::is_acyclic(adj);
+}
+
+std::string MldgN::summary() const {
+    std::ostringstream os;
+    os << num_nodes() << " loops (dim " << dim_ << "), " << num_edges() << " edges\n";
+    for (const auto& e : edges_) {
+        os << "  " << node(e.from).name << " -> " << node(e.to).name << "  D_L = {";
+        for (std::size_t k = 0; k < e.vectors.size(); ++k) {
+            if (k) os << ", ";
+            os << e.vectors[k].str();
+        }
+        os << '}';
+        if (e.is_hard()) os << "  [hard]";
+        os << '\n';
+    }
+    return os.str();
+}
+
+MldgN RetimingN::apply(const MldgN& g) const {
+    check(num_nodes() == g.num_nodes(), "RetimingN::apply: size mismatch");
+    MldgN out(g.dim());
+    for (int v = 0; v < g.num_nodes(); ++v) out.add_node(g.node(v).name, g.node(v).body_cost);
+    for (const auto& e : g.edges()) {
+        const VecN shift = of(e.from) - of(e.to);
+        std::vector<VecN> shifted;
+        shifted.reserve(e.vectors.size());
+        for (const VecN& v : e.vectors) shifted.push_back(v + shift);
+        out.add_edge(e.from, e.to, std::move(shifted));
+    }
+    return out;
+}
+
+namespace {
+
+/// Lexicographic comparison of the first dim-1 components against zero.
+bool prefix_nonnegative(const VecN& v) {
+    for (int k = 0; k + 1 < v.dim(); ++k) {
+        if (v[k] > 0) return true;
+        if (v[k] < 0) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+bool is_schedulable_nd(const MldgN& g) {
+    // (S1') outer prefixes must be lexicographically non-negative: nothing
+    // may flow backwards at the sequential levels.
+    for (const auto& e : g.edges()) {
+        for (const VecN& d : e.vectors) {
+            if (!prefix_nonnegative(d)) return false;
+        }
+    }
+    // (S2') no cycle with weight <= 0. Detect with Bellman-Ford over
+    // epsilon-adjusted vectors: scale the last component by K > |E| and
+    // subtract one, so a cycle's adjusted weight is lexicographically
+    // negative exactly when its true weight is <= 0.
+    if (g.num_edges() == 0) return true;
+    const std::int64_t K = g.num_edges() + 1;
+    std::vector<VecN> dist(static_cast<std::size_t>(g.num_nodes()), VecN::zeros(g.dim()));
+    auto adjusted = [&](const VecN& d) {
+        VecN v = d;
+        v[v.dim() - 1] = v[v.dim() - 1] * K - 1;
+        return v;
+    };
+    for (int pass = 0; pass < g.num_nodes(); ++pass) {
+        bool changed = false;
+        for (const auto& e : g.edges()) {
+            const VecN cand = dist[static_cast<std::size_t>(e.from)] + adjusted(e.delta());
+            if (cand < dist[static_cast<std::size_t>(e.to)]) {
+                dist[static_cast<std::size_t>(e.to)] = cand;
+                changed = true;
+            }
+        }
+        if (!changed) return true;
+    }
+    for (const auto& e : g.edges()) {
+        if (dist[static_cast<std::size_t>(e.from)] + adjusted(e.delta()) <
+            dist[static_cast<std::size_t>(e.to)]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace lf

@@ -1,0 +1,45 @@
+#include "ldg/retiming.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace lf {
+
+Mldg Retiming::apply(const Mldg& g) const {
+    check(num_nodes() == g.num_nodes(), "Retiming::apply: size mismatch");
+    Mldg out;
+    for (int i = 0; i < g.num_nodes(); ++i) {
+        out.add_node(g.node(i).name, g.node(i).body_cost);
+    }
+    for (const auto& e : g.edges()) {
+        std::vector<Vec2> shifted;
+        shifted.reserve(e.vectors.size());
+        const Vec2 shift = of(e.from) - of(e.to);
+        for (const Vec2& v : e.vectors) shifted.push_back(v + shift);
+        out.add_edge(e.from, e.to, std::move(shifted));
+    }
+    return out;
+}
+
+void Retiming::normalize() {
+    if (r_.empty()) return;
+    Vec2 lo = r_.front();
+    for (const Vec2& v : r_) {
+        lo.x = std::min(lo.x, v.x);
+        lo.y = std::min(lo.y, v.y);
+    }
+    for (Vec2& v : r_) v -= lo;
+}
+
+std::string Retiming::str(const Mldg& g) const {
+    std::ostringstream os;
+    for (int i = 0; i < num_nodes(); ++i) {
+        if (i) os << ", ";
+        os << "r(" << g.node(i).name << ")=" << of(i).str();
+    }
+    return os.str();
+}
+
+}  // namespace lf

@@ -1,0 +1,27 @@
+#pragma once
+// Textual MLDG serialization, for workloads that exist only as dependence
+// graphs (like the paper's Figure 14) and for tooling interchange:
+//
+//   # comment
+//   mldg fig14 {
+//     node A cost 2;
+//     node B;
+//     edge A B { (0,1) (1,1) };   # dependence vectors from A to B
+//   }
+//
+// Round-trip stable: parse_mldg(serialize_mldg(g)) reproduces g exactly.
+
+#include <string>
+#include <string_view>
+
+#include "ldg/mldg.hpp"
+
+namespace lf {
+
+[[nodiscard]] std::string serialize_mldg(const Mldg& g, const std::string& name = "mldg");
+
+/// Parses the format above; throws lf::Error with location info on problems
+/// (unknown node names, empty vector sets, duplicate nodes).
+[[nodiscard]] Mldg parse_mldg(std::string_view source);
+
+}  // namespace lf

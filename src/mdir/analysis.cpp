@@ -1,0 +1,89 @@
+#include "mdir/analysis.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace lf::mdir {
+
+namespace {
+
+struct Access {
+    int loop = 0;
+    MdArrayRef ref;
+    bool is_write = false;
+};
+
+/// +1 when the u-instance executes before the v-instance displaced by d
+/// (instance_v = instance_u + d), -1 for the converse, 0 when unordered or
+/// identical.
+int order_of(int u, int v, const VecN& d) {
+    // Compare the sequential prefix lexicographically.
+    for (int k = 0; k + 1 < d.dim(); ++k) {
+        if (d[k] > 0) return +1;
+        if (d[k] < 0) return -1;
+    }
+    if (u < v) return +1;
+    if (u > v) return -1;
+    return 0;
+}
+
+}  // namespace
+
+MldgN build_mldg_nd(const MdProgram& p) {
+    MldgN g(p.dim);
+    for (const MdLoopNest& loop : p.loops) g.add_node(loop.label, loop.body_cost());
+
+    std::vector<Access> writes;
+    std::vector<Access> reads;
+    for (int k = 0; k < static_cast<int>(p.loops.size()); ++k) {
+        for (const MdStatement& s : p.loops[static_cast<std::size_t>(k)].body) {
+            writes.push_back({k, s.target, true});
+            for (const MdArrayRef& r : s.reads()) reads.push_back({k, r, false});
+        }
+    }
+
+    auto record = [&g, &p](int from, int to, VecN vector) {
+        if (from == to && vector.is_zero()) return;  // intra-instance
+        if (from == to) {
+            bool prefix_zero = true;
+            for (int k = 0; k + 1 < vector.dim(); ++k) prefix_zero &= vector[k] == 0;
+            check(!prefix_zero, "build_mldg_nd: loop " +
+                                    p.loops[static_cast<std::size_t>(from)].label +
+                                    " is not DOALL (vector " + vector.str() + ")");
+        }
+        g.add_edge(from, to, {std::move(vector)});
+    };
+
+    for (const Access& w : writes) {
+        for (const Access& r : reads) {
+            if (w.ref.array != r.ref.array) continue;
+            const VecN d = w.ref.offset - r.ref.offset;  // read = write + d
+            const int ord = order_of(w.loop, r.loop, d);
+            if (ord > 0) {
+                record(w.loop, r.loop, d);  // flow
+            } else if (ord < 0) {
+                record(r.loop, w.loop, -d);  // anti
+            } else {
+                check(d.is_zero(), "build_mldg_nd: loop " +
+                                       p.loops[static_cast<std::size_t>(w.loop)].label +
+                                       " is not DOALL (vector " + d.str() + ")");
+            }
+        }
+    }
+    for (std::size_t a = 0; a < writes.size(); ++a) {
+        for (std::size_t b = a + 1; b < writes.size(); ++b) {
+            if (writes[a].ref.array != writes[b].ref.array) continue;
+            const VecN d = writes[a].ref.offset - writes[b].ref.offset;
+            const int ord = order_of(writes[a].loop, writes[b].loop, d);
+            if (ord > 0) {
+                record(writes[a].loop, writes[b].loop, d);  // output
+            } else if (ord < 0) {
+                record(writes[b].loop, writes[a].loop, -d);
+            } else {
+                check(d.is_zero(), "build_mldg_nd: non-DOALL output dependence");
+            }
+        }
+    }
+    return g;
+}
+
+}  // namespace lf::mdir

@@ -1,0 +1,17 @@
+#pragma once
+// Dependence analysis for the multi-dimensional program model: produces the
+// general MLDG of Definition 2.2 (an MldgN). The execution-order rule
+// generalizes the 2-D case: the sequential prefix (all levels but the
+// innermost) orders instances lexicographically; within one prefix point the
+// loops run in program order with a barrier after each DOALL loop.
+
+#include "ldg/mldg_nd.hpp"
+#include "mdir/ast.hpp"
+
+namespace lf::mdir {
+
+/// Builds the MldgN for a validated program (flow, anti and output
+/// dependences). Throws lf::Error on model violations.
+[[nodiscard]] MldgN build_mldg_nd(const MdProgram& p);
+
+}  // namespace lf::mdir

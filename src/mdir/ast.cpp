@@ -1,0 +1,122 @@
+#include "mdir/ast.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace lf::mdir {
+
+namespace {
+
+/// Index variable name for level k of d: i1..i{d-1} for the sequential
+/// levels, j for the innermost DOALL level.
+std::string index_var(int level, int dim) {
+    if (level == dim - 1) return "j";
+    return "i" + std::to_string(level + 1);
+}
+
+}  // namespace
+
+std::string MdArrayRef::str() const {
+    std::ostringstream os;
+    os << array;
+    for (int k = 0; k < offset.dim(); ++k) {
+        os << '[' << index_var(k, offset.dim());
+        if (offset[k] > 0) os << '+' << offset[k];
+        if (offset[k] < 0) os << offset[k];
+        os << ']';
+    }
+    return os.str();
+}
+
+void MdLiteral::print(std::ostream& os) const {
+    if (value_ == std::floor(value_) && std::abs(value_) < 1e15) {
+        os << static_cast<std::int64_t>(value_) << ".0";
+    } else {
+        os << value_;
+    }
+}
+
+void MdRead::print(std::ostream& os) const { os << ref_.str(); }
+
+void MdBinary::print(std::ostream& os) const {
+    os << '(';
+    lhs_->print(os);
+    os << ' ' << op_ << ' ';
+    rhs_->print(os);
+    os << ')';
+}
+
+void MdUnary::print(std::ostream& os) const {
+    os << "(-";
+    operand_->print(os);
+    os << ')';
+}
+
+std::string MdStatement::str() const {
+    std::ostringstream os;
+    os << target.str() << " = ";
+    value->print(os);
+    os << ';';
+    return os.str();
+}
+
+std::int64_t MdLoopNest::body_cost() const {
+    std::int64_t cost = 0;
+    for (const MdStatement& s : body) cost += 1 + static_cast<std::int64_t>(s.reads().size());
+    return std::max<std::int64_t>(cost, 1);
+}
+
+std::vector<std::string> MdProgram::arrays() const {
+    std::vector<std::string> out = written_arrays();
+    auto add = [&out](const std::string& name) {
+        if (std::find(out.begin(), out.end(), name) == out.end()) out.push_back(name);
+    };
+    for (const MdLoopNest& loop : loops) {
+        for (const MdStatement& s : loop.body) {
+            for (const MdArrayRef& r : s.reads()) add(r.array);
+        }
+    }
+    return out;
+}
+
+std::vector<std::string> MdProgram::written_arrays() const {
+    std::vector<std::string> out;
+    for (const MdLoopNest& loop : loops) {
+        for (const MdStatement& s : loop.body) {
+            if (std::find(out.begin(), out.end(), s.target.array) == out.end()) {
+                out.push_back(s.target.array);
+            }
+        }
+    }
+    return out;
+}
+
+std::int64_t MdProgram::max_offset() const {
+    std::int64_t m = 0;
+    auto update = [&m](const MdArrayRef& r) {
+        for (int k = 0; k < r.offset.dim(); ++k) m = std::max(m, std::abs(r.offset[k]));
+    };
+    for (const MdLoopNest& loop : loops) {
+        for (const MdStatement& s : loop.body) {
+            update(s.target);
+            for (const MdArrayRef& r : s.reads()) update(r);
+        }
+    }
+    return m;
+}
+
+std::string MdProgram::str() const {
+    std::ostringstream os;
+    os << "program " << name << " dim " << dim << " {\n";
+    for (const MdLoopNest& loop : loops) {
+        os << "  loop " << loop.label << " {\n";
+        for (const MdStatement& s : loop.body) os << "    " << s.str() << '\n';
+        os << "  }\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+}  // namespace lf::mdir

@@ -1,0 +1,244 @@
+#include "mdir/exec.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "mdir/analysis.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lf::mdir {
+
+namespace {
+
+/// Calls fn(p) for every integer point with lo[k] <= p[k] <= hi[k].
+void for_each_point(const std::vector<std::int64_t>& lo, const std::vector<std::int64_t>& hi,
+                    const std::function<void(const VecN&)>& fn) {
+    const int dim = static_cast<int>(lo.size());
+    std::vector<std::int64_t> start = lo;
+    VecN p(std::move(start));
+    if (dim == 0) {
+        fn(p);
+        return;
+    }
+    for (int k = 0; k < dim; ++k) {
+        if (lo[static_cast<std::size_t>(k)] > hi[static_cast<std::size_t>(k)]) return;
+    }
+    while (true) {
+        fn(p);
+        int k = dim - 1;
+        while (k >= 0) {
+            if (++p[k] <= hi[static_cast<std::size_t>(k)]) break;
+            p[k] = lo[static_cast<std::size_t>(k)];
+            --k;
+        }
+        if (k < 0) return;
+    }
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> md_body_order(const MldgN& retimed) {
+    const int n = retimed.num_nodes();
+    std::vector<std::vector<int>> succ(static_cast<std::size_t>(n));
+    std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+    for (const auto& e : retimed.edges()) {
+        if (e.from == e.to) continue;
+        const bool same_point = std::any_of(e.vectors.begin(), e.vectors.end(),
+                                            [](const VecN& d) { return d.is_zero(); });
+        if (!same_point) continue;
+        succ[static_cast<std::size_t>(e.from)].push_back(e.to);
+        ++indegree[static_cast<std::size_t>(e.to)];
+    }
+    std::vector<int> order;
+    std::vector<bool> done(static_cast<std::size_t>(n), false);
+    for (int step = 0; step < n; ++step) {
+        int pick = -1;
+        for (int v = 0; v < n; ++v) {
+            if (!done[static_cast<std::size_t>(v)] && indegree[static_cast<std::size_t>(v)] == 0) {
+                pick = v;
+                break;
+            }
+        }
+        if (pick < 0) return std::nullopt;
+        done[static_cast<std::size_t>(pick)] = true;
+        order.push_back(pick);
+        for (int w : succ[static_cast<std::size_t>(pick)]) --indegree[static_cast<std::size_t>(w)];
+    }
+    return order;
+}
+
+namespace {
+
+std::int64_t run_loop_instance(const MdLoopNest& loop, const VecN& q, MdArrayStore& store) {
+    for (const MdStatement& s : loop.body) {
+        const double value = s.value->eval(store, q);
+        store.store(s.target.array, s.target.cell(q), value);
+    }
+    return static_cast<std::int64_t>(loop.body.size());
+}
+
+}  // namespace
+
+MdArrayStore::MdArrayStore(const MdProgram& p, const MdDomain& dom,
+                           std::optional<std::int64_t> halo_opt) {
+    check(dom.dim() == p.dim, "MdArrayStore: domain dimension mismatch");
+    const std::int64_t halo = halo_opt.value_or(p.max_offset());
+    for (const std::string& name : p.arrays()) {
+        Slot s;
+        s.lo.assign(static_cast<std::size_t>(p.dim), -halo);
+        s.hi.resize(static_cast<std::size_t>(p.dim));
+        for (int k = 0; k < p.dim; ++k) {
+            s.hi[static_cast<std::size_t>(k)] = dom.ext[static_cast<std::size_t>(k)] + halo;
+        }
+        s.stride.assign(static_cast<std::size_t>(p.dim), 1);
+        for (int k = p.dim - 2; k >= 0; --k) {
+            s.stride[static_cast<std::size_t>(k)] =
+                s.stride[static_cast<std::size_t>(k + 1)] *
+                (s.hi[static_cast<std::size_t>(k + 1)] - s.lo[static_cast<std::size_t>(k + 1)] + 1);
+        }
+        const std::int64_t total =
+            s.stride[0] * (s.hi[0] - s.lo[0] + 1);
+        s.data.resize(static_cast<std::size_t>(total));
+        for_each_point(s.lo, s.hi, [&](const VecN& cell) {
+            s.data[index(s, cell)] = boundary_value(name, cell);
+        });
+        slots_.emplace(name, std::move(s));
+    }
+}
+
+double MdArrayStore::boundary_value(const std::string& array, const VecN& cell) {
+    std::uint64_t h = std::hash<std::string>{}(array);
+    for (int k = 0; k < cell.dim(); ++k) {
+        h ^= static_cast<std::uint64_t>(cell[k]) * 0x9e3779b97f4a7c15ULL;
+        h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    }
+    h ^= h >> 31;
+    return static_cast<double>(h % 2000001ULL) / 1000000.0 - 1.0;
+}
+
+std::size_t MdArrayStore::index(const Slot& s, const VecN& cell) const {
+    std::int64_t idx = 0;
+    for (int k = 0; k < cell.dim(); ++k) {
+        check(cell[k] >= s.lo[static_cast<std::size_t>(k)] &&
+                  cell[k] <= s.hi[static_cast<std::size_t>(k)],
+              "MdArrayStore: cell out of bounds (halo too small?)");
+        idx += (cell[k] - s.lo[static_cast<std::size_t>(k)]) * s.stride[static_cast<std::size_t>(k)];
+    }
+    return static_cast<std::size_t>(idx);
+}
+
+const MdArrayStore::Slot& MdArrayStore::slot(const std::string& name) const {
+    const auto it = slots_.find(name);
+    check(it != slots_.end(), "MdArrayStore: unknown array '" + name + "'");
+    return it->second;
+}
+
+double MdArrayStore::load(const std::string& array, const VecN& cell) const {
+    const Slot& s = slot(array);
+    return s.data[index(s, cell)];
+}
+
+void MdArrayStore::store(const std::string& array, const VecN& cell, double value) {
+    Slot& s = const_cast<Slot&>(slot(array));
+    s.data[index(s, cell)] = value;
+}
+
+MdExecStats run_original_md(const MdProgram& p, const MdDomain& dom, MdArrayStore& store) {
+    MdExecStats stats;
+    std::vector<std::int64_t> lo(static_cast<std::size_t>(p.dim - 1), 0);
+    std::vector<std::int64_t> hi(dom.ext.begin(), dom.ext.end() - 1);
+    const std::int64_t inner_hi = dom.ext.back();
+    for_each_point(lo, hi, [&](const VecN& prefix) {
+        for (const MdLoopNest& loop : p.loops) {
+            VecN q(p.dim);
+            for (int k = 0; k < p.dim - 1; ++k) q[k] = prefix[k];
+            for (std::int64_t j = 0; j <= inner_hi; ++j) {
+                q[p.dim - 1] = j;
+                stats.instances += run_loop_instance(loop, q, store);
+            }
+            ++stats.barriers;
+        }
+    });
+    return stats;
+}
+
+MdExecStats run_wavefront_md(const MdProgram& p, const NdFusionPlan& plan, const MdDomain& dom,
+                             MdArrayStore& store) {
+    MdExecStats stats;
+    check(static_cast<int>(p.loops.size()) == plan.retimed.num_nodes(),
+          "run_wavefront_md: plan/program mismatch");
+    const auto order = md_body_order(plan.retimed);
+    check(order.has_value(), "run_wavefront_md: zero-dependence cycle in the retimed graph");
+
+    // Fused point bounding box: body u active at p with p + r(u) in domain.
+    std::vector<std::int64_t> lo(static_cast<std::size_t>(p.dim));
+    std::vector<std::int64_t> hi(static_cast<std::size_t>(p.dim));
+    for (int k = 0; k < p.dim; ++k) {
+        std::int64_t l = -plan.retiming.of(0)[k];
+        std::int64_t h = dom.ext[static_cast<std::size_t>(k)] - plan.retiming.of(0)[k];
+        for (int v = 1; v < plan.retimed.num_nodes(); ++v) {
+            l = std::min(l, -plan.retiming.of(v)[k]);
+            h = std::max(h, dom.ext[static_cast<std::size_t>(k)] - plan.retiming.of(v)[k]);
+        }
+        lo[static_cast<std::size_t>(k)] = l;
+        hi[static_cast<std::size_t>(k)] = h;
+    }
+
+    // Bucket active fused points by t = s . p.
+    std::map<std::int64_t, std::vector<VecN>> buckets;
+    for_each_point(lo, hi, [&](const VecN& point) {
+        bool active = false;
+        for (int v = 0; v < plan.retimed.num_nodes() && !active; ++v) {
+            active = dom.contains(point + plan.retiming.of(v));
+        }
+        if (active) buckets[plan.schedule.dot(point)].push_back(point);
+    });
+
+    for (const auto& [t, points] : buckets) {
+        for (const VecN& point : points) {
+            for (const int v : *order) {
+                const VecN q = point + plan.retiming.of(v);
+                if (dom.contains(q)) {
+                    stats.instances +=
+                        run_loop_instance(p.loops[static_cast<std::size_t>(v)], q, store);
+                }
+            }
+        }
+        ++stats.barriers;
+    }
+    return stats;
+}
+
+MdVerification verify_md_fusion(const MdProgram& p, const MdDomain& dom) {
+    const MldgN g = build_mldg_nd(p);
+    const NdFusionPlan plan = plan_fusion_nd(g);
+
+    MdArrayStore golden(p, dom);
+    MdArrayStore subject(p, dom);
+
+    MdVerification result;
+    result.original = run_original_md(p, dom, golden);
+    result.transformed = run_wavefront_md(p, plan, dom, subject);
+
+    std::vector<std::int64_t> lo(static_cast<std::size_t>(p.dim), 0);
+    std::vector<std::int64_t> hi(dom.ext);
+    result.equivalent = true;
+    for (const std::string& name : p.written_arrays()) {
+        for_each_point(lo, hi, [&](const VecN& cell) {
+            if (!result.equivalent) return;
+            const double a = golden.load(name, cell);
+            const double b = subject.load(name, cell);
+            if (a != b) {
+                std::ostringstream os;
+                os << name << cell.str() << ": " << a << " != " << b;
+                result.detail = os.str();
+                result.equivalent = false;
+            }
+        });
+        if (!result.equivalent) break;
+    }
+    return result;
+}
+
+}  // namespace lf::mdir

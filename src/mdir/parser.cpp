@@ -1,0 +1,186 @@
+#include "mdir/parser.hpp"
+
+#include "ir/lexer.hpp"
+#include "support/diagnostics.hpp"
+
+#include <set>
+
+namespace lf::mdir {
+
+namespace {
+
+using ir::Token;
+using ir::TokenKind;
+
+class Parser {
+  public:
+    explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+    MdProgram parse() {
+        MdProgram p;
+        expect_keyword("program");
+        p.name = expect(TokenKind::Identifier).text;
+        expect_keyword("dim");
+        p.dim = static_cast<int>(expect(TokenKind::Integer).integer);
+        check(p.dim >= 2 && p.dim <= 8, "parse error: dim must be in [2, 8]");
+        dim_ = p.dim;
+        expect(TokenKind::LBrace);
+        while (!at(TokenKind::RBrace)) p.loops.push_back(parse_loop());
+        expect(TokenKind::RBrace);
+        expect(TokenKind::End);
+        return p;
+    }
+
+  private:
+    [[nodiscard]] const Token& peek() const { return tokens_[pos_]; }
+    [[nodiscard]] bool at(TokenKind kind) const { return peek().kind == kind; }
+    const Token& advance() { return tokens_[pos_++]; }
+
+    const Token& expect(TokenKind kind) {
+        check(at(kind), "parse error at " + peek().loc.str() + ": expected " +
+                            ir::to_string(kind) + ", found " + ir::to_string(peek().kind));
+        return advance();
+    }
+
+    void expect_keyword(const std::string& kw) {
+        const Token& t = expect(TokenKind::Identifier);
+        check(t.text == kw, "parse error at " + t.loc.str() + ": expected '" + kw + "'");
+    }
+
+    bool accept(TokenKind kind) {
+        if (at(kind)) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    MdLoopNest parse_loop() {
+        MdLoopNest loop;
+        expect_keyword("loop");
+        loop.label = expect(TokenKind::Identifier).text;
+        expect(TokenKind::LBrace);
+        while (!at(TokenKind::RBrace)) loop.body.push_back(parse_statement());
+        expect(TokenKind::RBrace);
+        check(!loop.body.empty(), "parse error: loop " + loop.label + " has an empty body");
+        return loop;
+    }
+
+    MdStatement parse_statement() {
+        MdArrayRef target = parse_array_ref();
+        expect(TokenKind::Assign);
+        MdExprPtr value = parse_expr();
+        expect(TokenKind::Semicolon);
+        return MdStatement(std::move(target), std::move(value));
+    }
+
+    MdArrayRef parse_array_ref() {
+        MdArrayRef ref;
+        const Token& name = expect(TokenKind::Identifier);
+        ref.array = name.text;
+        ref.loc = name.loc;
+        ref.offset = VecN::zeros(dim_);
+        for (int level = 0; level < dim_; ++level) {
+            expect(TokenKind::LBracket);
+            ref.offset[level] = parse_index(level);
+            expect(TokenKind::RBracket);
+        }
+        return ref;
+    }
+
+    std::int64_t parse_index(int level) {
+        const std::string want =
+            level == dim_ - 1 ? "j" : "i" + std::to_string(level + 1);
+        const Token& v = expect(TokenKind::Identifier);
+        check(v.text == want, "parse error at " + v.loc.str() + ": level-" +
+                                  std::to_string(level) + " subscript must use '" + want +
+                                  "', found '" + v.text + "'");
+        if (accept(TokenKind::Plus)) return expect(TokenKind::Integer).integer;
+        if (accept(TokenKind::Minus)) return -expect(TokenKind::Integer).integer;
+        return 0;
+    }
+
+    MdExprPtr parse_expr() {
+        MdExprPtr lhs = parse_term();
+        while (at(TokenKind::Plus) || at(TokenKind::Minus)) {
+            const char op = advance().text[0];
+            lhs = std::make_unique<MdBinary>(op, std::move(lhs), parse_term());
+        }
+        return lhs;
+    }
+
+    MdExprPtr parse_term() {
+        MdExprPtr lhs = parse_factor();
+        while (at(TokenKind::Star) || at(TokenKind::Slash)) {
+            const char op = advance().text[0];
+            lhs = std::make_unique<MdBinary>(op, std::move(lhs), parse_factor());
+        }
+        return lhs;
+    }
+
+    MdExprPtr parse_factor() {
+        if (at(TokenKind::Number) || at(TokenKind::Integer)) {
+            return std::make_unique<MdLiteral>(advance().number);
+        }
+        if (accept(TokenKind::Minus)) return std::make_unique<MdUnary>(parse_factor());
+        if (accept(TokenKind::LParen)) {
+            MdExprPtr e = parse_expr();
+            expect(TokenKind::RParen);
+            return e;
+        }
+        if (at(TokenKind::Identifier)) return std::make_unique<MdRead>(parse_array_ref());
+        throw Error("parse error at " + peek().loc.str() + ": expected an expression");
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+    int dim_ = 2;
+};
+
+bool same_prefix(const VecN& a, const VecN& b) {
+    for (int k = 0; k + 1 < a.dim(); ++k) {
+        if (a[k] != b[k]) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+void validate_md_program(const MdProgram& p) {
+    check(!p.loops.empty(), "sema: program '" + p.name + "' has no loops");
+    std::set<std::string> labels;
+    for (const MdLoopNest& loop : p.loops) {
+        check(labels.insert(loop.label).second, "sema: duplicate loop label '" + loop.label + "'");
+    }
+    // DOALL check: within one loop, two accesses to the same array (one a
+    // write) whose offsets differ only in the innermost component conflict
+    // across j within one sequential iteration.
+    for (const MdLoopNest& loop : p.loops) {
+        std::vector<std::pair<MdArrayRef, bool>> accesses;
+        for (const MdStatement& s : loop.body) {
+            accesses.emplace_back(s.target, true);
+            for (const MdArrayRef& r : s.reads()) accesses.emplace_back(r, false);
+        }
+        for (std::size_t a = 0; a < accesses.size(); ++a) {
+            for (std::size_t b = a + 1; b < accesses.size(); ++b) {
+                if (!accesses[a].second && !accesses[b].second) continue;
+                if (accesses[a].first.array != accesses[b].first.array) continue;
+                const VecN& oa = accesses[a].first.offset;
+                const VecN& ob = accesses[b].first.offset;
+                if (same_prefix(oa, ob) && oa[oa.dim() - 1] != ob[ob.dim() - 1]) {
+                    throw Error("sema: loop " + loop.label + " is not DOALL: " +
+                                accesses[a].first.str() + " conflicts with " +
+                                accesses[b].first.str());
+                }
+            }
+        }
+    }
+}
+
+MdProgram parse_md_program(std::string_view source) {
+    MdProgram p = Parser(ir::tokenize(source)).parse();
+    validate_md_program(p);
+    return p;
+}
+
+}  // namespace lf::mdir

@@ -1,0 +1,25 @@
+#pragma once
+// Parser for the multi-dimensional loop DSL:
+//
+//   program  := "program" IDENT "dim" INTEGER "{" loop+ "}"
+//   loop     := "loop" IDENT "{" statement+ "}"
+//   arrayref := IDENT ("[" index(k) "]"){dim}
+//   index(k) := var_k (("+" | "-") INTEGER)?
+//
+// where var_k is "i1".."i{dim-1}" for the sequential levels and "j" for the
+// innermost DOALL level. Expressions are as in the 2-D DSL. Semantic checks:
+// unique labels, and every loop genuinely DOALL (no same-prefix cross-j
+// access conflict).
+
+#include <string_view>
+
+#include "mdir/ast.hpp"
+
+namespace lf::mdir {
+
+[[nodiscard]] MdProgram parse_md_program(std::string_view source);
+
+/// Validation only (parse_md_program already calls it).
+void validate_md_program(const MdProgram& p);
+
+}  // namespace lf::mdir

@@ -1,0 +1,92 @@
+#include "sim/cache.hpp"
+
+#include <limits>
+
+#include "support/diagnostics.hpp"
+#include "support/math_util.hpp"
+
+namespace lf::sim {
+
+namespace {
+// Sentinel for an empty cache line; no real line tag can take this value
+// (it would require an address near the bottom of the 64-bit range).
+constexpr std::int64_t kEmptyTag = std::numeric_limits<std::int64_t>::min();
+}  // namespace
+
+CacheSim::CacheSim(const CacheConfig& config) : config_(config) {
+    check(config.line_elements >= 1 && config.num_sets >= 1 && config.ways >= 1 &&
+              config.ways <= 127,
+          "CacheSim: bad configuration");
+    reset();
+}
+
+void CacheSim::reset() {
+    stats_ = CacheStats{};
+    tags_.assign(static_cast<std::size_t>(config_.num_sets) * static_cast<std::size_t>(config_.ways),
+                 kEmptyTag);
+    lru_.assign(tags_.size(), 0);
+    for (int set = 0; set < config_.num_sets; ++set) {
+        for (int way = 0; way < config_.ways; ++way) {
+            lru_[static_cast<std::size_t>(set * config_.ways + way)] = static_cast<std::int8_t>(way);
+        }
+    }
+}
+
+bool CacheSim::access(std::int64_t address) {
+    ++stats_.accesses;
+    const std::int64_t line = floor_div(address, config_.line_elements);
+    const int set = static_cast<int>(((line % config_.num_sets) + config_.num_sets) %
+                                     config_.num_sets);
+    const std::int64_t tag = line;
+    const std::size_t base = static_cast<std::size_t>(set * config_.ways);
+
+    int hit_way = -1;
+    for (int way = 0; way < config_.ways; ++way) {
+        if (tags_[base + static_cast<std::size_t>(way)] == tag) {
+            hit_way = way;
+            break;
+        }
+    }
+
+    bool miss = hit_way < 0;
+    if (miss) {
+        ++stats_.misses;
+        // Victim = least recently used = last entry of the LRU order.
+        hit_way = lru_[base + static_cast<std::size_t>(config_.ways - 1)];
+        tags_[base + static_cast<std::size_t>(hit_way)] = tag;
+    }
+    // Move hit_way to the front of the LRU order.
+    int k = 0;
+    while (lru_[base + static_cast<std::size_t>(k)] != hit_way) ++k;
+    for (; k > 0; --k) {
+        lru_[base + static_cast<std::size_t>(k)] = lru_[base + static_cast<std::size_t>(k - 1)];
+    }
+    lru_[base] = static_cast<std::int8_t>(hit_way);
+    return miss;
+}
+
+void CacheSim::access_trace(const std::vector<exec::TraceEntry>& trace) {
+    for (const exec::TraceEntry& e : trace) (void)access(e.address);
+}
+
+std::vector<CacheStats> simulate_private_caches(const std::vector<exec::TraceEntry>& trace,
+                                                int processors, const CacheConfig& config) {
+    check(processors >= 1, "simulate_private_caches: need at least one processor");
+    std::vector<CacheSim> caches(static_cast<std::size_t>(processors), CacheSim(config));
+    for (const exec::TraceEntry& e : trace) {
+        const int proc = e.processor >= 0 && e.processor < processors ? e.processor : 0;
+        (void)caches[static_cast<std::size_t>(proc)].access(e.address);
+    }
+    std::vector<CacheStats> stats;
+    stats.reserve(caches.size());
+    for (const CacheSim& c : caches) stats.push_back(c.stats());
+    return stats;
+}
+
+std::int64_t total_misses(const std::vector<CacheStats>& stats) {
+    std::int64_t total = 0;
+    for (const CacheStats& s : stats) total += s.misses;
+    return total;
+}
+
+}  // namespace lf::sim

@@ -1,0 +1,65 @@
+#pragma once
+// A set-associative LRU cache simulator for the data-locality claims:
+// fusion shortens producer-consumer reuse distances, so the fused program
+// should miss less on the same trace volume. Feed it the address traces
+// recorded by exec::ArrayStore.
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/store.hpp"
+
+namespace lf::sim {
+
+struct CacheConfig {
+    /// Line size in array *elements* (doubles).
+    std::int64_t line_elements = 8;
+    int num_sets = 64;
+    int ways = 4;
+
+    [[nodiscard]] std::int64_t capacity_elements() const {
+        return line_elements * num_sets * ways;
+    }
+};
+
+struct CacheStats {
+    std::int64_t accesses = 0;
+    std::int64_t misses = 0;
+
+    [[nodiscard]] double miss_rate() const {
+        return accesses == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(accesses);
+    }
+};
+
+/// Replays a processor-tagged trace (from the *_blocked engines) through
+/// `processors` private caches; entry k goes to the cache of its tag
+/// (untagged entries to cache 0). Returns per-processor stats.
+[[nodiscard]] std::vector<CacheStats> simulate_private_caches(
+    const std::vector<exec::TraceEntry>& trace, int processors, const CacheConfig& config);
+
+/// Sum of misses across all private caches.
+[[nodiscard]] std::int64_t total_misses(const std::vector<CacheStats>& stats);
+
+class CacheSim {
+  public:
+    explicit CacheSim(const CacheConfig& config);
+
+    /// Accesses one element address; returns true on miss.
+    bool access(std::int64_t address);
+
+    void access_trace(const std::vector<exec::TraceEntry>& trace);
+
+    [[nodiscard]] const CacheStats& stats() const { return stats_; }
+    void reset();
+
+  private:
+    CacheConfig config_;
+    CacheStats stats_;
+    /// tags_[set * ways + way]: line tag, kEmptyTag sentinel when empty.
+    std::vector<std::int64_t> tags_;
+    /// LRU ordering per set: lru_[set * ways + k] is the way index of the
+    /// k-th most recently used line.
+    std::vector<std::int8_t> lru_;
+};
+
+}  // namespace lf::sim

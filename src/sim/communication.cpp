@@ -1,0 +1,68 @@
+#include "sim/communication.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/diagnostics.hpp"
+#include "support/math_util.hpp"
+
+namespace lf::sim {
+
+namespace {
+
+/// Elements of one dependence crossing each internal boundary: the |dy|
+/// cells on the far side of the cut, clamped to the block width.
+std::int64_t crossing_per_boundary(const Vec2& d, std::int64_t block) {
+    return std::min<std::int64_t>(std::abs(d.y), block);
+}
+
+}  // namespace
+
+CommunicationEstimate estimate_communication_original(const Mldg& g, const Domain& dom,
+                                                      int processors) {
+    check(processors >= 1, "estimate_communication_original: need at least one processor");
+    CommunicationEstimate est;
+    if (processors == 1) return est;
+    const std::int64_t boundaries = processors - 1;
+    const std::int64_t block = ceil_div(dom.cols(), processors);
+
+    // Volume: every dependence's inner distance crosses every boundary once
+    // per outer iteration (the producing row is distributed, the consuming
+    // instance may sit across the cut).
+    std::set<int> loops_with_outgoing;
+    for (const auto& e : g.edges()) {
+        for (const Vec2& d : e.vectors) {
+            if (d.y == 0) continue;  // aligned: owner already has the value
+            est.volume += boundaries * crossing_per_boundary(d, block);
+        }
+        loops_with_outgoing.insert(e.from);
+    }
+    // Messages: one per boundary (each direction folded into one) per loop
+    // that produces data some other loop consumes.
+    est.messages = boundaries * static_cast<std::int64_t>(loops_with_outgoing.size());
+    return est;
+}
+
+CommunicationEstimate estimate_communication_fused(const Mldg& g, const FusionPlan& plan,
+                                                   const Domain& dom, int processors) {
+    check(processors >= 1, "estimate_communication_fused: need at least one processor");
+    CommunicationEstimate est;
+    if (processors == 1) return est;
+    const std::int64_t boundaries = processors - 1;
+    const std::int64_t block = ceil_div(dom.cols(), processors);
+
+    bool any_cross = false;
+    for (const auto& e : plan.retimed.edges()) {
+        for (const Vec2& d : e.vectors) {
+            if (d.y == 0) continue;
+            est.volume += boundaries * crossing_per_boundary(d, block);
+            any_cross = true;
+        }
+    }
+    (void)g;
+    // One aggregated message per boundary per fused synchronization phase.
+    est.messages = any_cross ? boundaries : 0;
+    return est;
+}
+
+}  // namespace lf::sim

@@ -1,0 +1,48 @@
+#pragma once
+// Inter-processor communication model under block partitioning of the
+// innermost (DOALL) dimension -- the "synchronization between processors"
+// cost the paper's introduction motivates.
+//
+// The j-range [0, m] is split into P contiguous blocks, owner-computes.
+// A dependence with inner distance dy makes min(|dy|, block) elements cross
+// each internal block boundary, once per outer iteration. Messages are
+// aggregated per synchronization phase: the original program sends one
+// message per boundary per *loop* (it must be delivered before the next
+// loop starts), the fused program one per boundary per *fused row*. Fusion
+// therefore divides the message count by ~|V| while keeping the volume, and
+// messages are what synchronization-latency-bound machines pay for.
+//
+// The same model prices shift-and-peel: its peeled iterations near each
+// boundary execute redundantly/serially, which is the inefficiency the
+// paper cites "when the number of peeled iterations exceeds the number of
+// iterations per processor".
+
+#include <cstdint>
+
+#include "fusion/driver.hpp"
+#include "ldg/mldg.hpp"
+#include "support/domain.hpp"
+
+namespace lf::sim {
+
+struct CommunicationEstimate {
+    /// Messages per outer iteration (boundaries x phases).
+    std::int64_t messages = 0;
+    /// Elements crossing boundaries per outer iteration.
+    std::int64_t volume = 0;
+};
+
+/// Original schedule: one communication phase per loop per outer iteration.
+[[nodiscard]] CommunicationEstimate estimate_communication_original(const Mldg& g,
+                                                                    const Domain& dom,
+                                                                    int processors);
+
+/// Fused schedule: one communication phase per outer iteration; volume is
+/// computed from the *retimed* dependence vectors (retiming does not change
+/// inner distances of carried dependences but can eliminate same-row ones).
+[[nodiscard]] CommunicationEstimate estimate_communication_fused(const Mldg& g,
+                                                                 const FusionPlan& plan,
+                                                                 const Domain& dom,
+                                                                 int processors);
+
+}  // namespace lf::sim

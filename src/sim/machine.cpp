@@ -1,0 +1,134 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/diagnostics.hpp"
+#include "support/math_util.hpp"
+
+namespace lf::sim {
+
+namespace {
+
+std::int64_t phase_time(std::int64_t work, const MachineConfig& machine) {
+    return ceil_div(work, machine.processors) + machine.barrier_cost;
+}
+
+}  // namespace
+
+ScheduleEstimate estimate_original(const Mldg& g, const Domain& dom,
+                                   const MachineConfig& machine) {
+    check(machine.processors >= 1, "estimate_original: need at least one processor");
+    ScheduleEstimate est;
+    for (std::int64_t i = 0; i <= dom.n; ++i) {
+        for (int v = 0; v < g.num_nodes(); ++v) {
+            const std::int64_t work = dom.cols() * g.node(v).body_cost;
+            est.total_time += phase_time(work, machine);
+            est.work += work;
+            ++est.barriers;
+        }
+    }
+    return est;
+}
+
+ScheduleEstimate estimate_fused(const Mldg& g, const FusionPlan& plan, const Domain& dom,
+                                const MachineConfig& machine) {
+    check(machine.processors >= 1, "estimate_fused: need at least one processor");
+    ScheduleEstimate est;
+
+    // Activity ranges per node in fused-point space.
+    struct Range {
+        std::int64_t ilo, ihi, jlo, jhi;
+        std::int64_t cost;
+    };
+    std::vector<Range> ranges;
+    ranges.reserve(static_cast<std::size_t>(g.num_nodes()));
+    for (int v = 0; v < g.num_nodes(); ++v) {
+        const Vec2 r = plan.retiming.of(v);
+        ranges.push_back(Range{-r.x, dom.n - r.x, -r.y, dom.m - r.y, g.node(v).body_cost});
+    }
+
+    if (plan.level == ParallelismLevel::InnerDoall) {
+        const std::int64_t ilo =
+            std::min_element(ranges.begin(), ranges.end(),
+                             [](const Range& a, const Range& b) { return a.ilo < b.ilo; })
+                ->ilo;
+        const std::int64_t ihi =
+            std::max_element(ranges.begin(), ranges.end(),
+                             [](const Range& a, const Range& b) { return a.ihi < b.ihi; })
+                ->ihi;
+        for (std::int64_t pi = ilo; pi <= ihi; ++pi) {
+            std::int64_t work = 0;
+            for (const Range& r : ranges) {
+                if (pi >= r.ilo && pi <= r.ihi) work += (r.jhi - r.jlo + 1) * r.cost;
+            }
+            if (work == 0) continue;
+            est.total_time += phase_time(work, machine);
+            est.work += work;
+            ++est.barriers;
+        }
+        return est;
+    }
+
+    // Hyperplane schedule: bucket work by t = s . p.
+    const Vec2 s = plan.schedule;
+    std::map<std::int64_t, std::int64_t> work_by_t;
+    for (const Range& r : ranges) {
+        for (std::int64_t pi = r.ilo; pi <= r.ihi; ++pi) {
+            for (std::int64_t pj = r.jlo; pj <= r.jhi; ++pj) {
+                work_by_t[s.x * pi + s.y * pj] += r.cost;
+            }
+        }
+    }
+    for (const auto& [t, work] : work_by_t) {
+        est.total_time += phase_time(work, machine);
+        est.work += work;
+        ++est.barriers;
+    }
+    return est;
+}
+
+ScheduleEstimate estimate_grouped(const Mldg& g, const std::vector<std::vector<int>>& groups,
+                                  const std::vector<bool>& group_is_doall, const Domain& dom,
+                                  const MachineConfig& machine) {
+    check(groups.size() == group_is_doall.size(), "estimate_grouped: size mismatch");
+    ScheduleEstimate est;
+    for (std::int64_t i = 0; i <= dom.n; ++i) {
+        for (std::size_t k = 0; k < groups.size(); ++k) {
+            std::int64_t work = 0;
+            for (int v : groups[k]) work += dom.cols() * g.node(v).body_cost;
+            est.work += work;
+            if (group_is_doall[k]) {
+                est.total_time += phase_time(work, machine);
+            } else {
+                // Serial row: the group's inner loop cannot be spread over
+                // processors.
+                est.total_time += work + machine.barrier_cost;
+            }
+            ++est.barriers;
+        }
+    }
+    return est;
+}
+
+ScheduleEstimate estimate_shift_and_peel(const Mldg& g, std::int64_t peel, const Domain& dom,
+                                         const MachineConfig& machine) {
+    check(machine.processors >= 1, "estimate_shift_and_peel: need at least one processor");
+    ScheduleEstimate est;
+    std::int64_t cost_per_point = 0;
+    for (int v = 0; v < g.num_nodes(); ++v) cost_per_point += g.node(v).body_cost;
+    const std::int64_t row_work = dom.cols() * cost_per_point;
+    for (std::int64_t i = 0; i <= dom.n; ++i) {
+        const std::int64_t parallel = ceil_div(row_work, machine.processors);
+        // Peeled boundary iterations execute serially at each internal cut
+        // (they carry the unshifted dependences across processors).
+        const std::int64_t serial_peel =
+            machine.processors > 1 ? peel * cost_per_point : 0;
+        est.total_time += parallel + serial_peel + machine.barrier_cost;
+        est.work += row_work;
+        ++est.barriers;
+    }
+    return est;
+}
+
+}  // namespace lf::sim

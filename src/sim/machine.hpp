@@ -1,0 +1,72 @@
+#pragma once
+// Deterministic multiprocessor cost model (the substitution for the paper's
+// parallel hardware -- see DESIGN.md "Substitutions").
+//
+// Execution is a sequence of *phases*; a phase runs a set of independent
+// instance groups in parallel on P processors and ends with one barrier:
+//
+//   time(phase) = ceil(work / P) + sigma
+//
+// where `work` is the total instance cost in the phase and `sigma` the
+// barrier cost. This captures exactly what the paper argues about: fusion
+// removes barriers (|V| per outer iteration -> 1) and enlarges phases
+// (better processor utilization); hyperplane schedules pay one barrier per
+// wavefront.
+
+#include <cstdint>
+
+#include "fusion/driver.hpp"
+#include "ldg/mldg.hpp"
+#include "support/domain.hpp"
+
+namespace lf::sim {
+
+struct MachineConfig {
+    int processors = 8;
+    /// Barrier / synchronization cost in the same units as one unit of
+    /// instance work.
+    std::int64_t barrier_cost = 100;
+};
+
+struct ScheduleEstimate {
+    std::int64_t total_time = 0;
+    std::int64_t barriers = 0;
+    std::int64_t work = 0;  // total instance cost (identical across schedules)
+
+    [[nodiscard]] double speedup_over(const ScheduleEstimate& baseline) const {
+        return static_cast<double>(baseline.total_time) / static_cast<double>(total_time);
+    }
+};
+
+/// The original program: per outer iteration, one phase per loop
+/// (m+1 iterations of that loop's body cost), each ending in a barrier.
+[[nodiscard]] ScheduleEstimate estimate_original(const Mldg& g, const Domain& dom,
+                                                 const MachineConfig& machine);
+
+/// The fused program under `plan`:
+///  * inner-DOALL plans: one phase per fused row (only rows with work);
+///  * hyperplane plans: one phase per non-empty hyperplane t = s . p.
+[[nodiscard]] ScheduleEstimate estimate_fused(const Mldg& g, const FusionPlan& plan,
+                                              const Domain& dom, const MachineConfig& machine);
+
+/// A partitioned schedule that fuses only within the given groups (the
+/// Kennedy-McKinley baseline): per outer iteration, one phase per group.
+/// Groups whose internal dependences serialize the inner loop execute their
+/// row serially (work not divided by P).
+[[nodiscard]] ScheduleEstimate estimate_grouped(const Mldg& g,
+                                                const std::vector<std::vector<int>>& groups,
+                                                const std::vector<bool>& group_is_doall,
+                                                const Domain& dom, const MachineConfig& machine);
+
+/// The shift-and-peel schedule (Manjikian-Abdelrahman baseline): one fused
+/// phase per outer iteration, but each processor additionally executes the
+/// `peel` boundary iterations of every loop body serially before its block
+/// can proceed. The overhead term grows relative to the useful work as the
+/// per-processor share m/P shrinks -- the paper's stated inefficiency
+/// "when the number of peeled iterations exceeds the number of iterations
+/// per processor".
+[[nodiscard]] ScheduleEstimate estimate_shift_and_peel(const Mldg& g, std::int64_t peel,
+                                                       const Domain& dom,
+                                                       const MachineConfig& machine);
+
+}  // namespace lf::sim

@@ -1,0 +1,32 @@
+#include "sim/metrics.hpp"
+
+namespace lf::sim {
+
+ForwardingReuse forwarding_reuse(const analysis::DependenceInfo& info, const Retiming& retiming,
+                                 const Domain& dom) {
+    ForwardingReuse out;
+    for (const analysis::Dependence& d : info.dependences) {
+        if (d.kind != analysis::DepKind::Flow) continue;
+        const Vec2 retimed = d.vector + retiming.of(d.from_loop) - retiming.of(d.to_loop);
+        if (retimed.is_zero()) {
+            ++out.forwardable_dependences;
+            out.forwardable_loads += dom.points();
+        }
+    }
+    return out;
+}
+
+ForwardingReuse forwarding_reuse(const ir::Program& p, const analysis::DependenceInfo& info,
+                                 const Retiming& retiming, const Domain& dom) {
+    ForwardingReuse out = forwarding_reuse(info, retiming, dom);
+    std::int64_t reads_per_point = 0;
+    for (const ir::LoopNest& loop : p.loops) {
+        for (const ir::Statement& s : loop.body) {
+            reads_per_point += static_cast<std::int64_t>(s.reads().size());
+        }
+    }
+    out.total_loads = reads_per_point * dom.points();
+    return out;
+}
+
+}  // namespace lf::sim

@@ -1,0 +1,47 @@
+#pragma once
+// Locality metrics beyond raw cache simulation.
+//
+// The paper's Section 2 locality argument -- "because of array reuse,
+// [fusion] reduces the references to main memory" -- is strongest for
+// dependences that fusion places at the *same* iteration point: a flow
+// dependence retimed to (0,0) lets the consumer take the freshly computed
+// value from a register instead of reloading the array element. Before
+// fusion, every such value crosses a loop boundary (and a barrier) and must
+// come from memory.
+
+#include <cstdint>
+
+#include "analysis/dependence.hpp"
+#include "ldg/retiming.hpp"
+#include "support/domain.hpp"
+
+namespace lf::sim {
+
+struct ForwardingReuse {
+    /// Elementary flow dependences retimed to (0,0).
+    std::int64_t forwardable_dependences = 0;
+    /// Loads eliminable by same-point register forwarding over the domain
+    /// (one per dependence per iteration point).
+    std::int64_t forwardable_loads = 0;
+    /// Total loads the original program issues over the domain.
+    std::int64_t total_loads = 0;
+
+    [[nodiscard]] double fraction() const {
+        return total_loads == 0
+                   ? 0.0
+                   : static_cast<double>(forwardable_loads) / static_cast<double>(total_loads);
+    }
+};
+
+/// Counts same-point forwarding opportunities created by `retiming` on the
+/// analyzed program. The untransformed program has none across loops.
+/// (total_loads is left zero by this overload.)
+[[nodiscard]] ForwardingReuse forwarding_reuse(const analysis::DependenceInfo& info,
+                                               const Retiming& retiming, const Domain& dom);
+
+/// Same, plus total_loads computed from the program's reads.
+[[nodiscard]] ForwardingReuse forwarding_reuse(const ir::Program& p,
+                                               const analysis::DependenceInfo& info,
+                                               const Retiming& retiming, const Domain& dom);
+
+}  // namespace lf::sim

@@ -1,0 +1,23 @@
+#pragma once
+// Error-reporting primitives. The library throws `lf::Error` for invalid
+// inputs (illegal graphs, malformed programs) so callers can distinguish
+// "the algorithm reports infeasible" (a normal result) from "the input
+// violates the model" (an exception).
+
+#include <stdexcept>
+#include <string>
+
+namespace lf {
+
+/// Exception type for all model violations detected by this library.
+class Error : public std::runtime_error {
+  public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws lf::Error(message) when `condition` is false.
+inline void check(bool condition, const std::string& message) {
+    if (!condition) throw Error(message);
+}
+
+}  // namespace lf

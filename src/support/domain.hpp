@@ -1,0 +1,21 @@
+#pragma once
+// The rectangular iteration domain of the paper's program model:
+// DO i = 0..n { DOALL j = 0..m } (bounds inclusive, as in the paper's code).
+
+#include <cstdint>
+
+namespace lf {
+
+struct Domain {
+    std::int64_t n = 0;  // outer index i ranges over [0, n]
+    std::int64_t m = 0;  // inner index j ranges over [0, m]
+
+    [[nodiscard]] constexpr std::int64_t rows() const { return n + 1; }
+    [[nodiscard]] constexpr std::int64_t cols() const { return m + 1; }
+    [[nodiscard]] constexpr std::int64_t points() const { return rows() * cols(); }
+    [[nodiscard]] constexpr bool contains(std::int64_t i, std::int64_t j) const {
+        return i >= 0 && i <= n && j >= 0 && j <= m;
+    }
+};
+
+}  // namespace lf

@@ -1,0 +1,23 @@
+#pragma once
+// Small integer-math helpers shared across the library.
+
+#include <cstdint>
+
+namespace lf {
+
+/// Floor division (rounds toward negative infinity), as required by the
+/// schedule-vector formula of Lemma 4.3: s[1] = max floor(-d[2]/d[1]) + 1.
+/// C++ `/` truncates toward zero, which is wrong for negative operands.
+[[nodiscard]] constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+    const std::int64_t q = a / b;
+    const std::int64_t r = a % b;
+    return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+
+/// Ceiling division, used by the multiprocessor cost model
+/// (`ceil(iterations / processors)` time steps per DOALL phase).
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+    return -floor_div(-a, b);
+}
+
+}  // namespace lf

@@ -1,0 +1,36 @@
+#pragma once
+// Deterministic random source for generators, property tests and benchmarks.
+// All randomized components take an explicit `Rng&` so every experiment is
+// reproducible from its seed.
+
+#include <cstdint>
+#include <random>
+
+namespace lf {
+
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+    /// Uniform integer in [lo, hi] inclusive.
+    [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /// Uniform real in [lo, hi).
+    [[nodiscard]] double uniform_real(double lo, double hi) {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /// Bernoulli trial with success probability p.
+    [[nodiscard]] bool flip(double p) {
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+}  // namespace lf

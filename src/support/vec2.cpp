@@ -1,0 +1,19 @@
+#include "support/vec2.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace lf {
+
+std::string Vec2::str() const {
+    std::ostringstream os;
+    os << *this;
+    return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+    if (is_infinite(v)) return os << "(inf,inf)";
+    return os << '(' << v.x << ',' << v.y << ')';
+}
+
+}  // namespace lf

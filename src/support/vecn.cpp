@@ -1,0 +1,18 @@
+#include "support/vecn.hpp"
+
+#include <sstream>
+
+namespace lf {
+
+std::string VecN::str() const {
+    std::ostringstream os;
+    os << '(';
+    for (int k = 0; k < dim(); ++k) {
+        if (k) os << ',';
+        os << (*this)[k];
+    }
+    os << ')';
+    return os.str();
+}
+
+}  // namespace lf

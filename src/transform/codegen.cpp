@@ -1,0 +1,187 @@
+#include "transform/codegen.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace lf::transform {
+
+namespace {
+
+/// Symbolic bound "base + offset" where base is "", "n" or "m".
+std::string sym(const char* base, std::int64_t offset) {
+    std::ostringstream os;
+    if (base[0] == '\0') {
+        os << offset;
+        return os.str();
+    }
+    os << base;
+    if (offset > 0) os << '+' << offset;
+    if (offset < 0) os << offset;
+    return os.str();
+}
+
+void emit_statements(std::ostringstream& os, const FusedLoopBody& body, const std::string& indent) {
+    for (const ir::Statement& s : body.statements) {
+        os << indent << s.shifted(body.retiming).str() << '\n';
+    }
+}
+
+/// Emits one stand-alone DOALL loop for `body` covering its whole j-range
+/// (used for prologue/epilogue rows, cf. paper Figure 12(b)).
+void emit_row_loop(std::ostringstream& os, const FusedLoopBody& body, const std::string& indent) {
+    os << indent << "DOALL j = " << sym("", -body.retiming.y) << ", "
+       << sym("m", -body.retiming.y) << "   ! loop " << body.label << '\n';
+    emit_statements(os, body, indent + "  ");
+    os << indent << "END DOALL\n";
+}
+
+}  // namespace
+
+std::string emit_original(const ir::Program& p) {
+    std::ostringstream os;
+    os << "! program " << p.name << " (original)\n";
+    os << "DO i = 0, n\n";
+    for (const ir::LoopNest& loop : p.loops) {
+        os << "  DOALL j = 0, m   ! loop " << loop.label << '\n';
+        for (const ir::Statement& s : loop.body) os << "    " << s.str() << '\n';
+        os << "  END DOALL\n";
+    }
+    os << "END DO\n";
+    return os.str();
+}
+
+std::string emit_fused_guarded(const FusedProgram& fp, const Domain& dom) {
+    std::ostringstream os;
+    os << "! program " << fp.name << " (" << to_string(fp.algorithm) << ", guarded form)\n";
+    os << "DO i = " << fp.point_i_lo() << ", " << sym("n", fp.point_i_hi(dom) - dom.n) << '\n';
+    const char* inner = fp.level == ParallelismLevel::InnerDoall ? "DOALL" : "DO";
+    os << "  " << inner << " j = " << fp.point_j_lo() << ", "
+       << sym("m", fp.point_j_hi(dom) - dom.m) << '\n';
+    for (const FusedLoopBody& body : fp.bodies) {
+        os << "    IF (" << sym("", -body.retiming.x) << " <= i .AND. i <= "
+           << sym("n", -body.retiming.x) << " .AND. " << sym("", -body.retiming.y)
+           << " <= j .AND. j <= " << sym("m", -body.retiming.y) << ") THEN   ! loop "
+           << body.label << '\n';
+        emit_statements(os, body, "      ");
+        os << "    END IF\n";
+    }
+    os << "  END " << inner << "\nEND DO\n";
+    return os.str();
+}
+
+std::string emit_fused_peeled(const FusedProgram& fp, const Domain& dom) {
+    check(fp.level == ParallelismLevel::InnerDoall,
+          "emit_fused_peeled: only inner-DOALL plans have a row-peeled form");
+    std::ostringstream os;
+    os << "! program " << fp.name << " (" << to_string(fp.algorithm) << ", peeled form)\n";
+
+    const std::int64_t i_lo = fp.point_i_lo();
+    const std::int64_t main_i_lo = fp.main_i_lo();
+    // Offsets of the high bounds relative to n (domain-independent).
+    const std::int64_t i_hi_off = fp.point_i_hi(dom) - dom.n;
+    const std::int64_t main_i_hi_off = fp.main_i_hi(dom) - dom.n;
+    const std::int64_t j_lo = fp.point_j_lo();
+    const std::int64_t main_j_lo = fp.main_j_lo();
+    const std::int64_t j_hi_off = fp.point_j_hi(dom) - dom.m;
+    const std::int64_t main_j_hi_off = fp.main_j_hi(dom) - dom.m;
+
+    // --- Prologue rows: only some loops are active. ---
+    if (i_lo < main_i_lo) {
+        os << "! --- prologue rows ---\n";
+        for (std::int64_t i = i_lo; i < main_i_lo; ++i) {
+            os << "! i = " << i << '\n';
+            for (const FusedLoopBody& body : fp.bodies) {
+                if (i + body.retiming.x >= 0 && i + body.retiming.x <= dom.n) {
+                    std::ostringstream row;
+                    emit_row_loop(row, body, "");
+                    // Specialize 'i' to the concrete row by a leading note;
+                    // the loop text itself keeps symbolic i for readability.
+                    os << "i = " << i << '\n' << row.str();
+                }
+            }
+        }
+    }
+
+    // --- Steady state. ---
+    os << "DO i = " << main_i_lo << ", " << sym("n", main_i_hi_off) << '\n';
+    if (j_lo < main_j_lo) {
+        os << "  ! j-prologue (peeled iterations)\n";
+        for (const FusedLoopBody& body : fp.bodies) {
+            const std::int64_t b_lo = -body.retiming.y;
+            if (b_lo < main_j_lo) {
+                os << "  DO j = " << b_lo << ", " << main_j_lo - 1 << "   ! loop " << body.label
+                   << '\n';
+                emit_statements(os, body, "    ");
+                os << "  END DO\n";
+            }
+        }
+    }
+    os << "  DOALL j = " << main_j_lo << ", " << sym("m", main_j_hi_off) << '\n';
+    for (const FusedLoopBody& body : fp.bodies) {
+        emit_statements(os, body, "    ");
+    }
+    os << "  END DOALL\n";
+    if (main_j_hi_off < j_hi_off) {
+        os << "  ! j-epilogue (peeled iterations)\n";
+        for (const FusedLoopBody& body : fp.bodies) {
+            const std::int64_t b_hi_off = -body.retiming.y;  // body high bound = m + b_hi_off
+            if (b_hi_off > main_j_hi_off) {
+                os << "  DO j = " << sym("m", main_j_hi_off + 1) << ", " << sym("m", b_hi_off)
+                   << "   ! loop " << body.label << '\n';
+                emit_statements(os, body, "    ");
+                os << "  END DO\n";
+            }
+        }
+    }
+    os << "END DO\n";
+
+    // --- Epilogue rows. ---
+    if (main_i_hi_off < i_hi_off) {
+        os << "! --- epilogue rows ---\n";
+        for (std::int64_t off = main_i_hi_off + 1; off <= i_hi_off; ++off) {
+            os << "! i = " << sym("n", off) << '\n';
+            for (const FusedLoopBody& body : fp.bodies) {
+                if (-body.retiming.x - dom.n <= off && off <= -body.retiming.x) {
+                    os << "i = " << sym("n", off) << '\n';
+                    emit_row_loop(os, body, "");
+                }
+            }
+        }
+    }
+    return os.str();
+}
+
+std::string emit_wavefront(const FusedProgram& fp, const Domain& dom) {
+    std::ostringstream os;
+    const Vec2 s = fp.schedule;
+    os << "! program " << fp.name << " (" << to_string(fp.algorithm) << ", wavefront form)\n";
+    os << "! schedule s = " << s.str() << ", hyperplane h = " << fp.hyperplane.str() << '\n';
+    const std::int64_t ilo = fp.point_i_lo(), ihi = fp.point_i_hi(dom);
+    const std::int64_t jlo = fp.point_j_lo(), jhi = fp.point_j_hi(dom);
+    // t range over the four corners of the fused bounding box.
+    const std::int64_t t1 = s.x * ilo + s.y * jlo, t2 = s.x * ilo + s.y * jhi;
+    const std::int64_t t3 = s.x * ihi + s.y * jlo, t4 = s.x * ihi + s.y * jhi;
+    const std::int64_t tlo = std::min({t1, t2, t3, t4});
+    const std::int64_t thi = std::max({t1, t2, t3, t4});
+    os << "DO t = " << tlo << ", " << thi << "   ! hyperplanes, sequential\n";
+    os << "  DOALL (i, j) WITH " << s.x << "*i + " << s.y << "*j == t, " << ilo << " <= i <= "
+       << ihi << ", " << jlo << " <= j <= " << jhi << '\n';
+    for (const FusedLoopBody& body : fp.bodies) {
+        os << "    IF (" << -body.retiming.x << " <= i <= " << sym("n", -body.retiming.x)
+           << " .AND. " << -body.retiming.y << " <= j <= " << sym("m", -body.retiming.y)
+           << ") THEN   ! loop " << body.label << '\n';
+        emit_statements(os, body, "      ");
+        os << "    END IF\n";
+    }
+    os << "  END DOALL\nEND DO\n";
+    return os.str();
+}
+
+std::string emit_transformed(const FusedProgram& fp, const Domain& dom) {
+    return fp.level == ParallelismLevel::InnerDoall ? emit_fused_peeled(fp, dom)
+                                                    : emit_wavefront(fp, dom);
+}
+
+}  // namespace lf::transform

@@ -1,0 +1,38 @@
+#pragma once
+// Textual code generation in the paper's pseudo-Fortran style.
+//
+// Three emitters:
+//   * emit_original   -- the untransformed Figure-1 form (DO i / DOALL j per
+//                        loop), e.g. paper Figure 2(b).
+//   * emit_fused_guarded -- the fused nest with explicit membership guards;
+//                        always correct, used as the reference form.
+//   * emit_fused_peeled -- the paper's presentation (Figures 3(b)/12(b)):
+//                        explicit prologue rows, per-row j-peels, the steady
+//                        state DOALL core, and epilogue rows. Inner-DOALL
+//                        plans only.
+//   * emit_wavefront  -- hyperplane (Algorithm 5) schedules: a sequential
+//                        loop over hyperplanes t = s.p with a DOALL over the
+//                        points of each hyperplane.
+//
+// Statement text is shifted by the retiming (node u's statement printed with
+// subscripts offset by r(u)), exactly as in the paper's transformed codes.
+
+#include <string>
+
+#include "transform/fused_program.hpp"
+
+namespace lf::transform {
+
+[[nodiscard]] std::string emit_original(const ir::Program& p);
+
+[[nodiscard]] std::string emit_fused_guarded(const FusedProgram& fp, const Domain& dom);
+
+[[nodiscard]] std::string emit_fused_peeled(const FusedProgram& fp, const Domain& dom);
+
+[[nodiscard]] std::string emit_wavefront(const FusedProgram& fp, const Domain& dom);
+
+/// Dispatches on fp.level: peeled form for inner-DOALL plans, wavefront
+/// otherwise.
+[[nodiscard]] std::string emit_transformed(const FusedProgram& fp, const Domain& dom);
+
+}  // namespace lf::transform

@@ -1,0 +1,28 @@
+#pragma once
+// C code generation: emits a complete, self-verifying C99 program containing
+// both the original loop nest and its fused form, over arrays initialized
+// with exactly the same deterministic boundary values the interpreter uses
+// (exec::ArrayStore::boundary_value). The program runs both forms, compares
+// every produced cell bit-for-bit, prints "OK <checksum>" on success and
+// "MISMATCH ..." otherwise.
+//
+// The fused loop is annotated with `#pragma omp parallel for` when the plan's
+// rows are DOALL, so the emitted code parallelizes under -fopenmp exactly as
+// the paper intends (and compiles unchanged without it).
+
+#include <string>
+
+#include "transform/fused_program.hpp"
+
+namespace lf::transform {
+
+/// The complete self-verifying C program (original + fused + comparison).
+[[nodiscard]] std::string emit_c_program(const ir::Program& p, const FusedProgram& fp,
+                                         const Domain& dom);
+
+/// The checksum the emitted program prints on success: the sum over every
+/// in-domain cell of every written array after the *original* execution,
+/// formatted with "%.17g". Computable host-side for cross-checking.
+[[nodiscard]] std::string expected_c_checksum(const ir::Program& p, const Domain& dom);
+
+}  // namespace lf::transform

@@ -1,0 +1,27 @@
+#include "transform/distribution.hpp"
+
+#include "ir/sema.hpp"
+
+namespace lf::transform {
+
+ir::Program distribute_program(const ir::Program& p) {
+    ir::Program out;
+    out.name = p.name + "_distributed";
+    for (const ir::LoopNest& loop : p.loops) {
+        if (loop.body.size() == 1) {
+            out.loops.push_back(loop);
+            continue;
+        }
+        for (std::size_t k = 0; k < loop.body.size(); ++k) {
+            ir::LoopNest split;
+            split.label = loop.label + "_" + std::to_string(k);
+            split.loc = loop.loc;
+            split.body.push_back(loop.body[k]);
+            out.loops.push_back(std::move(split));
+        }
+    }
+    ir::validate_program(out);
+    return out;
+}
+
+}  // namespace lf::transform

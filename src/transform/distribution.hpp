@@ -1,0 +1,28 @@
+#pragma once
+// Loop distribution (fission), the transformation Kennedy & McKinley pair
+// with fusion ("perform loop fusion ... and use loop distribution to improve
+// parallelism").
+//
+// Under the Figure-1 model distribution is *always* legal: splitting the
+// statements of one DOALL loop into consecutive single-statement DOALL loops
+// only strengthens the ordering (a barrier appears where statement order
+// was), and every intra-iteration forwarding (a (0,0) write-read pair inside
+// one body) becomes an ordinary (0,0) loop-to-loop dependence.
+//
+// Distributing before fusing gives the retiming algorithms statement-level
+// granularity: statements of one original loop may receive *different*
+// retimings, which can only enlarge the feasible set. The dual pipeline
+// distribute -> analyze -> plan_fusion is exercised by tests and the
+// ablation notes in EXPERIMENTS.md.
+
+#include "ir/ast.hpp"
+
+namespace lf::transform {
+
+/// Maximal distribution: one statement per loop. Labels become
+/// "<label>_<k>" for multi-statement loops; single-statement loops keep
+/// their label. The result is a valid Figure-1 program computing exactly
+/// the same values.
+[[nodiscard]] ir::Program distribute_program(const ir::Program& p);
+
+}  // namespace lf::transform

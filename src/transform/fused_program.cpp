@@ -1,0 +1,78 @@
+#include "transform/fused_program.hpp"
+
+#include <algorithm>
+
+#include "support/diagnostics.hpp"
+
+namespace lf::transform {
+
+namespace {
+
+template <typename Get>
+std::int64_t min_over(const std::vector<FusedLoopBody>& bodies, Get get) {
+    std::int64_t best = get(bodies.front());
+    for (const auto& b : bodies) best = std::min(best, get(b));
+    return best;
+}
+
+template <typename Get>
+std::int64_t max_over(const std::vector<FusedLoopBody>& bodies, Get get) {
+    std::int64_t best = get(bodies.front());
+    for (const auto& b : bodies) best = std::max(best, get(b));
+    return best;
+}
+
+}  // namespace
+
+// Body u is active at p.i in [-r.x, n - r.x].
+std::int64_t FusedProgram::point_i_lo() const {
+    return min_over(bodies, [](const FusedLoopBody& b) { return -b.retiming.x; });
+}
+std::int64_t FusedProgram::point_i_hi(const Domain& dom) const {
+    return max_over(bodies, [&dom](const FusedLoopBody& b) { return dom.n - b.retiming.x; });
+}
+std::int64_t FusedProgram::point_j_lo() const {
+    return min_over(bodies, [](const FusedLoopBody& b) { return -b.retiming.y; });
+}
+std::int64_t FusedProgram::point_j_hi(const Domain& dom) const {
+    return max_over(bodies, [&dom](const FusedLoopBody& b) { return dom.m - b.retiming.y; });
+}
+
+std::int64_t FusedProgram::main_i_lo() const {
+    return max_over(bodies, [](const FusedLoopBody& b) { return -b.retiming.x; });
+}
+std::int64_t FusedProgram::main_i_hi(const Domain& dom) const {
+    return min_over(bodies, [&dom](const FusedLoopBody& b) { return dom.n - b.retiming.x; });
+}
+std::int64_t FusedProgram::main_j_lo() const {
+    return max_over(bodies, [](const FusedLoopBody& b) { return -b.retiming.y; });
+}
+std::int64_t FusedProgram::main_j_hi(const Domain& dom) const {
+    return min_over(bodies, [&dom](const FusedLoopBody& b) { return dom.m - b.retiming.y; });
+}
+
+FusedProgram fuse_program(const ir::Program& p, const FusionPlan& plan) {
+    check(static_cast<int>(p.loops.size()) == plan.retiming.num_nodes(),
+          "fuse_program: plan and program disagree on loop count");
+    check(plan.body_order.size() == p.loops.size(), "fuse_program: malformed plan body order");
+
+    FusedProgram fp;
+    fp.name = p.name + "_fused";
+    fp.level = plan.level;
+    fp.algorithm = plan.algorithm;
+    fp.schedule = plan.schedule;
+    fp.hyperplane = plan.hyperplane;
+    for (int node : plan.body_order) {
+        const auto& loop = p.loops[static_cast<std::size_t>(node)];
+        FusedLoopBody body;
+        body.node = node;
+        body.label = loop.label;
+        body.retiming = plan.retiming.of(node);
+        body.statements = loop.body;
+        body.body_cost = loop.body_cost();
+        fp.bodies.push_back(std::move(body));
+    }
+    return fp;
+}
+
+}  // namespace lf::transform

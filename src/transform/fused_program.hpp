@@ -1,0 +1,58 @@
+#pragma once
+// The fused form of a program: one loop nest whose body concatenates the
+// original loop bodies in the plan's fused body order, each offset by its
+// retiming vector. Node u's instance originally at iteration q executes at
+// fused point p = q - r(u); equivalently, the fused body at point p runs
+// u's statements for instance q = p + r(u) (guarded by q's membership in
+// the original domain -- the guards materialize the prologue/epilogue).
+
+#include <string>
+#include <vector>
+
+#include "fusion/driver.hpp"
+#include "ir/ast.hpp"
+#include "support/domain.hpp"
+
+namespace lf::transform {
+
+struct FusedLoopBody {
+    /// MLDG node / index into the original Program::loops.
+    int node = 0;
+    std::string label;
+    /// Retiming vector r(u) of this loop.
+    Vec2 retiming;
+    /// The original (unshifted) statements; printing shifts them by r(u).
+    std::vector<ir::Statement> statements;
+    std::int64_t body_cost = 1;
+};
+
+struct FusedProgram {
+    std::string name;
+    /// Bodies in fused execution order (FusionPlan::body_order).
+    std::vector<FusedLoopBody> bodies;
+    ParallelismLevel level = ParallelismLevel::InnerDoall;
+    AlgorithmUsed algorithm = AlgorithmUsed::AcyclicDoall;
+    Vec2 schedule{1, 0};
+    Vec2 hyperplane{0, 1};
+
+    /// Fused-point ranges covering every original instance of every body:
+    /// point p runs body u iff p + r(u) lies in `dom`.
+    [[nodiscard]] std::int64_t point_i_lo() const;
+    [[nodiscard]] std::int64_t point_i_hi(const Domain& dom) const;
+    [[nodiscard]] std::int64_t point_j_lo() const;
+    [[nodiscard]] std::int64_t point_j_hi(const Domain& dom) const;
+
+    /// The "main" sub-ranges where *every* body is active (the steady state
+    /// between prologue and epilogue).
+    [[nodiscard]] std::int64_t main_i_lo() const;
+    [[nodiscard]] std::int64_t main_i_hi(const Domain& dom) const;
+    [[nodiscard]] std::int64_t main_j_lo() const;
+    [[nodiscard]] std::int64_t main_j_hi(const Domain& dom) const;
+};
+
+/// Builds the fused program from an analyzed program and its fusion plan
+/// (the plan must come from the MLDG of exactly this program: same node
+/// count and order). Throws lf::Error on mismatch.
+[[nodiscard]] FusedProgram fuse_program(const ir::Program& p, const FusionPlan& plan);
+
+}  // namespace lf::transform

@@ -1,0 +1,170 @@
+#include "viz/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace lf::viz {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// A small qualitative palette; phases cycle through it.
+const char* phase_color(std::int64_t phase) {
+    static const char* kPalette[] = {"#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+                                     "#76b7b2", "#edc948", "#b07aa1", "#9c755f"};
+    const auto n = static_cast<std::int64_t>(std::size(kPalette));
+    return kPalette[((phase % n) + n) % n];
+}
+
+std::string escape(const std::string& text) {
+    std::string out;
+    for (const char c : text) {
+        switch (c) {
+            case '<': out += "&lt;"; break;
+            case '>': out += "&gt;"; break;
+            case '&': out += "&amp;"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+struct Point {
+    double x, y;
+};
+
+}  // namespace
+
+std::string svg_mldg(const Mldg& g, const std::string& title) {
+    const int n = std::max(g.num_nodes(), 1);
+    const double radius = 90.0 + 14.0 * n;
+    const double cx = radius + 60.0, cy = radius + 60.0;
+    const double width = 2 * cx, height = 2 * cy + 20.0;
+
+    std::ostringstream os;
+    os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width << "\" height=\""
+       << height << "\" viewBox=\"0 0 " << width << ' ' << height << "\">\n";
+    os << "<defs><marker id=\"arrow\" markerWidth=\"10\" markerHeight=\"8\" refX=\"9\" "
+          "refY=\"4\" orient=\"auto\"><path d=\"M0,0 L10,4 L0,8 z\" fill=\"#444\"/>"
+          "</marker></defs>\n";
+    os << "<text x=\"" << cx << "\" y=\"24\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+          "font-size=\"16\">" << escape(title) << "</text>\n";
+
+    std::vector<Point> pos(static_cast<std::size_t>(g.num_nodes()));
+    for (int v = 0; v < g.num_nodes(); ++v) {
+        const double angle = 2.0 * kPi * v / n - kPi / 2.0;
+        pos[static_cast<std::size_t>(v)] = {cx + radius * std::cos(angle),
+                                            cy + radius * std::sin(angle)};
+    }
+
+    // Edges first (under the nodes).
+    for (const auto& e : g.edges()) {
+        const Point a = pos[static_cast<std::size_t>(e.from)];
+        const Point b = pos[static_cast<std::size_t>(e.to)];
+        std::ostringstream label;
+        for (std::size_t k = 0; k < e.vectors.size(); ++k) {
+            if (k) label << ' ';
+            label << e.vectors[k].str();
+        }
+        const double stroke = e.is_hard() ? 2.6 : 1.3;
+        if (e.from == e.to) {
+            // Self-loop: a small circle above the node.
+            os << "<circle cx=\"" << a.x << "\" cy=\"" << a.y - 34 << "\" r=\"16\" fill=\"none\" "
+               << "stroke=\"#444\" stroke-width=\"" << stroke << "\"/>\n";
+            os << "<text x=\"" << a.x << "\" y=\"" << a.y - 56
+               << "\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"11\">"
+               << escape(label.str()) << (e.is_hard() ? " *" : "") << "</text>\n";
+            continue;
+        }
+        // Shorten the line so the arrowhead stops at the node circle.
+        const double dx = b.x - a.x, dy = b.y - a.y;
+        const double len = std::max(1.0, std::hypot(dx, dy));
+        const double ux = dx / len, uy = dy / len;
+        const double x1 = a.x + ux * 22, y1 = a.y + uy * 22;
+        const double x2 = b.x - ux * 24, y2 = b.y - uy * 24;
+        // Offset the line perpendicular so opposite edges do not overlap.
+        const double px = -uy * 7, py = ux * 7;
+        os << "<line x1=\"" << x1 + px << "\" y1=\"" << y1 + py << "\" x2=\"" << x2 + px
+           << "\" y2=\"" << y2 + py << "\" stroke=\"#444\" stroke-width=\"" << stroke
+           << "\" marker-end=\"url(#arrow)\"/>\n";
+        os << "<text x=\"" << (x1 + x2) / 2 + px * 2.6 << "\" y=\"" << (y1 + y2) / 2 + py * 2.6
+           << "\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"11\">"
+           << escape(label.str()) << (e.is_hard() ? " *" : "") << "</text>\n";
+    }
+
+    for (int v = 0; v < g.num_nodes(); ++v) {
+        const Point a = pos[static_cast<std::size_t>(v)];
+        os << "<circle cx=\"" << a.x << "\" cy=\"" << a.y
+           << "\" r=\"20\" fill=\"#eef3fb\" stroke=\"#2f4b7c\" stroke-width=\"1.5\"/>\n";
+        os << "<text x=\"" << a.x << "\" y=\"" << a.y + 5
+           << "\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"13\">"
+           << escape(g.node(v).name) << "</text>\n";
+    }
+    os << "</svg>\n";
+    return os.str();
+}
+
+std::string svg_iteration_space(const Mldg& retimed, const Vec2& schedule, int rows, int cols,
+                                const std::string& title) {
+    const double cell = 46.0, margin = 60.0;
+    const double width = margin * 2 + cell * cols;
+    const double height = margin * 2 + cell * rows + 30.0;
+
+    // Normalize phases within the window so colors start at 0.
+    std::int64_t tmin = 0;
+    for (int i = 0; i < rows; ++i) {
+        for (int j = 0; j < cols; ++j) {
+            tmin = std::min(tmin, schedule.x * i + schedule.y * j);
+        }
+    }
+
+    auto point_x = [&](std::int64_t j) { return margin + cell * (static_cast<double>(j) + 0.5); };
+    // i grows upward, as the paper draws it.
+    auto point_y = [&](std::int64_t i) {
+        return height - 30.0 - margin - cell * (static_cast<double>(i) + 0.5);
+    };
+
+    std::ostringstream os;
+    os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width << "\" height=\""
+       << height << "\" viewBox=\"0 0 " << width << ' ' << height << "\">\n";
+    os << "<defs><marker id=\"darrow\" markerWidth=\"10\" markerHeight=\"8\" refX=\"9\" "
+          "refY=\"4\" orient=\"auto\"><path d=\"M0,0 L10,4 L0,8 z\" fill=\"#c1272d\"/>"
+          "</marker></defs>\n";
+    os << "<text x=\"" << width / 2 << "\" y=\"22\" text-anchor=\"middle\" "
+          "font-family=\"sans-serif\" font-size=\"15\">" << escape(title) << "</text>\n";
+
+    for (std::int64_t i = 0; i < rows; ++i) {
+        for (std::int64_t j = 0; j < cols; ++j) {
+            const std::int64_t t = schedule.x * i + schedule.y * j - tmin;
+            os << "<circle cx=\"" << point_x(j) << "\" cy=\"" << point_y(i)
+               << "\" r=\"13\" fill=\"" << phase_color(t) << "\"/>\n";
+            os << "<text x=\"" << point_x(j) << "\" y=\"" << point_y(i) + 4
+               << "\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"10\" "
+                  "fill=\"white\">" << t << "</text>\n";
+        }
+    }
+
+    // Dependence arrows out of a central sample point.
+    const std::int64_t ci = rows / 2, cj = cols / 2;
+    for (const auto& e : retimed.edges()) {
+        for (const Vec2& d : e.vectors) {
+            if (d.is_zero()) continue;
+            const std::int64_t ti = ci + d.x, tj = cj + d.y;
+            if (ti < 0 || ti >= rows || tj < 0 || tj >= cols) continue;
+            os << "<line x1=\"" << point_x(cj) << "\" y1=\"" << point_y(ci) << "\" x2=\""
+               << point_x(tj) << "\" y2=\"" << point_y(ti)
+               << "\" stroke=\"#c1272d\" stroke-width=\"1.6\" marker-end=\"url(#darrow)\"/>\n";
+        }
+    }
+
+    os << "<text x=\"" << margin << "\" y=\"" << height - 8
+       << "\" font-family=\"sans-serif\" font-size=\"12\">numbers = parallel phase t = "
+       << schedule.x << "*i + " << schedule.y
+       << "*j (equal phase = concurrent); arrows = retimed dependences</text>\n";
+    os << "</svg>\n";
+    return os.str();
+}
+
+}  // namespace lf::viz

@@ -1,0 +1,26 @@
+#pragma once
+// SVG renderings of the paper's two figure families:
+//   * dependence graphs (Figures 2/8/14 style): nodes on a circle, edges
+//     labelled with their dependence-vector sets, hard edges drawn bold;
+//   * iteration spaces (Figures 7/13/16 style): a grid of points coloured
+//     by parallel phase t = s . p, with the retimed dependence vectors drawn
+//     as arrows out of a central sample point.
+//
+// Output is self-contained SVG (no external fonts/scripts), deterministic,
+// and viewable in any browser -- handy for READMEs and for eyeballing plans.
+
+#include <string>
+
+#include "ldg/mldg.hpp"
+
+namespace lf::viz {
+
+/// Dependence-graph figure.
+[[nodiscard]] std::string svg_mldg(const Mldg& g, const std::string& title);
+
+/// Iteration-space figure for a *retimed* graph under `schedule`: rows x
+/// cols points, phase-coloured; dependence arrows drawn from a centre point.
+[[nodiscard]] std::string svg_iteration_space(const Mldg& retimed, const Vec2& schedule,
+                                              int rows, int cols, const std::string& title);
+
+}  // namespace lf::viz

@@ -1,0 +1,71 @@
+#include "workloads/extra.hpp"
+
+namespace lf::workloads {
+
+const std::vector<ExtraWorkload>& extra_workloads() {
+    static const std::vector<ExtraWorkload> kExtras = {
+        {"smooth3", "three-stage smoothing chain (acyclic, hard edges)",
+         R"(
+program smooth3 {
+  loop S1 {
+    t1[i][j] = x[i][j-1] + x[i][j+1];
+  }
+  loop S2 {
+    t2[i][j] = t1[i][j-2] + t1[i][j+2];
+  }
+  loop S3 {
+    y[i][j] = t2[i][j-1] - t2[i][j+1];
+  }
+}
+)",
+         "alg3"},
+        {"pipeline5", "five-stage forwarding pipeline with feedback",
+         R"(
+program pipeline5 {
+  loop P1 {
+    a1[i][j] = x[i][j] + 0.1 * a5[i-2][j];
+  }
+  loop P2 {
+    a2[i][j] = 0.9 * a1[i][j+1];
+  }
+  loop P3 {
+    a3[i][j] = 0.9 * a2[i][j+1];
+  }
+  loop P4 {
+    a4[i][j] = 0.9 * a3[i][j+1];
+  }
+  loop P5 {
+    a5[i][j] = 0.9 * a4[i][j+1];
+  }
+}
+)",
+         "alg4"},
+        {"hydro", "Livermore-flavoured flux/update pair (tight cycle)",
+         R"(
+program hydro {
+  loop Flux {
+    f[i][j] = q[i-1][j+1] - q[i-1][j-1];
+  }
+  loop Update {
+    q[i][j] = q[i-1][j] + 0.5 * f[i][j-1] - 0.5 * f[i][j+1];
+  }
+}
+)",
+         "alg5"},
+        {"relax2", "forward/backward relaxation pair with two-step feedback",
+         R"(
+program relax2 {
+  loop Fwd {
+    a[i][j] = 0.5 * (b[i-2][j-1] + b[i-2][j+1]);
+  }
+  loop Bwd {
+    b[i][j] = 0.5 * (a[i][j-1] + a[i][j+1]) + 0.1 * b[i-1][j];
+  }
+}
+)",
+         "alg4"},
+    };
+    return kExtras;
+}
+
+}  // namespace lf::workloads

@@ -1,0 +1,34 @@
+#pragma once
+// Extended workload collection beyond the paper's Section-5 set: classic
+// loop-fusion kernel shapes from the literature the paper situates itself
+// in, each chosen to exercise one algorithm path distinctly. All are
+// executable DSL programs (parse + analyze + fuse + verify end-to-end).
+
+#include <string>
+#include <vector>
+
+#include "ldg/mldg.hpp"
+
+namespace lf::workloads {
+
+struct ExtraWorkload {
+    std::string id;
+    std::string title;
+    std::string dsl_source;
+    /// Expected driver outcome ("alg3" | "alg4" | "alg5"), asserted in tests.
+    std::string expected_path;
+};
+
+/// The extended set:
+///   smooth3   -- acyclic three-stage smoothing chain, fusion-preventing
+///                hard edges at every stage (Algorithm 3).
+///   pipeline5 -- five-stage pipeline with single-vector (0,-1) forwarding
+///                and a two-iteration feedback: Algorithm 4 succeeds with a
+///                pure inner alignment found by phase 2.
+///   hydro     -- Livermore-flavoured flux/update pair whose cycle carries
+///                two hard edges over x-weight 1: Algorithm 5 (hyperplane).
+///   redblack  -- red/black relaxation written as two half-sweeps with a
+///                carried cycle (Algorithm 4).
+[[nodiscard]] const std::vector<ExtraWorkload>& extra_workloads();
+
+}  // namespace lf::workloads

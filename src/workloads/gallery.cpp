@@ -1,0 +1,123 @@
+#include "workloads/gallery.hpp"
+
+#include "workloads/sources.hpp"
+
+namespace lf::workloads {
+
+Mldg fig2_graph() {
+    Mldg g;
+    const int a = g.add_node("A", 2);
+    const int b = g.add_node("B", 3);
+    const int c = g.add_node("C", 6);
+    const int d = g.add_node("D", 2);
+    g.add_edge(a, b, {{1, 1}, {2, 1}});
+    g.add_edge(b, c, {{0, -2}, {0, 1}});  // hard
+    g.add_edge(c, d, {{0, -1}});
+    g.add_edge(a, c, {{0, 1}});
+    g.add_edge(d, a, {{2, 1}});
+    g.add_edge(c, c, {{1, 0}});
+    return g;
+}
+
+Mldg fig8_graph() {
+    Mldg g;
+    const int a = g.add_node("A", 2);
+    const int b = g.add_node("B", 2);
+    const int c = g.add_node("C", 3);
+    const int d = g.add_node("D", 4);
+    const int e = g.add_node("E", 3);
+    const int f = g.add_node("F", 2);
+    const int h = g.add_node("G", 2);
+    g.add_edge(a, b, {{0, 1}});
+    g.add_edge(b, c, {{0, -2}, {0, 3}});  // hard
+    g.add_edge(c, d, {{1, 3}});
+    g.add_edge(d, e, {{2, -2}});
+    g.add_edge(b, f, {{0, -2}});
+    g.add_edge(f, h, {{1, 2}});
+    g.add_edge(b, e, {{1, 2}});
+    g.add_edge(a, d, {{0, -3}, {0, -1}});  // hard
+    return g;
+}
+
+namespace {
+
+Mldg fig14_base(Vec2 e_to_b_first) {
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    const int c = g.add_node("C");
+    const int d = g.add_node("D");
+    const int e = g.add_node("E");
+    const int f = g.add_node("F");
+    const int h = g.add_node("G");
+    // Figure 8, altered per Section 4.4: add D->C and E->B, redefine C->D,
+    // D->E and A->D.
+    g.add_edge(a, b, {{0, 1}});
+    g.add_edge(b, c, {{0, -2}, {0, 3}});  // hard
+    g.add_edge(c, d, {{0, 3}, {0, 5}});   // hard
+    g.add_edge(d, e, {{0, -2}});
+    g.add_edge(b, f, {{0, -2}});
+    g.add_edge(f, h, {{1, 2}});
+    g.add_edge(b, e, {{1, 2}});
+    g.add_edge(a, d, {{0, -3}, {1, 0}});
+    g.add_edge(d, c, {{0, -2}});
+    g.add_edge(e, b, {e_to_b_first, {1, 1}});
+    return g;
+}
+
+}  // namespace
+
+Mldg fig14_graph_as_printed() { return fig14_base({0, 1}); }
+
+Mldg fig14_graph() { return fig14_base({0, 2}); }
+
+Mldg jacobi_pair_graph() {
+    Mldg g;
+    const int s = g.add_node("S", 5);  // smoothing stencil
+    const int u = g.add_node("U", 4);  // update
+    // S: t[i][j] = 0.25*(u[i-2][j-1] + u[i-2][j+1] + u[i-2][j] + t[i-1][j])
+    // U: u[i][j] = t[i][j] + 0.5*(t[i][j-1] - t[i][j+1])
+    g.add_edge(s, u, {{0, -1}, {0, 0}, {0, 1}});  // hard + fusion-preventing
+    g.add_edge(u, s, {{2, -1}, {2, 0}, {2, 1}});  // hard, carried twice
+    g.add_edge(s, s, {{1, 0}});
+    return g;
+}
+
+Mldg iir_chain_graph() {
+    Mldg g;
+    const int f1 = g.add_node("F1", 5);
+    const int f2 = g.add_node("F2", 5);
+    const int f3 = g.add_node("F3", 3);
+    const int f4 = g.add_node("F4", 4);
+    // F1: y1[i][j] = x[i][j] + a*y1[i-1][j-1] + b*y1[i-1][j+1]
+    // F2: y2[i][j] = y1[i][j-2] + y1[i][j+2] + c*y3[i-1][j-2] + d*y3[i-1][j]
+    // F3: y3[i][j] = y2[i][j-1] + y2[i][j+3]
+    // F4: y4[i][j] = y3[i][j+1] - y3[i][j-3] + 2*x[i][j]; F1 reads y4[i-3][j-1]
+    g.add_edge(f1, f1, {{1, -1}, {1, 1}});        // hard self
+    g.add_edge(f1, f2, {{0, -2}, {0, 2}});        // hard
+    g.add_edge(f2, f3, {{0, -3}, {0, 1}});        // hard
+    g.add_edge(f3, f2, {{1, 0}, {1, 2}});         // hard, backward
+    g.add_edge(f3, f4, {{0, -1}, {0, 3}});        // hard
+    g.add_edge(f4, f1, {{3, 1}});
+    return g;
+}
+
+const std::vector<Workload>& paper_workloads() {
+    static const std::vector<Workload> kWorkloads = [] {
+        std::vector<Workload> w;
+        w.push_back({"fig8", "Example 1: acyclic 2LDG (paper Fig. 8)", fig8_graph(),
+                     std::string(sources::kFig8)});
+        w.push_back({"fig2", "Example 2: cyclic 2LDG (paper Fig. 2)", fig2_graph(),
+                     std::string(sources::kFig2)});
+        w.push_back({"fig14", "Example 3: cyclic 2LDG, hyperplane only (paper Fig. 14)",
+                     fig14_graph(), ""});
+        w.push_back({"jacobi", "Example 4: Jacobi-style relaxation pair", jacobi_pair_graph(),
+                     std::string(sources::kJacobiPair)});
+        w.push_back({"iir", "Example 5: 2-D IIR filter cascade", iir_chain_graph(),
+                     std::string(sources::kIirChain)});
+        return w;
+    }();
+    return kWorkloads;
+}
+
+}  // namespace lf::workloads

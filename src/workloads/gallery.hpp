@@ -1,0 +1,63 @@
+#pragma once
+// The experiment workloads: the paper's own example 2LDGs (Figures 2, 8, 14)
+// plus the two reconstructed "common MLDG" benchmarks used by Section 5
+// (see DESIGN.md, "Experiment reconstruction").
+
+#include <string>
+#include <vector>
+
+#include "ldg/mldg.hpp"
+
+namespace lf::workloads {
+
+/// Figure 2: the running example. Cyclic; Algorithm 4 succeeds (Figure 12
+/// reports r(A)=r(B)=(0,0), r(C)=(-1,0), r(D)=(-1,-1)).
+[[nodiscard]] Mldg fig2_graph();
+
+/// Figure 8: the acyclic example of Section 4.2. Algorithm 3 reports
+/// r = {A:0, B:-1, C:-2, D:-2, E:-1, F:-2, G:-2} in x (Figure 10).
+[[nodiscard]] Mldg fig8_graph();
+
+/// Figure 14 *as printed in the paper*: contains the zero-weight cycle
+/// B->C->D->E->B (sum (0,0)), which violates the hypothesis of Theorem 4.4
+/// (all cycles > (0,0)) -- no execution order exists for it. Kept for the
+/// regression test that documents the discrepancy.
+[[nodiscard]] Mldg fig14_graph_as_printed();
+
+/// Figure 14 with the minimal correction D_L(E,B) = {(0,2),(1,1)} (instead
+/// of {(0,1),(1,1)}), which restores Theorem 4.4's hypothesis while keeping
+/// the example's character: Algorithm 4 fails in phase 1 and full
+/// parallelism is only achievable on a skewed hyperplane.
+[[nodiscard]] Mldg fig14_graph();
+
+/// Reconstructed Example 4, "jacobi-pair": a two-loop Jacobi-style
+/// relaxation (smooth + update with a two-iteration feedback), in the style
+/// of the fusion candidates of Manjikian & Abdelrahman. Cyclic with hard
+/// edges on both directions of the cycle; naive fusion is illegal, yet
+/// Algorithm 4 fuses it into a fully parallel innermost loop.
+[[nodiscard]] Mldg jacobi_pair_graph();
+
+/// Reconstructed Example 5, "iir-chain": a four-stage 2-D IIR-style filter
+/// cascade in the style of Passos & Sha's multi-dimensional retiming
+/// benchmarks. Two hard edges share a cycle of x-weight 1, so Algorithm 4
+/// is infeasible (phase 1) and Algorithm 5's hyperplane schedule is needed.
+[[nodiscard]] Mldg iir_chain_graph();
+
+struct Workload {
+    std::string id;
+    std::string title;
+    Mldg graph;
+    /// DSL source of the equivalent program; empty for graph-only workloads
+    /// (Figure 14 has no executable Figure-1 program: its backward zero-x
+    /// edges make the original loop sequence unexecutable -- it is a
+    /// dataflow specification, cf. the paper's remark that the resulting
+    /// code "requires a detailed description beyond the scope of this paper").
+    std::string dsl_source;
+};
+
+/// The five MLDGs of the Section 5 experiments, in paper order
+/// (Example1 = fig8, Example2 = fig2, Example3 = fig14, then the two
+/// reconstructed workloads).
+[[nodiscard]] const std::vector<Workload>& paper_workloads();
+
+}  // namespace lf::workloads

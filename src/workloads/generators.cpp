@@ -1,0 +1,151 @@
+#include "workloads/generators.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "ir/sema.hpp"
+#include "ldg/legality.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lf::workloads {
+
+namespace {
+
+std::vector<Vec2> random_vectors(Rng& rng, const RandomGraphOptions& o,
+                                 std::int64_t min_x) {
+    const int count = static_cast<int>(rng.uniform(1, o.max_vectors_per_edge));
+    std::vector<Vec2> vs;
+    vs.reserve(static_cast<std::size_t>(count));
+    for (int k = 0; k < count; ++k) {
+        vs.push_back(Vec2{rng.uniform(min_x, o.max_component),
+                          rng.uniform(-o.max_component, o.max_component)});
+    }
+    return vs;
+}
+
+Mldg random_mldg_impl(Rng& rng, const RandomGraphOptions& o, bool allow_zero_x_backward) {
+    Mldg g;
+    for (int v = 0; v < o.num_nodes; ++v) {
+        g.add_node("L" + std::to_string(v), rng.uniform(1, 4));
+    }
+    for (int u = 0; u < o.num_nodes; ++u) {
+        for (int v = u + 1; v < o.num_nodes; ++v) {
+            if (rng.flip(o.forward_edge_prob)) {
+                g.add_edge(u, v, random_vectors(rng, o, /*min_x=*/0));
+            }
+            if (rng.flip(o.backward_edge_prob)) {
+                if (allow_zero_x_backward && rng.flip(0.5)) {
+                    // Zero-x backward dependences must have positive y or the
+                    // graph risks a <= (0,0) cycle; the caller still verifies.
+                    std::vector<Vec2> vs = random_vectors(rng, o, /*min_x=*/0);
+                    for (Vec2& d : vs) {
+                        if (d.x == 0) d.y = std::max<std::int64_t>(1, std::abs(d.y));
+                    }
+                    g.add_edge(v, u, std::move(vs));
+                } else {
+                    g.add_edge(v, u, random_vectors(rng, o, /*min_x=*/1));
+                }
+            }
+        }
+        if (rng.flip(o.self_edge_prob)) {
+            g.add_edge(u, u, random_vectors(rng, o, /*min_x=*/1));
+        }
+    }
+    return g;
+}
+
+}  // namespace
+
+Mldg random_legal_mldg(Rng& rng, const RandomGraphOptions& options) {
+    Mldg g = random_mldg_impl(rng, options, /*allow_zero_x_backward=*/false);
+    check(is_legal_mldg(g), "random_legal_mldg: construction invariant violated");
+    return g;
+}
+
+ir::Program random_program(Rng& rng, const RandomProgramOptions& o) {
+    ir::Program p;
+    p.name = "random";
+
+    // Array name pools: the main per-loop arrays plus an unwritten input.
+    std::vector<std::string> readable{"input"};
+    std::vector<std::vector<std::string>> written_by(static_cast<std::size_t>(o.num_loops));
+
+    for (int k = 0; k < o.num_loops; ++k) {
+        written_by[static_cast<std::size_t>(k)].push_back("v" + std::to_string(k));
+    }
+
+    auto make_read = [&](int loop) {
+        // Pick any readable array or any loop's array; same-loop targets get
+        // an outer-iteration setback to preserve the DOALL property.
+        std::string array;
+        bool own = false;
+        const std::int64_t pick = rng.uniform(0, o.num_loops);  // num_loops => "input"
+        if (pick == o.num_loops) {
+            array = "input";
+        } else {
+            const auto& pool = written_by[static_cast<std::size_t>(pick)];
+            array = pool[static_cast<std::size_t>(rng.uniform(0, static_cast<std::int64_t>(pool.size()) - 1))];
+            own = pick == loop;
+        }
+        ir::ArrayRef ref;
+        ref.array = array;
+        ref.offset.x = own ? -rng.uniform(1, o.max_offset) : -rng.uniform(-1, o.max_offset);
+        ref.offset.y = rng.uniform(-o.max_offset, o.max_offset);
+        return std::make_unique<ir::ReadExpr>(std::move(ref));
+    };
+
+    for (int k = 0; k < o.num_loops; ++k) {
+        ir::LoopNest loop;
+        loop.label = "L" + std::to_string(k);
+        const int num_statements = static_cast<int>(rng.uniform(1, o.max_statements_per_loop));
+        for (int s = 0; s < num_statements; ++s) {
+            ir::ArrayRef target;
+            if (s == 0) {
+                target.array = "v" + std::to_string(k);
+            } else {
+                target.array = "w" + std::to_string(k) + "_" + std::to_string(s);
+                written_by[static_cast<std::size_t>(k)].push_back(target.array);
+            }
+            target.offset = Vec2{0, 0};
+
+            const int num_reads = static_cast<int>(rng.uniform(1, o.max_reads_per_statement));
+            ir::ExprPtr expr = make_read(k);
+            for (int r = 1; r < num_reads; ++r) {
+                const char op = "+-*"[rng.uniform(0, 2)];
+                expr = std::make_unique<ir::BinaryExpr>(op, std::move(expr), make_read(k));
+            }
+            // Scale down so iterated products stay finite.
+            expr = std::make_unique<ir::BinaryExpr>(
+                '*', std::move(expr), std::make_unique<ir::LiteralExpr>(0.25));
+            loop.body.emplace_back(std::move(target), std::move(expr));
+        }
+        if (rng.flip(o.shared_writer_prob)) {
+            // A write-only shared array: loops writing "sh" at different
+            // offsets produce output dependences between them. One access
+            // per loop, so no within-loop DOALL conflict can arise.
+            ir::ArrayRef target;
+            target.array = "sh";
+            target.offset = Vec2{rng.uniform(0, 2), rng.uniform(-2, 2)};
+            loop.body.emplace_back(std::move(target),
+                                   std::make_unique<ir::LiteralExpr>(
+                                       static_cast<double>(k) + 0.5));
+        }
+        p.loops.push_back(std::move(loop));
+    }
+    ir::validate_program(p);
+    return p;
+}
+
+Mldg random_schedulable_mldg(Rng& rng, const RandomGraphOptions& options) {
+    // Rejection sampling: zero-x backward edges can still combine into a
+    // <= (0,0) cycle; retry until the instance is schedulable. Acceptance is
+    // high in practice because zero-x vectors are forced to positive y.
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+        Mldg g = random_mldg_impl(rng, options, /*allow_zero_x_backward=*/true);
+        if (is_schedulable(g)) return g;
+    }
+    throw Error("random_schedulable_mldg: rejection sampling failed (options too adversarial)");
+}
+
+}  // namespace lf::workloads

@@ -1,0 +1,54 @@
+#pragma once
+// Random-instance generators for property tests and scaling benchmarks.
+
+#include "ir/ast.hpp"
+#include "ldg/mldg.hpp"
+#include "support/rng.hpp"
+
+namespace lf::workloads {
+
+struct RandomGraphOptions {
+    int num_nodes = 8;
+    /// Probability of a forward edge between any ordered pair u < v.
+    double forward_edge_prob = 0.35;
+    /// Probability of a backward (outer-loop-carried) edge v -> u, u < v.
+    double backward_edge_prob = 0.15;
+    /// Probability of a self-edge.
+    double self_edge_prob = 0.2;
+    /// Max dependence vectors per edge.
+    int max_vectors_per_edge = 3;
+    /// Dependence-vector component magnitude bound.
+    std::int64_t max_component = 5;
+};
+
+/// Generates a *program-model legal* 2LDG (L1-L3 of ldg/legality.hpp) by
+/// construction: forward edges may carry x >= 0 vectors, backward and self
+/// edges only x >= 1 vectors. Every cycle then contains a backward or self
+/// edge, so cycle x-weights are >= 1.
+[[nodiscard]] Mldg random_legal_mldg(Rng& rng, const RandomGraphOptions& options = {});
+
+/// Generates a merely *schedulable* 2LDG: like random_legal_mldg but backward
+/// edges may carry zero-x vectors with positive y (kept small), which makes
+/// instances that only Algorithm 5 can parallelize much more likely. The
+/// result is schedulability-checked and regenerated until valid.
+[[nodiscard]] Mldg random_schedulable_mldg(Rng& rng, const RandomGraphOptions& options = {});
+
+struct RandomProgramOptions {
+    int num_loops = 5;
+    int max_statements_per_loop = 2;
+    int max_reads_per_statement = 3;
+    std::int64_t max_offset = 3;
+    /// Probability that a loop additionally writes the shared array "sh"
+    /// (never read), creating output dependences between loops.
+    double shared_writer_prob = 0.25;
+};
+
+/// Generates a random, always-valid Figure-1 program: loop k writes array
+/// "v<k>" (second statements write "w<k>"), statements read random arrays at
+/// random constant offsets. Reads of arrays written by the *same* loop are
+/// forced at least one outer iteration back (the DOALL requirement); every
+/// other read is unrestricted -- any resulting cross-loop dependence (flow,
+/// anti or output) is legal under the model.
+[[nodiscard]] ir::Program random_program(Rng& rng, const RandomProgramOptions& options = {});
+
+}  // namespace lf::workloads

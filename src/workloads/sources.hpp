@@ -1,0 +1,95 @@
+#pragma once
+// DSL sources for the executable workloads. Each source, run through the
+// dependence analyzer, reproduces exactly the corresponding gallery graph
+// (asserted by tests/test_workloads.cpp).
+
+#include <string_view>
+
+namespace lf::workloads::sources {
+
+/// Paper Figure 2(b), verbatim.
+inline constexpr std::string_view kFig2 = R"(
+# Paper Figure 2(b): the running example.
+program fig2 {
+  loop A {
+    a[i][j] = e[i-2][j-1];
+  }
+  loop B {
+    b[i][j] = a[i-1][j-1] + a[i-2][j-1];
+  }
+  loop C {
+    c[i][j] = b[i][j+2] - a[i][j-1] + b[i][j-1];
+    d[i][j] = c[i-1][j];
+  }
+  loop D {
+    e[i][j] = c[i][j+1];
+  }
+}
+)";
+
+/// A program realizing the acyclic 2LDG of paper Figure 8: each loop writes
+/// its own array; reads are placed so the flow-dependence vectors match the
+/// figure exactly (vK reads arrU[i-dx][j-dy] yield vectors (dx,dy)).
+inline constexpr std::string_view kFig8 = R"(
+# Synthesized program whose dependence graph is paper Figure 8.
+program fig8 {
+  loop A {
+    va[i][j] = x[i][j] + 1.0;
+  }
+  loop B {
+    vb[i][j] = va[i][j-1] * 0.5;
+  }
+  loop C {
+    vc[i][j] = vb[i][j+2] + vb[i][j-3];
+  }
+  loop D {
+    vd[i][j] = vc[i-1][j-3] + va[i][j+3] - va[i][j+1];
+  }
+  loop E {
+    ve[i][j] = vd[i-2][j+2] + vb[i-1][j-2];
+  }
+  loop F {
+    vf[i][j] = vb[i][j+2] * 2.0;
+  }
+  loop G {
+    vg[i][j] = vf[i-1][j-2];
+  }
+}
+)";
+
+/// Example 4: Jacobi-style smooth/update pair with a two-outer-iteration
+/// feedback. Direct fusion is illegal (S -> U carries (0,-1)).
+inline constexpr std::string_view kJacobiPair = R"(
+# Jacobi-style relaxation: smoothing stencil + update with feedback.
+program jacobi {
+  loop S {
+    t[i][j] = 0.25 * (u[i-2][j-1] + u[i-2][j+1] + u[i-2][j] + t[i-1][j]);
+  }
+  loop U {
+    u[i][j] = t[i][j] + 0.5 * (t[i][j-1] - t[i][j+1]);
+  }
+}
+)";
+
+/// Example 5: four-stage 2-D IIR-style filter cascade. Two hard edges share
+/// the cycle F2 -> F3 -> F2 (x-weight 1), defeating Algorithm 4.
+inline constexpr std::string_view kIirChain = R"(
+# Four-stage 2-D IIR filter cascade.
+program iir {
+  loop F1 {
+    y1[i][j] = x[i][j] + 0.9 * y1[i-1][j-1] + 0.1 * y1[i-1][j+1]
+             + 0.01 * y4[i-3][j-1];
+  }
+  loop F2 {
+    y2[i][j] = y1[i][j-2] + y1[i][j+2] + 0.5 * y3[i-1][j-2] + 0.25 * y3[i-1][j];
+  }
+  loop F3 {
+    y3[i][j] = y2[i][j-1] + y2[i][j+3];
+  }
+  loop F4 {
+    y4[i][j] = y3[i][j+1] - y3[i][j-3] + 2.0 * x[i][j];
+  }
+}
+)";
+
+}  // namespace lf::workloads::sources

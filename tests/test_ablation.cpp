@@ -1,0 +1,184 @@
+// Tests for the ablation variants, the communication model and the
+// shift-and-peel time estimate.
+
+#include <gtest/gtest.h>
+
+#include "baselines/shift_and_peel.hpp"
+#include "fusion/ablation.hpp"
+#include "fusion/acyclic_doall.hpp"
+#include "fusion/cyclic_doall.hpp"
+#include "fusion/driver.hpp"
+#include "fusion/llofra.hpp"
+#include "ldg/legality.hpp"
+#include "sim/communication.hpp"
+#include "sim/machine.hpp"
+#include "workloads/gallery.hpp"
+#include "workloads/generators.hpp"
+
+namespace lf {
+namespace {
+
+TEST(AblationAllHard, FailsOnFig2ItselfWhereThePaperSucceeds) {
+    // fig2's cycle A->B->C->D->A has x-weight 3 spread over 4 edges:
+    // forcing every edge outer-carried is infeasible, while the paper's
+    // selective phase 1 (only B->C is hard) succeeds.
+    const Mldg g = workloads::fig2_graph();
+    EXPECT_TRUE(cyclic_doall_fusion(g).retiming.has_value());
+    EXPECT_FALSE(ablation::cyclic_doall_all_hard(g).has_value());
+}
+
+TEST(AblationAllHard, PaysDeeperProloguesWhenItDoesSucceed) {
+    // A chain of alignable same-iteration dependences closed by a carried
+    // edge: the paper's variant retimes nothing in x (phase 2 aligns in y),
+    // the all-hard variant shifts every stage one outer iteration deeper.
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    const int c = g.add_node("C");
+    const int d = g.add_node("D");
+    g.add_edge(a, b, {{0, 2}});
+    g.add_edge(b, c, {{0, 3}});
+    g.add_edge(c, d, {{0, 1}});
+    g.add_edge(d, a, {{4, 0}});
+    const auto paper = cyclic_doall_fusion(g);
+    const auto allhard = ablation::cyclic_doall_all_hard(g);
+    ASSERT_TRUE(paper.retiming.has_value());
+    ASSERT_TRUE(allhard.has_value());
+    EXPECT_TRUE(is_fused_inner_doall(paper.retiming->apply(g)));
+    EXPECT_TRUE(is_fused_inner_doall(allhard->apply(g)));
+    EXPECT_EQ(ablation::prologue_rows(*paper.retiming), 0);
+    EXPECT_EQ(ablation::prologue_rows(*allhard), 3);
+}
+
+TEST(AblationAllHard, FailsWhereSelectiveSucceeds) {
+    // A cycle with x-weight 1 and no hard edges: selective phase 1 passes
+    // (nothing forced), all-hard cannot (needs x-weight >= 2).
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    g.add_edge(a, b, {{0, 2}});
+    g.add_edge(b, a, {{1, 0}});
+    EXPECT_TRUE(cyclic_doall_fusion(g).retiming.has_value());
+    EXPECT_FALSE(ablation::cyclic_doall_all_hard(g).has_value());
+}
+
+TEST(AblationAllHard, VariantsAreIncomparable) {
+    // All-hard tightens phase 1 but skips phase 2's equality constraints;
+    // the two variants are incomparable. Here all-hard succeeds while the
+    // paper's variant fails phase 2 (inconsistent y-alignments over two
+    // zero-x paths A->C and A->B->C).
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    const int c = g.add_node("C");
+    g.add_edge(a, c, {{0, 1}});
+    g.add_edge(a, b, {{0, 1}});
+    g.add_edge(b, c, {{0, 1}});
+    g.add_edge(c, a, {{3, 0}});
+    const auto paper = cyclic_doall_fusion(g);
+    EXPECT_FALSE(paper.retiming.has_value());
+    EXPECT_EQ(paper.failed_phase, 2);
+    const auto allhard = ablation::cyclic_doall_all_hard(g);
+    ASSERT_TRUE(allhard.has_value());
+    EXPECT_TRUE(is_fused_inner_doall(allhard->apply(g)));
+}
+
+TEST(AblationKeepY, ZeroingRemovesAllInnerPeels) {
+    const Mldg g = workloads::fig8_graph();
+    const Retiming zeroed = acyclic_doall_fusion(g);
+    const Retiming kept = ablation::acyclic_doall_keep_y(g);
+    EXPECT_EQ(ablation::inner_peels(zeroed), 0);
+    // Both reach DOALL; the unzeroed variant drags inner shifts along.
+    EXPECT_TRUE(is_fused_inner_doall(zeroed.apply(g)));
+    EXPECT_TRUE(is_fused_inner_doall(kept.apply(g)));
+    EXPECT_EQ(ablation::prologue_rows(zeroed), ablation::prologue_rows(kept));
+}
+
+TEST(AblationSpreadMetrics, MatchHandComputedValues) {
+    Retiming r(std::vector<Vec2>{{0, 0}, {-2, 3}, {1, -1}});
+    EXPECT_EQ(ablation::prologue_rows(r), 3);  // x spread: -2 .. 1
+    EXPECT_EQ(ablation::inner_peels(r), 4);    // y spread: -1 .. 3
+}
+
+TEST(AblationBodyReorder, DetectsBackwardZeroDependences) {
+    Mldg fine;
+    const int a1 = fine.add_node("A");
+    const int b1 = fine.add_node("B");
+    fine.add_edge(a1, b1, {{0, 0}});
+    EXPECT_FALSE(ablation::program_order_body_would_be_wrong(fine));
+
+    Mldg wrong;
+    const int a2 = wrong.add_node("A");
+    const int b2 = wrong.add_node("B");
+    wrong.add_edge(b2, a2, {{0, 0}});
+    EXPECT_TRUE(ablation::program_order_body_would_be_wrong(wrong));
+}
+
+TEST(AblationBodyReorder, Fig14NeedsReordering) {
+    const Mldg g = workloads::fig14_graph();
+    const Mldg gr = llofra(g).apply(g);
+    EXPECT_TRUE(ablation::program_order_body_would_be_wrong(gr));
+}
+
+TEST(Communication, FusionDividesMessagesKeepsVolumeOnCarriedDeps) {
+    const Mldg g = workloads::jacobi_pair_graph();
+    const FusionPlan plan = plan_fusion(g);
+    const Domain dom{100, 1000};
+    const auto orig = sim::estimate_communication_original(g, dom, 8);
+    const auto fused = sim::estimate_communication_fused(g, plan, dom, 8);
+    EXPECT_GT(orig.messages, fused.messages);
+    EXPECT_EQ(fused.messages, 7);  // one per boundary
+    // jacobi's inner distances are all +-1 before and after retiming.
+    EXPECT_EQ(orig.volume, fused.volume);
+    EXPECT_GT(orig.volume, 0);
+}
+
+TEST(Communication, SingleProcessorCommunicatesNothing) {
+    const Mldg g = workloads::fig2_graph();
+    const FusionPlan plan = plan_fusion(g);
+    const Domain dom{10, 10};
+    EXPECT_EQ(sim::estimate_communication_original(g, dom, 1).volume, 0);
+    EXPECT_EQ(sim::estimate_communication_fused(g, plan, dom, 1).messages, 0);
+}
+
+TEST(Communication, CrossingIsClampedToBlockWidth) {
+    // A dependence spanning more than a block cannot cross more than the
+    // block's worth of elements per boundary.
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    g.add_edge(a, b, {{1, 100}});
+    const Domain dom{10, 15};  // 16 columns, P=4 -> block 4
+    const auto est = sim::estimate_communication_original(g, dom, 4);
+    EXPECT_EQ(est.volume, 3 * 4);  // 3 boundaries x clamped 4
+}
+
+TEST(ShiftAndPeelEstimate, SerialPeelTermGrowsRelativeShare) {
+    const Mldg g = workloads::fig2_graph();
+    const auto sp = baselines::shift_and_peel_fusion(g);
+    ASSERT_TRUE(sp.feasible);
+    const FusionPlan plan = plan_fusion(g);
+    const sim::MachineConfig machine{16, 200};
+    double last_ratio = 0.0;
+    for (const std::int64_t m : {4096LL, 256LL, 16LL}) {
+        const Domain dom{100, m};
+        const auto sp_est = sim::estimate_shift_and_peel(g, sp.peel, dom, machine);
+        const auto ours = sim::estimate_fused(g, plan, dom, machine);
+        const double ratio = ours.speedup_over(sp_est);
+        EXPECT_GE(ratio, 1.0) << "m=" << m;
+        EXPECT_GT(ratio, last_ratio) << "m=" << m;
+        last_ratio = ratio;
+    }
+}
+
+TEST(ShiftAndPeelEstimate, NoPeelPenaltyOnOneProcessor) {
+    const Mldg g = workloads::fig2_graph();
+    const sim::MachineConfig machine{1, 0};
+    const Domain dom{10, 100};
+    const auto with_peel = sim::estimate_shift_and_peel(g, 5, dom, machine);
+    const auto without = sim::estimate_shift_and_peel(g, 0, dom, machine);
+    EXPECT_EQ(with_peel.total_time, without.total_time);
+}
+
+}  // namespace
+}  // namespace lf

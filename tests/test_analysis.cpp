@@ -1,0 +1,148 @@
+// Dependence-analysis tests: the gallery DSL programs must produce exactly
+// their gallery MLDGs; flow/anti/output classification; model violations.
+
+#include <gtest/gtest.h>
+
+#include "analysis/dependence.hpp"
+#include "ir/parser.hpp"
+#include "ldg/legality.hpp"
+#include "support/diagnostics.hpp"
+#include "workloads/gallery.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/sources.hpp"
+
+namespace lf {
+namespace {
+
+void expect_same_graph(const Mldg& got, const Mldg& want) {
+    ASSERT_EQ(got.num_nodes(), want.num_nodes());
+    for (int v = 0; v < want.num_nodes(); ++v) {
+        EXPECT_EQ(got.node(v).name, want.node(v).name);
+        EXPECT_EQ(got.node(v).body_cost, want.node(v).body_cost) << want.node(v).name;
+    }
+    ASSERT_EQ(got.num_edges(), want.num_edges()) << "got:\n" << got.summary() << "want:\n"
+                                                 << want.summary();
+    for (const auto& e : want.edges()) {
+        const auto found = got.find_edge(e.from, e.to);
+        ASSERT_TRUE(found.has_value())
+            << want.node(e.from).name << " -> " << want.node(e.to).name << " missing";
+        EXPECT_EQ(got.edge(*found).vectors, e.vectors)
+            << want.node(e.from).name << " -> " << want.node(e.to).name;
+    }
+}
+
+TEST(Dependence, Fig2SourceReproducesFig2Graph) {
+    const ir::Program p = ir::parse_program(workloads::sources::kFig2);
+    expect_same_graph(analysis::build_mldg(p), workloads::fig2_graph());
+}
+
+TEST(Dependence, Fig8SourceReproducesFig8Graph) {
+    const ir::Program p = ir::parse_program(workloads::sources::kFig8);
+    expect_same_graph(analysis::build_mldg(p), workloads::fig8_graph());
+}
+
+TEST(Dependence, JacobiSourceReproducesJacobiGraph) {
+    const ir::Program p = ir::parse_program(workloads::sources::kJacobiPair);
+    expect_same_graph(analysis::build_mldg(p), workloads::jacobi_pair_graph());
+}
+
+TEST(Dependence, IirSourceReproducesIirGraph) {
+    const ir::Program p = ir::parse_program(workloads::sources::kIirChain);
+    expect_same_graph(analysis::build_mldg(p), workloads::iir_chain_graph());
+}
+
+TEST(Dependence, Fig2DetailsAreAllFlow) {
+    const ir::Program p = ir::parse_program(workloads::sources::kFig2);
+    const auto info = analysis::analyze_dependences(p);
+    for (const auto& d : info.dependences) {
+        EXPECT_EQ(d.kind, analysis::DepKind::Flow) << d.str(p);
+    }
+    // 8 reads in the program, each a flow dependence (the intra-instance
+    // pairs do not arise in fig2).
+    EXPECT_EQ(info.dependences.size(), 8u);
+}
+
+TEST(Dependence, AntiDependenceWhenReadPrecedesWrite) {
+    // Loop A at (i,j) reads b[i][j+1], which loop B writes at (i,j+1) later
+    // in the same outer iteration: an anti dependence A -> B, vector (0,1).
+    const ir::Program p = ir::parse_program(R"(
+      program anti {
+        loop A { a[i][j] = b[i][j+1]; }
+        loop B { b[i][j] = a[i-1][j]; }
+      }
+    )");
+    const auto info = analysis::analyze_dependences(p);
+    bool found = false;
+    for (const auto& d : info.dependences) {
+        if (d.kind == analysis::DepKind::Anti) {
+            EXPECT_EQ(d.from_loop, 0);
+            EXPECT_EQ(d.to_loop, 1);
+            EXPECT_EQ(d.vector, Vec2(0, 1));
+            EXPECT_EQ(d.array, "b");
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_TRUE(is_legal_mldg(info.graph));
+}
+
+TEST(Dependence, AntiDependenceAcrossOuterIterations) {
+    // Loop A reads b[i+1][j]: the write (by B, one outer iteration later)
+    // must stay after the read => anti dependence A -> B with vector (1,0).
+    const ir::Program p = ir::parse_program(R"(
+      program anti2 {
+        loop A { a[i][j] = b[i+1][j]; }
+        loop B { b[i][j] = 1.0; }
+      }
+    )");
+    const auto info = analysis::analyze_dependences(p);
+    ASSERT_EQ(info.dependences.size(), 1u);
+    EXPECT_EQ(info.dependences[0].kind, analysis::DepKind::Anti);
+    EXPECT_EQ(info.dependences[0].vector, Vec2(1, 0));
+}
+
+TEST(Dependence, OutputDependenceBetweenWriters) {
+    const ir::Program p = ir::parse_program(R"(
+      program out {
+        loop A { c[i][j] = 1.0; }
+        loop B { c[i-1][j] = 2.0; }
+      }
+    )");
+    // A writes c[i][j] at iteration i; B writes c[i-1][j], i.e. cell (i,j)
+    // at iteration i+1: output dependence A -> B with vector (1,0).
+    const auto info = analysis::analyze_dependences(p);
+    ASSERT_EQ(info.dependences.size(), 1u);
+    EXPECT_EQ(info.dependences[0].kind, analysis::DepKind::Output);
+    EXPECT_EQ(info.dependences[0].from_loop, 0);
+    EXPECT_EQ(info.dependences[0].to_loop, 1);
+    EXPECT_EQ(info.dependences[0].vector, Vec2(1, 0));
+}
+
+TEST(Dependence, IntraInstanceForwardingIsNotAnEdge) {
+    const ir::Program p = ir::parse_program(R"(
+      program fwd {
+        loop A { a[i][j] = 1.0; b[i][j] = a[i][j]; }
+      }
+    )");
+    const auto info = analysis::analyze_dependences(p);
+    EXPECT_EQ(info.graph.num_edges(), 0);
+    EXPECT_TRUE(info.dependences.empty());
+}
+
+TEST(Dependence, AnalyzerGraphsAreAlwaysProgramModelLegal) {
+    for (std::uint64_t seed = 0; seed < 30; ++seed) {
+        Rng rng(seed);
+        const ir::Program p = workloads::random_program(rng);
+        const Mldg g = analysis::build_mldg(p);
+        EXPECT_TRUE(is_legal_mldg(g)) << p.str() << g.summary();
+    }
+}
+
+TEST(Dependence, KindNames) {
+    EXPECT_EQ(analysis::to_string(analysis::DepKind::Flow), "flow");
+    EXPECT_EQ(analysis::to_string(analysis::DepKind::Anti), "anti");
+    EXPECT_EQ(analysis::to_string(analysis::DepKind::Output), "output");
+}
+
+}  // namespace
+}  // namespace lf

@@ -1,0 +1,152 @@
+// Tests for the baseline fusion techniques the paper compares against.
+
+#include <gtest/gtest.h>
+
+#include "baselines/kennedy_mckinley.hpp"
+#include "baselines/naive.hpp"
+#include "baselines/shift_and_peel.hpp"
+#include "fusion/driver.hpp"
+#include "ldg/legality.hpp"
+#include "ldg/retiming.hpp"
+#include "support/diagnostics.hpp"
+#include "workloads/gallery.hpp"
+#include "workloads/generators.hpp"
+
+namespace lf::baselines {
+namespace {
+
+TEST(Naive, FailsOnEveryPaperWorkloadWithPreventingDeps) {
+    EXPECT_FALSE(naive_fusion(workloads::fig2_graph()).legal);
+    EXPECT_FALSE(naive_fusion(workloads::fig8_graph()).legal);
+    EXPECT_FALSE(naive_fusion(workloads::jacobi_pair_graph()).legal);
+    EXPECT_FALSE(naive_fusion(workloads::iir_chain_graph()).legal);
+}
+
+TEST(Naive, SucceedsWhenNoPreventingDependence) {
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    g.add_edge(a, b, {{0, 0}, {1, 2}});
+    const auto r = naive_fusion(g);
+    EXPECT_TRUE(r.legal);
+    EXPECT_TRUE(r.inner_doall);
+}
+
+TEST(Naive, LegalButSerialWhenInnerCarried) {
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    g.add_edge(a, b, {{0, 2}});
+    const auto r = naive_fusion(g);
+    EXPECT_TRUE(r.legal);
+    EXPECT_FALSE(r.inner_doall);
+}
+
+TEST(KennedyMcKinley, Fig2NeedsThreeGroups) {
+    const auto r = kennedy_mckinley_fusion(workloads::fig2_graph());
+    ASSERT_EQ(r.num_groups(), 3);
+    EXPECT_EQ(r.groups[0], (std::vector<int>{0, 1}));  // {A, B}
+    EXPECT_EQ(r.groups[1], (std::vector<int>{2}));     // {C}
+    EXPECT_EQ(r.groups[2], (std::vector<int>{3}));     // {D}
+    EXPECT_TRUE(r.all_doall());
+}
+
+TEST(KennedyMcKinley, Fig8GroupsAndSerialRow) {
+    const auto r = kennedy_mckinley_fusion(workloads::fig8_graph());
+    ASSERT_EQ(r.num_groups(), 2);
+    EXPECT_EQ(r.groups[0], (std::vector<int>{0, 1}));          // {A, B}
+    EXPECT_EQ(r.groups[1], (std::vector<int>{2, 3, 4, 5, 6})); // {C..G}
+    // Fusing A and B directly leaves the (0,1) dependence inside one row:
+    // the group is NOT fully parallel -- unlike Algorithm 3's result.
+    EXPECT_FALSE(r.group_is_doall[0]);
+    EXPECT_TRUE(r.group_is_doall[1]);
+}
+
+TEST(KennedyMcKinley, JacobiCannotFuseTheTwoLoops) {
+    const auto r = kennedy_mckinley_fusion(workloads::jacobi_pair_graph());
+    EXPECT_EQ(r.num_groups(), 2);  // S and U stay separate
+}
+
+TEST(KennedyMcKinley, RejectsNonProgramModelGraphs) {
+    EXPECT_THROW((void)kennedy_mckinley_fusion(workloads::fig14_graph()), Error);
+}
+
+TEST(KennedyMcKinley, GroupInternalFusionIsAlwaysLegal) {
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+        Rng rng(seed);
+        const Mldg g = workloads::random_legal_mldg(rng);
+        const auto r = kennedy_mckinley_fusion(g);
+        std::vector<int> group_of(static_cast<std::size_t>(g.num_nodes()), -1);
+        for (int k = 0; k < r.num_groups(); ++k) {
+            for (int v : r.groups[static_cast<std::size_t>(k)]) {
+                group_of[static_cast<std::size_t>(v)] = k;
+            }
+        }
+        for (const auto& e : g.edges()) {
+            if (group_of[static_cast<std::size_t>(e.from)] !=
+                group_of[static_cast<std::size_t>(e.to)])
+                continue;
+            EXPECT_GE(e.delta(), Vec2(0, 0)) << g.summary();
+        }
+        // Ordering constraints: a forward dependence never flows to an
+        // earlier group.
+        for (int eid = 0; eid < g.num_edges(); ++eid) {
+            const auto& e = g.edge(eid);
+            if (g.is_backward_edge(eid) || g.is_self_edge(eid)) continue;
+            EXPECT_LE(group_of[static_cast<std::size_t>(e.from)],
+                      group_of[static_cast<std::size_t>(e.to)]);
+        }
+    }
+}
+
+TEST(ShiftAndPeel, Fig2ShiftsMatchInnerAlignment) {
+    const auto r = shift_and_peel_fusion(workloads::fig2_graph());
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.shift, (std::vector<std::int64_t>{0, 0, -2, -3}));
+    EXPECT_EQ(r.peel, 3);
+    // Legal after shifting, but (0, k>0) dependences remain: not DOALL.
+    EXPECT_FALSE(r.inner_doall);
+}
+
+TEST(ShiftAndPeel, ShiftedGraphIsFusionLegal) {
+    for (const auto& w : workloads::paper_workloads()) {
+        if (!is_legal_mldg(w.graph)) continue;  // fig14 is graph-only
+        const auto r = shift_and_peel_fusion(w.graph);
+        ASSERT_TRUE(r.feasible) << w.id;
+        Retiming rt(w.graph.num_nodes());
+        for (int v = 0; v < w.graph.num_nodes(); ++v) {
+            rt.of(v) = Vec2{0, r.shift[static_cast<std::size_t>(v)]};
+        }
+        EXPECT_TRUE(is_fusion_legal(rt.apply(w.graph))) << w.id;
+    }
+}
+
+TEST(ShiftAndPeel, NeverAchievesFullParallelismOnThePaperWorkloads) {
+    // The headline contrast: shifting alone cannot make any of the gallery's
+    // fused rows DOALL, while the paper's algorithms parallelize all of them
+    // (inner rows or hyperplanes).
+    for (const auto& w : workloads::paper_workloads()) {
+        if (!is_legal_mldg(w.graph)) continue;
+        const auto r = shift_and_peel_fusion(w.graph);
+        ASSERT_TRUE(r.feasible) << w.id;
+        EXPECT_FALSE(r.inner_doall) << w.id;
+    }
+}
+
+TEST(ShiftAndPeel, RejectsNonProgramModelGraphs) {
+    EXPECT_THROW((void)shift_and_peel_fusion(workloads::fig14_graph()), Error);
+}
+
+TEST(Comparison, OurDriverDominatesBaselinesOnTheGallery) {
+    for (const auto& w : workloads::paper_workloads()) {
+        const FusionPlan plan = plan_fusion(w.graph);
+        // Ours always fuses with full parallelism of some form.
+        EXPECT_TRUE(plan.level == ParallelismLevel::InnerDoall ||
+                    plan.level == ParallelismLevel::Hyperplane);
+        // Naive direct fusion fails everywhere on the gallery.
+        EXPECT_FALSE(naive_fusion(w.graph).legal) << w.id;
+    }
+}
+
+}  // namespace
+}  // namespace lf::baselines

@@ -1,0 +1,113 @@
+// Tests for the standalone plan certifier: valid plans pass, and every kind
+// of corruption is caught with a specific violation.
+
+#include <gtest/gtest.h>
+
+#include "fusion/certify.hpp"
+#include "fusion/driver.hpp"
+#include "ldg/legality.hpp"
+#include "workloads/gallery.hpp"
+#include "workloads/generators.hpp"
+
+namespace lf {
+namespace {
+
+TEST(Certify, AllGalleryPlansCertify) {
+    for (const auto& w : workloads::paper_workloads()) {
+        const FusionPlan plan = plan_fusion(w.graph);
+        const PlanCertificate cert = certify_plan(w.graph, plan);
+        EXPECT_TRUE(cert.valid) << w.id << ": "
+                                << (cert.violations.empty() ? "?" : cert.violations.front());
+    }
+}
+
+class CertifyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CertifyPropertyTest, RandomPlansCertify) {
+    Rng rng(GetParam() * 61 + 3);
+    const Mldg g = workloads::random_schedulable_mldg(rng);
+    EXPECT_TRUE(certify_plan(g, plan_fusion(g)).valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertifyPropertyTest, ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(Certify, CatchesTamperedRetiming) {
+    const Mldg g = workloads::fig2_graph();
+    FusionPlan plan = plan_fusion(g);
+    plan.retiming.of(1) = Vec2{-5, 3};  // retimed graph now stale
+    const PlanCertificate cert = certify_plan(g, plan);
+    ASSERT_FALSE(cert.valid);
+    EXPECT_NE(cert.violations.front().find("retiming.apply"), std::string::npos);
+}
+
+TEST(Certify, CatchesTamperedRetimedGraph) {
+    const Mldg g = workloads::fig2_graph();
+    FusionPlan plan = plan_fusion(g);
+    plan.retimed = g;  // original instead of retimed
+    EXPECT_FALSE(certify_plan(g, plan).valid);
+}
+
+TEST(Certify, CatchesBadBodyOrder) {
+    const Mldg g = workloads::fig2_graph();
+    FusionPlan plan = plan_fusion(g);
+    // fig2's retimed C->D is (0,0): D before C violates it.
+    plan.body_order = {0, 1, 3, 2};
+    const PlanCertificate cert = certify_plan(g, plan);
+    ASSERT_FALSE(cert.valid);
+    EXPECT_NE(cert.violations.front().find("(0,0)"), std::string::npos);
+}
+
+TEST(Certify, CatchesNonPermutationBodyOrder) {
+    const Mldg g = workloads::fig2_graph();
+    FusionPlan plan = plan_fusion(g);
+    plan.body_order = {0, 0, 1, 2};
+    EXPECT_FALSE(certify_plan(g, plan).valid);
+}
+
+TEST(Certify, CatchesNonStrictSchedule) {
+    const Mldg g = workloads::fig14_graph();
+    FusionPlan plan = plan_fusion(g);
+    plan.schedule = Vec2{1, 0};  // rows are not parallel for fig14
+    plan.hyperplane = Vec2{0, 1};
+    const PlanCertificate cert = certify_plan(g, plan);
+    ASSERT_FALSE(cert.valid);
+    EXPECT_NE(cert.violations.front().find("strict"), std::string::npos);
+}
+
+TEST(Certify, CatchesNonPerpendicularHyperplane) {
+    const Mldg g = workloads::fig2_graph();
+    FusionPlan plan = plan_fusion(g);
+    plan.hyperplane = Vec2{1, 1};
+    EXPECT_FALSE(certify_plan(g, plan).valid);
+}
+
+TEST(Certify, CatchesFalseDoallClaim) {
+    // LLOFRA alone leaves fig2's rows serial; claiming InnerDoall must fail.
+    const Mldg g = workloads::fig2_graph();
+    FusionPlan plan = plan_fusion(g);
+    FusionPlan fake = plan;
+    fake.retiming = Retiming(std::vector<Vec2>{{0, 0}, {0, 0}, {0, -2}, {0, -3}});
+    fake.retimed = fake.retiming.apply(g);
+    fake.body_order = *fused_body_order(fake.retimed);
+    fake.level = ParallelismLevel::InnerDoall;
+    fake.schedule = Vec2{1, 0};
+    fake.hyperplane = Vec2{0, 1};
+    const PlanCertificate cert = certify_plan(g, fake);
+    EXPECT_FALSE(cert.valid);
+}
+
+TEST(Certify, SchedulabilityDiagnosticsNameTheCycle) {
+    Mldg g;
+    const int a = g.add_node("P");
+    const int b = g.add_node("Q");
+    g.add_edge(a, b, {{0, 2}});
+    g.add_edge(b, a, {{0, -2}});
+    const auto rep = check_schedulable(g);
+    ASSERT_FALSE(rep.legal);
+    // The witness cycle must name both nodes.
+    EXPECT_NE(rep.violations.front().find("P"), std::string::npos) << rep.violations.front();
+    EXPECT_NE(rep.violations.front().find("Q"), std::string::npos) << rep.violations.front();
+}
+
+}  // namespace
+}  // namespace lf

@@ -1,0 +1,143 @@
+// Tests for retiming compaction (x-spread minimization).
+
+#include <gtest/gtest.h>
+
+#include "fusion/ablation.hpp"
+#include "fusion/acyclic_doall.hpp"
+#include "fusion/compact.hpp"
+#include "fusion/cyclic_doall.hpp"
+#include "fusion/driver.hpp"
+#include "ldg/legality.hpp"
+#include "support/diagnostics.hpp"
+#include "workloads/gallery.hpp"
+#include "workloads/generators.hpp"
+
+namespace lf {
+namespace {
+
+TEST(Compact, Fig2SpreadIsAlreadyMinimal) {
+    const Mldg g = workloads::fig2_graph();
+    const auto compact = cyclic_doall_fusion_compact(g);
+    ASSERT_TRUE(compact.has_value());
+    // Cycle A->B->C->D->A has x-weight 3 with one hard edge forced carried:
+    // some node must lag; spread 1 is optimal and the paper's solution
+    // already achieves it.
+    EXPECT_EQ(ablation::prologue_rows(*compact), 1);
+    const auto order = fused_body_order(compact->apply(g));
+    ASSERT_TRUE(order.has_value());
+    EXPECT_TRUE(is_fused_inner_doall(compact->apply(g), *order));
+}
+
+TEST(Compact, Fig8HalvesNothingButStaysOptimal) {
+    const Mldg g = workloads::fig8_graph();
+    const Retiming paper = acyclic_doall_fusion(g);
+    const Retiming compact = acyclic_doall_fusion_compact(g);
+    EXPECT_TRUE(is_fused_inner_doall(compact.apply(g)));
+    EXPECT_LE(ablation::prologue_rows(compact), ablation::prologue_rows(paper));
+}
+
+TEST(Compact, CarriedChainNeedsNoPrologueEitherWay) {
+    // A cycle of already-carried dependences needs no retiming at all; both
+    // the plain Bellman-Ford solution and the spread-bounded search find
+    // spread 0.
+    Mldg g;
+    const int n = 6;
+    for (int v = 0; v < n; ++v) g.add_node("L" + std::to_string(v));
+    for (int v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, {{2, 0}});
+    g.add_edge(n - 1, 0, {{2, 0}});  // cycle, no hard edges
+
+    const auto plain = cyclic_doall_fusion(g);
+    ASSERT_TRUE(plain.retiming.has_value());
+    const auto compact = cyclic_doall_fusion_compact(g);
+    ASSERT_TRUE(compact.has_value());
+    EXPECT_EQ(ablation::prologue_rows(*plain.retiming), 0);
+    EXPECT_EQ(ablation::prologue_rows(*compact), 0);
+}
+
+TEST(Compact, PlainBellmanFordSolutionIsAlreadySpreadOptimal) {
+    // The optimality result (see fusion/compact.hpp): the paper's plain
+    // all-sources solution always achieves the minimum spread, so the
+    // spread-bounded search can never improve on it.
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        Rng rng(seed * 17 + 3);
+        const Mldg g = workloads::random_legal_mldg(rng);
+        const auto plain = cyclic_doall_fusion(g);
+        const auto compact = cyclic_doall_fusion_compact(g);
+        if (!plain.retiming.has_value() || !compact.has_value()) continue;
+        EXPECT_EQ(ablation::prologue_rows(*compact), ablation::prologue_rows(*plain.retiming));
+    }
+}
+
+TEST(Compact, SameSuccessSetAsPlainAlgorithm4) {
+    for (std::uint64_t seed = 0; seed < 40; ++seed) {
+        Rng rng(seed * 23 + 1);
+        const Mldg g = workloads::random_legal_mldg(rng);
+        const auto plain = cyclic_doall_fusion(g);
+        const auto compact = cyclic_doall_fusion_compact(g);
+        EXPECT_EQ(plain.retiming.has_value(), compact.has_value());
+    }
+}
+
+TEST(Compact, NeverWorseAndAlwaysValid) {
+    // By the optimality result the spreads are in fact always equal; the
+    // invariants checked here are "never worse, always a valid DOALL plan".
+    for (std::uint64_t seed = 0; seed < 60; ++seed) {
+        Rng rng(seed * 41 + 9);
+        const Mldg g = workloads::random_legal_mldg(rng);
+        const auto plain = cyclic_doall_fusion(g);
+        const auto compact = cyclic_doall_fusion_compact(g);
+        if (!compact.has_value()) continue;
+        ASSERT_TRUE(plain.retiming.has_value());
+        const Mldg gr = compact->apply(g);
+        const auto order = fused_body_order(gr);
+        ASSERT_TRUE(order.has_value());
+        EXPECT_TRUE(is_fused_inner_doall(gr, *order));
+        EXPECT_LE(ablation::prologue_rows(*compact), ablation::prologue_rows(*plain.retiming));
+    }
+}
+
+TEST(Compact, AcyclicVariantMatchesPlainParallelism) {
+    for (std::uint64_t seed = 0; seed < 25; ++seed) {
+        Rng rng(seed * 53 + 2);
+        workloads::RandomGraphOptions opt;
+        opt.backward_edge_prob = 0;
+        opt.self_edge_prob = 0;
+        const Mldg g = workloads::random_legal_mldg(rng, opt);
+        const Retiming compact = acyclic_doall_fusion_compact(g);
+        EXPECT_TRUE(is_fused_inner_doall(compact.apply(g)));
+        EXPECT_LE(ablation::prologue_rows(compact),
+                  ablation::prologue_rows(acyclic_doall_fusion(g)));
+    }
+}
+
+TEST(Compact, DriverOptionProducesCertifiedCompactPlans) {
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        Rng rng(seed * 67 + 31);
+        const Mldg g = workloads::random_legal_mldg(rng);
+        const FusionPlan plain = plan_fusion(g);
+        const FusionPlan compact = plan_fusion(g, PlanOptions{.compact_prologue = true});
+        EXPECT_EQ(plain.level, compact.level);
+        EXPECT_EQ(plain.algorithm, compact.algorithm);
+        if (compact.level == ParallelismLevel::InnerDoall &&
+            compact.algorithm == AlgorithmUsed::CyclicDoall) {
+            EXPECT_LE(ablation::prologue_rows(compact.retiming),
+                      ablation::prologue_rows(plain.retiming));
+        }
+    }
+}
+
+TEST(Compact, DriverOptionOnCarriedChain) {
+    Mldg g;
+    for (int v = 0; v < 6; ++v) g.add_node("L" + std::to_string(v));
+    for (int v = 0; v + 1 < 6; ++v) g.add_edge(v, v + 1, {{2, 0}});
+    g.add_edge(5, 0, {{2, 0}});
+    const FusionPlan compact = plan_fusion(g, PlanOptions{.compact_prologue = true});
+    EXPECT_EQ(ablation::prologue_rows(compact.retiming), 0);
+}
+
+TEST(Compact, RejectsBadInputs) {
+    EXPECT_THROW((void)acyclic_doall_fusion_compact(workloads::fig2_graph()), Error);
+}
+
+}  // namespace
+}  // namespace lf

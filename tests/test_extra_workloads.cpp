@@ -1,0 +1,94 @@
+// End-to-end coverage of the extended workload collection: each kernel must
+// take its designed algorithm path and verify bit-exact under every engine.
+
+#include <gtest/gtest.h>
+
+#include "analysis/dependence.hpp"
+#include "baselines/naive.hpp"
+#include "exec/equivalence.hpp"
+#include "fusion/certify.hpp"
+#include "fusion/driver.hpp"
+#include "ir/parser.hpp"
+#include "workloads/extra.hpp"
+
+namespace lf {
+namespace {
+
+class ExtraWorkloadTest : public ::testing::TestWithParam<workloads::ExtraWorkload> {};
+
+std::string path_of(AlgorithmUsed algorithm) {
+    switch (algorithm) {
+        case AlgorithmUsed::AcyclicDoall: return "alg3";
+        case AlgorithmUsed::CyclicDoall: return "alg4";
+        case AlgorithmUsed::CyclicDoallForced: return "alg4-forced";
+        case AlgorithmUsed::Hyperplane: return "alg5";
+    }
+    return "?";
+}
+
+TEST_P(ExtraWorkloadTest, TakesTheDesignedAlgorithmPath) {
+    const ir::Program p = ir::parse_program(GetParam().dsl_source);
+    const FusionPlan plan = plan_fusion(analysis::build_mldg(p));
+    EXPECT_EQ(path_of(plan.algorithm), GetParam().expected_path) << GetParam().id;
+}
+
+TEST_P(ExtraWorkloadTest, PlanCertifies) {
+    const ir::Program p = ir::parse_program(GetParam().dsl_source);
+    const Mldg g = analysis::build_mldg(p);
+    const PlanCertificate cert = certify_plan(g, plan_fusion(g));
+    EXPECT_TRUE(cert.valid) << (cert.violations.empty() ? "" : cert.violations.front());
+}
+
+TEST_P(ExtraWorkloadTest, NaiveFusionFails) {
+    // Every extra kernel carries at least one fusion-preventing dependence;
+    // that is what makes them interesting.
+    const ir::Program p = ir::parse_program(GetParam().dsl_source);
+    EXPECT_FALSE(baselines::naive_fusion(analysis::build_mldg(p)).legal);
+}
+
+TEST_P(ExtraWorkloadTest, VerifiesUnderAllEngines) {
+    const ir::Program p = ir::parse_program(GetParam().dsl_source);
+    const Domain dom{15, 12};
+    for (const auto engine : {exec::EngineKind::FusedRowwise, exec::EngineKind::Peeled,
+                              exec::EngineKind::Wavefront, exec::EngineKind::Threaded}) {
+        const auto result = exec::verify_fusion(p, dom, engine, 2);
+        EXPECT_TRUE(result.equivalent)
+            << GetParam().id << " engine " << static_cast<int>(engine) << ": " << result.detail;
+    }
+}
+
+TEST_P(ExtraWorkloadTest, FusionReducesBarriersOrBuysParallelism) {
+    const ir::Program p = ir::parse_program(GetParam().dsl_source);
+    const Mldg g = analysis::build_mldg(p);
+    const FusionPlan plan = plan_fusion(g);
+    const auto result = exec::verify_fusion(p, Domain{40, 40}, exec::EngineKind::FusedRowwise);
+    ASSERT_TRUE(result.equivalent) << result.detail;
+    if (plan.level == ParallelismLevel::InnerDoall) {
+        EXPECT_LT(result.transformed.barriers, result.original.barriers) << GetParam().id;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, ExtraWorkloadTest, ::testing::ValuesIn(workloads::extra_workloads()),
+    [](const ::testing::TestParamInfo<workloads::ExtraWorkload>& info) { return info.param.id; });
+
+TEST(ExtraWorkloads, Pipeline5NeedsOnlyInnerAlignment) {
+    // Algorithm 4's phase 2 solves this one with a pure y-shift (the chain
+    // of (0,-1) forwards is non-hard): phase 1 retimes nothing in x.
+    const ir::Program p =
+        ir::parse_program(workloads::extra_workloads()[1].dsl_source);
+    const FusionPlan plan = plan_fusion(analysis::build_mldg(p));
+    ASSERT_EQ(plan.algorithm, AlgorithmUsed::CyclicDoall);
+    for (int v = 0; v < plan.retiming.num_nodes(); ++v) {
+        EXPECT_EQ(plan.retiming.of(v).x, 0);
+    }
+    // The chain lands on (0,0): forwarding reuse for every stage.
+    int zero_deps = 0;
+    for (const auto& e : plan.retimed.edges()) {
+        for (const Vec2& d : e.vectors) zero_deps += d.is_zero() ? 1 : 0;
+    }
+    EXPECT_EQ(zero_deps, 4);
+}
+
+}  // namespace
+}  // namespace lf

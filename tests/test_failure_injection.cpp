@@ -1,0 +1,190 @@
+// Failure injection and differential testing.
+//
+// The golden-equivalence harness underwrites every claim in this repo, so
+// these tests deliberately BREAK transformations and assert the harness
+// catches them: a verifier that cannot fail is not verifying anything.
+// Plus differential cross-checks between independent implementations
+// (engines against engines, Johnson's cycles against brute force).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/dependence.hpp"
+#include "exec/engines.hpp"
+#include "exec/equivalence.hpp"
+#include "fusion/acyclic_doall.hpp"
+#include "fusion/cyclic_doall.hpp"
+#include "fusion/driver.hpp"
+#include "graph/algorithms.hpp"
+#include "ir/parser.hpp"
+#include "ldg/legality.hpp"
+#include "support/rng.hpp"
+#include "transform/fused_program.hpp"
+#include "workloads/generators.hpp"
+#include "workloads/sources.hpp"
+
+namespace lf {
+namespace {
+
+/// Runs the original program and a (possibly corrupted) fused program and
+/// returns whether they agree.
+bool fused_matches_original(const ir::Program& p, const transform::FusedProgram& fp,
+                            const Domain& dom) {
+    exec::ArrayStore golden(p, dom);
+    exec::ArrayStore subject(p, dom);
+    (void)exec::run_original(p, dom, golden);
+    (void)exec::run_fused_rowwise(fp, dom, subject);
+    return !exec::first_difference(p, dom, golden, subject).has_value();
+}
+
+TEST(FailureInjection, CorruptedRetimingIsDetected) {
+    // Delaying B by two extra rows makes the retimed B->C dependence
+    // negative: C consumes values B has not produced yet. The harness must
+    // see different array contents.
+    const ir::Program p = ir::parse_program(workloads::sources::kFig2);
+    const FusionPlan plan = plan_fusion(analysis::build_mldg(p));
+    transform::FusedProgram fp = transform::fuse_program(p, plan);
+    ASSERT_TRUE(fused_matches_original(p, fp, Domain{15, 15}));  // sanity
+
+    for (auto& body : fp.bodies) {
+        if (body.label == "B") body.retiming = Vec2{-2, 0};
+    }
+    EXPECT_FALSE(fused_matches_original(p, fp, Domain{15, 15}));
+}
+
+TEST(FailureInjection, CorruptedBodyOrderIsDetected) {
+    // fig2's Algorithm-4 plan retimes C->D to (0,0): D must follow C at each
+    // point. Swapping them makes D read stale c values.
+    const ir::Program p = ir::parse_program(workloads::sources::kFig2);
+    const FusionPlan plan = plan_fusion(analysis::build_mldg(p));
+    transform::FusedProgram fp = transform::fuse_program(p, plan);
+    auto c_it = std::find_if(fp.bodies.begin(), fp.bodies.end(),
+                             [](const auto& b) { return b.label == "C"; });
+    auto d_it = std::find_if(fp.bodies.begin(), fp.bodies.end(),
+                             [](const auto& b) { return b.label == "D"; });
+    ASSERT_TRUE(c_it != fp.bodies.end() && d_it != fp.bodies.end());
+    std::iter_swap(c_it, d_it);
+    EXPECT_FALSE(fused_matches_original(p, fp, Domain{15, 15}));
+}
+
+TEST(FailureInjection, NonStrictScheduleIsDetectedByOrderChecking) {
+    // Forcing a column-major wavefront (s = (0,1)) on fig2's Algorithm-4
+    // plan violates the (1,-2) dependence: the order-checking store must
+    // observe consumer-before-producer events.
+    const ir::Program p = ir::parse_program(workloads::sources::kFig2);
+    const FusionPlan plan = plan_fusion(analysis::build_mldg(p));
+    transform::FusedProgram fp = transform::fuse_program(p, plan);
+    ASSERT_FALSE(is_strict_schedule_vector(plan.retimed, Vec2{0, 1}));
+    fp.schedule = Vec2{0, 1};
+
+    const Domain dom{15, 15};
+    exec::ArrayStore store(p, dom);
+    store.enable_order_checking();
+    (void)exec::run_wavefront(fp, dom, store);
+    EXPECT_GT(store.order_violations(), 0);
+
+    // And the correct schedule produces none.
+    transform::FusedProgram good = transform::fuse_program(p, plan);
+    exec::ArrayStore clean(p, dom);
+    clean.enable_order_checking();
+    (void)exec::run_wavefront(good, dom, clean);
+    EXPECT_EQ(clean.order_violations(), 0);
+}
+
+TEST(FailureInjection, DroppedBodyIsDetected) {
+    const ir::Program p = ir::parse_program(workloads::sources::kJacobiPair);
+    const FusionPlan plan = plan_fusion(analysis::build_mldg(p));
+    transform::FusedProgram fp = transform::fuse_program(p, plan);
+    fp.bodies.pop_back();
+    EXPECT_FALSE(fused_matches_original(p, fp, Domain{10, 10}));
+}
+
+// ------------------------------------------------------------ differential -
+
+class DifferentialTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialTest, PeeledAndRowwiseEnginesProduceIdenticalStores) {
+    Rng rng(GetParam() * 31 + 5);
+    const ir::Program p = workloads::random_program(rng);
+    const Mldg g = analysis::build_mldg(p);
+    const FusionPlan plan = plan_fusion(g);
+    if (plan.level != ParallelismLevel::InnerDoall) return;
+    const auto fp = transform::fuse_program(p, plan);
+    const Domain dom{9, 7};
+
+    exec::ArrayStore a(p, dom), b(p, dom);
+    const auto sa = exec::run_fused_rowwise(fp, dom, a);
+    const auto sb = exec::run_fused_peeled(fp, dom, b);
+    EXPECT_EQ(sa.instances, sb.instances);
+    EXPECT_FALSE(exec::first_difference(p, dom, a, b).has_value());
+}
+
+TEST_P(DifferentialTest, Alg3AndAlg4AgreeOnAcyclicGraphs) {
+    // Algorithm 4 accepts acyclic graphs too; both must deliver DOALL and
+    // legal fusion, independently.
+    Rng rng(GetParam() * 97 + 11);
+    workloads::RandomGraphOptions opt;
+    opt.backward_edge_prob = 0;
+    opt.self_edge_prob = 0;
+    const Mldg g = workloads::random_legal_mldg(rng, opt);
+    ASSERT_TRUE(g.is_acyclic());
+
+    const Retiming r3 = acyclic_doall_fusion(g);
+    const auto r4 = cyclic_doall_fusion(g);
+    ASSERT_TRUE(r4.retiming.has_value());
+
+    const Mldg g3 = r3.apply(g);
+    const Mldg g4 = r4.retiming->apply(g);
+    EXPECT_TRUE(is_fused_inner_doall(g3));
+    const auto order4 = fused_body_order(g4);
+    ASSERT_TRUE(order4.has_value());
+    EXPECT_TRUE(is_fused_inner_doall(g4, *order4));
+}
+
+TEST_P(DifferentialTest, JohnsonCyclesMatchBruteForce) {
+    // Brute force: enumerate simple cycles by DFS from each minimal node.
+    Rng rng(GetParam() * 131 + 17);
+    const int n = 5;
+    Adjacency adj(static_cast<std::size_t>(n));
+    for (int u = 0; u < n; ++u) {
+        for (int v = 0; v < n; ++v) {
+            if (u == v ? rng.flip(0.2) : rng.flip(0.3)) {
+                adj[static_cast<std::size_t>(u)].push_back(v);
+            }
+        }
+    }
+
+    std::set<std::vector<int>> brute;
+    std::vector<int> path;
+    std::vector<bool> on_path(static_cast<std::size_t>(n), false);
+    std::function<void(int, int)> dfs = [&](int start, int v) {
+        for (int w : adj[static_cast<std::size_t>(v)]) {
+            if (w == start) {
+                brute.insert(path);
+            } else if (w > start && !on_path[static_cast<std::size_t>(w)]) {
+                path.push_back(w);
+                on_path[static_cast<std::size_t>(w)] = true;
+                dfs(start, w);
+                on_path[static_cast<std::size_t>(w)] = false;
+                path.pop_back();
+            }
+        }
+    };
+    for (int s = 0; s < n; ++s) {
+        path = {s};
+        on_path.assign(static_cast<std::size_t>(n), false);
+        on_path[static_cast<std::size_t>(s)] = true;
+        dfs(s, s);
+    }
+
+    std::set<std::vector<int>> johnson;
+    for (const auto& cyc : simple_cycles(adj)) johnson.insert(cyc);
+    EXPECT_EQ(johnson, brute);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace lf

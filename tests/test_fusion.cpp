@@ -1,0 +1,363 @@
+// Tests for the four fusion algorithms, pinned to the paper's published
+// results where the paper states them, plus seed-swept property tests.
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hpp"
+#include "fusion/acyclic_doall.hpp"
+#include "fusion/cyclic_doall.hpp"
+#include "fusion/driver.hpp"
+#include "fusion/hyperplane.hpp"
+#include "fusion/llofra.hpp"
+#include "graph/algorithms.hpp"
+#include "ldg/legality.hpp"
+#include "workloads/gallery.hpp"
+#include "workloads/generators.hpp"
+
+namespace lf {
+namespace {
+
+using workloads::fig14_graph;
+using workloads::fig2_graph;
+using workloads::fig8_graph;
+using workloads::iir_chain_graph;
+using workloads::jacobi_pair_graph;
+
+// ---------------------------------------------------------------- LLOFRA ---
+
+TEST(Llofra, Fig2MatchesSection33) {
+    // Section 3.3 reports r(A)=(0,0), r(B)=(0,0), r(C)=(0,-2), r(D)=(0,-3).
+    const Mldg g = fig2_graph();
+    const Retiming r = llofra(g);
+    EXPECT_EQ(r.of(0), Vec2(0, 0));
+    EXPECT_EQ(r.of(1), Vec2(0, 0));
+    EXPECT_EQ(r.of(2), Vec2(0, -2));
+    EXPECT_EQ(r.of(3), Vec2(0, -3));
+}
+
+TEST(Llofra, Fig2RetimedGraphMatchesFigure6) {
+    // Figure 6(a): A->B (1,1); B->C (0,0)*; C->D (0,0); A->C (0,3);
+    // D->A (2,-2); C->C (1,0).
+    const Mldg g = fig2_graph();
+    const Mldg gr = llofra(g).apply(g);
+    EXPECT_EQ(gr.edge(*gr.find_edge(0, 1)).delta(), Vec2(1, 1));
+    EXPECT_EQ(gr.edge(*gr.find_edge(1, 2)).delta(), Vec2(0, 0));
+    EXPECT_EQ(gr.edge(*gr.find_edge(2, 3)).delta(), Vec2(0, 0));
+    EXPECT_EQ(gr.edge(*gr.find_edge(0, 2)).delta(), Vec2(0, 3));
+    EXPECT_EQ(gr.edge(*gr.find_edge(3, 0)).delta(), Vec2(2, -2));
+    EXPECT_EQ(gr.edge(*gr.find_edge(2, 2)).delta(), Vec2(1, 0));
+    EXPECT_TRUE(is_fusion_legal(gr));
+    // But the fused inner loop is NOT DOALL (Figure 7's serialized rows):
+    // A->C retimed to (0,3) is an inner-carried dependence.
+    EXPECT_FALSE(is_fused_inner_doall(gr));
+}
+
+TEST(Llofra, ThrowsOnUnschedulableInput) {
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    g.add_edge(a, b, {{0, 1}});
+    g.add_edge(b, a, {{0, -1}});
+    EXPECT_THROW(llofra(g), Error);
+}
+
+// ---------------------------------------------------- Algorithm 3 (Thm 4.1) -
+
+TEST(AcyclicDoall, Fig8MatchesFigure10) {
+    // Figure 10: r(A)=(0,0), r(B)=(-1,0), r(C)=(-2,0), r(D)=(-2,0),
+    // r(E)=(-1,0), r(F)=(-2,0), r(G)=(-2,0).
+    const Mldg g = fig8_graph();
+    const Retiming r = acyclic_doall_fusion(g);
+    const std::vector<Vec2> expected{{0, 0}, {-1, 0}, {-2, 0}, {-2, 0},
+                                     {-1, 0}, {-2, 0}, {-2, 0}};
+    EXPECT_EQ(r.values(), expected);
+}
+
+TEST(AcyclicDoall, Fig8RetimedWeightsMatchFigure10) {
+    const Mldg g = fig8_graph();
+    const Mldg gr = acyclic_doall_fusion(g).apply(g);
+    EXPECT_EQ(gr.edge(*gr.find_edge(0, 1)).delta(), Vec2(1, 1));   // A->B
+    EXPECT_EQ(gr.edge(*gr.find_edge(1, 2)).delta(), Vec2(1, -2));  // B->C
+    EXPECT_EQ(gr.edge(*gr.find_edge(2, 3)).delta(), Vec2(1, 3));   // C->D
+    EXPECT_EQ(gr.edge(*gr.find_edge(3, 4)).delta(), Vec2(1, -2));  // D->E
+    EXPECT_EQ(gr.edge(*gr.find_edge(1, 5)).delta(), Vec2(1, -2));  // B->F
+    EXPECT_EQ(gr.edge(*gr.find_edge(5, 6)).delta(), Vec2(1, 2));   // F->G
+    EXPECT_EQ(gr.edge(*gr.find_edge(1, 4)).delta(), Vec2(1, 2));   // B->E
+    EXPECT_EQ(gr.edge(*gr.find_edge(0, 3)).delta(), Vec2(2, -3));  // A->D
+    EXPECT_TRUE(is_fused_inner_doall(gr));
+}
+
+TEST(AcyclicDoall, RejectsCyclicInput) {
+    EXPECT_THROW(acyclic_doall_fusion(fig2_graph()), Error);
+}
+
+// ---------------------------------------------------- Algorithm 4 (Thm 4.2) -
+
+TEST(CyclicDoall, Fig2MatchesSection43) {
+    // Section 4.3: r(A)=r(B)=(0,0), r(C)=(-1,0), r(D)=(-1,-1).
+    const Mldg g = fig2_graph();
+    const auto outcome = cyclic_doall_fusion(g);
+    ASSERT_TRUE(outcome.retiming.has_value());
+    EXPECT_EQ(outcome.retiming->of(0), Vec2(0, 0));
+    EXPECT_EQ(outcome.retiming->of(1), Vec2(0, 0));
+    EXPECT_EQ(outcome.retiming->of(2), Vec2(-1, 0));
+    EXPECT_EQ(outcome.retiming->of(3), Vec2(-1, -1));
+}
+
+TEST(CyclicDoall, Fig2RetimedGraphMatchesFigure12) {
+    // Figure 12(a): A->B (1,1); B->C (1,-2)*; C->D (0,0); A->C (1,1);
+    // D->A (1,0); C->C (1,0).
+    const Mldg g = fig2_graph();
+    const auto outcome = cyclic_doall_fusion(g);
+    ASSERT_TRUE(outcome.retiming.has_value());
+    const Mldg gr = outcome.retiming->apply(g);
+    EXPECT_EQ(gr.edge(*gr.find_edge(0, 1)).delta(), Vec2(1, 1));
+    EXPECT_EQ(gr.edge(*gr.find_edge(1, 2)).delta(), Vec2(1, -2));
+    EXPECT_EQ(gr.edge(*gr.find_edge(2, 3)).delta(), Vec2(0, 0));
+    EXPECT_EQ(gr.edge(*gr.find_edge(0, 2)).delta(), Vec2(1, 1));
+    EXPECT_EQ(gr.edge(*gr.find_edge(3, 0)).delta(), Vec2(1, 0));
+    EXPECT_EQ(gr.edge(*gr.find_edge(2, 2)).delta(), Vec2(1, 0));
+    EXPECT_TRUE(is_fused_inner_doall(gr));
+}
+
+TEST(CyclicDoall, JacobiPairFusesToDoall) {
+    const Mldg g = jacobi_pair_graph();
+    const auto outcome = cyclic_doall_fusion(g);
+    ASSERT_TRUE(outcome.retiming.has_value());
+    const Mldg gr = outcome.retiming->apply(g);
+    EXPECT_TRUE(is_fusion_legal(gr));
+    EXPECT_TRUE(is_fused_inner_doall(gr));
+}
+
+TEST(CyclicDoall, Fig14FailsPhaseOne) {
+    // Theorem 4.2's condition is violated: hard edges B->C and C->D sit on
+    // zero-x cycles, so the x constraint graph has a negative cycle.
+    const auto outcome = cyclic_doall_fusion(fig14_graph());
+    EXPECT_FALSE(outcome.retiming.has_value());
+    EXPECT_EQ(outcome.failed_phase, 1);
+}
+
+TEST(CyclicDoall, IirChainFailsPhaseOne) {
+    const auto outcome = cyclic_doall_fusion(iir_chain_graph());
+    EXPECT_FALSE(outcome.retiming.has_value());
+    EXPECT_EQ(outcome.failed_phase, 1);
+}
+
+TEST(CyclicDoall, PhaseTwoFailureIsReachable) {
+    // Non-hard zero-x edges around a cycle whose y-weights cannot be made
+    // all zero: x-feasible but y-equalities inconsistent. Cycle A->B->A with
+    // delta (0,2) and (1,-2) plus a path forcing both x-retimed weights to 0.
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    const int c = g.add_node("C");
+    // Cycle of zero-x edges is impossible in a schedulable graph, so phase-2
+    // failure needs inconsistent *paths*: two zero-x paths A->...->C whose
+    // y-sums differ, plus equality-forcing structure. Easiest: parallel
+    // equalities via two routes A->C and A->B->C, all zero-x after phase 1.
+    g.add_edge(a, c, {{0, 1}});
+    g.add_edge(a, b, {{0, 1}});
+    g.add_edge(b, c, {{0, 1}});
+    // Make the graph cyclic so Algorithm 4 is the natural choice; the back
+    // edge is carried (x=2) and does not constrain phase 2.
+    g.add_edge(c, a, {{2, 0}});
+    const auto outcome = cyclic_doall_fusion(g);
+    EXPECT_FALSE(outcome.retiming.has_value());
+    EXPECT_EQ(outcome.failed_phase, 2);
+}
+
+// ---------------------------------------------------- Algorithm 5 (Thm 4.4) -
+
+TEST(Hyperplane, Fig14ProducesSkewedStrictSchedule)
+{
+    const Mldg g = fig14_graph();
+    const HyperplaneResult hp = hyperplane_fusion(g);
+    const Mldg gr = hp.retiming.apply(g);
+    EXPECT_TRUE(is_fusion_legal(gr) || fused_body_order(gr).has_value());
+    EXPECT_TRUE(is_strict_schedule_vector(gr, hp.schedule));
+    EXPECT_EQ(hp.schedule.dot(hp.hyperplane), 0);
+    // The example needs skewing: a row-parallel schedule (1,0) must NOT be
+    // strict, and the computed schedule must involve both dimensions.
+    EXPECT_FALSE(is_strict_schedule_vector(gr, Vec2{1, 0}));
+    EXPECT_GT(hp.schedule.x, 0);
+    EXPECT_EQ(hp.schedule.y, 1);
+}
+
+TEST(Hyperplane, ScheduleFormulaCaseAZero) {
+    // All dependences within one outer iteration, forward in j: s = (0,1).
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    g.add_edge(a, b, {{0, 2}});
+    EXPECT_EQ(schedule_vector_for(g), Vec2(0, 1));
+}
+
+TEST(Hyperplane, ScheduleFormulaNoDependences) {
+    Mldg g;
+    g.add_node("A");
+    g.add_node("B");
+    EXPECT_EQ(schedule_vector_for(g), Vec2(1, 0));
+}
+
+TEST(Hyperplane, ScheduleFormulaNegativeSlopeAllowed) {
+    // All carried dependences already have positive y: s1 may be <= 0; the
+    // formula must still produce a strict schedule.
+    Mldg g;
+    const int a = g.add_node("A");
+    g.add_edge(a, a, {{1, 5}});
+    const Vec2 s = schedule_vector_for(g);
+    EXPECT_TRUE(is_strict_schedule_vector(g, s));
+    EXPECT_EQ(s, Vec2(-4, 1));
+}
+
+TEST(Hyperplane, RejectsVectorsBelowZero) {
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    g.add_edge(a, b, {{0, -2}});
+    EXPECT_THROW(schedule_vector_for(g), Error);
+}
+
+// ------------------------------------------------------------------ Driver -
+
+TEST(Driver, PicksTheStrongestAlgorithmPerWorkload) {
+    EXPECT_EQ(plan_fusion(fig8_graph()).algorithm, AlgorithmUsed::AcyclicDoall);
+    EXPECT_EQ(plan_fusion(fig2_graph()).algorithm, AlgorithmUsed::CyclicDoall);
+    EXPECT_EQ(plan_fusion(jacobi_pair_graph()).algorithm, AlgorithmUsed::CyclicDoall);
+    EXPECT_EQ(plan_fusion(fig14_graph()).algorithm, AlgorithmUsed::Hyperplane);
+    EXPECT_EQ(plan_fusion(iir_chain_graph()).algorithm, AlgorithmUsed::Hyperplane);
+}
+
+TEST(Driver, DoallPlansUseRowSchedule) {
+    const FusionPlan plan = plan_fusion(fig2_graph());
+    EXPECT_EQ(plan.level, ParallelismLevel::InnerDoall);
+    EXPECT_EQ(plan.schedule, Vec2(1, 0));
+    EXPECT_EQ(plan.hyperplane, Vec2(0, 1));
+    EXPECT_FALSE(plan.cyclic_doall_failed_phase.has_value());
+}
+
+TEST(Driver, ForcedCarryRescuesPhaseTwoFailures) {
+    // Extension tier: Algorithm 4 fails phase 2, but carrying every edge is
+    // feasible -- the driver still delivers DOALL rows instead of falling
+    // back to a hyperplane.
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    const int c = g.add_node("C");
+    g.add_edge(a, c, {{0, 1}});
+    g.add_edge(a, b, {{0, 1}});
+    g.add_edge(b, c, {{0, 1}});
+    g.add_edge(c, a, {{3, 0}});
+    const FusionPlan plan = plan_fusion(g);
+    EXPECT_EQ(plan.algorithm, AlgorithmUsed::CyclicDoallForced);
+    EXPECT_EQ(plan.level, ParallelismLevel::InnerDoall);
+    ASSERT_TRUE(plan.cyclic_doall_failed_phase.has_value());
+    EXPECT_EQ(*plan.cyclic_doall_failed_phase, 2);
+    EXPECT_TRUE(is_fused_inner_doall(plan.retimed, plan.body_order));
+}
+
+TEST(Driver, HyperplanePlanRecordsFailedPhase) {
+    const FusionPlan plan = plan_fusion(fig14_graph());
+    EXPECT_EQ(plan.level, ParallelismLevel::Hyperplane);
+    ASSERT_TRUE(plan.cyclic_doall_failed_phase.has_value());
+    EXPECT_EQ(*plan.cyclic_doall_failed_phase, 1);
+}
+
+TEST(Driver, BodyOrderReordersFig14) {
+    // Figure 14's retiming lands several dependences on (0,0) across
+    // backward edges (e.g. D->C); the fused body must execute D before C.
+    const FusionPlan plan = plan_fusion(fig14_graph());
+    std::vector<int> pos(static_cast<std::size_t>(plan.retimed.num_nodes()));
+    for (std::size_t k = 0; k < plan.body_order.size(); ++k) {
+        pos[static_cast<std::size_t>(plan.body_order[k])] = static_cast<int>(k);
+    }
+    for (const auto& e : plan.retimed.edges()) {
+        for (const Vec2& d : e.vectors) {
+            if (d.is_zero()) {
+                EXPECT_LT(pos[static_cast<std::size_t>(e.from)],
+                          pos[static_cast<std::size_t>(e.to)]);
+            }
+        }
+    }
+}
+
+TEST(Driver, DescribeMentionsAlgorithmAndRetiming) {
+    const Mldg g = fig2_graph();
+    const FusionPlan plan = plan_fusion(g);
+    const std::string desc = plan.describe(g);
+    EXPECT_NE(desc.find("Algorithm 4"), std::string::npos);
+    EXPECT_NE(desc.find("r(A)"), std::string::npos);
+}
+
+// ------------------------------------------------------- Property sweeps ---
+
+class FusionPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FusionPropertyTest, LlofraAlwaysLegalizesLegalGraphs) {
+    Rng rng(GetParam());
+    const Mldg g = workloads::random_legal_mldg(rng);
+    const Retiming r = llofra(g);
+    const Mldg gr = r.apply(g);
+    for (const auto& e : gr.edges()) {
+        EXPECT_GE(e.delta(), Vec2(0, 0));
+    }
+    const auto order = fused_body_order(gr);
+    ASSERT_TRUE(order.has_value());
+    EXPECT_TRUE(is_fusion_legal(gr, *order));
+}
+
+TEST_P(FusionPropertyTest, AcyclicGraphsAlwaysReachDoall) {
+    Rng rng(GetParam() * 7919 + 1);
+    workloads::RandomGraphOptions opt;
+    opt.backward_edge_prob = 0;
+    opt.self_edge_prob = 0;
+    const Mldg g = workloads::random_legal_mldg(rng, opt);
+    ASSERT_TRUE(g.is_acyclic());
+    const Retiming r = acyclic_doall_fusion(g);
+    const Mldg gr = r.apply(g);
+    EXPECT_TRUE(is_fused_inner_doall(gr));
+    for (int v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(r.of(v).y, 0);
+}
+
+TEST_P(FusionPropertyTest, CyclicDoallSuccessImpliesProperty42) {
+    Rng rng(GetParam() * 104729 + 3);
+    const Mldg g = workloads::random_legal_mldg(rng);
+    const auto outcome = cyclic_doall_fusion(g);
+    if (!outcome.retiming.has_value()) return;  // infeasible instances are fine
+    const Mldg gr = outcome.retiming->apply(g);
+    const auto order = fused_body_order(gr);
+    ASSERT_TRUE(order.has_value());
+    EXPECT_TRUE(is_fused_inner_doall(gr, *order));
+}
+
+TEST_P(FusionPropertyTest, PlanFusionSucceedsOnAllSchedulableGraphs) {
+    Rng rng(GetParam() * 15485863 + 5);
+    const Mldg g = workloads::random_schedulable_mldg(rng);
+    const FusionPlan plan = plan_fusion(g);  // internal postconditions assert
+    const Mldg& gr = plan.retimed;
+    EXPECT_TRUE(is_strict_schedule_vector(gr, plan.schedule));
+    EXPECT_EQ(plan.schedule.dot(plan.hyperplane), 0);
+}
+
+TEST_P(FusionPropertyTest, RetimingPreservesAllCycleWeights) {
+    Rng rng(GetParam() * 2654435761u + 9);
+    workloads::RandomGraphOptions opt;
+    opt.num_nodes = 6;  // keep cycle enumeration cheap
+    const Mldg g = workloads::random_legal_mldg(rng, opt);
+    const Retiming r = llofra(g);
+    const Mldg gr = r.apply(g);
+    for (const auto& cyc : simple_cycles(g.adjacency(), 2000)) {
+        Vec2 before{0, 0}, after{0, 0};
+        for (std::size_t k = 0; k < cyc.size(); ++k) {
+            const int u = cyc[k], v = cyc[(k + 1) % cyc.size()];
+            before += g.edge(*g.find_edge(u, v)).delta();
+            after += gr.edge(*gr.find_edge(u, v)).delta();
+        }
+        EXPECT_EQ(before, after);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusionPropertyTest, ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace lf

@@ -1,0 +1,93 @@
+// Fuzz-style robustness: the parsers must never crash on malformed input --
+// every failure surfaces as lf::Error, and valid prefixes never corrupt
+// state. Inputs are generated from the token alphabet so they reach deep
+// into the grammar rather than dying in the lexer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ir/parser.hpp"
+#include "ldg/serialization.hpp"
+#include "mdir/parser.hpp"
+#include "support/diagnostics.hpp"
+#include "support/rng.hpp"
+
+namespace lf {
+namespace {
+
+std::string random_token_soup(Rng& rng, int tokens) {
+    static const char* kTokens[] = {
+        "program", "loop", "mldg",  "node", "edge", "cost", "dim", "a",  "b", "x",
+        "i",       "j",    "i1",    "i2",   "{",    "}",    "[",   "]",  "(", ")",
+        "=",       "+",    "-",     "*",    "/",    ";",    ",",   "0",  "1", "2",
+        "42",      "0.5",  "1.5e3", "#c\n", "A",    "B",    "_id", "\n",
+    };
+    std::string out;
+    for (int k = 0; k < tokens; ++k) {
+        out += kTokens[rng.uniform(0, static_cast<std::int64_t>(std::size(kTokens)) - 1)];
+        out += ' ';
+    }
+    return out;
+}
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTest, LoopDslParserThrowsButNeverCrashes) {
+    Rng rng(GetParam() * 1009 + 7);
+    for (int round = 0; round < 50; ++round) {
+        const std::string source =
+            "program p { " + random_token_soup(rng, static_cast<int>(rng.uniform(1, 40))) + " }";
+        try {
+            const ir::Program p = ir::parse_program(source);
+            EXPECT_FALSE(p.loops.empty());  // if it parsed, it is well-formed
+        } catch (const Error&) {
+            // expected for almost all inputs
+        }
+    }
+}
+
+TEST_P(FuzzTest, MdParserThrowsButNeverCrashes) {
+    Rng rng(GetParam() * 2003 + 11);
+    for (int round = 0; round < 50; ++round) {
+        const std::string source = "program p dim 3 { " +
+                                   random_token_soup(rng, static_cast<int>(rng.uniform(1, 40))) +
+                                   " }";
+        try {
+            (void)mdir::parse_md_program(source);
+        } catch (const Error&) {
+        }
+    }
+}
+
+TEST_P(FuzzTest, LdgParserThrowsButNeverCrashes) {
+    Rng rng(GetParam() * 3001 + 13);
+    for (int round = 0; round < 50; ++round) {
+        const std::string source =
+            "mldg g { " + random_token_soup(rng, static_cast<int>(rng.uniform(1, 30))) + " }";
+        try {
+            (void)parse_mldg(source);
+        } catch (const Error&) {
+        }
+    }
+}
+
+TEST_P(FuzzTest, RawByteSoupIsAlsoSafe) {
+    Rng rng(GetParam() * 4001 + 17);
+    for (int round = 0; round < 30; ++round) {
+        std::string source;
+        const int len = static_cast<int>(rng.uniform(0, 120));
+        for (int k = 0; k < len; ++k) {
+            source += static_cast<char>(rng.uniform(1, 127));
+        }
+        try {
+            (void)ir::parse_program(source);
+        } catch (const Error&) {
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range<std::uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace lf

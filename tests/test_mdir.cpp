@@ -1,0 +1,153 @@
+// End-to-end tests for the multi-dimensional program pipeline:
+// DSL -> MldgN -> n-D fusion plan -> wavefront execution, verified
+// bit-exact against the reference schedule.
+
+#include <gtest/gtest.h>
+
+#include "mdir/analysis.hpp"
+#include "mdir/exec.hpp"
+#include "mdir/parser.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lf::mdir {
+namespace {
+
+constexpr std::string_view kVolume3d = R"(
+# 3-D volume pipeline: time (i1) x plane (i2) x column (j).
+program volume dim 3 {
+  loop Smooth {
+    s[i1][i2][j] = 0.25 * (v[i1-1][i2][j-1] + v[i1-1][i2][j+1])
+                 + 0.5 * s[i1-1][i2+1][j];
+  }
+  loop Gradient {
+    g[i1][i2][j] = s[i1][i2][j-1] - s[i1][i2][j+1];
+  }
+  loop Volume {
+    v[i1][i2][j] = g[i1][i2-1][j-2] + g[i1][i2-1][j+2] + 0.1 * v[i1-1][i2][j];
+  }
+}
+)";
+
+TEST(MdParser, ParsesThreeDimensionalProgram) {
+    const MdProgram p = parse_md_program(kVolume3d);
+    EXPECT_EQ(p.name, "volume");
+    EXPECT_EQ(p.dim, 3);
+    ASSERT_EQ(p.loops.size(), 3u);
+    EXPECT_EQ(p.loops[0].label, "Smooth");
+    const auto reads = p.loops[0].body[0].reads();
+    ASSERT_EQ(reads.size(), 3u);
+    EXPECT_EQ(reads[0].offset, VecN({-1, 0, -1}));
+    EXPECT_EQ(reads[2].offset, VecN({-1, 1, 0}));
+    EXPECT_EQ(p.max_offset(), 2);
+}
+
+TEST(MdParser, RoundTripThroughPrinter) {
+    const MdProgram p1 = parse_md_program(kVolume3d);
+    const MdProgram p2 = parse_md_program(p1.str());
+    ASSERT_EQ(p1.loops.size(), p2.loops.size());
+    for (std::size_t k = 0; k < p1.loops.size(); ++k) {
+        ASSERT_EQ(p1.loops[k].body.size(), p2.loops[k].body.size());
+        for (std::size_t s = 0; s < p1.loops[k].body.size(); ++s) {
+            EXPECT_EQ(p1.loops[k].body[s].str(), p2.loops[k].body[s].str());
+        }
+    }
+}
+
+TEST(MdParser, EnforcesLevelVariables) {
+    EXPECT_THROW((void)parse_md_program("program p dim 3 { loop A { a[i2][i1][j] = 1.0; } }"),
+                 Error);
+    EXPECT_THROW((void)parse_md_program("program p dim 3 { loop A { a[i1][j][j] = 1.0; } }"),
+                 Error);
+}
+
+TEST(MdParser, RejectsNonDoallLoop) {
+    EXPECT_THROW(
+        (void)parse_md_program("program p dim 3 { loop A { a[i1][i2][j] = a[i1][i2][j-1]; } }"),
+        Error);
+}
+
+TEST(MdAnalysis, Volume3dGraphShape) {
+    const MdProgram p = parse_md_program(kVolume3d);
+    const MldgN g = build_mldg_nd(p);
+    EXPECT_EQ(g.num_nodes(), 3);
+    // Smooth -> Gradient: reads s[i1][i2][j-+1] => {(0,0,1),(0,0,-1)}, hard.
+    const auto sg = g.find_edge(0, 1);
+    ASSERT_TRUE(sg.has_value());
+    EXPECT_EQ(g.edge(*sg).vectors, (std::vector<VecN>{VecN{0, 0, -1}, VecN{0, 0, 1}}));
+    EXPECT_TRUE(g.edge(*sg).is_hard());
+    // Gradient -> Volume: reads g[i1][i2-1][j-+2] => {(0,1,2),(0,1,-2)}.
+    const auto gv = g.find_edge(1, 2);
+    ASSERT_TRUE(gv.has_value());
+    EXPECT_EQ(g.edge(*gv).vectors, (std::vector<VecN>{VecN{0, 1, -2}, VecN{0, 1, 2}}));
+    // Volume -> Smooth: v[i1-1][i2][j-+1] => {(1,0,1),(1,0,-1)}, backward.
+    const auto vs = g.find_edge(2, 0);
+    ASSERT_TRUE(vs.has_value());
+    EXPECT_TRUE(g.edge(*vs).is_hard());
+    EXPECT_TRUE(is_schedulable_nd(g));
+}
+
+TEST(MdStore, DeterministicBoundaryValues) {
+    const MdProgram p = parse_md_program(kVolume3d);
+    const MdDomain dom{{3, 3, 3}};
+    MdArrayStore s1(p, dom), s2(p, dom);
+    EXPECT_DOUBLE_EQ(s1.load("v", VecN{-1, 2, 0}), s2.load("v", VecN{-1, 2, 0}));
+    EXPECT_NE(MdArrayStore::boundary_value("v", VecN{0, 0, 0}),
+              MdArrayStore::boundary_value("v", VecN{0, 0, 1}));
+    EXPECT_THROW((void)s1.load("v", VecN{99, 0, 0}), Error);
+}
+
+TEST(MdExec, OriginalBarrierCount) {
+    const MdProgram p = parse_md_program(kVolume3d);
+    const MdDomain dom{{4, 3, 5}};
+    MdArrayStore store(p, dom);
+    const MdExecStats stats = run_original_md(p, dom, store);
+    // 3 loops x 5 x 4 prefix points.
+    EXPECT_EQ(stats.barriers, 3 * 5 * 4);
+    EXPECT_EQ(stats.instances, 3 * dom.points());
+}
+
+TEST(MdExec, WavefrontMatchesOriginalOnVolume3d) {
+    const MdProgram p = parse_md_program(kVolume3d);
+    const MdVerification result = verify_md_fusion(p, MdDomain{{6, 5, 7}});
+    EXPECT_TRUE(result.equivalent) << result.detail;
+    EXPECT_EQ(result.original.instances, result.transformed.instances);
+    EXPECT_GT(result.transformed.barriers, 0);
+}
+
+TEST(MdExec, WavefrontMatchesOnAcyclicChain) {
+    // Acyclic: the n-D driver picks the outermost-carried plan; wavefront
+    // over s = (1,0,...,0) degenerates to one phase per outermost iteration.
+    const MdProgram p = parse_md_program(R"(
+      program chain dim 3 {
+        loop A { a[i1][i2][j] = x[i1][i2][j] + 1.0; }
+        loop B { b[i1][i2][j] = a[i1][i2][j+2] - a[i1][i2-1][j]; }
+        loop C { c[i1][i2][j] = b[i1-1][i2+1][j-1]; }
+      }
+    )");
+    const MldgN g = build_mldg_nd(p);
+    const NdFusionPlan plan = plan_fusion_nd(g);
+    EXPECT_EQ(plan.level, NdParallelism::OutermostCarried);
+
+    const MdDomain dom{{5, 4, 6}};
+    const MdVerification result = verify_md_fusion(p, dom);
+    EXPECT_TRUE(result.equivalent) << result.detail;
+    // One barrier per occupied outermost level: levels -2..5 after retiming
+    // by at most 2 -> at most ext+1+spread phases.
+    EXPECT_LE(result.transformed.barriers, dom.ext[0] + 1 + 2);
+    EXPECT_LT(result.transformed.barriers, result.original.barriers);
+}
+
+TEST(MdExec, FourDimensionalPipelineVerifies) {
+    const MdProgram p = parse_md_program(R"(
+      program hyper dim 4 {
+        loop A { a[i1][i2][i3][j] = x[i1][i2][i3][j] + 0.5 * a[i1-1][i2][i3+1][j-1]; }
+        loop B { b[i1][i2][i3][j] = a[i1][i2][i3][j-1] + a[i1][i2][i3][j+1]; }
+        loop C { c[i1][i2][i3][j] = b[i1][i2-1][i3][j+2] - a[i1][i2][i3-1][j]; }
+      }
+    )");
+    const MdVerification result = verify_md_fusion(p, MdDomain{{3, 3, 3, 4}});
+    EXPECT_TRUE(result.equivalent) << result.detail;
+}
+
+}  // namespace
+}  // namespace lf::mdir

@@ -1,0 +1,291 @@
+// Unit tests for src/ldg: the MLDG model, hard edges, legality tiers,
+// retiming and its invariants -- checked against the paper's own examples.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "support/diagnostics.hpp"
+#include "graph/algorithms.hpp"
+#include "ldg/legality.hpp"
+#include "ldg/mldg.hpp"
+#include "ldg/retiming.hpp"
+#include "workloads/gallery.hpp"
+
+namespace lf {
+namespace {
+
+using workloads::fig14_graph;
+using workloads::fig14_graph_as_printed;
+using workloads::fig2_graph;
+using workloads::fig8_graph;
+
+TEST(Mldg, Fig2StructureMatchesSection22) {
+    const Mldg g = fig2_graph();
+    EXPECT_EQ(g.num_nodes(), 4);
+    EXPECT_EQ(g.num_edges(), 6);
+    // delta_L values reported in Section 2.2.
+    EXPECT_EQ(g.edge(*g.find_edge(0, 1)).delta(), Vec2(1, 1));   // A->B
+    EXPECT_EQ(g.edge(*g.find_edge(1, 2)).delta(), Vec2(0, -2));  // B->C
+    EXPECT_EQ(g.edge(*g.find_edge(2, 3)).delta(), Vec2(0, -1));  // C->D
+    EXPECT_EQ(g.edge(*g.find_edge(0, 2)).delta(), Vec2(0, 1));   // A->C
+    EXPECT_EQ(g.edge(*g.find_edge(3, 0)).delta(), Vec2(2, 1));   // D->A
+    EXPECT_EQ(g.edge(*g.find_edge(2, 2)).delta(), Vec2(1, 0));   // C->C
+}
+
+TEST(Mldg, Fig2HardEdgeIsExactlyBToC) {
+    const Mldg g = fig2_graph();
+    for (int e = 0; e < g.num_edges(); ++e) {
+        const bool expect_hard = g.edge(e).from == 1 && g.edge(e).to == 2;
+        EXPECT_EQ(g.edge(e).is_hard(), expect_hard)
+            << g.node(g.edge(e).from).name << "->" << g.node(g.edge(e).to).name;
+    }
+}
+
+TEST(Mldg, BackwardAndSelfEdgeClassification) {
+    const Mldg g = fig2_graph();
+    EXPECT_TRUE(g.is_backward_edge(*g.find_edge(3, 0)));   // D->A
+    EXPECT_FALSE(g.is_backward_edge(*g.find_edge(0, 1)));  // A->B
+    EXPECT_TRUE(g.is_self_edge(*g.find_edge(2, 2)));       // C->C
+    EXPECT_FALSE(g.is_self_edge(*g.find_edge(0, 1)));
+}
+
+TEST(Mldg, AddEdgeMergesVectorSetsAndDeduplicates) {
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    const int e1 = g.add_edge(a, b, {{2, 1}});
+    const int e2 = g.add_edge(a, b, {{1, 1}, {2, 1}});
+    EXPECT_EQ(e1, e2);
+    EXPECT_EQ(g.num_edges(), 1);
+    EXPECT_EQ(g.edge(e1).vectors, (std::vector<Vec2>{{1, 1}, {2, 1}}));
+    EXPECT_EQ(g.edge(e1).delta(), Vec2(1, 1));
+}
+
+TEST(Mldg, RejectsEmptyVectorSetAndBadIds) {
+    Mldg g;
+    g.add_node("A");
+    EXPECT_THROW(g.add_edge(0, 0, {}), Error);
+    EXPECT_THROW(g.add_edge(0, 3, {{1, 0}}), Error);
+}
+
+TEST(Mldg, CycleWeightsMatchSection22) {
+    // delta_L(c1) = (3,-1) for A->B->C->D->A, delta_L(c2) = (2,1) for A->C->D->A.
+    const Mldg g = fig2_graph();
+    const std::vector<int> c1{*g.find_edge(0, 1), *g.find_edge(1, 2), *g.find_edge(2, 3),
+                              *g.find_edge(3, 0)};
+    const std::vector<int> c2{*g.find_edge(0, 2), *g.find_edge(2, 3), *g.find_edge(3, 0)};
+    EXPECT_EQ(g.path_weight(c1), Vec2(3, -1));
+    EXPECT_EQ(g.path_weight(c2), Vec2(2, 1));
+}
+
+TEST(Mldg, TotalVectorsCountsAcrossEdges) {
+    EXPECT_EQ(fig2_graph().total_vectors(), 8u);
+    EXPECT_EQ(fig8_graph().total_vectors(), 10u);
+}
+
+TEST(Mldg, PathWeightOverEmptySpanIsZero) {
+    const Mldg g = fig2_graph();
+    EXPECT_EQ(g.path_weight({}), Vec2(0, 0));
+}
+
+TEST(Mldg, DotAndSummaryMentionEveryNode) {
+    const Mldg g = fig2_graph();
+    const std::string dot = g.to_dot("fig2");
+    const std::string sum = g.summary();
+    for (int v = 0; v < g.num_nodes(); ++v) {
+        EXPECT_NE(sum.find(g.node(v).name), std::string::npos);
+    }
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("style=bold"), std::string::npos);  // hard edge marker
+}
+
+TEST(Legality, PaperGraphsAreProgramModelLegal) {
+    EXPECT_TRUE(is_legal_mldg(fig2_graph()));
+    EXPECT_TRUE(is_legal_mldg(fig8_graph()));
+    EXPECT_TRUE(is_legal_mldg(workloads::jacobi_pair_graph()));
+    EXPECT_TRUE(is_legal_mldg(workloads::iir_chain_graph()));
+}
+
+TEST(Legality, LegalImpliesSchedulable) {
+    EXPECT_TRUE(is_schedulable(fig2_graph()));
+    EXPECT_TRUE(is_schedulable(fig8_graph()));
+    EXPECT_TRUE(is_schedulable(workloads::jacobi_pair_graph()));
+    EXPECT_TRUE(is_schedulable(workloads::iir_chain_graph()));
+}
+
+TEST(Legality, Fig14IsSchedulableButNotProgramModelLegal) {
+    // Figure 14 carries same-outer-iteration dependences against program
+    // order (D->C with (0,-2)): not executable as a Figure-1 loop sequence,
+    // yet schedulable (Theorem 4.4 applies).
+    const Mldg g = fig14_graph();
+    EXPECT_FALSE(is_legal_mldg(g));
+    EXPECT_TRUE(is_schedulable(g));
+}
+
+TEST(Legality, Fig14AsPrintedViolatesTheorem44Hypothesis) {
+    // As printed, B->C->D->E->B weighs exactly (0,0): no execution order
+    // exists. Documented discrepancy (DESIGN.md).
+    const Mldg g = fig14_graph_as_printed();
+    const auto rep = check_schedulable(g);
+    EXPECT_FALSE(rep.legal);
+    ASSERT_FALSE(rep.violations.empty());
+}
+
+TEST(Legality, NegativeXDependenceIsIllegal) {
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    g.add_edge(a, b, {{-1, 0}});
+    EXPECT_FALSE(is_legal_mldg(g));
+    EXPECT_FALSE(is_schedulable(g));
+}
+
+TEST(Legality, NonDoallSelfDependenceIsIllegal) {
+    Mldg g;
+    const int a = g.add_node("A");
+    g.add_edge(a, a, {{0, 1}});
+    const auto rep = check_mldg_legality(g);
+    EXPECT_FALSE(rep.legal);
+    // Also unschedulable? (0,1) self cycle weighs (0,1) > (0,0): schedulable
+    // as dataflow, even though not a valid Figure-1 program.
+    EXPECT_TRUE(is_schedulable(g));
+}
+
+TEST(Legality, ZeroXCycleWithNonPositiveYIsUnschedulable) {
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    g.add_edge(a, b, {{0, 2}});
+    g.add_edge(b, a, {{0, -2}});  // cycle weight (0,0)
+    EXPECT_FALSE(is_schedulable(g));
+}
+
+TEST(Legality, DirectFusionLegalityTheorem31) {
+    // All vectors >= (0,0): legal; any vector < (0,0): illegal.
+    Mldg ok;
+    const int a = ok.add_node("A");
+    const int b = ok.add_node("B");
+    ok.add_edge(a, b, {{0, 0}, {1, -3}});
+    EXPECT_TRUE(is_fusion_legal(ok));
+
+    Mldg bad = fig2_graph();  // B->C carries (0,-2)
+    EXPECT_FALSE(is_fusion_legal(bad));
+}
+
+TEST(Legality, ZeroZeroAgainstBodyOrderIsIllegal) {
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    g.add_edge(b, a, {{0, 0}});  // backward same-point dependence
+    EXPECT_FALSE(is_fusion_legal(g));                      // program order A,B
+    EXPECT_TRUE(is_fusion_legal(g, std::vector<int>{b, a}));  // reordered body
+}
+
+TEST(Legality, FusedInnerDoallPredicate) {
+    Mldg doall;
+    const int a = doall.add_node("A");
+    const int b = doall.add_node("B");
+    doall.add_edge(a, b, {{0, 0}, {1, -7}});
+    doall.add_edge(b, a, {{1, 0}});
+    EXPECT_TRUE(is_fused_inner_doall(doall));
+
+    Mldg serial;
+    const int c = serial.add_node("A");
+    const int d = serial.add_node("B");
+    serial.add_edge(c, d, {{0, 1}});  // forward inner-carried: serializes rows
+    EXPECT_FALSE(is_fused_inner_doall(serial));
+}
+
+TEST(Legality, FusedBodyOrderTopologicallySortsZeroDependences) {
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    const int c = g.add_node("C");
+    g.add_edge(c, a, {{0, 0}});  // C must precede A at each point
+    g.add_edge(a, b, {{1, 1}});  // carried: no ordering constraint
+    const auto order = fused_body_order(g);
+    ASSERT_TRUE(order.has_value());
+    EXPECT_EQ(*order, (std::vector<int>{c, a, b}));
+}
+
+TEST(Legality, FusedBodyOrderDetectsZeroCycle) {
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    g.add_edge(a, b, {{0, 0}});
+    g.add_edge(b, a, {{0, 0}});
+    EXPECT_FALSE(fused_body_order(g).has_value());
+}
+
+TEST(Legality, StrictScheduleVector) {
+    // Section 2.3's example: s = (1,0) is strict for the retimed Figure 3(a)
+    // graph, whose vectors all have positive x or are (0,0).
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    g.add_edge(a, b, {{1, -2}});
+    g.add_edge(b, a, {{1, 1}, {0, 0}});
+    EXPECT_TRUE(is_strict_schedule_vector(g, Vec2{1, 0}));
+    EXPECT_FALSE(is_strict_schedule_vector(g, Vec2{0, 1}));
+}
+
+TEST(Retiming, Section23WorkedExample) {
+    // r(A)=r(B)=(0,0), r(C)=(-1,0), r(D)=(-1,-1): edge D->A becomes (1,0) and
+    // cycle weights stay (3,-1) and (2,1).
+    const Mldg g = fig2_graph();
+    Retiming r(std::vector<Vec2>{{0, 0}, {0, 0}, {-1, 0}, {-1, -1}});
+    const Mldg gr = r.apply(g);
+    EXPECT_EQ(gr.edge(*gr.find_edge(3, 0)).delta(), Vec2(1, 0));
+    EXPECT_EQ(gr.edge(*gr.find_edge(3, 0)).vectors, (std::vector<Vec2>{{1, 0}}));
+
+    const std::vector<int> c1{*gr.find_edge(0, 1), *gr.find_edge(1, 2), *gr.find_edge(2, 3),
+                              *gr.find_edge(3, 0)};
+    EXPECT_EQ(gr.path_weight(c1), Vec2(3, -1));
+    const std::vector<int> c2{*gr.find_edge(0, 2), *gr.find_edge(2, 3), *gr.find_edge(3, 0)};
+    EXPECT_EQ(gr.path_weight(c2), Vec2(2, 1));
+}
+
+TEST(Retiming, CycleWeightInvarianceOverAllSimpleCycles) {
+    const Mldg g = fig2_graph();
+    Retiming r(std::vector<Vec2>{{3, -2}, {-1, 4}, {0, 7}, {-5, 0}});
+    const Mldg gr = r.apply(g);
+
+    // Enumerate all simple cycles (by node sequence) and compare weights.
+    const auto cycles = simple_cycles(g.adjacency());
+    ASSERT_FALSE(cycles.empty());
+    for (const auto& cyc : cycles) {
+        Vec2 w_before{0, 0}, w_after{0, 0};
+        for (std::size_t k = 0; k < cyc.size(); ++k) {
+            const int u = cyc[k];
+            const int v = cyc[(k + 1) % cyc.size()];
+            w_before += g.edge(*g.find_edge(u, v)).delta();
+            w_after += gr.edge(*gr.find_edge(u, v)).delta();
+        }
+        EXPECT_EQ(w_before, w_after);
+    }
+}
+
+TEST(Retiming, SelfEdgesAreInvariant) {
+    const Mldg g = fig2_graph();
+    Retiming r(std::vector<Vec2>{{9, 9}, {-9, -9}, {5, -5}, {0, 0}});
+    const Mldg gr = r.apply(g);
+    EXPECT_EQ(gr.edge(*gr.find_edge(2, 2)).vectors, g.edge(*g.find_edge(2, 2)).vectors);
+}
+
+TEST(Retiming, NormalizeMakesComponentsNonNegativeWithZeroMinimum) {
+    Retiming r(std::vector<Vec2>{{-2, 3}, {0, -1}, {4, 0}});
+    r.normalize();
+    EXPECT_EQ(r.of(0), Vec2(0, 4));
+    EXPECT_EQ(r.of(1), Vec2(2, 0));
+    EXPECT_EQ(r.of(2), Vec2(6, 1));
+}
+
+TEST(Retiming, ApplyRejectsSizeMismatch) {
+    const Mldg g = fig2_graph();
+    Retiming r(2);
+    EXPECT_THROW(r.apply(g), Error);
+}
+
+}  // namespace
+}  // namespace lf

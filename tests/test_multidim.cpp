@@ -1,0 +1,230 @@
+// Tests for the n-dimensional generalization (VecN, MldgN, n-D constraint
+// systems, llofra_nd, the generalized Lemma 4.3 schedule and the n-D driver).
+
+#include <gtest/gtest.h>
+
+#include "fusion/multidim.hpp"
+#include "graph/constraint_system_nd.hpp"
+#include "ldg/mldg_nd.hpp"
+#include "support/diagnostics.hpp"
+#include "support/rng.hpp"
+#include "support/vecn.hpp"
+
+namespace lf {
+namespace {
+
+TEST(VecN, LexicographicOrderAndArithmetic) {
+    EXPECT_LT(VecN({0, 5, 5}), VecN({1, -9, -9}));
+    EXPECT_LT(VecN({1, 0, -1}), VecN({1, 0, 0}));
+    EXPECT_EQ(VecN({1, 2}) + VecN({3, -4}), VecN({4, -2}));
+    EXPECT_EQ(-VecN({1, -2}), VecN({-1, 2}));
+    EXPECT_EQ(VecN({1, 2, 3}).dot(VecN({4, 5, 6})), 4 + 10 + 18);
+    EXPECT_TRUE(VecN({0, 0}).is_zero());
+    EXPECT_EQ(VecN({0, 0, 7, 1}).leading_index(), 2);
+    EXPECT_EQ(VecN::zeros(3).leading_index(), 3);
+    EXPECT_EQ(VecN({1, -2, 3}).str(), "(1,-2,3)");
+    EXPECT_THROW((void)(VecN({1}) + VecN({1, 2})), Error);
+}
+
+TEST(VecN, TranslationInvariance) {
+    const VecN u{0, 3, -1}, v{1, -7, 2}, w{-2, 11, 5};
+    ASSERT_LT(u, v);
+    EXPECT_LT(u + w, v + w);
+}
+
+TEST(NdConstraintSystem, FeasibleAndInfeasible) {
+    NdDifferenceConstraintSystem ok(3);
+    ok.add_variable();
+    ok.add_variable();
+    ok.add_constraint(0, 1, VecN{0, -2, 5});
+    ok.add_constraint(1, 0, VecN{1, 1, -9});  // cycle (1,-1,-4) > 0
+    const auto s = ok.solve();
+    ASSERT_TRUE(s.feasible);
+    EXPECT_LE(s.values[1] - s.values[0], VecN({0, -2, 5}));
+    EXPECT_LE(s.values[0] - s.values[1], VecN({1, 1, -9}));
+
+    NdDifferenceConstraintSystem bad(3);
+    bad.add_variable();
+    bad.add_variable();
+    bad.add_constraint(0, 1, VecN{0, -2, 5});
+    bad.add_constraint(1, 0, VecN{0, 1, -9});  // cycle (0,-1,-4) < 0
+    EXPECT_FALSE(bad.solve().feasible);
+}
+
+MldgN stencil_3d() {
+    // A 3-D workload: time x plane x column, three stages with hard edges
+    // and a carried feedback -- the natural 3-D analogue of fig2.
+    MldgN g(3);
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    const int c = g.add_node("C");
+    g.add_edge(a, b, {VecN{0, 0, -2}, VecN{0, 0, 1}});  // hard, fusion-preventing
+    g.add_edge(b, c, {VecN{0, 1, -1}});
+    g.add_edge(c, a, {VecN{1, -1, 0}});
+    g.add_edge(c, c, {VecN{0, 0, 0} + VecN{1, 0, 2}});
+    return g;
+}
+
+TEST(MldgN, HardEdgeGeneralization) {
+    const MldgN g = stencil_3d();
+    EXPECT_TRUE(g.edge(*g.find_edge(0, 1)).is_hard());   // same prefix (0,0)
+    EXPECT_FALSE(g.edge(*g.find_edge(1, 2)).is_hard());
+    MldgN h(3);
+    const int u = h.add_node("U");
+    const int v = h.add_node("V");
+    // Different middle components: not hard (the plane level can separate).
+    h.add_edge(u, v, {VecN{0, 1, -2}, VecN{0, 2, 1}});
+    EXPECT_FALSE(h.edge(0).is_hard());
+}
+
+TEST(MldgN, SchedulabilityChecks) {
+    EXPECT_TRUE(is_schedulable_nd(stencil_3d()));
+
+    MldgN neg(3);
+    const int a = neg.add_node("A");
+    const int b = neg.add_node("B");
+    neg.add_edge(a, b, {VecN{0, -1, 0}});  // backward at a sequential level
+    EXPECT_FALSE(is_schedulable_nd(neg));
+
+    MldgN zero_cycle(3);
+    const int u = zero_cycle.add_node("U");
+    const int v = zero_cycle.add_node("V");
+    zero_cycle.add_edge(u, v, {VecN{0, 0, 3}});
+    zero_cycle.add_edge(v, u, {VecN{0, 0, -3}});  // cycle weight exactly zero
+    EXPECT_FALSE(is_schedulable_nd(zero_cycle));
+
+    MldgN pos_cycle(3);
+    const int x = pos_cycle.add_node("X");
+    const int y = pos_cycle.add_node("Y");
+    pos_cycle.add_edge(x, y, {VecN{0, 0, 3}});
+    pos_cycle.add_edge(y, x, {VecN{0, 0, -2}});  // cycle (0,0,1) > 0
+    EXPECT_TRUE(is_schedulable_nd(pos_cycle));
+}
+
+TEST(LlofraNd, RetimesAllVectorsAboveZero) {
+    const MldgN g = stencil_3d();
+    const RetimingN r = llofra_nd(g);
+    const MldgN gr = r.apply(g);
+    for (const auto& e : gr.edges()) {
+        for (const VecN& d : e.vectors) EXPECT_GE(d, VecN::zeros(3)) << d.str();
+    }
+}
+
+TEST(LlofraNd, CycleWeightsAreInvariant) {
+    const MldgN g = stencil_3d();
+    const MldgN gr = llofra_nd(g).apply(g);
+    // Cycle A -> B -> C -> A.
+    const VecN before = g.edge(*g.find_edge(0, 1)).delta() + g.edge(*g.find_edge(1, 2)).delta() +
+                        g.edge(*g.find_edge(2, 0)).delta();
+    const VecN after = gr.edge(*gr.find_edge(0, 1)).delta() + gr.edge(*gr.find_edge(1, 2)).delta() +
+                       gr.edge(*gr.find_edge(2, 0)).delta();
+    EXPECT_EQ(before, after);
+}
+
+TEST(LlofraNd, ThrowsOnUnschedulable) {
+    MldgN g(3);
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    g.add_edge(a, b, {VecN{0, 0, 1}});
+    g.add_edge(b, a, {VecN{0, 0, -1}});
+    EXPECT_THROW((void)llofra_nd(g), Error);
+}
+
+TEST(AcyclicOutermostNd, EveryVectorBecomesOutermostCarried) {
+    MldgN g(3);
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    const int c = g.add_node("C");
+    g.add_edge(a, b, {VecN{0, 0, -2}, VecN{0, 3, 1}});
+    g.add_edge(b, c, {VecN{0, 2, -5}});
+    g.add_edge(a, c, {VecN{2, 0, 0}});
+    const RetimingN r = acyclic_outermost_fusion_nd(g);
+    const MldgN gr = r.apply(g);
+    for (const auto& e : gr.edges()) {
+        for (const VecN& d : e.vectors) EXPECT_GE(d[0], 1) << d.str();
+    }
+    // Only the outermost component is retimed.
+    for (int v = 0; v < 3; ++v) {
+        EXPECT_EQ(r.of(v)[1], 0);
+        EXPECT_EQ(r.of(v)[2], 0);
+    }
+}
+
+TEST(ScheduleNd, StrictForTheStencilAndMatches2DFormula) {
+    const MldgN g = stencil_3d();
+    const RetimingN r = llofra_nd(g);
+    const MldgN gr = r.apply(g);
+    const VecN s = schedule_vector_nd(gr);
+    EXPECT_EQ(s[g.dim() - 1], 1);
+    for (const auto& e : gr.edges()) {
+        for (const VecN& d : e.vectors) {
+            if (!d.is_zero()) EXPECT_GT(s.dot(d), 0) << s.str() << " . " << d.str();
+        }
+    }
+}
+
+TEST(ScheduleNd, TwoDimensionalCaseAgreesWithLemma43) {
+    // d = (1,-4) -> s = (5,1), the paper's own Section 4.4 arithmetic.
+    MldgN g(2);
+    const int a = g.add_node("A");
+    g.add_edge(a, a, {VecN{1, -4}});
+    EXPECT_EQ(schedule_vector_nd(g), VecN({5, 1}));
+}
+
+TEST(PlanFusionNd, AcyclicGetsOutermostCarried) {
+    MldgN g(3);
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    g.add_edge(a, b, {VecN{0, 0, -3}});
+    const NdFusionPlan plan = plan_fusion_nd(g);
+    EXPECT_EQ(plan.level, NdParallelism::OutermostCarried);
+    EXPECT_EQ(plan.schedule, VecN({1, 0, 0}));
+}
+
+TEST(PlanFusionNd, CyclicGetsHyperplane) {
+    const NdFusionPlan plan = plan_fusion_nd(stencil_3d());
+    EXPECT_EQ(plan.level, NdParallelism::Hyperplane);
+    EXPECT_EQ(plan.schedule[2], 1);
+}
+
+class NdPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NdPropertyTest, RandomSchedulableGraphsAlwaysPlan) {
+    Rng rng(GetParam());
+    const int dim = static_cast<int>(rng.uniform(2, 4));
+    MldgN g(dim);
+    const int n = static_cast<int>(rng.uniform(3, 8));
+    for (int v = 0; v < n; ++v) g.add_node("L" + std::to_string(v));
+    // Forward edges: any prefix-nonnegative vectors; backward edges carried
+    // by the outermost loop. Every cycle then weighs > 0.
+    for (int u = 0; u < n; ++u) {
+        for (int v = u + 1; v < n; ++v) {
+            if (rng.flip(0.4)) {
+                VecN d = VecN::zeros(dim);
+                const int lead = static_cast<int>(rng.uniform(0, dim - 1));
+                d[lead] = rng.uniform(lead == dim - 1 ? 1 : 0, 3);
+                for (int k = lead + 1; k < dim; ++k) d[k] = rng.uniform(-3, 3);
+                if (d.is_zero()) d[dim - 1] = 1;
+                g.add_edge(u, v, {d});
+            }
+            if (rng.flip(0.2)) {
+                VecN d = VecN::zeros(dim);
+                d[0] = rng.uniform(1, 3);
+                for (int k = 1; k < dim; ++k) d[k] = rng.uniform(-3, 3);
+                g.add_edge(v, u, {d});
+            }
+        }
+    }
+    if (!is_schedulable_nd(g)) return;  // rare zero-cycles: skip
+    const NdFusionPlan plan = plan_fusion_nd(g);  // internal checks assert
+    for (const auto& e : plan.retimed.edges()) {
+        for (const VecN& d : e.vectors) {
+            if (!d.is_zero()) EXPECT_GT(plan.schedule.dot(d), 0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NdPropertyTest, ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace lf

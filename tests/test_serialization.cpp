@@ -1,0 +1,79 @@
+// Tests for the .ldg graph format: round-trip stability, error reporting,
+// and interchangeability with the gallery graphs.
+
+#include <gtest/gtest.h>
+
+#include "ldg/serialization.hpp"
+#include "support/diagnostics.hpp"
+#include "workloads/gallery.hpp"
+#include "workloads/generators.hpp"
+
+namespace lf {
+namespace {
+
+void expect_same(const Mldg& a, const Mldg& b) {
+    ASSERT_EQ(a.num_nodes(), b.num_nodes());
+    ASSERT_EQ(a.num_edges(), b.num_edges());
+    for (int v = 0; v < a.num_nodes(); ++v) {
+        EXPECT_EQ(a.node(v).name, b.node(v).name);
+        EXPECT_EQ(a.node(v).body_cost, b.node(v).body_cost);
+        EXPECT_EQ(a.node(v).order, b.node(v).order);
+    }
+    for (int e = 0; e < a.num_edges(); ++e) {
+        const auto found = b.find_edge(a.edge(e).from, a.edge(e).to);
+        ASSERT_TRUE(found.has_value());
+        EXPECT_EQ(b.edge(*found).vectors, a.edge(e).vectors);
+    }
+}
+
+TEST(Serialization, RoundTripsEveryGalleryGraph) {
+    for (const auto& w : workloads::paper_workloads()) {
+        const std::string text = serialize_mldg(w.graph, w.id);
+        expect_same(parse_mldg(text), w.graph);
+    }
+}
+
+TEST(Serialization, RoundTripsRandomGraphs) {
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        Rng rng(seed);
+        const Mldg g = workloads::random_legal_mldg(rng);
+        expect_same(parse_mldg(serialize_mldg(g)), g);
+    }
+}
+
+TEST(Serialization, ParsesHandWrittenGraph) {
+    const Mldg g = parse_mldg(R"(
+      # paper Figure 2
+      mldg fig2 {
+        node A cost 2;
+        node B;
+        edge A B { (1,1) (2,1) };
+        edge B A { (0,-2) };
+      }
+    )");
+    EXPECT_EQ(g.num_nodes(), 2);
+    EXPECT_EQ(g.node(0).body_cost, 2);
+    EXPECT_EQ(g.node(1).body_cost, 1);
+    EXPECT_EQ(g.edge(*g.find_edge(0, 1)).vectors, (std::vector<Vec2>{{1, 1}, {2, 1}}));
+    EXPECT_EQ(g.edge(*g.find_edge(1, 0)).delta(), Vec2(0, -2));
+}
+
+TEST(Serialization, ReportsUsefulErrors) {
+    EXPECT_THROW((void)parse_mldg("mldg g { edge A B { (0,0) }; }"), Error);   // unknown nodes
+    EXPECT_THROW((void)parse_mldg("mldg g { node A; node A; }"), Error);       // duplicate
+    EXPECT_THROW((void)parse_mldg("mldg g { node A; edge A A { }; }"), Error); // empty vectors
+    EXPECT_THROW((void)parse_mldg("graph g { }"), Error);                      // wrong keyword
+}
+
+TEST(Serialization, SerializedTextMentionsCostOnlyWhenNonDefault) {
+    Mldg g;
+    g.add_node("A", 1);
+    g.add_node("B", 7);
+    g.add_edge(0, 1, {{1, 0}});
+    const std::string text = serialize_mldg(g);
+    EXPECT_EQ(text.find("node A cost"), std::string::npos);
+    EXPECT_NE(text.find("node B cost 7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lf

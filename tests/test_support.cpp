@@ -1,0 +1,130 @@
+// Unit tests for src/support: Vec2 lexicographic arithmetic, floor/ceil
+// division, deterministic RNG and diagnostics.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "support/diagnostics.hpp"
+#include "support/math_util.hpp"
+#include "support/rng.hpp"
+#include "support/vec2.hpp"
+
+namespace lf {
+namespace {
+
+TEST(Vec2, LexicographicOrderComparesFirstCoordinateFirst) {
+    EXPECT_LT(Vec2(0, 100), Vec2(1, -100));
+    EXPECT_LT(Vec2(1, -5), Vec2(1, -1));
+    EXPECT_GT(Vec2(2, 1), Vec2(1, 9));
+    EXPECT_EQ(Vec2(3, 4), Vec2(3, 4));
+    EXPECT_LE(Vec2(0, 0), Vec2(0, 0));
+}
+
+TEST(Vec2, PaperExampleOrdering) {
+    // Section 2.1: (0,-2) is the minimal vector of {(0,-2),(0,1)} and
+    // (1,1) the minimal of {(1,1),(2,1)}.
+    EXPECT_LT(Vec2(0, -2), Vec2(0, 1));
+    EXPECT_LT(Vec2(1, 1), Vec2(2, 1));
+}
+
+TEST(Vec2, ArithmeticAndDot) {
+    const Vec2 a{2, -3};
+    const Vec2 b{-1, 5};
+    EXPECT_EQ(a + b, Vec2(1, 2));
+    EXPECT_EQ(a - b, Vec2(3, -8));
+    EXPECT_EQ(-a, Vec2(-2, 3));
+    EXPECT_EQ(a * 3, Vec2(6, -9));
+    EXPECT_EQ(a.dot(b), 2 * -1 + -3 * 5);
+    EXPECT_TRUE(Vec2(0, 0).is_zero());
+    EXPECT_FALSE(Vec2(0, 1).is_zero());
+}
+
+TEST(Vec2, TranslationInvarianceOfOrder) {
+    // The property that makes lexicographic Bellman-Ford correct.
+    const Vec2 u{0, 3}, v{1, -7}, w{-2, 11};
+    ASSERT_LT(u, v);
+    EXPECT_LT(u + w, v + w);
+}
+
+TEST(Vec2, StreamAndStr) {
+    EXPECT_EQ(Vec2(1, -2).str(), "(1,-2)");
+    std::ostringstream os;
+    os << kVecInfinity;
+    EXPECT_EQ(os.str(), "(inf,inf)");
+}
+
+TEST(Vec2, InfinitySentinel) {
+    EXPECT_TRUE(is_infinite(kVecInfinity));
+    EXPECT_FALSE(is_infinite(Vec2(1000000, -1000000)));
+    // Adding a realistic edge weight must not wrap the sentinel around.
+    EXPECT_TRUE(is_infinite(kVecInfinity + Vec2(-100000, -100000)));
+}
+
+TEST(Vec2, Hashable) {
+    std::unordered_set<Vec2> set{{0, 0}, {0, 1}, {1, 0}};
+    EXPECT_EQ(set.size(), 3u);
+    EXPECT_TRUE(set.contains(Vec2(0, 1)));
+    EXPECT_FALSE(set.contains(Vec2(1, 1)));
+}
+
+TEST(MathUtil, FloorDivRoundsTowardNegativeInfinity) {
+    EXPECT_EQ(floor_div(7, 2), 3);
+    EXPECT_EQ(floor_div(-7, 2), -4);
+    EXPECT_EQ(floor_div(7, -2), -4);
+    EXPECT_EQ(floor_div(-7, -2), 3);
+    EXPECT_EQ(floor_div(6, 3), 2);
+    EXPECT_EQ(floor_div(-6, 3), -2);
+    EXPECT_EQ(floor_div(0, 5), 0);
+}
+
+TEST(MathUtil, CeilDiv) {
+    EXPECT_EQ(ceil_div(7, 2), 4);
+    EXPECT_EQ(ceil_div(-7, 2), -3);
+    EXPECT_EQ(ceil_div(6, 3), 2);
+    EXPECT_EQ(ceil_div(1, 64), 1);
+    EXPECT_EQ(ceil_div(0, 8), 0);
+}
+
+TEST(MathUtil, Lemma43ScheduleFormulaUsesFloor) {
+    // s[1] = floor(-d.y / d.x) + 1 must satisfy s[1]*d.x + d.y > 0 even for
+    // negative and non-divisible cases.
+    for (std::int64_t dx = 1; dx <= 4; ++dx) {
+        for (std::int64_t dy = -9; dy <= 9; ++dy) {
+            const std::int64_t s1 = floor_div(-dy, dx) + 1;
+            EXPECT_GT(s1 * dx + dy, 0) << "dx=" << dx << " dy=" << dy;
+            // Minimality: s1 - 1 must NOT satisfy the inequality.
+            EXPECT_LE((s1 - 1) * dx + dy, 0) << "dx=" << dx << " dy=" << dy;
+        }
+    }
+}
+
+TEST(Rng, DeterministicForEqualSeeds) {
+    Rng a(42), b(42);
+    for (int k = 0; k < 100; ++k) {
+        EXPECT_EQ(a.uniform(-50, 50), b.uniform(-50, 50));
+    }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+    Rng rng(7);
+    for (int k = 0; k < 1000; ++k) {
+        const auto v = rng.uniform(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(Diagnostics, CheckThrowsWithMessage) {
+    EXPECT_NO_THROW(check(true, "fine"));
+    try {
+        check(false, "boom");
+        FAIL() << "expected lf::Error";
+    } catch (const Error& e) {
+        EXPECT_STREQ(e.what(), "boom");
+    }
+}
+
+}  // namespace
+}  // namespace lf

@@ -1,0 +1,175 @@
+// Tests for src/transform: fused-program construction, point/main ranges,
+// and the three code emitters (checked against the paper's Figures 3/12).
+
+#include <gtest/gtest.h>
+
+#include "analysis/dependence.hpp"
+#include "fusion/driver.hpp"
+#include "ir/parser.hpp"
+#include "support/diagnostics.hpp"
+#include "exec/equivalence.hpp"
+#include "support/rng.hpp"
+#include "transform/codegen.hpp"
+#include "transform/distribution.hpp"
+#include "workloads/generators.hpp"
+#include "transform/fused_program.hpp"
+#include "workloads/sources.hpp"
+
+namespace lf::transform {
+namespace {
+
+FusedProgram fig2_fused() {
+    const ir::Program p = ir::parse_program(workloads::sources::kFig2);
+    const FusionPlan plan = plan_fusion(analysis::build_mldg(p));
+    return fuse_program(p, plan);
+}
+
+TEST(FusedProgram, Fig2BodiesCarryTheAlgorithm4Retiming) {
+    const FusedProgram fp = fig2_fused();
+    ASSERT_EQ(fp.bodies.size(), 4u);
+    EXPECT_EQ(fp.level, ParallelismLevel::InnerDoall);
+    // Body order equals program order for fig2 (no (0,0) reordering needed
+    // beyond C -> D which is already in order).
+    EXPECT_EQ(fp.bodies[0].label, "A");
+    EXPECT_EQ(fp.bodies[0].retiming, Vec2(0, 0));
+    EXPECT_EQ(fp.bodies[2].label, "C");
+    EXPECT_EQ(fp.bodies[2].retiming, Vec2(-1, 0));
+    EXPECT_EQ(fp.bodies[3].label, "D");
+    EXPECT_EQ(fp.bodies[3].retiming, Vec2(-1, -1));
+}
+
+TEST(FusedProgram, Fig2PointAndMainRanges) {
+    const FusedProgram fp = fig2_fused();
+    const Domain dom{10, 8};
+    // Retimings: A,B (0,0); C (-1,0); D (-1,-1). Body u active at
+    // p in [-r, (n,m) - r].
+    EXPECT_EQ(fp.point_i_lo(), 0);
+    EXPECT_EQ(fp.point_i_hi(dom), 11);
+    EXPECT_EQ(fp.point_j_lo(), 0);
+    EXPECT_EQ(fp.point_j_hi(dom), 9);
+    EXPECT_EQ(fp.main_i_lo(), 1);       // paper Figure 12(b): DO 50 i=1,n
+    EXPECT_EQ(fp.main_i_hi(dom), 10);
+    EXPECT_EQ(fp.main_j_lo(), 1);       // DOALL 70 j=1,m
+    EXPECT_EQ(fp.main_j_hi(dom), 8);
+}
+
+TEST(FusedProgram, RejectsMismatchedPlan) {
+    const ir::Program p = ir::parse_program(workloads::sources::kFig2);
+    const ir::Program q = ir::parse_program(workloads::sources::kJacobiPair);
+    const FusionPlan plan = plan_fusion(analysis::build_mldg(q));
+    EXPECT_THROW((void)fuse_program(p, plan), Error);
+}
+
+TEST(Codegen, OriginalFormListsEveryLoop) {
+    const ir::Program p = ir::parse_program(workloads::sources::kFig2);
+    const std::string text = emit_original(p);
+    EXPECT_NE(text.find("DO i = 0, n"), std::string::npos);
+    for (const char* label : {"A", "B", "C", "D"}) {
+        EXPECT_NE(text.find(std::string("! loop ") + label), std::string::npos);
+    }
+    EXPECT_NE(text.find("c[i][j] = ((b[i][j+2] - a[i][j-1]) + b[i][j-1]);"), std::string::npos);
+}
+
+TEST(Codegen, PeeledFormMatchesFigure12Structure) {
+    const FusedProgram fp = fig2_fused();
+    const std::string text = emit_fused_peeled(fp, Domain{10, 8});
+    // Steady state bounds as in the paper: DO i = 1, n and DOALL j = 1, m.
+    EXPECT_NE(text.find("DO i = 1, n"), std::string::npos);
+    EXPECT_NE(text.find("DOALL j = 1, m"), std::string::npos);
+    // Retimed statements, exactly as printed in Figure 12(b).
+    EXPECT_NE(text.find("c[i-1][j] = ((b[i-1][j+2] - a[i-1][j-1]) + b[i-1][j-1]);"),
+              std::string::npos);
+    EXPECT_NE(text.find("d[i-1][j] = c[i-2][j];"), std::string::npos);
+    EXPECT_NE(text.find("e[i-1][j-1] = c[i-1][j];"), std::string::npos);
+    // Prologue/epilogue rows for the shifted loops C and D.
+    EXPECT_NE(text.find("prologue rows"), std::string::npos);
+    EXPECT_NE(text.find("epilogue rows"), std::string::npos);
+    EXPECT_NE(text.find("j-prologue"), std::string::npos);
+}
+
+TEST(Codegen, GuardedFormCoversAllBodiesWithGuards) {
+    const FusedProgram fp = fig2_fused();
+    const std::string text = emit_fused_guarded(fp, Domain{10, 8});
+    EXPECT_NE(text.find("guarded form"), std::string::npos);
+    int guards = 0;
+    for (std::size_t pos = 0; (pos = text.find("IF (", pos)) != std::string::npos; ++pos)
+        ++guards;
+    EXPECT_EQ(guards, 4);
+}
+
+TEST(Codegen, WavefrontFormForHyperplanePlans) {
+    const ir::Program p = ir::parse_program(workloads::sources::kIirChain);
+    const FusionPlan plan = plan_fusion(analysis::build_mldg(p));
+    ASSERT_EQ(plan.level, ParallelismLevel::Hyperplane);
+    const FusedProgram fp = fuse_program(p, plan);
+    const std::string text = emit_wavefront(fp, Domain{10, 10});
+    EXPECT_NE(text.find("wavefront form"), std::string::npos);
+    EXPECT_NE(text.find("DO t ="), std::string::npos);
+    EXPECT_NE(text.find("DOALL (i, j) WITH"), std::string::npos);
+    EXPECT_EQ(emit_transformed(fp, Domain{10, 10}), text);
+}
+
+TEST(Codegen, PeeledFormRejectsHyperplanePlans) {
+    const ir::Program p = ir::parse_program(workloads::sources::kIirChain);
+    const FusionPlan plan = plan_fusion(analysis::build_mldg(p));
+    const FusedProgram fp = fuse_program(p, plan);
+    EXPECT_THROW((void)emit_fused_peeled(fp, Domain{10, 10}), Error);
+}
+
+TEST(Distribution, SplitsMultiStatementLoopsOnly) {
+    const ir::Program p = ir::parse_program(workloads::sources::kFig2);
+    const ir::Program d = distribute_program(p);
+    ASSERT_EQ(d.loops.size(), 5u);  // C's two statements split
+    EXPECT_EQ(d.loops[0].label, "A");
+    EXPECT_EQ(d.loops[2].label, "C_0");
+    EXPECT_EQ(d.loops[3].label, "C_1");
+    EXPECT_EQ(d.loops[4].label, "D");
+    for (const auto& loop : d.loops) EXPECT_EQ(loop.body.size(), 1u);
+}
+
+TEST(Distribution, PreservesSemantics) {
+    const ir::Program p = ir::parse_program(workloads::sources::kFig2);
+    const ir::Program d = distribute_program(p);
+    const Domain dom{14, 11};
+    exec::ArrayStore a(p, dom), b(p, dom);
+    (void)exec::run_original(p, dom, a);
+    (void)exec::run_original(d, dom, b);
+    EXPECT_FALSE(exec::first_difference(p, dom, a, b).has_value());
+}
+
+TEST(Distribution, DistributedProgramsStillFuseAndVerify) {
+    // The dual pipeline: distribute (statement granularity), then fuse.
+    for (const auto src : {workloads::sources::kFig2, workloads::sources::kJacobiPair,
+                           workloads::sources::kIirChain}) {
+        const ir::Program d = distribute_program(ir::parse_program(src));
+        const auto result = exec::verify_fusion(d, Domain{13, 13}, exec::EngineKind::FusedRowwise);
+        EXPECT_TRUE(result.equivalent) << d.name << ": " << result.detail;
+    }
+}
+
+TEST(Distribution, StatementGranularityNeverWeakensTheParallelismLevel) {
+    // Per-statement retiming has strictly more freedom; on the gallery the
+    // achieved parallelism level must not regress.
+    for (const auto src : {workloads::sources::kFig2, workloads::sources::kFig8,
+                           workloads::sources::kJacobiPair}) {
+        const ir::Program p = ir::parse_program(src);
+        const FusionPlan whole = plan_fusion(analysis::build_mldg(p));
+        const FusionPlan split = plan_fusion(analysis::build_mldg(distribute_program(p)));
+        if (whole.level == ParallelismLevel::InnerDoall) {
+            EXPECT_EQ(split.level, ParallelismLevel::InnerDoall) << p.name;
+        }
+    }
+}
+
+TEST(Distribution, RandomProgramsSurviveTheDualPipeline) {
+    for (std::uint64_t seed = 0; seed < 15; ++seed) {
+        Rng rng(seed * 13 + 7);
+        const ir::Program p = workloads::random_program(rng);
+        const ir::Program d = distribute_program(p);
+        const auto result = exec::verify_fusion(d, Domain{9, 9}, exec::EngineKind::FusedRowwise);
+        EXPECT_TRUE(result.equivalent) << result.detail << "\n" << d.str();
+    }
+}
+
+}  // namespace
+}  // namespace lf::transform

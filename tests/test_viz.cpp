@@ -1,0 +1,88 @@
+// Tests for the SVG renderers: well-formedness, completeness (every node /
+// every grid point appears) and the key semantic markers (hard-edge bold
+// strokes, phase coloring matching the schedule).
+
+#include <gtest/gtest.h>
+
+#include "fusion/driver.hpp"
+#include "viz/svg.hpp"
+#include "workloads/gallery.hpp"
+
+namespace lf {
+namespace {
+
+int count_occurrences(const std::string& text, const std::string& needle) {
+    int count = 0;
+    for (std::size_t pos = 0; (pos = text.find(needle, pos)) != std::string::npos;
+         pos += needle.size()) {
+        ++count;
+    }
+    return count;
+}
+
+TEST(SvgMldg, ContainsEveryNodeAndEdge) {
+    const Mldg g = workloads::fig2_graph();
+    const std::string svg = viz::svg_mldg(g, "fig2");
+    EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+    EXPECT_NE(svg.find("</svg>"), std::string::npos);
+    for (int v = 0; v < g.num_nodes(); ++v) {
+        EXPECT_NE(svg.find(">" + g.node(v).name + "<"), std::string::npos);
+    }
+    // 4 node circles + 1 self-loop circle.
+    EXPECT_EQ(count_occurrences(svg, "<circle"), 5);
+    // 5 non-self edges as lines with arrowheads.
+    EXPECT_EQ(count_occurrences(svg, "<line"), 5);
+    // Exactly one hard edge: bold stroke plus the paper's '*' marker.
+    EXPECT_EQ(count_occurrences(svg, "stroke-width=\"2.6\""), 1);
+    EXPECT_NE(svg.find(" *"), std::string::npos);
+    // Vector labels escaped and present.
+    EXPECT_NE(svg.find("(0,-2) (0,1)"), std::string::npos);
+}
+
+TEST(SvgMldg, TitleIsEscaped) {
+    Mldg g;
+    g.add_node("A");
+    const std::string svg = viz::svg_mldg(g, "a <b> & c");
+    EXPECT_NE(svg.find("a &lt;b&gt; &amp; c"), std::string::npos);
+    EXPECT_EQ(svg.find("<b>"), std::string::npos);
+}
+
+TEST(SvgIterationSpace, GridPointsAndPhasesMatchSchedule) {
+    const FusionPlan plan = plan_fusion(workloads::fig2_graph());
+    const std::string svg =
+        viz::svg_iteration_space(plan.retimed, plan.schedule, 4, 6, "fig2 rows");
+    EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+    // 24 grid points.
+    EXPECT_EQ(count_occurrences(svg, "<circle"), 24);
+    // Row schedule (1,0): phases 0..3, each repeated 6 times as labels.
+    EXPECT_EQ(count_occurrences(svg, ">0</text>"), 6);
+    EXPECT_EQ(count_occurrences(svg, ">3</text>"), 6);
+    // Dependence arrows exist (e.g. the (1,1) and (1,0) retimed vectors).
+    EXPECT_GE(count_occurrences(svg, "url(#darrow)"), 2);
+}
+
+TEST(SvgIterationSpace, SkewedScheduleShowsDistinctPhasesPerRow) {
+    const FusionPlan plan = plan_fusion(workloads::fig14_graph());
+    ASSERT_EQ(plan.schedule, Vec2(4, 1));
+    const std::string svg =
+        viz::svg_iteration_space(plan.retimed, plan.schedule, 3, 5, "fig14 wavefront");
+    // Phases 0..(4*2+4): the label "0" appears exactly once under the skew.
+    EXPECT_EQ(count_occurrences(svg, ">0</text>"), 1);
+    EXPECT_NE(svg.find("4*i + 1*j"), std::string::npos);
+}
+
+TEST(SvgBalancedTags, AllElementsClosed) {
+    const Mldg g = workloads::iir_chain_graph();
+    for (const std::string& svg :
+         {viz::svg_mldg(g, "iir"),
+          viz::svg_iteration_space(g, Vec2{1, 0}, 3, 3, "space")}) {
+        EXPECT_EQ(count_occurrences(svg, "<text"), count_occurrences(svg, "</text>"));
+        EXPECT_EQ(count_occurrences(svg, "<svg"), count_occurrences(svg, "</svg>"));
+        // Every circle/line element is self-closed.
+        EXPECT_GE(count_occurrences(svg, "/>"),
+                  count_occurrences(svg, "<circle") + count_occurrences(svg, "<line"));
+    }
+}
+
+}  // namespace
+}  // namespace lf

@@ -1,0 +1,103 @@
+// Tests for the workload gallery and the random-instance generators.
+
+#include <gtest/gtest.h>
+
+#include "ldg/legality.hpp"
+#include "workloads/gallery.hpp"
+#include "workloads/generators.hpp"
+
+namespace lf {
+namespace {
+
+TEST(Gallery, FiveWorkloadsInPaperOrder) {
+    const auto& w = workloads::paper_workloads();
+    ASSERT_EQ(w.size(), 5u);
+    EXPECT_EQ(w[0].id, "fig8");
+    EXPECT_EQ(w[1].id, "fig2");
+    EXPECT_EQ(w[2].id, "fig14");
+    EXPECT_EQ(w[3].id, "jacobi");
+    EXPECT_EQ(w[4].id, "iir");
+}
+
+TEST(Gallery, ExecutableWorkloadsShipDslSources) {
+    for (const auto& w : workloads::paper_workloads()) {
+        if (w.id == "fig14") {
+            EXPECT_TRUE(w.dsl_source.empty());  // dataflow-only specification
+        } else {
+            EXPECT_FALSE(w.dsl_source.empty()) << w.id;
+        }
+    }
+}
+
+TEST(Gallery, Fig8ShapeAndHardEdges) {
+    const Mldg g = workloads::fig8_graph();
+    EXPECT_EQ(g.num_nodes(), 7);
+    EXPECT_EQ(g.num_edges(), 8);
+    EXPECT_TRUE(g.is_acyclic());
+    int hard = 0;
+    for (const auto& e : g.edges()) hard += e.is_hard() ? 1 : 0;
+    EXPECT_EQ(hard, 2);  // B->C and A->D
+    EXPECT_TRUE(g.edge(*g.find_edge(1, 2)).is_hard());
+    EXPECT_TRUE(g.edge(*g.find_edge(0, 3)).is_hard());
+}
+
+TEST(Gallery, Fig14ShapeAndCycles) {
+    const Mldg g = workloads::fig14_graph();
+    EXPECT_EQ(g.num_nodes(), 7);
+    EXPECT_EQ(g.num_edges(), 10);
+    EXPECT_FALSE(g.is_acyclic());
+}
+
+TEST(Gallery, JacobiAndIirAreCyclicWithHardEdges) {
+    const Mldg j = workloads::jacobi_pair_graph();
+    EXPECT_FALSE(j.is_acyclic());
+    EXPECT_TRUE(j.edge(*j.find_edge(0, 1)).is_hard());
+    EXPECT_TRUE(j.edge(*j.find_edge(1, 0)).is_hard());
+
+    const Mldg f = workloads::iir_chain_graph();
+    EXPECT_FALSE(f.is_acyclic());
+    EXPECT_TRUE(f.edge(*f.find_edge(1, 2)).is_hard());  // F2->F3
+    EXPECT_TRUE(f.edge(*f.find_edge(2, 1)).is_hard());  // F3->F2
+}
+
+class GeneratorTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorTest, RandomLegalGraphsAreLegal) {
+    Rng rng(GetParam());
+    const Mldg g = workloads::random_legal_mldg(rng);
+    EXPECT_TRUE(is_legal_mldg(g));
+    EXPECT_TRUE(is_schedulable(g));
+}
+
+TEST_P(GeneratorTest, RandomSchedulableGraphsAreSchedulable) {
+    Rng rng(GetParam() + 1000);
+    const Mldg g = workloads::random_schedulable_mldg(rng);
+    EXPECT_TRUE(is_schedulable(g));
+}
+
+TEST_P(GeneratorTest, GeneratorIsDeterministicPerSeed) {
+    Rng a(GetParam()), b(GetParam());
+    const Mldg ga = workloads::random_legal_mldg(a);
+    const Mldg gb = workloads::random_legal_mldg(b);
+    ASSERT_EQ(ga.num_nodes(), gb.num_nodes());
+    ASSERT_EQ(ga.num_edges(), gb.num_edges());
+    for (int e = 0; e < ga.num_edges(); ++e) {
+        EXPECT_EQ(ga.edge(e).from, gb.edge(e).from);
+        EXPECT_EQ(ga.edge(e).to, gb.edge(e).to);
+        EXPECT_EQ(ga.edge(e).vectors, gb.edge(e).vectors);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorTest, ::testing::Range<std::uint64_t>(0, 25));
+
+TEST(Generator, LargeInstancesStayLegal) {
+    Rng rng(99);
+    workloads::RandomGraphOptions opt;
+    opt.num_nodes = 128;
+    const Mldg g = workloads::random_legal_mldg(rng, opt);
+    EXPECT_TRUE(is_legal_mldg(g));
+    EXPECT_GT(g.num_edges(), 128);
+}
+
+}  // namespace
+}  // namespace lf
