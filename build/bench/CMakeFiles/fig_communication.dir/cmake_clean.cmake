@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_communication.dir/fig_communication.cpp.o"
+  "CMakeFiles/fig_communication.dir/fig_communication.cpp.o.d"
+  "fig_communication"
+  "fig_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_iteration_space.dir/fig_iteration_space.cpp.o"
+  "CMakeFiles/fig_iteration_space.dir/fig_iteration_space.cpp.o.d"
+  "fig_iteration_space"
+  "fig_iteration_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_iteration_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_locality_cache.dir/fig_locality_cache.cpp.o"
+  "CMakeFiles/fig_locality_cache.dir/fig_locality_cache.cpp.o.d"
+  "fig_locality_cache"
+  "fig_locality_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_locality_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_nd_pipeline.dir/fig_nd_pipeline.cpp.o"
+  "CMakeFiles/fig_nd_pipeline.dir/fig_nd_pipeline.cpp.o.d"
+  "fig_nd_pipeline"
+  "fig_nd_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_nd_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_retimed_graphs.dir/fig_retimed_graphs.cpp.o"
+  "CMakeFiles/fig_retimed_graphs.dir/fig_retimed_graphs.cpp.o.d"
+  "fig_retimed_graphs"
+  "fig_retimed_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_retimed_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_runtime_scaling.dir/fig_runtime_scaling.cpp.o"
+  "CMakeFiles/fig_runtime_scaling.dir/fig_runtime_scaling.cpp.o.d"
+  "fig_runtime_scaling"
+  "fig_runtime_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_runtime_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_sync_counts.dir/fig_sync_counts.cpp.o"
+  "CMakeFiles/fig_sync_counts.dir/fig_sync_counts.cpp.o.d"
+  "fig_sync_counts"
+  "fig_sync_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_sync_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_sync_counts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dsl_driver.dir/dsl_driver.cpp.o"
+  "CMakeFiles/example_dsl_driver.dir/dsl_driver.cpp.o.d"
+  "example_dsl_driver"
+  "example_dsl_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dsl_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

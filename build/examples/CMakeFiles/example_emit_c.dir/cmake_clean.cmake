@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_emit_c.dir/emit_c.cpp.o"
+  "CMakeFiles/example_emit_c.dir/emit_c.cpp.o.d"
+  "example_emit_c"
+  "example_emit_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_emit_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

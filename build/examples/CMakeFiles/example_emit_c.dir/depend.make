@@ -1,0 +1,2 @@
+# Empty dependencies file for example_emit_c.
+# This may be replaced when dependencies are built.

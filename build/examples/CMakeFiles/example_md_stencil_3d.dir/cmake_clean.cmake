@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_md_stencil_3d.dir/md_stencil_3d.cpp.o"
+  "CMakeFiles/example_md_stencil_3d.dir/md_stencil_3d.cpp.o.d"
+  "example_md_stencil_3d"
+  "example_md_stencil_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_md_stencil_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

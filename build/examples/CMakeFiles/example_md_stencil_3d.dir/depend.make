@@ -1,0 +1,2 @@
+# Empty dependencies file for example_md_stencil_3d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_weather_stencil.dir/weather_stencil.cpp.o"
+  "CMakeFiles/example_weather_stencil.dir/weather_stencil.cpp.o.d"
+  "example_weather_stencil"
+  "example_weather_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_weather_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dependence.cpp" "src/CMakeFiles/loopfusion.dir/analysis/dependence.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/analysis/dependence.cpp.o.d"
+  "/root/repo/src/baselines/kennedy_mckinley.cpp" "src/CMakeFiles/loopfusion.dir/baselines/kennedy_mckinley.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/baselines/kennedy_mckinley.cpp.o.d"
+  "/root/repo/src/baselines/naive.cpp" "src/CMakeFiles/loopfusion.dir/baselines/naive.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/baselines/naive.cpp.o.d"
+  "/root/repo/src/baselines/shift_and_peel.cpp" "src/CMakeFiles/loopfusion.dir/baselines/shift_and_peel.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/baselines/shift_and_peel.cpp.o.d"
+  "/root/repo/src/exec/engines.cpp" "src/CMakeFiles/loopfusion.dir/exec/engines.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/exec/engines.cpp.o.d"
+  "/root/repo/src/exec/equivalence.cpp" "src/CMakeFiles/loopfusion.dir/exec/equivalence.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/exec/equivalence.cpp.o.d"
+  "/root/repo/src/exec/store.cpp" "src/CMakeFiles/loopfusion.dir/exec/store.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/exec/store.cpp.o.d"
+  "/root/repo/src/fusion/ablation.cpp" "src/CMakeFiles/loopfusion.dir/fusion/ablation.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/fusion/ablation.cpp.o.d"
+  "/root/repo/src/fusion/acyclic_doall.cpp" "src/CMakeFiles/loopfusion.dir/fusion/acyclic_doall.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/fusion/acyclic_doall.cpp.o.d"
+  "/root/repo/src/fusion/certify.cpp" "src/CMakeFiles/loopfusion.dir/fusion/certify.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/fusion/certify.cpp.o.d"
+  "/root/repo/src/fusion/compact.cpp" "src/CMakeFiles/loopfusion.dir/fusion/compact.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/fusion/compact.cpp.o.d"
+  "/root/repo/src/fusion/cyclic_doall.cpp" "src/CMakeFiles/loopfusion.dir/fusion/cyclic_doall.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/fusion/cyclic_doall.cpp.o.d"
+  "/root/repo/src/fusion/driver.cpp" "src/CMakeFiles/loopfusion.dir/fusion/driver.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/fusion/driver.cpp.o.d"
+  "/root/repo/src/fusion/hyperplane.cpp" "src/CMakeFiles/loopfusion.dir/fusion/hyperplane.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/fusion/hyperplane.cpp.o.d"
+  "/root/repo/src/fusion/llofra.cpp" "src/CMakeFiles/loopfusion.dir/fusion/llofra.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/fusion/llofra.cpp.o.d"
+  "/root/repo/src/fusion/multidim.cpp" "src/CMakeFiles/loopfusion.dir/fusion/multidim.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/fusion/multidim.cpp.o.d"
+  "/root/repo/src/graph/algorithms.cpp" "src/CMakeFiles/loopfusion.dir/graph/algorithms.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/graph/algorithms.cpp.o.d"
+  "/root/repo/src/graph/constraint_system.cpp" "src/CMakeFiles/loopfusion.dir/graph/constraint_system.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/graph/constraint_system.cpp.o.d"
+  "/root/repo/src/graph/constraint_system_nd.cpp" "src/CMakeFiles/loopfusion.dir/graph/constraint_system_nd.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/graph/constraint_system_nd.cpp.o.d"
+  "/root/repo/src/ir/ast.cpp" "src/CMakeFiles/loopfusion.dir/ir/ast.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/ir/ast.cpp.o.d"
+  "/root/repo/src/ir/lexer.cpp" "src/CMakeFiles/loopfusion.dir/ir/lexer.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/ir/lexer.cpp.o.d"
+  "/root/repo/src/ir/parser.cpp" "src/CMakeFiles/loopfusion.dir/ir/parser.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/ir/parser.cpp.o.d"
+  "/root/repo/src/ir/sema.cpp" "src/CMakeFiles/loopfusion.dir/ir/sema.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/ir/sema.cpp.o.d"
+  "/root/repo/src/ldg/legality.cpp" "src/CMakeFiles/loopfusion.dir/ldg/legality.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/ldg/legality.cpp.o.d"
+  "/root/repo/src/ldg/mldg.cpp" "src/CMakeFiles/loopfusion.dir/ldg/mldg.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/ldg/mldg.cpp.o.d"
+  "/root/repo/src/ldg/mldg_nd.cpp" "src/CMakeFiles/loopfusion.dir/ldg/mldg_nd.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/ldg/mldg_nd.cpp.o.d"
+  "/root/repo/src/ldg/retiming.cpp" "src/CMakeFiles/loopfusion.dir/ldg/retiming.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/ldg/retiming.cpp.o.d"
+  "/root/repo/src/ldg/serialization.cpp" "src/CMakeFiles/loopfusion.dir/ldg/serialization.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/ldg/serialization.cpp.o.d"
+  "/root/repo/src/mdir/analysis.cpp" "src/CMakeFiles/loopfusion.dir/mdir/analysis.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/mdir/analysis.cpp.o.d"
+  "/root/repo/src/mdir/ast.cpp" "src/CMakeFiles/loopfusion.dir/mdir/ast.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/mdir/ast.cpp.o.d"
+  "/root/repo/src/mdir/codegen_c.cpp" "src/CMakeFiles/loopfusion.dir/mdir/codegen_c.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/mdir/codegen_c.cpp.o.d"
+  "/root/repo/src/mdir/exec.cpp" "src/CMakeFiles/loopfusion.dir/mdir/exec.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/mdir/exec.cpp.o.d"
+  "/root/repo/src/mdir/parser.cpp" "src/CMakeFiles/loopfusion.dir/mdir/parser.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/mdir/parser.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/CMakeFiles/loopfusion.dir/sim/cache.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/sim/cache.cpp.o.d"
+  "/root/repo/src/sim/communication.cpp" "src/CMakeFiles/loopfusion.dir/sim/communication.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/sim/communication.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/loopfusion.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/loopfusion.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/support/vec2.cpp" "src/CMakeFiles/loopfusion.dir/support/vec2.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/support/vec2.cpp.o.d"
+  "/root/repo/src/support/vecn.cpp" "src/CMakeFiles/loopfusion.dir/support/vecn.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/support/vecn.cpp.o.d"
+  "/root/repo/src/transform/codegen.cpp" "src/CMakeFiles/loopfusion.dir/transform/codegen.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/transform/codegen.cpp.o.d"
+  "/root/repo/src/transform/codegen_c.cpp" "src/CMakeFiles/loopfusion.dir/transform/codegen_c.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/transform/codegen_c.cpp.o.d"
+  "/root/repo/src/transform/distribution.cpp" "src/CMakeFiles/loopfusion.dir/transform/distribution.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/transform/distribution.cpp.o.d"
+  "/root/repo/src/transform/fused_program.cpp" "src/CMakeFiles/loopfusion.dir/transform/fused_program.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/transform/fused_program.cpp.o.d"
+  "/root/repo/src/viz/svg.cpp" "src/CMakeFiles/loopfusion.dir/viz/svg.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/viz/svg.cpp.o.d"
+  "/root/repo/src/workloads/extra.cpp" "src/CMakeFiles/loopfusion.dir/workloads/extra.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/workloads/extra.cpp.o.d"
+  "/root/repo/src/workloads/gallery.cpp" "src/CMakeFiles/loopfusion.dir/workloads/gallery.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/workloads/gallery.cpp.o.d"
+  "/root/repo/src/workloads/generators.cpp" "src/CMakeFiles/loopfusion.dir/workloads/generators.cpp.o" "gcc" "src/CMakeFiles/loopfusion.dir/workloads/generators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_certify.dir/test_certify.cpp.o"
+  "CMakeFiles/test_certify.dir/test_certify.cpp.o.d"
+  "test_certify"
+  "test_certify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_certify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

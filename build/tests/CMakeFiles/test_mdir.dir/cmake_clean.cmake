@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdir.dir/test_mdir.cpp.o"
+  "CMakeFiles/test_mdir.dir/test_mdir.cpp.o.d"
+  "test_mdir"
+  "test_mdir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdir_codegen.dir/test_mdir_codegen.cpp.o"
+  "CMakeFiles/test_mdir_codegen.dir/test_mdir_codegen.cpp.o.d"
+  "test_mdir_codegen"
+  "test_mdir_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdir_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mldg.dir/test_mldg.cpp.o"
+  "CMakeFiles/test_mldg.dir/test_mldg.cpp.o.d"
+  "test_mldg"
+  "test_mldg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mldg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

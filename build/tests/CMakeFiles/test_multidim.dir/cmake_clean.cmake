@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multidim.dir/test_multidim.cpp.o"
+  "CMakeFiles/test_multidim.dir/test_multidim.cpp.o.d"
+  "test_multidim"
+  "test_multidim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multidim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

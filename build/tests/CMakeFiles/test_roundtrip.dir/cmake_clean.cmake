@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_roundtrip.dir/test_roundtrip.cpp.o"
+  "CMakeFiles/test_roundtrip.dir/test_roundtrip.cpp.o.d"
+  "test_roundtrip"
+  "test_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
