@@ -74,8 +74,11 @@ std::string read_source(const Options& o) {
 
 int main(int argc, char** argv) {
     using namespace lf;
-    const Options options = parse_args(argc, argv);
     try {
+        // Argument parsing sits inside the try block: std::stoll throws
+        // std::invalid_argument/std::out_of_range on bad numeric flags, and a
+        // CLI tool must turn that into a clean one-line error, not a crash.
+        const Options options = parse_args(argc, argv);
         const ir::Program program = ir::parse_program(read_source(options));
         const analysis::DependenceInfo info = analysis::analyze_dependences(program);
         const Domain dom{options.n, options.m};
@@ -107,6 +110,9 @@ int main(int argc, char** argv) {
                       << result.transformed.barriers << '\n';
         }
     } catch (const Error& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << '\n';
         return 1;
     }

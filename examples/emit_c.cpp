@@ -21,26 +21,28 @@
 
 int main(int argc, char** argv) {
     using namespace lf;
-    std::string source(workloads::sources::kFig2);
-    Domain dom{100, 100};
-    for (int k = 1; k < argc; ++k) {
-        const std::string arg = argv[k];
-        if (arg == "--n" && k + 1 < argc) {
-            dom.n = std::stoll(argv[++k]);
-        } else if (arg == "--m" && k + 1 < argc) {
-            dom.m = std::stoll(argv[++k]);
-        } else {
-            std::ifstream in(arg);
-            if (!in.good()) {
-                std::cerr << "error: cannot open '" << arg << "'\n";
-                return 1;
-            }
-            std::ostringstream buf;
-            buf << in.rdbuf();
-            source = buf.str();
-        }
-    }
     try {
+        // Argument parsing sits inside the try block: std::stoll throws on
+        // non-numeric --n/--m values and must exit cleanly, not crash.
+        std::string source(workloads::sources::kFig2);
+        Domain dom{100, 100};
+        for (int k = 1; k < argc; ++k) {
+            const std::string arg = argv[k];
+            if (arg == "--n" && k + 1 < argc) {
+                dom.n = std::stoll(argv[++k]);
+            } else if (arg == "--m" && k + 1 < argc) {
+                dom.m = std::stoll(argv[++k]);
+            } else {
+                std::ifstream in(arg);
+                if (!in.good()) {
+                    std::cerr << "error: cannot open '" << arg << "'\n";
+                    return 1;
+                }
+                std::ostringstream buf;
+                buf << in.rdbuf();
+                source = buf.str();
+            }
+        }
         const ir::Program program = ir::parse_program(source);
         const FusionPlan plan = plan_fusion(analysis::build_mldg(program));
         const transform::FusedProgram fused = transform::fuse_program(program, plan);
@@ -49,6 +51,9 @@ int main(int argc, char** argv) {
                   << '\n';
         std::cout << transform::emit_c_program(program, fused, dom);
     } catch (const Error& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << '\n';
         return 1;
     }

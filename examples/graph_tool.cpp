@@ -21,34 +21,36 @@
 
 int main(int argc, char** argv) {
     using namespace lf;
-    std::string file, builtin, svg_prefix;
-    Domain dom{1000, 1000};
-    int processors = 16;
-    bool dot = false;
-    for (int k = 1; k < argc; ++k) {
-        const std::string arg = argv[k];
-        if (arg == "--dot") {
-            dot = true;
-        } else if (arg == "--builtin" && k + 1 < argc) {
-            builtin = argv[++k];
-        } else if (arg == "--svg" && k + 1 < argc) {
-            svg_prefix = argv[++k];
-        } else if (arg == "--n" && k + 1 < argc) {
-            dom.n = std::stoll(argv[++k]);
-        } else if (arg == "--m" && k + 1 < argc) {
-            dom.m = std::stoll(argv[++k]);
-        } else if (arg == "--p" && k + 1 < argc) {
-            processors = std::stoi(argv[++k]);
-        } else if (arg == "--help") {
-            std::cout << "usage: example_graph_tool <file.ldg> | --builtin <name> "
-                         "[--dot] [--svg PREFIX] [--n N] [--m M] [--p P]\n";
-            return 0;
-        } else {
-            file = arg;
-        }
-    }
-
     try {
+        // Argument parsing sits inside the try block: std::stoll/std::stoi
+        // throw on non-numeric --n/--m/--p values and must exit cleanly.
+        std::string file, builtin, svg_prefix;
+        Domain dom{1000, 1000};
+        int processors = 16;
+        bool dot = false;
+        for (int k = 1; k < argc; ++k) {
+            const std::string arg = argv[k];
+            if (arg == "--dot") {
+                dot = true;
+            } else if (arg == "--builtin" && k + 1 < argc) {
+                builtin = argv[++k];
+            } else if (arg == "--svg" && k + 1 < argc) {
+                svg_prefix = argv[++k];
+            } else if (arg == "--n" && k + 1 < argc) {
+                dom.n = std::stoll(argv[++k]);
+            } else if (arg == "--m" && k + 1 < argc) {
+                dom.m = std::stoll(argv[++k]);
+            } else if (arg == "--p" && k + 1 < argc) {
+                processors = std::stoi(argv[++k]);
+            } else if (arg == "--help") {
+                std::cout << "usage: example_graph_tool <file.ldg> | --builtin <name> "
+                             "[--dot] [--svg PREFIX] [--n N] [--m M] [--p P]\n";
+                return 0;
+            } else {
+                file = arg;
+            }
+        }
+
         Mldg g;
         if (!builtin.empty()) {
             bool found = false;
@@ -103,6 +105,9 @@ int main(int argc, char** argv) {
             std::cout << "wrote " << svg_prefix << "_{graph,retimed,space}.svg\n";
         }
     } catch (const Error& e) {
+        std::cerr << "error: " << e.what() << '\n';
+        return 1;
+    } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << '\n';
         return 1;
     }

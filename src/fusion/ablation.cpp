@@ -5,23 +5,51 @@
 #include "graph/constraint_system.hpp"
 #include "ldg/legality.hpp"
 #include "support/diagnostics.hpp"
+#include "support/faultpoint.hpp"
 
 namespace lf::ablation {
 
-std::optional<Retiming> cyclic_doall_all_hard(const Mldg& g) {
-    check(is_schedulable(g), "cyclic_doall_all_hard: input MLDG is not schedulable");
+Result<Retiming> try_cyclic_doall_all_hard(const Mldg& g, ResourceGuard* guard) {
+    if (faultpoint::triggered("forced_carry")) {
+        return Status(StatusCode::Internal, "cyclic_doall_all_hard: fault injected");
+    }
+    {
+        const LegalityReport rep = check_schedulable(g, guard);
+        if (rep.status != StatusCode::Ok) {
+            return Status(rep.status, "cyclic_doall_all_hard: schedulability check aborted");
+        }
+        if (!rep.legal) {
+            return Status(StatusCode::IllegalInput,
+                          "cyclic_doall_all_hard: input MLDG is not schedulable");
+        }
+    }
     DifferenceConstraintSystem<std::int64_t> sys;
     for (int v = 0; v < g.num_nodes(); ++v) sys.add_variable(g.node(v).name);
     for (const auto& e : g.edges()) {
         sys.add_constraint(e.from, e.to, e.delta().x - 1);
     }
-    const auto solution = sys.solve();
-    if (!solution.feasible) return std::nullopt;
+    const auto solution = sys.solve(guard);
+    if (solution.status != StatusCode::Ok) {
+        return Status(solution.status, "cyclic_doall_all_hard: solve aborted");
+    }
+    if (!solution.feasible) {
+        return Status(StatusCode::Infeasible,
+                      "cyclic_doall_all_hard: no retiming can carry every edge on the "
+                      "outer loop (negative cycle in the forced system)");
+    }
     Retiming r(g.num_nodes());
     for (int v = 0; v < g.num_nodes(); ++v) {
         r.of(v) = Vec2{solution.values[static_cast<std::size_t>(v)], 0};
     }
     return r;
+}
+
+std::optional<Retiming> cyclic_doall_all_hard(const Mldg& g) {
+    auto result = try_cyclic_doall_all_hard(g);
+    if (result.ok()) return std::move(result).value();
+    if (result.status().code() == StatusCode::Infeasible) return std::nullopt;
+    check(false, result.status().message());
+    return std::nullopt;  // unreachable
 }
 
 Retiming acyclic_doall_keep_y(const Mldg& g) {

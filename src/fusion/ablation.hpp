@@ -19,12 +19,20 @@
 
 #include "ldg/mldg.hpp"
 #include "ldg/retiming.hpp"
+#include "support/status.hpp"
 
 namespace lf::ablation {
 
 /// Algorithm 4 with all edges forced outer-carried in phase 1. Returns the
 /// retiming when feasible.
 [[nodiscard]] std::optional<Retiming> cyclic_doall_all_hard(const Mldg& g);
+
+/// Never-throwing variant; the driver's "forced-carry" ladder rung. Non-Ok:
+/// IllegalInput (not schedulable), Infeasible (the forced system has a
+/// negative cycle -- a normal outcome for this variant), ResourceExhausted /
+/// Overflow (solve cut short), Internal (fault point "forced_carry" armed).
+[[nodiscard]] Result<Retiming> try_cyclic_doall_all_hard(const Mldg& g,
+                                                         ResourceGuard* guard = nullptr);
 
 /// Algorithm 3 without the final y-zeroing.
 [[nodiscard]] Retiming acyclic_doall_keep_y(const Mldg& g);

@@ -13,11 +13,19 @@
 
 #include "ldg/mldg.hpp"
 #include "ldg/retiming.hpp"
+#include "support/status.hpp"
 
 namespace lf {
 
 /// Requires `g` legal and acyclic (throws lf::Error otherwise); always
 /// succeeds on such inputs.
 [[nodiscard]] Retiming acyclic_doall_fusion(const Mldg& g);
+
+/// Never-throwing variant. Non-Ok statuses: IllegalInput (not schedulable /
+/// not acyclic), ResourceExhausted / Overflow (guarded or hardened solve cut
+/// short), Internal (fault point "acyclic_doall" armed, or a postcondition
+/// the theorems guarantee failed).
+[[nodiscard]] Result<Retiming> try_acyclic_doall_fusion(const Mldg& g,
+                                                        ResourceGuard* guard = nullptr);
 
 }  // namespace lf

@@ -5,22 +5,32 @@
 #include "graph/constraint_system.hpp"
 #include "ldg/legality.hpp"
 #include "support/diagnostics.hpp"
+#include "support/faultpoint.hpp"
 
 namespace lf {
 
-CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g) {
+CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g, ResourceGuard* guard) {
     check(is_schedulable(g), "cyclic_doall_fusion: input MLDG is not schedulable");
     CyclicDoallOutcome out;
 
     // ---- Phase 1: first retiming component. ----
     // Hard edges must end outer-loop-carried (retimed x >= 1); all others may
     // stay within one outer iteration (retimed x >= 0).
+    if (faultpoint::triggered("cyclic_doall.phase1")) {
+        out.failed_phase = 1;  // simulated phase-1 infeasibility
+        return out;
+    }
     DifferenceConstraintSystem<std::int64_t> sys_x;
     for (int i = 0; i < g.num_nodes(); ++i) sys_x.add_variable(g.node(i).name);
     for (const auto& e : g.edges()) {
         sys_x.add_constraint(e.from, e.to, e.delta().x - (e.is_hard() ? 1 : 0));
     }
-    const auto sol_x = sys_x.solve();
+    const auto sol_x = sys_x.solve(guard);
+    if (sol_x.status != StatusCode::Ok) {
+        out.status = sol_x.status;
+        out.failed_phase = 1;
+        return out;
+    }
     if (!sol_x.feasible) {
         out.failed_phase = 1;
         return out;
@@ -29,17 +39,33 @@ CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g) {
     // ---- Phase 2: second retiming component. ----
     // Only non-hard forward edges whose x-retimed weight is exactly zero are
     // constrained: they must land on (0,0), hence an equality on y.
+    if (faultpoint::triggered("cyclic_doall.phase2")) {
+        out.failed_phase = 2;  // simulated phase-2 infeasibility
+        return out;
+    }
     DifferenceConstraintSystem<std::int64_t> sys_y;
     for (int i = 0; i < g.num_nodes(); ++i) sys_y.add_variable(g.node(i).name);
     for (const auto& e : g.edges()) {
         if (e.is_hard()) continue;
-        const std::int64_t retimed_x = e.delta().x +
-                                       sol_x.values[static_cast<std::size_t>(e.from)] -
-                                       sol_x.values[static_cast<std::size_t>(e.to)];
+        std::int64_t shifted = 0;
+        std::int64_t retimed_x = 0;
+        if (__builtin_add_overflow(e.delta().x, sol_x.values[static_cast<std::size_t>(e.from)],
+                                   &shifted) ||
+            __builtin_sub_overflow(shifted, sol_x.values[static_cast<std::size_t>(e.to)],
+                                   &retimed_x)) {
+            out.status = StatusCode::Overflow;
+            out.failed_phase = 2;
+            return out;
+        }
         if (retimed_x != 0) continue;
         sys_y.add_equality(e.from, e.to, e.delta().y);
     }
-    const auto sol_y = sys_y.solve();
+    const auto sol_y = sys_y.solve(guard);
+    if (sol_y.status != StatusCode::Ok) {
+        out.status = sol_y.status;
+        out.failed_phase = 2;
+        return out;
+    }
     if (!sol_y.feasible) {
         out.failed_phase = 2;
         return out;

@@ -20,6 +20,7 @@
 
 #include "ldg/mldg.hpp"
 #include "ldg/retiming.hpp"
+#include "support/status.hpp"
 
 namespace lf {
 
@@ -28,10 +29,19 @@ struct CyclicDoallOutcome {
     std::optional<Retiming> retiming;
     /// Which phase failed (1 or 2); 0 on success. For reports/diagnostics.
     int failed_phase = 0;
+    /// Ok when the algorithm ran to completion -- phase infeasibility (the
+    /// normal "fall back to hyperplane" outcome) is still Ok. Non-Ok
+    /// (ResourceExhausted / Overflow / Internal) means a phase solve was
+    /// aborted; `retiming` is then absent and `failed_phase` records which
+    /// phase was running.
+    StatusCode status = StatusCode::Ok;
 };
 
 /// Requires `g` legal (throws lf::Error otherwise). Accepts acyclic graphs
-/// too (both phases are then trivially feasible).
-[[nodiscard]] CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g);
+/// too (both phases are then trivially feasible). The optional guard bounds
+/// the phase solves; the fault points "cyclic_doall.phase1" and
+/// "cyclic_doall.phase2" simulate the corresponding phase infeasibility.
+[[nodiscard]] CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g,
+                                                     ResourceGuard* guard = nullptr);
 
 }  // namespace lf

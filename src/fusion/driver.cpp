@@ -9,6 +9,7 @@
 #include "fusion/hyperplane.hpp"
 #include "ldg/legality.hpp"
 #include "support/diagnostics.hpp"
+#include "support/faultpoint.hpp"
 
 namespace lf {
 
@@ -16,6 +17,7 @@ std::string to_string(ParallelismLevel level) {
     switch (level) {
         case ParallelismLevel::InnerDoall: return "inner-DOALL";
         case ParallelismLevel::Hyperplane: return "DOALL-hyperplane";
+        case ParallelismLevel::Unfused: return "unfused (per-loop inner DOALL)";
     }
     return "?";
 }
@@ -26,8 +28,265 @@ std::string to_string(AlgorithmUsed algorithm) {
         case AlgorithmUsed::CyclicDoall: return "Algorithm 4 (cyclic two-phase)";
         case AlgorithmUsed::CyclicDoallForced: return "Algorithm 4 variant (forced carry)";
         case AlgorithmUsed::Hyperplane: return "Algorithm 5 (hyperplane)";
+        case AlgorithmUsed::DistributionFallback: return "loop distribution (unfused fallback)";
     }
     return "?";
+}
+
+namespace {
+
+/// Rung-failure severity for picking try_plan_fusion's overall error code:
+/// running out of budget must surface even when later rungs report ordinary
+/// infeasibility, and detected overflow outranks a mere fault/postcondition.
+int severity(StatusCode code) {
+    switch (code) {
+        case StatusCode::ResourceExhausted: return 4;
+        case StatusCode::Overflow: return 3;
+        case StatusCode::Internal: return 2;
+        case StatusCode::Infeasible: return 1;
+        default: return 0;
+    }
+}
+
+/// Completes a plan whose retiming/level/algorithm/schedule are set: builds
+/// the retimed graph and fused body order and re-verifies the paper's
+/// guarantees. Returns the empty string on success, else the reason the plan
+/// must be rejected (the ladder then moves on to the next rung).
+std::string finalize_plan(const Mldg& g, FusionPlan& plan) {
+    plan.retimed = plan.retiming.apply(g);
+    auto order = fused_body_order(plan.retimed);
+    if (!order.has_value()) return "(0,0)-dependence cycle in the retimed graph";
+    plan.body_order = std::move(*order);
+    if (!is_fusion_legal(plan.retimed, plan.body_order)) return "fusion illegal after retiming";
+    if (plan.level == ParallelismLevel::InnerDoall &&
+        !is_fused_inner_doall(plan.retimed, plan.body_order)) {
+        return "fused inner loop not DOALL";
+    }
+    if (!is_strict_schedule_vector(plan.retimed, plan.schedule)) return "schedule not strict";
+    return {};
+}
+
+std::vector<int> program_order_of(const Mldg& g) {
+    std::vector<int> order(static_cast<std::size_t>(g.num_nodes()));
+    for (int i = 0; i < g.num_nodes(); ++i) {
+        order[static_cast<std::size_t>(g.node(i).order)] = i;
+    }
+    return order;
+}
+
+}  // namespace
+
+Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options) {
+    ResourceGuard guard(options.limits);
+    std::vector<StageReport> stages;
+    std::uint64_t metered = 0;
+    auto push_stage = [&](std::string stage, StatusCode code, std::string detail) {
+        StageReport r;
+        r.stage = std::move(stage);
+        r.code = code;
+        r.detail = std::move(detail);
+        r.budget_consumed = guard.consumed() - metered;
+        metered = guard.consumed();
+        stages.push_back(std::move(r));
+    };
+
+    // ---- Validation ----
+    // Program-model legality is solver-free and implies schedulability
+    // (L2+L3: every cycle has x-weight >= 1); only graphs outside the
+    // program model need the solver-backed schedulability check.
+    const bool model_legal = is_legal_mldg(g);
+    if (!model_legal) {
+        const LegalityReport rep = check_schedulable(g, &guard);
+        if (rep.status != StatusCode::Ok) {
+            push_stage("validate", rep.status, "schedulability check aborted");
+            Status st(rep.status, "try_plan_fusion: could not validate the input MLDG");
+            st.stages = std::move(stages);
+            return st;
+        }
+        if (!rep.legal) {
+            const std::string why =
+                rep.violations.empty() ? std::string("?") : rep.violations.front();
+            push_stage("validate", StatusCode::IllegalInput, why);
+            Status st(StatusCode::IllegalInput,
+                      "try_plan_fusion: input MLDG is not schedulable: " + why);
+            st.stages = std::move(stages);
+            return st;
+        }
+    }
+    push_stage("validate", StatusCode::Ok,
+               model_legal ? "program-model legal" : "schedulable (outside the program model)");
+
+    std::optional<int> a4_failed_phase;
+
+    // Compact refinement (PlanOptions::compact_prologue) as a post-pass: the
+    // plain rung's solution is kept unless the compacted one re-verifies.
+    auto apply_compact = [&](FusionPlan& plan) {
+        if (!options.plan.compact_prologue) return;
+        try {
+            std::optional<Retiming> alt;
+            if (plan.algorithm == AlgorithmUsed::AcyclicDoall) {
+                alt = acyclic_doall_fusion_compact(g);
+            } else if (plan.algorithm == AlgorithmUsed::CyclicDoall) {
+                alt = cyclic_doall_fusion_compact(g);
+            }
+            if (!alt.has_value()) return;
+            FusionPlan refined;
+            refined.retiming = std::move(*alt);
+            refined.level = plan.level;
+            refined.algorithm = plan.algorithm;
+            refined.schedule = plan.schedule;
+            refined.hyperplane = plan.hyperplane;
+            if (finalize_plan(g, refined).empty()) {
+                plan = std::move(refined);
+                push_stage("compact", StatusCode::Ok, "x-spread minimized");
+            }
+        } catch (const std::exception&) {
+            // Keep the plain rung's verified solution.
+        }
+    };
+
+    auto finish = [&](FusionPlan&& plan) -> FusionPlan {
+        apply_compact(plan);
+        plan.cyclic_doall_failed_phase = a4_failed_phase;
+        plan.stages = std::move(stages);
+        return std::move(plan);
+    };
+
+    // ---- Rung 1: Algorithm 3 (acyclic graphs only). ----
+    if (g.is_acyclic()) {
+        try {
+            auto r = try_acyclic_doall_fusion(g, &guard);
+            if (r.ok()) {
+                FusionPlan plan;
+                plan.retiming = std::move(r).value();
+                plan.algorithm = AlgorithmUsed::AcyclicDoall;
+                plan.level = ParallelismLevel::InnerDoall;
+                const std::string err = finalize_plan(g, plan);
+                if (err.empty()) {
+                    push_stage("acyclic-doall", StatusCode::Ok, {});
+                    return finish(std::move(plan));
+                }
+                push_stage("acyclic-doall", StatusCode::Internal, err);
+            } else {
+                push_stage("acyclic-doall", r.status().code(), r.status().message());
+            }
+        } catch (const std::exception& e) {
+            push_stage("acyclic-doall", StatusCode::Internal, e.what());
+        }
+    }
+
+    // ---- Rung 2: Algorithm 4 (also handles acyclic graphs when rung 1
+    // fell through). ----
+    try {
+        auto outcome = cyclic_doall_fusion(g, &guard);
+        if (outcome.retiming.has_value()) {
+            FusionPlan plan;
+            plan.retiming = std::move(*outcome.retiming);
+            plan.algorithm = AlgorithmUsed::CyclicDoall;
+            plan.level = ParallelismLevel::InnerDoall;
+            const std::string err = finalize_plan(g, plan);
+            if (err.empty()) {
+                push_stage("cyclic-doall", StatusCode::Ok, {});
+                return finish(std::move(plan));
+            }
+            push_stage("cyclic-doall", StatusCode::Internal, err);
+        } else {
+            a4_failed_phase = outcome.failed_phase;
+            if (outcome.status != StatusCode::Ok) {
+                push_stage("cyclic-doall", outcome.status,
+                           "phase " + std::to_string(outcome.failed_phase) + " aborted");
+            } else {
+                push_stage("cyclic-doall", StatusCode::Infeasible,
+                           "phase " + std::to_string(outcome.failed_phase) + " infeasible");
+            }
+        }
+    } catch (const std::exception& e) {
+        push_stage("cyclic-doall", StatusCode::Internal, e.what());
+    }
+
+    // ---- Rung 3: forced-carry variant (extension; still DOALL rows). ----
+    try {
+        auto r = ablation::try_cyclic_doall_all_hard(g, &guard);
+        if (r.ok()) {
+            FusionPlan plan;
+            plan.retiming = std::move(r).value();
+            plan.algorithm = AlgorithmUsed::CyclicDoallForced;
+            plan.level = ParallelismLevel::InnerDoall;
+            const std::string err = finalize_plan(g, plan);
+            if (err.empty()) {
+                push_stage("forced-carry", StatusCode::Ok, {});
+                return finish(std::move(plan));
+            }
+            push_stage("forced-carry", StatusCode::Internal, err);
+        } else {
+            push_stage("forced-carry", r.status().code(), r.status().message());
+        }
+    } catch (const std::exception& e) {
+        push_stage("forced-carry", StatusCode::Internal, e.what());
+    }
+
+    // ---- Rung 4: Algorithm 5 (hyperplane wavefront). ----
+    try {
+        auto r = try_hyperplane_fusion(g, &guard);
+        if (r.ok()) {
+            FusionPlan plan;
+            plan.retiming = std::move(r.value().retiming);
+            plan.algorithm = AlgorithmUsed::Hyperplane;
+            plan.level = ParallelismLevel::Hyperplane;
+            plan.schedule = r.value().schedule;
+            plan.hyperplane = r.value().hyperplane;
+            const std::string err = finalize_plan(g, plan);
+            if (err.empty()) {
+                push_stage("hyperplane", StatusCode::Ok, {});
+                return finish(std::move(plan));
+            }
+            push_stage("hyperplane", StatusCode::Internal, err);
+        } else {
+            push_stage("hyperplane", r.status().code(), r.status().message());
+        }
+    } catch (const std::exception& e) {
+        push_stage("hyperplane", StatusCode::Internal, e.what());
+    }
+
+    // ---- Rung 5: loop distribution (unfused but legal). ----
+    // No solver involved: the plan *is* the original program, so it needs no
+    // verification beyond program-model legality (checked above). Only that
+    // legality makes the unfused original executable, so graphs like the
+    // paper's Figure 14 (schedulable only) cannot take this rung.
+    if (options.allow_distribution_fallback) {
+        if (!model_legal) {
+            push_stage("distribution", StatusCode::IllegalInput,
+                       "input is not program-model legal; the unfused original is not "
+                       "an executable Figure-1 program");
+        } else if (faultpoint::triggered("distribution")) {
+            push_stage("distribution", StatusCode::Internal, "fault injected");
+        } else {
+            FusionPlan plan;
+            plan.retiming = Retiming(g.num_nodes());  // identity
+            plan.level = ParallelismLevel::Unfused;
+            plan.algorithm = AlgorithmUsed::DistributionFallback;
+            plan.retimed = g;
+            plan.body_order = program_order_of(g);
+            push_stage("distribution", StatusCode::Ok, "unfused fallback");
+            plan.cyclic_doall_failed_phase = a4_failed_phase;
+            plan.stages = std::move(stages);
+            return plan;
+        }
+    }
+
+    // ---- Every rung fell through. ----
+    StatusCode worst = StatusCode::Internal;
+    int worst_rank = -1;
+    for (const auto& s : stages) {
+        if (s.code == StatusCode::Ok) continue;
+        if (severity(s.code) > worst_rank) {
+            worst_rank = severity(s.code);
+            worst = s.code;
+        }
+    }
+    Status st(worst, "try_plan_fusion: no ladder rung produced a verifiable plan");
+    st.stages = std::move(stages);
+    return st;
 }
 
 FusionPlan plan_fusion(const Mldg& g, const PlanOptions& options) {
@@ -36,56 +295,13 @@ FusionPlan plan_fusion(const Mldg& g, const PlanOptions& options) {
         check(rep.legal, "plan_fusion: input MLDG is not schedulable: " +
                              (rep.violations.empty() ? std::string("?") : rep.violations.front()));
     }
-    FusionPlan plan;
-    if (g.is_acyclic()) {
-        plan.retiming = options.compact_prologue ? acyclic_doall_fusion_compact(g)
-                                                 : acyclic_doall_fusion(g);
-        plan.algorithm = AlgorithmUsed::AcyclicDoall;
-        plan.level = ParallelismLevel::InnerDoall;
-    } else {
-        auto outcome = options.compact_prologue ? CyclicDoallOutcome{cyclic_doall_fusion_compact(g), 0}
-                                                : cyclic_doall_fusion(g);
-        if (!outcome.retiming.has_value() && options.compact_prologue) {
-            outcome = cyclic_doall_fusion(g);  // recover the failed-phase info
-        }
-        if (outcome.retiming.has_value()) {
-            plan.retiming = std::move(*outcome.retiming);
-            plan.algorithm = AlgorithmUsed::CyclicDoall;
-            plan.level = ParallelismLevel::InnerDoall;
-        } else if (auto forced = ablation::cyclic_doall_all_hard(g)) {
-            // Extension beyond the paper: phase 2 failed, but the cycles
-            // have enough outer slack to carry *every* dependence -- still
-            // a fully parallel inner loop, at the cost of deeper prologues.
-            plan.cyclic_doall_failed_phase = outcome.failed_phase;
-            plan.retiming = std::move(*forced);
-            plan.algorithm = AlgorithmUsed::CyclicDoallForced;
-            plan.level = ParallelismLevel::InnerDoall;
-        } else {
-            plan.cyclic_doall_failed_phase = outcome.failed_phase;
-            auto hp = hyperplane_fusion(g);
-            plan.retiming = std::move(hp.retiming);
-            plan.algorithm = AlgorithmUsed::Hyperplane;
-            plan.level = ParallelismLevel::Hyperplane;
-            plan.schedule = hp.schedule;
-            plan.hyperplane = hp.hyperplane;
-        }
-    }
-    plan.retimed = plan.retiming.apply(g);
-
-    auto order = fused_body_order(plan.retimed);
-    check(order.has_value(), "plan_fusion: internal error ((0,0)-dependence cycle)");
-    plan.body_order = std::move(*order);
-
-    // Post-conditions: DOALL plans must pass Property 4.2; all plans must be
-    // legally fusible and admit their schedule as a strict schedule vector.
-    check(is_fusion_legal(plan.retimed, plan.body_order),
-          "plan_fusion: internal error (fusion illegal)");
-    if (plan.level == ParallelismLevel::InnerDoall) {
-        check(is_fused_inner_doall(plan.retimed, plan.body_order),
-              "plan_fusion: internal error (inner loop not DOALL)");
-    }
-    check(is_strict_schedule_vector(plan.retimed, plan.schedule),
-          "plan_fusion: internal error (schedule not strict)");
+    TryPlanOptions topts;
+    topts.plan = options;
+    topts.allow_distribution_fallback = false;  // preserve the classic success set
+    auto result = try_plan_fusion(g, topts);
+    check(result.ok(), "plan_fusion: " + result.status().str());
+    FusionPlan plan = std::move(result).value();
+    plan.stages.clear();  // classic API: no ladder trace
     return plan;
 }
 
@@ -99,6 +315,10 @@ std::string FusionPlan::describe(const Mldg& original) const {
     os << '\n';
     if (cyclic_doall_failed_phase) {
         os << "  (Algorithm 4 infeasible at phase " << *cyclic_doall_failed_phase << ")\n";
+    }
+    if (!stages.empty()) {
+        os << "  ladder:\n";
+        for (const auto& s : stages) os << "    " << s.str() << '\n';
     }
     return os.str();
 }

@@ -8,12 +8,29 @@
 //
 // Every legal 2LDG therefore fuses with *some* form of full parallelism; the
 // plan records which, plus the schedule that realizes it.
+//
+// Two entry points:
+//
+//   plan_fusion      -- the classic throwing API (lf::Error on illegal input
+//                       or an internal failure). Unchanged behavior.
+//   try_plan_fusion  -- the hardened, never-throwing API. Walks the same
+//                       algorithms as a *degradation ladder*: when a rung
+//                       fails (solver fault, budget exhausted, postcondition
+//                       broken), the driver records a StageReport and tries
+//                       the next-strongest rung, ending -- for program-model
+//                       legal inputs -- at the loop-distribution fallback,
+//                       which is always legal because it changes nothing:
+//                       the original loops run in program order, each with
+//                       its own DOALL innermost loop. The returned plan (or
+//                       error Status) carries the per-rung trace.
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "ldg/mldg.hpp"
 #include "ldg/retiming.hpp"
+#include "support/status.hpp"
 
 namespace lf {
 
@@ -23,6 +40,11 @@ enum class ParallelismLevel {
     /// Iterations on hyperplanes perpendicular to `schedule` are DOALL:
     /// one barrier per hyperplane (wavefront execution).
     Hyperplane,
+    /// Degradation-ladder floor: no fusion performed. The original loops run
+    /// in program order; each innermost loop is individually DOALL (that is
+    /// what program-model legality means), but fusion's locality/barrier
+    /// benefits are forfeited.
+    Unfused,
 };
 
 enum class AlgorithmUsed {
@@ -33,6 +55,9 @@ enum class AlgorithmUsed {
                        // cycles have enough x-slack (see DESIGN.md,
                        // "Extensions"); still yields DOALL rows
     Hyperplane,        // paper Algorithm 5 (LLOFRA + Lemma 4.3 schedule)
+    DistributionFallback, // robustness fallback: keep the loops distributed
+                          // (unfused but legal); only try_plan_fusion
+                          // produces this
 };
 
 [[nodiscard]] std::string to_string(ParallelismLevel level);
@@ -56,6 +81,10 @@ struct FusionPlan {
     std::vector<int> body_order;
     /// Set when Algorithm 4 was attempted and failed: which phase (1 or 2).
     std::optional<int> cyclic_doall_failed_phase;
+    /// try_plan_fusion's per-rung trace: one entry per ladder rung attempted,
+    /// in order, including the rung that produced this plan (code Ok).
+    /// Empty for plans produced by plan_fusion.
+    std::vector<StageReport> stages;
 
     [[nodiscard]] std::string describe(const Mldg& original) const;
 };
@@ -69,5 +98,26 @@ struct PlanOptions {
 
 /// Plans fusion for a legal 2LDG (throws lf::Error on illegal input).
 [[nodiscard]] FusionPlan plan_fusion(const Mldg& g, const PlanOptions& options = {});
+
+struct TryPlanOptions {
+    PlanOptions plan;
+    /// Budget shared by *all* rungs of the ladder (solver steps + deadline).
+    ResourceLimits limits;
+    /// Allow the terminal loop-distribution rung. It requires program-model
+    /// legality (the unfused program must itself be executable); disable to
+    /// reproduce plan_fusion's success set exactly.
+    bool allow_distribution_fallback = true;
+};
+
+/// Never-throwing planner with graceful degradation. Tries, in order:
+/// Algorithm 3 (acyclic only) / Algorithm 4, the forced-carry variant,
+/// Algorithm 5, and finally loop distribution (program-model legal inputs
+/// only). Returns the first plan whose postconditions verify; otherwise a
+/// non-Ok Status whose `stages` list why every rung fell through. Statuses:
+/// IllegalInput (input fails validation), Infeasible / Internal /
+/// ResourceExhausted / Overflow (every rung failed; the code is the most
+/// severe rung failure, resource exhaustion dominating).
+[[nodiscard]] Result<FusionPlan> try_plan_fusion(const Mldg& g,
+                                                 const TryPlanOptions& options = {});
 
 }  // namespace lf

@@ -6,6 +6,7 @@
 #include "fusion/llofra.hpp"
 #include "ldg/legality.hpp"
 #include "support/diagnostics.hpp"
+#include "support/faultpoint.hpp"
 #include "support/math_util.hpp"
 
 namespace lf {
@@ -32,15 +33,32 @@ Vec2 schedule_vector_for(const Mldg& retimed_graph) {
     return Vec2{*s1, 1};
 }
 
-HyperplaneResult hyperplane_fusion(const Mldg& g) {
+Result<HyperplaneResult> try_hyperplane_fusion(const Mldg& g, ResourceGuard* guard) {
+    if (faultpoint::triggered("hyperplane")) {
+        return Status(StatusCode::Internal, "hyperplane_fusion: fault injected");
+    }
     HyperplaneResult out;
-    out.retiming = llofra(g);
+    auto retiming = try_llofra(g, guard);
+    if (!retiming.ok()) return retiming.status();
+    out.retiming = std::move(retiming).value();
     const Mldg retimed = out.retiming.apply(g);
-    out.schedule = schedule_vector_for(retimed);
+    try {
+        out.schedule = schedule_vector_for(retimed);
+    } catch (const Error& e) {
+        return Status(StatusCode::Internal, e.what());
+    }
     out.hyperplane = Vec2{out.schedule.y, -out.schedule.x};
-    check(is_strict_schedule_vector(retimed, out.schedule),
-          "hyperplane_fusion: internal error (computed schedule is not strict)");
+    if (!is_strict_schedule_vector(retimed, out.schedule)) {
+        return Status(StatusCode::Internal,
+                      "hyperplane_fusion: internal error (computed schedule is not strict)");
+    }
     return out;
+}
+
+HyperplaneResult hyperplane_fusion(const Mldg& g) {
+    auto result = try_hyperplane_fusion(g);
+    check(result.ok(), result.status().message());
+    return std::move(result).value();
 }
 
 }  // namespace lf

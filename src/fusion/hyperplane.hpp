@@ -10,6 +10,7 @@
 
 #include "ldg/mldg.hpp"
 #include "ldg/retiming.hpp"
+#include "support/status.hpp"
 
 namespace lf {
 
@@ -24,6 +25,13 @@ struct HyperplaneResult {
 /// Requires `g` legal (throws lf::Error otherwise); always succeeds
 /// (Theorem 4.4: legal graphs have every cycle weight > (0,0)).
 [[nodiscard]] HyperplaneResult hyperplane_fusion(const Mldg& g);
+
+/// Never-throwing variant. Non-Ok: IllegalInput (not schedulable),
+/// ResourceExhausted / Overflow (solve cut short), Internal (fault point
+/// "hyperplane" armed, or the computed schedule fails the strictness
+/// postcondition).
+[[nodiscard]] Result<HyperplaneResult> try_hyperplane_fusion(const Mldg& g,
+                                                             ResourceGuard* guard = nullptr);
 
 /// Lemma 4.3 in isolation: given a graph whose nonzero dependence vectors are
 /// all >= (0,0), produce a strict schedule vector. Exposed for testing and

@@ -3,14 +3,25 @@
 #include "graph/constraint_system.hpp"
 #include "ldg/legality.hpp"
 #include "support/diagnostics.hpp"
+#include "support/faultpoint.hpp"
 
 namespace lf {
 
-Retiming llofra(const Mldg& g) {
+Result<Retiming> try_llofra(const Mldg& g, ResourceGuard* guard) {
+    if (faultpoint::triggered("llofra")) {
+        return Status(StatusCode::Internal, "llofra: fault injected");
+    }
     {
-        const LegalityReport rep = check_schedulable(g);
-        check(rep.legal, "llofra: input MLDG is not schedulable: " +
-                             (rep.violations.empty() ? std::string("?") : rep.violations.front()));
+        const LegalityReport rep = check_schedulable(g, guard);
+        if (rep.status != StatusCode::Ok) {
+            return Status(rep.status, "llofra: schedulability check aborted");
+        }
+        if (!rep.legal) {
+            return Status(StatusCode::IllegalInput,
+                          "llofra: input MLDG is not schedulable: " +
+                              (rep.violations.empty() ? std::string("?")
+                                                      : rep.violations.front()));
+        }
     }
     DifferenceConstraintSystem<Vec2> sys;
     for (int i = 0; i < g.num_nodes(); ++i) sys.add_variable(g.node(i).name);
@@ -18,11 +29,23 @@ Retiming llofra(const Mldg& g) {
         // Require delta_r(e) >= (0,0), i.e. r(to) - r(from) <= delta(e).
         sys.add_constraint(e.from, e.to, e.delta());
     }
-    const auto solution = sys.solve();
+    const auto solution = sys.solve(guard);
+    if (solution.status != StatusCode::Ok) {
+        return Status(solution.status, "llofra: solve aborted");
+    }
     // Theorem 3.2: feasible because every cycle weighs > (0,0).
-    check(solution.feasible, "llofra: internal error (constraint system infeasible on a "
-                             "schedulable MLDG)");
+    if (!solution.feasible) {
+        return Status(StatusCode::Internal,
+                      "llofra: internal error (constraint system infeasible on a "
+                      "schedulable MLDG)");
+    }
     return Retiming(solution.values);
+}
+
+Retiming llofra(const Mldg& g) {
+    auto result = try_llofra(g);
+    check(result.ok(), result.status().message());
+    return std::move(result).value();
 }
 
 }  // namespace lf

@@ -9,11 +9,17 @@
 
 #include "ldg/mldg.hpp"
 #include "ldg/retiming.hpp"
+#include "support/status.hpp"
 
 namespace lf {
 
 /// Computes the legal-fusion retiming. Throws lf::Error if `g` is not
 /// schedulable (the only way the constraint system can be infeasible).
 [[nodiscard]] Retiming llofra(const Mldg& g);
+
+/// Never-throwing variant. Non-Ok: IllegalInput (not schedulable),
+/// ResourceExhausted / Overflow (solve cut short), Internal (fault point
+/// "llofra" armed, or Theorem 3.2's feasibility guarantee failed).
+[[nodiscard]] Result<Retiming> try_llofra(const Mldg& g, ResourceGuard* guard = nullptr);
 
 }  // namespace lf

@@ -9,12 +9,21 @@
 //   * Algs. 2/3 call it on 2-D constraint graphs, Alg. 4 on two 1-D ones.
 //
 // Complexity O(|V| * |E|), matching the paper's polynomial-time claim.
+//
+// Hardening: relaxation is metered against an optional ResourceGuard (one
+// step per edge-relaxation attempt; the solver returns ResourceExhausted
+// instead of finishing when the budget runs out), weight addition is
+// overflow-checked (Overflow instead of UB), and the "solver.bellman_ford"
+// fault point aborts the solve with Internal on demand. Callers that pass no
+// guard and feed in-range weights see exactly the classical behavior.
 
 #include <cstddef>
 #include <vector>
 
 #include "graph/weight_traits.hpp"
 #include "support/diagnostics.hpp"
+#include "support/faultpoint.hpp"
+#include "support/status.hpp"
 
 namespace lf {
 
@@ -38,6 +47,10 @@ struct ShortestPaths {
     /// When a negative cycle exists: the edge indices of one such cycle, in
     /// order. Empty otherwise.
     std::vector<int> negative_cycle;
+    /// Ok when the solve ran to completion (negative-cycle outcomes are
+    /// normal results); ResourceExhausted / Overflow / Internal when it was
+    /// cut short -- dist/pred_edge are then partial and must not be used.
+    StatusCode status = StatusCode::Ok;
 };
 
 namespace detail {
@@ -82,11 +95,16 @@ std::vector<int> extract_cycle(const std::vector<WeightedEdge<W>>& edges,
 /// zero-weight edges to every other vertex) without materializing v0.
 template <typename W>
 ShortestPaths<W> bellman_ford_all_sources(int num_nodes,
-                                          const std::vector<WeightedEdge<W>>& edges) {
+                                          const std::vector<WeightedEdge<W>>& edges,
+                                          ResourceGuard* guard = nullptr) {
     using T = WeightTraits<W>;
     ShortestPaths<W> r;
     r.dist.assign(static_cast<std::size_t>(num_nodes), T::zero());
     r.pred_edge.assign(static_cast<std::size_t>(num_nodes), -1);
+    if (faultpoint::triggered("solver.bellman_ford")) {
+        r.status = StatusCode::Internal;
+        return r;
+    }
 
     for (int pass = 0; pass < num_nodes; ++pass) {
         bool changed = false;
@@ -94,7 +112,15 @@ ShortestPaths<W> bellman_ford_all_sources(int num_nodes,
             const auto& e = edges[ei];
             check(e.from >= 0 && e.from < num_nodes && e.to >= 0 && e.to < num_nodes,
                   "bellman_ford: edge endpoint out of range");
-            const W cand = r.dist[static_cast<std::size_t>(e.from)] + e.weight;
+            if (guard && !guard->consume()) {
+                r.status = StatusCode::ResourceExhausted;
+                return r;
+            }
+            W cand;
+            if (!T::checked_add(r.dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
+                r.status = StatusCode::Overflow;
+                return r;
+            }
             if (cand < r.dist[static_cast<std::size_t>(e.to)]) {
                 r.dist[static_cast<std::size_t>(e.to)] = cand;
                 r.pred_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);
@@ -106,7 +132,11 @@ ShortestPaths<W> bellman_ford_all_sources(int num_nodes,
     // An n-th pass that still relaxes implies a negative cycle.
     for (std::size_t ei = 0; ei < edges.size(); ++ei) {
         const auto& e = edges[ei];
-        const W cand = r.dist[static_cast<std::size_t>(e.from)] + e.weight;
+        W cand;
+        if (!T::checked_add(r.dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
+            r.status = StatusCode::Overflow;
+            return r;
+        }
         if (cand < r.dist[static_cast<std::size_t>(e.to)]) {
             r.has_negative_cycle = true;
             r.pred_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);
@@ -121,20 +151,32 @@ ShortestPaths<W> bellman_ford_all_sources(int num_nodes,
 /// vertices keep the domain's infinity).
 template <typename W>
 ShortestPaths<W> bellman_ford(int num_nodes, const std::vector<WeightedEdge<W>>& edges,
-                              int source) {
+                              int source, ResourceGuard* guard = nullptr) {
     using T = WeightTraits<W>;
     check(source >= 0 && source < num_nodes, "bellman_ford: bad source");
     ShortestPaths<W> r;
     r.dist.assign(static_cast<std::size_t>(num_nodes), T::infinity());
     r.pred_edge.assign(static_cast<std::size_t>(num_nodes), -1);
     r.dist[static_cast<std::size_t>(source)] = T::zero();
+    if (faultpoint::triggered("solver.bellman_ford")) {
+        r.status = StatusCode::Internal;
+        return r;
+    }
 
     for (int pass = 0; pass < num_nodes; ++pass) {
         bool changed = false;
         for (std::size_t ei = 0; ei < edges.size(); ++ei) {
             const auto& e = edges[ei];
             if (T::is_infinite(r.dist[static_cast<std::size_t>(e.from)])) continue;
-            const W cand = r.dist[static_cast<std::size_t>(e.from)] + e.weight;
+            if (guard && !guard->consume()) {
+                r.status = StatusCode::ResourceExhausted;
+                return r;
+            }
+            W cand;
+            if (!T::checked_add(r.dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
+                r.status = StatusCode::Overflow;
+                return r;
+            }
             if (cand < r.dist[static_cast<std::size_t>(e.to)]) {
                 r.dist[static_cast<std::size_t>(e.to)] = cand;
                 r.pred_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);
@@ -146,7 +188,11 @@ ShortestPaths<W> bellman_ford(int num_nodes, const std::vector<WeightedEdge<W>>&
     for (std::size_t ei = 0; ei < edges.size(); ++ei) {
         const auto& e = edges[ei];
         if (T::is_infinite(r.dist[static_cast<std::size_t>(e.from)])) continue;
-        const W cand = r.dist[static_cast<std::size_t>(e.from)] + e.weight;
+        W cand;
+        if (!T::checked_add(r.dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
+            r.status = StatusCode::Overflow;
+            return r;
+        }
         if (cand < r.dist[static_cast<std::size_t>(e.to)]) {
             r.has_negative_cycle = true;
             r.pred_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);

@@ -52,12 +52,24 @@ class DifferenceConstraintSystem {
         std::vector<W> values;
         /// If infeasible: constraint indices forming a negative-weight cycle.
         std::vector<int> conflict;
+        /// Ok when the solve completed (feasible/infeasible are then
+        /// meaningful normal outcomes); ResourceExhausted / Overflow /
+        /// Internal when it was cut short (feasible is then false but the
+        /// system's true feasibility is undetermined).
+        StatusCode status = StatusCode::Ok;
     };
 
-    /// Solves in O(|V| * |E|) via Bellman-Ford from the virtual source.
-    [[nodiscard]] Solution solve() const {
+    /// Solves in O(|V| * |E|) via Bellman-Ford from the virtual source. The
+    /// optional guard bounds the relaxation work (ResourceExhausted instead
+    /// of running the full O(|V| * |E|) passes).
+    [[nodiscard]] Solution solve(ResourceGuard* guard = nullptr) const {
         Solution s;
-        auto sp = bellman_ford_all_sources<W>(num_variables(), edges_);
+        auto sp = bellman_ford_all_sources<W>(num_variables(), edges_, guard);
+        if (sp.status != StatusCode::Ok) {
+            s.feasible = false;
+            s.status = sp.status;
+            return s;
+        }
         if (sp.has_negative_cycle) {
             s.feasible = false;
             s.conflict = std::move(sp.negative_cycle);

@@ -1,6 +1,7 @@
 #include "graph/constraint_system_nd.hpp"
 
 #include "support/diagnostics.hpp"
+#include "support/faultpoint.hpp"
 
 namespace lf {
 
@@ -16,15 +17,28 @@ void NdDifferenceConstraintSystem::add_constraint(int i, int j, VecN bound) {
     constraints_.push_back(Constraint{i, j, std::move(bound)});
 }
 
-NdDifferenceConstraintSystem::Solution NdDifferenceConstraintSystem::solve() const {
+NdDifferenceConstraintSystem::Solution NdDifferenceConstraintSystem::solve(
+    ResourceGuard* guard) const {
     Solution s;
+    if (faultpoint::triggered("solver.constraints_nd")) {
+        s.status = StatusCode::Internal;
+        return s;
+    }
     const int n = num_variables();
     std::vector<VecN> dist(static_cast<std::size_t>(n), VecN::zeros(dim_));
 
     for (int pass = 0; pass < n; ++pass) {
         bool changed = false;
         for (const Constraint& c : constraints_) {
-            const VecN cand = dist[static_cast<std::size_t>(c.from)] + c.bound;
+            if (guard && !guard->consume()) {
+                s.status = StatusCode::ResourceExhausted;
+                return s;
+            }
+            VecN cand;
+            if (!checked_add(dist[static_cast<std::size_t>(c.from)], c.bound, cand)) {
+                s.status = StatusCode::Overflow;
+                return s;
+            }
             if (cand < dist[static_cast<std::size_t>(c.to)]) {
                 dist[static_cast<std::size_t>(c.to)] = cand;
                 changed = true;
@@ -37,7 +51,12 @@ NdDifferenceConstraintSystem::Solution NdDifferenceConstraintSystem::solve() con
         }
     }
     for (const Constraint& c : constraints_) {
-        if (dist[static_cast<std::size_t>(c.from)] + c.bound < dist[static_cast<std::size_t>(c.to)]) {
+        VecN cand;
+        if (!checked_add(dist[static_cast<std::size_t>(c.from)], c.bound, cand)) {
+            s.status = StatusCode::Overflow;
+            return s;
+        }
+        if (cand < dist[static_cast<std::size_t>(c.to)]) {
             s.feasible = false;  // negative lexicographic cycle
             return s;
         }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "support/status.hpp"
 #include "support/vecn.hpp"
 
 namespace lf {
@@ -31,10 +32,14 @@ class NdDifferenceConstraintSystem {
     struct Solution {
         bool feasible = false;
         std::vector<VecN> values;
+        /// Ok when the solve completed; ResourceExhausted / Overflow /
+        /// Internal when aborted (feasibility then undetermined).
+        StatusCode status = StatusCode::Ok;
     };
 
-    /// O(|V| * |E| * n) Bellman-Ford from a virtual all-zero source.
-    [[nodiscard]] Solution solve() const;
+    /// O(|V| * |E| * n) Bellman-Ford from a virtual all-zero source, with
+    /// the same guard/overflow/fault hardening as the 1-D/2-D solvers.
+    [[nodiscard]] Solution solve(ResourceGuard* guard = nullptr) const;
 
   private:
     struct Constraint {

@@ -4,6 +4,10 @@
 // differential cross-check of graph/bellman_ford.hpp. Same O(|V| * |E|)
 // worst case; negative cycles are detected by counting relaxations per
 // vertex (a vertex relaxed |V| times sits on or behind a negative cycle).
+//
+// Carries the same hardening as bellman_ford.hpp: ResourceGuard metering
+// (one step per edge scan), overflow-checked relaxation, and the
+// "solver.spfa" fault point.
 
 #include <deque>
 #include <vector>
@@ -16,15 +20,23 @@ template <typename W>
 struct SpfaResult {
     std::vector<W> dist;
     bool has_negative_cycle = false;
+    /// Ok when the solve completed; ResourceExhausted / Overflow / Internal
+    /// when aborted (dist is then partial).
+    StatusCode status = StatusCode::Ok;
 };
 
 /// Shortest distances with every vertex a zero-distance source (the virtual
 /// source construction of the paper's constraint graphs).
 template <typename W>
-SpfaResult<W> spfa_all_sources(int num_nodes, const std::vector<WeightedEdge<W>>& edges) {
+SpfaResult<W> spfa_all_sources(int num_nodes, const std::vector<WeightedEdge<W>>& edges,
+                               ResourceGuard* guard = nullptr) {
     using T = WeightTraits<W>;
     SpfaResult<W> r;
     r.dist.assign(static_cast<std::size_t>(num_nodes), T::zero());
+    if (faultpoint::triggered("solver.spfa")) {
+        r.status = StatusCode::Internal;
+        return r;
+    }
 
     // Out-adjacency over edge indices.
     std::vector<std::vector<int>> out(static_cast<std::size_t>(num_nodes));
@@ -43,7 +55,15 @@ SpfaResult<W> spfa_all_sources(int num_nodes, const std::vector<WeightedEdge<W>>
         queued[static_cast<std::size_t>(u)] = false;
         for (const int ei : out[static_cast<std::size_t>(u)]) {
             const auto& e = edges[static_cast<std::size_t>(ei)];
-            const W cand = r.dist[static_cast<std::size_t>(u)] + e.weight;
+            if (guard && !guard->consume()) {
+                r.status = StatusCode::ResourceExhausted;
+                return r;
+            }
+            W cand;
+            if (!T::checked_add(r.dist[static_cast<std::size_t>(u)], e.weight, cand)) {
+                r.status = StatusCode::Overflow;
+                return r;
+            }
             if (cand < r.dist[static_cast<std::size_t>(e.to)]) {
                 r.dist[static_cast<std::size_t>(e.to)] = cand;
                 if (++relaxations[static_cast<std::size_t>(e.to)] >= num_nodes) {

@@ -7,6 +7,10 @@
 // over verbatim; we express that by making the solver generic over a weight
 // domain and instantiating it for both int64 (the 1-D systems of Alg. 4's
 // phases) and Vec2 (the 2-D systems of Algs. 2/3).
+//
+// Each domain also supplies overflow-checked addition. The solvers relax via
+// checked_add and report StatusCode::Overflow instead of executing signed
+// overflow (UB) when adversarial weights drive distances past int64.
 
 #include <cstdint>
 
@@ -22,6 +26,10 @@ struct WeightTraits<std::int64_t> {
     static constexpr std::int64_t zero() { return 0; }
     static constexpr std::int64_t infinity() { return std::int64_t{1} << 60; }
     static constexpr bool is_infinite(std::int64_t w) { return w >= (std::int64_t{1} << 59); }
+    /// Overflow-checked addition: false (out unspecified) on overflow.
+    static bool checked_add(std::int64_t a, std::int64_t b, std::int64_t& out) {
+        return !__builtin_add_overflow(a, b, &out);
+    }
 };
 
 template <>
@@ -29,6 +37,9 @@ struct WeightTraits<Vec2> {
     static constexpr Vec2 zero() { return {0, 0}; }
     static constexpr Vec2 infinity() { return kVecInfinity; }
     static constexpr bool is_infinite(const Vec2& w) { return lf::is_infinite(w); }
+    static bool checked_add(const Vec2& a, const Vec2& b, Vec2& out) {
+        return lf::checked_add(a, b, out);
+    }
 };
 
 }  // namespace lf

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <sstream>
 
 #include "graph/bellman_ford.hpp"
@@ -28,30 +29,77 @@ std::string describe_cycle(const Mldg& g, const std::vector<std::pair<int, int>>
     return os.str();
 }
 
+/// Multiplies with saturation instead of UB; the scaled weights feed a solver
+/// whose additions are themselves overflow-checked, so saturation here can
+/// only turn into an explicit Overflow status, never a wrong verdict.
+std::int64_t sat_mul_i64(std::int64_t a, std::int64_t b) {
+    std::int64_t out = 0;
+    if (!__builtin_mul_overflow(a, b, &out)) return out;
+    const bool negative = (a < 0) != (b < 0);
+    return negative ? std::numeric_limits<std::int64_t>::min()
+                    : std::numeric_limits<std::int64_t>::max();
+}
+
 /// When some cycle of `edges` (1-D weights) has total weight <= 0, returns
 /// its edge-index witness. Standard scaling trick: replace w by w*K - 1 with
 /// K > number of edges; a cycle of length L <= |E| < K then has negative
-/// scaled weight iff its original weight is <= 0.
+/// scaled weight iff its original weight is <= 0. Sets `status` when the
+/// underlying solve aborts (witness is then meaningless).
 std::optional<std::vector<int>> cycle_weight_leq_zero(
-    int num_nodes, const std::vector<WeightedEdge<std::int64_t>>& edges) {
+    int num_nodes, const std::vector<WeightedEdge<std::int64_t>>& edges,
+    ResourceGuard* guard, StatusCode& status) {
     if (edges.empty()) return std::nullopt;
     const std::int64_t K = static_cast<std::int64_t>(edges.size()) + 1;
     std::vector<WeightedEdge<std::int64_t>> scaled;
     scaled.reserve(edges.size());
-    for (const auto& e : edges) scaled.push_back({e.from, e.to, e.weight * K - 1});
-    auto sp = bellman_ford_all_sources<std::int64_t>(num_nodes, scaled);
+    for (const auto& e : edges) {
+        const std::int64_t wk = sat_mul_i64(e.weight, K);
+        scaled.push_back(
+            {e.from, e.to,
+             wk == std::numeric_limits<std::int64_t>::min() ? wk : wk - 1});
+    }
+    auto sp = bellman_ford_all_sources<std::int64_t>(num_nodes, scaled, guard);
+    if (sp.status != StatusCode::Ok) {
+        status = sp.status;
+        return std::nullopt;
+    }
     if (!sp.has_negative_cycle) return std::nullopt;
     return std::move(sp.negative_cycle);
 }
 
-/// Witness of a cycle with negative x-weight (over deltas), if any.
-std::optional<std::vector<int>> negative_x_cycle(const Mldg& g) {
+/// Witness of a cycle with negative x-weight (over deltas), if any. Sets
+/// `status` when the underlying solve aborts.
+std::optional<std::vector<int>> negative_x_cycle(const Mldg& g, ResourceGuard* guard,
+                                                 StatusCode& status) {
     std::vector<WeightedEdge<std::int64_t>> edges;
     edges.reserve(static_cast<std::size_t>(g.num_edges()));
     for (const auto& e : g.edges()) edges.push_back({e.from, e.to, e.delta().x});
-    auto sp = bellman_ford_all_sources<std::int64_t>(g.num_nodes(), edges);
+    auto sp = bellman_ford_all_sources<std::int64_t>(g.num_nodes(), edges, guard);
+    if (sp.status != StatusCode::Ok) {
+        status = sp.status;
+        return std::nullopt;
+    }
     if (!sp.has_negative_cycle) return std::nullopt;
     return std::move(sp.negative_cycle);
+}
+
+/// (L0)/(S0): every dependence component within kMaxDependenceMagnitude.
+/// Written without std::abs so INT64_MIN (whose absolute value is not
+/// representable) is rejected rather than UB.
+bool check_magnitudes(const Mldg& g, std::vector<std::string>& violations) {
+    bool ok = true;
+    for (const auto& e : g.edges()) {
+        for (const Vec2& d : e.vectors) {
+            const bool in_range = d.x <= kMaxDependenceMagnitude && d.x >= -kMaxDependenceMagnitude &&
+                                  d.y <= kMaxDependenceMagnitude && d.y >= -kMaxDependenceMagnitude;
+            if (!in_range) {
+                violations.push_back("dependence vector component exceeds 2^39 in magnitude: " +
+                                     edge_desc(g, e, d));
+                ok = false;
+            }
+        }
+    }
+    return ok;
 }
 
 }  // namespace
@@ -62,6 +110,11 @@ LegalityReport check_mldg_legality(const Mldg& g) {
         report.legal = false;
         report.violations.push_back(msg);
     };
+
+    if (!check_magnitudes(g, report.violations)) {
+        report.legal = false;
+        return report;
+    }
 
     for (int eid = 0; eid < g.num_edges(); ++eid) {
         const auto& e = g.edge(eid);
@@ -90,12 +143,17 @@ LegalityReport check_mldg_legality(const Mldg& g) {
 
 bool is_legal_mldg(const Mldg& g) { return check_mldg_legality(g).legal; }
 
-LegalityReport check_schedulable(const Mldg& g) {
+LegalityReport check_schedulable(const Mldg& g, ResourceGuard* guard) {
     LegalityReport report;
     auto fail = [&report](const std::string& msg) {
         report.legal = false;
         report.violations.push_back(msg);
     };
+
+    if (!check_magnitudes(g, report.violations)) {
+        report.legal = false;
+        return report;
+    }
 
     for (const auto& e : g.edges()) {
         for (const Vec2& d : e.vectors) {
@@ -108,10 +166,19 @@ LegalityReport check_schedulable(const Mldg& g) {
 
     // (S2) split by first coordinate. Since every delta.x >= 0, a cycle with
     // x-weight zero consists solely of zero-x edges.
+    StatusCode solver_status = StatusCode::Ok;
     {
         std::vector<std::pair<int, int>> edge_nodes;
         for (const auto& e : g.edges()) edge_nodes.emplace_back(e.from, e.to);
-        if (const auto witness = negative_x_cycle(g)) {
+        const auto witness = negative_x_cycle(g, guard, solver_status);
+        if (solver_status != StatusCode::Ok) {
+            report.status = solver_status;
+            report.legal = false;  // conservative: verdict undetermined
+            report.violations.push_back("schedulability check aborted: " +
+                                        to_string(solver_status));
+            return report;
+        }
+        if (witness) {
             fail("cycle with negative x-weight: " + describe_cycle(g, edge_nodes, *witness));
             return report;
         }
@@ -124,7 +191,14 @@ LegalityReport check_schedulable(const Mldg& g) {
             zero_x_nodes.emplace_back(e.from, e.to);
         }
     }
-    if (const auto witness = cycle_weight_leq_zero(g.num_nodes(), zero_x_edges)) {
+    const auto witness = cycle_weight_leq_zero(g.num_nodes(), zero_x_edges, guard, solver_status);
+    if (solver_status != StatusCode::Ok) {
+        report.status = solver_status;
+        report.legal = false;
+        report.violations.push_back("schedulability check aborted: " + to_string(solver_status));
+        return report;
+    }
+    if (witness) {
         fail("cycle with weight <= (0,0), no execution order exists (Theorem 4.4 "
              "hypothesis violated): " +
              describe_cycle(g, zero_x_nodes, *witness));

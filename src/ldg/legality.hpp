@@ -25,29 +25,45 @@
 // subgraph is acyclic, so its topological order serializes same-point
 // dependences correctly.
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "ldg/mldg.hpp"
+#include "support/status.hpp"
 
 namespace lf {
+
+/// Largest |component| a dependence vector may carry. Both legality tiers
+/// reject vectors beyond this bound up front, which keeps every downstream
+/// sum (retiming offsets, constraint bounds, cycle weights scaled by |E|+1)
+/// comfortably inside int64 for any graph that fits in memory. 2^39 leaves
+/// 2^24 of headroom for the scaling factor before the checked adders would
+/// have to saturate.
+inline constexpr std::int64_t kMaxDependenceMagnitude = std::int64_t{1} << 39;
 
 struct LegalityReport {
     bool legal = true;
     std::vector<std::string> violations;
+    /// Ok when the check ran to completion (legal/violations are then the
+    /// verdict). ResourceExhausted / Overflow / Internal when a solver-backed
+    /// check was aborted; `legal` is then conservatively false.
+    StatusCode status = StatusCode::Ok;
 
     explicit operator bool() const { return legal; }
 };
 
-/// Program-model legality: checks (L1)-(L3).
+/// Program-model legality: checks (L1)-(L3). Solver-free; always completes.
 [[nodiscard]] LegalityReport check_mldg_legality(const Mldg& g);
 
 /// True iff `g` satisfies (L1)-(L3).
 [[nodiscard]] bool is_legal_mldg(const Mldg& g);
 
 /// Schedulability: checks (S1)-(S2). Program-model legality implies this.
-[[nodiscard]] LegalityReport check_schedulable(const Mldg& g);
+/// The optional guard bounds the Bellman-Ford cycle checks; on exhaustion the
+/// report carries status != Ok and legal == false (conservative).
+[[nodiscard]] LegalityReport check_schedulable(const Mldg& g, ResourceGuard* guard = nullptr);
 
 [[nodiscard]] bool is_schedulable(const Mldg& g);
 

@@ -16,8 +16,8 @@ Mldg Retiming::apply(const Mldg& g) const {
     for (const auto& e : g.edges()) {
         std::vector<Vec2> shifted;
         shifted.reserve(e.vectors.size());
-        const Vec2 shift = of(e.from) - of(e.to);
-        for (const Vec2& v : e.vectors) shifted.push_back(v + shift);
+        const Vec2 shift = sat_sub(of(e.from), of(e.to));
+        for (const Vec2& v : e.vectors) shifted.push_back(sat_add(v, shift));
         out.add_edge(e.from, e.to, std::move(shifted));
     }
     return out;

@@ -26,8 +26,10 @@ class Retiming {
     [[nodiscard]] const std::vector<Vec2>& values() const { return r_; }
 
     /// Retimed weight of an edge:  delta_r(e) = delta(e) + r(from) - r(to).
+    /// Saturating: out-of-range inputs clamp to the int64 extremes instead of
+    /// wrapping (callers that pre-validate magnitudes never saturate).
     [[nodiscard]] Vec2 retimed(const DependenceEdge& e, const Vec2& v) const {
-        return v + of(e.from) - of(e.to);
+        return sat_sub(sat_add(v, of(e.from)), of(e.to));
     }
     [[nodiscard]] Vec2 retimed_delta(const DependenceEdge& e) const {
         return retimed(e, e.delta());

@@ -1,0 +1,121 @@
+#include "support/faultpoint.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace lf::faultpoint {
+
+namespace {
+
+/// Every fault point compiled into the library. Keep in sync with the call
+/// sites (grep for faultpoint::triggered) and docs/robustness.md.
+constexpr const char* kCompiledIn[] = {
+    "acyclic_doall",         // Algorithm 3 rung of the ladder
+    "cyclic_doall.phase1",   // Algorithm 4, first retiming component
+    "cyclic_doall.phase2",   // Algorithm 4, second retiming component
+    "forced_carry",          // Algorithm 4 all-hard variant rung
+    "llofra",                // Algorithm 2 core
+    "hyperplane",            // Algorithm 5 rung
+    "distribution",          // unfused loop-distribution fallback rung
+    "solver.bellman_ford",   // graph/bellman_ford.hpp (both entry points)
+    "solver.spfa",           // graph/spfa.hpp
+    "solver.constraints_nd", // graph/constraint_system_nd.cpp
+    "codegen.fuse",          // transform::fuse_program
+    "codegen.emit",          // transform::emit_transformed
+};
+
+struct PointState {
+    bool armed = false;
+    std::uint64_t hits = 0;
+};
+
+struct Registry {
+    std::mutex mutex;
+    std::unordered_map<std::string, PointState> points;
+
+    Registry() {
+        if (const char* spec = std::getenv("LF_FAULT")) arm_locked(spec);
+    }
+
+    void arm_locked(const std::string& spec) {
+        std::size_t begin = 0;
+        while (begin <= spec.size()) {
+            std::size_t end = spec.find(',', begin);
+            if (end == std::string::npos) end = spec.size();
+            std::string name = spec.substr(begin, end - begin);
+            // Trim surrounding whitespace.
+            const auto first = name.find_first_not_of(" \t");
+            if (first != std::string::npos) {
+                const auto last = name.find_last_not_of(" \t");
+                name = name.substr(first, last - first + 1);
+                points[name].armed = true;
+            }
+            begin = end + 1;
+        }
+    }
+};
+
+Registry& registry() {
+    static Registry r;  // LF_FAULT is read exactly once, on first use
+    return r;
+}
+
+}  // namespace
+
+bool triggered(const char* name) {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.points.find(name);
+    if (it == r.points.end() || !it->second.armed) return false;
+    ++it->second.hits;
+    return true;
+}
+
+void arm(const std::string& name) {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.points[name].armed = true;
+}
+
+void disarm(const std::string& name) {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.points.find(name);
+    if (it != r.points.end()) it->second.armed = false;
+}
+
+void reset() {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.points.clear();
+}
+
+bool is_armed(const std::string& name) {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.points.find(name);
+    return it != r.points.end() && it->second.armed;
+}
+
+std::uint64_t hits(const std::string& name) {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.points.find(name);
+    return it == r.points.end() ? 0 : it->second.hits;
+}
+
+void arm_from_spec(const std::string& spec) {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.arm_locked(spec);
+}
+
+std::vector<std::string> known_points() {
+    std::vector<std::string> names(std::begin(kCompiledIn), std::end(kCompiledIn));
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+}  // namespace lf::faultpoint

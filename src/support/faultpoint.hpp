@@ -1,0 +1,56 @@
+#pragma once
+// Named, registry-controlled fault-injection points.
+//
+// Every failure path in the fusion pipeline is guarded by a fault point so
+// it can be exercised on demand -- a degradation ladder whose rungs cannot
+// be made to break is untestable. A fault point is a named site in the code:
+//
+//     if (faultpoint::triggered("cyclic_doall.phase2")) { ...fail cleanly... }
+//
+// Arming:
+//   * programmatically: faultpoint::arm("cyclic_doall.phase2") (tests);
+//   * via the environment: LF_FAULT=cyclic_doall.phase2,solver.spfa
+//     (comma-separated names, read once at first use).
+//
+// Semantics at the site depend on what failure the point simulates:
+// algorithm-phase points (cyclic_doall.phase1/2, forced_carry) report a
+// *normal* infeasible outcome; solver points (solver.*) abort the solve
+// with StatusCode::Internal; codegen points throw lf::Error. Each firing is
+// counted, so tests can assert a point was actually reached.
+//
+// The registry is mutex-protected (tests and batch drivers may probe from
+// several threads); fault checks sit at phase granularity, never inside
+// per-iteration loops, so the lock is not on any hot path.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lf::faultpoint {
+
+/// Fires the fault point `name`: returns true (and records a hit) when the
+/// point is armed. The call site must then fail through its clean path.
+[[nodiscard]] bool triggered(const char* name);
+
+void arm(const std::string& name);
+void disarm(const std::string& name);
+
+/// Disarms every point (including LF_FAULT-armed ones) and zeroes all hit
+/// counters. Tests call this in SetUp/TearDown.
+void reset();
+
+[[nodiscard]] bool is_armed(const std::string& name);
+
+/// Times `triggered(name)` returned true since the last reset().
+[[nodiscard]] std::uint64_t hits(const std::string& name);
+
+/// Parses the LF_FAULT syntax ("name,name,..."; whitespace around names is
+/// ignored, empty entries skipped) and arms each listed point.
+void arm_from_spec(const std::string& spec);
+
+/// The compiled-in fault points, sorted. Arming a name outside this list is
+/// allowed (it simply never fires) but tests iterate this registry to prove
+/// every real site is reachable.
+[[nodiscard]] std::vector<std::string> known_points();
+
+}  // namespace lf::faultpoint

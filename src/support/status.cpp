@@ -1,0 +1,35 @@
+#include "support/status.hpp"
+
+#include <sstream>
+
+namespace lf {
+
+std::string to_string(StatusCode code) {
+    switch (code) {
+        case StatusCode::Ok: return "ok";
+        case StatusCode::IllegalInput: return "illegal-input";
+        case StatusCode::Infeasible: return "infeasible";
+        case StatusCode::ResourceExhausted: return "resource-exhausted";
+        case StatusCode::Overflow: return "overflow";
+        case StatusCode::Internal: return "internal";
+    }
+    return "?";
+}
+
+std::string StageReport::str() const {
+    std::ostringstream os;
+    os << stage << ": " << to_string(code);
+    if (!detail.empty()) os << " (" << detail << ")";
+    if (budget_consumed > 0) os << " [" << budget_consumed << " steps]";
+    return os.str();
+}
+
+std::string Status::str() const {
+    std::ostringstream os;
+    os << to_string(code_);
+    if (!message_.empty()) os << ": " << message_;
+    for (const StageReport& s : stages) os << "\n  " << s.str();
+    return os.str();
+}
+
+}  // namespace lf

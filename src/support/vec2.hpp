@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <limits>
 #include <string>
 
 namespace lf {
@@ -54,6 +55,47 @@ inline constexpr Vec2 kVecInfinity{std::int64_t{1} << 40, std::int64_t{1} << 40}
 
 [[nodiscard]] inline constexpr bool is_infinite(const Vec2& v) {
     return v.x >= (std::int64_t{1} << 39) || v.y >= (std::int64_t{1} << 39);
+}
+
+/// Saturating int64 addition: clamps to the int64 range instead of invoking
+/// signed-overflow UB. Deterministic on every platform.
+[[nodiscard]] inline std::int64_t sat_add_i64(std::int64_t a, std::int64_t b) {
+    std::int64_t out;
+    if (!__builtin_add_overflow(a, b, &out)) return out;
+    return b > 0 ? std::numeric_limits<std::int64_t>::max()
+                 : std::numeric_limits<std::int64_t>::min();
+}
+
+[[nodiscard]] inline std::int64_t sat_sub_i64(std::int64_t a, std::int64_t b) {
+    std::int64_t out;
+    if (!__builtin_sub_overflow(a, b, &out)) return out;
+    return b < 0 ? std::numeric_limits<std::int64_t>::max()
+                 : std::numeric_limits<std::int64_t>::min();
+}
+
+/// Component-wise saturating Vec2 arithmetic, used where adversarial inputs
+/// could otherwise drive dependence-vector sums past int64 (retiming
+/// application). Legality checks reject out-of-range magnitudes up front
+/// (kMaxDependenceMagnitude in ldg/legality.hpp), so saturation is a
+/// defense-in-depth backstop, not a steady-state code path.
+[[nodiscard]] inline Vec2 sat_add(const Vec2& a, const Vec2& b) {
+    return {sat_add_i64(a.x, b.x), sat_add_i64(a.y, b.y)};
+}
+
+[[nodiscard]] inline Vec2 sat_sub(const Vec2& a, const Vec2& b) {
+    return {sat_sub_i64(a.x, b.x), sat_sub_i64(a.y, b.y)};
+}
+
+/// Overflow-checked component-wise addition: false (and `out` saturated)
+/// when either component overflows.
+[[nodiscard]] inline bool checked_add(const Vec2& a, const Vec2& b, Vec2& out) {
+    const bool ox = __builtin_add_overflow(a.x, b.x, &out.x);
+    const bool oy = __builtin_add_overflow(a.y, b.y, &out.y);
+    if (ox || oy) {
+        out = sat_add(a, b);
+        return false;
+    }
+    return true;
 }
 
 }  // namespace lf

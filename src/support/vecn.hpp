@@ -76,4 +76,19 @@ class VecN {
     std::vector<std::int64_t> c_;
 };
 
+/// Overflow-checked component-wise addition: false when any component would
+/// overflow int64 (`out` then holds the wrapped values; callers must treat
+/// the result as poisoned and surface StatusCode::Overflow).
+[[nodiscard]] inline bool checked_add(const VecN& a, const VecN& b, VecN& out) {
+    check(a.dim() == b.dim(), "VecN: dimension mismatch");
+    out = VecN(a.dim());
+    bool overflowed = false;
+    for (int k = 0; k < a.dim(); ++k) {
+        std::int64_t sum = 0;
+        overflowed |= __builtin_add_overflow(a[k], b[k], &sum);
+        out[k] = sum;
+    }
+    return !overflowed;
+}
+
 }  // namespace lf

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/diagnostics.hpp"
+#include "support/faultpoint.hpp"
 
 namespace lf::transform {
 
@@ -180,6 +181,7 @@ std::string emit_wavefront(const FusedProgram& fp, const Domain& dom) {
 }
 
 std::string emit_transformed(const FusedProgram& fp, const Domain& dom) {
+    check(!faultpoint::triggered("codegen.emit"), "emit_transformed: fault injected");
     return fp.level == ParallelismLevel::InnerDoall ? emit_fused_peeled(fp, dom)
                                                     : emit_wavefront(fp, dom);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/diagnostics.hpp"
+#include "support/faultpoint.hpp"
 
 namespace lf::transform {
 
@@ -52,6 +53,10 @@ std::int64_t FusedProgram::main_j_hi(const Domain& dom) const {
 }
 
 FusedProgram fuse_program(const ir::Program& p, const FusionPlan& plan) {
+    check(!faultpoint::triggered("codegen.fuse"), "fuse_program: fault injected");
+    check(plan.level != ParallelismLevel::Unfused,
+          "fuse_program: plan is an unfused distribution fallback; use "
+          "transform::distribute_program on the original program instead");
     check(static_cast<int>(p.loops.size()) == plan.retiming.num_nodes(),
           "fuse_program: plan and program disagree on loop count");
     check(plan.body_order.size() == p.loops.size(), "fuse_program: malformed plan body order");

@@ -1,17 +1,24 @@
 // Fuzz-style robustness: the parsers must never crash on malformed input --
 // every failure surfaces as lf::Error, and valid prefixes never corrupt
 // state. Inputs are generated from the token alphabet so they reach deep
-// into the grammar rather than dying in the lexer.
+// into the grammar rather than dying in the lexer. The planner gets the
+// same treatment: with a random fault point armed or a random step budget,
+// try_plan_fusion must degrade through its ladder without ever throwing.
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <string>
 
+#include "fusion/driver.hpp"
 #include "ir/parser.hpp"
+#include "ldg/legality.hpp"
 #include "ldg/serialization.hpp"
 #include "mdir/parser.hpp"
 #include "support/diagnostics.hpp"
+#include "support/faultpoint.hpp"
 #include "support/rng.hpp"
+#include "workloads/generators.hpp"
 
 namespace lf {
 namespace {
@@ -83,6 +90,63 @@ TEST_P(FuzzTest, RawByteSoupIsAlsoSafe) {
         try {
             (void)ir::parse_program(source);
         } catch (const Error&) {
+        }
+    }
+}
+
+TEST_P(FuzzTest, TryPlanFusionNeverThrowsUnderRandomFaults) {
+    Rng rng(GetParam() * 5003 + 19);
+    const auto points = faultpoint::known_points();
+    ASSERT_FALSE(points.empty());
+    for (int round = 0; round < 15; ++round) {
+        // Generate the graph BEFORE arming: random_schedulable_mldg
+        // rejection-samples via the (fault-instrumented) solvers and would
+        // never terminate with a solver point armed.
+        const Mldg g = workloads::random_schedulable_mldg(rng);
+        faultpoint::reset();
+        faultpoint::arm(points[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(points.size()) - 1))]);
+
+        std::optional<Result<FusionPlan>> result;
+        EXPECT_NO_THROW(result.emplace(try_plan_fusion(g)));
+        ASSERT_TRUE(result.has_value());
+        if (result->ok()) {
+            // Whatever rung survived, the plan it returned must be legal.
+            const FusionPlan& plan = result->value();
+            if (plan.algorithm == AlgorithmUsed::DistributionFallback) {
+                EXPECT_TRUE(is_legal_mldg(plan.retimed));
+            } else {
+                EXPECT_TRUE(is_fusion_legal(plan.retimed, plan.body_order));
+            }
+        } else {
+            EXPECT_NE(result->status().code(), StatusCode::Ok);
+            EXPECT_FALSE(result->status().stages.empty());
+        }
+        faultpoint::reset();
+    }
+}
+
+TEST_P(FuzzTest, TryPlanFusionNeverThrowsUnderRandomBudgets) {
+    Rng rng(GetParam() * 6007 + 23);
+    for (int round = 0; round < 15; ++round) {
+        const Mldg g = workloads::random_schedulable_mldg(rng);
+        TryPlanOptions opts;
+        opts.limits.max_steps = static_cast<std::uint64_t>(rng.uniform(0, 40));
+        opts.allow_distribution_fallback = rng.flip(0.5);
+
+        std::optional<Result<FusionPlan>> result;
+        EXPECT_NO_THROW(result.emplace(try_plan_fusion(g, opts)));
+        ASSERT_TRUE(result.has_value());
+        if (result->ok()) {
+            const FusionPlan& plan = result->value();
+            if (plan.algorithm == AlgorithmUsed::DistributionFallback) {
+                EXPECT_TRUE(is_legal_mldg(plan.retimed));
+            } else {
+                EXPECT_TRUE(is_fusion_legal(plan.retimed, plan.body_order));
+            }
+        } else {
+            EXPECT_NE(result->status().code(), StatusCode::Ok);
+            EXPECT_FALSE(result->status().stages.empty());
         }
     }
 }

@@ -1,0 +1,490 @@
+// The robustness layer end to end: Status/Result taxonomy, ResourceGuard
+// budgets, the fault-point registry, solver hardening (budget + overflow),
+// and try_plan_fusion's degradation ladder -- including the exact rung each
+// injected fault degrades to, and golden equivalence of the terminal
+// loop-distribution fallback.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <climits>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/dependence.hpp"
+#include "exec/engines.hpp"
+#include "exec/equivalence.hpp"
+#include "fusion/ablation.hpp"
+#include "fusion/driver.hpp"
+#include "graph/bellman_ford.hpp"
+#include "graph/constraint_system_nd.hpp"
+#include "graph/spfa.hpp"
+#include "ir/parser.hpp"
+#include "ldg/legality.hpp"
+#include "ldg/retiming.hpp"
+#include "support/faultpoint.hpp"
+#include "support/status.hpp"
+#include "transform/codegen.hpp"
+#include "transform/distribution.hpp"
+#include "transform/fused_program.hpp"
+#include "workloads/gallery.hpp"
+#include "workloads/sources.hpp"
+
+namespace lf {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+  protected:
+    void SetUp() override { faultpoint::reset(); }
+    void TearDown() override { faultpoint::reset(); }
+};
+
+// ---------------------------------------------------------------------------
+// Taxonomy, Status, Result.
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, StatusCodeNamesAreStable) {
+    EXPECT_EQ(to_string(StatusCode::Ok), "ok");
+    EXPECT_EQ(to_string(StatusCode::IllegalInput), "illegal-input");
+    EXPECT_EQ(to_string(StatusCode::Infeasible), "infeasible");
+    EXPECT_EQ(to_string(StatusCode::ResourceExhausted), "resource-exhausted");
+    EXPECT_EQ(to_string(StatusCode::Overflow), "overflow");
+    EXPECT_EQ(to_string(StatusCode::Internal), "internal");
+}
+
+TEST_F(RobustnessTest, StatusDefaultsToOkAndFormatsStages) {
+    Status ok;
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.code(), StatusCode::Ok);
+
+    Status err(StatusCode::Infeasible, "no retiming exists");
+    err.stages.push_back(StageReport{"cyclic-doall", StatusCode::Infeasible,
+                                     "phase 2 infeasible", 17});
+    EXPECT_FALSE(err.ok());
+    const std::string text = err.str();
+    EXPECT_NE(text.find("infeasible"), std::string::npos);
+    EXPECT_NE(text.find("no retiming exists"), std::string::npos);
+    EXPECT_NE(text.find("cyclic-doall"), std::string::npos);
+    EXPECT_NE(text.find("17"), std::string::npos);
+}
+
+TEST_F(RobustnessTest, ResultHoldsValueOrStatus) {
+    Result<int> good(42);
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(good.value(), 42);
+    EXPECT_EQ(good.status().code(), StatusCode::Ok);
+
+    Result<int> bad(Status(StatusCode::Overflow, "weight sum overflowed"));
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::Overflow);
+    EXPECT_THROW((void)bad.value(), Error);  // never-throwing surface: branch on ok()
+}
+
+// ---------------------------------------------------------------------------
+// ResourceGuard semantics.
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, GuardStepBudgetIsExactAndSticky) {
+    ResourceGuard guard(ResourceLimits{5, -1});
+    for (int k = 0; k < 5; ++k) EXPECT_TRUE(guard.consume()) << "step " << k;
+    EXPECT_FALSE(guard.consume());  // sixth step exceeds the budget
+    EXPECT_TRUE(guard.exhausted());
+    EXPECT_FALSE(guard.consume());  // sticky
+}
+
+TEST_F(RobustnessTest, GuardZeroDeadlineExpiresOnFirstStep) {
+    ResourceGuard guard(ResourceLimits{kUnlimitedSteps, 0});
+    EXPECT_FALSE(guard.consume());  // deterministic: the first step checks the clock
+    EXPECT_TRUE(guard.exhausted());
+}
+
+TEST_F(RobustnessTest, DefaultGuardIsUnlimited) {
+    ResourceGuard guard;
+    for (int k = 0; k < 100000; ++k) ASSERT_TRUE(guard.consume());
+    EXPECT_EQ(guard.consumed(), 100000u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-point registry.
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, RegistryArmDisarmHitsRoundTrip) {
+    EXPECT_FALSE(faultpoint::is_armed("llofra"));
+    EXPECT_FALSE(faultpoint::triggered("llofra"));
+    faultpoint::arm("llofra");
+    EXPECT_TRUE(faultpoint::is_armed("llofra"));
+    EXPECT_TRUE(faultpoint::triggered("llofra"));
+    EXPECT_TRUE(faultpoint::triggered("llofra"));
+    EXPECT_EQ(faultpoint::hits("llofra"), 2u);
+    faultpoint::disarm("llofra");
+    EXPECT_FALSE(faultpoint::triggered("llofra"));
+    EXPECT_EQ(faultpoint::hits("llofra"), 2u);  // disarm keeps counters
+    faultpoint::reset();
+    EXPECT_EQ(faultpoint::hits("llofra"), 0u);
+}
+
+TEST_F(RobustnessTest, RegistryParsesLfFaultSpecSyntax) {
+    faultpoint::arm_from_spec(" llofra , cyclic_doall.phase2 ,, solver.spfa ");
+    EXPECT_TRUE(faultpoint::is_armed("llofra"));
+    EXPECT_TRUE(faultpoint::is_armed("cyclic_doall.phase2"));
+    EXPECT_TRUE(faultpoint::is_armed("solver.spfa"));
+    EXPECT_FALSE(faultpoint::is_armed("hyperplane"));
+}
+
+TEST_F(RobustnessTest, RegistryKnowsEveryPipelinePoint) {
+    const auto points = faultpoint::known_points();
+    for (const char* expected :
+         {"acyclic_doall", "cyclic_doall.phase1", "cyclic_doall.phase2", "forced_carry",
+          "llofra", "hyperplane", "distribution", "solver.bellman_ford", "solver.spfa",
+          "solver.constraints_nd", "codegen.fuse", "codegen.emit"}) {
+        EXPECT_NE(std::find(points.begin(), points.end(), expected), points.end())
+            << "missing fault point: " << expected;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline: with no faults and no budget, the ladder reproduces plan_fusion.
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, LadderMatchesClassicPlannerWhenHealthy) {
+    for (const auto& w : workloads::paper_workloads()) {
+        if (!is_schedulable(w.graph)) continue;  // fig14-as-printed
+        const FusionPlan classic = plan_fusion(w.graph);
+        const auto result = try_plan_fusion(w.graph);
+        ASSERT_TRUE(result.ok()) << w.id << ": " << result.status().str();
+        EXPECT_EQ(result->algorithm, classic.algorithm) << w.id;
+        EXPECT_EQ(result->level, classic.level) << w.id;
+        EXPECT_EQ(result->retiming, classic.retiming) << w.id;
+        EXPECT_EQ(result->body_order, classic.body_order) << w.id;
+        EXPECT_FALSE(result->stages.empty());
+        EXPECT_EQ(result->stages.back().code, StatusCode::Ok);
+    }
+}
+
+TEST_F(RobustnessTest, LadderRejectsUnschedulableInput) {
+    const auto result = try_plan_fusion(workloads::fig14_graph_as_printed());
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::IllegalInput);
+    ASSERT_FALSE(result.status().stages.empty());
+    EXPECT_EQ(result.status().stages.front().stage, "validate");
+}
+
+// ---------------------------------------------------------------------------
+// Every fault point is reachable: arm each in turn, run a battery spanning
+// the whole pipeline, and require at least one recorded hit.
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, EveryFaultPointFires) {
+    const auto points = faultpoint::known_points();
+    ASSERT_GE(points.size(), 12u);
+    for (const std::string& point : points) {
+        faultpoint::reset();
+        faultpoint::arm(point);
+
+        // Graph-level planning over all three paper figures plus a
+        // zero-budget run (reaches the distribution rung).
+        for (const Mldg& g :
+             {workloads::fig2_graph(), workloads::fig8_graph(), workloads::fig14_graph()}) {
+            EXPECT_NO_THROW((void)try_plan_fusion(g)) << point;
+        }
+        {
+            TryPlanOptions opts;
+            opts.limits.max_steps = 0;
+            EXPECT_NO_THROW((void)try_plan_fusion(workloads::fig2_graph(), opts)) << point;
+        }
+
+        // Direct solver pokes (SPFA and the n-D system are not on the
+        // planning path).
+        {
+            const std::vector<WeightedEdge<std::int64_t>> edges{{0, 1, 1}, {1, 0, -1}};
+            (void)bellman_ford_all_sources<std::int64_t>(2, edges);
+            (void)bellman_ford<std::int64_t>(2, edges, 0);
+            (void)spfa_all_sources<std::int64_t>(2, edges);
+            NdDifferenceConstraintSystem sys(3);
+            const int a = sys.add_variable("a");
+            const int b = sys.add_variable("b");
+            sys.add_constraint(a, b, VecN({1, 0, 0}));
+            (void)sys.solve();
+        }
+
+        // Program pipeline: parse -> plan -> fuse -> emit. Codegen points
+        // throw lf::Error by design; everything else must stay exception-free.
+        try {
+            const ir::Program p = ir::parse_program(workloads::sources::kFig2);
+            const FusionPlan plan = plan_fusion(analysis::build_mldg(p));
+            const auto fused = transform::fuse_program(p, plan);
+            (void)transform::emit_transformed(fused, Domain{10, 10});
+        } catch (const Error&) {
+            // expected for solver/codegen faults on the throwing surface
+        }
+
+        EXPECT_GE(faultpoint::hits(point), 1u) << "fault point never reached: " << point;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Degradation ladder: exact rung per injected fault.
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, Phase1FaultDegradesToForcedCarryOrHyperplane) {
+    const Mldg g = workloads::fig2_graph();
+    // The expected rung is derived from the library itself, not hard-coded:
+    // the forced-carry variant rescues the plan iff its system is feasible.
+    const bool forced_feasible = ablation::cyclic_doall_all_hard(g).has_value();
+
+    faultpoint::arm("cyclic_doall.phase1");
+    const auto result = try_plan_fusion(g);
+    ASSERT_TRUE(result.ok()) << result.status().str();
+    EXPECT_EQ(result->algorithm, forced_feasible ? AlgorithmUsed::CyclicDoallForced
+                                                 : AlgorithmUsed::Hyperplane);
+    ASSERT_TRUE(result->cyclic_doall_failed_phase.has_value());
+    EXPECT_EQ(*result->cyclic_doall_failed_phase, 1);
+}
+
+TEST_F(RobustnessTest, StackedFaultsDegradeToHyperplane) {
+    faultpoint::arm("cyclic_doall.phase1");
+    faultpoint::arm("forced_carry");
+    const auto result = try_plan_fusion(workloads::fig2_graph());
+    ASSERT_TRUE(result.ok()) << result.status().str();
+    EXPECT_EQ(result->algorithm, AlgorithmUsed::Hyperplane);
+    EXPECT_EQ(result->level, ParallelismLevel::Hyperplane);
+    // The trace names every rung that fell through.
+    std::vector<std::string> names;
+    for (const auto& s : result->stages) names.push_back(s.stage);
+    EXPECT_NE(std::find(names.begin(), names.end(), "cyclic-doall"), names.end());
+    EXPECT_NE(std::find(names.begin(), names.end(), "forced-carry"), names.end());
+    EXPECT_EQ(result->stages.back().stage, "hyperplane");
+    EXPECT_EQ(result->stages.back().code, StatusCode::Ok);
+}
+
+TEST_F(RobustnessTest, AllAlgorithmFaultsDegradeToDistribution) {
+    for (const char* point : {"cyclic_doall.phase1", "forced_carry", "hyperplane"}) {
+        faultpoint::arm(point);
+    }
+    const auto result = try_plan_fusion(workloads::fig2_graph());
+    ASSERT_TRUE(result.ok()) << result.status().str();
+    EXPECT_EQ(result->algorithm, AlgorithmUsed::DistributionFallback);
+    EXPECT_EQ(result->level, ParallelismLevel::Unfused);
+    EXPECT_EQ(result->retiming, Retiming(result->retimed.num_nodes()));  // identity
+    // The unfused plan is the original graph in program order.
+    EXPECT_EQ(result->retimed.num_edges(), workloads::fig2_graph().num_edges());
+}
+
+TEST_F(RobustnessTest, DistributionRungRequiresProgramModelLegality) {
+    // fig14 is schedulable but not program-model legal: with its only viable
+    // algorithm faulted, the ladder must fail rather than hand back an
+    // unexecutable "unfused" program.
+    faultpoint::arm("hyperplane");
+    const auto result = try_plan_fusion(workloads::fig14_graph());
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::Internal);
+    ASSERT_FALSE(result.status().stages.empty());
+    const auto& stages = result.status().stages;
+    const auto dist = std::find_if(stages.begin(), stages.end(), [](const StageReport& s) {
+        return s.stage == "distribution";
+    });
+    ASSERT_NE(dist, stages.end());
+    EXPECT_EQ(dist->code, StatusCode::IllegalInput);
+}
+
+TEST_F(RobustnessTest, FallbackDisabledReproducesClassicFailure) {
+    for (const char* point : {"cyclic_doall.phase1", "forced_carry", "hyperplane"}) {
+        faultpoint::arm(point);
+    }
+    TryPlanOptions opts;
+    opts.allow_distribution_fallback = false;
+    const auto result = try_plan_fusion(workloads::fig2_graph(), opts);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::Internal);
+    EXPECT_FALSE(result.status().stages.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Distribution fallback: golden equivalence.
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, DistributionFallbackPreservesSemantics) {
+    const ir::Program p = ir::parse_program(workloads::sources::kFig2);
+    for (const char* point : {"cyclic_doall.phase1", "forced_carry", "hyperplane"}) {
+        faultpoint::arm(point);
+    }
+    const auto result = try_plan_fusion(analysis::build_mldg(p));
+    ASSERT_TRUE(result.ok()) << result.status().str();
+    ASSERT_EQ(result->algorithm, AlgorithmUsed::DistributionFallback);
+    faultpoint::reset();
+
+    // The rung's meaning: run the program unfused (distributed). That must
+    // be bit-exact against the original.
+    const ir::Program distributed = transform::distribute_program(p);
+    const Domain dom{20, 20};
+    exec::ArrayStore golden(p, dom);
+    exec::ArrayStore subject(p, dom);
+    (void)exec::run_original(p, dom, golden);
+    (void)exec::run_original(distributed, dom, subject);
+    EXPECT_FALSE(exec::first_difference(p, dom, golden, subject).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Resource budgets through the ladder and the solvers.
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, TinyBudgetYieldsResourceExhausted) {
+    TryPlanOptions opts;
+    opts.limits.max_steps = 1;
+    opts.allow_distribution_fallback = false;
+    const auto result = try_plan_fusion(workloads::fig2_graph(), opts);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::ResourceExhausted);
+    EXPECT_FALSE(result.status().stages.empty());
+}
+
+TEST_F(RobustnessTest, TinyBudgetWithFallbackStillPlans) {
+    TryPlanOptions opts;
+    opts.limits.max_steps = 0;
+    const auto result = try_plan_fusion(workloads::fig2_graph(), opts);
+    ASSERT_TRUE(result.ok()) << result.status().str();
+    EXPECT_EQ(result->algorithm, AlgorithmUsed::DistributionFallback);
+    const bool saw_exhausted =
+        std::any_of(result->stages.begin(), result->stages.end(), [](const StageReport& s) {
+            return s.code == StatusCode::ResourceExhausted;
+        });
+    EXPECT_TRUE(saw_exhausted);
+}
+
+TEST_F(RobustnessTest, ExpiredDeadlineYieldsResourceExhausted) {
+    TryPlanOptions opts;
+    opts.limits.max_wall_ms = 0;
+    opts.allow_distribution_fallback = false;
+    const auto result = try_plan_fusion(workloads::fig2_graph(), opts);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::ResourceExhausted);
+}
+
+TEST_F(RobustnessTest, SolversHonorStepBudgetsDirectly) {
+    // A chain long enough that each full solve needs well over 8 relaxation
+    // attempts.
+    std::vector<WeightedEdge<std::int64_t>> edges;
+    for (int v = 0; v + 1 < 16; ++v) edges.push_back({v, v + 1, -1});
+
+    ResourceGuard g1(ResourceLimits{8, -1});
+    EXPECT_EQ(bellman_ford_all_sources<std::int64_t>(16, edges, &g1).status,
+              StatusCode::ResourceExhausted);
+
+    ResourceGuard g2(ResourceLimits{8, -1});
+    EXPECT_EQ(spfa_all_sources<std::int64_t>(16, edges, &g2).status,
+              StatusCode::ResourceExhausted);
+
+    NdDifferenceConstraintSystem sys(2);
+    for (int v = 0; v < 16; ++v) (void)sys.add_variable();
+    for (int v = 0; v + 1 < 16; ++v) sys.add_constraint(v, v + 1, VecN({-1, 0}));
+    ResourceGuard g3(ResourceLimits{8, -1});
+    EXPECT_EQ(sys.solve(&g3).status, StatusCode::ResourceExhausted);
+
+    // With no guard, all three complete normally on the same inputs.
+    EXPECT_EQ(bellman_ford_all_sources<std::int64_t>(16, edges).status, StatusCode::Ok);
+    EXPECT_EQ(spfa_all_sources<std::int64_t>(16, edges).status, StatusCode::Ok);
+    EXPECT_EQ(sys.solve().status, StatusCode::Ok);
+}
+
+// ---------------------------------------------------------------------------
+// Overflow regression: near-INT64_MAX dependence vectors.
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, HugeDependenceVectorsAreRejectedUpFront) {
+    const std::int64_t huge = std::numeric_limits<std::int64_t>::max() - 1;
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    (void)g.add_edge(a, b, {Vec2{huge, 0}});
+    (void)g.add_edge(b, a, {Vec2{1, 0}});
+
+    const LegalityReport model = check_mldg_legality(g);
+    EXPECT_FALSE(model.legal);
+    ASSERT_FALSE(model.violations.empty());
+    EXPECT_NE(model.violations.front().find("magnitude"), std::string::npos);
+
+    EXPECT_FALSE(check_schedulable(g).legal);
+    EXPECT_THROW((void)plan_fusion(g), Error);
+
+    const auto result = try_plan_fusion(g);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::IllegalInput);
+}
+
+TEST_F(RobustnessTest, NegativeHugeVectorsDoNotTripAbsUb) {
+    // INT64_MIN has no representable absolute value; the magnitude check must
+    // reject it without computing one.
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    (void)g.add_edge(a, b, {Vec2{1, std::numeric_limits<std::int64_t>::min()}});
+    EXPECT_FALSE(check_mldg_legality(g).legal);
+    EXPECT_FALSE(check_schedulable(g).legal);
+}
+
+TEST_F(RobustnessTest, RetimingArithmeticSaturatesInsteadOfWrapping) {
+    const std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    (void)g.add_edge(a, b, {Vec2{kMax - 1, 0}});
+
+    Retiming r(2);
+    r.of(a) = Vec2{kMax, 0};
+    r.of(b) = Vec2{0, 0};
+    const Mldg shifted = r.apply(g);  // (kMax-1) + kMax saturates, no UB
+    EXPECT_EQ(shifted.edge(0).vectors.front().x, kMax);
+
+    // The inline form agrees.
+    EXPECT_EQ(r.retimed(g.edge(0), g.edge(0).vectors.front()).x, kMax);
+}
+
+TEST_F(RobustnessTest, SolversReportOverflowInsteadOfWrapping) {
+    // A negative 2-cycle of magnitude 2^62: repeated relaxation must cross
+    // the int64 floor within a few passes and be reported, not wrap.
+    const std::int64_t w = -(std::int64_t{1} << 62);
+    const std::vector<WeightedEdge<std::int64_t>> edges{{0, 1, w}, {1, 0, w}};
+    EXPECT_EQ(bellman_ford_all_sources<std::int64_t>(2, edges).status, StatusCode::Overflow);
+    EXPECT_EQ(spfa_all_sources<std::int64_t>(2, edges).status, StatusCode::Overflow);
+
+    NdDifferenceConstraintSystem sys(2);
+    const int a = sys.add_variable("a");
+    const int b = sys.add_variable("b");
+    sys.add_constraint(a, b, VecN({w, 0}));
+    sys.add_constraint(b, a, VecN({w, 0}));
+    EXPECT_EQ(sys.solve().status, StatusCode::Overflow);
+}
+
+// ---------------------------------------------------------------------------
+// Codegen fault points use the throwing surface.
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, CodegenFaultsThrowCleanErrors) {
+    const ir::Program p = ir::parse_program(workloads::sources::kFig2);
+    const FusionPlan plan = plan_fusion(analysis::build_mldg(p));
+
+    faultpoint::arm("codegen.fuse");
+    EXPECT_THROW((void)transform::fuse_program(p, plan), Error);
+    faultpoint::disarm("codegen.fuse");
+
+    const auto fused = transform::fuse_program(p, plan);
+    faultpoint::arm("codegen.emit");
+    EXPECT_THROW((void)transform::emit_transformed(fused, Domain{10, 10}), Error);
+}
+
+TEST_F(RobustnessTest, FuseProgramRejectsUnfusedFallbackPlans) {
+    const ir::Program p = ir::parse_program(workloads::sources::kFig2);
+    for (const char* point : {"cyclic_doall.phase1", "forced_carry", "hyperplane"}) {
+        faultpoint::arm(point);
+    }
+    const auto result = try_plan_fusion(analysis::build_mldg(p));
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->level, ParallelismLevel::Unfused);
+    faultpoint::reset();
+    EXPECT_THROW((void)transform::fuse_program(p, *result), Error);
+}
+
+}  // namespace
+}  // namespace lf
