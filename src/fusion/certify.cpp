@@ -1,10 +1,35 @@
 #include "fusion/certify.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "ldg/legality.hpp"
 
 namespace lf {
+
+namespace {
+
+/// C3 + C4: recompute the retimed graph and compare edge by edge. An exact
+/// match also certifies cycle-weight preservation (weights are derived from
+/// the same retiming on both sides). Reports through `fail`.
+void check_retimed_graph(const Mldg& original, const FusionPlan& plan,
+                         const std::function<void(const std::string&)>& fail) {
+    const Mldg recomputed = plan.retiming.apply(original);
+    if (recomputed.num_edges() != plan.retimed.num_edges()) {
+        fail("retimed graph edge count does not match retiming.apply(original)");
+        return;
+    }
+    for (const auto& e : recomputed.edges()) {
+        const auto found = plan.retimed.find_edge(e.from, e.to);
+        if (!found || plan.retimed.edge(*found).vectors != e.vectors) {
+            fail("retimed graph disagrees with retiming.apply(original) on edge " +
+                 original.node(e.from).name + " -> " + original.node(e.to).name);
+            return;
+        }
+    }
+}
+
+}  // namespace
 
 PlanCertificate certify_plan(const Mldg& original, const FusionPlan& plan) {
     PlanCertificate cert;
@@ -19,22 +44,40 @@ PlanCertificate certify_plan(const Mldg& original, const FusionPlan& plan) {
         return cert;
     }
 
-    // C3 + C4: recompute the retimed graph and compare edge by edge. An
-    // exact match also certifies cycle-weight preservation (weights are
-    // derived from the same retiming on both sides).
-    const Mldg recomputed = plan.retiming.apply(original);
-    if (recomputed.num_edges() != plan.retimed.num_edges()) {
-        fail("retimed graph edge count does not match retiming.apply(original)");
-    } else {
-        for (const auto& e : recomputed.edges()) {
-            const auto found = plan.retimed.find_edge(e.from, e.to);
-            if (!found || plan.retimed.edge(*found).vectors != e.vectors) {
-                fail("retimed graph disagrees with retiming.apply(original) on edge " +
-                     original.node(e.from).name + " -> " + original.node(e.to).name);
+    // Unfused fallback plans have their own contract (U1-U4): no fused nest
+    // exists, so the strict-schedule / Property-4.2 conditions do not apply.
+    const bool unfused_level = plan.level == ParallelismLevel::Unfused;
+    const bool fallback_alg = plan.algorithm == AlgorithmUsed::DistributionFallback;
+    if (unfused_level || fallback_alg) {
+        if (unfused_level != fallback_alg) {
+            fail("level/algorithm mismatch: Unfused and DistributionFallback imply each other");
+        }
+        for (int v = 0; v < n; ++v) {
+            if (!plan.retiming.of(v).is_zero()) {
+                fail("unfused plan carries a non-identity retiming");
                 break;
             }
         }
+        if (static_cast<int>(plan.body_order.size()) != n) {
+            fail("unfused plan's body order is not program order");
+        } else {
+            for (int k = 0; k < n; ++k) {
+                const int node = plan.body_order[static_cast<std::size_t>(k)];
+                if (node < 0 || node >= n || original.node(node).order != k) {
+                    fail("unfused plan's body order is not program order");
+                    break;
+                }
+            }
+        }
+        check_retimed_graph(original, plan, fail);
+        if (!is_legal_mldg(original)) {
+            fail("unfused plan over a graph that is not program-model legal: the "
+                 "distributed original is not an executable Figure-1 program");
+        }
+        return cert;
     }
+
+    check_retimed_graph(original, plan, fail);
 
     // C2: body order is a permutation of the nodes.
     {

@@ -14,6 +14,17 @@
 //       hyperplane is perpendicular to it;
 //   C6  inner-DOALL plans satisfy Property 4.2 (every vector has x >= 1 or
 //       is (0,0) respecting body order).
+//
+// Unfused plans (the degradation ladder's loop-distribution fallback,
+// ParallelismLevel::Unfused) claim nothing about a fused nest, so C5/C6 do
+// not apply; their contract is checked instead:
+//
+//   U1  level and algorithm agree (Unfused iff DistributionFallback);
+//   U2  the retiming is the identity and the "retimed" graph is the
+//       original (the fallback changes nothing);
+//   U3  the body order is program order;
+//   U4  the original graph is program-model legal -- that is what makes
+//       the unfused per-loop inner-DOALL program executable.
 
 #include <string>
 #include <vector>

@@ -153,7 +153,7 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
     };
 
     // ---- Rung 1: Algorithm 3 (acyclic graphs only). ----
-    if (g.is_acyclic()) {
+    if (!options.distribution_only && g.is_acyclic()) {
         try {
             auto r = try_acyclic_doall_fusion(g, &guard);
             if (r.ok()) {
@@ -177,7 +177,7 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
 
     // ---- Rung 2: Algorithm 4 (also handles acyclic graphs when rung 1
     // fell through). ----
-    try {
+    if (!options.distribution_only) try {
         auto outcome = cyclic_doall_fusion(g, &guard);
         if (outcome.retiming.has_value()) {
             FusionPlan plan;
@@ -205,7 +205,7 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
     }
 
     // ---- Rung 3: forced-carry variant (extension; still DOALL rows). ----
-    try {
+    if (!options.distribution_only) try {
         auto r = ablation::try_cyclic_doall_all_hard(g, &guard);
         if (r.ok()) {
             FusionPlan plan;
@@ -226,7 +226,7 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
     }
 
     // ---- Rung 4: Algorithm 5 (hyperplane wavefront). ----
-    try {
+    if (!options.distribution_only) try {
         auto r = try_hyperplane_fusion(g, &guard);
         if (r.ok()) {
             FusionPlan plan;

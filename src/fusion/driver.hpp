@@ -107,6 +107,11 @@ struct TryPlanOptions {
     /// legality (the unfused program must itself be executable); disable to
     /// reproduce plan_fusion's success set exactly.
     bool allow_distribution_fallback = true;
+    /// Skip rungs 1-4 and go straight to the loop-distribution fallback
+    /// (validation still runs; requires allow_distribution_fallback to
+    /// produce a plan). The service layer's circuit breaker uses this to
+    /// short-circuit a workload class that keeps failing the full ladder.
+    bool distribution_only = false;
 };
 
 /// Never-throwing planner with graceful degradation. Tries, in order:

@@ -1,6 +1,7 @@
 #include "support/faultpoint.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <unordered_map>
@@ -10,7 +11,9 @@ namespace lf::faultpoint {
 namespace {
 
 /// Every fault point compiled into the library. Keep in sync with the call
-/// sites (grep for faultpoint::triggered) and docs/robustness.md.
+/// sites (grep for faultpoint::triggered) and the table in
+/// docs/robustness.md -- tests/test_failure_injection.cpp asserts the doc
+/// and this list never drift apart.
 constexpr const char* kCompiledIn[] = {
     "acyclic_doall",         // Algorithm 3 rung of the ladder
     "cyclic_doall.phase1",   // Algorithm 4, first retiming component
@@ -24,7 +27,18 @@ constexpr const char* kCompiledIn[] = {
     "solver.constraints_nd", // graph/constraint_system_nd.cpp
     "codegen.fuse",          // transform::fuse_program
     "codegen.emit",          // transform::emit_transformed
+    "svc.plan",              // svc worker: planning attempt aborts (retryable)
+    "svc.verify.certify",    // svc admission gate: certification fails
+    "svc.verify.replay",     // svc admission gate: differential replay mismatch
+    "svc.checkpoint",        // svc checkpoint append fails (run continues)
 };
+
+bool known(const std::string& name) {
+    for (const char* p : kCompiledIn) {
+        if (name == p) return true;
+    }
+    return false;
+}
 
 struct PointState {
     bool armed = false;
@@ -36,10 +50,13 @@ struct Registry {
     std::unordered_map<std::string, PointState> points;
 
     Registry() {
-        if (const char* spec = std::getenv("LF_FAULT")) arm_locked(spec);
+        if (const char* spec = std::getenv("LF_FAULT")) (void)arm_locked(spec);
     }
 
-    void arm_locked(const std::string& spec) {
+    /// Arms every entry of `spec`; returns the entries that name no
+    /// compiled-in point (misspellings), warning about each on stderr.
+    std::vector<std::string> arm_locked(const std::string& spec) {
+        std::vector<std::string> unknown;
         std::size_t begin = 0;
         while (begin <= spec.size()) {
             std::size_t end = spec.find(',', begin);
@@ -50,10 +67,19 @@ struct Registry {
             if (first != std::string::npos) {
                 const auto last = name.find_last_not_of(" \t");
                 name = name.substr(first, last - first + 1);
+                if (!known(name)) {
+                    std::fprintf(stderr,
+                                 "LF_FAULT: warning: '%s' is not a compiled-in fault point "
+                                 "(misspelled? see faultpoint::known_points()); armed anyway, "
+                                 "but it will never fire\n",
+                                 name.c_str());
+                    unknown.push_back(name);
+                }
                 points[name].armed = true;
             }
             begin = end + 1;
         }
+        return unknown;
     }
 };
 
@@ -106,11 +132,13 @@ std::uint64_t hits(const std::string& name) {
     return it == r.points.end() ? 0 : it->second.hits;
 }
 
-void arm_from_spec(const std::string& spec) {
+std::vector<std::string> arm_from_spec(const std::string& spec) {
     Registry& r = registry();
     const std::lock_guard<std::mutex> lock(r.mutex);
-    r.arm_locked(spec);
+    return r.arm_locked(spec);
 }
+
+bool is_known_point(const std::string& name) { return known(name); }
 
 std::vector<std::string> known_points() {
     std::vector<std::string> names(std::begin(kCompiledIn), std::end(kCompiledIn));

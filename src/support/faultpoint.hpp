@@ -45,12 +45,21 @@ void reset();
 [[nodiscard]] std::uint64_t hits(const std::string& name);
 
 /// Parses the LF_FAULT syntax ("name,name,..."; whitespace around names is
-/// ignored, empty entries skipped) and arms each listed point.
-void arm_from_spec(const std::string& spec);
+/// ignored, empty entries skipped) and arms each listed point. Every entry
+/// is validated against the compiled-in registry: unknown names (almost
+/// always misspellings -- an armed point that does not exist can never
+/// fire, silently voiding the fault the caller thought they injected) are
+/// still armed for forward compatibility but are reported back, in spec
+/// order, and a warning is printed to stderr. The LF_FAULT environment
+/// path performs the same validation at first use.
+std::vector<std::string> arm_from_spec(const std::string& spec);
 
-/// The compiled-in fault points, sorted. Arming a name outside this list is
-/// allowed (it simply never fires) but tests iterate this registry to prove
-/// every real site is reachable.
+/// True iff `name` is one of the compiled-in fault points.
+[[nodiscard]] bool is_known_point(const std::string& name);
+
+/// The compiled-in fault points, sorted. Arming a name outside this list
+/// via arm() is allowed (it simply never fires) but tests iterate this
+/// registry to prove every real site is reachable.
 [[nodiscard]] std::vector<std::string> known_points();
 
 }  // namespace lf::faultpoint

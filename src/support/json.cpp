@@ -1,0 +1,121 @@
+#include "support/json.hpp"
+
+#include <cstdio>
+
+#include "support/diagnostics.hpp"
+
+namespace lf::json {
+
+std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+void Writer::newline_indent() {
+    if (indent_ <= 0) return;
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(indent_) * stack_.size(), ' ');
+}
+
+void Writer::prepare_value() {
+    if (stack_.empty()) {
+        check(out_.empty(), "json::Writer: only one top-level value allowed");
+        return;
+    }
+    Frame& top = stack_.back();
+    if (top.is_array) {
+        if (top.members++ > 0) out_ += ',';
+        newline_indent();
+    } else {
+        check(key_pending_, "json::Writer: object member written without a key");
+        key_pending_ = false;
+    }
+}
+
+Writer& Writer::key(const std::string& name) {
+    check(!stack_.empty() && !stack_.back().is_array,
+          "json::Writer: key() outside an object");
+    check(!key_pending_, "json::Writer: two keys in a row");
+    if (stack_.back().members++ > 0) out_ += ',';
+    newline_indent();
+    out_ += '"';
+    out_ += escape(name);
+    out_ += indent_ > 0 ? "\": " : "\":";
+    key_pending_ = true;
+    return *this;
+}
+
+void Writer::open(char bracket) {
+    prepare_value();
+    out_ += bracket;
+    stack_.push_back(Frame{bracket == '[', 0});
+}
+
+void Writer::close(char bracket) {
+    check(!stack_.empty(), "json::Writer: unbalanced end");
+    check(stack_.back().is_array == (bracket == ']'), "json::Writer: mismatched end");
+    const bool had_members = stack_.back().members > 0;
+    stack_.pop_back();
+    if (had_members) newline_indent();
+    out_ += bracket;
+}
+
+Writer& Writer::begin_object() { open('{'); return *this; }
+Writer& Writer::end_object() { close('}'); return *this; }
+Writer& Writer::begin_array() { open('['); return *this; }
+Writer& Writer::end_array() { close(']'); return *this; }
+
+Writer& Writer::value(const std::string& v) {
+    prepare_value();
+    out_ += '"';
+    out_ += escape(v);
+    out_ += '"';
+    return *this;
+}
+
+Writer& Writer::value(const char* v) { return value(std::string(v)); }
+
+Writer& Writer::value(std::int64_t v) {
+    prepare_value();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+    prepare_value();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+Writer& Writer::value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+Writer& Writer::value(bool v) {
+    prepare_value();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+std::string Writer::str() const {
+    check(stack_.empty(), "json::Writer: str() with open scopes");
+    return out_;
+}
+
+}  // namespace lf::json

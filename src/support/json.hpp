@@ -1,0 +1,68 @@
+#pragma once
+// Minimal streaming JSON emission for machine-readable reports (the fusion
+// service's run report, bench outputs). Writer only -- the repo's on-disk
+// formats that need *parsing* (MLDG text, checkpoint manifests) are
+// line-oriented precisely so no JSON parser is needed.
+//
+// The writer is purely syntactic: it tracks the begin/end nesting, inserts
+// commas and indentation, and escapes strings; the caller is responsible
+// for pairing begin_*/end_* calls (checked with lf::check) and for emitting
+// a key before every value inside an object.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lf::json {
+
+/// JSON string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string escape(const std::string& s);
+
+class Writer {
+  public:
+    /// `indent` spaces per nesting level; 0 produces compact one-line JSON.
+    explicit Writer(int indent = 2) : indent_(indent) {}
+
+    Writer& begin_object();
+    Writer& end_object();
+    Writer& begin_array();
+    Writer& end_array();
+
+    /// Emits the key of the next object member.
+    Writer& key(const std::string& name);
+
+    Writer& value(const std::string& v);
+    Writer& value(const char* v);
+    Writer& value(std::int64_t v);
+    Writer& value(std::uint64_t v);
+    Writer& value(int v);
+    Writer& value(bool v);
+
+    /// key + value in one call.
+    template <typename T>
+    Writer& kv(const std::string& name, T&& v) {
+        key(name);
+        return value(std::forward<T>(v));
+    }
+
+    /// The document text. Valid once every begin_* has been ended.
+    [[nodiscard]] std::string str() const;
+
+  private:
+    void prepare_value();
+    void open(char bracket);
+    void close(char bracket);
+    void newline_indent();
+
+    struct Frame {
+        bool is_array = false;
+        int members = 0;
+    };
+
+    int indent_;
+    std::string out_;
+    std::vector<Frame> stack_;
+    bool key_pending_ = false;
+};
+
+}  // namespace lf::json

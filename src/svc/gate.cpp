@@ -1,0 +1,120 @@
+#include "svc/gate.hpp"
+
+#include "analysis/dependence.hpp"
+#include "exec/engines.hpp"
+#include "exec/equivalence.hpp"
+#include "fusion/certify.hpp"
+#include "ir/parser.hpp"
+#include "support/faultpoint.hpp"
+#include "transform/distribution.hpp"
+#include "transform/fused_program.hpp"
+
+namespace lf::svc {
+
+namespace {
+
+void push_stage(GateResult& res, const char* stage, StatusCode code, std::string detail) {
+    StageReport r;
+    r.stage = stage;
+    r.code = code;
+    r.detail = std::move(detail);
+    res.stages.push_back(std::move(r));
+}
+
+}  // namespace
+
+GateResult admit_plan(const JobSpec& job, const FusionPlan& plan) {
+    GateResult res;
+
+    // ---- Check 1: independent certification. ----
+    bool cert_ok = false;
+    std::string cert_detail;
+    try {
+        const PlanCertificate cert = certify_plan(job.graph, plan);
+        cert_ok = cert.valid;
+        if (!cert.valid && !cert.violations.empty()) cert_detail = cert.violations.front();
+    } catch (const std::exception& e) {
+        cert_detail = std::string("certifier aborted: ") + e.what();
+    }
+    if (faultpoint::triggered("svc.verify.certify")) {
+        cert_ok = false;
+        cert_detail = "fault injected";
+    }
+    if (!cert_ok) {
+        push_stage(res, "admit.certify", StatusCode::Internal, cert_detail);
+        res.detail = "certification failed: " + cert_detail;
+        return res;  // wrong plan: not retryable
+    }
+    res.certified = true;
+    push_stage(res, "admit.certify", StatusCode::Ok, {});
+
+    // ---- Check 2: differential replay. ----
+    if (job.dsl_source.empty()) {
+        res.replay = ReplayOutcome::Skipped;
+        push_stage(res, "admit.replay", StatusCode::Ok, "graph-only job: nothing to replay");
+        res.admitted = true;
+        return res;
+    }
+
+    try {
+        const ir::Program p = ir::parse_program(job.dsl_source);
+        const Mldg derived = analysis::build_mldg(p);
+        if (derived.num_nodes() != job.graph.num_nodes()) {
+            res.replay = ReplayOutcome::Error;
+            const std::string why = "job program does not match job graph (" +
+                                    std::to_string(derived.num_nodes()) + " vs " +
+                                    std::to_string(job.graph.num_nodes()) + " loops)";
+            push_stage(res, "admit.replay", StatusCode::IllegalInput, why);
+            res.detail = "replay impossible: " + why;
+            return res;  // a manifest bug, not a transient fault
+        }
+
+        exec::ArrayStore golden(p, job.domain);
+        (void)exec::run_original(p, job.domain, golden);
+
+        std::optional<std::string> diff;
+        if (plan.algorithm == AlgorithmUsed::DistributionFallback) {
+            // The fallback's meaning is "run the program unfused"; replay
+            // the maximally distributed form, which must be value-identical.
+            const ir::Program distributed = transform::distribute_program(p);
+            exec::ArrayStore subject(distributed, job.domain);
+            (void)exec::run_original(distributed, job.domain, subject);
+            diff = exec::first_difference(p, job.domain, golden, subject);
+        } else {
+            const transform::FusedProgram fp = transform::fuse_program(p, plan);
+            exec::ArrayStore subject(p, job.domain);
+            // Rowwise execution is valid for every plan level (sequential
+            // lexicographic order respects all dependences >= (0,0)).
+            (void)exec::run_fused_rowwise(fp, job.domain, subject);
+            diff = exec::first_difference(p, job.domain, golden, subject);
+        }
+
+        bool mismatch = diff.has_value();
+        std::string mismatch_detail = diff.value_or("");
+        if (faultpoint::triggered("svc.verify.replay")) {
+            mismatch = true;
+            mismatch_detail = "fault injected: forced replay mismatch";
+        }
+        if (mismatch) {
+            res.replay = ReplayOutcome::Mismatch;
+            push_stage(res, "admit.replay", StatusCode::Internal, mismatch_detail);
+            res.detail = "differential replay mismatch: " + mismatch_detail;
+            return res;  // wrong plan: not retryable
+        }
+
+        res.replay = ReplayOutcome::Ok;
+        push_stage(res, "admit.replay", StatusCode::Ok, {});
+        res.admitted = true;
+        return res;
+    } catch (const std::exception& e) {
+        // Parse/codegen/execution aborted (including injected codegen
+        // faults): transient as far as the service knows.
+        res.replay = ReplayOutcome::Error;
+        res.retryable = true;
+        push_stage(res, "admit.replay", StatusCode::Internal, e.what());
+        res.detail = std::string("replay aborted: ") + e.what();
+        return res;
+    }
+}
+
+}  // namespace lf::svc

@@ -1,0 +1,49 @@
+#pragma once
+// The admission gate: no plan leaves the service marked Verified on the
+// planner's word alone. Two independent checks must both pass:
+//
+//   1. fusion/certify re-derives every paper condition (C1-C6 / U1-U4)
+//      from first principles against the *original* graph.
+//   2. For jobs with an executable program, a differential replay: the
+//      original program and the transformed one (fused nest, or the
+//      distributed original for fallback plans) run on independently
+//      initialized stores and must agree bit for bit
+//      (exec/equivalence.hpp).
+//
+// A mismatch is treated as a wrong plan -- the job is quarantined
+// immediately, never retried (retrying cannot make a wrong plan right,
+// and the silent-wrong-plan failure mode is the one this gate exists to
+// kill; cf. the baselines in src/baselines/ we compare against). A replay
+// that *aborts* (exception, injected codegen fault) is transient and
+// reported retryable.
+//
+// Fault points: "svc.verify.certify" forces the certification verdict to
+// fail; "svc.verify.replay" forces a replay mismatch.
+
+#include <string>
+#include <vector>
+
+#include "fusion/driver.hpp"
+#include "svc/job.hpp"
+
+namespace lf::svc {
+
+struct GateResult {
+    /// Both checks passed; the job may be marked Verified.
+    bool admitted = false;
+    bool certified = false;
+    ReplayOutcome replay = ReplayOutcome::NotRun;
+    /// The failure looks transient (replay aborted) rather than a wrong
+    /// plan; the service may retry the attempt.
+    bool retryable = false;
+    /// Failure description; empty when admitted.
+    std::string detail;
+    /// Gate trace ("admit.certify", "admit.replay"), appended to the
+    /// attempt's ladder stages.
+    std::vector<StageReport> stages;
+};
+
+/// Runs the gate for `plan` against `job`. Never throws.
+[[nodiscard]] GateResult admit_plan(const JobSpec& job, const FusionPlan& plan);
+
+}  // namespace lf::svc

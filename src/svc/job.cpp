@@ -1,0 +1,31 @@
+#include "svc/job.hpp"
+
+namespace lf::svc {
+
+std::string to_string(JobStatus status) {
+    switch (status) {
+        case JobStatus::Pending: return "pending";
+        case JobStatus::Running: return "running";
+        case JobStatus::Verified: return "verified";
+        case JobStatus::Quarantined: return "quarantined";
+    }
+    return "?";
+}
+
+std::string to_string(ReplayOutcome outcome) {
+    switch (outcome) {
+        case ReplayOutcome::NotRun: return "not-run";
+        case ReplayOutcome::Ok: return "ok";
+        case ReplayOutcome::Skipped: return "skipped";
+        case ReplayOutcome::Mismatch: return "mismatch";
+        case ReplayOutcome::Error: return "error";
+    }
+    return "?";
+}
+
+const std::vector<StageReport>& JobRecord::final_trace() const {
+    static const std::vector<StageReport> kEmpty;
+    return attempts.empty() ? kEmpty : attempts.back().stages;
+}
+
+}  // namespace lf::svc

@@ -1,0 +1,108 @@
+#pragma once
+// Job model for the concurrent fusion service (svc/service.hpp).
+//
+// A job is a named MLDG to plan fusion for -- from the workloads gallery,
+// an ldg/serialization text, or the IR front end (svc/manifest.hpp builds
+// all three). Jobs carry a workload *class* (the circuit-breaker bucket)
+// and, when the MLDG came from an executable program, the DSL source that
+// lets the admission gate replay original-vs-fused differentially.
+//
+// Every job ends in exactly one of two terminal states:
+//
+//   Verified    -- a plan was produced AND independently certified
+//                  (fusion/certify) AND -- for executable jobs -- the
+//                  differential replay agreed bit for bit.
+//   Quarantined -- no admissible plan; the record keeps the full per-rung
+//                  StageReport trace of the last attempt so the failure is
+//                  diagnosable offline.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ldg/mldg.hpp"
+#include "support/domain.hpp"
+#include "support/status.hpp"
+
+namespace lf::svc {
+
+/// One unit of service work.
+struct JobSpec {
+    /// Unique within a run; also the checkpoint key, so it must not contain
+    /// whitespace (manifest builders enforce this).
+    std::string id;
+    /// Workload class: the circuit breaker trips per class, so one poisoned
+    /// family of inputs cannot drag every other job onto the fallback path.
+    std::string klass = "default";
+    Mldg graph;
+    /// DSL source of the equivalent program; empty for graph-only jobs (the
+    /// admission gate then certifies the plan but skips the replay).
+    std::string dsl_source;
+    /// Iteration domain for the differential replay.
+    Domain domain{12, 12};
+};
+
+enum class JobStatus {
+    Pending,
+    Running,
+    Verified,
+    Quarantined,
+};
+[[nodiscard]] std::string to_string(JobStatus status);
+
+/// How the admission gate's differential replay ended.
+enum class ReplayOutcome {
+    NotRun,    // gate never reached the replay (certification failed first)
+    Ok,        // original and transformed programs agree bit for bit
+    Skipped,   // graph-only job: no program to replay
+    Mismatch,  // the stores differ -- the plan is wrong; quarantine
+    Error,     // replay aborted (exception / injected fault); retryable
+};
+[[nodiscard]] std::string to_string(ReplayOutcome outcome);
+
+/// One planning attempt of one job (a job makes up to
+/// RetryPolicy::max_attempts of these).
+struct AttemptRecord {
+    int number = 1;  // 1-based
+    /// Step budget this attempt ran under (escalates per retry).
+    std::uint64_t max_steps = 0;
+    /// Ok when the attempt produced an admitted plan; otherwise the failure
+    /// class (ladder failure code, or Internal for gate rejections).
+    StatusCode code = StatusCode::Ok;
+    std::string detail;
+    /// The circuit breaker sent this attempt straight to the
+    /// loop-distribution fallback.
+    bool short_circuited = false;
+    /// Ladder trace of the attempt plus the admission-gate stages
+    /// ("admit.certify", "admit.replay").
+    std::vector<StageReport> stages;
+    /// ResourceGuard steps the attempt consumed.
+    std::uint64_t budget_spent = 0;
+};
+
+/// Final per-job record of a service run.
+struct JobRecord {
+    std::string id;
+    std::string klass;
+    JobStatus status = JobStatus::Pending;
+    std::vector<AttemptRecord> attempts;
+    /// Rung that produced the last plan (lf::to_string(AlgorithmUsed));
+    /// empty when no rung ever produced one.
+    std::string algorithm;
+    std::string level;
+    bool certified = false;
+    ReplayOutcome replay = ReplayOutcome::NotRun;
+    /// Why the job was quarantined; empty for verified jobs.
+    std::string quarantine_reason;
+    /// Steps across all attempts.
+    std::uint64_t total_budget_spent = 0;
+    std::int64_t wall_ms = 0;
+    /// Restored from a checkpoint manifest; no work was redone.
+    bool from_checkpoint = false;
+
+    /// The last attempt's trace -- what a quarantined job is diagnosed
+    /// from. Empty only for checkpoint-restored records.
+    [[nodiscard]] const std::vector<StageReport>& final_trace() const;
+};
+
+}  // namespace lf::svc

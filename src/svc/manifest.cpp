@@ -1,0 +1,84 @@
+#include "svc/manifest.hpp"
+
+#include <iterator>
+
+#include "analysis/dependence.hpp"
+#include "ir/parser.hpp"
+#include "ldg/serialization.hpp"
+#include "support/diagnostics.hpp"
+#include "workloads/extra.hpp"
+#include "workloads/gallery.hpp"
+
+namespace lf::svc {
+
+namespace {
+
+void validate_id(const std::string& id) {
+    check(!id.empty(), "svc manifest: job id must not be empty");
+    check(id.find_first_of(" \t\n\r") == std::string::npos,
+          "svc manifest: job id '" + id + "' must not contain whitespace");
+}
+
+}  // namespace
+
+std::vector<JobSpec> gallery_jobs(const Domain& domain) {
+    std::vector<JobSpec> jobs;
+    for (const auto& w : workloads::paper_workloads()) {
+        JobSpec job;
+        job.id = w.id;
+        job.klass = "paper";
+        job.graph = w.graph;
+        job.dsl_source = w.dsl_source;
+        job.domain = domain;
+        validate_id(job.id);
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+std::vector<JobSpec> extra_jobs(const Domain& domain) {
+    std::vector<JobSpec> jobs;
+    for (const auto& w : workloads::extra_workloads()) {
+        JobSpec job;
+        job.id = w.id;
+        job.klass = "extra";
+        job.graph = analysis::build_mldg(ir::parse_program(w.dsl_source));
+        job.dsl_source = w.dsl_source;
+        job.domain = domain;
+        validate_id(job.id);
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+std::vector<JobSpec> full_gallery_jobs(const Domain& domain) {
+    std::vector<JobSpec> jobs = gallery_jobs(domain);
+    std::vector<JobSpec> extra = extra_jobs(domain);
+    jobs.insert(jobs.end(), std::make_move_iterator(extra.begin()),
+                std::make_move_iterator(extra.end()));
+    return jobs;
+}
+
+JobSpec job_from_mldg_text(const std::string& id, std::string_view text,
+                           const std::string& klass) {
+    validate_id(id);
+    JobSpec job;
+    job.id = id;
+    job.klass = klass;
+    job.graph = parse_mldg(text);
+    return job;
+}
+
+JobSpec job_from_dsl_text(const std::string& id, const std::string& source,
+                          const std::string& klass, const Domain& domain) {
+    validate_id(id);
+    JobSpec job;
+    job.id = id;
+    job.klass = klass;
+    job.graph = analysis::build_mldg(ir::parse_program(source));
+    job.dsl_source = source;
+    job.domain = domain;
+    return job;
+}
+
+}  // namespace lf::svc

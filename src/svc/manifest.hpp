@@ -1,0 +1,42 @@
+#pragma once
+// Job-manifest builders: every way an MLDG enters the repo becomes a
+// service job through one of these.
+//
+//   * the workloads gallery (paper Section-5 set, class "paper");
+//   * the extended workload set (workloads/extra.hpp, class "extra");
+//   * an ldg/serialization text ("mldg name { ... }"), graph-only;
+//   * a DSL program text (the IR front end), replayable.
+//
+// Builders validate what the service assumes: non-empty ids without
+// whitespace (ids key the checkpoint manifest) and, for DSL jobs, that the
+// program parses. Problems throw lf::Error -- manifest construction is
+// caller input validation, not a job failure.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "svc/job.hpp"
+
+namespace lf::svc {
+
+/// The five Section-5 paper workloads (class "paper"; fig14 is graph-only).
+[[nodiscard]] std::vector<JobSpec> gallery_jobs(const Domain& domain = Domain{12, 12});
+
+/// The extended workload set (class "extra"; all replayable).
+[[nodiscard]] std::vector<JobSpec> extra_jobs(const Domain& domain = Domain{12, 12});
+
+/// gallery_jobs + extra_jobs: the full gallery a batch run drives.
+[[nodiscard]] std::vector<JobSpec> full_gallery_jobs(const Domain& domain = Domain{12, 12});
+
+/// Graph-only job from serialized MLDG text (ldg/serialization.hpp).
+[[nodiscard]] JobSpec job_from_mldg_text(const std::string& id, std::string_view text,
+                                         const std::string& klass = "mldg");
+
+/// Replayable job from DSL program source (parsed + analyzed here so a
+/// syntax error surfaces at manifest build time).
+[[nodiscard]] JobSpec job_from_dsl_text(const std::string& id, const std::string& source,
+                                        const std::string& klass = "dsl",
+                                        const Domain& domain = Domain{12, 12});
+
+}  // namespace lf::svc

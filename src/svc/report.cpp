@@ -1,0 +1,172 @@
+#include "svc/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/faultpoint.hpp"
+#include "support/json.hpp"
+
+namespace lf::svc {
+
+namespace {
+
+void write_stage(json::Writer& w, const StageReport& s) {
+    w.begin_object();
+    w.kv("stage", s.stage);
+    w.kv("code", to_string(s.code));
+    w.kv("detail", s.detail);
+    w.kv("budget", s.budget_consumed);
+    w.end_object();
+}
+
+void write_attempt(json::Writer& w, const AttemptRecord& a) {
+    w.begin_object();
+    w.kv("attempt", a.number);
+    w.kv("max_steps", a.max_steps);
+    w.kv("code", to_string(a.code));
+    w.kv("detail", a.detail);
+    w.kv("short_circuited", a.short_circuited);
+    w.kv("budget_spent", a.budget_spent);
+    w.key("stages").begin_array();
+    for (const auto& s : a.stages) write_stage(w, s);
+    w.end_array();
+    w.end_object();
+}
+
+void write_job(json::Writer& w, const JobRecord& j, bool include_timings) {
+    w.begin_object();
+    w.kv("id", j.id);
+    w.kv("class", j.klass);
+    w.kv("status", to_string(j.status));
+    w.kv("attempts", static_cast<int>(j.attempts.size()));
+    w.kv("algorithm", j.algorithm);
+    w.kv("level", j.level);
+    w.kv("certified", j.certified);
+    w.kv("replay", to_string(j.replay));
+    w.kv("quarantine_reason", j.quarantine_reason);
+    w.kv("budget_spent", j.total_budget_spent);
+    w.kv("short_circuited",
+         !j.attempts.empty() && j.attempts.back().short_circuited);
+    w.kv("from_checkpoint", j.from_checkpoint);
+    if (include_timings) w.kv("wall_ms", j.wall_ms);
+    w.key("attempt_log").begin_array();
+    for (const auto& a : j.attempts) write_attempt(w, a);
+    w.end_array();
+    w.end_object();
+}
+
+}  // namespace
+
+std::string report_to_json(const RunReport& report, bool include_timings) {
+    json::Writer w;
+    w.begin_object();
+
+    w.key("service").begin_object();
+    w.kv("workers", report.config.workers);
+    w.kv("max_attempts", report.config.retry.max_attempts);
+    w.kv("initial_steps", report.config.retry.initial_steps);
+    w.kv("escalation", report.config.retry.escalation);
+    w.kv("deadline_ms", report.config.retry.deadline_ms);
+    w.kv("breaker_threshold", report.config.breaker.failure_threshold);
+    w.kv("probe_interval", report.config.breaker.probe_interval);
+    w.kv("checkpoint", report.config.checkpoint_path);
+    w.kv("checkpoint_failures", report.checkpoint_failures);
+    w.end_object();
+
+    const RunCounts counts = report.counts();
+    w.key("counts").begin_object();
+    w.kv("jobs", static_cast<int>(report.jobs.size()));
+    w.kv("verified", counts.verified);
+    w.kv("quarantined", counts.quarantined);
+    w.kv("from_checkpoint", counts.from_checkpoint);
+    w.kv("short_circuited", counts.short_circuited);
+    w.end_object();
+
+    w.key("jobs").begin_array();
+    for (const auto& j : report.jobs) write_job(w, j, include_timings);
+    w.end_array();
+
+    w.key("breakers").begin_array();
+    for (const auto& b : report.breakers) {
+        w.begin_object();
+        w.kv("class", b.klass);
+        w.kv("state", to_string(b.state));
+        w.kv("consecutive_failures", b.consecutive_failures);
+        w.kv("trips", b.trips);
+        w.kv("short_circuited", b.short_circuited);
+        w.end_object();
+    }
+    w.end_array();
+
+    if (include_timings) w.kv("wall_ms", report.wall_ms);
+    w.end_object();
+    return w.str();
+}
+
+namespace {
+
+constexpr const char* kCheckpointHeader = "lfsvc-checkpoint v1";
+
+bool file_nonempty(const std::string& path) {
+    std::ifstream in(path);
+    return in.good() && in.peek() != std::ifstream::traits_type::eof();
+}
+
+}  // namespace
+
+bool append_checkpoint(const std::string& path, const JobRecord& rec) {
+    if (faultpoint::triggered("svc.checkpoint")) return false;
+    const bool fresh = !file_nonempty(path);
+    std::ofstream out(path, std::ios::app);
+    if (!out.good()) return false;
+    if (fresh) out << kCheckpointHeader << '\n';
+    out << rec.id << '\t' << to_string(rec.status) << '\t' << rec.attempts.size() << '\t'
+        << rec.algorithm << '\n';
+    out.flush();
+    return out.good();
+}
+
+std::vector<CheckpointEntry> load_checkpoint(const std::string& path) {
+    std::vector<CheckpointEntry> entries;
+    std::ifstream in(path);
+    if (!in.good()) return entries;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line == kCheckpointHeader || line.front() == '#') continue;
+        std::istringstream fields(line);
+        CheckpointEntry e;
+        std::string status;
+        std::string attempts;
+        if (!std::getline(fields, e.id, '\t') || !std::getline(fields, status, '\t') ||
+            !std::getline(fields, attempts, '\t')) {
+            continue;  // truncated / malformed line: skip
+        }
+        std::getline(fields, e.algorithm, '\t');  // optional (may be empty)
+        if (status == "verified") {
+            e.status = JobStatus::Verified;
+        } else if (status == "quarantined") {
+            e.status = JobStatus::Quarantined;
+        } else {
+            continue;  // unknown terminal state: ignore the record
+        }
+        try {
+            e.attempts = std::stoi(attempts);
+        } catch (const std::exception&) {
+            continue;
+        }
+        // Last record for an id wins (a resumed run may have re-finished a
+        // job the killed run also finished).
+        bool replaced = false;
+        for (auto& existing : entries) {
+            if (existing.id == e.id) {
+                existing = e;
+                replaced = true;
+                break;
+            }
+        }
+        if (!replaced) entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+}  // namespace lf::svc

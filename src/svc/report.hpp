@@ -1,0 +1,50 @@
+#pragma once
+// Run-report serialization and the checkpoint manifest.
+//
+// The run report is JSON (support/json.hpp): one object per job with
+// status, attempts, rung reached, budget spent, plus per-class breaker
+// state -- the machine-readable face of a batch run. Reports are
+// deterministic for a fixed manifest, configuration and armed-fault set
+// when the service runs single-worker; with `include_timings = false` the
+// wall-clock fields are omitted so two such runs compare equal as strings.
+// (Multi-worker runs are deterministic too whenever the breaker never
+// opens; once it opens, which specific jobs get short-circuited depends on
+// completion order.)
+//
+// The checkpoint manifest is deliberately NOT JSON but a line-oriented,
+// append-only text format (no parser to harden, append is atomic enough
+// per line, a truncated tail corrupts at most its own line):
+//
+//   lfsvc-checkpoint v1
+//   <id>\t<status>\t<attempts>\t<algorithm>
+//
+// Loading tolerates unknown/malformed lines (skipped) and duplicate ids
+// (last record wins), so a checkpoint from a killed run is always usable.
+
+#include <string>
+#include <vector>
+
+#include "svc/service.hpp"
+
+namespace lf::svc {
+
+/// The run report as pretty-printed JSON. `include_timings` = false omits
+/// every wall-clock field (for byte-for-byte comparisons).
+[[nodiscard]] std::string report_to_json(const RunReport& report, bool include_timings = true);
+
+struct CheckpointEntry {
+    std::string id;
+    JobStatus status = JobStatus::Pending;
+    int attempts = 0;
+    std::string algorithm;
+};
+
+/// Appends one record (creating the file with its header line if needed).
+/// Returns false on IO failure or when the "svc.checkpoint" fault point
+/// fires; the service treats that as a warning, not a job failure.
+bool append_checkpoint(const std::string& path, const JobRecord& rec);
+
+/// Loads a checkpoint manifest; a missing file is an empty checkpoint.
+[[nodiscard]] std::vector<CheckpointEntry> load_checkpoint(const std::string& path);
+
+}  // namespace lf::svc

@@ -1,0 +1,256 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fusion/driver.hpp"
+#include "support/diagnostics.hpp"
+#include "support/faultpoint.hpp"
+#include "svc/gate.hpp"
+#include "svc/report.hpp"
+
+namespace lf::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t ms_since(Clock::time_point t0) {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - t0).count();
+}
+
+/// initial_steps * escalation^(attempt-1), saturating at kUnlimitedSteps.
+std::uint64_t escalated_steps(const RetryPolicy& retry, int attempt) {
+    if (retry.initial_steps == kUnlimitedSteps) return kUnlimitedSteps;
+    const std::uint64_t factor = retry.escalation < 1 ? 1 : static_cast<std::uint64_t>(retry.escalation);
+    std::uint64_t steps = retry.initial_steps;
+    for (int k = 1; k < attempt; ++k) {
+        if (factor != 0 && steps > kUnlimitedSteps / factor) return kUnlimitedSteps;
+        steps *= factor;
+    }
+    return steps;
+}
+
+std::uint64_t stage_budget_sum(const std::vector<StageReport>& stages) {
+    std::uint64_t total = 0;
+    for (const auto& s : stages) total += s.budget_consumed;
+    return total;
+}
+
+/// A failure class the retry-with-escalation loop can plausibly fix: a
+/// bigger budget (ResourceExhausted) or a transient internal fault.
+/// Infeasible / IllegalInput / Overflow are deterministic verdicts.
+bool retryable_code(StatusCode code) {
+    return code == StatusCode::ResourceExhausted || code == StatusCode::Internal;
+}
+
+}  // namespace
+
+RunCounts RunReport::counts() const {
+    RunCounts c;
+    for (const auto& j : jobs) {
+        if (j.status == JobStatus::Verified) ++c.verified;
+        if (j.status == JobStatus::Quarantined) ++c.quarantined;
+        if (j.from_checkpoint) ++c.from_checkpoint;
+        if (!j.attempts.empty() && j.attempts.back().short_circuited) ++c.short_circuited;
+    }
+    return c;
+}
+
+FusionService::FusionService(ServiceConfig config)
+    : config_(std::move(config)), breakers_(config_.breaker) {
+    if (config_.workers < 1) config_.workers = 1;
+    if (config_.retry.max_attempts < 1) config_.retry.max_attempts = 1;
+    if (config_.retry.escalation < 1) config_.retry.escalation = 1;
+}
+
+void FusionService::checkpoint_job(const JobRecord& rec) {
+    if (config_.checkpoint_path.empty()) return;
+    const std::lock_guard<std::mutex> lock(checkpoint_mutex_);
+    if (!append_checkpoint(config_.checkpoint_path, rec)) {
+        ++checkpoint_failures_;
+        std::fprintf(stderr,
+                     "svc: warning: checkpoint append failed for job '%s' (%s); "
+                     "a resumed run will redo it\n",
+                     rec.id.c_str(), config_.checkpoint_path.c_str());
+    }
+}
+
+void FusionService::process_job(const JobSpec& job, JobRecord& rec) {
+    const Clock::time_point t0 = Clock::now();
+    rec.id = job.id;
+    rec.klass = job.klass;
+    rec.status = JobStatus::Running;
+
+    const std::int64_t deadline_ms = config_.retry.deadline_ms;
+
+    auto finish = [&](JobStatus status, std::string reason) {
+        rec.status = status;
+        rec.quarantine_reason = std::move(reason);
+        rec.total_budget_spent = 0;
+        for (const auto& a : rec.attempts) rec.total_budget_spent += a.budget_spent;
+        rec.wall_ms = ms_since(t0);
+        // The acceptance contract: a quarantined job is diagnosable from its
+        // trace. Every failure path records stages; belt-and-braces, never
+        // leave an empty trace behind.
+        if (status == JobStatus::Quarantined && !rec.attempts.empty() &&
+            rec.attempts.back().stages.empty()) {
+            rec.attempts.back().stages.push_back(StageReport{
+                "svc", rec.attempts.back().code, rec.attempts.back().detail, 0});
+        }
+        checkpoint_job(rec);
+    };
+
+    for (int attempt = 1; attempt <= config_.retry.max_attempts; ++attempt) {
+        AttemptRecord att;
+        att.number = attempt;
+
+        const AdmitMode mode = breakers_.admit(job.klass);
+        att.short_circuited = mode == AdmitMode::Fallback;
+
+        TryPlanOptions opts;
+        opts.limits.max_steps = escalated_steps(config_.retry, attempt);
+        att.max_steps = opts.limits.max_steps;
+        if (deadline_ms >= 0) {
+            // Remaining share of the per-job deadline; 0 = already expired,
+            // which the guard turns into a deterministic ResourceExhausted.
+            const std::int64_t remaining = deadline_ms - ms_since(t0);
+            opts.limits.max_wall_ms = remaining > 0 ? remaining : 0;
+        }
+        opts.distribution_only = mode == AdmitMode::Fallback;
+
+        bool retryable = false;
+        if (faultpoint::triggered("svc.plan")) {
+            att.code = StatusCode::Internal;
+            att.detail = "fault injected: svc.plan";
+            att.stages.push_back(StageReport{"svc.plan", StatusCode::Internal, "fault injected", 0});
+            retryable = true;
+            breakers_.record(job.klass, mode, false);
+        } else {
+            // try_plan_fusion is never-throwing by contract; the extra catch
+            // is the service's own last line of defense (a worker must
+            // survive anything a job does).
+            std::optional<Result<FusionPlan>> result;
+            try {
+                result.emplace(try_plan_fusion(job.graph, opts));
+            } catch (const std::exception& e) {
+                att.code = StatusCode::Internal;
+                att.detail = std::string("planner threw: ") + e.what();
+                att.stages.push_back(
+                    StageReport{"svc.plan", StatusCode::Internal, att.detail, 0});
+                retryable = true;
+            }
+            if (result.has_value() && result->ok()) {
+                const FusionPlan& plan = result->value();
+                att.stages = plan.stages;
+                rec.algorithm = to_string(plan.algorithm);
+                rec.level = to_string(plan.level);
+                GateResult gate = admit_plan(job, plan);
+                rec.certified = gate.certified;
+                rec.replay = gate.replay;
+                for (auto& s : gate.stages) att.stages.push_back(std::move(s));
+                att.budget_spent = stage_budget_sum(plan.stages);
+                if (gate.admitted) {
+                    att.code = StatusCode::Ok;
+                    rec.attempts.push_back(std::move(att));
+                    breakers_.record(job.klass, mode, true);
+                    finish(JobStatus::Verified, {});
+                    return;
+                }
+                att.code = StatusCode::Internal;
+                att.detail = gate.detail;
+                retryable = gate.retryable;
+                breakers_.record(job.klass, mode, false);
+            } else if (result.has_value()) {
+                const Status& st = result->status();
+                att.code = st.code();
+                att.detail = st.message();
+                att.stages = st.stages;
+                att.budget_spent = stage_budget_sum(st.stages);
+                retryable = retryable_code(st.code());
+                breakers_.record(job.klass, mode, false);
+            } else {
+                breakers_.record(job.klass, mode, false);
+            }
+        }
+
+        const std::string fail_detail =
+            "attempt " + std::to_string(attempt) + ": " + att.detail;
+        rec.attempts.push_back(std::move(att));
+
+        const bool deadline_left = deadline_ms < 0 || ms_since(t0) < deadline_ms;
+        if (!retryable || attempt == config_.retry.max_attempts || !deadline_left) {
+            finish(JobStatus::Quarantined, fail_detail);
+            return;
+        }
+    }
+    // Unreachable: every loop path returns; keep the record terminal anyway.
+    finish(JobStatus::Quarantined, "no attempt reached a verdict");
+}
+
+RunReport FusionService::run(const std::vector<JobSpec>& jobs) {
+    const Clock::time_point t0 = Clock::now();
+    checkpoint_failures_ = 0;
+
+    {
+        std::unordered_set<std::string> ids;
+        for (const auto& job : jobs) {
+            check(ids.insert(job.id).second, "FusionService: duplicate job id '" + job.id + "'");
+        }
+    }
+
+    RunReport report;
+    report.config = config_;
+    report.jobs.assign(jobs.size(), JobRecord{});
+
+    // Restore verified jobs from the checkpoint manifest.
+    if (!config_.checkpoint_path.empty()) {
+        std::unordered_map<std::string, CheckpointEntry> done;
+        for (auto& e : load_checkpoint(config_.checkpoint_path)) {
+            if (e.status == JobStatus::Verified) done[e.id] = std::move(e);
+        }
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const auto it = done.find(jobs[i].id);
+            if (it == done.end()) continue;
+            JobRecord& rec = report.jobs[i];
+            rec.id = jobs[i].id;
+            rec.klass = jobs[i].klass;
+            rec.status = JobStatus::Verified;
+            rec.algorithm = it->second.algorithm;
+            rec.from_checkpoint = true;
+        }
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= jobs.size()) return;
+            if (report.jobs[i].from_checkpoint) continue;
+            process_job(jobs[i], report.jobs[i]);
+        }
+    };
+
+    const int nworkers = std::min<int>(config_.workers, static_cast<int>(jobs.size()));
+    if (nworkers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(nworkers));
+        for (int t = 0; t < nworkers; ++t) pool.emplace_back(worker);
+        for (auto& t : pool) t.join();
+    }
+
+    report.breakers = breakers_.snapshot();
+    report.checkpoint_failures = checkpoint_failures_;
+    report.wall_ms = ms_since(t0);
+    return report;
+}
+
+}  // namespace lf::svc

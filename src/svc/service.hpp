@@ -1,0 +1,102 @@
+#pragma once
+// The concurrent fusion service: a worker pool draining a queue of named
+// MLDG jobs through try_plan_fusion, hardened for batch operation.
+//
+// The paper's point is that all three fusion algorithms are polynomial --
+// cheap enough to run as an always-on compilation service. This layer
+// supplies the service half of that claim:
+//
+//   * a fixed pool of worker threads consuming a job queue (job order in
+//     the report is manifest order, independent of scheduling);
+//   * every planning attempt runs under a ResourceGuard step budget and a
+//     per-job wall-clock deadline;
+//   * ResourceExhausted and fault-injected (Internal) failures are retried
+//     with exponentially escalated step budgets, up to
+//     RetryPolicy::max_attempts;
+//   * a per-workload-class circuit breaker (svc/breaker.hpp) opens after K
+//     consecutive full-ladder failures and short-circuits the class to the
+//     loop-distribution fallback;
+//   * the admission gate (svc/gate.hpp) independently certifies and
+//     differentially replays every plan before a job may end Verified;
+//     anything else ends Quarantined with its StageReport trace;
+//   * the job manifest checkpoints to disk (svc/report.hpp) so a killed
+//     run resumes without redoing verified jobs.
+//
+// run() never throws for job-level failures; one poisoned workload ends
+// one Quarantined record, never the batch.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svc/breaker.hpp"
+#include "svc/job.hpp"
+
+namespace lf::svc {
+
+struct RetryPolicy {
+    /// Total planning attempts per job (first try + retries).
+    int max_attempts = 3;
+    /// Step budget of the first attempt; each retry multiplies the budget
+    /// by `escalation` (saturating). kUnlimitedSteps disables metering.
+    std::uint64_t initial_steps = std::uint64_t{1} << 14;
+    /// Budget multiplier per retry (>= 1).
+    int escalation = 8;
+    /// Per-job wall-clock deadline in milliseconds across *all* of the
+    /// job's attempts; negative = unlimited. An expired deadline fails the
+    /// attempt with ResourceExhausted and forbids further retries.
+    std::int64_t deadline_ms = -1;
+};
+
+struct ServiceConfig {
+    /// Worker threads (clamped to >= 1).
+    int workers = 4;
+    RetryPolicy retry;
+    BreakerConfig breaker;
+    /// Checkpoint manifest path; empty disables checkpointing. An existing
+    /// checkpoint is loaded by run(): jobs it records as Verified are
+    /// restored (from_checkpoint = true) and not redone.
+    std::string checkpoint_path;
+};
+
+struct RunCounts {
+    int verified = 0;
+    int quarantined = 0;
+    int from_checkpoint = 0;
+    /// Jobs whose final attempt was short-circuited by the breaker.
+    int short_circuited = 0;
+};
+
+struct RunReport {
+    ServiceConfig config;
+    /// One record per job, in manifest order.
+    std::vector<JobRecord> jobs;
+    std::vector<BreakerSnapshot> breakers;
+    /// Checkpoint appends that failed (IO error or injected svc.checkpoint
+    /// fault); the run continues, resume just redoes those jobs.
+    int checkpoint_failures = 0;
+    std::int64_t wall_ms = 0;
+
+    [[nodiscard]] RunCounts counts() const;
+};
+
+class FusionService {
+  public:
+    explicit FusionService(ServiceConfig config = {});
+
+    /// Drives every job to a terminal state (Verified | Quarantined) and
+    /// returns the full report. Job ids must be unique (lf::Error otherwise
+    /// -- a manifest bug, not a job failure).
+    [[nodiscard]] RunReport run(const std::vector<JobSpec>& jobs);
+
+  private:
+    void process_job(const JobSpec& job, JobRecord& rec);
+    void checkpoint_job(const JobRecord& rec);
+
+    ServiceConfig config_;
+    CircuitBreakerBank breakers_;
+    std::mutex checkpoint_mutex_;
+    int checkpoint_failures_ = 0;
+};
+
+}  // namespace lf::svc

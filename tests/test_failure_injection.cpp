@@ -9,7 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <iterator>
 #include <set>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "analysis/dependence.hpp"
 #include "exec/engines.hpp"
@@ -20,6 +25,7 @@
 #include "graph/algorithms.hpp"
 #include "ir/parser.hpp"
 #include "ldg/legality.hpp"
+#include "support/faultpoint.hpp"
 #include "support/rng.hpp"
 #include "transform/fused_program.hpp"
 #include "workloads/generators.hpp"
@@ -185,6 +191,73 @@ TEST_P(DifferentialTest, JohnsonCyclesMatchBruteForce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range<std::uint64_t>(0, 25));
+
+// ---------------------------------------------------------------------------
+// The fault-point registry itself.
+// ---------------------------------------------------------------------------
+
+class FaultSpecTest : public ::testing::Test {
+  protected:
+    void SetUp() override { faultpoint::reset(); }
+    void TearDown() override { faultpoint::reset(); }
+};
+
+TEST_F(FaultSpecTest, ArmFromSpecReportsUnknownNames) {
+    // A misspelled LF_FAULT entry used to arm silently and never fire --
+    // a storm drill against it would be vacuously green. arm_from_spec now
+    // returns the offenders (and still arms them, for forward compat with
+    // binaries that compile in more points).
+    const std::vector<std::string> unknown =
+        faultpoint::arm_from_spec("llofra, sovler.spfa ,svc.plan,,  codegen.fuze");
+    EXPECT_EQ(unknown, (std::vector<std::string>{"sovler.spfa", "codegen.fuze"}));
+
+    EXPECT_TRUE(faultpoint::is_armed("llofra"));
+    EXPECT_TRUE(faultpoint::is_armed("svc.plan"));
+    EXPECT_TRUE(faultpoint::is_armed("sovler.spfa"));  // armed anyway, reported
+    EXPECT_FALSE(faultpoint::is_armed(""));            // empty entries dropped
+
+    EXPECT_TRUE(faultpoint::is_known_point("solver.spfa"));
+    EXPECT_FALSE(faultpoint::is_known_point("sovler.spfa"));
+}
+
+TEST_F(FaultSpecTest, WellFormedSpecReportsNothing) {
+    EXPECT_TRUE(faultpoint::arm_from_spec("solver.spfa,codegen.emit").empty());
+    EXPECT_TRUE(faultpoint::is_armed("solver.spfa"));
+    EXPECT_TRUE(faultpoint::is_armed("codegen.emit"));
+}
+
+TEST_F(FaultSpecTest, CompiledInListMatchesRobustnessDoc) {
+    // Drift guard: the table in docs/robustness.md (between the
+    // faultpoint-table markers) must list exactly known_points(). A new
+    // fault point lands in the doc or this test fails.
+    std::ifstream doc(LF_SOURCE_DIR "/docs/robustness.md");
+    ASSERT_TRUE(doc.good()) << "cannot open docs/robustness.md";
+    std::string text((std::istreambuf_iterator<char>(doc)), std::istreambuf_iterator<char>());
+
+    const std::string begin_marker = "<!-- faultpoint-table-begin -->";
+    const std::string end_marker = "<!-- faultpoint-table-end -->";
+    const std::size_t begin = text.find(begin_marker);
+    const std::size_t end = text.find(end_marker);
+    ASSERT_NE(begin, std::string::npos) << "missing " << begin_marker;
+    ASSERT_NE(end, std::string::npos) << "missing " << end_marker;
+    ASSERT_LT(begin, end);
+
+    std::set<std::string> documented;
+    const std::size_t body_begin = begin + begin_marker.size();
+    std::istringstream block(text.substr(body_begin, end - body_begin));
+    std::string token;
+    while (block >> token) {
+        if (token == "```") continue;
+        documented.insert(token);
+    }
+
+    std::set<std::string> compiled;
+    for (const auto& name : faultpoint::known_points()) compiled.insert(name);
+
+    EXPECT_EQ(documented, compiled)
+        << "docs/robustness.md fault-point table has drifted from "
+           "kCompiledIn in src/support/faultpoint.cpp";
+}
 
 }  // namespace
 }  // namespace lf

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <climits>
+#include <cstdio>
 #include <limits>
 #include <optional>
 #include <string>
@@ -26,6 +27,8 @@
 #include "ldg/retiming.hpp"
 #include "support/faultpoint.hpp"
 #include "support/status.hpp"
+#include "svc/manifest.hpp"
+#include "svc/service.hpp"
 #include "transform/codegen.hpp"
 #include "transform/distribution.hpp"
 #include "transform/fused_program.hpp"
@@ -218,6 +221,28 @@ TEST_F(RobustnessTest, EveryFaultPointFires) {
             (void)transform::emit_transformed(fused, Domain{10, 10});
         } catch (const Error&) {
             // expected for solver/codegen faults on the throwing surface
+        }
+
+        // Fusion service: one single-worker, single-attempt job with a
+        // checkpoint, reaching the svc.* points (plan, both gate halves,
+        // checkpoint append).
+        {
+            const std::string ckpt = ::testing::TempDir() + "robustness_fire.ckpt";
+            std::remove(ckpt.c_str());
+            svc::ServiceConfig config;
+            config.workers = 1;
+            config.retry.max_attempts = 1;
+            config.checkpoint_path = ckpt;
+            svc::FusionService service(config);
+            std::vector<svc::JobSpec> jobs;
+            jobs.push_back(svc::job_from_dsl_text("fig2", std::string(workloads::sources::kFig2),
+                                                  "paper"));
+            EXPECT_NO_THROW((void)service.run(jobs)) << point;
+            // svc.verify.replay only fires after certification passes;
+            // with svc.verify.certify also armed in other iterations they
+            // are independent, but within one iteration the single armed
+            // point always gets its shot.
+            std::remove(ckpt.c_str());
         }
 
         EXPECT_GE(faultpoint::hits(point), 1u) << "fault point never reached: " << point;
