@@ -1,8 +1,17 @@
 // Micro-benchmarks (google-benchmark) for the core algorithmic kernels:
 // Bellman-Ford (1-D and lexicographic 2-D), the constraint solver, the four
 // fusion algorithms, dependence analysis and the cache simulator.
+//
+// In addition to the usual google-benchmark output, the binary writes a
+// machine-readable solver summary (per-solver ns/op plus SolverStats
+// aggregates) to BENCH_solver.json -- override the path with
+// --solver_json=<path>, or pass --solver_json= (empty) to skip it.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
 
 #include "analysis/dependence.hpp"
 #include "fusion/acyclic_doall.hpp"
@@ -12,7 +21,10 @@
 #include "fusion/llofra.hpp"
 #include "graph/bellman_ford.hpp"
 #include "ir/parser.hpp"
+#include "graph/spfa.hpp"
 #include "sim/cache.hpp"
+#include "support/json.hpp"
+#include "support/vecn.hpp"
 #include "workloads/gallery.hpp"
 #include "workloads/generators.hpp"
 #include "workloads/sources.hpp"
@@ -127,6 +139,118 @@ void BM_CacheSimSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheSimSweep);
 
+// ---- Machine-readable solver summary (BENCH_solver.json) ----
+//
+// Each entry runs one solver `solves` times on a fixed random instance with
+// SolverStats attached; ns/op is wall_ns / solves from the stats themselves,
+// so the JSON numbers are exactly what the telemetry pipeline reports.
+
+void write_solver_entry(json::Writer& w, const char* name, const SolverStats& st) {
+    w.begin_object();
+    w.kv("solver", name);
+    w.kv("ns_per_op", st.solves == 0 ? std::uint64_t{0} : st.wall_ns / st.solves);
+    w.key("stats").begin_object();
+    w.kv("solves", st.solves);
+    w.kv("edge_scans", st.edge_scans);
+    w.kv("relaxations", st.relaxations);
+    w.kv("iterations", st.iterations);
+    w.kv("queue_pushes", st.queue_pushes);
+    w.kv("queue_pops", st.queue_pops);
+    w.kv("guard_steps", st.guard_steps);
+    w.kv("overflow_near_misses", st.overflow_near_misses);
+    w.kv("wall_ns", st.wall_ns);
+    w.end_object();
+    w.end_object();
+}
+
+bool write_solver_json(const std::string& path) {
+    constexpr int kNodes = 64;
+    constexpr int kSolves = 50;
+
+    const auto edges_1d = random_edges_1d(kNodes, kNodes * 4, 42);
+    SolverStats bf1d;
+    for (int k = 0; k < kSolves; ++k) {
+        benchmark::DoNotOptimize(
+            bellman_ford_all_sources<std::int64_t>(kNodes, edges_1d, nullptr, &bf1d));
+    }
+    SolverStats spfa1d;
+    for (int k = 0; k < kSolves; ++k) {
+        benchmark::DoNotOptimize(
+            spfa_all_sources<std::int64_t>(kNodes, edges_1d, nullptr, &spfa1d));
+    }
+
+    Rng rng2(7);
+    std::vector<WeightedEdge<Vec2>> edges_2d;
+    for (int k = 0; k < kNodes * 4; ++k) {
+        edges_2d.push_back({static_cast<int>(rng2.uniform(0, kNodes - 1)),
+                            static_cast<int>(rng2.uniform(0, kNodes - 1)),
+                            Vec2{rng2.uniform(0, 5), rng2.uniform(-5, 5)}});
+    }
+    SolverStats bf2d;
+    for (int k = 0; k < kSolves; ++k) {
+        benchmark::DoNotOptimize(
+            bellman_ford_all_sources<Vec2>(kNodes, edges_2d, nullptr, &bf2d));
+    }
+
+    constexpr int kDim = 3;
+    Rng rngn(23);
+    std::vector<WeightedEdge<VecN>> edges_nd;
+    for (int k = 0; k < kNodes * 4; ++k) {
+        VecN wgt = VecN::zeros(kDim);
+        wgt[0] = rngn.uniform(0, 5);
+        for (int d = 1; d < kDim; ++d) wgt[d] = rngn.uniform(-5, 5);
+        edges_nd.push_back({static_cast<int>(rngn.uniform(0, kNodes - 1)),
+                            static_cast<int>(rngn.uniform(0, kNodes - 1)), std::move(wgt)});
+    }
+    SolverStats bfnd;
+    for (int k = 0; k < kSolves; ++k) {
+        benchmark::DoNotOptimize(bellman_ford_all_sources<VecN>(
+            kNodes, edges_nd, nullptr, &bfnd, WeightTraits<VecN>(kDim)));
+    }
+
+    json::Writer w;
+    w.begin_object();
+    w.kv("nodes", kNodes);
+    w.kv("edges", kNodes * 4);
+    w.key("solvers").begin_array();
+    write_solver_entry(w, "bellman_ford.int64", bf1d);
+    write_solver_entry(w, "bellman_ford.vec2", bf2d);
+    write_solver_entry(w, "bellman_ford.vecn_dim3", bfnd);
+    write_solver_entry(w, "spfa.int64", spfa1d);
+    w.end_array();
+    w.end_object();
+
+    std::ofstream out(path);
+    if (!out.good()) return false;
+    out << w.str() << '\n';
+    return out.good();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    std::string solver_json = "BENCH_solver.json";
+    // Peel off our flag before google-benchmark sees the argument list.
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        constexpr const char* kFlag = "--solver_json=";
+        if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+            solver_json = argv[i] + std::strlen(kFlag);
+        } else {
+            argv[kept++] = argv[i];
+        }
+    }
+    argc = kept;
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (!solver_json.empty()) {
+        if (!write_solver_json(solver_json)) {
+            std::cerr << "bench_micro: could not write " << solver_json << '\n';
+            return 1;
+        }
+        std::cout << "wrote " << solver_json << '\n';
+    }
+    return 0;
+}

@@ -9,12 +9,13 @@
 
 namespace lf::ablation {
 
-Result<Retiming> try_cyclic_doall_all_hard(const Mldg& g, ResourceGuard* guard) {
+Result<Retiming> try_cyclic_doall_all_hard(const Mldg& g, ResourceGuard* guard,
+                                           SolverStats* stats) {
     if (faultpoint::triggered("forced_carry")) {
         return Status(StatusCode::Internal, "cyclic_doall_all_hard: fault injected");
     }
     {
-        const LegalityReport rep = check_schedulable(g, guard);
+        const LegalityReport rep = check_schedulable(g, guard, stats);
         if (rep.status != StatusCode::Ok) {
             return Status(rep.status, "cyclic_doall_all_hard: schedulability check aborted");
         }
@@ -28,7 +29,7 @@ Result<Retiming> try_cyclic_doall_all_hard(const Mldg& g, ResourceGuard* guard) 
     for (const auto& e : g.edges()) {
         sys.add_constraint(e.from, e.to, e.delta().x - 1);
     }
-    const auto solution = sys.solve(guard);
+    const auto solution = sys.solve(guard, stats);
     if (solution.status != StatusCode::Ok) {
         return Status(solution.status, "cyclic_doall_all_hard: solve aborted");
     }

@@ -32,7 +32,8 @@ namespace lf::ablation {
 /// negative cycle -- a normal outcome for this variant), ResourceExhausted /
 /// Overflow (solve cut short), Internal (fault point "forced_carry" armed).
 [[nodiscard]] Result<Retiming> try_cyclic_doall_all_hard(const Mldg& g,
-                                                         ResourceGuard* guard = nullptr);
+                                                         ResourceGuard* guard = nullptr,
+                                                         SolverStats* stats = nullptr);
 
 /// Algorithm 3 without the final y-zeroing.
 [[nodiscard]] Retiming acyclic_doall_keep_y(const Mldg& g);

@@ -7,12 +7,13 @@
 
 namespace lf {
 
-Result<Retiming> try_acyclic_doall_fusion(const Mldg& g, ResourceGuard* guard) {
+Result<Retiming> try_acyclic_doall_fusion(const Mldg& g, ResourceGuard* guard,
+                                          SolverStats* stats) {
     if (faultpoint::triggered("acyclic_doall")) {
         return Status(StatusCode::Internal, "acyclic_doall_fusion: fault injected");
     }
     {
-        const LegalityReport rep = check_schedulable(g, guard);
+        const LegalityReport rep = check_schedulable(g, guard, stats);
         if (rep.status != StatusCode::Ok) {
             return Status(rep.status, "acyclic_doall_fusion: schedulability check aborted");
         }
@@ -31,7 +32,7 @@ Result<Retiming> try_acyclic_doall_fusion(const Mldg& g, ResourceGuard* guard) {
     for (const auto& e : g.edges()) {
         sys.add_constraint(e.from, e.to, e.delta() - Vec2{1, -1});
     }
-    const auto solution = sys.solve(guard);
+    const auto solution = sys.solve(guard, stats);
     if (solution.status != StatusCode::Ok) {
         return Status(solution.status, "acyclic_doall_fusion: solve aborted");
     }

@@ -26,6 +26,7 @@ namespace lf {
 /// short), Internal (fault point "acyclic_doall" armed, or a postcondition
 /// the theorems guarantee failed).
 [[nodiscard]] Result<Retiming> try_acyclic_doall_fusion(const Mldg& g,
-                                                        ResourceGuard* guard = nullptr);
+                                                        ResourceGuard* guard = nullptr,
+                                                        SolverStats* stats = nullptr);
 
 }  // namespace lf

@@ -24,7 +24,8 @@ std::int64_t spread_of(const std::vector<std::int64_t>& values) {
 
 /// Solves the base system plus pairwise spread bounds; nullopt if infeasible.
 std::optional<std::vector<std::int64_t>> solve_with_spread(
-    int num_nodes, const std::vector<XConstraint>& base, std::int64_t spread) {
+    int num_nodes, const std::vector<XConstraint>& base, std::int64_t spread,
+    SolverStats* stats) {
     DifferenceConstraintSystem<std::int64_t> sys;
     for (int v = 0; v < num_nodes; ++v) sys.add_variable();
     for (const XConstraint& c : base) sys.add_constraint(c.from, c.to, c.bound);
@@ -33,18 +34,19 @@ std::optional<std::vector<std::int64_t>> solve_with_spread(
             if (u != v) sys.add_constraint(u, v, spread);  // x_v - x_u <= spread
         }
     }
-    auto solution = sys.solve();
+    auto solution = sys.solve(nullptr, stats);
     if (!solution.feasible) return std::nullopt;
     return std::move(solution.values);
 }
 
 /// Minimum-spread solution of the base system, assuming it is feasible.
 std::vector<std::int64_t> min_spread_solution(int num_nodes,
-                                              const std::vector<XConstraint>& base) {
+                                              const std::vector<XConstraint>& base,
+                                              SolverStats* stats) {
     DifferenceConstraintSystem<std::int64_t> sys;
     for (int v = 0; v < num_nodes; ++v) sys.add_variable();
     for (const XConstraint& c : base) sys.add_constraint(c.from, c.to, c.bound);
-    const auto unconstrained = sys.solve();
+    const auto unconstrained = sys.solve(nullptr, stats);
     check(unconstrained.feasible, "min_spread_solution: base system infeasible");
 
     std::int64_t hi = spread_of(unconstrained.values);
@@ -52,7 +54,7 @@ std::vector<std::int64_t> min_spread_solution(int num_nodes,
     std::int64_t lo = 0;
     while (lo < hi) {
         const std::int64_t mid = lo + (hi - lo) / 2;
-        if (auto solution = solve_with_spread(num_nodes, base, mid)) {
+        if (auto solution = solve_with_spread(num_nodes, base, mid, stats)) {
             best = std::move(*solution);
             hi = mid;
         } else {
@@ -64,7 +66,7 @@ std::vector<std::int64_t> min_spread_solution(int num_nodes,
 
 }  // namespace
 
-std::optional<Retiming> cyclic_doall_fusion_compact(const Mldg& g) {
+std::optional<Retiming> cyclic_doall_fusion_compact(const Mldg& g, SolverStats* stats) {
     check(is_schedulable(g), "cyclic_doall_fusion_compact: input MLDG is not schedulable");
 
     // Phase 1 constraints, exactly as in cyclic_doall_fusion.
@@ -77,9 +79,9 @@ std::optional<Retiming> cyclic_doall_fusion_compact(const Mldg& g) {
         DifferenceConstraintSystem<std::int64_t> probe;
         for (int v = 0; v < g.num_nodes(); ++v) probe.add_variable();
         for (const XConstraint& c : base) probe.add_constraint(c.from, c.to, c.bound);
-        if (!probe.solve().feasible) return std::nullopt;  // same failure as phase 1
+        if (!probe.solve(nullptr, stats).feasible) return std::nullopt;  // same failure as phase 1
     }
-    const std::vector<std::int64_t> rx = min_spread_solution(g.num_nodes(), base);
+    const std::vector<std::int64_t> rx = min_spread_solution(g.num_nodes(), base, stats);
 
     // Phase 2 against the compacted x-solution.
     DifferenceConstraintSystem<std::int64_t> sys_y;
@@ -91,7 +93,7 @@ std::optional<Retiming> cyclic_doall_fusion_compact(const Mldg& g) {
         if (retimed_x != 0) continue;
         sys_y.add_equality(e.from, e.to, e.delta().y);
     }
-    const auto sol_y = sys_y.solve();
+    const auto sol_y = sys_y.solve(nullptr, stats);
     if (!sol_y.feasible) {
         // Compaction changed the zero-x edge set unfavourably; fall back.
         return cyclic_doall_fusion(g).retiming;
@@ -103,7 +105,7 @@ std::optional<Retiming> cyclic_doall_fusion_compact(const Mldg& g) {
     return r;
 }
 
-Retiming acyclic_doall_fusion_compact(const Mldg& g) {
+Retiming acyclic_doall_fusion_compact(const Mldg& g, SolverStats* stats) {
     check(g.is_acyclic(), "acyclic_doall_fusion_compact: input MLDG has a cycle");
     check(is_schedulable(g), "acyclic_doall_fusion_compact: input MLDG is not schedulable");
     std::vector<XConstraint> base;
@@ -111,7 +113,7 @@ Retiming acyclic_doall_fusion_compact(const Mldg& g) {
     for (const auto& e : g.edges()) {
         base.push_back({e.from, e.to, e.delta().x - 1});
     }
-    const std::vector<std::int64_t> rx = min_spread_solution(g.num_nodes(), base);
+    const std::vector<std::int64_t> rx = min_spread_solution(g.num_nodes(), base, stats);
     Retiming r(g.num_nodes());
     for (int v = 0; v < g.num_nodes(); ++v) r.of(v) = Vec2{rx[static_cast<std::size_t>(v)], 0};
     return r;

@@ -23,16 +23,19 @@
 
 #include "ldg/mldg.hpp"
 #include "ldg/retiming.hpp"
+#include "support/solver_stats.hpp"
 
 namespace lf {
 
 /// Algorithm 4 with x-spread minimization. Same success set as
 /// cyclic_doall_fusion (falls back to its solution if the compacted phase 1
 /// breaks phase 2).
-[[nodiscard]] std::optional<Retiming> cyclic_doall_fusion_compact(const Mldg& g);
+[[nodiscard]] std::optional<Retiming> cyclic_doall_fusion_compact(
+    const Mldg& g, SolverStats* stats = nullptr);
 
 /// Algorithm 3 with x-spread minimization (y components zero, as in the
 /// paper). Requires an acyclic, schedulable graph.
-[[nodiscard]] Retiming acyclic_doall_fusion_compact(const Mldg& g);
+[[nodiscard]] Retiming acyclic_doall_fusion_compact(const Mldg& g,
+                                                   SolverStats* stats = nullptr);
 
 }  // namespace lf

@@ -9,7 +9,8 @@
 
 namespace lf {
 
-CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g, ResourceGuard* guard) {
+CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g, ResourceGuard* guard,
+                                       SolverStats* stats) {
     check(is_schedulable(g), "cyclic_doall_fusion: input MLDG is not schedulable");
     CyclicDoallOutcome out;
 
@@ -25,7 +26,7 @@ CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g, ResourceGuard* guard) {
     for (const auto& e : g.edges()) {
         sys_x.add_constraint(e.from, e.to, e.delta().x - (e.is_hard() ? 1 : 0));
     }
-    const auto sol_x = sys_x.solve(guard);
+    const auto sol_x = sys_x.solve(guard, stats);
     if (sol_x.status != StatusCode::Ok) {
         out.status = sol_x.status;
         out.failed_phase = 1;
@@ -60,7 +61,7 @@ CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g, ResourceGuard* guard) {
         if (retimed_x != 0) continue;
         sys_y.add_equality(e.from, e.to, e.delta().y);
     }
-    const auto sol_y = sys_y.solve(guard);
+    const auto sol_y = sys_y.solve(guard, stats);
     if (sol_y.status != StatusCode::Ok) {
         out.status = sol_y.status;
         out.failed_phase = 2;

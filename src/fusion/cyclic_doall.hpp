@@ -42,6 +42,7 @@ struct CyclicDoallOutcome {
 /// the phase solves; the fault points "cyclic_doall.phase1" and
 /// "cyclic_doall.phase2" simulate the corresponding phase infeasibility.
 [[nodiscard]] CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g,
-                                                     ResourceGuard* guard = nullptr);
+                                                     ResourceGuard* guard = nullptr,
+                                                     SolverStats* stats = nullptr);
 
 }  // namespace lf

@@ -80,6 +80,9 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
     ResourceGuard guard(options.limits);
     std::vector<StageReport> stages;
     std::uint64_t metered = 0;
+    // Solver telemetry accumulated since the last push_stage; each stage
+    // report carries exactly the solver work done on its behalf.
+    SolverStats rung_stats;
     auto push_stage = [&](std::string stage, StatusCode code, std::string detail) {
         StageReport r;
         r.stage = std::move(stage);
@@ -87,6 +90,8 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
         r.detail = std::move(detail);
         r.budget_consumed = guard.consumed() - metered;
         metered = guard.consumed();
+        r.solver = rung_stats;
+        rung_stats = SolverStats{};
         stages.push_back(std::move(r));
     };
 
@@ -96,7 +101,7 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
     // program model need the solver-backed schedulability check.
     const bool model_legal = is_legal_mldg(g);
     if (!model_legal) {
-        const LegalityReport rep = check_schedulable(g, &guard);
+        const LegalityReport rep = check_schedulable(g, &guard, &rung_stats);
         if (rep.status != StatusCode::Ok) {
             push_stage("validate", rep.status, "schedulability check aborted");
             Status st(rep.status, "try_plan_fusion: could not validate the input MLDG");
@@ -125,9 +130,9 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
         try {
             std::optional<Retiming> alt;
             if (plan.algorithm == AlgorithmUsed::AcyclicDoall) {
-                alt = acyclic_doall_fusion_compact(g);
+                alt = acyclic_doall_fusion_compact(g, &rung_stats);
             } else if (plan.algorithm == AlgorithmUsed::CyclicDoall) {
-                alt = cyclic_doall_fusion_compact(g);
+                alt = cyclic_doall_fusion_compact(g, &rung_stats);
             }
             if (!alt.has_value()) return;
             FusionPlan refined;
@@ -155,7 +160,7 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
     // ---- Rung 1: Algorithm 3 (acyclic graphs only). ----
     if (!options.distribution_only && g.is_acyclic()) {
         try {
-            auto r = try_acyclic_doall_fusion(g, &guard);
+            auto r = try_acyclic_doall_fusion(g, &guard, &rung_stats);
             if (r.ok()) {
                 FusionPlan plan;
                 plan.retiming = std::move(r).value();
@@ -178,7 +183,7 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
     // ---- Rung 2: Algorithm 4 (also handles acyclic graphs when rung 1
     // fell through). ----
     if (!options.distribution_only) try {
-        auto outcome = cyclic_doall_fusion(g, &guard);
+        auto outcome = cyclic_doall_fusion(g, &guard, &rung_stats);
         if (outcome.retiming.has_value()) {
             FusionPlan plan;
             plan.retiming = std::move(*outcome.retiming);
@@ -206,7 +211,7 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
 
     // ---- Rung 3: forced-carry variant (extension; still DOALL rows). ----
     if (!options.distribution_only) try {
-        auto r = ablation::try_cyclic_doall_all_hard(g, &guard);
+        auto r = ablation::try_cyclic_doall_all_hard(g, &guard, &rung_stats);
         if (r.ok()) {
             FusionPlan plan;
             plan.retiming = std::move(r).value();
@@ -227,7 +232,7 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
 
     // ---- Rung 4: Algorithm 5 (hyperplane wavefront). ----
     if (!options.distribution_only) try {
-        auto r = try_hyperplane_fusion(g, &guard);
+        auto r = try_hyperplane_fusion(g, &guard, &rung_stats);
         if (r.ok()) {
             FusionPlan plan;
             plan.retiming = std::move(r.value().retiming);

@@ -33,12 +33,13 @@ Vec2 schedule_vector_for(const Mldg& retimed_graph) {
     return Vec2{*s1, 1};
 }
 
-Result<HyperplaneResult> try_hyperplane_fusion(const Mldg& g, ResourceGuard* guard) {
+Result<HyperplaneResult> try_hyperplane_fusion(const Mldg& g, ResourceGuard* guard,
+                                               SolverStats* stats) {
     if (faultpoint::triggered("hyperplane")) {
         return Status(StatusCode::Internal, "hyperplane_fusion: fault injected");
     }
     HyperplaneResult out;
-    auto retiming = try_llofra(g, guard);
+    auto retiming = try_llofra(g, guard, stats);
     if (!retiming.ok()) return retiming.status();
     out.retiming = std::move(retiming).value();
     const Mldg retimed = out.retiming.apply(g);

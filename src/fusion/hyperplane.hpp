@@ -31,7 +31,8 @@ struct HyperplaneResult {
 /// "hyperplane" armed, or the computed schedule fails the strictness
 /// postcondition).
 [[nodiscard]] Result<HyperplaneResult> try_hyperplane_fusion(const Mldg& g,
-                                                             ResourceGuard* guard = nullptr);
+                                                             ResourceGuard* guard = nullptr,
+                                                             SolverStats* stats = nullptr);
 
 /// Lemma 4.3 in isolation: given a graph whose nonzero dependence vectors are
 /// all >= (0,0), produce a strict schedule vector. Exposed for testing and

@@ -7,12 +7,12 @@
 
 namespace lf {
 
-Result<Retiming> try_llofra(const Mldg& g, ResourceGuard* guard) {
+Result<Retiming> try_llofra(const Mldg& g, ResourceGuard* guard, SolverStats* stats) {
     if (faultpoint::triggered("llofra")) {
         return Status(StatusCode::Internal, "llofra: fault injected");
     }
     {
-        const LegalityReport rep = check_schedulable(g, guard);
+        const LegalityReport rep = check_schedulable(g, guard, stats);
         if (rep.status != StatusCode::Ok) {
             return Status(rep.status, "llofra: schedulability check aborted");
         }
@@ -29,7 +29,7 @@ Result<Retiming> try_llofra(const Mldg& g, ResourceGuard* guard) {
         // Require delta_r(e) >= (0,0), i.e. r(to) - r(from) <= delta(e).
         sys.add_constraint(e.from, e.to, e.delta());
     }
-    const auto solution = sys.solve(guard);
+    const auto solution = sys.solve(guard, stats);
     if (solution.status != StatusCode::Ok) {
         return Status(solution.status, "llofra: solve aborted");
     }

@@ -20,6 +20,7 @@ namespace lf {
 /// Never-throwing variant. Non-Ok: IllegalInput (not schedulable),
 /// ResourceExhausted / Overflow (solve cut short), Internal (fault point
 /// "llofra" armed, or Theorem 3.2's feasibility guarantee failed).
-[[nodiscard]] Result<Retiming> try_llofra(const Mldg& g, ResourceGuard* guard = nullptr);
+[[nodiscard]] Result<Retiming> try_llofra(const Mldg& g, ResourceGuard* guard = nullptr,
+                                          SolverStats* stats = nullptr);
 
 }  // namespace lf

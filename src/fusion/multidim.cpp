@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "graph/constraint_system_nd.hpp"
+#include "graph/constraint_system.hpp"
 #include "support/diagnostics.hpp"
 #include "support/math_util.hpp"
 
@@ -10,7 +10,7 @@ namespace lf {
 
 RetimingN llofra_nd(const MldgN& g) {
     check(is_schedulable_nd(g), "llofra_nd: input MLDG is not schedulable");
-    NdDifferenceConstraintSystem sys(g.dim());
+    DifferenceConstraintSystem<VecN> sys(g.dim());
     for (int v = 0; v < g.num_nodes(); ++v) sys.add_variable(g.node(v).name);
     for (const auto& e : g.edges()) {
         sys.add_constraint(e.from, e.to, e.delta());
@@ -25,7 +25,7 @@ RetimingN acyclic_outermost_fusion_nd(const MldgN& g) {
     check(is_schedulable_nd(g), "acyclic_outermost_fusion_nd: input MLDG is not schedulable");
     // 1-D constraints on the outermost component only: r0(v) - r0(u) <=
     // delta(e)[0] - 1, so every vector's first retimed component is >= 1.
-    NdDifferenceConstraintSystem sys(1);
+    DifferenceConstraintSystem<VecN> sys(1);
     for (int v = 0; v < g.num_nodes(); ++v) sys.add_variable(g.node(v).name);
     for (const auto& e : g.edges()) {
         sys.add_constraint(e.from, e.to, VecN{e.delta()[0] - 1});

@@ -1,12 +1,16 @@
 #pragma once
 // Bellman-Ford shortest paths over an arbitrary totally-ordered,
-// translation-invariant weight domain (int64 or lexicographic Vec2).
+// translation-invariant weight domain (int64 or lexicographic LexVec of any
+// extent, static or runtime).
 //
 // This is the computational core of every algorithm in the paper:
 //   * Alg. 1 (TwoDimBellmanFord) is bellman_ford<Vec2> from a virtual source
 //     connected to every vertex by zero-weight edges; we realize the virtual
 //     source by initializing every distance to zero instead of adding a node.
 //   * Algs. 2/3 call it on 2-D constraint graphs, Alg. 4 on two 1-D ones.
+//   * The n-D generalizations (fusion/multidim.hpp, ldg/mldg_nd.cpp) call it
+//     on VecN constraint graphs -- same loop, dimension carried by the
+//     traits instance.
 //
 // Complexity O(|V| * |E|), matching the paper's polynomial-time claim.
 //
@@ -16,13 +20,19 @@
 // overflow-checked (Overflow instead of UB), and the "solver.bellman_ford"
 // fault point aborts the solve with Internal on demand. Callers that pass no
 // guard and feed in-range weights see exactly the classical behavior.
+//
+// Telemetry: pass a SolverStats* to account relaxation work (see
+// support/solver_stats.hpp). A null pointer skips every accounting read,
+// including the wall clock -- the stats-free hot path is unchanged.
 
+#include <chrono>
 #include <cstddef>
 #include <vector>
 
 #include "graph/weight_traits.hpp"
 #include "support/diagnostics.hpp"
 #include "support/faultpoint.hpp"
+#include "support/solver_stats.hpp"
 #include "support/status.hpp"
 
 namespace lf {
@@ -88,6 +98,47 @@ std::vector<int> extract_cycle(const std::vector<WeightedEdge<W>>& edges,
     return {trimmed.rbegin(), trimmed.rend()};
 }
 
+/// Accumulates solver counters in locals and flushes them into the caller's
+/// SolverStats (if any) on every exit path. Null target: all accounting,
+/// including the clock reads, is skipped.
+class StatsScope {
+  public:
+    explicit StatsScope(SolverStats* target) : target_(target) {
+        if (target_ != nullptr) start_ = std::chrono::steady_clock::now();
+    }
+    StatsScope(const StatsScope&) = delete;
+    StatsScope& operator=(const StatsScope&) = delete;
+    ~StatsScope() {
+        if (target_ == nullptr) return;
+        target_->solves += 1;
+        target_->edge_scans += edge_scans;
+        target_->relaxations += relaxations;
+        target_->iterations += iterations;
+        target_->queue_pushes += queue_pushes;
+        target_->queue_pops += queue_pops;
+        target_->guard_steps += guard_steps;
+        target_->overflow_near_misses += overflow_near_misses;
+        target_->wall_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count());
+    }
+
+    [[nodiscard]] bool enabled() const { return target_ != nullptr; }
+
+    std::uint64_t edge_scans = 0;
+    std::uint64_t relaxations = 0;
+    std::uint64_t iterations = 0;
+    std::uint64_t queue_pushes = 0;
+    std::uint64_t queue_pops = 0;
+    std::uint64_t guard_steps = 0;
+    std::uint64_t overflow_near_misses = 0;
+
+  private:
+    SolverStats* target_;
+    std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace detail
 
 /// Bellman-Ford with every vertex as a zero-distance source. This models the
@@ -96,10 +147,12 @@ std::vector<int> extract_cycle(const std::vector<WeightedEdge<W>>& edges,
 template <typename W>
 ShortestPaths<W> bellman_ford_all_sources(int num_nodes,
                                           const std::vector<WeightedEdge<W>>& edges,
-                                          ResourceGuard* guard = nullptr) {
-    using T = WeightTraits<W>;
+                                          ResourceGuard* guard = nullptr,
+                                          SolverStats* stats = nullptr,
+                                          const WeightTraits<W>& traits = {}) {
+    detail::StatsScope scope(stats);
     ShortestPaths<W> r;
-    r.dist.assign(static_cast<std::size_t>(num_nodes), T::zero());
+    r.dist.assign(static_cast<std::size_t>(num_nodes), traits.zero());
     r.pred_edge.assign(static_cast<std::size_t>(num_nodes), -1);
     if (faultpoint::triggered("solver.bellman_ford")) {
         r.status = StatusCode::Internal;
@@ -107,21 +160,28 @@ ShortestPaths<W> bellman_ford_all_sources(int num_nodes,
     }
 
     for (int pass = 0; pass < num_nodes; ++pass) {
+        ++scope.iterations;
         bool changed = false;
         for (std::size_t ei = 0; ei < edges.size(); ++ei) {
             const auto& e = edges[ei];
             check(e.from >= 0 && e.from < num_nodes && e.to >= 0 && e.to < num_nodes,
                   "bellman_ford: edge endpoint out of range");
-            if (guard && !guard->consume()) {
-                r.status = StatusCode::ResourceExhausted;
-                return r;
+            ++scope.edge_scans;
+            if (guard != nullptr) {
+                ++scope.guard_steps;
+                if (!guard->consume()) {
+                    r.status = StatusCode::ResourceExhausted;
+                    return r;
+                }
             }
             W cand;
-            if (!T::checked_add(r.dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
+            if (!traits.checked_add(r.dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
                 r.status = StatusCode::Overflow;
                 return r;
             }
             if (cand < r.dist[static_cast<std::size_t>(e.to)]) {
+                ++scope.relaxations;
+                if (scope.enabled() && traits.near_overflow(cand)) ++scope.overflow_near_misses;
                 r.dist[static_cast<std::size_t>(e.to)] = cand;
                 r.pred_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);
                 changed = true;
@@ -132,8 +192,9 @@ ShortestPaths<W> bellman_ford_all_sources(int num_nodes,
     // An n-th pass that still relaxes implies a negative cycle.
     for (std::size_t ei = 0; ei < edges.size(); ++ei) {
         const auto& e = edges[ei];
+        ++scope.edge_scans;
         W cand;
-        if (!T::checked_add(r.dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
+        if (!traits.checked_add(r.dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
             r.status = StatusCode::Overflow;
             return r;
         }
@@ -151,33 +212,42 @@ ShortestPaths<W> bellman_ford_all_sources(int num_nodes,
 /// vertices keep the domain's infinity).
 template <typename W>
 ShortestPaths<W> bellman_ford(int num_nodes, const std::vector<WeightedEdge<W>>& edges,
-                              int source, ResourceGuard* guard = nullptr) {
-    using T = WeightTraits<W>;
+                              int source, ResourceGuard* guard = nullptr,
+                              SolverStats* stats = nullptr,
+                              const WeightTraits<W>& traits = {}) {
     check(source >= 0 && source < num_nodes, "bellman_ford: bad source");
+    detail::StatsScope scope(stats);
     ShortestPaths<W> r;
-    r.dist.assign(static_cast<std::size_t>(num_nodes), T::infinity());
+    r.dist.assign(static_cast<std::size_t>(num_nodes), traits.infinity());
     r.pred_edge.assign(static_cast<std::size_t>(num_nodes), -1);
-    r.dist[static_cast<std::size_t>(source)] = T::zero();
+    r.dist[static_cast<std::size_t>(source)] = traits.zero();
     if (faultpoint::triggered("solver.bellman_ford")) {
         r.status = StatusCode::Internal;
         return r;
     }
 
     for (int pass = 0; pass < num_nodes; ++pass) {
+        ++scope.iterations;
         bool changed = false;
         for (std::size_t ei = 0; ei < edges.size(); ++ei) {
             const auto& e = edges[ei];
-            if (T::is_infinite(r.dist[static_cast<std::size_t>(e.from)])) continue;
-            if (guard && !guard->consume()) {
-                r.status = StatusCode::ResourceExhausted;
-                return r;
+            if (traits.is_infinite(r.dist[static_cast<std::size_t>(e.from)])) continue;
+            ++scope.edge_scans;
+            if (guard != nullptr) {
+                ++scope.guard_steps;
+                if (!guard->consume()) {
+                    r.status = StatusCode::ResourceExhausted;
+                    return r;
+                }
             }
             W cand;
-            if (!T::checked_add(r.dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
+            if (!traits.checked_add(r.dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
                 r.status = StatusCode::Overflow;
                 return r;
             }
             if (cand < r.dist[static_cast<std::size_t>(e.to)]) {
+                ++scope.relaxations;
+                if (scope.enabled() && traits.near_overflow(cand)) ++scope.overflow_near_misses;
                 r.dist[static_cast<std::size_t>(e.to)] = cand;
                 r.pred_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);
                 changed = true;
@@ -187,9 +257,10 @@ ShortestPaths<W> bellman_ford(int num_nodes, const std::vector<WeightedEdge<W>>&
     }
     for (std::size_t ei = 0; ei < edges.size(); ++ei) {
         const auto& e = edges[ei];
-        if (T::is_infinite(r.dist[static_cast<std::size_t>(e.from)])) continue;
+        if (traits.is_infinite(r.dist[static_cast<std::size_t>(e.from)])) continue;
+        ++scope.edge_scans;
         W cand;
-        if (!T::checked_add(r.dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
+        if (!traits.checked_add(r.dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
             r.status = StatusCode::Overflow;
             return r;
         }

@@ -30,4 +30,10 @@ std::string DifferenceConstraintSystem<Vec2>::describe_conflict(
     return describe_impl(*this, conflict);
 }
 
+template <>
+std::string DifferenceConstraintSystem<VecN>::describe_conflict(
+    const std::vector<int>& conflict) const {
+    return describe_impl(*this, conflict);
+}
+
 }  // namespace lf

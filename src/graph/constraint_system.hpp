@@ -1,6 +1,10 @@
 #pragma once
-// Systems of difference constraints  x_j - x_i <= w_ij  over int64 or Vec2,
-// i.e. the paper's "Problem ILP" and "Problem 2-ILP" (Section 2.4).
+// Systems of difference constraints  x_j - x_i <= w_ij  over int64, Vec2 or
+// VecN, i.e. the paper's "Problem ILP" and "Problem 2-ILP" (Section 2.4) and
+// their n-dimensional analogue -- lexicographic order on Z^n is a
+// translation-invariant total order for every n, so one template serves all
+// dimensions (the historical NdDifferenceConstraintSystem is an alias of the
+// VecN instantiation; see graph/constraint_system_nd.hpp).
 //
 // Theorem 2.2 / 2.3: the system is feasible iff the constraint graph (edge
 // i -> j of weight w_ij for every constraint, plus a virtual source reaching
@@ -18,6 +22,14 @@ namespace lf {
 template <typename W>
 class DifferenceConstraintSystem {
   public:
+    /// Static weight domains need no traits state; the VecN instantiation is
+    /// constructed with its dimension (`DifferenceConstraintSystem<VecN>
+    /// sys(3)` -- WeightTraits<VecN> converts implicitly from int).
+    explicit DifferenceConstraintSystem(WeightTraits<W> traits = {})
+        : traits_(std::move(traits)) {}
+
+    [[nodiscard]] const WeightTraits<W>& traits() const { return traits_; }
+
     /// Adds a fresh unknown; returns its index. `name` is only used in
     /// diagnostics.
     int add_variable(std::string name = "") {
@@ -30,6 +42,8 @@ class DifferenceConstraintSystem {
     void add_constraint(int i, int j, W bound) {
         check(i >= 0 && i < num_variables() && j >= 0 && j < num_variables(),
               "DifferenceConstraintSystem: variable index out of range");
+        check(traits_.compatible(bound),
+              "DifferenceConstraintSystem: bound dimension mismatch");
         edges_.push_back(WeightedEdge<W>{i, j, bound});
     }
 
@@ -61,10 +75,12 @@ class DifferenceConstraintSystem {
 
     /// Solves in O(|V| * |E|) via Bellman-Ford from the virtual source. The
     /// optional guard bounds the relaxation work (ResourceExhausted instead
-    /// of running the full O(|V| * |E|) passes).
-    [[nodiscard]] Solution solve(ResourceGuard* guard = nullptr) const {
+    /// of running the full O(|V| * |E|) passes); the optional stats account
+    /// the solve's telemetry (support/solver_stats.hpp).
+    [[nodiscard]] Solution solve(ResourceGuard* guard = nullptr,
+                                 SolverStats* stats = nullptr) const {
         Solution s;
-        auto sp = bellman_ford_all_sources<W>(num_variables(), edges_, guard);
+        auto sp = bellman_ford_all_sources<W>(num_variables(), edges_, guard, stats, traits_);
         if (sp.status != StatusCode::Ok) {
             s.feasible = false;
             s.status = sp.status;
@@ -84,6 +100,7 @@ class DifferenceConstraintSystem {
     [[nodiscard]] std::string describe_conflict(const std::vector<int>& conflict) const;
 
   private:
+    WeightTraits<W> traits_;
     std::vector<std::string> names_;
     std::vector<WeightedEdge<W>> edges_;
 };

@@ -1,56 +1,17 @@
 #pragma once
-// Difference-constraint systems over Z^n under lexicographic order: the
-// n-dimensional form of the paper's 2-ILP problem (Section 2.4). Solved by
-// Bellman-Ford exactly as in 2-D -- lexicographic order on Z^n is a
-// translation-invariant total order for every n.
-//
-// This is a stand-alone class (rather than DifferenceConstraintSystem<VecN>)
-// because VecN carries its dimension at run time, so zero/infinity values
-// cannot come from a static WeightTraits specialization.
+// Historical header: the N-D difference-constraint system is now the unified
+// dimension-generic template of graph/constraint_system.hpp instantiated at
+// the runtime-extent weight domain. The dimension travels in the
+// WeightTraits<VecN> instance, which converts implicitly from int, so the
+// historical spelling `NdDifferenceConstraintSystem sys(3)` is unchanged --
+// and the solve now routes through the same hardened, instrumented
+// Bellman-Ford as the 1-D/2-D systems (fault point "solver.bellman_ford").
 
-#include <string>
-#include <vector>
-
-#include "support/status.hpp"
+#include "graph/constraint_system.hpp"
 #include "support/vecn.hpp"
 
 namespace lf {
 
-class NdDifferenceConstraintSystem {
-  public:
-    explicit NdDifferenceConstraintSystem(int dim) : dim_(dim) {}
-
-    [[nodiscard]] int dim() const { return dim_; }
-
-    int add_variable(std::string name = "");
-
-    /// Adds  x_j - x_i <= bound  (lexicographically).
-    void add_constraint(int i, int j, VecN bound);
-
-    [[nodiscard]] int num_variables() const { return static_cast<int>(names_.size()); }
-
-    struct Solution {
-        bool feasible = false;
-        std::vector<VecN> values;
-        /// Ok when the solve completed; ResourceExhausted / Overflow /
-        /// Internal when aborted (feasibility then undetermined).
-        StatusCode status = StatusCode::Ok;
-    };
-
-    /// O(|V| * |E| * n) Bellman-Ford from a virtual all-zero source, with
-    /// the same guard/overflow/fault hardening as the 1-D/2-D solvers.
-    [[nodiscard]] Solution solve(ResourceGuard* guard = nullptr) const;
-
-  private:
-    struct Constraint {
-        int from;
-        int to;
-        VecN bound;
-    };
-
-    int dim_;
-    std::vector<std::string> names_;
-    std::vector<Constraint> constraints_;
-};
+using NdDifferenceConstraintSystem = DifferenceConstraintSystem<VecN>;
 
 }  // namespace lf

@@ -7,7 +7,9 @@
 //
 // Carries the same hardening as bellman_ford.hpp: ResourceGuard metering
 // (one step per edge scan), overflow-checked relaxation, and the
-// "solver.spfa" fault point.
+// "solver.spfa" fault point. Telemetry mirrors bellman_ford.hpp as well --
+// pass a SolverStats* to account queue traffic and relaxations, null to keep
+// the stats-free path untouched.
 
 #include <deque>
 #include <vector>
@@ -29,10 +31,11 @@ struct SpfaResult {
 /// source construction of the paper's constraint graphs).
 template <typename W>
 SpfaResult<W> spfa_all_sources(int num_nodes, const std::vector<WeightedEdge<W>>& edges,
-                               ResourceGuard* guard = nullptr) {
-    using T = WeightTraits<W>;
+                               ResourceGuard* guard = nullptr, SolverStats* stats = nullptr,
+                               const WeightTraits<W>& traits = {}) {
+    detail::StatsScope scope(stats);
     SpfaResult<W> r;
-    r.dist.assign(static_cast<std::size_t>(num_nodes), T::zero());
+    r.dist.assign(static_cast<std::size_t>(num_nodes), traits.zero());
     if (faultpoint::triggered("solver.spfa")) {
         r.status = StatusCode::Internal;
         return r;
@@ -48,23 +51,32 @@ SpfaResult<W> spfa_all_sources(int num_nodes, const std::vector<WeightedEdge<W>>
     std::vector<bool> queued(static_cast<std::size_t>(num_nodes), true);
     std::vector<int> relaxations(static_cast<std::size_t>(num_nodes), 0);
     for (int v = 0; v < num_nodes; ++v) queue.push_back(v);
+    scope.queue_pushes += static_cast<std::uint64_t>(num_nodes);
 
     while (!queue.empty()) {
         const int u = queue.front();
         queue.pop_front();
+        ++scope.queue_pops;
+        ++scope.iterations;
         queued[static_cast<std::size_t>(u)] = false;
         for (const int ei : out[static_cast<std::size_t>(u)]) {
             const auto& e = edges[static_cast<std::size_t>(ei)];
-            if (guard && !guard->consume()) {
-                r.status = StatusCode::ResourceExhausted;
-                return r;
+            ++scope.edge_scans;
+            if (guard != nullptr) {
+                ++scope.guard_steps;
+                if (!guard->consume()) {
+                    r.status = StatusCode::ResourceExhausted;
+                    return r;
+                }
             }
             W cand;
-            if (!T::checked_add(r.dist[static_cast<std::size_t>(u)], e.weight, cand)) {
+            if (!traits.checked_add(r.dist[static_cast<std::size_t>(u)], e.weight, cand)) {
                 r.status = StatusCode::Overflow;
                 return r;
             }
             if (cand < r.dist[static_cast<std::size_t>(e.to)]) {
+                ++scope.relaxations;
+                if (scope.enabled() && traits.near_overflow(cand)) ++scope.overflow_near_misses;
                 r.dist[static_cast<std::size_t>(e.to)] = cand;
                 if (++relaxations[static_cast<std::size_t>(e.to)] >= num_nodes) {
                     r.has_negative_cycle = true;
@@ -73,6 +85,7 @@ SpfaResult<W> spfa_all_sources(int num_nodes, const std::vector<WeightedEdge<W>>
                 if (!queued[static_cast<std::size_t>(e.to)]) {
                     queued[static_cast<std::size_t>(e.to)] = true;
                     queue.push_back(e.to);
+                    ++scope.queue_pushes;
                 }
             }
         }

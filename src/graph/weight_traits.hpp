@@ -3,20 +3,37 @@
 //
 // The paper's Alg. 1 ("TwoDimBellmanFord") is ordinary Bellman-Ford run over
 // (Z^2, +, lexicographic <). Lexicographic order is translation invariant
-// (u <= v implies u+w <= v+w), so the classical correctness argument carries
-// over verbatim; we express that by making the solver generic over a weight
-// domain and instantiating it for both int64 (the 1-D systems of Alg. 4's
-// phases) and Vec2 (the 2-D systems of Algs. 2/3).
+// (u <= v implies u+w <= v+w) in every dimension, so the classical
+// correctness argument carries over verbatim; we express that by making the
+// solver generic over a weight domain and instantiating it for int64 (the
+// 1-D systems of Alg. 4's phases), any static-extent LexVec<N> -- Vec2 being
+// the paper's 2-D case -- and the runtime-extent VecN of the n-D
+// generalizations.
+//
+// Traits are *instances*, passed (by const reference, default-constructed
+// when the domain needs no state) down the solver entry points: static
+// domains carry no state and keep their historical static members, while
+// WeightTraits<VecN> carries the runtime dimension that zero()/infinity()
+// need. It is implicitly constructible from int so the historical
+// `NdDifferenceConstraintSystem sys(3)` spelling still reads naturally
+// through the alias.
 //
 // Each domain also supplies overflow-checked addition. The solvers relax via
 // checked_add and report StatusCode::Overflow instead of executing signed
-// overflow (UB) when adversarial weights drive distances past int64.
+// overflow (UB) when adversarial weights drive distances past int64;
+// near_overflow() flags results within 1/8 of the cap for telemetry.
 
 #include <cstdint>
+#include <limits>
 
-#include "support/vec2.hpp"
+#include "support/lexvec.hpp"
 
 namespace lf {
+
+namespace detail {
+/// Near-overflow watermark: 1/8 of the int64 range.
+inline constexpr std::int64_t kNearOverflow = std::numeric_limits<std::int64_t>::max() >> 3;
+}  // namespace detail
 
 template <typename W>
 struct WeightTraits;
@@ -30,16 +47,76 @@ struct WeightTraits<std::int64_t> {
     static bool checked_add(std::int64_t a, std::int64_t b, std::int64_t& out) {
         return !__builtin_add_overflow(a, b, &out);
     }
+    static constexpr bool near_overflow(std::int64_t w) {
+        return w >= detail::kNearOverflow || w <= -detail::kNearOverflow;
+    }
+    /// Static domains accept every weight (nothing to validate).
+    static constexpr bool compatible(std::int64_t) { return true; }
 };
 
-template <>
-struct WeightTraits<Vec2> {
-    static constexpr Vec2 zero() { return {0, 0}; }
-    static constexpr Vec2 infinity() { return kVecInfinity; }
-    static constexpr bool is_infinite(const Vec2& w) { return lf::is_infinite(w); }
-    static bool checked_add(const Vec2& a, const Vec2& b, Vec2& out) {
+/// All static extents, Vec2 (= LexVec<2>) included.
+template <int Extent>
+struct WeightTraits<LexVec<Extent>> {
+    static constexpr LexVec<Extent> zero() { return {}; }
+    static constexpr LexVec<Extent> infinity() {
+        LexVec<Extent> v;
+        for (int k = 0; k < Extent; ++k) v[k] = std::int64_t{1} << 40;
+        return v;
+    }
+    static constexpr bool is_infinite(const LexVec<Extent>& w) {
+        for (int k = 0; k < Extent; ++k) {
+            if (w[k] >= (std::int64_t{1} << 39)) return true;
+        }
+        return false;
+    }
+    static bool checked_add(const LexVec<Extent>& a, const LexVec<Extent>& b,
+                            LexVec<Extent>& out) {
         return lf::checked_add(a, b, out);
     }
+    static constexpr bool near_overflow(const LexVec<Extent>& w) {
+        for (int k = 0; k < Extent; ++k) {
+            if (w[k] >= detail::kNearOverflow || w[k] <= -detail::kNearOverflow) return true;
+        }
+        return false;
+    }
+    static constexpr bool compatible(const LexVec<Extent>&) { return true; }
+};
+
+/// Runtime extent: the dimension travels with the traits instance, since
+/// zero()/infinity() values cannot be produced without it.
+template <>
+struct WeightTraits<VecN> {
+    int dim = 0;
+
+    constexpr WeightTraits() = default;
+    // NOLINTNEXTLINE(google-explicit-constructor): the implicit int
+    // conversion is what keeps `DifferenceConstraintSystem<VecN> sys(3)`
+    // (the historical N-D spelling) well-formed.
+    constexpr WeightTraits(int dim_) : dim(dim_) {}
+
+    [[nodiscard]] VecN zero() const { return VecN::zeros(dim); }
+    [[nodiscard]] VecN infinity() const {
+        VecN v(dim);
+        for (int k = 0; k < dim; ++k) v[k] = std::int64_t{1} << 40;
+        return v;
+    }
+    static bool is_infinite(const VecN& w) {
+        for (int k = 0; k < w.dim(); ++k) {
+            if (w[k] >= (std::int64_t{1} << 39)) return true;
+        }
+        return false;
+    }
+    static bool checked_add(const VecN& a, const VecN& b, VecN& out) {
+        return lf::checked_add(a, b, out);
+    }
+    static bool near_overflow(const VecN& w) {
+        for (int k = 0; k < w.dim(); ++k) {
+            if (w[k] >= detail::kNearOverflow || w[k] <= -detail::kNearOverflow) return true;
+        }
+        return false;
+    }
+    /// A weight fits this domain instance iff its dimension matches.
+    [[nodiscard]] bool compatible(const VecN& w) const { return w.dim() == dim; }
 };
 
 }  // namespace lf

@@ -47,7 +47,7 @@ std::int64_t sat_mul_i64(std::int64_t a, std::int64_t b) {
 /// underlying solve aborts (witness is then meaningless).
 std::optional<std::vector<int>> cycle_weight_leq_zero(
     int num_nodes, const std::vector<WeightedEdge<std::int64_t>>& edges,
-    ResourceGuard* guard, StatusCode& status) {
+    ResourceGuard* guard, SolverStats* stats, StatusCode& status) {
     if (edges.empty()) return std::nullopt;
     const std::int64_t K = static_cast<std::int64_t>(edges.size()) + 1;
     std::vector<WeightedEdge<std::int64_t>> scaled;
@@ -58,7 +58,7 @@ std::optional<std::vector<int>> cycle_weight_leq_zero(
             {e.from, e.to,
              wk == std::numeric_limits<std::int64_t>::min() ? wk : wk - 1});
     }
-    auto sp = bellman_ford_all_sources<std::int64_t>(num_nodes, scaled, guard);
+    auto sp = bellman_ford_all_sources<std::int64_t>(num_nodes, scaled, guard, stats);
     if (sp.status != StatusCode::Ok) {
         status = sp.status;
         return std::nullopt;
@@ -70,11 +70,11 @@ std::optional<std::vector<int>> cycle_weight_leq_zero(
 /// Witness of a cycle with negative x-weight (over deltas), if any. Sets
 /// `status` when the underlying solve aborts.
 std::optional<std::vector<int>> negative_x_cycle(const Mldg& g, ResourceGuard* guard,
-                                                 StatusCode& status) {
+                                                 SolverStats* stats, StatusCode& status) {
     std::vector<WeightedEdge<std::int64_t>> edges;
     edges.reserve(static_cast<std::size_t>(g.num_edges()));
     for (const auto& e : g.edges()) edges.push_back({e.from, e.to, e.delta().x});
-    auto sp = bellman_ford_all_sources<std::int64_t>(g.num_nodes(), edges, guard);
+    auto sp = bellman_ford_all_sources<std::int64_t>(g.num_nodes(), edges, guard, stats);
     if (sp.status != StatusCode::Ok) {
         status = sp.status;
         return std::nullopt;
@@ -143,7 +143,7 @@ LegalityReport check_mldg_legality(const Mldg& g) {
 
 bool is_legal_mldg(const Mldg& g) { return check_mldg_legality(g).legal; }
 
-LegalityReport check_schedulable(const Mldg& g, ResourceGuard* guard) {
+LegalityReport check_schedulable(const Mldg& g, ResourceGuard* guard, SolverStats* stats) {
     LegalityReport report;
     auto fail = [&report](const std::string& msg) {
         report.legal = false;
@@ -170,7 +170,7 @@ LegalityReport check_schedulable(const Mldg& g, ResourceGuard* guard) {
     {
         std::vector<std::pair<int, int>> edge_nodes;
         for (const auto& e : g.edges()) edge_nodes.emplace_back(e.from, e.to);
-        const auto witness = negative_x_cycle(g, guard, solver_status);
+        const auto witness = negative_x_cycle(g, guard, stats, solver_status);
         if (solver_status != StatusCode::Ok) {
             report.status = solver_status;
             report.legal = false;  // conservative: verdict undetermined
@@ -191,7 +191,8 @@ LegalityReport check_schedulable(const Mldg& g, ResourceGuard* guard) {
             zero_x_nodes.emplace_back(e.from, e.to);
         }
     }
-    const auto witness = cycle_weight_leq_zero(g.num_nodes(), zero_x_edges, guard, solver_status);
+    const auto witness =
+        cycle_weight_leq_zero(g.num_nodes(), zero_x_edges, guard, stats, solver_status);
     if (solver_status != StatusCode::Ok) {
         report.status = solver_status;
         report.legal = false;

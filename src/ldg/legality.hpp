@@ -63,7 +63,8 @@ struct LegalityReport {
 /// Schedulability: checks (S1)-(S2). Program-model legality implies this.
 /// The optional guard bounds the Bellman-Ford cycle checks; on exhaustion the
 /// report carries status != Ok and legal == false (conservative).
-[[nodiscard]] LegalityReport check_schedulable(const Mldg& g, ResourceGuard* guard = nullptr);
+[[nodiscard]] LegalityReport check_schedulable(const Mldg& g, ResourceGuard* guard = nullptr,
+                                               SolverStats* stats = nullptr);
 
 [[nodiscard]] bool is_schedulable(const Mldg& g);
 

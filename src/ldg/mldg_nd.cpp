@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "graph/algorithms.hpp"
+#include "graph/bellman_ford.hpp"
 #include "support/diagnostics.hpp"
 
 namespace lf {
@@ -111,7 +112,7 @@ bool prefix_nonnegative(const VecN& v) {
 
 }  // namespace
 
-bool is_schedulable_nd(const MldgN& g) {
+bool is_schedulable_nd(const MldgN& g, ResourceGuard* guard, SolverStats* stats) {
     // (S1') outer prefixes must be lexicographically non-negative: nothing
     // may flow backwards at the sequential levels.
     for (const auto& e : g.edges()) {
@@ -119,36 +120,25 @@ bool is_schedulable_nd(const MldgN& g) {
             if (!prefix_nonnegative(d)) return false;
         }
     }
-    // (S2') no cycle with weight <= 0. Detect with Bellman-Ford over
-    // epsilon-adjusted vectors: scale the last component by K > |E| and
-    // subtract one, so a cycle's adjusted weight is lexicographically
-    // negative exactly when its true weight is <= 0.
+    // (S2') no cycle with weight <= 0. Detect with the unified lexicographic
+    // Bellman-Ford over epsilon-adjusted vectors: scale the last component by
+    // K > |E| and subtract one, so a cycle's adjusted weight is
+    // lexicographically negative exactly when its true weight is <= 0.
     if (g.num_edges() == 0) return true;
     const std::int64_t K = g.num_edges() + 1;
-    std::vector<VecN> dist(static_cast<std::size_t>(g.num_nodes()), VecN::zeros(g.dim()));
-    auto adjusted = [&](const VecN& d) {
-        VecN v = d;
-        v[v.dim() - 1] = v[v.dim() - 1] * K - 1;
-        return v;
-    };
-    for (int pass = 0; pass < g.num_nodes(); ++pass) {
-        bool changed = false;
-        for (const auto& e : g.edges()) {
-            const VecN cand = dist[static_cast<std::size_t>(e.from)] + adjusted(e.delta());
-            if (cand < dist[static_cast<std::size_t>(e.to)]) {
-                dist[static_cast<std::size_t>(e.to)] = cand;
-                changed = true;
-            }
-        }
-        if (!changed) return true;
-    }
+    std::vector<WeightedEdge<VecN>> edges;
+    edges.reserve(static_cast<std::size_t>(g.num_edges()));
     for (const auto& e : g.edges()) {
-        if (dist[static_cast<std::size_t>(e.from)] + adjusted(e.delta()) <
-            dist[static_cast<std::size_t>(e.to)]) {
-            return false;
-        }
+        VecN v = e.delta();
+        v[v.dim() - 1] = v[v.dim() - 1] * K - 1;
+        edges.push_back(WeightedEdge<VecN>{e.from, e.to, std::move(v)});
     }
-    return true;
+    const auto sp = bellman_ford_all_sources<VecN>(g.num_nodes(), edges, guard, stats,
+                                                   WeightTraits<VecN>(g.dim()));
+    // A cut-short solve (fault, budget, overflow) cannot certify the cycle
+    // condition: answer conservatively.
+    if (sp.status != StatusCode::Ok) return false;
+    return !sp.has_negative_cycle;
 }
 
 }  // namespace lf

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "support/solver_stats.hpp"
+#include "support/status.hpp"
 #include "support/vecn.hpp"
 
 namespace lf {
@@ -84,6 +86,10 @@ class RetimingN {
 /// every dependence vector >= the zero vector would be too strong; the
 /// operative condition is that every *cycle* weighs lexicographically more
 /// than zero, and no vector has a negative leading (outermost) component.
-[[nodiscard]] bool is_schedulable_nd(const MldgN& g);
+/// The cycle test runs on the unified lexicographic Bellman-Ford; a solve
+/// cut short by the optional guard (or a solver fault) answers false
+/// conservatively. Optional stats account the solve's telemetry.
+[[nodiscard]] bool is_schedulable_nd(const MldgN& g, ResourceGuard* guard = nullptr,
+                                     SolverStats* stats = nullptr);
 
 }  // namespace lf

@@ -1,0 +1,33 @@
+#include "support/cemit.hpp"
+
+#include <cstdio>
+
+namespace lf::cemit {
+
+std::string c_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    std::string s(buf);
+    // Ensure a floating literal: 17-digit integer values print without '.'.
+    if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+        s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+        s += ".0";
+    }
+    return s;
+}
+
+std::string index_with_offset(const std::string& var, std::int64_t offset) {
+    std::ostringstream os;
+    os << var;
+    if (offset > 0) os << " + " << offset;
+    if (offset < 0) os << " - " << -offset;
+    return os.str();
+}
+
+std::string format_checksum(double checksum) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", checksum);
+    return buf;
+}
+
+}  // namespace lf::cemit

@@ -1,0 +1,70 @@
+#pragma once
+// Shared C-emission helpers for the self-verifying code generators.
+//
+// transform/codegen_c.cpp (2-D Figure-1 programs) and mdir/codegen_c.cpp
+// (N-D programs) emit the same C dialect: double literals that always parse
+// as floating constants, "var +/- offset" index expressions, and a
+// parenthesized recursive expression printer over a four-node AST
+// (literal / read / unary minus / binary op). Those pieces live here once;
+// each generator keeps only its genuinely dialect-specific parts (array
+// reference syntax, loop structure).
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "support/diagnostics.hpp"
+
+namespace lf::cemit {
+
+/// `v` as a C double literal: %.17g round-trips every double, plus a ".0"
+/// suffix when the result would otherwise parse as an integer constant.
+[[nodiscard]] std::string c_double(double v);
+
+/// "var", "var + k" or "var - k": an index expression with a constant offset.
+[[nodiscard]] std::string index_with_offset(const std::string& var, std::int64_t offset);
+
+/// Checksum value formatted exactly as the emitted C program prints it
+/// (printf "%.17g"), so host-side expectations compare byte-for-byte.
+[[nodiscard]] std::string format_checksum(double checksum);
+
+/// Recursive C expression printer, generic over the IR dialect. `Dialect`
+/// names the four node types; `ref_fn(os, read_node)` prints an array
+/// reference in the dialect's syntax (the only part that differs between
+/// the 2-D and N-D generators).
+///
+///   struct Dialect {
+///     using Expr    = ...;  // abstract base
+///     using Literal = ...;  // ->value() : double
+///     using Read    = ...;  // passed to ref_fn
+///     using Unary   = ...;  // ->operand() : Expr
+///     using Binary  = ...;  // ->lhs()/->rhs() : Expr, ->op() : char
+///   };
+template <typename Dialect, typename RefFn>
+void emit_expr(std::ostringstream& os, const typename Dialect::Expr& e, RefFn&& ref_fn) {
+    if (const auto* lit = dynamic_cast<const typename Dialect::Literal*>(&e)) {
+        os << c_double(lit->value());
+        return;
+    }
+    if (const auto* read = dynamic_cast<const typename Dialect::Read*>(&e)) {
+        ref_fn(os, *read);
+        return;
+    }
+    if (const auto* unary = dynamic_cast<const typename Dialect::Unary*>(&e)) {
+        os << "(-";
+        emit_expr<Dialect>(os, unary->operand(), ref_fn);
+        os << ')';
+        return;
+    }
+    if (const auto* bin = dynamic_cast<const typename Dialect::Binary*>(&e)) {
+        os << '(';
+        emit_expr<Dialect>(os, bin->lhs(), ref_fn);
+        os << ' ' << bin->op() << ' ';
+        emit_expr<Dialect>(os, bin->rhs(), ref_fn);
+        os << ')';
+        return;
+    }
+    throw Error("cemit::emit_expr: unhandled expression node");
+}
+
+}  // namespace lf::cemit

@@ -22,9 +22,10 @@ constexpr const char* kCompiledIn[] = {
     "llofra",                // Algorithm 2 core
     "hyperplane",            // Algorithm 5 rung
     "distribution",          // unfused loop-distribution fallback rung
-    "solver.bellman_ford",   // graph/bellman_ford.hpp (both entry points)
+    "solver.bellman_ford",   // graph/bellman_ford.hpp (both entry points; the
+                             // unified 1-D/2-D/N-D constraint systems all
+                             // solve through here)
     "solver.spfa",           // graph/spfa.hpp
-    "solver.constraints_nd", // graph/constraint_system_nd.cpp
     "codegen.fuse",          // transform::fuse_program
     "codegen.emit",          // transform::emit_transformed
     "svc.plan",              // svc worker: planning attempt aborts (retryable)

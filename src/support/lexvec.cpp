@@ -1,11 +1,11 @@
-#include "support/vec2.hpp"
+#include "support/lexvec.hpp"
 
 #include <ostream>
 #include <sstream>
 
 namespace lf {
 
-std::string Vec2::str() const {
+std::string LexVec<2>::str() const {
     std::ostringstream os;
     os << *this;
     return os.str();
@@ -14,6 +14,17 @@ std::string Vec2::str() const {
 std::ostream& operator<<(std::ostream& os, const Vec2& v) {
     if (is_infinite(v)) return os << "(inf,inf)";
     return os << '(' << v.x << ',' << v.y << ')';
+}
+
+std::string LexVec<kDynamicExtent>::str() const {
+    std::ostringstream os;
+    os << '(';
+    for (int k = 0; k < dim(); ++k) {
+        if (k) os << ',';
+        os << (*this)[k];
+    }
+    os << ')';
+    return os.str();
 }
 
 }  // namespace lf

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "support/diagnostics.hpp"
+#include "support/solver_stats.hpp"
 
 namespace lf {
 
@@ -51,6 +52,9 @@ struct StageReport {
     std::string detail;
     /// ResourceGuard steps consumed by this stage.
     std::uint64_t budget_consumed = 0;
+    /// Solver telemetry accounted while this stage ran (zero/empty for
+    /// solver-free stages such as validation or the distribution fallback).
+    SolverStats solver;
 
     [[nodiscard]] std::string str() const;
 };

@@ -1,110 +1,6 @@
 #pragma once
-// Two-dimensional integer vectors ordered lexicographically.
-//
-// The entire paper works in (outer, inner) = (i, j) iteration-distance space,
-// compared lexicographically: (a,b) < (x,y) iff a < x, or a == x and b < y.
-// Lexicographic order on Z^2 is a translation-invariant total order, which is
-// exactly what the two-dimensional Bellman-Ford solver (paper Alg. 1) needs.
+// Historical header: `Vec2` is now the LexVec<2> specialization of the
+// dimension-generic lexicographic vector in support/lexvec.hpp. Kept so the
+// many 2-D call sites (and out-of-tree users) keep their include unchanged.
 
-#include <compare>
-#include <cstdint>
-#include <functional>
-#include <iosfwd>
-#include <limits>
-#include <string>
-
-namespace lf {
-
-/// A point / distance in two-dimensional iteration space. `x` is the distance
-/// along the outermost (sequential) loop, `y` along the innermost (DOALL) loop.
-struct Vec2 {
-    std::int64_t x = 0;
-    std::int64_t y = 0;
-
-    constexpr Vec2() = default;
-    constexpr Vec2(std::int64_t x_, std::int64_t y_) : x(x_), y(y_) {}
-
-    /// Lexicographic comparison: member order (x, then y) is exactly the
-    /// lexicographic order the paper uses throughout.
-    friend constexpr auto operator<=>(const Vec2&, const Vec2&) = default;
-
-    constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
-    constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
-    constexpr Vec2 operator-() const { return {-x, -y}; }
-    constexpr Vec2& operator+=(const Vec2& o) { x += o.x; y += o.y; return *this; }
-    constexpr Vec2& operator-=(const Vec2& o) { x -= o.x; y -= o.y; return *this; }
-    constexpr Vec2 operator*(std::int64_t k) const { return {x * k, y * k}; }
-
-    /// Inner product; used for schedule-vector tests `s . d > 0` (Lemma 4.3).
-    [[nodiscard]] constexpr std::int64_t dot(const Vec2& o) const {
-        return x * o.x + y * o.y;
-    }
-
-    [[nodiscard]] constexpr bool is_zero() const { return x == 0 && y == 0; }
-
-    [[nodiscard]] std::string str() const;
-};
-
-std::ostream& operator<<(std::ostream& os, const Vec2& v);
-
-/// Sentinel "plus infinity" for lexicographic shortest paths (paper writes
-/// (inf, inf) when initializing Alg. 1). Large enough to never be reached by
-/// sums over realistic graphs, small enough to never overflow when added to
-/// real edge weights.
-inline constexpr Vec2 kVecInfinity{std::int64_t{1} << 40, std::int64_t{1} << 40};
-
-[[nodiscard]] inline constexpr bool is_infinite(const Vec2& v) {
-    return v.x >= (std::int64_t{1} << 39) || v.y >= (std::int64_t{1} << 39);
-}
-
-/// Saturating int64 addition: clamps to the int64 range instead of invoking
-/// signed-overflow UB. Deterministic on every platform.
-[[nodiscard]] inline std::int64_t sat_add_i64(std::int64_t a, std::int64_t b) {
-    std::int64_t out;
-    if (!__builtin_add_overflow(a, b, &out)) return out;
-    return b > 0 ? std::numeric_limits<std::int64_t>::max()
-                 : std::numeric_limits<std::int64_t>::min();
-}
-
-[[nodiscard]] inline std::int64_t sat_sub_i64(std::int64_t a, std::int64_t b) {
-    std::int64_t out;
-    if (!__builtin_sub_overflow(a, b, &out)) return out;
-    return b < 0 ? std::numeric_limits<std::int64_t>::max()
-                 : std::numeric_limits<std::int64_t>::min();
-}
-
-/// Component-wise saturating Vec2 arithmetic, used where adversarial inputs
-/// could otherwise drive dependence-vector sums past int64 (retiming
-/// application). Legality checks reject out-of-range magnitudes up front
-/// (kMaxDependenceMagnitude in ldg/legality.hpp), so saturation is a
-/// defense-in-depth backstop, not a steady-state code path.
-[[nodiscard]] inline Vec2 sat_add(const Vec2& a, const Vec2& b) {
-    return {sat_add_i64(a.x, b.x), sat_add_i64(a.y, b.y)};
-}
-
-[[nodiscard]] inline Vec2 sat_sub(const Vec2& a, const Vec2& b) {
-    return {sat_sub_i64(a.x, b.x), sat_sub_i64(a.y, b.y)};
-}
-
-/// Overflow-checked component-wise addition: false (and `out` saturated)
-/// when either component overflows.
-[[nodiscard]] inline bool checked_add(const Vec2& a, const Vec2& b, Vec2& out) {
-    const bool ox = __builtin_add_overflow(a.x, b.x, &out.x);
-    const bool oy = __builtin_add_overflow(a.y, b.y, &out.y);
-    if (ox || oy) {
-        out = sat_add(a, b);
-        return false;
-    }
-    return true;
-}
-
-}  // namespace lf
-
-template <>
-struct std::hash<lf::Vec2> {
-    std::size_t operator()(const lf::Vec2& v) const noexcept {
-        const std::size_t hx = std::hash<std::int64_t>{}(v.x);
-        const std::size_t hy = std::hash<std::int64_t>{}(v.y);
-        return hx ^ (hy + 0x9e3779b97f4a7c15ULL + (hx << 6) + (hx >> 2));
-    }
-};
+#include "support/lexvec.hpp"

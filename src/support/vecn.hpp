@@ -1,94 +1,5 @@
 #pragma once
-// n-dimensional integer vectors under lexicographic order, for the general
-// multi-dimensional MLDG of Definition 2.2. The 2-D specialization (Vec2)
-// stays a separate, lighter type because the paper's main algorithms are
-// two-dimensional; VecN powers the n-D generalizations in fusion/multidim.
+// Historical header: `VecN` is now the LexVec<kDynamicExtent> specialization
+// of the dimension-generic lexicographic vector in support/lexvec.hpp.
 
-#include <cstdint>
-#include <initializer_list>
-#include <string>
-#include <vector>
-
-#include "support/diagnostics.hpp"
-
-namespace lf {
-
-class VecN {
-  public:
-    VecN() = default;
-    explicit VecN(int dim) : c_(static_cast<std::size_t>(dim), 0) {}
-    VecN(std::initializer_list<std::int64_t> values) : c_(values) {}
-    explicit VecN(std::vector<std::int64_t> values) : c_(std::move(values)) {}
-
-    [[nodiscard]] int dim() const { return static_cast<int>(c_.size()); }
-    [[nodiscard]] std::int64_t operator[](int k) const { return c_[static_cast<std::size_t>(k)]; }
-    [[nodiscard]] std::int64_t& operator[](int k) { return c_[static_cast<std::size_t>(k)]; }
-
-    /// Lexicographic comparison (std::vector's operator<=> is lexicographic).
-    friend auto operator<=>(const VecN&, const VecN&) = default;
-
-    VecN operator+(const VecN& o) const {
-        check(dim() == o.dim(), "VecN: dimension mismatch");
-        VecN r(dim());
-        for (int k = 0; k < dim(); ++k) r[k] = (*this)[k] + o[k];
-        return r;
-    }
-    VecN operator-(const VecN& o) const {
-        check(dim() == o.dim(), "VecN: dimension mismatch");
-        VecN r(dim());
-        for (int k = 0; k < dim(); ++k) r[k] = (*this)[k] - o[k];
-        return r;
-    }
-    VecN operator-() const {
-        VecN r(dim());
-        for (int k = 0; k < dim(); ++k) r[k] = -(*this)[k];
-        return r;
-    }
-    VecN& operator+=(const VecN& o) { return *this = *this + o; }
-
-    [[nodiscard]] std::int64_t dot(const VecN& o) const {
-        check(dim() == o.dim(), "VecN: dimension mismatch");
-        std::int64_t sum = 0;
-        for (int k = 0; k < dim(); ++k) sum += (*this)[k] * o[k];
-        return sum;
-    }
-
-    [[nodiscard]] bool is_zero() const {
-        for (int k = 0; k < dim(); ++k) {
-            if ((*this)[k] != 0) return false;
-        }
-        return true;
-    }
-
-    /// Index of the first nonzero component, or dim() when zero.
-    [[nodiscard]] int leading_index() const {
-        for (int k = 0; k < dim(); ++k) {
-            if ((*this)[k] != 0) return k;
-        }
-        return dim();
-    }
-
-    [[nodiscard]] static VecN zeros(int dim) { return VecN(dim); }
-
-    [[nodiscard]] std::string str() const;
-
-  private:
-    std::vector<std::int64_t> c_;
-};
-
-/// Overflow-checked component-wise addition: false when any component would
-/// overflow int64 (`out` then holds the wrapped values; callers must treat
-/// the result as poisoned and surface StatusCode::Overflow).
-[[nodiscard]] inline bool checked_add(const VecN& a, const VecN& b, VecN& out) {
-    check(a.dim() == b.dim(), "VecN: dimension mismatch");
-    out = VecN(a.dim());
-    bool overflowed = false;
-    for (int k = 0; k < a.dim(); ++k) {
-        std::int64_t sum = 0;
-        overflowed |= __builtin_add_overflow(a[k], b[k], &sum);
-        out[k] = sum;
-    }
-    return !overflowed;
-}
-
-}  // namespace lf
+#include "support/lexvec.hpp"

@@ -10,16 +10,37 @@ namespace lf::svc {
 
 namespace {
 
-void write_stage(json::Writer& w, const StageReport& s) {
+/// Solver telemetry as a JSON object. wall_ns is emitted only when the
+/// caller wants timings: it is nondeterministic, and the report is otherwise
+/// byte-stable for differential testing.
+void write_solver_stats(json::Writer& w, const SolverStats& st, bool include_timings) {
+    w.begin_object();
+    w.kv("solves", st.solves);
+    w.kv("edge_scans", st.edge_scans);
+    w.kv("relaxations", st.relaxations);
+    w.kv("iterations", st.iterations);
+    w.kv("queue_pushes", st.queue_pushes);
+    w.kv("queue_pops", st.queue_pops);
+    w.kv("guard_steps", st.guard_steps);
+    w.kv("overflow_near_misses", st.overflow_near_misses);
+    if (include_timings) w.kv("wall_ns", st.wall_ns);
+    w.end_object();
+}
+
+void write_stage(json::Writer& w, const StageReport& s, bool include_timings) {
     w.begin_object();
     w.kv("stage", s.stage);
     w.kv("code", to_string(s.code));
     w.kv("detail", s.detail);
     w.kv("budget", s.budget_consumed);
+    if (s.solver.any()) {
+        w.key("solver");
+        write_solver_stats(w, s.solver, include_timings);
+    }
     w.end_object();
 }
 
-void write_attempt(json::Writer& w, const AttemptRecord& a) {
+void write_attempt(json::Writer& w, const AttemptRecord& a, bool include_timings) {
     w.begin_object();
     w.kv("attempt", a.number);
     w.kv("max_steps", a.max_steps);
@@ -28,7 +49,7 @@ void write_attempt(json::Writer& w, const AttemptRecord& a) {
     w.kv("short_circuited", a.short_circuited);
     w.kv("budget_spent", a.budget_spent);
     w.key("stages").begin_array();
-    for (const auto& s : a.stages) write_stage(w, s);
+    for (const auto& s : a.stages) write_stage(w, s, include_timings);
     w.end_array();
     w.end_object();
 }
@@ -49,8 +70,14 @@ void write_job(json::Writer& w, const JobRecord& j, bool include_timings) {
          !j.attempts.empty() && j.attempts.back().short_circuited);
     w.kv("from_checkpoint", j.from_checkpoint);
     if (include_timings) w.kv("wall_ms", j.wall_ms);
+    SolverStats total;  // per-job aggregate over every attempt's stages
+    for (const auto& a : j.attempts) {
+        for (const auto& s : a.stages) total.merge(s.solver);
+    }
+    w.key("solver");
+    write_solver_stats(w, total, include_timings);
     w.key("attempt_log").begin_array();
-    for (const auto& a : j.attempts) write_attempt(w, a);
+    for (const auto& a : j.attempts) write_attempt(w, a, include_timings);
     w.end_array();
     w.end_object();
 }

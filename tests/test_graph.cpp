@@ -156,6 +156,95 @@ TEST(ConstraintSystem, InconsistentEqualitiesAreInfeasible) {
     EXPECT_FALSE(sys.solve().feasible);
 }
 
+TEST(ConstraintSystem, EqualityParityAcrossDimensions) {
+    // add_equality must behave identically on every instantiation of the
+    // unified system: 1-D, 2-D, and runtime-dimension N-D.
+    DifferenceConstraintSystem<Vec2> sys2;
+    for (int k = 0; k < 3; ++k) sys2.add_variable();
+    sys2.add_equality(0, 1, Vec2{2, -1});
+    sys2.add_equality(1, 2, Vec2{0, 4});
+    const auto s2 = sys2.solve();
+    ASSERT_TRUE(s2.feasible);
+    EXPECT_EQ(s2.values[1] - s2.values[0], (Vec2{2, -1}));
+    EXPECT_EQ(s2.values[2] - s2.values[1], (Vec2{0, 4}));
+
+    DifferenceConstraintSystem<VecN> sysn(3);
+    for (int k = 0; k < 3; ++k) sysn.add_variable();
+    sysn.add_equality(0, 1, VecN{2, -1, 0});
+    sysn.add_equality(1, 2, VecN{0, 4, -2});
+    const auto sn = sysn.solve();
+    ASSERT_TRUE(sn.feasible);
+    EXPECT_EQ(sn.values[1] - sn.values[0], (VecN{2, -1, 0}));
+    EXPECT_EQ(sn.values[2] - sn.values[1], (VecN{0, 4, -2}));
+
+    // And inconsistent equalities stay infeasible in N-D too.
+    DifferenceConstraintSystem<VecN> bad(2);
+    for (int k = 0; k < 3; ++k) bad.add_variable();
+    bad.add_equality(0, 1, VecN{1, 0});
+    bad.add_equality(1, 2, VecN{1, 0});
+    bad.add_equality(0, 2, VecN{3, 0});  // should be (2,0)
+    EXPECT_FALSE(bad.solve().feasible);
+}
+
+TEST(ConstraintSystem, NdRejectsDimensionMismatch) {
+    DifferenceConstraintSystem<VecN> sys(3);
+    sys.add_variable();
+    sys.add_variable();
+    EXPECT_THROW(sys.add_constraint(0, 1, VecN{1, 2}), Error);
+    EXPECT_THROW(sys.add_equality(0, 1, VecN{1, 2, 3, 4}), Error);
+}
+
+TEST(LexVec, StaticExtentGenericCore) {
+    // The dimension-generic template at a compile-time extent other than 2.
+    using V3 = LexVec<3>;
+    static_assert(V3::dim() == 3);
+    const V3 a{1, -2, 3};
+    const V3 b{1, -2, 4};
+    EXPECT_LT(a, b);                       // lexicographic order
+    EXPECT_EQ(a + b, (V3{2, -4, 7}));
+    EXPECT_EQ(b - a, (V3{0, 0, 1}));
+    EXPECT_EQ(-a, (V3{-1, 2, -3}));
+    EXPECT_EQ(a * 2, (V3{2, -4, 6}));
+    EXPECT_EQ(a.dot(b), 1 + 4 + 12);
+    EXPECT_TRUE(V3::zeros().is_zero());
+    EXPECT_EQ((V3{0, 0, -5}).leading_index(), 2);
+    EXPECT_EQ(a.str(), "(1,-2,3)");
+
+    // Saturating checked_add matches the Vec2 specialization's contract.
+    WeightTraits<V3> traits;
+    EXPECT_FALSE(traits.is_infinite(a));
+    EXPECT_TRUE(traits.is_infinite(traits.infinity()));
+    EXPECT_TRUE(traits.compatible(a));
+}
+
+TEST(SolverStats, BellmanFordAccountsWork) {
+    std::vector<WeightedEdge<std::int64_t>> edges{{0, 1, 2}, {1, 2, -1}, {0, 2, 5}};
+    SolverStats stats;
+    const auto sp = bellman_ford_all_sources<std::int64_t>(3, edges, nullptr, &stats);
+    EXPECT_EQ(sp.status, StatusCode::Ok);
+    EXPECT_EQ(stats.solves, 1u);
+    EXPECT_GT(stats.edge_scans, 0u);
+    EXPECT_GT(stats.relaxations, 0u);
+    EXPECT_GT(stats.iterations, 0u);
+    EXPECT_EQ(stats.queue_pushes, 0u);  // queue counters are SPFA-only
+
+    SolverStats spfa_stats;
+    const auto sq = spfa_all_sources<std::int64_t>(3, edges, nullptr, &spfa_stats);
+    EXPECT_EQ(sq.status, StatusCode::Ok);
+    EXPECT_EQ(spfa_stats.solves, 1u);
+    EXPECT_GT(spfa_stats.queue_pushes, 0u);
+    EXPECT_GT(spfa_stats.queue_pops, 0u);
+
+    // merge() sums every counter; any() keys off solves.
+    SolverStats merged;
+    EXPECT_FALSE(merged.any());
+    merged.merge(stats);
+    merged.merge(spfa_stats);
+    EXPECT_TRUE(merged.any());
+    EXPECT_EQ(merged.solves, 2u);
+    EXPECT_EQ(merged.edge_scans, stats.edge_scans + spfa_stats.edge_scans);
+}
+
 TEST(ConstraintSystem, TwoDimensionalTheorem23) {
     // Theorem 2.3: feasible iff every constraint-graph cycle >= (0,0).
     DifferenceConstraintSystem<Vec2> ok;

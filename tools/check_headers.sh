@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Header self-containment check: every public header under src/ must compile
+# on its own (all of its includes reachable from the header itself). Catches
+# headers that silently rely on what their usual includers happen to pull in.
+#
+# Usage: tools/check_headers.sh [compiler]
+set -u
+
+cd "$(dirname "$0")/.."
+CXX="${1:-${CXX:-c++}}"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+failures=0
+count=0
+for header in $(find src -name '*.hpp' | sort); do
+    count=$((count + 1))
+    tu="$tmpdir/tu.cpp"
+    printf '#include "%s"\n' "${header#src/}" > "$tu"
+    if ! "$CXX" -std=c++20 -fsyntax-only -Isrc -Wall -Wextra "$tu" 2> "$tmpdir/err.txt"; then
+        echo "NOT SELF-CONTAINED: $header"
+        sed 's/^/    /' "$tmpdir/err.txt"
+        failures=$((failures + 1))
+    fi
+done
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures of $count headers are not self-contained"
+    exit 1
+fi
+echo "all $count headers are self-contained"
