@@ -2,29 +2,45 @@
 // Bellman-Ford (1-D and lexicographic 2-D), the constraint solver, the four
 // fusion algorithms, dependence analysis and the cache simulator.
 //
-// In addition to the usual google-benchmark output, the binary writes a
-// machine-readable solver summary (per-solver ns/op plus SolverStats
-// aggregates) to BENCH_solver.json -- override the path with
-// --solver_json=<path>, or pass --solver_json= (empty) to skip it.
+// In addition to the usual google-benchmark output, the binary writes two
+// machine-readable summaries:
+//
+//   BENCH_solver.json  per-solver ns/op plus SolverStats aggregates
+//                      (--solver_json=<path>; empty skips it);
+//   BENCH_plan.json    end-to-end planning throughput over the full 2-D
+//                      gallery and an N-D fixture set, in three modes --
+//                      cold (fresh allocations per plan), warm (reused
+//                      PlannerWorkspace, steady-state allocation-free) and
+//                      cache-hit (content-addressed plan cache + certify
+//                      re-check) -- with allocations/plan from the
+//                      workspace's counting allocator and computed
+//                      warm-vs-cold / hit-vs-cold speedups
+//                      (--plan_json=<path>; empty skips it).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 
 #include "analysis/dependence.hpp"
 #include "fusion/acyclic_doall.hpp"
+#include "fusion/certify.hpp"
 #include "fusion/cyclic_doall.hpp"
 #include "fusion/driver.hpp"
 #include "fusion/hyperplane.hpp"
 #include "fusion/llofra.hpp"
+#include "fusion/multidim.hpp"
 #include "graph/bellman_ford.hpp"
+#include "graph/solver_workspace.hpp"
 #include "ir/parser.hpp"
 #include "graph/spfa.hpp"
 #include "sim/cache.hpp"
 #include "support/json.hpp"
 #include "support/vecn.hpp"
+#include "svc/manifest.hpp"
+#include "svc/plancache.hpp"
 #include "workloads/gallery.hpp"
 #include "workloads/generators.hpp"
 #include "workloads/sources.hpp"
@@ -139,6 +155,257 @@ void BM_CacheSimSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheSimSweep);
 
+// ---- End-to-end planning benchmarks (full ladder, gallery inputs) ----
+//
+// The 2-D inputs are the service's own job manifest (paper gallery +
+// extended workloads), so these numbers measure exactly what one service
+// job pays minus gate/replay overhead. The N-D fixtures mirror the golden
+// differential suite's shapes.
+
+std::vector<Mldg> gallery_graphs() {
+    std::vector<Mldg> graphs;
+    for (const auto& job : svc::full_gallery_jobs()) graphs.push_back(job.graph);
+    return graphs;
+}
+
+/// Gallery plus larger random legal MLDGs: the gallery shapes are paper-scale
+/// (3-6 loops), where per-plan fixed costs dominate; the stress sizes are
+/// where the ladder's all-sources solves actually bite.
+std::vector<Mldg> planning_input_set() {
+    std::vector<Mldg> graphs = gallery_graphs();
+    for (const int nodes : {64, 128, 256}) {
+        graphs.push_back(random_graph(nodes, 29 + static_cast<std::uint64_t>(nodes)));
+    }
+    return graphs;
+}
+
+std::vector<MldgN> nd_fixture_graphs() {
+    std::vector<MldgN> graphs;
+    {
+        MldgN g(3);  // cyclic 3-D stencil with a hard fusion-preventing edge
+        const int a = g.add_node("A");
+        const int b = g.add_node("B");
+        const int c = g.add_node("C");
+        g.add_edge(a, b, {VecN{0, 0, -2}, VecN{0, 0, 1}});
+        g.add_edge(b, c, {VecN{0, 1, -1}});
+        g.add_edge(c, a, {VecN{1, -1, 0}});
+        g.add_edge(c, c, {VecN{1, 0, 2}});
+        graphs.push_back(std::move(g));
+    }
+    {
+        MldgN g(3);  // acyclic chain: outermost-DOALL fusion succeeds
+        const int a = g.add_node("A");
+        const int b = g.add_node("B");
+        const int c = g.add_node("C");
+        g.add_edge(a, b, {VecN{0, 0, -2}, VecN{0, 3, 1}});
+        g.add_edge(b, c, {VecN{0, 2, -5}});
+        g.add_edge(a, c, {VecN{2, 0, 0}});
+        graphs.push_back(std::move(g));
+    }
+    {
+        MldgN g(4);  // 4-D wavefront chain
+        const int a = g.add_node("A");
+        const int b = g.add_node("B");
+        g.add_edge(a, b, {VecN{0, 0, 0, -1}});
+        g.add_edge(b, a, {VecN{1, 0, -1, 0}});
+        graphs.push_back(std::move(g));
+    }
+    return graphs;
+}
+
+void BM_PlanLadderGalleryCold(benchmark::State& state) {
+    const auto graphs = gallery_graphs();
+    for (auto _ : state) {
+        for (const Mldg& g : graphs) benchmark::DoNotOptimize(try_plan_fusion(g));
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(graphs.size()));
+}
+BENCHMARK(BM_PlanLadderGalleryCold);
+
+void BM_PlanLadderGalleryWarm(benchmark::State& state) {
+    const auto graphs = gallery_graphs();
+    PlannerWorkspace ws;
+    TryPlanOptions opts;
+    opts.workspace = &ws;
+    for (auto _ : state) {
+        for (const Mldg& g : graphs) benchmark::DoNotOptimize(try_plan_fusion(g, opts));
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(graphs.size()));
+}
+BENCHMARK(BM_PlanLadderGalleryWarm);
+
+void BM_PlanCacheHit(benchmark::State& state) {
+    const auto graphs = gallery_graphs();
+    svc::PlanCache cache(graphs.size());
+    std::vector<std::uint64_t> keys;
+    for (const Mldg& g : graphs) {
+        const std::uint64_t key = svc::PlanCache::key_of(g, PlanOptions{}, true);
+        auto plan = try_plan_fusion(g);
+        if (plan.ok()) cache.insert(key, *plan);
+        keys.push_back(key);
+    }
+    // Steady-state hit path: hash + lookup + the gate's certify re-check.
+    for (auto _ : state) {
+        for (std::size_t i = 0; i < graphs.size(); ++i) {
+            const std::uint64_t key = svc::PlanCache::key_of(graphs[i], PlanOptions{}, true);
+            benchmark::DoNotOptimize(key == keys[i]);
+            auto hit = cache.lookup(key);
+            if (hit) benchmark::DoNotOptimize(certify_plan(graphs[i], *hit));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(graphs.size()));
+}
+BENCHMARK(BM_PlanCacheHit);
+
+void BM_PlanFusionNdWarm(benchmark::State& state) {
+    const auto graphs = nd_fixture_graphs();
+    PlannerWorkspace ws;
+    for (auto _ : state) {
+        for (const MldgN& g : graphs) benchmark::DoNotOptimize(plan_fusion_nd(g, &ws));
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(graphs.size()));
+}
+BENCHMARK(BM_PlanFusionNdWarm);
+
+// ---- Machine-readable planning summary (BENCH_plan.json) ----
+//
+// Timed with std::chrono over `kPlanReps` passes of the whole input set;
+// allocations/plan comes from the PlannerWorkspace counting allocator and
+// is measured over the steady state only (the first pass, which grows the
+// arena, is excluded) -- the acceptance target is 0.
+
+struct PlanModeSummary {
+    std::uint64_t plans = 0;
+    std::uint64_t wall_ns = 0;
+    double allocations_per_plan = 0.0;  // meaningful for warm modes only
+
+    [[nodiscard]] double ns_per_plan() const {
+        return plans == 0 ? 0.0 : static_cast<double>(wall_ns) / static_cast<double>(plans);
+    }
+    [[nodiscard]] double plans_per_sec() const {
+        return wall_ns == 0 ? 0.0
+                            : static_cast<double>(plans) * 1e9 / static_cast<double>(wall_ns);
+    }
+};
+
+void write_plan_mode(json::Writer& w, const char* mode, const PlanModeSummary& s) {
+    w.begin_object();
+    w.kv("mode", mode);
+    w.kv("plans", s.plans);
+    w.kv("wall_ns", s.wall_ns);
+    w.kv("ns_per_plan", s.ns_per_plan());
+    w.kv("plans_per_sec", s.plans_per_sec());
+    w.kv("allocations_per_plan", s.allocations_per_plan);
+    w.end_object();
+}
+
+/// Best of three timed trials of `reps` passes each -- the minimum is the
+/// standard robust estimator against scheduler noise and frequency drift.
+template <typename Fn>
+PlanModeSummary time_plan_mode(int reps, std::uint64_t plans_per_rep, Fn&& pass) {
+    PlanModeSummary s;
+    s.plans = plans_per_rep * static_cast<std::uint64_t>(reps);
+    s.wall_ns = ~std::uint64_t{0};
+    for (int trial = 0; trial < 3; ++trial) {
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int r = 0; r < reps; ++r) pass();
+        const auto t1 = std::chrono::steady_clock::now();
+        const auto ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+        if (ns < s.wall_ns) s.wall_ns = ns;
+    }
+    return s;
+}
+
+bool write_plan_json(const std::string& path) {
+    constexpr int kPlanReps = 40;
+    const auto graphs = planning_input_set();
+    const auto nd_graphs = nd_fixture_graphs();
+    const auto n2d = static_cast<std::uint64_t>(graphs.size());
+    const auto nnd = static_cast<std::uint64_t>(nd_graphs.size());
+
+    // 2-D cold: a fresh solve allocates everything per plan (pre-workspace
+    // behaviour; also what a service run pays on its very first job).
+    const PlanModeSummary cold = time_plan_mode(kPlanReps, n2d, [&] {
+        for (const Mldg& g : graphs) benchmark::DoNotOptimize(try_plan_fusion(g));
+    });
+
+    // 2-D warm: one reused workspace; first pass grows the arena, the timed
+    // + allocation-counted passes are pure steady state.
+    PlannerWorkspace ws;
+    TryPlanOptions warm_opts;
+    warm_opts.workspace = &ws;
+    for (const Mldg& g : graphs) benchmark::DoNotOptimize(try_plan_fusion(g, warm_opts));
+    ws.reset_counters();
+    PlanModeSummary warm = time_plan_mode(kPlanReps, n2d, [&] {
+        for (const Mldg& g : graphs) benchmark::DoNotOptimize(try_plan_fusion(g, warm_opts));
+    });
+    // The counter ran over all 3 trials, not just the best one.
+    warm.allocations_per_plan =
+        warm.plans == 0 ? 0.0
+                        : static_cast<double>(ws.total_allocations()) /
+                              (3.0 * static_cast<double>(warm.plans));
+
+    // Cache hit: content hash + LRU lookup + certify re-check (exactly the
+    // service's hit path; the ladder never runs).
+    svc::PlanCache cache(graphs.size());
+    for (const Mldg& g : graphs) {
+        auto plan = try_plan_fusion(g, warm_opts);
+        if (plan.ok()) cache.insert(svc::PlanCache::key_of(g, PlanOptions{}, true), *plan);
+    }
+    const PlanModeSummary hit = time_plan_mode(kPlanReps, n2d, [&] {
+        for (const Mldg& g : graphs) {
+            auto cached = cache.lookup(svc::PlanCache::key_of(g, PlanOptions{}, true));
+            if (cached) benchmark::DoNotOptimize(certify_plan(g, *cached));
+        }
+    });
+
+    // N-D planner, cold vs warm (no cache: the service only plans 2-D jobs).
+    const PlanModeSummary nd_cold = time_plan_mode(kPlanReps, nnd, [&] {
+        for (const MldgN& g : nd_graphs) benchmark::DoNotOptimize(plan_fusion_nd(g));
+    });
+    PlannerWorkspace ws_nd;
+    for (const MldgN& g : nd_graphs) benchmark::DoNotOptimize(plan_fusion_nd(g, &ws_nd));
+    ws_nd.reset_counters();
+    PlanModeSummary nd_warm = time_plan_mode(kPlanReps, nnd, [&] {
+        for (const MldgN& g : nd_graphs) benchmark::DoNotOptimize(plan_fusion_nd(g, &ws_nd));
+    });
+    nd_warm.allocations_per_plan =
+        nd_warm.plans == 0 ? 0.0
+                           : static_cast<double>(ws_nd.total_allocations()) /
+                                 (3.0 * static_cast<double>(nd_warm.plans));
+
+    const auto speedup = [](const PlanModeSummary& base, const PlanModeSummary& fast) {
+        return fast.wall_ns == 0 || base.plans == 0
+                   ? 0.0
+                   : base.ns_per_plan() / fast.ns_per_plan();
+    };
+
+    json::Writer w;
+    w.begin_object();
+    w.kv("gallery_workloads", n2d);
+    w.kv("nd_fixtures", nnd);
+    w.kv("reps", kPlanReps);
+    w.key("modes").begin_array();
+    write_plan_mode(w, "ladder_2d.cold", cold);
+    write_plan_mode(w, "ladder_2d.warm", warm);
+    write_plan_mode(w, "cache_hit", hit);
+    write_plan_mode(w, "ladder_nd.cold", nd_cold);
+    write_plan_mode(w, "ladder_nd.warm", nd_warm);
+    w.end_array();
+    w.key("speedups").begin_object();
+    w.kv("warm_vs_cold", speedup(cold, warm));
+    w.kv("cache_hit_vs_cold", speedup(cold, hit));
+    w.kv("nd_warm_vs_cold", speedup(nd_cold, nd_warm));
+    w.end_object();
+    w.end_object();
+
+    std::ofstream out(path);
+    if (!out.good()) return false;
+    out << w.str() << '\n';
+    return out.good();
+}
+
 // ---- Machine-readable solver summary (BENCH_solver.json) ----
 //
 // Each entry runs one solver `solves` times on a fixed random instance with
@@ -230,12 +497,16 @@ bool write_solver_json(const std::string& path) {
 
 int main(int argc, char** argv) {
     std::string solver_json = "BENCH_solver.json";
-    // Peel off our flag before google-benchmark sees the argument list.
+    std::string plan_json = "BENCH_plan.json";
+    // Peel off our flags before google-benchmark sees the argument list.
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
-        constexpr const char* kFlag = "--solver_json=";
-        if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
-            solver_json = argv[i] + std::strlen(kFlag);
+        constexpr const char* kSolverFlag = "--solver_json=";
+        constexpr const char* kPlanFlag = "--plan_json=";
+        if (std::strncmp(argv[i], kSolverFlag, std::strlen(kSolverFlag)) == 0) {
+            solver_json = argv[i] + std::strlen(kSolverFlag);
+        } else if (std::strncmp(argv[i], kPlanFlag, std::strlen(kPlanFlag)) == 0) {
+            plan_json = argv[i] + std::strlen(kPlanFlag);
         } else {
             argv[kept++] = argv[i];
         }
@@ -251,6 +522,13 @@ int main(int argc, char** argv) {
             return 1;
         }
         std::cout << "wrote " << solver_json << '\n';
+    }
+    if (!plan_json.empty()) {
+        if (!write_plan_json(plan_json)) {
+            std::cerr << "bench_micro: could not write " << plan_json << '\n';
+            return 1;
+        }
+        std::cout << "wrote " << plan_json << '\n';
     }
     return 0;
 }

@@ -45,6 +45,7 @@ void usage() {
         "  --breaker-k K      consecutive failures that open a breaker (default 3)\n"
         "  --probe P          probe every P-th open-breaker admission (default 4)\n"
         "  --checkpoint FILE  checkpoint manifest (resume: rerun with the same file)\n"
+        "  --cache N          plan-cache capacity in plans; 0 disables (default 128)\n"
         "  --report FILE      write the JSON run report here (default: stdout)\n"
         "  --no-timings       omit wall-clock fields from the report\n"
         "  --mldg FILE        add a graph-only job from serialized MLDG text\n"
@@ -117,6 +118,7 @@ int main(int argc, char** argv) {
             else if (arg == "--breaker-k") config.breaker.failure_threshold = std::stoi(next_arg(i));
             else if (arg == "--probe") config.breaker.probe_interval = std::stoi(next_arg(i));
             else if (arg == "--checkpoint") config.checkpoint_path = next_arg(i);
+            else if (arg == "--cache") config.plan_cache_capacity = std::stoull(next_arg(i));
             else if (arg == "--report") report_path = next_arg(i);
             else if (arg == "--no-timings") include_timings = false;
             else if (arg == "--mldg") mldg_files.push_back(next_arg(i));

@@ -20,12 +20,12 @@ KennedyMcKinleyResult kennedy_mckinley_fusion(const Mldg& g) {
     // (outer-carried) edges and self-edges impose no grouping constraint.
     std::vector<int> node_group(static_cast<std::size_t>(n), 0);
     std::vector<int> by_order(static_cast<std::size_t>(n));
-    for (int v = 0; v < n; ++v) by_order[static_cast<std::size_t>(g.node(v).order)] = v;
+    for (int v = 0; v < n; ++v) by_order[static_cast<std::size_t>(g.node_ref(v).order)] = v;
 
     for (int v : by_order) {
         int group = 0;
         for (int eid = 0; eid < g.num_edges(); ++eid) {
-            const auto& e = g.edge(eid);
+            const auto& e = g.edge_ref(eid);
             if (e.to != v || e.from == v) continue;
             if (g.is_backward_edge(eid)) continue;  // outer-loop carried
             const bool preventing = e.delta() < Vec2{0, 0};

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/constraint_system.hpp"
+#include "graph/solver_workspace.hpp"
 #include "ldg/legality.hpp"
 #include "support/diagnostics.hpp"
 #include "support/faultpoint.hpp"
@@ -10,12 +11,14 @@
 namespace lf::ablation {
 
 Result<Retiming> try_cyclic_doall_all_hard(const Mldg& g, ResourceGuard* guard,
-                                           SolverStats* stats) {
+                                           SolverStats* stats, PlannerWorkspace* ws,
+                                           const std::vector<std::int64_t>* warm) {
     if (faultpoint::triggered("forced_carry")) {
         return Status(StatusCode::Internal, "cyclic_doall_all_hard: fault injected");
     }
+    SolverWorkspace<std::int64_t>* scalar_ws = ws != nullptr ? &ws->scalar : nullptr;
     {
-        const LegalityReport rep = check_schedulable(g, guard, stats);
+        const LegalityReport rep = check_schedulable(g, guard, stats, scalar_ws);
         if (rep.status != StatusCode::Ok) {
             return Status(rep.status, "cyclic_doall_all_hard: schedulability check aborted");
         }
@@ -25,11 +28,11 @@ Result<Retiming> try_cyclic_doall_all_hard(const Mldg& g, ResourceGuard* guard,
         }
     }
     DifferenceConstraintSystem<std::int64_t> sys;
-    for (int v = 0; v < g.num_nodes(); ++v) sys.add_variable(g.node(v).name);
+    for (int v = 0; v < g.num_nodes(); ++v) sys.add_variable(g.node_ref(v).name);
     for (const auto& e : g.edges()) {
         sys.add_constraint(e.from, e.to, e.delta().x - 1);
     }
-    const auto solution = sys.solve(guard, stats);
+    const auto solution = sys.solve(guard, stats, scalar_ws, warm);
     if (solution.status != StatusCode::Ok) {
         return Status(solution.status, "cyclic_doall_all_hard: solve aborted");
     }
@@ -57,7 +60,7 @@ Retiming acyclic_doall_keep_y(const Mldg& g) {
     check(g.is_acyclic(), "acyclic_doall_keep_y: input MLDG has a cycle");
     check(is_schedulable(g), "acyclic_doall_keep_y: input MLDG is not schedulable");
     DifferenceConstraintSystem<Vec2> sys;
-    for (int v = 0; v < g.num_nodes(); ++v) sys.add_variable(g.node(v).name);
+    for (int v = 0; v < g.num_nodes(); ++v) sys.add_variable(g.node_ref(v).name);
     for (const auto& e : g.edges()) {
         sys.add_constraint(e.from, e.to, e.delta() - Vec2{1, -1});
     }
@@ -86,7 +89,7 @@ std::int64_t inner_peels(const Retiming& r) {
 
 bool program_order_body_would_be_wrong(const Mldg& retimed) {
     for (int eid = 0; eid < retimed.num_edges(); ++eid) {
-        const auto& e = retimed.edge(eid);
+        const auto& e = retimed.edge_ref(eid);
         if (retimed.is_self_edge(eid)) continue;
         const bool backward = retimed.is_backward_edge(eid);
         for (const Vec2& d : e.vectors) {

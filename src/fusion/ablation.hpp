@@ -15,11 +15,17 @@
 //     dependences landing against statement order), motivating the
 //     fused-body reordering of DESIGN.md fidelity note 1.
 
+#include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "ldg/mldg.hpp"
 #include "ldg/retiming.hpp"
 #include "support/status.hpp"
+
+namespace lf {
+struct PlannerWorkspace;
+}  // namespace lf
 
 namespace lf::ablation {
 
@@ -31,9 +37,15 @@ namespace lf::ablation {
 /// IllegalInput (not schedulable), Infeasible (the forced system has a
 /// negative cycle -- a normal outcome for this variant), ResourceExhausted /
 /// Overflow (solve cut short), Internal (fault point "forced_carry" armed).
-[[nodiscard]] Result<Retiming> try_cyclic_doall_all_hard(const Mldg& g,
-                                                         ResourceGuard* guard = nullptr,
-                                                         SolverStats* stats = nullptr);
+///
+/// `ws` (optional): reusable solver scratch. `warm` (optional): the phase-1
+/// fixpoint of the *selective* system (hard edges only carried) for the same
+/// graph -- the forced system differs only by tightening the non-hard bounds
+/// from delta.x to delta.x - 1, so that fixpoint is a legal warm start and
+/// the solve returns identical values either way.
+[[nodiscard]] Result<Retiming> try_cyclic_doall_all_hard(
+    const Mldg& g, ResourceGuard* guard = nullptr, SolverStats* stats = nullptr,
+    PlannerWorkspace* ws = nullptr, const std::vector<std::int64_t>* warm = nullptr);
 
 /// Algorithm 3 without the final y-zeroing.
 [[nodiscard]] Retiming acyclic_doall_keep_y(const Mldg& g);

@@ -1,6 +1,7 @@
 #include "fusion/acyclic_doall.hpp"
 
 #include "graph/constraint_system.hpp"
+#include "graph/solver_workspace.hpp"
 #include "ldg/legality.hpp"
 #include "support/diagnostics.hpp"
 #include "support/faultpoint.hpp"
@@ -8,12 +9,13 @@
 namespace lf {
 
 Result<Retiming> try_acyclic_doall_fusion(const Mldg& g, ResourceGuard* guard,
-                                          SolverStats* stats) {
+                                          SolverStats* stats, PlannerWorkspace* ws) {
     if (faultpoint::triggered("acyclic_doall")) {
         return Status(StatusCode::Internal, "acyclic_doall_fusion: fault injected");
     }
     {
-        const LegalityReport rep = check_schedulable(g, guard, stats);
+        const LegalityReport rep =
+            check_schedulable(g, guard, stats, ws != nullptr ? &ws->scalar : nullptr);
         if (rep.status != StatusCode::Ok) {
             return Status(rep.status, "acyclic_doall_fusion: schedulability check aborted");
         }
@@ -28,11 +30,11 @@ Result<Retiming> try_acyclic_doall_fusion(const Mldg& g, ResourceGuard* guard,
                       "cyclic_doall_fusion or hyperplane_fusion");
     }
     DifferenceConstraintSystem<Vec2> sys;
-    for (int i = 0; i < g.num_nodes(); ++i) sys.add_variable(g.node(i).name);
+    for (int i = 0; i < g.num_nodes(); ++i) sys.add_variable(g.node_ref(i).name);
     for (const auto& e : g.edges()) {
         sys.add_constraint(e.from, e.to, e.delta() - Vec2{1, -1});
     }
-    const auto solution = sys.solve(guard, stats);
+    const auto solution = sys.solve(guard, stats, ws != nullptr ? &ws->vec2 : nullptr);
     if (solution.status != StatusCode::Ok) {
         return Status(solution.status, "acyclic_doall_fusion: solve aborted");
     }

@@ -17,6 +17,8 @@
 
 namespace lf {
 
+struct PlannerWorkspace;
+
 /// Requires `g` legal and acyclic (throws lf::Error otherwise); always
 /// succeeds on such inputs.
 [[nodiscard]] Retiming acyclic_doall_fusion(const Mldg& g);
@@ -27,6 +29,7 @@ namespace lf {
 /// the theorems guarantee failed).
 [[nodiscard]] Result<Retiming> try_acyclic_doall_fusion(const Mldg& g,
                                                         ResourceGuard* guard = nullptr,
-                                                        SolverStats* stats = nullptr);
+                                                        SolverStats* stats = nullptr,
+                                                        PlannerWorkspace* ws = nullptr);
 
 }  // namespace lf

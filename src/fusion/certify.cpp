@@ -1,7 +1,9 @@
 #include "fusion/certify.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
+#include <unordered_map>
 
 #include "ldg/legality.hpp"
 
@@ -12,6 +14,11 @@ namespace {
 /// C3 + C4: recompute the retimed graph and compare edge by edge. An exact
 /// match also certifies cycle-weight preservation (weights are derived from
 /// the same retiming on both sides). Reports through `fail`.
+///
+/// O(E) expected: the plan's edges are indexed by endpoint pair once
+/// (Mldg::add_edge merges parallel edges, so (from, to) is unique) instead
+/// of a per-edge find_edge() scan -- this runs on the plan-cache hit path,
+/// where it IS the admission cost.
 void check_retimed_graph(const Mldg& original, const FusionPlan& plan,
                          const std::function<void(const std::string&)>& fail) {
     const Mldg recomputed = plan.retiming.apply(original);
@@ -19,9 +26,21 @@ void check_retimed_graph(const Mldg& original, const FusionPlan& plan,
         fail("retimed graph edge count does not match retiming.apply(original)");
         return;
     }
+    const auto endpoint_key = [&plan](int from, int to) {
+        return static_cast<std::uint64_t>(from) *
+                   static_cast<std::uint64_t>(plan.retimed.num_nodes()) +
+               static_cast<std::uint64_t>(to);
+    };
+    std::unordered_map<std::uint64_t, int> by_endpoints;
+    by_endpoints.reserve(static_cast<std::size_t>(plan.retimed.num_edges()));
+    for (int eid = 0; eid < plan.retimed.num_edges(); ++eid) {
+        const auto& e = plan.retimed.edge_ref(eid);
+        by_endpoints.emplace(endpoint_key(e.from, e.to), eid);
+    }
     for (const auto& e : recomputed.edges()) {
-        const auto found = plan.retimed.find_edge(e.from, e.to);
-        if (!found || plan.retimed.edge(*found).vectors != e.vectors) {
+        const auto found = by_endpoints.find(endpoint_key(e.from, e.to));
+        if (found == by_endpoints.end() ||
+            plan.retimed.edge_ref(found->second).vectors != e.vectors) {
             fail("retimed graph disagrees with retiming.apply(original) on edge " +
                  original.node(e.from).name + " -> " + original.node(e.to).name);
             return;

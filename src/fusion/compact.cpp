@@ -4,6 +4,7 @@
 
 #include "fusion/cyclic_doall.hpp"
 #include "graph/constraint_system.hpp"
+#include "graph/solver_workspace.hpp"
 #include "ldg/legality.hpp"
 #include "support/diagnostics.hpp"
 
@@ -23,9 +24,12 @@ std::int64_t spread_of(const std::vector<std::int64_t>& values) {
 }
 
 /// Solves the base system plus pairwise spread bounds; nullopt if infeasible.
+/// `warm` (optional) must be a fixpoint of a looser system over the same
+/// variables (the base alone, or base + a larger spread bound).
 std::optional<std::vector<std::int64_t>> solve_with_spread(
     int num_nodes, const std::vector<XConstraint>& base, std::int64_t spread,
-    SolverStats* stats) {
+    SolverStats* stats, SolverWorkspace<std::int64_t>* ws,
+    const std::vector<std::int64_t>* warm) {
     DifferenceConstraintSystem<std::int64_t> sys;
     for (int v = 0; v < num_nodes; ++v) sys.add_variable();
     for (const XConstraint& c : base) sys.add_constraint(c.from, c.to, c.bound);
@@ -34,19 +38,25 @@ std::optional<std::vector<std::int64_t>> solve_with_spread(
             if (u != v) sys.add_constraint(u, v, spread);  // x_v - x_u <= spread
         }
     }
-    auto solution = sys.solve(nullptr, stats);
+    auto solution = sys.solve(nullptr, stats, ws, warm);
     if (!solution.feasible) return std::nullopt;
     return std::move(solution.values);
 }
 
 /// Minimum-spread solution of the base system, assuming it is feasible.
+/// `warm_base` (optional): a known fixpoint of the base system. Each binary-
+/// search probe then warms from the best (loosest-spread) feasible solution
+/// found so far: shrinking the spread bound only tightens the system, so the
+/// previous fixpoint stays a valid starting potential.
 std::vector<std::int64_t> min_spread_solution(int num_nodes,
                                               const std::vector<XConstraint>& base,
-                                              SolverStats* stats) {
+                                              SolverStats* stats,
+                                              SolverWorkspace<std::int64_t>* ws,
+                                              const std::vector<std::int64_t>* warm_base) {
     DifferenceConstraintSystem<std::int64_t> sys;
     for (int v = 0; v < num_nodes; ++v) sys.add_variable();
     for (const XConstraint& c : base) sys.add_constraint(c.from, c.to, c.bound);
-    const auto unconstrained = sys.solve(nullptr, stats);
+    const auto unconstrained = sys.solve(nullptr, stats, ws, warm_base);
     check(unconstrained.feasible, "min_spread_solution: base system infeasible");
 
     std::int64_t hi = spread_of(unconstrained.values);
@@ -54,7 +64,7 @@ std::vector<std::int64_t> min_spread_solution(int num_nodes,
     std::int64_t lo = 0;
     while (lo < hi) {
         const std::int64_t mid = lo + (hi - lo) / 2;
-        if (auto solution = solve_with_spread(num_nodes, base, mid, stats)) {
+        if (auto solution = solve_with_spread(num_nodes, base, mid, stats, ws, &best)) {
             best = std::move(*solution);
             hi = mid;
         } else {
@@ -66,8 +76,11 @@ std::vector<std::int64_t> min_spread_solution(int num_nodes,
 
 }  // namespace
 
-std::optional<Retiming> cyclic_doall_fusion_compact(const Mldg& g, SolverStats* stats) {
+std::optional<Retiming> cyclic_doall_fusion_compact(const Mldg& g, SolverStats* stats,
+                                                    PlannerWorkspace* ws,
+                                                    const std::vector<std::int64_t>* warm_base) {
     check(is_schedulable(g), "cyclic_doall_fusion_compact: input MLDG is not schedulable");
+    SolverWorkspace<std::int64_t>* scalar_ws = ws != nullptr ? &ws->scalar : nullptr;
 
     // Phase 1 constraints, exactly as in cyclic_doall_fusion.
     std::vector<XConstraint> base;
@@ -79,9 +92,12 @@ std::optional<Retiming> cyclic_doall_fusion_compact(const Mldg& g, SolverStats* 
         DifferenceConstraintSystem<std::int64_t> probe;
         for (int v = 0; v < g.num_nodes(); ++v) probe.add_variable();
         for (const XConstraint& c : base) probe.add_constraint(c.from, c.to, c.bound);
-        if (!probe.solve(nullptr, stats).feasible) return std::nullopt;  // same failure as phase 1
+        if (!probe.solve(nullptr, stats, scalar_ws, warm_base).feasible) {
+            return std::nullopt;  // same failure as phase 1
+        }
     }
-    const std::vector<std::int64_t> rx = min_spread_solution(g.num_nodes(), base, stats);
+    const std::vector<std::int64_t> rx =
+        min_spread_solution(g.num_nodes(), base, stats, scalar_ws, warm_base);
 
     // Phase 2 against the compacted x-solution.
     DifferenceConstraintSystem<std::int64_t> sys_y;
@@ -93,10 +109,10 @@ std::optional<Retiming> cyclic_doall_fusion_compact(const Mldg& g, SolverStats* 
         if (retimed_x != 0) continue;
         sys_y.add_equality(e.from, e.to, e.delta().y);
     }
-    const auto sol_y = sys_y.solve(nullptr, stats);
+    const auto sol_y = sys_y.solve(nullptr, stats, scalar_ws);
     if (!sol_y.feasible) {
         // Compaction changed the zero-x edge set unfavourably; fall back.
-        return cyclic_doall_fusion(g).retiming;
+        return cyclic_doall_fusion(g, nullptr, nullptr, ws).retiming;
     }
     Retiming r(g.num_nodes());
     for (int v = 0; v < g.num_nodes(); ++v) {
@@ -105,15 +121,18 @@ std::optional<Retiming> cyclic_doall_fusion_compact(const Mldg& g, SolverStats* 
     return r;
 }
 
-Retiming acyclic_doall_fusion_compact(const Mldg& g, SolverStats* stats) {
+Retiming acyclic_doall_fusion_compact(const Mldg& g, SolverStats* stats, PlannerWorkspace* ws,
+                                      const std::vector<std::int64_t>* warm_base) {
     check(g.is_acyclic(), "acyclic_doall_fusion_compact: input MLDG has a cycle");
     check(is_schedulable(g), "acyclic_doall_fusion_compact: input MLDG is not schedulable");
+    SolverWorkspace<std::int64_t>* scalar_ws = ws != nullptr ? &ws->scalar : nullptr;
     std::vector<XConstraint> base;
     base.reserve(static_cast<std::size_t>(g.num_edges()));
     for (const auto& e : g.edges()) {
         base.push_back({e.from, e.to, e.delta().x - 1});
     }
-    const std::vector<std::int64_t> rx = min_spread_solution(g.num_nodes(), base, stats);
+    const std::vector<std::int64_t> rx =
+        min_spread_solution(g.num_nodes(), base, stats, scalar_ws, warm_base);
     Retiming r(g.num_nodes());
     for (int v = 0; v < g.num_nodes(); ++v) r.of(v) = Vec2{rx[static_cast<std::size_t>(v)], 0};
     return r;

@@ -19,7 +19,9 @@
 // pick a different solution of equal spread, after which Algorithm 4's
 // phase 2 is re-validated, with fallback to the plain solution).
 
+#include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "ldg/mldg.hpp"
 #include "ldg/retiming.hpp"
@@ -27,15 +29,29 @@
 
 namespace lf {
 
+struct PlannerWorkspace;
+
 /// Algorithm 4 with x-spread minimization. Same success set as
 /// cyclic_doall_fusion (falls back to its solution if the compacted phase 1
 /// breaks phase 2).
+///
+/// `ws` (optional): reusable solver scratch. `warm_base` (optional): a known
+/// fixpoint of the *base* phase-1 system for this graph (e.g. the x
+/// components of the rung's accepted retiming); warms the feasibility probe
+/// and the unconstrained base solve, and the binary search then warms each
+/// tighter spread probe from the best solution found so far. Results are
+/// identical with or without warming.
 [[nodiscard]] std::optional<Retiming> cyclic_doall_fusion_compact(
-    const Mldg& g, SolverStats* stats = nullptr);
+    const Mldg& g, SolverStats* stats = nullptr, PlannerWorkspace* ws = nullptr,
+    const std::vector<std::int64_t>* warm_base = nullptr);
 
 /// Algorithm 3 with x-spread minimization (y components zero, as in the
-/// paper). Requires an acyclic, schedulable graph.
-[[nodiscard]] Retiming acyclic_doall_fusion_compact(const Mldg& g,
-                                                   SolverStats* stats = nullptr);
+/// paper). Requires an acyclic, schedulable graph. `ws`/`warm_base` as above
+/// (the base system here bounds every edge by delta.x - 1; the x components
+/// of Algorithm 3's Vec2 solution are its fixpoint -- the lexicographic
+/// minimum of a set has the minimal first coordinate).
+[[nodiscard]] Retiming acyclic_doall_fusion_compact(
+    const Mldg& g, SolverStats* stats = nullptr, PlannerWorkspace* ws = nullptr,
+    const std::vector<std::int64_t>* warm_base = nullptr);
 
 }  // namespace lf

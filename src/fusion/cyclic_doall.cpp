@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "graph/constraint_system.hpp"
+#include "graph/solver_workspace.hpp"
 #include "ldg/legality.hpp"
 #include "support/diagnostics.hpp"
 #include "support/faultpoint.hpp"
@@ -10,7 +11,7 @@
 namespace lf {
 
 CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g, ResourceGuard* guard,
-                                       SolverStats* stats) {
+                                       SolverStats* stats, PlannerWorkspace* ws) {
     check(is_schedulable(g), "cyclic_doall_fusion: input MLDG is not schedulable");
     CyclicDoallOutcome out;
 
@@ -22,11 +23,12 @@ CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g, ResourceGuard* guard,
         return out;
     }
     DifferenceConstraintSystem<std::int64_t> sys_x;
-    for (int i = 0; i < g.num_nodes(); ++i) sys_x.add_variable(g.node(i).name);
+    for (int i = 0; i < g.num_nodes(); ++i) sys_x.add_variable(g.node_ref(i).name);
     for (const auto& e : g.edges()) {
         sys_x.add_constraint(e.from, e.to, e.delta().x - (e.is_hard() ? 1 : 0));
     }
-    const auto sol_x = sys_x.solve(guard, stats);
+    SolverWorkspace<std::int64_t>* scalar_ws = ws != nullptr ? &ws->scalar : nullptr;
+    const auto sol_x = sys_x.solve(guard, stats, scalar_ws);
     if (sol_x.status != StatusCode::Ok) {
         out.status = sol_x.status;
         out.failed_phase = 1;
@@ -36,6 +38,7 @@ CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g, ResourceGuard* guard,
         out.failed_phase = 1;
         return out;
     }
+    out.phase1_values = sol_x.values;
 
     // ---- Phase 2: second retiming component. ----
     // Only non-hard forward edges whose x-retimed weight is exactly zero are
@@ -45,7 +48,7 @@ CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g, ResourceGuard* guard,
         return out;
     }
     DifferenceConstraintSystem<std::int64_t> sys_y;
-    for (int i = 0; i < g.num_nodes(); ++i) sys_y.add_variable(g.node(i).name);
+    for (int i = 0; i < g.num_nodes(); ++i) sys_y.add_variable(g.node_ref(i).name);
     for (const auto& e : g.edges()) {
         if (e.is_hard()) continue;
         std::int64_t shifted = 0;
@@ -61,7 +64,7 @@ CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g, ResourceGuard* guard,
         if (retimed_x != 0) continue;
         sys_y.add_equality(e.from, e.to, e.delta().y);
     }
-    const auto sol_y = sys_y.solve(guard, stats);
+    const auto sol_y = sys_y.solve(guard, stats, scalar_ws);
     if (sol_y.status != StatusCode::Ok) {
         out.status = sol_y.status;
         out.failed_phase = 2;

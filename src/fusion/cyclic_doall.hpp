@@ -16,7 +16,9 @@
 // retiming can make the fused innermost loop DOALL (the "only if" direction
 // of Theorem 4.2); the caller then falls back to hyperplane_fusion.
 
+#include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "ldg/mldg.hpp"
 #include "ldg/retiming.hpp"
@@ -24,11 +26,18 @@
 
 namespace lf {
 
+struct PlannerWorkspace;
+
 struct CyclicDoallOutcome {
     /// Present iff both phases were feasible.
     std::optional<Retiming> retiming;
     /// Which phase failed (1 or 2); 0 on success. For reports/diagnostics.
     int failed_phase = 0;
+    /// The phase-1 (x-component) fixpoint whenever phase 1 was feasible --
+    /// populated even when phase 2 then fails, so a later ladder rung that
+    /// solves a tightened x-system (e.g. forced carry: every edge hard) can
+    /// warm-start from it.
+    std::vector<std::int64_t> phase1_values;
     /// Ok when the algorithm ran to completion -- phase infeasibility (the
     /// normal "fall back to hyperplane" outcome) is still Ok. Non-Ok
     /// (ResourceExhausted / Overflow / Internal) means a phase solve was
@@ -41,8 +50,10 @@ struct CyclicDoallOutcome {
 /// too (both phases are then trivially feasible). The optional guard bounds
 /// the phase solves; the fault points "cyclic_doall.phase1" and
 /// "cyclic_doall.phase2" simulate the corresponding phase infeasibility.
+/// `ws` (optional) supplies reusable solver scratch (PlannerWorkspace.scalar).
 [[nodiscard]] CyclicDoallOutcome cyclic_doall_fusion(const Mldg& g,
                                                      ResourceGuard* guard = nullptr,
-                                                     SolverStats* stats = nullptr);
+                                                     SolverStats* stats = nullptr,
+                                                     PlannerWorkspace* ws = nullptr);
 
 }  // namespace lf

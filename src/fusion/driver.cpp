@@ -7,6 +7,7 @@
 #include "fusion/acyclic_doall.hpp"
 #include "fusion/cyclic_doall.hpp"
 #include "fusion/hyperplane.hpp"
+#include "graph/solver_workspace.hpp"
 #include "ldg/legality.hpp"
 #include "support/diagnostics.hpp"
 #include "support/faultpoint.hpp"
@@ -69,7 +70,7 @@ std::string finalize_plan(const Mldg& g, FusionPlan& plan) {
 std::vector<int> program_order_of(const Mldg& g) {
     std::vector<int> order(static_cast<std::size_t>(g.num_nodes()));
     for (int i = 0; i < g.num_nodes(); ++i) {
-        order[static_cast<std::size_t>(g.node(i).order)] = i;
+        order[static_cast<std::size_t>(g.node_ref(i).order)] = i;
     }
     return order;
 }
@@ -78,6 +79,7 @@ std::vector<int> program_order_of(const Mldg& g) {
 
 Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options) {
     ResourceGuard guard(options.limits);
+    PlannerWorkspace* ws = options.workspace;
     std::vector<StageReport> stages;
     std::uint64_t metered = 0;
     // Solver telemetry accumulated since the last push_stage; each stage
@@ -101,7 +103,8 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
     // program model need the solver-backed schedulability check.
     const bool model_legal = is_legal_mldg(g);
     if (!model_legal) {
-        const LegalityReport rep = check_schedulable(g, &guard, &rung_stats);
+        const LegalityReport rep =
+            check_schedulable(g, &guard, &rung_stats, ws != nullptr ? &ws->scalar : nullptr);
         if (rep.status != StatusCode::Ok) {
             push_stage("validate", rep.status, "schedulability check aborted");
             Status st(rep.status, "try_plan_fusion: could not validate the input MLDG");
@@ -122,17 +125,31 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
                model_legal ? "program-model legal" : "schedulable (outside the program model)");
 
     std::optional<int> a4_failed_phase;
+    // Rung 2's phase-1 fixpoint, kept for warm-starting rung 3: the forced-
+    // carry x-system only tightens the selective phase-1 system (non-hard
+    // bounds drop from delta.x to delta.x - 1), so the selective fixpoint is
+    // a valid starting potential there.
+    std::vector<std::int64_t> a4_phase1_values;
 
     // Compact refinement (PlanOptions::compact_prologue) as a post-pass: the
     // plain rung's solution is kept unless the compacted one re-verifies.
     auto apply_compact = [&](FusionPlan& plan) {
         if (!options.plan.compact_prologue) return;
         try {
+            // The accepted rung's raw x components are the fixpoint of the
+            // compact pass's base system (directly for Algorithm 4's phase 1;
+            // via the lexicographic-minimum projection for Algorithm 3), so
+            // they warm-start the compact solves without changing them.
+            std::vector<std::int64_t> local_warm;
+            std::vector<std::int64_t>& warm_x = ws != nullptr ? ws->warm_x : local_warm;
+            warm_x.clear();
+            warm_x.reserve(static_cast<std::size_t>(g.num_nodes()));
+            for (int v = 0; v < g.num_nodes(); ++v) warm_x.push_back(plan.retiming.of(v).x);
             std::optional<Retiming> alt;
             if (plan.algorithm == AlgorithmUsed::AcyclicDoall) {
-                alt = acyclic_doall_fusion_compact(g, &rung_stats);
+                alt = acyclic_doall_fusion_compact(g, &rung_stats, ws, &warm_x);
             } else if (plan.algorithm == AlgorithmUsed::CyclicDoall) {
-                alt = cyclic_doall_fusion_compact(g, &rung_stats);
+                alt = cyclic_doall_fusion_compact(g, &rung_stats, ws, &warm_x);
             }
             if (!alt.has_value()) return;
             FusionPlan refined;
@@ -160,7 +177,7 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
     // ---- Rung 1: Algorithm 3 (acyclic graphs only). ----
     if (!options.distribution_only && g.is_acyclic()) {
         try {
-            auto r = try_acyclic_doall_fusion(g, &guard, &rung_stats);
+            auto r = try_acyclic_doall_fusion(g, &guard, &rung_stats, ws);
             if (r.ok()) {
                 FusionPlan plan;
                 plan.retiming = std::move(r).value();
@@ -183,7 +200,8 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
     // ---- Rung 2: Algorithm 4 (also handles acyclic graphs when rung 1
     // fell through). ----
     if (!options.distribution_only) try {
-        auto outcome = cyclic_doall_fusion(g, &guard, &rung_stats);
+        auto outcome = cyclic_doall_fusion(g, &guard, &rung_stats, ws);
+        a4_phase1_values = std::move(outcome.phase1_values);
         if (outcome.retiming.has_value()) {
             FusionPlan plan;
             plan.retiming = std::move(*outcome.retiming);
@@ -211,7 +229,9 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
 
     // ---- Rung 3: forced-carry variant (extension; still DOALL rows). ----
     if (!options.distribution_only) try {
-        auto r = ablation::try_cyclic_doall_all_hard(g, &guard, &rung_stats);
+        auto r = ablation::try_cyclic_doall_all_hard(
+            g, &guard, &rung_stats, ws,
+            a4_phase1_values.empty() ? nullptr : &a4_phase1_values);
         if (r.ok()) {
             FusionPlan plan;
             plan.retiming = std::move(r).value();
@@ -232,7 +252,7 @@ Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options)
 
     // ---- Rung 4: Algorithm 5 (hyperplane wavefront). ----
     if (!options.distribution_only) try {
-        auto r = try_hyperplane_fusion(g, &guard, &rung_stats);
+        auto r = try_hyperplane_fusion(g, &guard, &rung_stats, ws);
         if (r.ok()) {
             FusionPlan plan;
             plan.retiming = std::move(r.value().retiming);

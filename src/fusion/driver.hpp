@@ -34,6 +34,8 @@
 
 namespace lf {
 
+struct PlannerWorkspace;
+
 enum class ParallelismLevel {
     /// The fused innermost loop is DOALL: one barrier per outer iteration.
     InnerDoall,
@@ -112,6 +114,12 @@ struct TryPlanOptions {
     /// produce a plan). The service layer's circuit breaker uses this to
     /// short-circuit a workload class that keeps failing the full ladder.
     bool distribution_only = false;
+    /// Reusable solver scratch (graph/solver_workspace.hpp), typically one
+    /// per worker thread. When set, every rung's solves run allocation-free
+    /// in the steady state and consecutive rungs warm-start each other where
+    /// the constraint systems nest (see DESIGN.md, "Planning performance").
+    /// Never changes any planning result. Not owned; may be null.
+    PlannerWorkspace* workspace = nullptr;
 };
 
 /// Never-throwing planner with graceful degradation. Tries, in order:

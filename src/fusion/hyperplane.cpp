@@ -34,12 +34,12 @@ Vec2 schedule_vector_for(const Mldg& retimed_graph) {
 }
 
 Result<HyperplaneResult> try_hyperplane_fusion(const Mldg& g, ResourceGuard* guard,
-                                               SolverStats* stats) {
+                                               SolverStats* stats, PlannerWorkspace* ws) {
     if (faultpoint::triggered("hyperplane")) {
         return Status(StatusCode::Internal, "hyperplane_fusion: fault injected");
     }
     HyperplaneResult out;
-    auto retiming = try_llofra(g, guard, stats);
+    auto retiming = try_llofra(g, guard, stats, ws);
     if (!retiming.ok()) return retiming.status();
     out.retiming = std::move(retiming).value();
     const Mldg retimed = out.retiming.apply(g);

@@ -14,6 +14,8 @@
 
 namespace lf {
 
+struct PlannerWorkspace;
+
 struct HyperplaneResult {
     Retiming retiming;
     /// Strict schedule vector: s . d > 0 for every nonzero retimed vector.
@@ -32,7 +34,8 @@ struct HyperplaneResult {
 /// postcondition).
 [[nodiscard]] Result<HyperplaneResult> try_hyperplane_fusion(const Mldg& g,
                                                              ResourceGuard* guard = nullptr,
-                                                             SolverStats* stats = nullptr);
+                                                             SolverStats* stats = nullptr,
+                                                             PlannerWorkspace* ws = nullptr);
 
 /// Lemma 4.3 in isolation: given a graph whose nonzero dependence vectors are
 /// all >= (0,0), produce a strict schedule vector. Exposed for testing and

@@ -1,18 +1,21 @@
 #include "fusion/llofra.hpp"
 
 #include "graph/constraint_system.hpp"
+#include "graph/solver_workspace.hpp"
 #include "ldg/legality.hpp"
 #include "support/diagnostics.hpp"
 #include "support/faultpoint.hpp"
 
 namespace lf {
 
-Result<Retiming> try_llofra(const Mldg& g, ResourceGuard* guard, SolverStats* stats) {
+Result<Retiming> try_llofra(const Mldg& g, ResourceGuard* guard, SolverStats* stats,
+                            PlannerWorkspace* ws) {
     if (faultpoint::triggered("llofra")) {
         return Status(StatusCode::Internal, "llofra: fault injected");
     }
     {
-        const LegalityReport rep = check_schedulable(g, guard, stats);
+        const LegalityReport rep =
+            check_schedulable(g, guard, stats, ws != nullptr ? &ws->scalar : nullptr);
         if (rep.status != StatusCode::Ok) {
             return Status(rep.status, "llofra: schedulability check aborted");
         }
@@ -24,12 +27,12 @@ Result<Retiming> try_llofra(const Mldg& g, ResourceGuard* guard, SolverStats* st
         }
     }
     DifferenceConstraintSystem<Vec2> sys;
-    for (int i = 0; i < g.num_nodes(); ++i) sys.add_variable(g.node(i).name);
+    for (int i = 0; i < g.num_nodes(); ++i) sys.add_variable(g.node_ref(i).name);
     for (const auto& e : g.edges()) {
         // Require delta_r(e) >= (0,0), i.e. r(to) - r(from) <= delta(e).
         sys.add_constraint(e.from, e.to, e.delta());
     }
-    const auto solution = sys.solve(guard, stats);
+    const auto solution = sys.solve(guard, stats, ws != nullptr ? &ws->vec2 : nullptr);
     if (solution.status != StatusCode::Ok) {
         return Status(solution.status, "llofra: solve aborted");
     }

@@ -13,6 +13,8 @@
 
 namespace lf {
 
+struct PlannerWorkspace;
+
 /// Computes the legal-fusion retiming. Throws lf::Error if `g` is not
 /// schedulable (the only way the constraint system can be infeasible).
 [[nodiscard]] Retiming llofra(const Mldg& g);
@@ -21,6 +23,7 @@ namespace lf {
 /// ResourceExhausted / Overflow (solve cut short), Internal (fault point
 /// "llofra" armed, or Theorem 3.2's feasibility guarantee failed).
 [[nodiscard]] Result<Retiming> try_llofra(const Mldg& g, ResourceGuard* guard = nullptr,
-                                          SolverStats* stats = nullptr);
+                                          SolverStats* stats = nullptr,
+                                          PlannerWorkspace* ws = nullptr);
 
 }  // namespace lf

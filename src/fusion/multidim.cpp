@@ -3,26 +3,31 @@
 #include <algorithm>
 
 #include "graph/constraint_system.hpp"
+#include "graph/solver_workspace.hpp"
 #include "support/diagnostics.hpp"
 #include "support/math_util.hpp"
 
 namespace lf {
 
-RetimingN llofra_nd(const MldgN& g) {
-    check(is_schedulable_nd(g), "llofra_nd: input MLDG is not schedulable");
+RetimingN llofra_nd(const MldgN& g, PlannerWorkspace* ws) {
+    SolverWorkspace<VecN>* vecn_ws = ws != nullptr ? &ws->vecn : nullptr;
+    check(is_schedulable_nd(g, nullptr, nullptr, vecn_ws),
+          "llofra_nd: input MLDG is not schedulable");
     DifferenceConstraintSystem<VecN> sys(g.dim());
     for (int v = 0; v < g.num_nodes(); ++v) sys.add_variable(g.node(v).name);
     for (const auto& e : g.edges()) {
         sys.add_constraint(e.from, e.to, e.delta());
     }
-    const auto solution = sys.solve();
+    const auto solution = sys.solve(nullptr, nullptr, vecn_ws);
     check(solution.feasible, "llofra_nd: internal error (infeasible on schedulable input)");
     return RetimingN(solution.values);
 }
 
-RetimingN acyclic_outermost_fusion_nd(const MldgN& g) {
+RetimingN acyclic_outermost_fusion_nd(const MldgN& g, PlannerWorkspace* ws) {
+    SolverWorkspace<VecN>* vecn_ws = ws != nullptr ? &ws->vecn : nullptr;
     check(g.is_acyclic(), "acyclic_outermost_fusion_nd: input MLDG has a cycle");
-    check(is_schedulable_nd(g), "acyclic_outermost_fusion_nd: input MLDG is not schedulable");
+    check(is_schedulable_nd(g, nullptr, nullptr, vecn_ws),
+          "acyclic_outermost_fusion_nd: input MLDG is not schedulable");
     // 1-D constraints on the outermost component only: r0(v) - r0(u) <=
     // delta(e)[0] - 1, so every vector's first retimed component is >= 1.
     DifferenceConstraintSystem<VecN> sys(1);
@@ -30,7 +35,7 @@ RetimingN acyclic_outermost_fusion_nd(const MldgN& g) {
     for (const auto& e : g.edges()) {
         sys.add_constraint(e.from, e.to, VecN{e.delta()[0] - 1});
     }
-    const auto solution = sys.solve();
+    const auto solution = sys.solve(nullptr, nullptr, vecn_ws);
     check(solution.feasible, "acyclic_outermost_fusion_nd: internal error");
     RetimingN r(g.num_nodes(), g.dim());
     for (int v = 0; v < g.num_nodes(); ++v) {
@@ -65,17 +70,17 @@ VecN schedule_vector_nd(const MldgN& retimed) {
     return s;
 }
 
-NdFusionPlan plan_fusion_nd(const MldgN& g) {
+NdFusionPlan plan_fusion_nd(const MldgN& g, PlannerWorkspace* ws) {
     NdFusionPlan plan;
     if (g.is_acyclic()) {
-        plan.retiming = acyclic_outermost_fusion_nd(g);
+        plan.retiming = acyclic_outermost_fusion_nd(g, ws);
         plan.level = NdParallelism::OutermostCarried;
         plan.retimed = plan.retiming.apply(g);
         // Outermost-carried graphs admit the row schedule (1, 0, ..., 0).
         plan.schedule = VecN::zeros(g.dim());
         plan.schedule[0] = 1;
     } else {
-        plan.retiming = llofra_nd(g);
+        plan.retiming = llofra_nd(g, ws);
         plan.retimed = plan.retiming.apply(g);
         plan.level = NdParallelism::Hyperplane;
         plan.schedule = schedule_vector_nd(plan.retimed);

@@ -28,13 +28,17 @@
 
 namespace lf {
 
+struct PlannerWorkspace;
+
 /// n-D LLOFRA: retiming with every retimed dependence >= 0 (lexicographic).
-/// Throws lf::Error when `g` is not schedulable.
-[[nodiscard]] RetimingN llofra_nd(const MldgN& g);
+/// Throws lf::Error when `g` is not schedulable. `ws` (optional): reusable
+/// solver scratch (PlannerWorkspace.vecn), never changes the result.
+[[nodiscard]] RetimingN llofra_nd(const MldgN& g, PlannerWorkspace* ws = nullptr);
 
 /// n-D Algorithm 3: retiming making every dependence outermost-carried
 /// (first component >= 1). Requires `g` acyclic and schedulable.
-[[nodiscard]] RetimingN acyclic_outermost_fusion_nd(const MldgN& g);
+[[nodiscard]] RetimingN acyclic_outermost_fusion_nd(const MldgN& g,
+                                                    PlannerWorkspace* ws = nullptr);
 
 /// Generalized Lemma 4.3: a strict schedule vector for a retimed graph whose
 /// nonzero vectors are all >= 0. Throws if a vector is below zero.
@@ -57,6 +61,6 @@ struct NdFusionPlan {
 
 /// Acyclic -> OutermostCarried (Alg 3 generalization); otherwise LLOFRA +
 /// hyperplane schedule (Alg 5 generalization).
-[[nodiscard]] NdFusionPlan plan_fusion_nd(const MldgN& g);
+[[nodiscard]] NdFusionPlan plan_fusion_nd(const MldgN& g, PlannerWorkspace* ws = nullptr);
 
 }  // namespace lf

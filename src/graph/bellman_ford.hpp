@@ -24,11 +24,35 @@
 // Telemetry: pass a SolverStats* to account relaxation work (see
 // support/solver_stats.hpp). A null pointer skips every accounting read,
 // including the wall clock -- the stats-free hot path is unchanged.
+//
+// Hot path: both entry points run on a SolverWorkspace (caller-owned when
+// passed, function-local otherwise), so a reused workspace makes the
+// steady-state solve allocation-free. bellman_ford_all_sources additionally
+// accepts a *warm start*: a previous all-sources fixpoint adopted as the
+// starting potential.
+//
+// Warm-start legality (the reason results stay byte-identical): the cold
+// all-sources fixpoint is F[v] = min over walks ending at v of the walk
+// weight (empty walk included, so F <= 0). Relaxation from any starting
+// potential d0 converges to  min(d0[v], min_{walk u->v} d0[u] + w(walk)).
+// If  F <= d0 <= 0  pointwise, that value is exactly F:
+//   * <= F: d0[v] <= 0 covers the empty walk and d0[u] + w <= 0 + w covers
+//     every other;
+//   * >= F: F[v] <= F[u] + w(walk) (triangle inequality) <= d0[u] + w(walk),
+//     and F[v] <= d0[v] directly.
+// Callers guarantee the lower bound by passing the exact fixpoint of a
+// *subsystem* (same variables, a subset of the constraints, or the same
+// constraints with weakly larger bounds): adding or tightening constraints
+// can only lower walk minima, so F_new <= F_old = d0. The solver validates
+// the cheap upper bound (d0 <= 0) at runtime and falls back to a cold solve
+// when it fails. Negative-cycle detection is unaffected: with any finite
+// start, relaxation quiesces within |V| passes iff no negative cycle exists.
 
 #include <chrono>
 #include <cstddef>
 #include <vector>
 
+#include "graph/solver_workspace.hpp"
 #include "graph/weight_traits.hpp"
 #include "support/diagnostics.hpp"
 #include "support/faultpoint.hpp"
@@ -67,10 +91,10 @@ namespace detail {
 
 /// Walks predecessor pointers from a vertex known to be reachable from a
 /// negative cycle until the walk closes, returning that cycle's edge ids.
+/// `pred_edge` is a raw view so both owned and workspace buffers serve.
 template <typename W>
 std::vector<int> extract_cycle(const std::vector<WeightedEdge<W>>& edges,
-                               const std::vector<int>& pred_edge, int start) {
-    const int n = static_cast<int>(pred_edge.size());
+                               const int* pred_edge, int n, int start) {
     // After n predecessor hops we are guaranteed to sit on the cycle itself.
     int v = start;
     for (int hop = 0; hop < n; ++hop) {
@@ -118,6 +142,8 @@ class StatsScope {
         target_->queue_pops += queue_pops;
         target_->guard_steps += guard_steps;
         target_->overflow_near_misses += overflow_near_misses;
+        target_->warm_starts += warm_starts;
+        target_->cold_solves += cold_solves;
         target_->wall_ns += static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - start_)
@@ -133,6 +159,8 @@ class StatsScope {
     std::uint64_t queue_pops = 0;
     std::uint64_t guard_steps = 0;
     std::uint64_t overflow_near_misses = 0;
+    std::uint64_t warm_starts = 0;
+    std::uint64_t cold_solves = 0;
 
   private:
     SolverStats* target_;
@@ -144,19 +172,62 @@ class StatsScope {
 /// Bellman-Ford with every vertex as a zero-distance source. This models the
 /// constraint-graph construction of the paper (virtual vertex v0 with
 /// zero-weight edges to every other vertex) without materializing v0.
+///
+/// `ws` (optional): scratch arena to run on; reuse across solves for an
+/// allocation-free steady state. `warm_start` (optional): a previous
+/// all-sources fixpoint of a subsystem, adopted as the starting potential
+/// when valid (every entry <= zero; see the warm-start note above). The
+/// returned distances are identical either way; only the work differs.
 template <typename W>
 ShortestPaths<W> bellman_ford_all_sources(int num_nodes,
                                           const std::vector<WeightedEdge<W>>& edges,
                                           ResourceGuard* guard = nullptr,
                                           SolverStats* stats = nullptr,
-                                          const WeightTraits<W>& traits = {}) {
+                                          const WeightTraits<W>& traits = {},
+                                          SolverWorkspace<W>* ws = nullptr,
+                                          const std::vector<W>* warm_start = nullptr) {
     detail::StatsScope scope(stats);
+    SolverWorkspace<W> local;  // used only when the caller owns no arena
+    SolverWorkspace<W>& arena = ws != nullptr ? *ws : local;
+    const auto n = static_cast<std::size_t>(num_nodes);
+    auto& dist = arena.dist;
+    auto& pred = arena.pred_edge;
+
+    bool warm = warm_start != nullptr && warm_start->size() == n;
+    if (warm) {
+        const W zero = traits.zero();
+        for (const W& v : *warm_start) {
+            if (zero < v) {  // not a valid potential; cold-solve instead
+                warm = false;
+                break;
+            }
+        }
+    }
+    if (warm) {
+        dist.assign(warm_start->begin(), warm_start->end());
+        ++scope.warm_starts;
+    } else {
+        dist.assign(n, traits.zero());
+        ++scope.cold_solves;
+    }
+    pred.assign(n, -1);
+
     ShortestPaths<W> r;
-    r.dist.assign(static_cast<std::size_t>(num_nodes), traits.zero());
-    r.pred_edge.assign(static_cast<std::size_t>(num_nodes), -1);
+    auto finish = [&]() {
+        r.dist.assign(dist.begin(), dist.end());
+        r.pred_edge.assign(pred.begin(), pred.end());
+        return std::move(r);
+    };
     if (faultpoint::triggered("solver.bellman_ford")) {
         r.status = StatusCode::Internal;
-        return r;
+        return finish();
+    }
+
+    // Validate endpoints once up front; the relaxation passes below then
+    // index unchecked (the edge list is immutable for the whole solve).
+    for (const auto& e : edges) {
+        check(e.from >= 0 && e.from < num_nodes && e.to >= 0 && e.to < num_nodes,
+              "bellman_ford: edge endpoint out of range");
     }
 
     for (int pass = 0; pass < num_nodes; ++pass) {
@@ -164,66 +235,79 @@ ShortestPaths<W> bellman_ford_all_sources(int num_nodes,
         bool changed = false;
         for (std::size_t ei = 0; ei < edges.size(); ++ei) {
             const auto& e = edges[ei];
-            check(e.from >= 0 && e.from < num_nodes && e.to >= 0 && e.to < num_nodes,
-                  "bellman_ford: edge endpoint out of range");
             ++scope.edge_scans;
             if (guard != nullptr) {
                 ++scope.guard_steps;
                 if (!guard->consume()) {
                     r.status = StatusCode::ResourceExhausted;
-                    return r;
+                    return finish();
                 }
             }
             W cand;
-            if (!traits.checked_add(r.dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
+            if (!traits.checked_add(dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
                 r.status = StatusCode::Overflow;
-                return r;
+                return finish();
             }
-            if (cand < r.dist[static_cast<std::size_t>(e.to)]) {
+            if (cand < dist[static_cast<std::size_t>(e.to)]) {
                 ++scope.relaxations;
                 if (scope.enabled() && traits.near_overflow(cand)) ++scope.overflow_near_misses;
-                r.dist[static_cast<std::size_t>(e.to)] = cand;
-                r.pred_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);
+                dist[static_cast<std::size_t>(e.to)] = cand;
+                pred[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);
                 changed = true;
             }
         }
-        if (!changed) return r;
+        if (!changed) return finish();
     }
     // An n-th pass that still relaxes implies a negative cycle.
     for (std::size_t ei = 0; ei < edges.size(); ++ei) {
         const auto& e = edges[ei];
         ++scope.edge_scans;
         W cand;
-        if (!traits.checked_add(r.dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
+        if (!traits.checked_add(dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
             r.status = StatusCode::Overflow;
-            return r;
+            return finish();
         }
-        if (cand < r.dist[static_cast<std::size_t>(e.to)]) {
+        if (cand < dist[static_cast<std::size_t>(e.to)]) {
             r.has_negative_cycle = true;
-            r.pred_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);
-            r.negative_cycle = detail::extract_cycle(edges, r.pred_edge, e.to);
-            return r;
+            pred[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);
+            r.negative_cycle = detail::extract_cycle(edges, pred.data(), num_nodes, e.to);
+            return finish();
         }
     }
-    return r;
+    return finish();
 }
 
 /// Classical single-source Bellman-Ford (distances from `source`; unreachable
-/// vertices keep the domain's infinity).
+/// vertices keep the domain's infinity). Takes the same optional workspace;
+/// no warm start -- the infinity-initialized single-source solve has no
+/// subsystem-fixpoint structure to exploit.
 template <typename W>
 ShortestPaths<W> bellman_ford(int num_nodes, const std::vector<WeightedEdge<W>>& edges,
                               int source, ResourceGuard* guard = nullptr,
                               SolverStats* stats = nullptr,
-                              const WeightTraits<W>& traits = {}) {
+                              const WeightTraits<W>& traits = {},
+                              SolverWorkspace<W>* ws = nullptr) {
     check(source >= 0 && source < num_nodes, "bellman_ford: bad source");
     detail::StatsScope scope(stats);
+    ++scope.cold_solves;
+    SolverWorkspace<W> local;
+    SolverWorkspace<W>& arena = ws != nullptr ? *ws : local;
+    const auto n = static_cast<std::size_t>(num_nodes);
+    auto& dist = arena.dist;
+    auto& pred = arena.pred_edge;
+    dist.assign(n, traits.infinity());
+    pred.assign(n, -1);
+    dist[static_cast<std::size_t>(source)] = traits.zero();
+
     ShortestPaths<W> r;
-    r.dist.assign(static_cast<std::size_t>(num_nodes), traits.infinity());
-    r.pred_edge.assign(static_cast<std::size_t>(num_nodes), -1);
-    r.dist[static_cast<std::size_t>(source)] = traits.zero();
+    auto finish = [&]() {
+        r.dist.assign(dist.begin(), dist.end());
+        r.pred_edge.assign(pred.begin(), pred.end());
+        return std::move(r);
+    };
     if (faultpoint::triggered("solver.bellman_ford")) {
         r.status = StatusCode::Internal;
-        return r;
+        return finish();
     }
 
     for (int pass = 0; pass < num_nodes; ++pass) {
@@ -231,47 +315,47 @@ ShortestPaths<W> bellman_ford(int num_nodes, const std::vector<WeightedEdge<W>>&
         bool changed = false;
         for (std::size_t ei = 0; ei < edges.size(); ++ei) {
             const auto& e = edges[ei];
-            if (traits.is_infinite(r.dist[static_cast<std::size_t>(e.from)])) continue;
+            if (traits.is_infinite(dist[static_cast<std::size_t>(e.from)])) continue;
             ++scope.edge_scans;
             if (guard != nullptr) {
                 ++scope.guard_steps;
                 if (!guard->consume()) {
                     r.status = StatusCode::ResourceExhausted;
-                    return r;
+                    return finish();
                 }
             }
             W cand;
-            if (!traits.checked_add(r.dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
+            if (!traits.checked_add(dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
                 r.status = StatusCode::Overflow;
-                return r;
+                return finish();
             }
-            if (cand < r.dist[static_cast<std::size_t>(e.to)]) {
+            if (cand < dist[static_cast<std::size_t>(e.to)]) {
                 ++scope.relaxations;
                 if (scope.enabled() && traits.near_overflow(cand)) ++scope.overflow_near_misses;
-                r.dist[static_cast<std::size_t>(e.to)] = cand;
-                r.pred_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);
+                dist[static_cast<std::size_t>(e.to)] = cand;
+                pred[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);
                 changed = true;
             }
         }
-        if (!changed) return r;
+        if (!changed) return finish();
     }
     for (std::size_t ei = 0; ei < edges.size(); ++ei) {
         const auto& e = edges[ei];
-        if (traits.is_infinite(r.dist[static_cast<std::size_t>(e.from)])) continue;
+        if (traits.is_infinite(dist[static_cast<std::size_t>(e.from)])) continue;
         ++scope.edge_scans;
         W cand;
-        if (!traits.checked_add(r.dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
+        if (!traits.checked_add(dist[static_cast<std::size_t>(e.from)], e.weight, cand)) {
             r.status = StatusCode::Overflow;
-            return r;
+            return finish();
         }
-        if (cand < r.dist[static_cast<std::size_t>(e.to)]) {
+        if (cand < dist[static_cast<std::size_t>(e.to)]) {
             r.has_negative_cycle = true;
-            r.pred_edge[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);
-            r.negative_cycle = detail::extract_cycle(edges, r.pred_edge, e.to);
-            return r;
+            pred[static_cast<std::size_t>(e.to)] = static_cast<int>(ei);
+            r.negative_cycle = detail::extract_cycle(edges, pred.data(), num_nodes, e.to);
+            return finish();
         }
     }
-    return r;
+    return finish();
 }
 
 }  // namespace lf

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/bellman_ford.hpp"
+#include "graph/spfa.hpp"
 
 namespace lf {
 
@@ -35,6 +36,7 @@ class DifferenceConstraintSystem {
     int add_variable(std::string name = "") {
         names_.push_back(name.empty() ? "x" + std::to_string(names_.size())
                                       : std::move(name));
+        csr_dirty_ = true;  // adjacency is sized by the variable count
         return static_cast<int>(names_.size()) - 1;
     }
 
@@ -45,6 +47,7 @@ class DifferenceConstraintSystem {
         check(traits_.compatible(bound),
               "DifferenceConstraintSystem: bound dimension mismatch");
         edges_.push_back(WeightedEdge<W>{i, j, bound});
+        csr_dirty_ = true;
     }
 
     /// Adds the equality  x_j - x_i == value  as a pair of opposing
@@ -77,10 +80,19 @@ class DifferenceConstraintSystem {
     /// optional guard bounds the relaxation work (ResourceExhausted instead
     /// of running the full O(|V| * |E|) passes); the optional stats account
     /// the solve's telemetry (support/solver_stats.hpp).
+    ///
+    /// `ws` (optional): reusable scratch arena -- the solve is allocation-free
+    /// once the arena has seen this problem size. `warm_start` (optional): a
+    /// feasible assignment of a subsystem of this system (these constraints
+    /// minus some, or with weakly larger bounds) adopted as the starting
+    /// potential; the result is identical, only the relaxation work shrinks.
     [[nodiscard]] Solution solve(ResourceGuard* guard = nullptr,
-                                 SolverStats* stats = nullptr) const {
+                                 SolverStats* stats = nullptr,
+                                 SolverWorkspace<W>* ws = nullptr,
+                                 const std::vector<W>* warm_start = nullptr) const {
         Solution s;
-        auto sp = bellman_ford_all_sources<W>(num_variables(), edges_, guard, stats, traits_);
+        auto sp = bellman_ford_all_sources<W>(num_variables(), edges_, guard, stats, traits_,
+                                              ws, warm_start);
         if (sp.status != StatusCode::Ok) {
             s.feasible = false;
             s.status = sp.status;
@@ -96,6 +108,40 @@ class DifferenceConstraintSystem {
         return s;
     }
 
+    /// Solves via SPFA on the cached CSR adjacency (differential cross-check
+    /// path; no conflict witness -- use solve() when the caller needs one).
+    /// The adjacency is built lazily once per constraint-set revision, not
+    /// per solve.
+    [[nodiscard]] Solution solve_spfa(ResourceGuard* guard = nullptr,
+                                      SolverStats* stats = nullptr,
+                                      SolverWorkspace<W>* ws = nullptr) const {
+        Solution s;
+        auto sp = spfa_all_sources<W>(num_variables(), edges_, guard, stats, traits_, ws,
+                                      &adjacency());
+        if (sp.status != StatusCode::Ok) {
+            s.feasible = false;
+            s.status = sp.status;
+            return s;
+        }
+        if (sp.has_negative_cycle) {
+            s.feasible = false;
+            return s;
+        }
+        s.feasible = true;
+        s.values = std::move(sp.dist);
+        return s;
+    }
+
+    /// CSR out-adjacency of the constraint graph, rebuilt lazily after
+    /// constraint insertion and cached across solves.
+    [[nodiscard]] const CsrAdjacency& adjacency() const {
+        if (csr_dirty_) {
+            csr_.build(num_variables(), edges_);
+            csr_dirty_ = false;
+        }
+        return csr_;
+    }
+
     /// Human-readable dump of a conflict cycle for error messages.
     [[nodiscard]] std::string describe_conflict(const std::vector<int>& conflict) const;
 
@@ -103,6 +149,10 @@ class DifferenceConstraintSystem {
     WeightTraits<W> traits_;
     std::vector<std::string> names_;
     std::vector<WeightedEdge<W>> edges_;
+    // Adjacency cache: logically derived state, mutable so const solves can
+    // materialize it on first use.
+    mutable CsrAdjacency csr_;
+    mutable bool csr_dirty_ = true;
 };
 
 }  // namespace lf

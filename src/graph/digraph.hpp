@@ -48,6 +48,17 @@ class Digraph {
     [[nodiscard]] const Edge& edge(int id) const { return edges_.at(static_cast<std::size_t>(id)); }
     [[nodiscard]] Edge& edge(int id) { return edges_.at(static_cast<std::size_t>(id)); }
 
+    /// Unchecked accessors for solver-facing inner loops. Ids are validated
+    /// at insertion and the containers are append-only, so any id obtained
+    /// from this graph is permanently in range; node()/edge() stay the
+    /// bounds-checked public API.
+    [[nodiscard]] const NodeData& node_ref(int id) const noexcept {
+        return nodes_[static_cast<std::size_t>(id)];
+    }
+    [[nodiscard]] const Edge& edge_ref(int id) const noexcept {
+        return edges_[static_cast<std::size_t>(id)];
+    }
+
     /// Ids of edges leaving `node`.
     [[nodiscard]] std::span<const int> out_edges(int node) const {
         return out_.at(static_cast<std::size_t>(node));

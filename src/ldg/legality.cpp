@@ -47,7 +47,8 @@ std::int64_t sat_mul_i64(std::int64_t a, std::int64_t b) {
 /// underlying solve aborts (witness is then meaningless).
 std::optional<std::vector<int>> cycle_weight_leq_zero(
     int num_nodes, const std::vector<WeightedEdge<std::int64_t>>& edges,
-    ResourceGuard* guard, SolverStats* stats, StatusCode& status) {
+    ResourceGuard* guard, SolverStats* stats, SolverWorkspace<std::int64_t>* ws,
+    StatusCode& status) {
     if (edges.empty()) return std::nullopt;
     const std::int64_t K = static_cast<std::int64_t>(edges.size()) + 1;
     std::vector<WeightedEdge<std::int64_t>> scaled;
@@ -58,7 +59,7 @@ std::optional<std::vector<int>> cycle_weight_leq_zero(
             {e.from, e.to,
              wk == std::numeric_limits<std::int64_t>::min() ? wk : wk - 1});
     }
-    auto sp = bellman_ford_all_sources<std::int64_t>(num_nodes, scaled, guard, stats);
+    auto sp = bellman_ford_all_sources<std::int64_t>(num_nodes, scaled, guard, stats, {}, ws);
     if (sp.status != StatusCode::Ok) {
         status = sp.status;
         return std::nullopt;
@@ -70,11 +71,13 @@ std::optional<std::vector<int>> cycle_weight_leq_zero(
 /// Witness of a cycle with negative x-weight (over deltas), if any. Sets
 /// `status` when the underlying solve aborts.
 std::optional<std::vector<int>> negative_x_cycle(const Mldg& g, ResourceGuard* guard,
-                                                 SolverStats* stats, StatusCode& status) {
+                                                 SolverStats* stats,
+                                                 SolverWorkspace<std::int64_t>* ws,
+                                                 StatusCode& status) {
     std::vector<WeightedEdge<std::int64_t>> edges;
     edges.reserve(static_cast<std::size_t>(g.num_edges()));
     for (const auto& e : g.edges()) edges.push_back({e.from, e.to, e.delta().x});
-    auto sp = bellman_ford_all_sources<std::int64_t>(g.num_nodes(), edges, guard, stats);
+    auto sp = bellman_ford_all_sources<std::int64_t>(g.num_nodes(), edges, guard, stats, {}, ws);
     if (sp.status != StatusCode::Ok) {
         status = sp.status;
         return std::nullopt;
@@ -117,7 +120,7 @@ LegalityReport check_mldg_legality(const Mldg& g) {
     }
 
     for (int eid = 0; eid < g.num_edges(); ++eid) {
-        const auto& e = g.edge(eid);
+        const auto& e = g.edge_ref(eid);
         const bool self = g.is_self_edge(eid);
         const bool backward = g.is_backward_edge(eid);
         for (const Vec2& d : e.vectors) {
@@ -143,7 +146,8 @@ LegalityReport check_mldg_legality(const Mldg& g) {
 
 bool is_legal_mldg(const Mldg& g) { return check_mldg_legality(g).legal; }
 
-LegalityReport check_schedulable(const Mldg& g, ResourceGuard* guard, SolverStats* stats) {
+LegalityReport check_schedulable(const Mldg& g, ResourceGuard* guard, SolverStats* stats,
+                                 SolverWorkspace<std::int64_t>* ws) {
     LegalityReport report;
     auto fail = [&report](const std::string& msg) {
         report.legal = false;
@@ -170,7 +174,7 @@ LegalityReport check_schedulable(const Mldg& g, ResourceGuard* guard, SolverStat
     {
         std::vector<std::pair<int, int>> edge_nodes;
         for (const auto& e : g.edges()) edge_nodes.emplace_back(e.from, e.to);
-        const auto witness = negative_x_cycle(g, guard, stats, solver_status);
+        const auto witness = negative_x_cycle(g, guard, stats, ws, solver_status);
         if (solver_status != StatusCode::Ok) {
             report.status = solver_status;
             report.legal = false;  // conservative: verdict undetermined
@@ -192,7 +196,7 @@ LegalityReport check_schedulable(const Mldg& g, ResourceGuard* guard, SolverStat
         }
     }
     const auto witness =
-        cycle_weight_leq_zero(g.num_nodes(), zero_x_edges, guard, stats, solver_status);
+        cycle_weight_leq_zero(g.num_nodes(), zero_x_edges, guard, stats, ws, solver_status);
     if (solver_status != StatusCode::Ok) {
         report.status = solver_status;
         report.legal = false;
@@ -222,7 +226,7 @@ std::vector<int> position_of(const std::vector<int>& body_order) {
 std::vector<int> program_order(const Mldg& g) {
     std::vector<int> order(static_cast<std::size_t>(g.num_nodes()));
     for (int i = 0; i < g.num_nodes(); ++i) {
-        order[static_cast<std::size_t>(g.node(i).order)] = i;
+        order[static_cast<std::size_t>(g.node_ref(i).order)] = i;
     }
     return order;
 }
@@ -279,12 +283,14 @@ std::optional<std::vector<int>> fused_body_order(const Mldg& retimed) {
     }
     for (auto& ps : pred) {
         std::sort(ps.begin(), ps.end(), [&retimed](int a, int b) {
-            return retimed.node(a).order < retimed.node(b).order;
+            return retimed.node_ref(a).order < retimed.node_ref(b).order;
         });
     }
 
     std::vector<int> by_program_order(static_cast<std::size_t>(n));
-    for (int v = 0; v < n; ++v) by_program_order[static_cast<std::size_t>(retimed.node(v).order)] = v;
+    for (int v = 0; v < n; ++v) {
+        by_program_order[static_cast<std::size_t>(retimed.node_ref(v).order)] = v;
+    }
 
     enum class Mark : unsigned char { Unseen, InProgress, Done };
     std::vector<Mark> mark(static_cast<std::size_t>(n), Mark::Unseen);

@@ -35,6 +35,9 @@
 
 namespace lf {
 
+template <typename W>
+class SolverWorkspace;
+
 /// Largest |component| a dependence vector may carry. Both legality tiers
 /// reject vectors beyond this bound up front, which keeps every downstream
 /// sum (retiming offsets, constraint bounds, cycle weights scaled by |E|+1)
@@ -62,9 +65,12 @@ struct LegalityReport {
 
 /// Schedulability: checks (S1)-(S2). Program-model legality implies this.
 /// The optional guard bounds the Bellman-Ford cycle checks; on exhaustion the
-/// report carries status != Ok and legal == false (conservative).
+/// report carries status != Ok and legal == false (conservative). The
+/// optional workspace makes the two cycle-check solves allocation-free when
+/// reused across calls.
 [[nodiscard]] LegalityReport check_schedulable(const Mldg& g, ResourceGuard* guard = nullptr,
-                                               SolverStats* stats = nullptr);
+                                               SolverStats* stats = nullptr,
+                                               SolverWorkspace<std::int64_t>* ws = nullptr);
 
 [[nodiscard]] bool is_schedulable(const Mldg& g);
 

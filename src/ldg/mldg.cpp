@@ -21,6 +21,15 @@ int Mldg::add_node(std::string name, std::int64_t body_cost) {
     return id;
 }
 
+namespace {
+
+std::uint64_t endpoint_key(int from, int to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint64_t>(static_cast<std::uint32_t>(to));
+}
+
+}  // namespace
+
 int Mldg::add_edge(int from, int to, std::vector<Vec2> vectors) {
     check(from >= 0 && from < num_nodes() && to >= 0 && to < num_nodes(),
           "Mldg::add_edge: node id out of range");
@@ -35,7 +44,9 @@ int Mldg::add_edge(int from, int to, std::vector<Vec2> vectors) {
     std::sort(vectors.begin(), vectors.end());
     vectors.erase(std::unique(vectors.begin(), vectors.end()), vectors.end());
     edges_.push_back(DependenceEdge{from, to, std::move(vectors)});
-    return static_cast<int>(edges_.size()) - 1;
+    const int id = static_cast<int>(edges_.size()) - 1;
+    edge_index_.emplace(endpoint_key(from, to), id);
+    return id;
 }
 
 const LoopNode& Mldg::node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
@@ -50,11 +61,9 @@ std::optional<int> Mldg::find_node(std::string_view name) const {
 }
 
 std::optional<int> Mldg::find_edge(int from, int to) const {
-    for (int e = 0; e < num_edges(); ++e) {
-        const auto& ed = edges_[static_cast<std::size_t>(e)];
-        if (ed.from == from && ed.to == to) return e;
-    }
-    return std::nullopt;
+    const auto it = edge_index_.find(endpoint_key(from, to));
+    if (it == edge_index_.end()) return std::nullopt;
+    return it->second;
 }
 
 bool Mldg::is_backward_edge(int edge_id) const {

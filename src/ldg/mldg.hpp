@@ -9,9 +9,11 @@
 // hard", Section 2.2) when two of its vectors share a first coordinate but
 // differ in the second.
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/algorithms.hpp"
@@ -65,6 +67,16 @@ class Mldg {
     [[nodiscard]] const DependenceEdge& edge(int id) const;
     [[nodiscard]] const std::vector<DependenceEdge>& edges() const { return edges_; }
 
+    /// Unchecked accessors for solver-facing loops whose ids come from the
+    /// graph itself (0 <= id < num_nodes()/num_edges(), validated at
+    /// insertion). The checked node()/edge() remain the public API.
+    [[nodiscard]] const LoopNode& node_ref(int id) const noexcept {
+        return nodes_[static_cast<std::size_t>(id)];
+    }
+    [[nodiscard]] const DependenceEdge& edge_ref(int id) const noexcept {
+        return edges_[static_cast<std::size_t>(id)];
+    }
+
     /// Node id by name; nullopt if absent.
     [[nodiscard]] std::optional<int> find_node(std::string_view name) const;
 
@@ -100,6 +112,10 @@ class Mldg {
   private:
     std::vector<LoopNode> nodes_;
     std::vector<DependenceEdge> edges_;
+    /// (from, to) -> edge id, kept in lockstep with edges_ by add_edge so
+    /// find_edge -- and with it every retiming apply, which merges through
+    /// it -- is O(1) expected instead of a linear scan.
+    std::unordered_map<std::uint64_t, int> edge_index_;
 };
 
 }  // namespace lf

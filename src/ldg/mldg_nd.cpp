@@ -112,7 +112,8 @@ bool prefix_nonnegative(const VecN& v) {
 
 }  // namespace
 
-bool is_schedulable_nd(const MldgN& g, ResourceGuard* guard, SolverStats* stats) {
+bool is_schedulable_nd(const MldgN& g, ResourceGuard* guard, SolverStats* stats,
+                       SolverWorkspace<VecN>* ws) {
     // (S1') outer prefixes must be lexicographically non-negative: nothing
     // may flow backwards at the sequential levels.
     for (const auto& e : g.edges()) {
@@ -134,7 +135,7 @@ bool is_schedulable_nd(const MldgN& g, ResourceGuard* guard, SolverStats* stats)
         edges.push_back(WeightedEdge<VecN>{e.from, e.to, std::move(v)});
     }
     const auto sp = bellman_ford_all_sources<VecN>(g.num_nodes(), edges, guard, stats,
-                                                   WeightTraits<VecN>(g.dim()));
+                                                   WeightTraits<VecN>(g.dim()), ws);
     // A cut-short solve (fault, budget, overflow) cannot certify the cycle
     // condition: answer conservatively.
     if (sp.status != StatusCode::Ok) return false;

@@ -17,6 +17,9 @@
 
 namespace lf {
 
+template <typename W>
+class SolverWorkspace;
+
 struct LoopNodeN {
     std::string name;
     int order = 0;
@@ -90,6 +93,7 @@ class RetimingN {
 /// cut short by the optional guard (or a solver fault) answers false
 /// conservatively. Optional stats account the solve's telemetry.
 [[nodiscard]] bool is_schedulable_nd(const MldgN& g, ResourceGuard* guard = nullptr,
-                                     SolverStats* stats = nullptr);
+                                     SolverStats* stats = nullptr,
+                                     SolverWorkspace<VecN>* ws = nullptr);
 
 }  // namespace lf

@@ -32,6 +32,7 @@ constexpr const char* kCompiledIn[] = {
     "svc.verify.certify",    // svc admission gate: certification fails
     "svc.verify.replay",     // svc admission gate: differential replay mismatch
     "svc.checkpoint",        // svc checkpoint append fails (run continues)
+    "svc.plancache",         // svc plan cache: lookup bypassed (job plans cold)
 };
 
 bool known(const std::string& name) {
@@ -137,6 +138,17 @@ std::vector<std::string> arm_from_spec(const std::string& spec) {
     Registry& r = registry();
     const std::lock_guard<std::mutex> lock(r.mutex);
     return r.arm_locked(spec);
+}
+
+std::vector<std::string> armed_points() {
+    Registry& r = registry();
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::string> names;
+    for (const auto& [name, state] : r.points) {
+        if (state.armed) names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
 }
 
 bool is_known_point(const std::string& name) { return known(name); }

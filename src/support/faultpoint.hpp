@@ -54,6 +54,11 @@ void reset();
 /// path performs the same validation at first use.
 std::vector<std::string> arm_from_spec(const std::string& spec);
 
+/// Snapshot of every currently armed point, sorted. The service layer uses
+/// this to bypass its plan cache whenever any fault is armed (a faulted run
+/// must exercise the real pipeline, and must never poison the cache).
+[[nodiscard]] std::vector<std::string> armed_points();
+
 /// True iff `name` is one of the compiled-in fault points.
 [[nodiscard]] bool is_known_point(const std::string& name);
 

@@ -1,5 +1,6 @@
 #include "support/json.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 #include "support/diagnostics.hpp"
@@ -106,6 +107,15 @@ Writer& Writer::value(std::uint64_t v) {
 }
 
 Writer& Writer::value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+Writer& Writer::value(double v) {
+    prepare_value();
+    if (!std::isfinite(v)) v = 0.0;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", v);
+    out_ += buf;
+    return *this;
+}
 
 Writer& Writer::value(bool v) {
     prepare_value();

@@ -36,6 +36,9 @@ class Writer {
     Writer& value(std::int64_t v);
     Writer& value(std::uint64_t v);
     Writer& value(int v);
+    /// Fixed notation with 3 fractional digits, locale-independent; NaN and
+    /// infinity (not representable in JSON) are emitted as 0.000.
+    Writer& value(double v);
     Writer& value(bool v);
 
     /// key + value in one call.

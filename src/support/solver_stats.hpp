@@ -34,6 +34,13 @@ struct SolverStats {
     /// overflow cap: early warning that inputs are drifting toward the
     /// Overflow hard stop.
     std::uint64_t overflow_near_misses = 0;
+    /// All-sources solves that started from a caller-supplied previous
+    /// fixpoint instead of the all-zero potential (incremental re-solve of a
+    /// grown constraint system; see graph/bellman_ford.hpp).
+    std::uint64_t warm_starts = 0;
+    /// Solves that initialized from scratch (no usable warm hint). Every
+    /// accounted solve is exactly one of warm_starts / cold_solves.
+    std::uint64_t cold_solves = 0;
     /// Wall time spent inside solver entry points, in nanoseconds. Only
     /// meaningful on the machine that produced it; report emission omits it
     /// under the determinism contract (include_timings=false).
@@ -48,6 +55,8 @@ struct SolverStats {
         queue_pops += o.queue_pops;
         guard_steps += o.guard_steps;
         overflow_near_misses += o.overflow_near_misses;
+        warm_starts += o.warm_starts;
+        cold_solves += o.cold_solves;
         wall_ns += o.wall_ns;
     }
 

@@ -23,6 +23,7 @@
 #include "ldg/mldg.hpp"
 #include "support/domain.hpp"
 #include "support/status.hpp"
+#include "svc/plancache.hpp"
 
 namespace lf::svc {
 
@@ -54,7 +55,9 @@ enum class JobStatus {
 enum class ReplayOutcome {
     NotRun,    // gate never reached the replay (certification failed first)
     Ok,        // original and transformed programs agree bit for bit
-    Skipped,   // graph-only job: no program to replay
+    Skipped,   // nothing to replay: graph-only job, or a plan-cache hit
+               // (the replay already ran when the entry was admitted; the
+               // hit re-runs only the certify check)
     Mismatch,  // the stores differ -- the plan is wrong; quarantine
     Error,     // replay aborted (exception / injected fault); retryable
 };
@@ -99,6 +102,11 @@ struct JobRecord {
     std::int64_t wall_ms = 0;
     /// Restored from a checkpoint manifest; no work was redone.
     bool from_checkpoint = false;
+    /// How the plan cache served this job (svc/plancache.hpp): a hit skips
+    /// the ladder (certify-only admission), a miss plans cold and may
+    /// insert, a bypass never consults the cache (disabled / fault armed /
+    /// distribution-only / checkpoint-restored).
+    CacheOutcome cache = CacheOutcome::Bypass;
 
     /// The last attempt's trace -- what a quarantined job is diagnosed
     /// from. Empty only for checkpoint-restored records.

@@ -1,0 +1,134 @@
+#include "svc/plancache.hpp"
+
+namespace lf::svc {
+
+std::string to_string(CacheOutcome outcome) {
+    switch (outcome) {
+        case CacheOutcome::Hit: return "hit";
+        case CacheOutcome::Miss: return "miss";
+        case CacheOutcome::Bypass: return "bypass";
+    }
+    return "unknown";
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a(std::uint64_t h, const char* data, std::size_t len) {
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (byte * 8)) & 0xffu;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+}  // namespace
+
+std::uint64_t PlanCache::key_of(const Mldg& graph, const PlanOptions& options,
+                                bool allow_distribution_fallback) {
+    // Structural FNV-1a: exactly the information the canonical text
+    // serialization (ldg/serialization.hpp) would carry -- nodes in id order
+    // (name, order, body_cost), then edges in id order (endpoints + sorted
+    // vector sets) -- hashed directly, without materializing the text. The
+    // per-field length/count prefixes keep the encoding prefix-free, so two
+    // graphs collide only if they are structurally identical (or on a true
+    // 64-bit hash collision, which the certify re-check absorbs).
+    std::uint64_t h = fnv1a_u64(kFnvOffset, static_cast<std::uint64_t>(graph.num_nodes()));
+    for (int v = 0; v < graph.num_nodes(); ++v) {
+        const auto& node = graph.node_ref(v);
+        h = fnv1a_u64(h, node.name.size());
+        h = fnv1a(h, node.name.data(), node.name.size());
+        h = fnv1a_u64(h, static_cast<std::uint64_t>(node.order));
+        h = fnv1a_u64(h, static_cast<std::uint64_t>(node.body_cost));
+    }
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(graph.num_edges()));
+    for (int eid = 0; eid < graph.num_edges(); ++eid) {
+        const auto& e = graph.edge_ref(eid);
+        h = fnv1a_u64(h, static_cast<std::uint64_t>(e.from));
+        h = fnv1a_u64(h, static_cast<std::uint64_t>(e.to));
+        h = fnv1a_u64(h, e.vectors.size());
+        for (const Vec2& d : e.vectors) {
+            h = fnv1a_u64(h, static_cast<std::uint64_t>(d.x));
+            h = fnv1a_u64(h, static_cast<std::uint64_t>(d.y));
+        }
+    }
+    // Fold in every option that changes what the ladder can produce.
+    const char opts[2] = {options.compact_prologue ? '\1' : '\0',
+                          allow_distribution_fallback ? '\1' : '\0'};
+    return fnv1a(h, opts, sizeof(opts));
+}
+
+std::optional<FusionPlan> PlanCache::lookup(std::uint64_t key) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    entries_.splice(entries_.begin(), entries_, it->second);  // refresh recency
+    ++stats_.hits;
+    return it->second->plan;
+}
+
+void PlanCache::insert(std::uint64_t key, const FusionPlan& plan) {
+    if (capacity_ == 0) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        // Same content re-admitted (e.g. two identical jobs racing on
+        // different workers): refresh the entry, keep one copy.
+        entries_.splice(entries_.begin(), entries_, it->second);
+        return;
+    }
+    if (entries_.size() >= capacity_) {
+        index_.erase(entries_.back().key);
+        entries_.pop_back();
+        ++stats_.evictions;
+    }
+    Entry e;
+    e.key = key;
+    e.plan = plan;
+    e.plan.stages.clear();  // the ladder trace belongs to the planning job
+    entries_.push_front(std::move(e));
+    index_[key] = entries_.begin();
+    ++stats_.insertions;
+}
+
+void PlanCache::invalidate(std::uint64_t key) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) return;
+    entries_.erase(it->second);
+    index_.erase(it);
+    ++stats_.invalidated;
+}
+
+PlanCacheStats PlanCache::stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t PlanCache::size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::vector<std::uint64_t> PlanCache::lru_keys() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::uint64_t> keys;
+    keys.reserve(entries_.size());
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) keys.push_back(it->key);
+    return keys;
+}
+
+}  // namespace lf::svc

@@ -1,0 +1,116 @@
+#pragma once
+// Content-addressed plan cache for the fusion service.
+//
+// The degradation ladder is deterministic: the same MLDG under the same
+// PlanOptions always yields the same plan. Batch traffic (--storm-scale
+// runs, recompilations of a hot workload) therefore re-pays the full
+// ladder for content it has already planned. The cache closes that gap:
+//
+//   canonical MLDG content (the same node/edge fields the text
+//   serialization carries, hashed structurally) + the planning options
+//   -> 64-bit FNV-1a content hash -> memoized plan.
+//
+// Only plans that the admission gate fully admitted (job ended Verified)
+// are ever inserted, and a hit does NOT shortcut admission entirely: the
+// service re-runs the gate's cheap certify check (fusion/certify) against
+// the job's own graph, so a corrupted or colliding entry can never turn
+// into a silently-wrong Verified job -- it is dropped and the job replans
+// cold. The differential replay is not repeated on a hit; it already ran
+// when the entry was admitted, and the certify check pins the plan to the
+// *current* job's graph.
+//
+// Bypass rules (callers, see service.cpp): jobs running with any fault
+// point armed, and jobs short-circuited to distribution_only, never read
+// or write the cache -- a faulted run must exercise the real pipeline, and
+// its outcome must never poison future unfaulted runs. The
+// "svc.plancache" fault point forces a bypass on demand.
+//
+// Eviction is strict LRU over a bounded capacity; both lookup hits and
+// insertions refresh recency, so the eviction order for a fixed access
+// sequence is deterministic (pinned by tests/test_plancache.cpp).
+// All entry points are thread-safe (one mutex; the cache sits well off the
+// solver hot path -- one lookup/insert per job, not per solve).
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "fusion/driver.hpp"
+
+namespace lf::svc {
+
+/// Where a job's plan came from, for the run report.
+enum class CacheOutcome {
+    Hit,     // plan served from the cache (ladder skipped)
+    Miss,    // cache consulted, no entry; job planned cold and may insert
+    Bypass,  // cache not consulted (disabled, fault armed, distribution-only)
+};
+[[nodiscard]] std::string to_string(CacheOutcome outcome);
+
+/// Monotonic counters since construction. Snapshot via PlanCache::stats().
+struct PlanCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    /// Hits whose entry failed the certify re-check and was dropped (the
+    /// job then replans cold). Nonzero only under memory corruption, a
+    /// 64-bit content-hash collision, or an injected certify fault.
+    std::uint64_t invalidated = 0;
+};
+
+class PlanCache {
+  public:
+    /// `capacity` = maximum resident plans; 0 disables the cache entirely
+    /// (lookup always misses, insert is a no-op).
+    explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+    PlanCache(const PlanCache&) = delete;
+    PlanCache& operator=(const PlanCache&) = delete;
+
+    /// Content hash of (graph, planning options). FNV-1a 64 over the
+    /// canonical node/edge content (what the text serialization would emit,
+    /// hashed without building the text) -- structurally identical jobs
+    /// share a key regardless of job id.
+    [[nodiscard]] static std::uint64_t key_of(const Mldg& graph, const PlanOptions& options,
+                                              bool allow_distribution_fallback);
+
+    /// Returns a copy of the cached plan and refreshes its recency; counts
+    /// a hit or a miss. The returned plan's `stages` is empty (the original
+    /// ladder trace belongs to the job that planned it; the hitting job
+    /// records its own cache-path trace).
+    [[nodiscard]] std::optional<FusionPlan> lookup(std::uint64_t key);
+
+    /// Inserts (or refreshes) the plan under `key`, evicting the least
+    /// recently used entry when at capacity. The stored copy drops the
+    /// per-rung `stages` trace. No-op at capacity 0.
+    void insert(std::uint64_t key, const FusionPlan& plan);
+
+    /// Drops the entry (a hit that failed the certify re-check).
+    void invalidate(std::uint64_t key);
+
+    [[nodiscard]] PlanCacheStats stats() const;
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+    /// Keys in eviction order (least recently used first). For tests.
+    [[nodiscard]] std::vector<std::uint64_t> lru_keys() const;
+
+  private:
+    struct Entry {
+        std::uint64_t key = 0;
+        FusionPlan plan;
+    };
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    // Most recently used at the front; map values point into the list.
+    std::list<Entry> entries_;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+    PlanCacheStats stats_;
+};
+
+}  // namespace lf::svc

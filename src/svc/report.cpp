@@ -23,6 +23,8 @@ void write_solver_stats(json::Writer& w, const SolverStats& st, bool include_tim
     w.kv("queue_pops", st.queue_pops);
     w.kv("guard_steps", st.guard_steps);
     w.kv("overflow_near_misses", st.overflow_near_misses);
+    w.kv("warm_starts", st.warm_starts);
+    w.kv("cold_solves", st.cold_solves);
     if (include_timings) w.kv("wall_ns", st.wall_ns);
     w.end_object();
 }
@@ -69,6 +71,7 @@ void write_job(json::Writer& w, const JobRecord& j, bool include_timings) {
     w.kv("short_circuited",
          !j.attempts.empty() && j.attempts.back().short_circuited);
     w.kv("from_checkpoint", j.from_checkpoint);
+    w.kv("cache", to_string(j.cache));
     if (include_timings) w.kv("wall_ms", j.wall_ms);
     SolverStats total;  // per-job aggregate over every attempt's stages
     for (const auto& a : j.attempts) {
@@ -107,6 +110,19 @@ std::string report_to_json(const RunReport& report, bool include_timings) {
     w.kv("quarantined", counts.quarantined);
     w.kv("from_checkpoint", counts.from_checkpoint);
     w.kv("short_circuited", counts.short_circuited);
+    w.kv("cache_hits", counts.cache_hits);
+    w.kv("cache_misses", counts.cache_misses);
+    w.kv("cache_bypasses", counts.cache_bypasses);
+    w.end_object();
+
+    w.key("plancache").begin_object();
+    w.kv("capacity", static_cast<std::uint64_t>(report.config.plan_cache_capacity));
+    w.kv("size", static_cast<std::uint64_t>(report.plancache_size));
+    w.kv("hits", report.plancache.hits);
+    w.kv("misses", report.plancache.misses);
+    w.kv("insertions", report.plancache.insertions);
+    w.kv("evictions", report.plancache.evictions);
+    w.kv("invalidated", report.plancache.invalidated);
     w.end_object();
 
     w.key("jobs").begin_array();

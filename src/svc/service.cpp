@@ -9,7 +9,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "fusion/certify.hpp"
 #include "fusion/driver.hpp"
+#include "graph/solver_workspace.hpp"
 #include "support/diagnostics.hpp"
 #include "support/faultpoint.hpp"
 #include "svc/gate.hpp"
@@ -59,12 +61,19 @@ RunCounts RunReport::counts() const {
         if (j.status == JobStatus::Quarantined) ++c.quarantined;
         if (j.from_checkpoint) ++c.from_checkpoint;
         if (!j.attempts.empty() && j.attempts.back().short_circuited) ++c.short_circuited;
+        switch (j.cache) {
+            case CacheOutcome::Hit: ++c.cache_hits; break;
+            case CacheOutcome::Miss: ++c.cache_misses; break;
+            case CacheOutcome::Bypass: ++c.cache_bypasses; break;
+        }
     }
     return c;
 }
 
 FusionService::FusionService(ServiceConfig config)
-    : config_(std::move(config)), breakers_(config_.breaker) {
+    : config_(std::move(config)),
+      breakers_(config_.breaker),
+      plan_cache_(config_.plan_cache_capacity) {
     if (config_.workers < 1) config_.workers = 1;
     if (config_.retry.max_attempts < 1) config_.retry.max_attempts = 1;
     if (config_.retry.escalation < 1) config_.retry.escalation = 1;
@@ -82,13 +91,28 @@ void FusionService::checkpoint_job(const JobRecord& rec) {
     }
 }
 
-void FusionService::process_job(const JobSpec& job, JobRecord& rec) {
+void FusionService::process_job(const JobSpec& job, JobRecord& rec, PlannerWorkspace& ws) {
     const Clock::time_point t0 = Clock::now();
     rec.id = job.id;
     rec.klass = job.klass;
     rec.status = JobStatus::Running;
 
     const std::int64_t deadline_ms = config_.retry.deadline_ms;
+
+    // ---- Plan-cache admission decision (svc/plancache.hpp). ----
+    // The fault point is consulted first so arming it is always observable;
+    // it forces a bypass, as does ANY armed fault point: a faulted run must
+    // exercise the real pipeline, and must never poison the cache. The
+    // cache key is content-addressed, so two jobs with structurally
+    // identical graphs share a plan regardless of their ids.
+    const bool cache_fault = faultpoint::triggered("svc.plancache");
+    const bool cache_usable = config_.plan_cache_capacity > 0 && !cache_fault &&
+                              faultpoint::armed_points().empty();
+    rec.cache = CacheOutcome::Bypass;
+    const std::uint64_t cache_key =
+        cache_usable ? PlanCache::key_of(job.graph, PlanOptions{},
+                                         /*allow_distribution_fallback=*/true)
+                     : 0;
 
     auto finish = [&](JobStatus status, std::string reason) {
         rec.status = status;
@@ -114,7 +138,51 @@ void FusionService::process_job(const JobSpec& job, JobRecord& rec) {
         const AdmitMode mode = breakers_.admit(job.klass);
         att.short_circuited = mode == AdmitMode::Fallback;
 
+        // Cache lookup, first non-short-circuited attempt only. A hit skips
+        // the ladder but still re-certifies the plan against THIS job's
+        // graph -- a corrupted or hash-colliding entry is invalidated and
+        // the job replans cold instead of going out wrong.
+        if (attempt == 1 && cache_usable && mode != AdmitMode::Fallback) {
+            std::optional<FusionPlan> cached = plan_cache_.lookup(cache_key);
+            if (cached.has_value()) {
+                bool cert_ok = false;
+                std::string cert_detail;
+                try {
+                    const PlanCertificate cert = certify_plan(job.graph, *cached);
+                    cert_ok = cert.valid;
+                    if (!cert.valid && !cert.violations.empty()) {
+                        cert_detail = cert.violations.front();
+                    }
+                } catch (const std::exception& e) {
+                    cert_detail = std::string("certifier aborted: ") + e.what();
+                }
+                if (cert_ok) {
+                    rec.cache = CacheOutcome::Hit;
+                    rec.algorithm = to_string(cached->algorithm);
+                    rec.level = to_string(cached->level);
+                    rec.certified = true;
+                    // The differential replay ran when this entry was first
+                    // admitted; a hit repeats only the certify check.
+                    rec.replay = ReplayOutcome::Skipped;
+                    att.code = StatusCode::Ok;
+                    att.stages.push_back(
+                        StageReport{"svc.plancache", StatusCode::Ok, "cache hit", 0});
+                    att.stages.push_back(StageReport{"admit.certify", StatusCode::Ok, {}, 0});
+                    rec.attempts.push_back(std::move(att));
+                    breakers_.record(job.klass, mode, true);
+                    finish(JobStatus::Verified, {});
+                    return;
+                }
+                plan_cache_.invalidate(cache_key);
+                att.stages.push_back(StageReport{
+                    "svc.plancache", StatusCode::Internal,
+                    "cached plan failed certify re-check; invalidated: " + cert_detail, 0});
+            }
+            rec.cache = CacheOutcome::Miss;
+        }
+
         TryPlanOptions opts;
+        opts.workspace = &ws;
         opts.limits.max_steps = escalated_steps(config_.retry, attempt);
         att.max_steps = opts.limits.max_steps;
         if (deadline_ms >= 0) {
@@ -148,7 +216,7 @@ void FusionService::process_job(const JobSpec& job, JobRecord& rec) {
             }
             if (result.has_value() && result->ok()) {
                 const FusionPlan& plan = result->value();
-                att.stages = plan.stages;
+                att.stages.insert(att.stages.end(), plan.stages.begin(), plan.stages.end());
                 rec.algorithm = to_string(plan.algorithm);
                 rec.level = to_string(plan.level);
                 GateResult gate = admit_plan(job, plan);
@@ -158,8 +226,14 @@ void FusionService::process_job(const JobSpec& job, JobRecord& rec) {
                 att.budget_spent = stage_budget_sum(plan.stages);
                 if (gate.admitted) {
                     att.code = StatusCode::Ok;
+                    const bool cacheable =
+                        rec.cache == CacheOutcome::Miss && mode != AdmitMode::Fallback;
                     rec.attempts.push_back(std::move(att));
                     breakers_.record(job.klass, mode, true);
+                    // Memoize only fully admitted plans, and only when the
+                    // cache was actually consulted (a bypassed job -- fault
+                    // armed, distribution-only -- must not write either).
+                    if (cacheable) plan_cache_.insert(cache_key, plan);
                     finish(JobStatus::Verified, {});
                     return;
                 }
@@ -171,7 +245,7 @@ void FusionService::process_job(const JobSpec& job, JobRecord& rec) {
                 const Status& st = result->status();
                 att.code = st.code();
                 att.detail = st.message();
-                att.stages = st.stages;
+                att.stages.insert(att.stages.end(), st.stages.begin(), st.stages.end());
                 att.budget_spent = stage_budget_sum(st.stages);
                 retryable = retryable_code(st.code());
                 breakers_.record(job.klass, mode, false);
@@ -229,11 +303,15 @@ RunReport FusionService::run(const std::vector<JobSpec>& jobs) {
 
     std::atomic<std::size_t> next{0};
     auto worker = [&]() {
+        // One solver arena per worker thread: every job this thread plans
+        // reuses the same scratch buffers, so steady-state planning is
+        // allocation-free (see graph/solver_workspace.hpp).
+        PlannerWorkspace ws;
         for (;;) {
             const std::size_t i = next.fetch_add(1);
             if (i >= jobs.size()) return;
             if (report.jobs[i].from_checkpoint) continue;
-            process_job(jobs[i], report.jobs[i]);
+            process_job(jobs[i], report.jobs[i], ws);
         }
     };
 
@@ -249,6 +327,8 @@ RunReport FusionService::run(const std::vector<JobSpec>& jobs) {
 
     report.breakers = breakers_.snapshot();
     report.checkpoint_failures = checkpoint_failures_;
+    report.plancache = plan_cache_.stats();
+    report.plancache_size = plan_cache_.size();
     report.wall_ms = ms_since(t0);
     return report;
 }

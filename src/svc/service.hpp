@@ -19,6 +19,13 @@
 //   * the admission gate (svc/gate.hpp) independently certifies and
 //     differentially replays every plan before a job may end Verified;
 //     anything else ends Quarantined with its StageReport trace;
+//   * a bounded content-addressed plan cache (svc/plancache.hpp) memoizes
+//     admitted plans: structurally identical jobs skip the ladder (the
+//     cheap certify check still runs); fault-armed and distribution-only
+//     jobs bypass it entirely;
+//   * every worker thread owns a PlannerWorkspace
+//     (graph/solver_workspace.hpp), so steady-state planning is
+//     allocation-free and consecutive ladder rungs warm-start each other;
 //   * the job manifest checkpoints to disk (svc/report.hpp) so a killed
 //     run resumes without redoing verified jobs.
 //
@@ -31,6 +38,11 @@
 
 #include "svc/breaker.hpp"
 #include "svc/job.hpp"
+#include "svc/plancache.hpp"
+
+namespace lf {
+struct PlannerWorkspace;
+}  // namespace lf
 
 namespace lf::svc {
 
@@ -57,6 +69,9 @@ struct ServiceConfig {
     /// checkpoint is loaded by run(): jobs it records as Verified are
     /// restored (from_checkpoint = true) and not redone.
     std::string checkpoint_path;
+    /// Plan-cache capacity in resident plans (svc/plancache.hpp); 0
+    /// disables the cache (every job records cache = bypass).
+    std::size_t plan_cache_capacity = 128;
 };
 
 struct RunCounts {
@@ -65,6 +80,10 @@ struct RunCounts {
     int from_checkpoint = 0;
     /// Jobs whose final attempt was short-circuited by the breaker.
     int short_circuited = 0;
+    /// Per-job plan-cache outcomes (hit + miss + bypass = jobs).
+    int cache_hits = 0;
+    int cache_misses = 0;
+    int cache_bypasses = 0;
 };
 
 struct RunReport {
@@ -75,6 +94,10 @@ struct RunReport {
     /// Checkpoint appends that failed (IO error or injected svc.checkpoint
     /// fault); the run continues, resume just redoes those jobs.
     int checkpoint_failures = 0;
+    /// Plan-cache counters at the end of the run (cumulative across every
+    /// run() of the same FusionService -- the cache persists between runs).
+    PlanCacheStats plancache;
+    std::size_t plancache_size = 0;
     std::int64_t wall_ms = 0;
 
     [[nodiscard]] RunCounts counts() const;
@@ -90,11 +113,12 @@ class FusionService {
     [[nodiscard]] RunReport run(const std::vector<JobSpec>& jobs);
 
   private:
-    void process_job(const JobSpec& job, JobRecord& rec);
+    void process_job(const JobSpec& job, JobRecord& rec, PlannerWorkspace& ws);
     void checkpoint_job(const JobRecord& rec);
 
     ServiceConfig config_;
     CircuitBreakerBank breakers_;
+    PlanCache plan_cache_;
     std::mutex checkpoint_mutex_;
     int checkpoint_failures_ = 0;
 };

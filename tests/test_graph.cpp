@@ -33,6 +33,17 @@ TEST(Digraph, BasicConstruction) {
     EXPECT_TRUE(g.out_edges(b).empty());
 }
 
+TEST(Digraph, UncheckedAccessorsAgreeWithChecked) {
+    Digraph<std::string, int> g;
+    const int a = g.add_node("a");
+    const int b = g.add_node("b");
+    const int e = g.add_edge(a, b, 7);
+    EXPECT_EQ(&g.node_ref(a), &g.node(a));
+    EXPECT_EQ(&g.edge_ref(e), &g.edge(e));
+    EXPECT_EQ(g.node_ref(b), "b");
+    EXPECT_EQ(g.edge_ref(e).data, 7);
+}
+
 TEST(Digraph, RejectsBadEndpoints) {
     Digraph<int, int> g;
     g.add_node(0);

@@ -1,0 +1,293 @@
+// The content-addressed plan cache (svc/plancache.hpp) and the solver
+// workspace hot path (graph/solver_workspace.hpp), from both sides:
+//
+//   * unit level -- content keys, hit/miss/eviction determinism, and that a
+//     cached plan is byte-identical to planning the same graph cold;
+//   * service level -- structurally identical jobs hit, fault-armed runs
+//     bypass and never poison the cache, and the run report carries the
+//     per-job cache outcome;
+//   * workspace level -- warm-started ladder runs produce byte-identical
+//     plans AND rung traces, with zero steady-state solver allocations.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fusion/driver.hpp"
+#include "graph/solver_workspace.hpp"
+#include "ldg/serialization.hpp"
+#include "support/faultpoint.hpp"
+#include "svc/manifest.hpp"
+#include "svc/plancache.hpp"
+#include "svc/report.hpp"
+#include "svc/service.hpp"
+#include "workloads/gallery.hpp"
+#include "workloads/generators.hpp"
+
+namespace lf::svc {
+namespace {
+
+class PlanCacheTest : public ::testing::Test {
+  protected:
+    void SetUp() override { faultpoint::reset(); }
+    void TearDown() override { faultpoint::reset(); }
+};
+
+Mldg two_loop_graph(std::int64_t y) {
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    g.add_edge(a, b, {Vec2{0, y}});
+    return g;
+}
+
+/// Everything that makes two plans "the same plan", byte for byte. The
+/// per-rung stage trace is deliberately excluded: a cached plan carries no
+/// trace (it belongs to the job that planned it).
+std::string plan_fingerprint(const FusionPlan& plan) {
+    std::string fp = to_string(plan.level) + "|" + to_string(plan.algorithm) + "|" +
+                     plan.schedule.str() + "|" + plan.hyperplane.str() + "|";
+    for (int v = 0; v < plan.retiming.num_nodes(); ++v) fp += plan.retiming.of(v).str() + ",";
+    fp += "|";
+    for (int v : plan.body_order) fp += std::to_string(v) + ",";
+    fp += "|" + serialize_mldg(plan.retimed, "fp");
+    return fp;
+}
+
+// ---- Content keys ----
+
+TEST_F(PlanCacheTest, KeyDependsOnContentNotIdentity) {
+    const Mldg a = two_loop_graph(1);
+    const Mldg b = two_loop_graph(1);   // structurally identical, distinct object
+    const Mldg c = two_loop_graph(-1);  // different dependence vector
+    const std::uint64_t ka = PlanCache::key_of(a, PlanOptions{}, true);
+    EXPECT_EQ(ka, PlanCache::key_of(b, PlanOptions{}, true));
+    EXPECT_NE(ka, PlanCache::key_of(c, PlanOptions{}, true));
+}
+
+TEST_F(PlanCacheTest, KeyFoldsInPlanningOptions) {
+    const Mldg g = two_loop_graph(1);
+    const std::uint64_t base = PlanCache::key_of(g, PlanOptions{}, true);
+    PlanOptions compact;
+    compact.compact_prologue = true;
+    EXPECT_NE(base, PlanCache::key_of(g, compact, true));
+    EXPECT_NE(base, PlanCache::key_of(g, PlanOptions{}, false));
+}
+
+// ---- Hit fidelity ----
+
+TEST_F(PlanCacheTest, CachedPlanIsByteIdenticalToColdPlan) {
+    PlanCache cache(8);
+    for (const auto& w : workloads::paper_workloads()) {
+        const auto cold = try_plan_fusion(w.graph);
+        ASSERT_TRUE(cold.ok()) << w.id;
+        const std::uint64_t key = PlanCache::key_of(w.graph, PlanOptions{}, true);
+        cache.insert(key, *cold);
+        const auto hit = cache.lookup(key);
+        ASSERT_TRUE(hit.has_value()) << w.id;
+        EXPECT_EQ(plan_fingerprint(*hit), plan_fingerprint(*cold)) << w.id;
+        EXPECT_TRUE(hit->stages.empty()) << w.id << ": cached plan must not carry a trace";
+    }
+}
+
+// ---- Eviction determinism ----
+
+TEST_F(PlanCacheTest, LruEvictionOrderIsDeterministic) {
+    PlanCache cache(2);
+    const Mldg g = two_loop_graph(1);
+    const auto plan = try_plan_fusion(g);
+    ASSERT_TRUE(plan.ok());
+
+    cache.insert(1, *plan);
+    cache.insert(2, *plan);
+    EXPECT_EQ(cache.lru_keys(), (std::vector<std::uint64_t>{1, 2}));
+
+    // A lookup refreshes recency: key 1 becomes most recent ...
+    ASSERT_TRUE(cache.lookup(1).has_value());
+    EXPECT_EQ(cache.lru_keys(), (std::vector<std::uint64_t>{2, 1}));
+
+    // ... so inserting a third entry evicts key 2, not key 1.
+    cache.insert(3, *plan);
+    EXPECT_EQ(cache.lru_keys(), (std::vector<std::uint64_t>{1, 3}));
+    EXPECT_FALSE(cache.lookup(2).has_value());
+    EXPECT_TRUE(cache.lookup(1).has_value());
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST_F(PlanCacheTest, ZeroCapacityDisablesEverything) {
+    PlanCache cache(0);
+    const auto plan = try_plan_fusion(two_loop_graph(1));
+    ASSERT_TRUE(plan.ok());
+    cache.insert(1, *plan);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.lookup(1).has_value());
+}
+
+TEST_F(PlanCacheTest, InvalidateDropsTheEntry) {
+    PlanCache cache(4);
+    const auto plan = try_plan_fusion(two_loop_graph(1));
+    ASSERT_TRUE(plan.ok());
+    cache.insert(7, *plan);
+    cache.invalidate(7);
+    EXPECT_FALSE(cache.lookup(7).has_value());
+    EXPECT_EQ(cache.stats().invalidated, 1u);
+}
+
+// ---- Service integration ----
+
+std::vector<JobSpec> twin_jobs() {
+    // Two jobs, distinct ids, structurally identical graphs: the second must
+    // be served from the cache.
+    std::vector<JobSpec> jobs;
+    for (const char* id : {"twin-a", "twin-b"}) {
+        JobSpec j;
+        j.id = id;
+        j.klass = "twin";
+        j.graph = workloads::fig2_graph();
+        jobs.push_back(std::move(j));
+    }
+    return jobs;
+}
+
+TEST_F(PlanCacheTest, StructurallyIdenticalJobsHitTheCache) {
+    ServiceConfig config;
+    config.workers = 1;  // deterministic processing order
+    FusionService service(config);
+    const RunReport report = service.run(twin_jobs());
+
+    ASSERT_EQ(report.jobs.size(), 2u);
+    const auto& first = report.jobs[0];
+    const auto& second = report.jobs[1];
+    EXPECT_EQ(first.cache, CacheOutcome::Miss);
+    EXPECT_EQ(second.cache, CacheOutcome::Hit);
+    EXPECT_EQ(first.status, JobStatus::Verified);
+    EXPECT_EQ(second.status, JobStatus::Verified);
+    // The hit serves the very same plan: same rung, same level, certified.
+    EXPECT_EQ(second.algorithm, first.algorithm);
+    EXPECT_EQ(second.level, first.level);
+    EXPECT_TRUE(second.certified);
+    EXPECT_EQ(second.replay, ReplayOutcome::Skipped);
+
+    EXPECT_EQ(report.plancache.hits, 1u);
+    EXPECT_EQ(report.plancache.insertions, 1u);
+    EXPECT_EQ(report.plancache_size, 1u);
+
+    const RunCounts counts = report.counts();
+    EXPECT_EQ(counts.cache_hits, 1);
+    EXPECT_EQ(counts.cache_misses, 1);
+
+    // The per-job outcome is visible in the JSON report.
+    const std::string json = report_to_json(report, false);
+    EXPECT_NE(json.find("\"cache\": \"hit\""), std::string::npos);
+    EXPECT_NE(json.find("\"cache\": \"miss\""), std::string::npos);
+}
+
+TEST_F(PlanCacheTest, FaultArmedRunsBypassAndNeverPoisonTheCache) {
+    ServiceConfig config;
+    config.workers = 1;
+    FusionService service(config);
+
+    // Run 1: a fault is armed -- every job must bypass, nothing may be
+    // inserted, whatever the fault does to the jobs themselves.
+    faultpoint::arm("solver.spfa");
+    const RunReport faulted = service.run(twin_jobs());
+    for (const auto& job : faulted.jobs) {
+        EXPECT_EQ(job.cache, CacheOutcome::Bypass) << job.id;
+    }
+    EXPECT_EQ(faulted.plancache_size, 0u);
+    EXPECT_EQ(faulted.plancache.insertions, 0u);
+    EXPECT_EQ(faulted.plancache.hits, 0u);
+    faultpoint::reset();
+
+    // Run 2, same service (the cache persists across runs): the cache is
+    // still empty, so the first twin is a miss, not a poisoned hit.
+    const RunReport clean = service.run(twin_jobs());
+    ASSERT_EQ(clean.jobs.size(), 2u);
+    EXPECT_EQ(clean.jobs[0].cache, CacheOutcome::Miss);
+    EXPECT_EQ(clean.jobs[1].cache, CacheOutcome::Hit);
+    EXPECT_EQ(clean.jobs[0].status, JobStatus::Verified);
+}
+
+TEST_F(PlanCacheTest, PlancacheFaultPointForcesBypass) {
+    ServiceConfig config;
+    config.workers = 1;
+    FusionService service(config);
+    faultpoint::arm("svc.plancache");
+    const RunReport report = service.run(twin_jobs());
+    for (const auto& job : report.jobs) {
+        EXPECT_EQ(job.cache, CacheOutcome::Bypass) << job.id;
+        EXPECT_EQ(job.status, JobStatus::Verified) << job.id;  // planning unaffected
+    }
+    EXPECT_GE(faultpoint::hits("svc.plancache"), 1);
+}
+
+TEST_F(PlanCacheTest, DisabledCacheRecordsBypass) {
+    ServiceConfig config;
+    config.workers = 1;
+    config.plan_cache_capacity = 0;
+    FusionService service(config);
+    const RunReport report = service.run(twin_jobs());
+    for (const auto& job : report.jobs) {
+        EXPECT_EQ(job.cache, CacheOutcome::Bypass) << job.id;
+    }
+}
+
+// ---- Warm-started ladder fidelity ----
+
+std::string trace_fingerprint(const std::vector<StageReport>& stages) {
+    // Stage names, codes and details only: solver counters legitimately
+    // differ between warm and cold runs; results and decisions must not.
+    std::string fp;
+    for (const auto& s : stages) {
+        fp += s.stage + ":" + to_string(s.code) + "[" + s.detail + "]\n";
+    }
+    return fp;
+}
+
+TEST_F(PlanCacheTest, WarmStartedLadderMatchesColdAcrossGallery) {
+    PlannerWorkspace ws;
+    TryPlanOptions warm_opts;
+    warm_opts.workspace = &ws;
+
+    std::vector<Mldg> graphs;
+    for (const auto& w : workloads::paper_workloads()) graphs.push_back(w.graph);
+    {
+        Rng rng(97);
+        workloads::RandomGraphOptions opt;
+        opt.num_nodes = 48;
+        opt.forward_edge_prob = 6.0 / 48;
+        opt.backward_edge_prob = 2.0 / 48;
+        graphs.push_back(workloads::random_legal_mldg(rng, opt));
+    }
+
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+        const auto cold = try_plan_fusion(graphs[i]);
+        const auto warm = try_plan_fusion(graphs[i], warm_opts);
+        ASSERT_EQ(cold.ok(), warm.ok()) << "graph " << i;
+        if (!cold.ok()) continue;
+        EXPECT_EQ(plan_fingerprint(*warm), plan_fingerprint(*cold)) << "graph " << i;
+        EXPECT_EQ(trace_fingerprint(warm->stages), trace_fingerprint(cold->stages))
+            << "graph " << i;
+    }
+}
+
+TEST_F(PlanCacheTest, SteadyStateWorkspaceAllocationsAreZero) {
+    PlannerWorkspace ws;
+    TryPlanOptions warm_opts;
+    warm_opts.workspace = &ws;
+
+    std::vector<Mldg> graphs;
+    for (const auto& w : workloads::paper_workloads()) graphs.push_back(w.graph);
+
+    // First pass grows the arena buffers to the high-water mark ...
+    for (const Mldg& g : graphs) (void)try_plan_fusion(g, warm_opts);
+    // ... after which re-planning the same inputs allocates nothing at all.
+    ws.reset_counters();
+    for (const Mldg& g : graphs) (void)try_plan_fusion(g, warm_opts);
+    EXPECT_EQ(ws.total_allocations(), 0u);
+}
+
+}  // namespace
+}  // namespace lf::svc

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare two bench_micro JSON summaries and flag regressions.
+
+Works on both machine-readable outputs of bench/bench_micro:
+
+  BENCH_plan.json    entries under "modes",   keyed by "mode",   metric ns_per_plan
+  BENCH_solver.json  entries under "solvers", keyed by "solver", metric ns_per_op
+
+For every entry present in both files the ratio current/baseline of the
+time-per-item metric is computed; a ratio above --threshold is a
+regression. Entries that exist on only one side are reported but never
+fail the run (benchmarks come and go across PRs). For plan summaries,
+a steady-state allocation count that was zero in the baseline and is
+nonzero now is always flagged -- that is a correctness property of the
+workspace arena, not a timing number, so no threshold applies.
+
+Exit status: 0 when clean, 1 on regression -- unless --report-only is
+given, which always exits 0 so CI can surface numbers without gating on
+shared-runner timing noise.
+
+Usage:
+  tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 2.0] [--report-only]
+"""
+
+import argparse
+import json
+import sys
+
+# (array key, entry name key, time-per-item metric) per known schema.
+SCHEMAS = [
+    ("modes", "mode", "ns_per_plan"),
+    ("solvers", "solver", "ns_per_op"),
+]
+
+
+def load_entries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for array_key, name_key, metric in SCHEMAS:
+        if array_key in doc:
+            entries = {e[name_key]: e for e in doc[array_key]}
+            return entries, metric
+    sys.exit(f"bench_diff: {path}: no known entry array "
+             f"(expected one of {[s[0] for s in SCHEMAS]})")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=2.0,
+                    help="regression factor on time-per-item (default 2.0)")
+    ap.add_argument("--report-only", action="store_true",
+                    help="print the comparison but always exit 0")
+    args = ap.parse_args()
+
+    base, base_metric = load_entries(args.baseline)
+    curr, curr_metric = load_entries(args.current)
+    if base_metric != curr_metric:
+        sys.exit("bench_diff: baseline and current use different schemas "
+                 f"({base_metric} vs {curr_metric})")
+    metric = base_metric
+
+    regressions = []
+    name_w = max([len(n) for n in (set(base) | set(curr))] + [len("entry")])
+    print(f"{'entry':<{name_w}}  {'baseline':>12}  {'current':>12}  {'ratio':>7}  verdict")
+    for name in sorted(set(base) | set(curr)):
+        if name not in base:
+            print(f"{name:<{name_w}}  {'-':>12}  {curr[name][metric]:>12.1f}  "
+                  f"{'-':>7}  new (not in baseline)")
+            continue
+        if name not in curr:
+            print(f"{name:<{name_w}}  {base[name][metric]:>12.1f}  {'-':>12}  "
+                  f"{'-':>7}  removed")
+            continue
+        b, c = base[name][metric], curr[name][metric]
+        ratio = c / b if b > 0 else float("inf")
+        verdict = "ok"
+        if ratio > args.threshold:
+            verdict = f"REGRESSION (> {args.threshold:g}x)"
+            regressions.append(f"{name}: {metric} {b:.1f} -> {c:.1f} ({ratio:.2f}x)")
+        elif ratio < 1.0 / args.threshold:
+            verdict = "improved"
+        print(f"{name:<{name_w}}  {b:>12.1f}  {c:>12.1f}  {ratio:>6.2f}x  {verdict}")
+
+        alloc_b = base[name].get("allocations_per_plan")
+        alloc_c = curr[name].get("allocations_per_plan")
+        if alloc_b == 0 and alloc_c is not None and alloc_c > 0:
+            msg = f"{name}: allocations_per_plan was 0, now {alloc_c}"
+            regressions.append(msg)
+            print(f"{'':<{name_w}}  {'':>12}  {'':>12}  {'':>7}  "
+                  f"ALLOC REGRESSION ({alloc_c}/plan, baseline 0)")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) vs {args.baseline}:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        if not args.report_only:
+            sys.exit(1)
+        print("(report-only: not failing the run)", file=sys.stderr)
+    else:
+        print("\nno regressions")
+
+
+if __name__ == "__main__":
+    main()
