@@ -23,6 +23,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -141,6 +142,13 @@ int main(int argc, char** argv) {
 
     try {
         std::vector<lf::svc::JobSpec> jobs = lf::svc::full_gallery_jobs(domain);
+        {
+            // Depth-d source jobs ride every run (and every storm pass), so
+            // the N-D pipeline is exercised under the same fault drills.
+            std::vector<lf::svc::JobSpec> nd = lf::svc::nd_jobs();
+            jobs.insert(jobs.end(), std::make_move_iterator(nd.begin()),
+                        std::make_move_iterator(nd.end()));
+        }
         for (const auto& path : mldg_files) {
             jobs.push_back(lf::svc::job_from_mldg_text("mldg-" + stem_of(path), read_file(path)));
         }

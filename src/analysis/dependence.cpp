@@ -1,6 +1,7 @@
 #include "analysis/dependence.hpp"
 
 #include <sstream>
+#include <type_traits>
 
 #include "support/diagnostics.hpp"
 
@@ -25,62 +26,91 @@ std::string Dependence::str(const ir::Program& p) const {
 
 namespace {
 
+template <typename V>
 struct Access {
     int loop = 0;
-    ir::ArrayRef ref;
+    front::BasicArrayRef<V> ref;
     bool is_write = false;
 };
 
 /// Execution-order comparison of an instance of loop u at the *source* end
 /// and an instance of loop v displaced by `d` (instance_v = instance_u + d):
 /// returns +1 when the u-instance executes first, -1 when the v-instance
-/// does, 0 when they are unordered or identical.
-int order_of(int u, int v, const Vec2& d) {
-    if (d.x > 0) return +1;
-    if (d.x < 0) return -1;
-    // Same outer iteration: loop position decides; within one DOALL loop
-    // distinct j's are unordered and d.y == 0 is the same instance (for
-    // cross-statement, statement order within the body serializes it -- not
-    // an MLDG edge).
+/// does, 0 when they are unordered or identical. The sequential prefix (all
+/// levels but the innermost) decides lexicographically; within one prefix
+/// point loop position decides, and distinct innermost points of one DOALL
+/// loop are unordered.
+template <typename V>
+int order_of(int u, int v, const V& d) {
+    for (int k = 0; k + 1 < d.dim(); ++k) {
+        if (d[k] > 0) return +1;
+        if (d[k] < 0) return -1;
+    }
     if (u < v) return +1;
     if (u > v) return -1;
     return 0;
 }
 
-}  // namespace
+/// One analyzer for both instantiations. The Vec2 run additionally fills
+/// `deps` with the elementary dependence records (the N-D pipeline has no
+/// consumer for them) and keeps the historical 2-D diagnostic texts.
+template <typename V>
+void analyze_generic(const front::BasicProgram<V>& p, BasicMldg<V>& g,
+                     std::vector<Dependence>* deps) {
+    constexpr bool k2d = front::kIsVec2<V>;
 
-DependenceInfo analyze_dependences(const ir::Program& p) {
-    DependenceInfo info;
-    for (const ir::LoopNest& loop : p.loops) {
-        info.graph.add_node(loop.label, loop.body_cost());
+    for (const front::BasicLoopNest<V>& loop : p.loops) {
+        g.add_node(loop.label, loop.body_cost());
     }
 
-    std::vector<Access> writes;
-    std::vector<Access> reads;
+    std::vector<Access<V>> writes;
+    std::vector<Access<V>> reads;
     for (int k = 0; k < static_cast<int>(p.loops.size()); ++k) {
-        for (const ir::Statement& s : p.loops[static_cast<std::size_t>(k)].body) {
+        for (const front::BasicStatement<V>& s : p.loops[static_cast<std::size_t>(k)].body) {
             writes.push_back({k, s.target, true});
-            for (const ir::ArrayRef& r : s.reads()) reads.push_back({k, r, false});
+            for (const front::BasicArrayRef<V>& r : s.reads()) reads.push_back({k, r, false});
         }
     }
 
-    auto record = [&info, &p](int from, int to, Vec2 vector, DepKind kind,
-                              const std::string& array) {
-        if (from == to && vector.is_zero()) return;  // intra-instance
-        if (from == to && vector.x == 0) {
-            throw Error("dependence analysis: loop " + p.loops[static_cast<std::size_t>(from)].label +
-                        " is not DOALL (vector " + vector.str() + " on array " + array + ")");
+    auto label_of = [&p](int k) -> const std::string& {
+        return p.loops[static_cast<std::size_t>(k)].label;
+    };
+    auto not_doall = [&label_of](int loop, const V& vector, const std::string& array,
+                                 bool is_output) -> Error {
+        if constexpr (k2d) {
+            return Error("dependence analysis: loop " + label_of(loop) + " is not DOALL (" +
+                         (is_output ? std::string("output vector ") : std::string("vector ")) +
+                         vector.str() + " on array " + array + ")");
+        } else {
+            (void)array;
+            if (is_output) return Error("build_mldg_nd: non-DOALL output dependence");
+            return Error("build_mldg_nd: loop " + label_of(loop) + " is not DOALL (vector " +
+                         vector.str() + ")");
         }
-        info.graph.add_edge(from, to, {vector});
-        info.dependences.push_back(Dependence{from, to, vector, kind, array});
+    };
+
+    auto record = [&](int from, int to, V vector, DepKind kind, const std::string& array) {
+        if (from == to && vector.is_zero()) return;  // intra-instance
+        if (from == to) {
+            bool prefix_zero = true;
+            for (int k = 0; k + 1 < vector.dim(); ++k) prefix_zero = prefix_zero && vector[k] == 0;
+            if (prefix_zero) throw not_doall(from, vector, array, false);
+        }
+        g.add_edge(from, to, {vector});
+        if constexpr (k2d) {
+            if (deps != nullptr) deps->push_back(Dependence{from, to, vector, kind, array});
+        } else {
+            (void)kind;
+            (void)deps;
+        }
     };
 
     // Flow / anti: every (write, read) pair on the same array.
-    for (const Access& w : writes) {
-        for (const Access& r : reads) {
+    for (const Access<V>& w : writes) {
+        for (const Access<V>& r : reads) {
             if (w.ref.array != r.ref.array) continue;
             // read_instance = write_instance + d
-            const Vec2 d = w.ref.offset - r.ref.offset;
+            const V d = w.ref.offset - r.ref.offset;
             const int ord = order_of(w.loop, r.loop, d);
             if (ord > 0) {
                 record(w.loop, r.loop, d, DepKind::Flow, w.ref.array);
@@ -88,9 +118,7 @@ DependenceInfo analyze_dependences(const ir::Program& p) {
                 record(r.loop, w.loop, -d, DepKind::Anti, w.ref.array);
             } else if (!d.is_zero()) {
                 // Unordered conflicting instances within one DOALL loop.
-                throw Error("dependence analysis: loop " +
-                            p.loops[static_cast<std::size_t>(w.loop)].label +
-                            " is not DOALL (vector " + d.str() + " on array " + w.ref.array + ")");
+                throw not_doall(w.loop, d, w.ref.array, false);
             }
         }
     }
@@ -98,27 +126,36 @@ DependenceInfo analyze_dependences(const ir::Program& p) {
     // Output: every ordered pair of writes on the same array.
     for (std::size_t a = 0; a < writes.size(); ++a) {
         for (std::size_t b = a + 1; b < writes.size(); ++b) {
-            const Access& w1 = writes[a];
-            const Access& w2 = writes[b];
+            const Access<V>& w1 = writes[a];
+            const Access<V>& w2 = writes[b];
             if (w1.ref.array != w2.ref.array) continue;
-            const Vec2 d = w1.ref.offset - w2.ref.offset;
+            const V d = w1.ref.offset - w2.ref.offset;
             const int ord = order_of(w1.loop, w2.loop, d);
             if (ord > 0) {
                 record(w1.loop, w2.loop, d, DepKind::Output, w1.ref.array);
             } else if (ord < 0) {
                 record(w2.loop, w1.loop, -d, DepKind::Output, w1.ref.array);
             } else if (!d.is_zero()) {
-                throw Error("dependence analysis: loop " +
-                            p.loops[static_cast<std::size_t>(w1.loop)].label +
-                            " is not DOALL (output vector " + d.str() + " on array " +
-                            w1.ref.array + ")");
+                throw not_doall(w1.loop, d, w1.ref.array, true);
             }
         }
     }
+}
 
+}  // namespace
+
+DependenceInfo analyze_dependences(const ir::Program& p) {
+    DependenceInfo info;
+    analyze_generic<Vec2>(p, info.graph, &info.dependences);
     return info;
 }
 
 Mldg build_mldg(const ir::Program& p) { return analyze_dependences(p).graph; }
+
+MldgN build_mldg_nd(const front::BasicProgram<VecN>& p) {
+    MldgN g(p.dim);
+    analyze_generic<VecN>(p, g, nullptr);
+    return g;
+}
 
 }  // namespace lf::analysis

@@ -14,8 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "front/ast.hpp"
 #include "ir/ast.hpp"
 #include "ldg/mldg.hpp"
+#include "ldg/mldg_nd.hpp"
 
 namespace lf::analysis {
 
@@ -48,5 +50,12 @@ struct DependenceInfo {
 
 /// Convenience: just the graph.
 [[nodiscard]] Mldg build_mldg(const ir::Program& p);
+
+/// Depth-d analysis through the same generic core: node k represents
+/// p.loops[k]; execution order compares the sequential prefix
+/// lexicographically, then loop position. The N-D pipeline has no
+/// Dependence-record consumer, so only the graph is built. Throws lf::Error
+/// on model violations, like the 2-D analyzer.
+[[nodiscard]] MldgN build_mldg_nd(const front::BasicProgram<VecN>& p);
 
 }  // namespace lf::analysis

@@ -1,0 +1,61 @@
+#pragma once
+// Execution engines for the depth-d program model, with golden verification:
+// the reference (loop-by-loop) schedule, and the retimed + fused wavefront
+// schedule over hyperplanes of an n-D strict schedule vector. Mirrors
+// exec/engines.hpp + exec/equivalence.hpp for the VecN instantiation of the
+// front end.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/store_nd.hpp"
+#include "front/ast.hpp"
+#include "fusion/multidim.hpp"
+
+namespace lf::exec {
+
+/// Topological order of the zero-vector dependence subgraph of a *retimed*
+/// MldgN (ties by node id / program order); nullopt when cyclic. Public so
+/// code generators can reproduce the executor's body order.
+[[nodiscard]] std::optional<std::vector<int>> md_body_order(const MldgN& retimed);
+
+struct MdExecStats {
+    std::int64_t barriers = 0;
+    std::int64_t instances = 0;
+};
+
+/// Reference schedule: sequential sweep of the prefix levels; per prefix
+/// point, each loop's DOALL sweep ends in a barrier.
+[[nodiscard]] MdExecStats run_original_md(const front::BasicProgram<VecN>& p, const MdDomain& dom,
+                                          MdArrayStore& store);
+
+/// Retimed + fused wavefront schedule: all bodies at fused point q + r(u),
+/// points grouped by t = s . p (one barrier per non-empty hyperplane),
+/// bodies at one point in the (0..0)-dependence topological order.
+[[nodiscard]] MdExecStats run_wavefront_md(const front::BasicProgram<VecN>& p,
+                                           const NdFusionPlan& plan, const MdDomain& dom,
+                                           MdArrayStore& store);
+
+/// First difference between the two stores over the domain cells of the
+/// arrays written by `p` (halo cells are initialization, not results);
+/// nullopt when identical.
+[[nodiscard]] std::optional<std::string> first_difference_md(const front::BasicProgram<VecN>& p,
+                                                             const MdDomain& dom,
+                                                             const MdArrayStore& a,
+                                                             const MdArrayStore& b);
+
+struct MdVerification {
+    bool equivalent = false;
+    std::string detail;
+    MdExecStats original;
+    MdExecStats transformed;
+};
+
+/// Plans fusion for `p` (plan_fusion_nd), executes both schedules and
+/// compares every written cell over the domain bit-for-bit.
+[[nodiscard]] MdVerification verify_md_fusion(const front::BasicProgram<VecN>& p,
+                                              const MdDomain& dom);
+
+}  // namespace lf::exec

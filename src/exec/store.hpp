@@ -41,8 +41,10 @@ class ArrayStore final : public ir::ValueSource {
     ArrayStore(const ir::Program& p, const Domain& dom,
                std::optional<std::int64_t> halo = std::nullopt);
 
-    [[nodiscard]] double load(const std::string& array, std::int64_t i,
-                              std::int64_t j) const override;
+    [[nodiscard]] double load(const std::string& array, const Vec2& cell) const override {
+        return load(array, cell.x, cell.y);
+    }
+    [[nodiscard]] double load(const std::string& array, std::int64_t i, std::int64_t j) const;
     void store(const std::string& array, std::int64_t i, std::int64_t j, double value);
 
     [[nodiscard]] const Array2D& array(const std::string& name) const;

@@ -1,0 +1,67 @@
+#pragma once
+// Dense n-D array storage for the depth-d program model (the VecN
+// instantiation of the front end), mirroring exec/store.hpp: a halo of
+// boundary cells on every side of every level, pre-filled with the same
+// deterministic splitmix-style boundary values as the 2-D store.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "front/ast.hpp"
+#include "support/vecn.hpp"
+
+namespace lf::exec {
+
+/// Inclusive iteration extents per level: level k ranges over [0, ext[k]].
+struct MdDomain {
+    std::vector<std::int64_t> ext;
+
+    [[nodiscard]] int dim() const { return static_cast<int>(ext.size()); }
+    [[nodiscard]] bool contains(const VecN& q) const {
+        for (int k = 0; k < dim(); ++k) {
+            if (q[k] < 0 || q[k] > ext[k]) return false;
+        }
+        return true;
+    }
+    [[nodiscard]] std::int64_t points() const {
+        std::int64_t n = 1;
+        for (const std::int64_t e : ext) n *= e + 1;
+        return n;
+    }
+};
+
+/// Calls fn(p) for every integer point with lo[k] <= p[k] <= hi[k], in
+/// lexicographic order (the odometer sweep shared by the N-D engines and
+/// code generator).
+void for_each_point_nd(const std::vector<std::int64_t>& lo, const std::vector<std::int64_t>& hi,
+                       const std::function<void(const VecN&)>& fn);
+
+/// Dense n-D array store with a halo of `halo` cells on every side of every
+/// level, pre-filled with the same deterministic boundary values as the 2-D
+/// store (hash of name and flattened coordinates).
+class MdArrayStore final : public front::BasicValueSource<VecN> {
+  public:
+    MdArrayStore(const front::BasicProgram<VecN>& p, const MdDomain& dom,
+                 std::optional<std::int64_t> halo = std::nullopt);
+
+    [[nodiscard]] double load(const std::string& array, const VecN& cell) const override;
+    void store(const std::string& array, const VecN& cell, double value);
+
+    [[nodiscard]] static double boundary_value(const std::string& array, const VecN& cell);
+
+  private:
+    struct Slot {
+        std::vector<double> data;
+        std::vector<std::int64_t> lo, hi, stride;
+    };
+    [[nodiscard]] std::size_t index(const Slot& s, const VecN& cell) const;
+    [[nodiscard]] const Slot& slot(const std::string& name) const;
+
+    std::map<std::string, Slot> slots_;
+};
+
+}  // namespace lf::exec

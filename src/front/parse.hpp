@@ -1,0 +1,57 @@
+#pragma once
+// Unified recursive-descent parser + semantic checks for the loop DSL, one
+// implementation for every program depth. Grammar (depth-2 programs omit
+// the `dim` clause and use subscripts [i][j]; depth-d programs declare
+// `dim d` and use [i1]...[i{d-1}][j]):
+//
+//   program   := "program" IDENT [ "dim" INTEGER ] "{" loop+ "}"
+//   loop      := "loop" IDENT "{" statement+ "}"
+//   statement := array_ref "=" expr ";"
+//   array_ref := IDENT subscript{dim}
+//   subscript := "[" index_var [("+" | "-") INTEGER] "]"
+//   expr      := term (("+" | "-") term)*
+//   term      := factor (("*" | "/") factor)*
+//   factor    := NUMBER | "-" factor | "(" expr ")" | array_ref
+//
+// Every diagnostic carries an `ir::SourceLoc` (line:col). The historical
+// entry points `ir::parse_program` and `mdir::parse_md_program` are thin
+// shims over the two instantiations below.
+
+#include <optional>
+#include <string_view>
+
+#include "front/ast.hpp"
+
+namespace lf::front {
+
+/// Parses without semantic validation (depth fixed by `V`: `Vec2` parses
+/// the paper's 2-D grammar, `VecN` the depth-d grammar with a `dim` clause).
+template <typename V>
+[[nodiscard]] BasicProgram<V> parse_basic_program_unchecked(std::string_view source);
+
+/// Semantic checks: at least one loop, unique labels, every loop DOALL
+/// (no two same-array accesses, one a write, conflicting across j within
+/// one sequential iteration). Throws `lf::Error` with a located message.
+template <typename V>
+void validate_basic_program(const BasicProgram<V>& p);
+
+/// Parse + validate.
+template <typename V>
+[[nodiscard]] BasicProgram<V> parse_basic_program(std::string_view source);
+
+/// A program of depth discovered at parse time: exactly one of `p2` / `pn`
+/// is populated (2-D sources land in `p2`, `dim d` sources in `pn`).
+struct AnyProgram {
+    int depth = 2;
+    std::optional<BasicProgram<Vec2>> p2;
+    std::optional<BasicProgram<VecN>> pn;
+
+    [[nodiscard]] bool is_2d() const { return p2.has_value(); }
+};
+
+/// Parses a source whose depth is not known in advance: a `dim` clause
+/// after the program name selects the depth-d grammar, otherwise the
+/// source parses as the paper's depth-2 case.
+[[nodiscard]] AnyProgram parse_any_program(std::string_view source);
+
+}  // namespace lf::front

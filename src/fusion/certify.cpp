@@ -137,4 +137,128 @@ PlanCertificate certify_plan(const Mldg& original, const FusionPlan& plan) {
     return cert;
 }
 
+namespace {
+
+/// First nonzero component > 0, or all zero.
+bool lex_nonnegative(const VecN& d) {
+    for (int k = 0; k < d.dim(); ++k) {
+        if (d[k] > 0) return true;
+        if (d[k] < 0) return false;
+    }
+    return true;
+}
+
+/// Kahn's check over the zero-vector dependence subgraph: same-point
+/// instances must admit a serial body order (what the N-D executors and the
+/// C emitter derive via md_body_order).
+bool zero_subgraph_acyclic(const MldgN& retimed) {
+    const int n = retimed.num_nodes();
+    std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+    std::vector<std::vector<int>> succ(static_cast<std::size_t>(n));
+    for (const auto& e : retimed.edges()) {
+        if (e.from == e.to) continue;
+        bool same_point = false;
+        for (const VecN& d : e.vectors) same_point = same_point || d.is_zero();
+        if (!same_point) continue;
+        succ[static_cast<std::size_t>(e.from)].push_back(e.to);
+        ++indegree[static_cast<std::size_t>(e.to)];
+    }
+    std::vector<int> ready;
+    for (int v = 0; v < n; ++v) {
+        if (indegree[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+    }
+    int visited = 0;
+    while (!ready.empty()) {
+        const int v = ready.back();
+        ready.pop_back();
+        ++visited;
+        for (const int w : succ[static_cast<std::size_t>(v)]) {
+            if (--indegree[static_cast<std::size_t>(w)] == 0) ready.push_back(w);
+        }
+    }
+    return visited == n;
+}
+
+}  // namespace
+
+PlanCertificate certify_plan(const MldgN& original, const NdFusionPlan& plan) {
+    PlanCertificate cert;
+    auto fail = [&cert](const std::string& why) {
+        cert.valid = false;
+        cert.violations.push_back(why);
+    };
+
+    // N1: sizes and dimensions.
+    const int n = original.num_nodes();
+    if (plan.retimed.num_nodes() != n ||
+        static_cast<int>(plan.retiming.values().size()) != n) {
+        fail("size mismatch between plan and original graph");
+        return cert;
+    }
+    if (plan.retimed.dim() != original.dim() || plan.schedule.dim() != original.dim()) {
+        fail("dimension mismatch between plan and original graph");
+        return cert;
+    }
+    for (int v = 0; v < n; ++v) {
+        if (plan.retiming.of(v).dim() != original.dim()) {
+            fail("dimension mismatch between retiming and original graph");
+            return cert;
+        }
+    }
+
+    // N2: the retimed graph is retiming.apply(original).
+    try {
+        const MldgN recomputed = plan.retiming.apply(original);
+        if (recomputed.num_edges() != plan.retimed.num_edges()) {
+            fail("retimed graph edge count does not match retiming.apply(original)");
+        } else {
+            for (int eid = 0; eid < recomputed.num_edges(); ++eid) {
+                const auto& want = recomputed.edge_ref(eid);
+                const auto found = plan.retimed.find_edge(want.from, want.to);
+                if (!found.has_value() ||
+                    plan.retimed.edge_ref(*found).vectors != want.vectors) {
+                    fail("retimed graph disagrees with retiming.apply(original) on edge " +
+                         original.node_ref(want.from).name + " -> " +
+                         original.node_ref(want.to).name);
+                    break;
+                }
+            }
+        }
+    } catch (const std::exception& e) {
+        fail(std::string("retiming does not apply to the original graph: ") + e.what());
+        return cert;
+    }
+
+    // N3: lexicographic legality of every retimed vector; outermost-carried
+    // plans promise level-0 carries everything.
+    for (const auto& e : plan.retimed.edges()) {
+        for (const VecN& d : e.vectors) {
+            if (!lex_nonnegative(d)) {
+                fail("retimed dependence is lexicographically negative");
+            }
+            if (plan.level == NdParallelism::OutermostCarried && d[0] < 1) {
+                fail("plan claims outermost-carried but a dependence is not carried by level 0");
+            }
+        }
+    }
+
+    // N4: strict schedule.
+    if (plan.schedule.is_zero()) {
+        fail("schedule vector is zero");
+    }
+    for (const auto& e : plan.retimed.edges()) {
+        for (const VecN& d : e.vectors) {
+            if (!d.is_zero() && plan.schedule.dot(d) <= 0) {
+                fail("schedule vector is not strict for the retimed graph");
+            }
+        }
+    }
+
+    // N5: same-point instances serialize.
+    if (!zero_subgraph_acyclic(plan.retimed)) {
+        fail("zero-dependence cycle in the retimed graph");
+    }
+    return cert;
+}
+
 }  // namespace lf

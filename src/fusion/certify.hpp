@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "fusion/driver.hpp"
+#include "fusion/multidim.hpp"
 
 namespace lf {
 
@@ -43,5 +44,17 @@ struct PlanCertificate {
 /// Checks C1-C6 for `plan` against `original`. Never throws on a bad plan;
 /// every problem is reported as a violation string.
 [[nodiscard]] PlanCertificate certify_plan(const Mldg& original, const FusionPlan& plan);
+
+/// Depth-d analogue, solver-free (the same conditions the N-D executor
+/// relies on):
+///
+///   N1  sizes and dimensions agree between plan and original;
+///   N2  the retimed graph really is `retiming.apply(original)`;
+///   N3  every retimed dependence vector is lexicographically >= 0, and
+///       outermost-carried plans have every vector carried by level 0;
+///   N4  the schedule vector is strict (s . d > 0 for every nonzero d);
+///   N5  the zero-vector dependence subgraph is acyclic (a topological
+///       body order exists for same-point instances).
+[[nodiscard]] PlanCertificate certify_plan(const MldgN& original, const NdFusionPlan& plan);
 
 }  // namespace lf

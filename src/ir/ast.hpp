@@ -3,228 +3,30 @@
 // a single sequential outer loop over `i` containing a sequence of labelled
 // innermost DOALL loops over `j`. Array subscripts are `i+c` / `j+c` with
 // constant c (constant-distance dependences, as the paper requires).
+//
+// Forwarding shim: these are the depth-2 instantiations of the unified
+// dimension-generic AST in front/ast.hpp (the N-D aliases live in
+// mdir/ast.hpp). Printers, str() layouts and evaluation semantics are
+// byte-compatible with the historical 2-D AST.
 
-#include <cstdint>
-#include <iosfwd>
-#include <memory>
-#include <string>
-#include <vector>
-
+#include "front/ast.hpp"
 #include "ir/token.hpp"
 #include "support/vec2.hpp"
 
 namespace lf::ir {
 
-/// Abstract source of array values during interpretation; implemented by
-/// exec::ArrayStore. Keeps the IR independent of the execution engines.
-class ValueSource {
-  public:
-    virtual ~ValueSource() = default;
-    [[nodiscard]] virtual double load(const std::string& array, std::int64_t i,
-                                      std::int64_t j) const = 0;
-};
+using ValueSource = front::BasicValueSource<Vec2>;
+using ArrayRef = front::BasicArrayRef<Vec2>;
+using Expr = front::BasicExpr<Vec2>;
+using ExprPtr = front::BasicExprPtr<Vec2>;
+using LiteralExpr = front::BasicLiteral<Vec2>;
+using ReadExpr = front::BasicRead<Vec2>;
+using UnaryExpr = front::BasicUnary<Vec2>;
+using BinaryExpr = front::BasicBinary<Vec2>;
+using Statement = front::BasicStatement<Vec2>;
+using LoopNest = front::BasicLoopNest<Vec2>;
+using Program = front::BasicProgram<Vec2>;
 
-/// A subscripted array access `array[i + offset.x][j + offset.y]`.
-struct ArrayRef {
-    std::string array;
-    Vec2 offset;
-    SourceLoc loc;
-
-    /// The cell touched by the instance at iteration (i, j).
-    [[nodiscard]] Vec2 cell(std::int64_t i, std::int64_t j) const {
-        return {i + offset.x, j + offset.y};
-    }
-
-    [[nodiscard]] std::string str() const;
-};
-
-class Expr;
-using ExprPtr = std::unique_ptr<Expr>;
-
-class Expr {
-  public:
-    virtual ~Expr() = default;
-
-    /// Evaluates at iteration (i, j), reading array values from `src`.
-    [[nodiscard]] virtual double eval(const ValueSource& src, std::int64_t i,
-                                      std::int64_t j) const = 0;
-    /// Appends every array read in this subtree to `out`.
-    virtual void collect_reads(std::vector<ArrayRef>& out) const = 0;
-    virtual void print(std::ostream& os) const = 0;
-    [[nodiscard]] virtual ExprPtr clone() const = 0;
-    /// Returns a copy with every subscript shifted by `delta` (i -> i+dx,
-    /// j -> j+dy); used to print retimed statements.
-    [[nodiscard]] virtual ExprPtr shifted(const Vec2& delta) const = 0;
-};
-
-class LiteralExpr final : public Expr {
-  public:
-    explicit LiteralExpr(double value) : value_(value) {}
-    [[nodiscard]] double eval(const ValueSource&, std::int64_t, std::int64_t) const override {
-        return value_;
-    }
-    void collect_reads(std::vector<ArrayRef>&) const override {}
-    void print(std::ostream& os) const override;
-    [[nodiscard]] ExprPtr clone() const override { return std::make_unique<LiteralExpr>(value_); }
-    [[nodiscard]] ExprPtr shifted(const Vec2&) const override { return clone(); }
-    [[nodiscard]] double value() const { return value_; }
-
-  private:
-    double value_;
-};
-
-class ReadExpr final : public Expr {
-  public:
-    explicit ReadExpr(ArrayRef ref) : ref_(std::move(ref)) {}
-    [[nodiscard]] double eval(const ValueSource& src, std::int64_t i,
-                              std::int64_t j) const override {
-        const Vec2 cell = ref_.cell(i, j);
-        return src.load(ref_.array, cell.x, cell.y);
-    }
-    void collect_reads(std::vector<ArrayRef>& out) const override { out.push_back(ref_); }
-    void print(std::ostream& os) const override;
-    [[nodiscard]] ExprPtr clone() const override { return std::make_unique<ReadExpr>(ref_); }
-    [[nodiscard]] ExprPtr shifted(const Vec2& delta) const override {
-        ArrayRef shifted_ref = ref_;
-        shifted_ref.offset += delta;
-        return std::make_unique<ReadExpr>(std::move(shifted_ref));
-    }
-    [[nodiscard]] const ArrayRef& ref() const { return ref_; }
-
-  private:
-    ArrayRef ref_;
-};
-
-class UnaryExpr final : public Expr {
-  public:
-    explicit UnaryExpr(ExprPtr operand) : operand_(std::move(operand)) {}
-    [[nodiscard]] double eval(const ValueSource& src, std::int64_t i,
-                              std::int64_t j) const override {
-        return -operand_->eval(src, i, j);
-    }
-    void collect_reads(std::vector<ArrayRef>& out) const override {
-        operand_->collect_reads(out);
-    }
-    void print(std::ostream& os) const override;
-    [[nodiscard]] ExprPtr clone() const override {
-        return std::make_unique<UnaryExpr>(operand_->clone());
-    }
-    [[nodiscard]] ExprPtr shifted(const Vec2& delta) const override {
-        return std::make_unique<UnaryExpr>(operand_->shifted(delta));
-    }
-    [[nodiscard]] const Expr& operand() const { return *operand_; }
-
-  private:
-    ExprPtr operand_;
-};
-
-class BinaryExpr final : public Expr {
-  public:
-    BinaryExpr(char op, ExprPtr lhs, ExprPtr rhs)
-        : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
-    [[nodiscard]] double eval(const ValueSource& src, std::int64_t i,
-                              std::int64_t j) const override {
-        const double a = lhs_->eval(src, i, j);
-        const double b = rhs_->eval(src, i, j);
-        switch (op_) {
-            case '+': return a + b;
-            case '-': return a - b;
-            case '*': return a * b;
-            default: return a / b;
-        }
-    }
-    void collect_reads(std::vector<ArrayRef>& out) const override {
-        lhs_->collect_reads(out);
-        rhs_->collect_reads(out);
-    }
-    void print(std::ostream& os) const override;
-    [[nodiscard]] ExprPtr clone() const override {
-        return std::make_unique<BinaryExpr>(op_, lhs_->clone(), rhs_->clone());
-    }
-    [[nodiscard]] ExprPtr shifted(const Vec2& delta) const override {
-        return std::make_unique<BinaryExpr>(op_, lhs_->shifted(delta), rhs_->shifted(delta));
-    }
-    [[nodiscard]] char op() const { return op_; }
-    [[nodiscard]] const Expr& lhs() const { return *lhs_; }
-    [[nodiscard]] const Expr& rhs() const { return *rhs_; }
-
-  private:
-    char op_;
-    ExprPtr lhs_;
-    ExprPtr rhs_;
-};
-
-/// One assignment `target = value;` inside a loop body.
-struct Statement {
-    ArrayRef target;
-    ExprPtr value;
-
-    Statement() = default;
-    Statement(ArrayRef t, ExprPtr v) : target(std::move(t)), value(std::move(v)) {}
-    Statement(const Statement& o) : target(o.target), value(o.value ? o.value->clone() : nullptr) {}
-    Statement& operator=(const Statement& o) {
-        if (this != &o) {
-            target = o.target;
-            value = o.value ? o.value->clone() : nullptr;
-        }
-        return *this;
-    }
-    Statement(Statement&&) = default;
-    Statement& operator=(Statement&&) = default;
-
-    /// Executes the instance at iteration (i, j): evaluate and return the
-    /// stored value plus the target cell (the caller performs the store).
-    [[nodiscard]] double eval(const ValueSource& src, std::int64_t i, std::int64_t j) const {
-        return value->eval(src, i, j);
-    }
-
-    [[nodiscard]] std::vector<ArrayRef> reads() const {
-        std::vector<ArrayRef> out;
-        value->collect_reads(out);
-        return out;
-    }
-
-    /// A copy with all subscripts (target and reads) shifted by `delta`.
-    [[nodiscard]] Statement shifted(const Vec2& delta) const {
-        Statement s;
-        s.target = target;
-        s.target.offset += delta;
-        s.value = value->shifted(delta);
-        return s;
-    }
-
-    [[nodiscard]] std::string str() const;
-};
-
-/// One innermost DOALL loop ("loop A { ... }").
-struct LoopNest {
-    std::string label;
-    std::vector<Statement> body;
-    SourceLoc loc;
-
-    /// Abstract per-iteration cost: one unit per statement plus one per read
-    /// (consumed by the multiprocessor cost model).
-    [[nodiscard]] std::int64_t body_cost() const;
-};
-
-/// A whole program: DO i { DOALL j ... } per Figure 1.
-struct Program {
-    std::string name;
-    std::vector<LoopNest> loops;
-
-    /// All array names, writes first then reads, deduplicated, in order of
-    /// first appearance.
-    [[nodiscard]] std::vector<std::string> arrays() const;
-
-    /// Arrays written by some loop.
-    [[nodiscard]] std::vector<std::string> written_arrays() const;
-
-    /// Largest absolute subscript offset component, for halo sizing.
-    [[nodiscard]] std::int64_t max_offset() const;
-
-    [[nodiscard]] std::string str() const;
-};
-
-std::ostream& operator<<(std::ostream& os, const Expr& e);
+using front::operator<<;
 
 }  // namespace lf::ir

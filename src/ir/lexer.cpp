@@ -115,7 +115,13 @@ std::vector<Token> tokenize(std::string_view source) {
             t.loc = loc;
             if (is_float) {
                 t.kind = TokenKind::Number;
-                t.number = std::stod(digits);
+                try {
+                    t.number = std::stod(digits);
+                } catch (const std::exception&) {
+                    // Out-of-range exponents ("1e999999") and malformed
+                    // mantissas surface as a located diagnostic, not std::.
+                    throw Error("lexer: bad number '" + digits + "' at " + loc.str());
+                }
             } else {
                 t.kind = TokenKind::Integer;
                 std::int64_t value = 0;

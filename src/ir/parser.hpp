@@ -1,5 +1,6 @@
 #pragma once
-// Recursive-descent parser for the loop DSL.
+// Recursive-descent parser for the 2-D loop DSL -- the depth-2 case of the
+// unified grammar in front/parse.hpp:
 //
 //   program   := "program" IDENT "{" loop+ "}"
 //   loop      := "loop" IDENT "{" statement+ "}"
@@ -15,15 +16,20 @@
 
 #include <string_view>
 
+#include "front/parse.hpp"
 #include "ir/ast.hpp"
 
 namespace lf::ir {
 
 /// Parses and semantically validates a program (see sema.hpp for the checks).
 /// Throws lf::Error on any lexical, syntactic or semantic problem.
-[[nodiscard]] Program parse_program(std::string_view source);
+[[nodiscard]] inline Program parse_program(std::string_view source) {
+    return front::parse_basic_program<Vec2>(source);
+}
 
 /// Parse without semantic validation (used by tests that target sema itself).
-[[nodiscard]] Program parse_program_unchecked(std::string_view source);
+[[nodiscard]] inline Program parse_program_unchecked(std::string_view source) {
+    return front::parse_basic_program_unchecked<Vec2>(source);
+}
 
 }  // namespace lf::ir

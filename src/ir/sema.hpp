@@ -8,12 +8,15 @@
 //     cell distance (0, k) with k != 0.
 // Anti- and output dependences *across* loops are allowed -- the dependence
 // analyzer models them as MLDG edges just like flow dependences.
+//
+// Forwarding shim over the dimension-generic checks in front/parse.hpp.
 
+#include "front/parse.hpp"
 #include "ir/ast.hpp"
 
 namespace lf::ir {
 
 /// Throws lf::Error describing the first violation found.
-void validate_program(const Program& p);
+inline void validate_program(const Program& p) { front::validate_basic_program<Vec2>(p); }
 
 }  // namespace lf::ir

@@ -1,5 +1,7 @@
 #include "ldg/legality.hpp"
 
+#include "ldg/mldg_nd.hpp"
+
 #include <algorithm>
 #include <cstdint>
 #include <limits>
@@ -331,6 +333,52 @@ bool is_strict_schedule_vector(const Mldg& g, const Vec2& s) {
         }
     }
     return true;
+}
+
+// --- N-D schedulability (shared with the 2-D checks above; see
+// ldg/mldg_nd.hpp for the contract). ---
+
+namespace {
+
+/// Lexicographic comparison of the first dim-1 components against zero.
+bool prefix_nonnegative(const VecN& v) {
+    for (int k = 0; k + 1 < v.dim(); ++k) {
+        if (v[k] > 0) return true;
+        if (v[k] < 0) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+bool is_schedulable_nd(const MldgN& g, ResourceGuard* guard, SolverStats* stats,
+                       SolverWorkspace<VecN>* ws) {
+    // (S1') outer prefixes must be lexicographically non-negative: nothing
+    // may flow backwards at the sequential levels.
+    for (const auto& e : g.edges()) {
+        for (const VecN& d : e.vectors) {
+            if (!prefix_nonnegative(d)) return false;
+        }
+    }
+    // (S2') no cycle with weight <= 0. Detect with the unified lexicographic
+    // Bellman-Ford over epsilon-adjusted vectors: scale the last component by
+    // K > |E| and subtract one, so a cycle's adjusted weight is
+    // lexicographically negative exactly when its true weight is <= 0.
+    if (g.num_edges() == 0) return true;
+    const std::int64_t K = g.num_edges() + 1;
+    std::vector<WeightedEdge<VecN>> edges;
+    edges.reserve(static_cast<std::size_t>(g.num_edges()));
+    for (const auto& e : g.edges()) {
+        VecN v = e.delta();
+        v[v.dim() - 1] = v[v.dim() - 1] * K - 1;
+        edges.push_back(WeightedEdge<VecN>{e.from, e.to, std::move(v)});
+    }
+    const auto sp = bellman_ford_all_sources<VecN>(g.num_nodes(), edges, guard, stats,
+                                                   WeightTraits<VecN>(g.dim()), ws);
+    // A cut-short solve (fault, budget, overflow) cannot certify the cycle
+    // condition: answer conservatively.
+    if (sp.status != StatusCode::Ok) return false;
+    return !sp.has_negative_cycle;
 }
 
 }  // namespace lf

@@ -2,120 +2,17 @@
 // The multi-dimensional loop dependence graph (MLDG) of Definition 2.2,
 // specialized to two dimensions (a "2LDG").
 //
-// One node per innermost DOALL loop (in program order), one edge per ordered
-// pair of loops with at least one dependence, annotated with the full set of
-// loop dependence vectors D_L (Definition 2.1). The minimal vector delta_L is
-// the lexicographic minimum of D_L; an edge is a *hard edge* ("parallelism
-// hard", Section 2.2) when two of its vectors share a first coordinate but
-// differ in the second.
+// Forwarding shim: `Mldg` is the `Vec2` instantiation of the
+// dimension-generic `BasicMldg` in ldg/basic_mldg.hpp (the N-D aliases live
+// in ldg/mldg_nd.hpp). Summary/to_dot byte formats, merge semantics and the
+// O(1) endpoint index are unchanged from the historical 2-D class.
 
-#include <cstdint>
-#include <optional>
-#include <span>
-#include <string>
-#include <unordered_map>
-#include <vector>
-
-#include "graph/algorithms.hpp"
+#include "ldg/basic_mldg.hpp"
 #include "support/vec2.hpp"
 
 namespace lf {
 
-/// A node of the MLDG: one innermost DOALL loop.
-struct LoopNode {
-    std::string name;
-    /// Position of the loop in the original program text (0-based). Determines
-    /// statement order inside the fused body and therefore which edges are
-    /// "backward" (from a later loop to an earlier one).
-    int order = 0;
-    /// Abstract per-iteration cost of the loop body, consumed by the
-    /// multiprocessor cost model. Purely descriptive for the algorithms.
-    std::int64_t body_cost = 1;
-};
-
-/// An edge of the MLDG: all dependences from one loop to another.
-struct DependenceEdge {
-    int from = -1;
-    int to = -1;
-    /// D_L(from, to): sorted ascending (lexicographically), deduplicated,
-    /// never empty. vectors.front() is delta_L.
-    std::vector<Vec2> vectors;
-
-    /// delta_L(e): the minimal loop dependence vector (Definition 2.2).
-    [[nodiscard]] Vec2 delta() const { return vectors.front(); }
-
-    /// Hard edge: two vectors with equal first but different second
-    /// coordinates (Section 2.2). Hard edges constrain full inner parallelism.
-    [[nodiscard]] bool is_hard() const;
-};
-
-class Mldg {
-  public:
-    /// Appends a loop node; program order is insertion order.
-    int add_node(std::string name, std::int64_t body_cost = 1);
-
-    /// Adds dependence vectors from `from` to `to`. If the edge already
-    /// exists the vectors are merged (the MLDG keeps at most one edge per
-    /// ordered node pair, per Definition 2.2). Vectors are validated to be
-    /// non-empty. Returns the edge id.
-    int add_edge(int from, int to, std::vector<Vec2> vectors);
-
-    [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes_.size()); }
-    [[nodiscard]] int num_edges() const { return static_cast<int>(edges_.size()); }
-    [[nodiscard]] const LoopNode& node(int id) const;
-    [[nodiscard]] LoopNode& node(int id);
-    [[nodiscard]] const DependenceEdge& edge(int id) const;
-    [[nodiscard]] const std::vector<DependenceEdge>& edges() const { return edges_; }
-
-    /// Unchecked accessors for solver-facing loops whose ids come from the
-    /// graph itself (0 <= id < num_nodes()/num_edges(), validated at
-    /// insertion). The checked node()/edge() remain the public API.
-    [[nodiscard]] const LoopNode& node_ref(int id) const noexcept {
-        return nodes_[static_cast<std::size_t>(id)];
-    }
-    [[nodiscard]] const DependenceEdge& edge_ref(int id) const noexcept {
-        return edges_[static_cast<std::size_t>(id)];
-    }
-
-    /// Node id by name; nullopt if absent.
-    [[nodiscard]] std::optional<int> find_node(std::string_view name) const;
-
-    /// Edge id for the ordered pair (from, to); nullopt if absent.
-    [[nodiscard]] std::optional<int> find_edge(int from, int to) const;
-
-    /// True when the edge runs from a later loop to an earlier one in program
-    /// order. Backward edges are necessarily outer-loop-carried in a legal
-    /// graph, and require the strengthened (0,1) bound during retiming (see
-    /// DESIGN.md, "Fidelity notes").
-    [[nodiscard]] bool is_backward_edge(int edge_id) const;
-
-    [[nodiscard]] bool is_self_edge(int edge_id) const;
-
-    /// Successor adjacency over node ids.
-    [[nodiscard]] Adjacency adjacency() const;
-
-    /// True when the MLDG contains no cycle (self-loops count as cycles).
-    [[nodiscard]] bool is_acyclic() const;
-
-    /// Sum of delta_L along a sequence of edge ids (a path or cycle).
-    [[nodiscard]] Vec2 path_weight(std::span<const int> edge_ids) const;
-
-    /// Total number of dependence vectors across all edges.
-    [[nodiscard]] std::size_t total_vectors() const;
-
-    /// Graphviz rendering (delta, full D_L, hard-edge marker `*`).
-    [[nodiscard]] std::string to_dot(const std::string& title = "mldg") const;
-
-    /// One-line-per-edge textual summary, used by reports and examples.
-    [[nodiscard]] std::string summary() const;
-
-  private:
-    std::vector<LoopNode> nodes_;
-    std::vector<DependenceEdge> edges_;
-    /// (from, to) -> edge id, kept in lockstep with edges_ by add_edge so
-    /// find_edge -- and with it every retiming apply, which merges through
-    /// it -- is O(1) expected instead of a linear scan.
-    std::unordered_map<std::uint64_t, int> edge_index_;
-};
+using DependenceEdge = BasicDependenceEdge<Vec2>;
+using Mldg = BasicMldg<Vec2>;
 
 }  // namespace lf

@@ -1,16 +1,17 @@
 #pragma once
 // The general multi-dimensional loop dependence graph of Definition 2.2
-// (dimension n >= 1), and n-dimensional retimings (Section 2.3). The paper's
-// elaborated algorithms are two-dimensional (ldg/mldg.hpp); this model backs
-// the n-D generalizations in fusion/multidim.hpp.
+// (dimension n >= 1), and n-dimensional retimings (Section 2.3).
+//
+// Forwarding shim: `MldgN` / `MldgNd` and `RetimingN` are the `VecN`
+// instantiations of the dimension-generic `BasicMldg` / `BasicRetiming` in
+// ldg/basic_mldg.hpp; the 2-D aliases live in ldg/mldg.hpp and
+// ldg/retiming.hpp. The schedulability check shares ldg/legality.cpp with
+// the 2-D stack.
 //
 // Convention: component 0 is the outermost loop, component n-1 the innermost
 // (DOALL) loop, matching the 2-D (x, y) = (outer, inner) convention.
 
-#include <optional>
-#include <string>
-#include <vector>
-
+#include "ldg/basic_mldg.hpp"
 #include "support/solver_stats.hpp"
 #include "support/status.hpp"
 #include "support/vecn.hpp"
@@ -20,70 +21,11 @@ namespace lf {
 template <typename W>
 class SolverWorkspace;
 
-struct LoopNodeN {
-    std::string name;
-    int order = 0;
-    std::int64_t body_cost = 1;
-};
-
-struct DependenceEdgeN {
-    int from = -1;
-    int to = -1;
-    /// Sorted ascending (lexicographically), deduplicated, non-empty.
-    std::vector<VecN> vectors;
-
-    [[nodiscard]] const VecN& delta() const { return vectors.front(); }
-
-    /// Generalized hard edge: two vectors agree on every component except
-    /// the last -- no retiming of the outer dimensions can separate them,
-    /// so full innermost parallelism requires carrying the edge outward.
-    [[nodiscard]] bool is_hard() const;
-};
-
-class MldgN {
-  public:
-    explicit MldgN(int dim) : dim_(dim) {}
-
-    [[nodiscard]] int dim() const { return dim_; }
-
-    int add_node(std::string name, std::int64_t body_cost = 1);
-    int add_edge(int from, int to, std::vector<VecN> vectors);
-
-    [[nodiscard]] int num_nodes() const { return static_cast<int>(nodes_.size()); }
-    [[nodiscard]] int num_edges() const { return static_cast<int>(edges_.size()); }
-    [[nodiscard]] const LoopNodeN& node(int id) const;
-    [[nodiscard]] const DependenceEdgeN& edge(int id) const;
-    [[nodiscard]] const std::vector<DependenceEdgeN>& edges() const { return edges_; }
-    [[nodiscard]] std::optional<int> find_edge(int from, int to) const;
-
-    [[nodiscard]] bool is_acyclic() const;
-
-    [[nodiscard]] std::string summary() const;
-
-  private:
-    int dim_;
-    std::vector<LoopNodeN> nodes_;
-    std::vector<DependenceEdgeN> edges_;
-};
-
-/// An n-dimensional retiming: r(u) in Z^n per node; dependence vectors
-/// transform as d_r = d + r(u) - r(v) along an edge u -> v.
-class RetimingN {
-  public:
-    RetimingN() = default;
-    RetimingN(int num_nodes, int dim)
-        : r_(static_cast<std::size_t>(num_nodes), VecN::zeros(dim)) {}
-    explicit RetimingN(std::vector<VecN> values) : r_(std::move(values)) {}
-
-    [[nodiscard]] int num_nodes() const { return static_cast<int>(r_.size()); }
-    [[nodiscard]] const VecN& of(int node) const { return r_.at(static_cast<std::size_t>(node)); }
-    [[nodiscard]] VecN& of(int node) { return r_.at(static_cast<std::size_t>(node)); }
-
-    [[nodiscard]] MldgN apply(const MldgN& g) const;
-
-  private:
-    std::vector<VecN> r_;
-};
+using LoopNodeN = LoopNode;
+using DependenceEdgeN = BasicDependenceEdge<VecN>;
+using MldgN = BasicMldg<VecN>;
+using MldgNd = BasicMldg<VecN>;
+using RetimingN = BasicRetiming<VecN>;
 
 /// Schedulability in n dimensions (Theorem 4.4's hypothesis, generalized):
 /// every dependence vector >= the zero vector would be too strong; the

@@ -1,54 +1,17 @@
 #pragma once
 // Two-dimensional retiming (Section 2.3, after Passos & Sha).
 //
-// A retiming r maps each loop node to a Vec2 offset of its iteration space.
-// Dependence vectors transform as  d_r = d + r(u) - r(v)  for an edge
-// e : u -> v; cycle weights are invariant. A node's instance originally at
-// iteration q executes at fused point q - r(u) after retiming + fusion.
+// Forwarding shim: `Retiming` is the `Vec2` instantiation of the
+// dimension-generic `BasicRetiming` in ldg/basic_mldg.hpp (the N-D alias
+// `RetimingN` lives in ldg/mldg_nd.hpp). The 2-D instantiation keeps the
+// historical saturating arithmetic in `retimed`/`apply`.
 
-#include <string>
-#include <vector>
-
+#include "ldg/basic_mldg.hpp"
 #include "ldg/mldg.hpp"
 #include "support/vec2.hpp"
 
 namespace lf {
 
-class Retiming {
-  public:
-    Retiming() = default;
-    explicit Retiming(int num_nodes) : r_(static_cast<std::size_t>(num_nodes)) {}
-    explicit Retiming(std::vector<Vec2> values) : r_(std::move(values)) {}
-
-    [[nodiscard]] int num_nodes() const { return static_cast<int>(r_.size()); }
-    [[nodiscard]] const Vec2& of(int node) const { return r_.at(static_cast<std::size_t>(node)); }
-    [[nodiscard]] Vec2& of(int node) { return r_.at(static_cast<std::size_t>(node)); }
-    [[nodiscard]] const std::vector<Vec2>& values() const { return r_; }
-
-    /// Retimed weight of an edge:  delta_r(e) = delta(e) + r(from) - r(to).
-    /// Saturating: out-of-range inputs clamp to the int64 extremes instead of
-    /// wrapping (callers that pre-validate magnitudes never saturate).
-    [[nodiscard]] Vec2 retimed(const DependenceEdge& e, const Vec2& v) const {
-        return sat_sub(sat_add(v, of(e.from)), of(e.to));
-    }
-    [[nodiscard]] Vec2 retimed_delta(const DependenceEdge& e) const {
-        return retimed(e, e.delta());
-    }
-
-    /// Builds the retimed graph G_r: every vector of every edge is shifted by
-    /// r(from) - r(to). Node order and costs are preserved.
-    [[nodiscard]] Mldg apply(const Mldg& g) const;
-
-    /// Normalizes so that min component over nodes is zero in each dimension
-    /// (retimings are equivalence classes modulo a global translation).
-    void normalize();
-
-    [[nodiscard]] std::string str(const Mldg& g) const;
-
-    friend bool operator==(const Retiming&, const Retiming&) = default;
-
-  private:
-    std::vector<Vec2> r_;
-};
+using Retiming = BasicRetiming<Vec2>;
 
 }  // namespace lf

@@ -1,17 +1,15 @@
 #pragma once
-// Dependence analysis for the multi-dimensional program model: produces the
-// general MLDG of Definition 2.2 (an MldgN). The execution-order rule
-// generalizes the 2-D case: the sequential prefix (all levels but the
-// innermost) orders instances lexicographically; within one prefix point the
-// loops run in program order with a barrier after each DOALL loop.
+// DEPRECATED shim: the N-D dependence analyzer now lives in
+// analysis/dependence (one dimension-generic core serves both the 2-D and
+// the depth-d program model). Include "analysis/dependence.hpp" and call
+// lf::analysis::build_mldg_nd directly in new code; this header only keeps
+// historical `lf::mdir::build_mldg_nd` call sites compiling.
 
-#include "ldg/mldg_nd.hpp"
+#include "analysis/dependence.hpp"
 #include "mdir/ast.hpp"
 
 namespace lf::mdir {
 
-/// Builds the MldgN for a validated program (flow, anti and output
-/// dependences). Throws lf::Error on model violations.
-[[nodiscard]] MldgN build_mldg_nd(const MdProgram& p);
+using analysis::build_mldg_nd;
 
 }  // namespace lf::mdir

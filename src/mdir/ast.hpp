@@ -6,168 +6,28 @@
 //   DO i1 { DO i2 { ... { DOALL j {A}; DOALL j {B}; ... } } }
 //
 // Subscripts are constant-distance: array[i1 + c1][i2 + c2]...[j + cd].
-// This module is self-contained (its own AST/parser/analysis/executor) so
-// the 2-D pipeline in ir/ stays exactly the paper's elaborated case.
+//
+// DEPRECATED shim: the N-D AST is now the `VecN` instantiation of the
+// unified dimension-generic front end in front/ast.hpp; include that (or
+// ir/ast.hpp for the 2-D case) in new code. These aliases keep historical
+// mdir:: spellings compiling and will be retired with the rest of mdir/.
 
-#include <cstdint>
-#include <memory>
-#include <string>
-#include <vector>
-
+#include "front/ast.hpp"
 #include "ir/token.hpp"
 #include "support/vecn.hpp"
 
 namespace lf::mdir {
 
-/// Abstract value source for interpretation (the n-D ArrayStore implements it).
-class MdValueSource {
-  public:
-    virtual ~MdValueSource() = default;
-    [[nodiscard]] virtual double load(const std::string& array, const VecN& cell) const = 0;
-};
-
-struct MdArrayRef {
-    std::string array;
-    VecN offset;  // one component per nesting level; innermost last
-    ir::SourceLoc loc;
-
-    [[nodiscard]] VecN cell(const VecN& iteration) const { return iteration + offset; }
-    [[nodiscard]] std::string str() const;
-};
-
-class MdExpr;
-using MdExprPtr = std::unique_ptr<MdExpr>;
-
-class MdExpr {
-  public:
-    virtual ~MdExpr() = default;
-    [[nodiscard]] virtual double eval(const MdValueSource& src, const VecN& it) const = 0;
-    virtual void collect_reads(std::vector<MdArrayRef>& out) const = 0;
-    virtual void print(std::ostream& os) const = 0;
-    [[nodiscard]] virtual MdExprPtr clone() const = 0;
-};
-
-class MdLiteral final : public MdExpr {
-  public:
-    explicit MdLiteral(double v) : value_(v) {}
-    [[nodiscard]] double eval(const MdValueSource&, const VecN&) const override { return value_; }
-    void collect_reads(std::vector<MdArrayRef>&) const override {}
-    void print(std::ostream& os) const override;
-    [[nodiscard]] MdExprPtr clone() const override { return std::make_unique<MdLiteral>(value_); }
-    [[nodiscard]] double value() const { return value_; }
-
-  private:
-    double value_;
-};
-
-class MdRead final : public MdExpr {
-  public:
-    explicit MdRead(MdArrayRef ref) : ref_(std::move(ref)) {}
-    [[nodiscard]] double eval(const MdValueSource& src, const VecN& it) const override {
-        return src.load(ref_.array, ref_.cell(it));
-    }
-    void collect_reads(std::vector<MdArrayRef>& out) const override { out.push_back(ref_); }
-    void print(std::ostream& os) const override;
-    [[nodiscard]] MdExprPtr clone() const override { return std::make_unique<MdRead>(ref_); }
-    [[nodiscard]] const MdArrayRef& ref() const { return ref_; }
-
-  private:
-    MdArrayRef ref_;
-};
-
-class MdBinary final : public MdExpr {
-  public:
-    MdBinary(char op, MdExprPtr lhs, MdExprPtr rhs)
-        : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
-    [[nodiscard]] double eval(const MdValueSource& src, const VecN& it) const override {
-        const double a = lhs_->eval(src, it);
-        const double b = rhs_->eval(src, it);
-        switch (op_) {
-            case '+': return a + b;
-            case '-': return a - b;
-            case '*': return a * b;
-            default: return a / b;
-        }
-    }
-    void collect_reads(std::vector<MdArrayRef>& out) const override {
-        lhs_->collect_reads(out);
-        rhs_->collect_reads(out);
-    }
-    void print(std::ostream& os) const override;
-    [[nodiscard]] MdExprPtr clone() const override {
-        return std::make_unique<MdBinary>(op_, lhs_->clone(), rhs_->clone());
-    }
-    [[nodiscard]] char op() const { return op_; }
-    [[nodiscard]] const MdExpr& lhs() const { return *lhs_; }
-    [[nodiscard]] const MdExpr& rhs() const { return *rhs_; }
-
-  private:
-    char op_;
-    MdExprPtr lhs_;
-    MdExprPtr rhs_;
-};
-
-class MdUnary final : public MdExpr {
-  public:
-    explicit MdUnary(MdExprPtr operand) : operand_(std::move(operand)) {}
-    [[nodiscard]] double eval(const MdValueSource& src, const VecN& it) const override {
-        return -operand_->eval(src, it);
-    }
-    void collect_reads(std::vector<MdArrayRef>& out) const override {
-        operand_->collect_reads(out);
-    }
-    void print(std::ostream& os) const override;
-    [[nodiscard]] MdExprPtr clone() const override {
-        return std::make_unique<MdUnary>(operand_->clone());
-    }
-    [[nodiscard]] const MdExpr& operand() const { return *operand_; }
-
-  private:
-    MdExprPtr operand_;
-};
-
-struct MdStatement {
-    MdArrayRef target;
-    MdExprPtr value;
-
-    MdStatement() = default;
-    MdStatement(MdArrayRef t, MdExprPtr v) : target(std::move(t)), value(std::move(v)) {}
-    MdStatement(const MdStatement& o)
-        : target(o.target), value(o.value ? o.value->clone() : nullptr) {}
-    MdStatement& operator=(const MdStatement& o) {
-        if (this != &o) {
-            target = o.target;
-            value = o.value ? o.value->clone() : nullptr;
-        }
-        return *this;
-    }
-    MdStatement(MdStatement&&) = default;
-    MdStatement& operator=(MdStatement&&) = default;
-
-    [[nodiscard]] std::vector<MdArrayRef> reads() const {
-        std::vector<MdArrayRef> out;
-        value->collect_reads(out);
-        return out;
-    }
-    [[nodiscard]] std::string str() const;
-};
-
-struct MdLoopNest {
-    std::string label;
-    std::vector<MdStatement> body;
-
-    [[nodiscard]] std::int64_t body_cost() const;
-};
-
-struct MdProgram {
-    std::string name;
-    int dim = 2;
-    std::vector<MdLoopNest> loops;
-
-    [[nodiscard]] std::vector<std::string> arrays() const;
-    [[nodiscard]] std::vector<std::string> written_arrays() const;
-    [[nodiscard]] std::int64_t max_offset() const;
-    [[nodiscard]] std::string str() const;
-};
+using MdValueSource = front::BasicValueSource<VecN>;
+using MdArrayRef = front::BasicArrayRef<VecN>;
+using MdExpr = front::BasicExpr<VecN>;
+using MdExprPtr = front::BasicExprPtr<VecN>;
+using MdLiteral = front::BasicLiteral<VecN>;
+using MdRead = front::BasicRead<VecN>;
+using MdUnary = front::BasicUnary<VecN>;
+using MdBinary = front::BasicBinary<VecN>;
+using MdStatement = front::BasicStatement<VecN>;
+using MdLoopNest = front::BasicLoopNest<VecN>;
+using MdProgram = front::BasicProgram<VecN>;
 
 }  // namespace lf::mdir

@@ -1,25 +1,15 @@
 #pragma once
-// Self-verifying C output for the multi-dimensional program model: the
-// emitted C99 program contains the original nested schedule and the retimed,
-// fused lexicographic scan (valid because every retimed dependence is
-// lexicographically non-negative and the body order serializes the (0..0)
-// dependences), compares every produced cell and prints "OK <checksum>".
+// DEPRECATED shim: the self-verifying N-D C emitter now lives in
+// transform/codegen_nd.hpp, next to the 2-D emitters. Include that directly
+// in new code; this header only keeps historical `lf::mdir::...` call sites
+// compiling.
 
-#include <string>
-
-#include "fusion/multidim.hpp"
-#include "mdir/ast.hpp"
 #include "mdir/exec.hpp"
+#include "transform/codegen_nd.hpp"
 
 namespace lf::mdir {
 
-/// The complete self-verifying C program for `p` under `plan` over `dom`.
-[[nodiscard]] std::string emit_md_c_program(const MdProgram& p, const NdFusionPlan& plan,
-                                            const MdDomain& dom);
-
-/// The "OK <checksum>" checksum the emitted program prints, computed by the
-/// interpreter (cells outer, arrays inner, matching the C accumulation
-/// order).
-[[nodiscard]] std::string expected_md_c_checksum(const MdProgram& p, const MdDomain& dom);
+using transform::emit_md_c_program;
+using transform::expected_md_c_checksum;
 
 }  // namespace lf::mdir

@@ -1,91 +1,21 @@
 #pragma once
-// Execution engines for the multi-dimensional program model, with golden
-// verification: the reference (loop-by-loop) schedule, and the retimed +
-// fused wavefront schedule over hyperplanes of an n-D strict schedule
-// vector.
+// DEPRECATED shim: the N-D execution engines and array store now live in
+// exec/store_nd.hpp and exec/engines_nd.hpp, next to their 2-D siblings.
+// Include those directly in new code; this header only keeps historical
+// `lf::mdir::...` call sites compiling.
 
-#include <map>
-#include <optional>
-#include <string>
-#include <vector>
-
-#include "fusion/multidim.hpp"
-#include "mdir/ast.hpp"
+#include "exec/engines_nd.hpp"
+#include "exec/store_nd.hpp"
 
 namespace lf::mdir {
 
-/// Inclusive iteration extents per level: level k ranges over [0, ext[k]].
-struct MdDomain {
-    std::vector<std::int64_t> ext;
-
-    [[nodiscard]] int dim() const { return static_cast<int>(ext.size()); }
-    [[nodiscard]] bool contains(const VecN& q) const {
-        for (int k = 0; k < dim(); ++k) {
-            if (q[k] < 0 || q[k] > ext[k]) return false;
-        }
-        return true;
-    }
-    [[nodiscard]] std::int64_t points() const {
-        std::int64_t n = 1;
-        for (const std::int64_t e : ext) n *= e + 1;
-        return n;
-    }
-};
-
-/// Dense n-D array store with a halo of `halo` cells on every side of every
-/// level, pre-filled with the same deterministic boundary values as the 2-D
-/// store (hash of name and flattened coordinates).
-class MdArrayStore final : public MdValueSource {
-  public:
-    MdArrayStore(const MdProgram& p, const MdDomain& dom,
-                 std::optional<std::int64_t> halo = std::nullopt);
-
-    [[nodiscard]] double load(const std::string& array, const VecN& cell) const override;
-    void store(const std::string& array, const VecN& cell, double value);
-
-    [[nodiscard]] static double boundary_value(const std::string& array, const VecN& cell);
-
-  private:
-    struct Slot {
-        std::vector<double> data;
-        std::vector<std::int64_t> lo, hi, stride;
-    };
-    [[nodiscard]] std::size_t index(const Slot& s, const VecN& cell) const;
-    [[nodiscard]] const Slot& slot(const std::string& name) const;
-
-    std::map<std::string, Slot> slots_;
-};
-
-/// Topological order of the zero-vector dependence subgraph of a *retimed*
-/// MldgN (ties by node id / program order); nullopt when cyclic. Public so
-/// code generators can reproduce the executor's body order.
-[[nodiscard]] std::optional<std::vector<int>> md_body_order(const MldgN& retimed);
-
-struct MdExecStats {
-    std::int64_t barriers = 0;
-    std::int64_t instances = 0;
-};
-
-/// Reference schedule: sequential sweep of the prefix levels; per prefix
-/// point, each loop's DOALL sweep ends in a barrier.
-[[nodiscard]] MdExecStats run_original_md(const MdProgram& p, const MdDomain& dom,
-                                          MdArrayStore& store);
-
-/// Retimed + fused wavefront schedule: all bodies at fused point q + r(u),
-/// points grouped by t = s . p (one barrier per non-empty hyperplane),
-/// bodies at one point in the (0..0)-dependence topological order.
-[[nodiscard]] MdExecStats run_wavefront_md(const MdProgram& p, const NdFusionPlan& plan,
-                                           const MdDomain& dom, MdArrayStore& store);
-
-struct MdVerification {
-    bool equivalent = false;
-    std::string detail;
-    MdExecStats original;
-    MdExecStats transformed;
-};
-
-/// Plans fusion for `p` (plan_fusion_nd), executes both schedules and
-/// compares every written cell over the domain bit-for-bit.
-[[nodiscard]] MdVerification verify_md_fusion(const MdProgram& p, const MdDomain& dom);
+using exec::MdArrayStore;
+using exec::md_body_order;
+using exec::MdDomain;
+using exec::MdExecStats;
+using exec::MdVerification;
+using exec::run_original_md;
+using exec::run_wavefront_md;
+using exec::verify_md_fusion;
 
 }  // namespace lf::mdir

@@ -7,19 +7,27 @@
 //   index(k) := var_k (("+" | "-") INTEGER)?
 //
 // where var_k is "i1".."i{dim-1}" for the sequential levels and "j" for the
-// innermost DOALL level. Expressions are as in the 2-D DSL. Semantic checks:
-// unique labels, and every loop genuinely DOALL (no same-prefix cross-j
-// access conflict).
+// innermost DOALL level. Expressions are as in the 2-D DSL.
+//
+// DEPRECATED shim: the depth-d grammar is parsed by the unified front end
+// (front/parse.hpp, `VecN` instantiation); diagnostics now carry line:col
+// locations like the 2-D parser's always did. Prefer
+// `front::parse_basic_program<VecN>` or `front::parse_any_program`.
 
 #include <string_view>
 
+#include "front/parse.hpp"
 #include "mdir/ast.hpp"
 
 namespace lf::mdir {
 
-[[nodiscard]] MdProgram parse_md_program(std::string_view source);
+[[nodiscard]] inline MdProgram parse_md_program(std::string_view source) {
+    return front::parse_basic_program<VecN>(source);
+}
 
 /// Validation only (parse_md_program already calls it).
-void validate_md_program(const MdProgram& p);
+inline void validate_md_program(const MdProgram& p) {
+    front::validate_basic_program<VecN>(p);
+}
 
 }  // namespace lf::mdir

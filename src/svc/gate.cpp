@@ -2,9 +2,12 @@
 
 #include "analysis/dependence.hpp"
 #include "exec/engines.hpp"
+#include "exec/engines_nd.hpp"
 #include "exec/equivalence.hpp"
+#include "exec/store_nd.hpp"
 #include "fusion/certify.hpp"
 #include "ir/parser.hpp"
+#include "mdir/parser.hpp"
 #include "support/faultpoint.hpp"
 #include "transform/distribution.hpp"
 #include "transform/fused_program.hpp"
@@ -109,6 +112,86 @@ GateResult admit_plan(const JobSpec& job, const FusionPlan& plan) {
     } catch (const std::exception& e) {
         // Parse/codegen/execution aborted (including injected codegen
         // faults): transient as far as the service knows.
+        res.replay = ReplayOutcome::Error;
+        res.retryable = true;
+        push_stage(res, "admit.replay", StatusCode::Internal, e.what());
+        res.detail = std::string("replay aborted: ") + e.what();
+        return res;
+    }
+}
+
+GateResult admit_plan_nd(const JobSpec& job, const NdFusionPlan& plan) {
+    GateResult res;
+
+    // ---- Check 1: independent certification (N1-N5). ----
+    bool cert_ok = false;
+    std::string cert_detail;
+    try {
+        const PlanCertificate cert = certify_plan(job.graph_nd, plan);
+        cert_ok = cert.valid;
+        if (!cert.valid && !cert.violations.empty()) cert_detail = cert.violations.front();
+    } catch (const std::exception& e) {
+        cert_detail = std::string("certifier aborted: ") + e.what();
+    }
+    if (faultpoint::triggered("svc.verify.certify")) {
+        cert_ok = false;
+        cert_detail = "fault injected";
+    }
+    if (!cert_ok) {
+        push_stage(res, "admit.certify", StatusCode::Internal, cert_detail);
+        res.detail = "certification failed: " + cert_detail;
+        return res;  // wrong plan: not retryable
+    }
+    res.certified = true;
+    push_stage(res, "admit.certify", StatusCode::Ok, {});
+
+    // ---- Check 2: differential replay over the depth-d executors. ----
+    if (job.dsl_source.empty()) {
+        res.replay = ReplayOutcome::Skipped;
+        push_stage(res, "admit.replay", StatusCode::Ok, "graph-only job: nothing to replay");
+        res.admitted = true;
+        return res;
+    }
+
+    try {
+        const auto p = mdir::parse_md_program(job.dsl_source);
+        const MldgN derived = analysis::build_mldg_nd(p);
+        if (derived.num_nodes() != job.graph_nd.num_nodes()) {
+            res.replay = ReplayOutcome::Error;
+            const std::string why = "job program does not match job graph (" +
+                                    std::to_string(derived.num_nodes()) + " vs " +
+                                    std::to_string(job.graph_nd.num_nodes()) + " loops)";
+            push_stage(res, "admit.replay", StatusCode::IllegalInput, why);
+            res.detail = "replay impossible: " + why;
+            return res;  // a manifest bug, not a transient fault
+        }
+
+        const exec::MdDomain dom{job.extents_nd};
+        exec::MdArrayStore golden(p, dom);
+        (void)exec::run_original_md(p, dom, golden);
+
+        exec::MdArrayStore subject(p, dom);
+        (void)exec::run_wavefront_md(p, plan, dom, subject);
+        std::optional<std::string> diff = exec::first_difference_md(p, dom, golden, subject);
+
+        bool mismatch = diff.has_value();
+        std::string mismatch_detail = diff.value_or("");
+        if (faultpoint::triggered("svc.verify.replay")) {
+            mismatch = true;
+            mismatch_detail = "fault injected: forced replay mismatch";
+        }
+        if (mismatch) {
+            res.replay = ReplayOutcome::Mismatch;
+            push_stage(res, "admit.replay", StatusCode::Internal, mismatch_detail);
+            res.detail = "differential replay mismatch: " + mismatch_detail;
+            return res;  // wrong plan: not retryable
+        }
+
+        res.replay = ReplayOutcome::Ok;
+        push_stage(res, "admit.replay", StatusCode::Ok, {});
+        res.admitted = true;
+        return res;
+    } catch (const std::exception& e) {
         res.replay = ReplayOutcome::Error;
         res.retryable = true;
         push_stage(res, "admit.replay", StatusCode::Internal, e.what());

@@ -46,4 +46,9 @@ struct GateResult {
 /// Runs the gate for `plan` against `job`. Never throws.
 [[nodiscard]] GateResult admit_plan(const JobSpec& job, const FusionPlan& plan);
 
+/// Depth-d analogue: certification via the N-D certifier, replay via the
+/// N-D reference and wavefront executors over `job.extents_nd`. Same fault
+/// points, stage names and outcome taxonomy as admit_plan. Never throws.
+[[nodiscard]] GateResult admit_plan_nd(const JobSpec& job, const NdFusionPlan& plan);
+
 }  // namespace lf::svc

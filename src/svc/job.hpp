@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "ldg/mldg.hpp"
+#include "ldg/mldg_nd.hpp"
 #include "support/domain.hpp"
 #include "support/status.hpp"
 #include "svc/plancache.hpp"
@@ -41,6 +42,15 @@ struct JobSpec {
     std::string dsl_source;
     /// Iteration domain for the differential replay.
     Domain domain{12, 12};
+    /// Program depth (loop-nest dimension). 2 selects the classic pipeline
+    /// on `graph`/`domain`; > 2 selects the N-D pipeline on `graph_nd` /
+    /// `extents_nd` (svc/manifest.hpp fills these from depth-d DSL sources).
+    int depth = 2;
+    /// Depth-d MLDG; meaningful only when depth > 2.
+    MldgN graph_nd{2};
+    /// Inclusive per-level extents for the depth-d differential replay
+    /// (size == depth); meaningful only when depth > 2.
+    std::vector<std::int64_t> extents_nd;
 };
 
 enum class JobStatus {
@@ -87,6 +97,9 @@ struct AttemptRecord {
 struct JobRecord {
     std::string id;
     std::string klass;
+    /// Program depth the job planned at (JobSpec::depth), for the report:
+    /// plans of different dimension are never comparable or conflatable.
+    int depth = 2;
     JobStatus status = JobStatus::Pending;
     std::vector<AttemptRecord> attempts;
     /// Rung that produced the last plan (lf::to_string(AlgorithmUsed));

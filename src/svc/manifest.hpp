@@ -29,6 +29,11 @@ namespace lf::svc {
 /// gallery_jobs + extra_jobs: the full gallery a batch run drives.
 [[nodiscard]] std::vector<JobSpec> full_gallery_jobs(const Domain& domain = Domain{12, 12});
 
+/// Depth-d jobs (class "nd"): the depth-3 volume pipeline and the depth-4
+/// feedback pipeline from workloads/sources.hpp, replayable over small
+/// fixed extents through the N-D executors.
+[[nodiscard]] std::vector<JobSpec> nd_jobs();
+
 /// Graph-only job from serialized MLDG text (ldg/serialization.hpp).
 [[nodiscard]] JobSpec job_from_mldg_text(const std::string& id, std::string_view text,
                                          const std::string& klass = "mldg");

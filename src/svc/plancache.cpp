@@ -68,6 +68,38 @@ std::uint64_t PlanCache::key_of(const Mldg& graph, const PlanOptions& options,
     return fnv1a(h, opts, sizeof(opts));
 }
 
+std::uint64_t PlanCache::key_of_nd(const MldgN& graph, const PlanOptions& options,
+                                   bool allow_distribution_fallback) {
+    // Same structural FNV-1a as key_of, prefixed with a distinct tag and the
+    // graph dimension so no depth-d key can ever equal a 2-D key (whose hash
+    // starts directly from the node count) or a key of another dimension.
+    std::uint64_t h = fnv1a_u64(kFnvOffset, 0x6e642d706c616e00ull);  // "nd-plan" tag
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(graph.dim()));
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(graph.num_nodes()));
+    for (int v = 0; v < graph.num_nodes(); ++v) {
+        const auto& node = graph.node_ref(v);
+        h = fnv1a_u64(h, node.name.size());
+        h = fnv1a(h, node.name.data(), node.name.size());
+        h = fnv1a_u64(h, static_cast<std::uint64_t>(node.order));
+        h = fnv1a_u64(h, static_cast<std::uint64_t>(node.body_cost));
+    }
+    h = fnv1a_u64(h, static_cast<std::uint64_t>(graph.num_edges()));
+    for (int eid = 0; eid < graph.num_edges(); ++eid) {
+        const auto& e = graph.edge_ref(eid);
+        h = fnv1a_u64(h, static_cast<std::uint64_t>(e.from));
+        h = fnv1a_u64(h, static_cast<std::uint64_t>(e.to));
+        h = fnv1a_u64(h, e.vectors.size());
+        for (const VecN& d : e.vectors) {
+            for (int k = 0; k < d.dim(); ++k) {
+                h = fnv1a_u64(h, static_cast<std::uint64_t>(d[k]));
+            }
+        }
+    }
+    const char opts[2] = {options.compact_prologue ? '\1' : '\0',
+                          allow_distribution_fallback ? '\1' : '\0'};
+    return fnv1a(h, opts, sizeof(opts));
+}
+
 std::optional<FusionPlan> PlanCache::lookup(std::uint64_t key) {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = index_.find(key);
@@ -99,6 +131,39 @@ void PlanCache::insert(std::uint64_t key, const FusionPlan& plan) {
     e.key = key;
     e.plan = plan;
     e.plan.stages.clear();  // the ladder trace belongs to the planning job
+    entries_.push_front(std::move(e));
+    index_[key] = entries_.begin();
+    ++stats_.insertions;
+}
+
+std::optional<NdFusionPlan> PlanCache::lookup_nd(std::uint64_t key) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end() || !it->second->nd_plan.has_value()) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    entries_.splice(entries_.begin(), entries_, it->second);  // refresh recency
+    ++stats_.hits;
+    return it->second->nd_plan;
+}
+
+void PlanCache::insert_nd(std::uint64_t key, const NdFusionPlan& plan) {
+    if (capacity_ == 0) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        entries_.splice(entries_.begin(), entries_, it->second);
+        return;
+    }
+    if (entries_.size() >= capacity_) {
+        index_.erase(entries_.back().key);
+        entries_.pop_back();
+        ++stats_.evictions;
+    }
+    Entry e;
+    e.key = key;
+    e.nd_plan = plan;
     entries_.push_front(std::move(e));
     index_[key] = entries_.begin();
     ++stats_.insertions;

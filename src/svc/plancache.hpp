@@ -39,6 +39,7 @@
 #include <unordered_map>
 
 #include "fusion/driver.hpp"
+#include "fusion/multidim.hpp"
 
 namespace lf::svc {
 
@@ -78,6 +79,14 @@ class PlanCache {
     [[nodiscard]] static std::uint64_t key_of(const Mldg& graph, const PlanOptions& options,
                                               bool allow_distribution_fallback);
 
+    /// Depth-d analogue of key_of. The hash starts from a distinct tag and
+    /// folds in the graph dimension before any content, so a depth-d graph
+    /// can never share a key with a structurally-similar 2-D graph (or with
+    /// a depth-d' graph of another dimension) -- plans of different
+    /// dimension are never conflated.
+    [[nodiscard]] static std::uint64_t key_of_nd(const MldgN& graph, const PlanOptions& options,
+                                                 bool allow_distribution_fallback);
+
     /// Returns a copy of the cached plan and refreshes its recency; counts
     /// a hit or a miss. The returned plan's `stages` is empty (the original
     /// ladder trace belongs to the job that planned it; the hitting job
@@ -88,6 +97,14 @@ class PlanCache {
     /// recently used entry when at capacity. The stored copy drops the
     /// per-rung `stages` trace. No-op at capacity 0.
     void insert(std::uint64_t key, const FusionPlan& plan);
+
+    /// Depth-d lookup: returns the cached N-D plan (recency refreshed) or
+    /// nullopt. An entry that holds a 2-D plan under the key (impossible
+    /// short of a hash collision) counts as a miss.
+    [[nodiscard]] std::optional<NdFusionPlan> lookup_nd(std::uint64_t key);
+
+    /// Depth-d insert: same LRU/eviction/stats behavior as insert.
+    void insert_nd(std::uint64_t key, const NdFusionPlan& plan);
 
     /// Drops the entry (a hit that failed the certify re-check).
     void invalidate(std::uint64_t key);
@@ -103,6 +120,8 @@ class PlanCache {
     struct Entry {
         std::uint64_t key = 0;
         FusionPlan plan;
+        /// Set for depth-d entries; `plan` is then unused.
+        std::optional<NdFusionPlan> nd_plan;
     };
 
     const std::size_t capacity_;

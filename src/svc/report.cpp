@@ -60,6 +60,7 @@ void write_job(json::Writer& w, const JobRecord& j, bool include_timings) {
     w.begin_object();
     w.kv("id", j.id);
     w.kv("class", j.klass);
+    w.kv("depth", j.depth);
     w.kv("status", to_string(j.status));
     w.kv("attempts", static_cast<int>(j.attempts.size()));
     w.kv("algorithm", j.algorithm);

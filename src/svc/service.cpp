@@ -11,6 +11,7 @@
 
 #include "fusion/certify.hpp"
 #include "fusion/driver.hpp"
+#include "fusion/multidim.hpp"
 #include "graph/solver_workspace.hpp"
 #include "support/diagnostics.hpp"
 #include "support/faultpoint.hpp"
@@ -50,6 +51,26 @@ std::uint64_t stage_budget_sum(const std::vector<StageReport>& stages) {
 /// Infeasible / IllegalInput / Overflow are deterministic verdicts.
 bool retryable_code(StatusCode code) {
     return code == StatusCode::ResourceExhausted || code == StatusCode::Internal;
+}
+
+/// Report strings for the N-D planner (the 2-D ones come from
+/// to_string(AlgorithmUsed) / to_string(ParallelismLevel)).
+std::string nd_algorithm_string(NdParallelism level) {
+    return level == NdParallelism::OutermostCarried ? "Algorithm 3 (acyclic, n-D)"
+                                                    : "Algorithm 5 (hyperplane, n-D)";
+}
+
+std::string nd_level_string(NdParallelism level) {
+    return level == NdParallelism::OutermostCarried ? "outermost-carried DOALL"
+                                                    : "DOALL-hyperplane";
+}
+
+StageReport make_stage(const char* stage, StatusCode code, std::string detail) {
+    StageReport r;
+    r.stage = stage;
+    r.code = code;
+    r.detail = std::move(detail);
+    return r;
 }
 
 }  // namespace
@@ -92,9 +113,14 @@ void FusionService::checkpoint_job(const JobRecord& rec) {
 }
 
 void FusionService::process_job(const JobSpec& job, JobRecord& rec, PlannerWorkspace& ws) {
+    if (job.depth > 2) {
+        process_job_nd(job, rec, ws);
+        return;
+    }
     const Clock::time_point t0 = Clock::now();
     rec.id = job.id;
     rec.klass = job.klass;
+    rec.depth = job.depth;
     rec.status = JobStatus::Running;
 
     const std::int64_t deadline_ms = config_.retry.deadline_ms;
@@ -125,8 +151,8 @@ void FusionService::process_job(const JobSpec& job, JobRecord& rec, PlannerWorks
         // leave an empty trace behind.
         if (status == JobStatus::Quarantined && !rec.attempts.empty() &&
             rec.attempts.back().stages.empty()) {
-            rec.attempts.back().stages.push_back(StageReport{
-                "svc", rec.attempts.back().code, rec.attempts.back().detail, 0});
+            rec.attempts.back().stages.push_back(
+                make_stage("svc", rec.attempts.back().code, rec.attempts.back().detail));
         }
         checkpoint_job(rec);
     };
@@ -165,18 +191,17 @@ void FusionService::process_job(const JobSpec& job, JobRecord& rec, PlannerWorks
                     // admitted; a hit repeats only the certify check.
                     rec.replay = ReplayOutcome::Skipped;
                     att.code = StatusCode::Ok;
-                    att.stages.push_back(
-                        StageReport{"svc.plancache", StatusCode::Ok, "cache hit", 0});
-                    att.stages.push_back(StageReport{"admit.certify", StatusCode::Ok, {}, 0});
+                    att.stages.push_back(make_stage("svc.plancache", StatusCode::Ok, "cache hit"));
+                    att.stages.push_back(make_stage("admit.certify", StatusCode::Ok, {}));
                     rec.attempts.push_back(std::move(att));
                     breakers_.record(job.klass, mode, true);
                     finish(JobStatus::Verified, {});
                     return;
                 }
                 plan_cache_.invalidate(cache_key);
-                att.stages.push_back(StageReport{
+                att.stages.push_back(make_stage(
                     "svc.plancache", StatusCode::Internal,
-                    "cached plan failed certify re-check; invalidated: " + cert_detail, 0});
+                    "cached plan failed certify re-check; invalidated: " + cert_detail));
             }
             rec.cache = CacheOutcome::Miss;
         }
@@ -197,7 +222,7 @@ void FusionService::process_job(const JobSpec& job, JobRecord& rec, PlannerWorks
         if (faultpoint::triggered("svc.plan")) {
             att.code = StatusCode::Internal;
             att.detail = "fault injected: svc.plan";
-            att.stages.push_back(StageReport{"svc.plan", StatusCode::Internal, "fault injected", 0});
+            att.stages.push_back(make_stage("svc.plan", StatusCode::Internal, "fault injected"));
             retryable = true;
             breakers_.record(job.klass, mode, false);
         } else {
@@ -211,7 +236,7 @@ void FusionService::process_job(const JobSpec& job, JobRecord& rec, PlannerWorks
                 att.code = StatusCode::Internal;
                 att.detail = std::string("planner threw: ") + e.what();
                 att.stages.push_back(
-                    StageReport{"svc.plan", StatusCode::Internal, att.detail, 0});
+                    make_stage("svc.plan", StatusCode::Internal, att.detail));
                 retryable = true;
             }
             if (result.has_value() && result->ok()) {
@@ -268,6 +293,152 @@ void FusionService::process_job(const JobSpec& job, JobRecord& rec, PlannerWorks
     finish(JobStatus::Quarantined, "no attempt reached a verdict");
 }
 
+void FusionService::process_job_nd(const JobSpec& job, JobRecord& rec, PlannerWorkspace& ws) {
+    const Clock::time_point t0 = Clock::now();
+    rec.id = job.id;
+    rec.klass = job.klass;
+    rec.depth = job.depth;
+    rec.status = JobStatus::Running;
+
+    const std::int64_t deadline_ms = config_.retry.deadline_ms;
+
+    // Same cache admission rules as the 2-D path; key_of_nd folds the graph
+    // dimension in first, so a depth-d key can never collide by construction
+    // with a structurally-similar 2-D job's key.
+    const bool cache_fault = faultpoint::triggered("svc.plancache");
+    const bool cache_usable = config_.plan_cache_capacity > 0 && !cache_fault &&
+                              faultpoint::armed_points().empty();
+    rec.cache = CacheOutcome::Bypass;
+    const std::uint64_t cache_key =
+        cache_usable ? PlanCache::key_of_nd(job.graph_nd, PlanOptions{},
+                                            /*allow_distribution_fallback=*/true)
+                     : 0;
+
+    auto finish = [&](JobStatus status, std::string reason) {
+        rec.status = status;
+        rec.quarantine_reason = std::move(reason);
+        rec.total_budget_spent = 0;
+        for (const auto& a : rec.attempts) rec.total_budget_spent += a.budget_spent;
+        rec.wall_ms = ms_since(t0);
+        if (status == JobStatus::Quarantined && !rec.attempts.empty() &&
+            rec.attempts.back().stages.empty()) {
+            rec.attempts.back().stages.push_back(
+                make_stage("svc", rec.attempts.back().code, rec.attempts.back().detail));
+        }
+        checkpoint_job(rec);
+    };
+
+    for (int attempt = 1; attempt <= config_.retry.max_attempts; ++attempt) {
+        AttemptRecord att;
+        att.number = attempt;
+        att.max_steps = escalated_steps(config_.retry, attempt);
+
+        const AdmitMode mode = breakers_.admit(job.klass);
+        att.short_circuited = mode == AdmitMode::Fallback;
+
+        if (attempt == 1 && cache_usable && mode != AdmitMode::Fallback) {
+            std::optional<NdFusionPlan> cached = plan_cache_.lookup_nd(cache_key);
+            if (cached.has_value()) {
+                bool cert_ok = false;
+                std::string cert_detail;
+                try {
+                    const PlanCertificate cert = certify_plan(job.graph_nd, *cached);
+                    cert_ok = cert.valid;
+                    if (!cert.valid && !cert.violations.empty()) {
+                        cert_detail = cert.violations.front();
+                    }
+                } catch (const std::exception& e) {
+                    cert_detail = std::string("certifier aborted: ") + e.what();
+                }
+                if (cert_ok) {
+                    rec.cache = CacheOutcome::Hit;
+                    rec.algorithm = nd_algorithm_string(cached->level);
+                    rec.level = nd_level_string(cached->level);
+                    rec.certified = true;
+                    rec.replay = ReplayOutcome::Skipped;
+                    att.code = StatusCode::Ok;
+                    att.stages.push_back(make_stage("svc.plancache", StatusCode::Ok, "cache hit"));
+                    att.stages.push_back(make_stage("admit.certify", StatusCode::Ok, {}));
+                    rec.attempts.push_back(std::move(att));
+                    breakers_.record(job.klass, mode, true);
+                    finish(JobStatus::Verified, {});
+                    return;
+                }
+                plan_cache_.invalidate(cache_key);
+                att.stages.push_back(make_stage(
+                    "svc.plancache", StatusCode::Internal,
+                    "cached plan failed certify re-check; invalidated: " + cert_detail));
+            }
+            rec.cache = CacheOutcome::Miss;
+        }
+
+        bool retryable = false;
+        if (faultpoint::triggered("svc.plan")) {
+            att.code = StatusCode::Internal;
+            att.detail = "fault injected: svc.plan";
+            att.stages.push_back(make_stage("svc.plan", StatusCode::Internal, "fault injected"));
+            retryable = true;
+            breakers_.record(job.klass, mode, false);
+        } else if (mode == AdmitMode::Fallback) {
+            // Loop distribution is a 2-D construction; depth-d jobs have no
+            // degraded mode, so an open breaker fails the attempt outright
+            // (with a trace) instead of pretending to fall back.
+            att.code = StatusCode::Internal;
+            att.detail = "breaker open: no distribution fallback for depth-" +
+                         std::to_string(job.depth) + " jobs";
+            att.stages.push_back(make_stage("svc.plan", StatusCode::Internal, att.detail));
+            breakers_.record(job.klass, mode, false);
+        } else {
+            std::optional<NdFusionPlan> plan;
+            try {
+                plan.emplace(plan_fusion_nd(job.graph_nd, &ws));
+            } catch (const std::exception& e) {
+                // Unschedulable graph, solver fault, or guard trip -- the
+                // N-D planner reports all of them by throwing; treat as the
+                // 2-D "planner threw" case (Internal, retryable).
+                att.code = StatusCode::Internal;
+                att.detail = std::string("planner threw: ") + e.what();
+                att.stages.push_back(make_stage("svc.plan", StatusCode::Internal, att.detail));
+                retryable = true;
+                breakers_.record(job.klass, mode, false);
+            }
+            if (plan.has_value()) {
+                att.stages.push_back(make_stage("plan_fusion_nd", StatusCode::Ok, {}));
+                rec.algorithm = nd_algorithm_string(plan->level);
+                rec.level = nd_level_string(plan->level);
+                GateResult gate = admit_plan_nd(job, *plan);
+                rec.certified = gate.certified;
+                rec.replay = gate.replay;
+                for (auto& s : gate.stages) att.stages.push_back(std::move(s));
+                if (gate.admitted) {
+                    att.code = StatusCode::Ok;
+                    const bool cacheable = rec.cache == CacheOutcome::Miss;
+                    rec.attempts.push_back(std::move(att));
+                    breakers_.record(job.klass, mode, true);
+                    if (cacheable) plan_cache_.insert_nd(cache_key, *plan);
+                    finish(JobStatus::Verified, {});
+                    return;
+                }
+                att.code = StatusCode::Internal;
+                att.detail = gate.detail;
+                retryable = gate.retryable;
+                breakers_.record(job.klass, mode, false);
+            }
+        }
+
+        const std::string fail_detail =
+            "attempt " + std::to_string(attempt) + ": " + att.detail;
+        rec.attempts.push_back(std::move(att));
+
+        const bool deadline_left = deadline_ms < 0 || ms_since(t0) < deadline_ms;
+        if (!retryable || attempt == config_.retry.max_attempts || !deadline_left) {
+            finish(JobStatus::Quarantined, fail_detail);
+            return;
+        }
+    }
+    finish(JobStatus::Quarantined, "no attempt reached a verdict");
+}
+
 RunReport FusionService::run(const std::vector<JobSpec>& jobs) {
     const Clock::time_point t0 = Clock::now();
     checkpoint_failures_ = 0;
@@ -295,6 +466,7 @@ RunReport FusionService::run(const std::vector<JobSpec>& jobs) {
             JobRecord& rec = report.jobs[i];
             rec.id = jobs[i].id;
             rec.klass = jobs[i].klass;
+            rec.depth = jobs[i].depth;
             rec.status = JobStatus::Verified;
             rec.algorithm = it->second.algorithm;
             rec.from_checkpoint = true;

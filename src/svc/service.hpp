@@ -114,6 +114,9 @@ class FusionService {
 
   private:
     void process_job(const JobSpec& job, JobRecord& rec, PlannerWorkspace& ws);
+    /// Depth-d jobs (JobSpec::depth > 2): plan_fusion_nd + the N-D gate,
+    /// under the same retry / breaker / cache / checkpoint machinery.
+    void process_job_nd(const JobSpec& job, JobRecord& rec, PlannerWorkspace& ws);
     void checkpoint_job(const JobRecord& rec);
 
     ServiceConfig config_;

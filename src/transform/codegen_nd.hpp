@@ -1,0 +1,26 @@
+#pragma once
+// Self-verifying C output for the depth-d program model: the emitted C99
+// program contains the original nested schedule and the retimed, fused
+// lexicographic scan (valid because every retimed dependence is
+// lexicographically non-negative and the body order serializes the (0..0)
+// dependences), compares every produced cell and prints "OK <checksum>".
+
+#include <string>
+
+#include "exec/store_nd.hpp"
+#include "front/ast.hpp"
+#include "fusion/multidim.hpp"
+
+namespace lf::transform {
+
+/// The complete self-verifying C program for `p` under `plan` over `dom`.
+[[nodiscard]] std::string emit_md_c_program(const front::BasicProgram<VecN>& p,
+                                            const NdFusionPlan& plan, const exec::MdDomain& dom);
+
+/// The "OK <checksum>" checksum the emitted program prints, computed by the
+/// interpreter (cells outer, arrays inner, matching the C accumulation
+/// order).
+[[nodiscard]] std::string expected_md_c_checksum(const front::BasicProgram<VecN>& p,
+                                                 const exec::MdDomain& dom);
+
+}  // namespace lf::transform

@@ -92,4 +92,33 @@ program iir {
 }
 )";
 
+/// Depth-3 volume pipeline (time x plane x column): a cyclic three-loop
+/// chain with a hard backward edge, exercising the N-D planner end to end.
+inline constexpr std::string_view kVolume3d = R"(
+# 3-D volume pipeline: time (i1) x plane (i2) x column (j).
+program volume dim 3 {
+  loop Smooth {
+    s[i1][i2][j] = 0.25 * (v[i1-1][i2][j-1] + v[i1-1][i2][j+1])
+                 + 0.5 * s[i1-1][i2+1][j];
+  }
+  loop Gradient {
+    g[i1][i2][j] = s[i1][i2][j-1] - s[i1][i2][j+1];
+  }
+  loop Volume {
+    v[i1][i2][j] = g[i1][i2-1][j-2] + g[i1][i2-1][j+2] + 0.1 * v[i1-1][i2][j];
+  }
+}
+)";
+
+/// Depth-4 pipeline with a self-feedback on the first loop; small extents
+/// keep the replay cheap.
+inline constexpr std::string_view kHyper4d = R"(
+# 4-D pipeline with a first-loop feedback.
+program hyper dim 4 {
+  loop A { a[i1][i2][i3][j] = x[i1][i2][i3][j] + 0.5 * a[i1-1][i2][i3+1][j-1]; }
+  loop B { b[i1][i2][i3][j] = a[i1][i2][i3][j-1] + a[i1][i2][i3][j+1]; }
+  loop C { c[i1][i2][i3][j] = b[i1][i2-1][i3][j+2] - a[i1][i2][i3-1][j]; }
+}
+)";
+
 }  // namespace lf::workloads::sources

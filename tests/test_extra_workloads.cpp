@@ -22,6 +22,7 @@ std::string path_of(AlgorithmUsed algorithm) {
         case AlgorithmUsed::CyclicDoall: return "alg4";
         case AlgorithmUsed::CyclicDoallForced: return "alg4-forced";
         case AlgorithmUsed::Hyperplane: return "alg5";
+        case AlgorithmUsed::DistributionFallback: return "fallback";
     }
     return "?";
 }

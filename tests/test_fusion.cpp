@@ -215,7 +215,7 @@ TEST(Hyperplane, RejectsVectorsBelowZero) {
     const int a = g.add_node("A");
     const int b = g.add_node("B");
     g.add_edge(a, b, {{0, -2}});
-    EXPECT_THROW(schedule_vector_for(g), Error);
+    EXPECT_THROW((void)schedule_vector_for(g), Error);
 }
 
 // ------------------------------------------------------------------ Driver -

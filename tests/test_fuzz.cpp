@@ -7,9 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <optional>
 #include <string>
 
+#include "front/parse.hpp"
 #include "fusion/driver.hpp"
 #include "ir/parser.hpp"
 #include "ldg/legality.hpp"
@@ -19,6 +21,7 @@
 #include "support/faultpoint.hpp"
 #include "support/rng.hpp"
 #include "workloads/generators.hpp"
+#include "workloads/sources.hpp"
 
 namespace lf {
 namespace {
@@ -38,7 +41,80 @@ std::string random_token_soup(Rng& rng, int tokens) {
     return out;
 }
 
+/// True when `msg` carries a `line:col` source location (two digits around
+/// a colon) -- every unified-front-end diagnostic must.
+bool has_located_diagnostic(const std::string& msg) {
+    for (std::size_t k = 1; k + 1 < msg.size(); ++k) {
+        if (msg[k] == ':' && std::isdigit(static_cast<unsigned char>(msg[k - 1])) &&
+            std::isdigit(static_cast<unsigned char>(msg[k + 1]))) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/// Applies one random mutation: byte flip, span deletion, token splice, or
+/// tail truncation. Starting from real gallery sources (instead of token
+/// soup) keeps most mutants deep inside the grammar.
+void mutate_source(Rng& rng, std::string& source) {
+    if (source.empty()) return;
+    const auto pos = [&] {
+        return static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(source.size()) - 1));
+    };
+    switch (rng.uniform(0, 3)) {
+        case 0:  // flip one byte to a random printable character
+            source[pos()] = static_cast<char>(rng.uniform(32, 126));
+            break;
+        case 1: {  // delete a short span
+            const std::size_t at = pos();
+            source.erase(at, static_cast<std::size_t>(rng.uniform(1, 8)));
+            break;
+        }
+        case 2: {  // splice in a grammar token
+            static const char* kSplice[] = {"[", "]", "{", "}", "=", ";", "loop",
+                                            "dim", "i1", "j",  "+", "-", "9999"};
+            source.insert(pos(), kSplice[rng.uniform(
+                                     0, static_cast<std::int64_t>(std::size(kSplice)) - 1)]);
+            break;
+        }
+        default:  // truncate the tail
+            source.resize(pos());
+            break;
+    }
+}
+
 class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTest, MutatedGallerySourcesParseOrDiagnoseWithLocation) {
+    // Mutation fuzz over the real source gallery (both depths) through the
+    // unified front end: every mutant either parses to a well-formed program
+    // or throws an lf::Error whose message carries a line:col location --
+    // never a crash, never an unlocated diagnostic.
+    const std::string_view gallery[] = {
+        workloads::sources::kFig2,       workloads::sources::kFig8,
+        workloads::sources::kJacobiPair, workloads::sources::kIirChain,
+        workloads::sources::kVolume3d,   workloads::sources::kHyper4d,
+    };
+    Rng rng(GetParam() * 7919 + 29);
+    for (int round = 0; round < 60; ++round) {
+        std::string source(gallery[rng.uniform(
+            0, static_cast<std::int64_t>(std::size(gallery)) - 1)]);
+        const int edits = static_cast<int>(rng.uniform(1, 6));
+        for (int e = 0; e < edits; ++e) mutate_source(rng, source);
+        try {
+            const front::AnyProgram any = front::parse_any_program(source);
+            if (any.is_2d()) {
+                EXPECT_FALSE(any.p2->loops.empty());
+            } else {
+                EXPECT_FALSE(any.pn->loops.empty());
+                EXPECT_GE(any.pn->dim, 2);
+            }
+        } catch (const Error& e) {
+            EXPECT_TRUE(has_located_diagnostic(e.what())) << "unlocated: " << e.what();
+        }
+    }
+}
 
 TEST_P(FuzzTest, LoopDslParserThrowsButNeverCrashes) {
     Rng rng(GetParam() * 1009 + 7);

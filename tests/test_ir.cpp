@@ -115,7 +115,8 @@ TEST(Ast, EvalArithmetic) {
     const Program p =
         parse_program("program p { loop A { a[i][j] = 2 * (3 + 4) - (-5); } }");
     struct Zero final : ValueSource {
-        double load(const std::string&, std::int64_t, std::int64_t) const override { return 0; }
+        using ValueSource::load;
+        double load(const std::string&, const Vec2&) const override { return 0; }
     } zero;
     EXPECT_DOUBLE_EQ(p.loops[0].body[0].eval(zero, 0, 0), 19.0);
 }
@@ -123,9 +124,10 @@ TEST(Ast, EvalArithmetic) {
 TEST(Ast, EvalReadsUseShiftedCells) {
     const Program p = parse_program("program p { loop A { a[i][j] = b[i-2][j+1]; } }");
     struct Probe final : ValueSource {
-        double load(const std::string& array, std::int64_t i, std::int64_t j) const override {
+        using ValueSource::load;
+        double load(const std::string& array, const Vec2& cell) const override {
             EXPECT_EQ(array, "b");
-            return static_cast<double>(100 * i + j);
+            return static_cast<double>(100 * cell.x + cell.y);
         }
     } probe;
     EXPECT_DOUBLE_EQ(p.loops[0].body[0].eval(probe, 5, 7), 100 * 3 + 8);

@@ -66,6 +66,40 @@ TEST(MdParser, RejectsNonDoallLoop) {
         Error);
 }
 
+TEST(MdParser, ReportsLocationInParseErrors) {
+    // Missing third subscript on line 3: the diagnostic must point there.
+    const std::string_view bad =
+        "program p dim 3 {\n"
+        "  loop A {\n"
+        "    a[i1][i2] = 1.0;\n"
+        "  }\n"
+        "}\n";
+    try {
+        (void)parse_md_program(bad);
+        FAIL() << "expected lf::Error";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("3:"), std::string::npos) << e.what();
+    }
+}
+
+TEST(MdParser, ReportsLocationInSemaErrors) {
+    // Duplicate loop label: the sema diagnostic carries the second label's
+    // line (line 3 of the source).
+    const std::string_view bad =
+        "program p dim 3 {\n"
+        "  loop A { a[i1][i2][j] = 1.0; }\n"
+        "  loop A { b[i1][i2][j] = 2.0; }\n"
+        "}\n";
+    try {
+        (void)parse_md_program(bad);
+        FAIL() << "expected lf::Error";
+    } catch (const Error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("duplicate loop label"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("at 3:"), std::string::npos) << msg;
+    }
+}
+
 TEST(MdAnalysis, Volume3dGraphShape) {
     const MdProgram p = parse_md_program(kVolume3d);
     const MldgN g = build_mldg_nd(p);

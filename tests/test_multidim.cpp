@@ -158,7 +158,9 @@ TEST(ScheduleNd, StrictForTheStencilAndMatches2DFormula) {
     EXPECT_EQ(s[g.dim() - 1], 1);
     for (const auto& e : gr.edges()) {
         for (const VecN& d : e.vectors) {
-            if (!d.is_zero()) EXPECT_GT(s.dot(d), 0) << s.str() << " . " << d.str();
+            if (!d.is_zero()) {
+                EXPECT_GT(s.dot(d), 0) << s.str() << " . " << d.str();
+            }
         }
     }
 }
@@ -219,7 +221,9 @@ TEST_P(NdPropertyTest, RandomSchedulableGraphsAlwaysPlan) {
     const NdFusionPlan plan = plan_fusion_nd(g);  // internal checks assert
     for (const auto& e : plan.retimed.edges()) {
         for (const VecN& d : e.vectors) {
-            if (!d.is_zero()) EXPECT_GT(plan.schedule.dot(d), 0);
+            if (!d.is_zero()) {
+                EXPECT_GT(plan.schedule.dot(d), 0);
+            }
         }
     }
 }

@@ -75,6 +75,44 @@ TEST_F(PlanCacheTest, KeyFoldsInPlanningOptions) {
     EXPECT_NE(base, PlanCache::key_of(g, PlanOptions{}, false));
 }
 
+TEST_F(PlanCacheTest, DimensionNeverConflatesKeysOrEntries) {
+    // Structurally similar two-node chains at three dimensionalities: the
+    // N-D key folds the dimension before any content, and the N-D keyspace
+    // carries its own tag, so none of the three keys may collide.
+    const Mldg g2 = two_loop_graph(1);
+    MldgN n2(2);
+    n2.add_node("A");
+    n2.add_node("B");
+    n2.add_edge(0, 1, {VecN{0, 1}});
+    MldgN n3(3);
+    n3.add_node("A");
+    n3.add_node("B");
+    n3.add_edge(0, 1, {VecN{0, 0, 1}});
+
+    const std::uint64_t k2 = PlanCache::key_of(g2, PlanOptions{}, true);
+    const std::uint64_t kn2 = PlanCache::key_of_nd(n2, PlanOptions{}, true);
+    const std::uint64_t kn3 = PlanCache::key_of_nd(n3, PlanOptions{}, true);
+    EXPECT_NE(kn2, kn3);
+    EXPECT_NE(k2, kn2);
+    EXPECT_NE(k2, kn3);
+
+    // Even a forced key collision cannot surface a 2-D plan as an N-D one:
+    // an entry holds either kind, and the mismatched lookup misses.
+    PlanCache cache(8);
+    const auto plan2 = try_plan_fusion(g2);
+    ASSERT_TRUE(plan2.ok());
+    cache.insert(42, *plan2);
+    EXPECT_FALSE(cache.lookup_nd(42).has_value());
+    EXPECT_TRUE(cache.lookup(42).has_value());
+
+    const NdFusionPlan plan3 = plan_fusion_nd(n3);
+    cache.insert_nd(kn3, plan3);
+    const auto hit = cache.lookup_nd(kn3);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->retiming.num_nodes(), 2);
+    EXPECT_EQ(hit->schedule.dim(), 3);
+}
+
 // ---- Hit fidelity ----
 
 TEST_F(PlanCacheTest, CachedPlanIsByteIdenticalToColdPlan) {

@@ -64,7 +64,7 @@ TEST_F(RobustnessTest, StatusDefaultsToOkAndFormatsStages) {
 
     Status err(StatusCode::Infeasible, "no retiming exists");
     err.stages.push_back(StageReport{"cyclic-doall", StatusCode::Infeasible,
-                                     "phase 2 infeasible", 17});
+                                     "phase 2 infeasible", 17, {}});
     EXPECT_FALSE(err.ok());
     const std::string text = err.str();
     EXPECT_NE(text.find("infeasible"), std::string::npos);
