@@ -1,0 +1,320 @@
+// storm_client: load driver for fusion_server (net/server.hpp).
+//
+// Opens N concurrent connections, pumps requests drawn round-robin from the
+// workload gallery's DSL sources, honors Shed retry-after hints, tolerates
+// transport flaps when asked (fault drills slam connections on purpose),
+// and reports sustained plans/sec with P50/P99 latency -- the numbers
+// ROADMAP item 2 asks for. With --bench it appends one scenario object to a
+// BENCH_svc.json that tools/bench_diff.py consumes as a report-only gate.
+//
+// Examples:
+//   storm_client --port 7070 --requests 200 --connections 4
+//   storm_client --port 7070 --requests 100 --tolerate-transport
+//                --bench BENCH_svc.json --label storm_faulted
+//
+// Exit 0 when every request reached a typed outcome (response, typed shed
+// exhaustion, typed error, or -- under --tolerate-transport -- a transport
+// failure); 1 on a protocol violation or, without the flag, any transport
+// failure.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "support/json.hpp"
+#include "workloads/sources.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;
+    int requests = 100;
+    int connections = 2;
+    int tenants = 1;
+    std::int64_t deadline_ms = -1;
+    int response_timeout_ms = 30000;
+    int max_shed_retries = 20;
+    bool tolerate_transport = false;
+    std::string bench_path;
+    std::string label = "storm";
+};
+
+struct Tally {
+    std::uint64_t sent = 0;
+    std::uint64_t verified = 0;
+    std::uint64_t quarantined = 0;
+    std::uint64_t shed_retries = 0;     // sheds that were retried
+    std::uint64_t shed_exhausted = 0;   // gave up after max_shed_retries
+    std::uint64_t typed_errors = 0;     // Error frames (typed rejections)
+    std::uint64_t transport_failures = 0;
+    std::uint64_t protocol_violations = 0;
+    std::vector<std::int64_t> latencies_us;
+};
+
+void usage() {
+    std::cout <<
+        "usage: storm_client --port N [options]\n"
+        "  --host A              server address (default 127.0.0.1)\n"
+        "  --port N              server port (required)\n"
+        "  --requests N          total requests across all connections (default 100)\n"
+        "  --connections C       concurrent connections (default 2)\n"
+        "  --tenants T           spread requests across T tenant ids (default 1)\n"
+        "  --deadline-ms D       per-request deadline to propagate (default none)\n"
+        "  --timeout-ms T        per-response wait (default 30000)\n"
+        "  --shed-retries K      retries per shed request (default 20)\n"
+        "  --tolerate-transport  transport failures are expected (fault drills)\n"
+        "  --bench FILE          append a scenario to this BENCH_svc.json\n"
+        "  --label NAME          scenario name for --bench (default storm)\n"
+        "  --help                this text\n";
+}
+
+const std::string_view kSources[] = {
+    lf::workloads::sources::kFig2,
+    lf::workloads::sources::kFig8,
+    lf::workloads::sources::kJacobiPair,
+    lf::workloads::sources::kIirChain,
+};
+
+/// One connection worker: claims request indices from the shared counter,
+/// sends, waits, retries sheds, reconnects on transport failure.
+void worker(const Options& opt, std::atomic<int>& next, Tally& tally, std::mutex& tally_mutex) {
+    lf::net::BlockingClient client;
+    auto connected = [&]() -> bool {
+        if (client.connected()) return true;
+        return client.connect(opt.host, static_cast<std::uint16_t>(opt.port), 2000);
+    };
+    for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= opt.requests) return;
+        lf::net::Frame req;
+        req.type = lf::net::FrameType::Request;
+        req.aux = static_cast<std::uint16_t>(lf::net::PayloadKind::Dsl);
+        req.request_id = static_cast<std::uint64_t>(i) + 1;
+        req.deadline_ms = opt.deadline_ms;
+        req.tenant = "tenant-" + std::to_string(i % std::max(opt.tenants, 1));
+        req.payload = std::string(kSources[static_cast<std::size_t>(i) % std::size(kSources)]);
+
+        bool settled = false;
+        int sheds = 0;
+        while (!settled) {
+            if (!connected()) {
+                const std::lock_guard<std::mutex> lock(tally_mutex);
+                ++tally.transport_failures;
+                break;
+            }
+            {
+                const std::lock_guard<std::mutex> lock(tally_mutex);
+                ++tally.sent;
+            }
+            const Clock::time_point t0 = Clock::now();
+            if (!client.send(req)) {
+                client.close();
+                const std::lock_guard<std::mutex> lock(tally_mutex);
+                ++tally.transport_failures;
+                break;
+            }
+            const auto r = client.recv(opt.response_timeout_ms);
+            using RS = lf::net::BlockingClient::RecvStatus;
+            if (r.status == RS::Ok && r.frame.type == lf::net::FrameType::Shed) {
+                const std::lock_guard<std::mutex> lock(tally_mutex);
+                if (++sheds > opt.max_shed_retries) {
+                    ++tally.shed_exhausted;
+                    settled = true;
+                } else {
+                    ++tally.shed_retries;
+                }
+                // Honor the server's retry-after hint (Shed reuses the
+                // deadline_ms field for it).
+                const std::int64_t wait = std::max<std::int64_t>(r.frame.deadline_ms, 1);
+                if (!settled) {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(std::min<std::int64_t>(wait, 1000)));
+                }
+                continue;
+            }
+            if (r.status == RS::Ok && r.frame.type == lf::net::FrameType::Response) {
+                const std::int64_t us =
+                    std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0)
+                        .count();
+                const std::lock_guard<std::mutex> lock(tally_mutex);
+                if (r.frame.aux == 1) {
+                    ++tally.verified;
+                } else {
+                    ++tally.quarantined;
+                }
+                tally.latencies_us.push_back(us);
+                settled = true;
+                continue;
+            }
+            if (r.status == RS::Ok && r.frame.type == lf::net::FrameType::Error) {
+                const std::lock_guard<std::mutex> lock(tally_mutex);
+                ++tally.typed_errors;
+                settled = true;
+                continue;
+            }
+            if (r.status == RS::Closed || r.status == RS::Torn || r.status == RS::Timeout) {
+                client.close();
+                const std::lock_guard<std::mutex> lock(tally_mutex);
+                ++tally.transport_failures;
+                break;
+            }
+            // Malformed server bytes or an unexpected frame type: protocol
+            // violation -- the one thing no fault drill excuses.
+            client.close();
+            const std::lock_guard<std::mutex> lock(tally_mutex);
+            ++tally.protocol_violations;
+            settled = true;
+        }
+    }
+}
+
+std::int64_t percentile_us(std::vector<std::int64_t>& v, double p) {
+    if (v.empty()) return 0;
+    const std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+    std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx), v.end());
+    return v[idx];
+}
+
+/// Appends a scenario to the bench file, preserving existing scenarios by
+/// splicing into the JSON array textually (the file is small and ours).
+void write_bench(const Options& opt, const Tally& t, std::vector<std::int64_t> lat,
+                 double wall_s) {
+    lf::json::Writer w;
+    w.begin_object();
+    w.kv("scenario", opt.label);
+    w.kv("requests", static_cast<std::uint64_t>(opt.requests));
+    w.kv("connections", static_cast<std::uint64_t>(opt.connections));
+    w.kv("completed", static_cast<std::uint64_t>(lat.size()));
+    w.kv("verified", t.verified);
+    w.kv("quarantined", t.quarantined);
+    w.kv("shed_retries", t.shed_retries);
+    w.kv("shed_exhausted", t.shed_exhausted);
+    w.kv("typed_errors", t.typed_errors);
+    w.kv("transport_failures", t.transport_failures);
+    w.kv("wall_ms", static_cast<std::int64_t>(wall_s * 1000.0));
+    w.kv("plans_per_sec",
+         wall_s > 0 ? static_cast<std::int64_t>(static_cast<double>(lat.size()) / wall_s) : 0);
+    w.kv("p50_us", percentile_us(lat, 0.50));
+    w.kv("p99_us", percentile_us(lat, 0.99));
+    w.end_object();
+    const std::string scenario = w.str();
+
+    std::string existing;
+    {
+        std::ifstream in(opt.bench_path);
+        if (in.good()) {
+            existing.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+        }
+    }
+    std::string out;
+    const std::size_t close = existing.rfind(']');
+    if (close != std::string::npos && existing.find("\"scenarios\"") != std::string::npos) {
+        const bool empty_array = existing.find('{', existing.find('[')) == std::string::npos ||
+                                 existing.find('{', existing.find('[')) > close;
+        out = existing.substr(0, close) + (empty_array ? "" : ",\n") + scenario +
+              existing.substr(close);
+    } else {
+        out = "{\"scenarios\": [" + scenario + "]}\n";
+    }
+    std::ofstream f(opt.bench_path, std::ios::trunc);
+    f << out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Options opt;
+    auto next_arg = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            std::cerr << "missing value for " << argv[i] << "\n";
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char* a = argv[i];
+        if (std::strcmp(a, "--help") == 0) {
+            usage();
+            return 0;
+        } else if (std::strcmp(a, "--host") == 0) {
+            opt.host = next_arg(i);
+        } else if (std::strcmp(a, "--port") == 0) {
+            opt.port = std::stoi(next_arg(i));
+        } else if (std::strcmp(a, "--requests") == 0) {
+            opt.requests = std::stoi(next_arg(i));
+        } else if (std::strcmp(a, "--connections") == 0) {
+            opt.connections = std::stoi(next_arg(i));
+        } else if (std::strcmp(a, "--tenants") == 0) {
+            opt.tenants = std::stoi(next_arg(i));
+        } else if (std::strcmp(a, "--deadline-ms") == 0) {
+            opt.deadline_ms = std::stoll(next_arg(i));
+        } else if (std::strcmp(a, "--timeout-ms") == 0) {
+            opt.response_timeout_ms = std::stoi(next_arg(i));
+        } else if (std::strcmp(a, "--shed-retries") == 0) {
+            opt.max_shed_retries = std::stoi(next_arg(i));
+        } else if (std::strcmp(a, "--tolerate-transport") == 0) {
+            opt.tolerate_transport = true;
+        } else if (std::strcmp(a, "--bench") == 0) {
+            opt.bench_path = next_arg(i);
+        } else if (std::strcmp(a, "--label") == 0) {
+            opt.label = next_arg(i);
+        } else {
+            std::cerr << "unknown option '" << a << "' (see --help)\n";
+            return 2;
+        }
+    }
+    if (opt.port <= 0) {
+        std::cerr << "storm_client: --port is required\n";
+        usage();
+        return 2;
+    }
+    if (opt.connections < 1) opt.connections = 1;
+
+    Tally tally;
+    std::mutex tally_mutex;
+    std::atomic<int> next{0};
+    const Clock::time_point t0 = Clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(opt.connections));
+    for (int c = 0; c < opt.connections; ++c) {
+        pool.emplace_back(worker, std::cref(opt), std::ref(next), std::ref(tally),
+                          std::ref(tally_mutex));
+    }
+    for (auto& t : pool) t.join();
+    const double wall_s =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - t0).count()) /
+        1000.0;
+
+    std::vector<std::int64_t> lat = tally.latencies_us;
+    std::vector<std::int64_t> lat_for_p = lat;
+    std::cout << "storm_client: " << opt.requests << " requests over " << opt.connections
+              << " connections in " << wall_s << "s\n"
+              << "  verified " << tally.verified << ", quarantined " << tally.quarantined
+              << ", typed_errors " << tally.typed_errors << "\n"
+              << "  shed_retries " << tally.shed_retries << ", shed_exhausted "
+              << tally.shed_exhausted << ", transport_failures " << tally.transport_failures
+              << ", protocol_violations " << tally.protocol_violations << "\n"
+              << "  plans/sec "
+              << (wall_s > 0 ? static_cast<double>(lat.size()) / wall_s : 0.0) << ", p50 "
+              << percentile_us(lat_for_p, 0.50) << "us, p99 " << percentile_us(lat_for_p, 0.99)
+              << "us\n";
+
+    if (!opt.bench_path.empty()) write_bench(opt, tally, lat, wall_s);
+
+    if (tally.protocol_violations > 0) return 1;
+    if (!opt.tolerate_transport && tally.transport_failures > 0) return 1;
+    return 0;
+}

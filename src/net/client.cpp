@@ -1,0 +1,159 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace lf::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int ms_left(Clock::time_point deadline) {
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now()).count();
+    return left < 0 ? 0 : static_cast<int>(left);
+}
+
+}  // namespace
+
+std::string to_string(BlockingClient::RecvStatus s) {
+    switch (s) {
+        case BlockingClient::RecvStatus::Ok: return "ok";
+        case BlockingClient::RecvStatus::Closed: return "closed";
+        case BlockingClient::RecvStatus::Torn: return "torn";
+        case BlockingClient::RecvStatus::Timeout: return "timeout";
+        case BlockingClient::RecvStatus::Malformed: return "malformed";
+        case BlockingClient::RecvStatus::NotConnected: return "not connected";
+    }
+    return "unknown";
+}
+
+BlockingClient::~BlockingClient() { close(); }
+
+void BlockingClient::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    decoder_ = FrameDecoder{};
+}
+
+bool BlockingClient::connect(const std::string& host, std::uint16_t port, int timeout_ms) {
+    close();
+    last_error_.clear();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        last_error_ = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        last_error_ = "bad host '" + host + "' (numeric IPv4 expected)";
+        close();
+        return false;
+    }
+    // Nonblocking connect so the timeout is honored even against a
+    // blackholed address, then back to blocking for send/recv.
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    (void)::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+        last_error_ = std::string("connect: ") + std::strerror(errno);
+        close();
+        return false;
+    }
+    if (rc != 0) {
+        pollfd pfd{fd_, POLLOUT, 0};
+        rc = ::poll(&pfd, 1, timeout_ms);
+        int soerr = 0;
+        socklen_t len = sizeof(soerr);
+        if (rc <= 0 ||
+            ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 || soerr != 0) {
+            last_error_ = rc <= 0 ? "connect: timed out"
+                                  : std::string("connect: ") + std::strerror(soerr);
+            close();
+            return false;
+        }
+    }
+    (void)::fcntl(fd_, F_SETFL, flags);
+    return true;
+}
+
+bool BlockingClient::send(const Frame& f) {
+    if (fd_ < 0) {
+        last_error_ = "not connected";
+        return false;
+    }
+    const std::string bytes = encode_frame(f);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            last_error_ = std::string("send: ") + std::strerror(errno);
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+BlockingClient::Recv BlockingClient::recv(int timeout_ms) {
+    Recv result;
+    if (fd_ < 0) return result;
+    const Clock::time_point deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+    char buf[4096];
+    for (;;) {
+        // Drain whatever is already buffered before touching the socket.
+        switch (decoder_.poll(result.frame)) {
+            case FrameDecoder::Status::Ready:
+                result.status = RecvStatus::Ok;
+                return result;
+            case FrameDecoder::Status::Error:
+                result.status = RecvStatus::Malformed;
+                result.wire_error = decoder_.error();
+                last_error_ = decoder_.detail();
+                return result;
+            case FrameDecoder::Status::NeedMore: break;
+        }
+        pollfd pfd{fd_, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, ms_left(deadline));
+        if (rc == 0) {
+            result.status = RecvStatus::Timeout;
+            return result;
+        }
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            result.status = RecvStatus::Torn;
+            last_error_ = std::string("poll: ") + std::strerror(errno);
+            return result;
+        }
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            result.status = RecvStatus::Torn;
+            last_error_ = std::string("recv: ") + std::strerror(errno);
+            return result;
+        }
+        if (n == 0) {
+            // Clean close between frames vs. mid-frame truncation: the
+            // decoder knows whether a header was pending.
+            result.status = decoder_.mid_frame() || decoder_.buffered() > 0 ? RecvStatus::Torn
+                                                                            : RecvStatus::Closed;
+            return result;
+        }
+        decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+}
+
+}  // namespace lf::net

@@ -1,0 +1,65 @@
+#pragma once
+// Minimal blocking client for the fusion-service wire protocol
+// (net/frame.hpp). Used by the storm-load driver (examples/storm_client.cpp)
+// and the loopback tests; it is intentionally a thin, synchronous
+// one-connection wrapper -- all concurrency lives on the server side.
+//
+// Every call reports failure through return values, never exceptions:
+// a load driver's whole point is to keep going when the server misbehaves
+// (torn responses, slammed connections, injected faults).
+
+#include <cstdint>
+#include <string>
+
+#include "net/frame.hpp"
+
+namespace lf::net {
+
+class BlockingClient {
+  public:
+    BlockingClient() = default;
+    ~BlockingClient();
+
+    BlockingClient(const BlockingClient&) = delete;
+    BlockingClient& operator=(const BlockingClient&) = delete;
+
+    /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1") with a
+    /// connect timeout. Returns false (with `last_error()` set) on failure.
+    [[nodiscard]] bool connect(const std::string& host, std::uint16_t port, int timeout_ms = 2000);
+
+    [[nodiscard]] bool connected() const { return fd_ >= 0; }
+    void close();
+
+    /// Writes one frame (handling short writes). False on any send failure.
+    [[nodiscard]] bool send(const Frame& f);
+
+    enum class RecvStatus {
+        Ok,        // a complete frame arrived
+        Closed,    // peer closed cleanly between frames
+        Torn,      // peer closed mid-frame (truncated response)
+        Timeout,   // nothing (or not a full frame) within the deadline
+        Malformed, // peer sent bytes the decoder rejected (wire_error set)
+        NotConnected,
+    };
+
+    struct Recv {
+        RecvStatus status = RecvStatus::NotConnected;
+        Frame frame;
+        WireError wire_error = WireError::None;
+    };
+
+    /// Blocks until one complete frame arrives, the peer closes, the stream
+    /// turns out malformed, or `timeout_ms` elapses.
+    [[nodiscard]] Recv recv(int timeout_ms = 5000);
+
+    [[nodiscard]] const std::string& last_error() const { return last_error_; }
+
+  private:
+    int fd_ = -1;
+    FrameDecoder decoder_;
+    std::string last_error_;
+};
+
+[[nodiscard]] std::string to_string(BlockingClient::RecvStatus s);
+
+}  // namespace lf::net

@@ -1,0 +1,158 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace lf::net {
+
+std::string to_string(WireError e) {
+    switch (e) {
+        case WireError::None: return "none";
+        case WireError::BadMagic: return "bad magic";
+        case WireError::BadVersion: return "unsupported version";
+        case WireError::BadType: return "unknown frame type";
+        case WireError::OversizedTenant: return "tenant id too long";
+        case WireError::OversizedPayload: return "payload too large";
+        case WireError::Truncated: return "truncated frame";
+        case WireError::BadPayload: return "malformed payload";
+        case WireError::Internal: return "internal server error";
+    }
+    return "unknown wire error";
+}
+
+std::string to_string(ShedReason r) {
+    switch (r) {
+        case ShedReason::None: return "none";
+        case ShedReason::QuotaExceeded: return "tenant quota exceeded";
+        case ShedReason::QueueFull: return "job queue full";
+        case ShedReason::TooManyConnections: return "connection limit reached";
+    }
+    return "unknown shed reason";
+}
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+    out.push_back(static_cast<char>(v & 0xff));
+    out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint16_t get_u16(const char* p) {
+    return static_cast<std::uint16_t>(static_cast<unsigned char>(p[0]) |
+                                      (static_cast<unsigned char>(p[1]) << 8));
+}
+
+std::uint32_t get_u32(const char* p) {
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+    return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+    return v;
+}
+
+bool valid_type(std::uint16_t t) {
+    return t >= static_cast<std::uint16_t>(FrameType::Request) &&
+           t <= static_cast<std::uint16_t>(FrameType::Pong);
+}
+
+}  // namespace
+
+std::string encode_frame(const Frame& f) {
+    const std::size_t tenant_len = f.tenant.size() > kMaxTenantLen ? kMaxTenantLen : f.tenant.size();
+    const std::size_t payload_len =
+        f.payload.size() > kMaxPayloadLen ? kMaxPayloadLen : f.payload.size();
+    std::string out;
+    out.reserve(kHeaderSize + tenant_len + payload_len);
+    out.append(kWireMagic, sizeof(kWireMagic));
+    put_u16(out, kWireVersion);
+    put_u16(out, static_cast<std::uint16_t>(f.type));
+    put_u64(out, f.request_id);
+    put_u64(out, static_cast<std::uint64_t>(f.deadline_ms));
+    put_u16(out, f.aux);
+    put_u16(out, static_cast<std::uint16_t>(tenant_len));
+    put_u32(out, static_cast<std::uint32_t>(payload_len));
+    out.append(f.tenant.data(), tenant_len);
+    out.append(f.payload.data(), payload_len);
+    return out;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+    if (error_ != WireError::None) return;  // dead stream: drop everything
+    buffer_.append(bytes.data(), bytes.size());
+}
+
+FrameDecoder::Status FrameDecoder::fail(WireError e, std::string detail) {
+    error_ = e;
+    detail_ = std::move(detail);
+    buffer_.clear();
+    buffer_.shrink_to_fit();
+    have_header_ = false;
+    return Status::Error;
+}
+
+FrameDecoder::Status FrameDecoder::poll(Frame& out) {
+    if (error_ != WireError::None) return Status::Error;
+    if (!have_header_) {
+        if (buffer_.size() < kHeaderSize) return Status::NeedMore;
+        const char* p = buffer_.data();
+        // Validate everything the header claims before buffering any body
+        // byte: a garbage header must not coerce the decoder into waiting
+        // for (or allocating) a body that will never legitimately arrive.
+        if (std::memcmp(p, kWireMagic, sizeof(kWireMagic)) != 0) {
+            return fail(WireError::BadMagic, "first bytes are not LFNP");
+        }
+        const std::uint16_t version = get_u16(p + 4);
+        if (version != kWireVersion) {
+            return fail(WireError::BadVersion,
+                        "version " + std::to_string(version) + " (expected " +
+                            std::to_string(kWireVersion) + ")");
+        }
+        const std::uint16_t type = get_u16(p + 6);
+        if (!valid_type(type)) {
+            return fail(WireError::BadType, "frame type " + std::to_string(type));
+        }
+        const std::uint16_t tenant_len = get_u16(p + 26);
+        if (tenant_len > kMaxTenantLen) {
+            return fail(WireError::OversizedTenant,
+                        "tenant_len " + std::to_string(tenant_len) + " > " +
+                            std::to_string(kMaxTenantLen));
+        }
+        const std::uint32_t payload_len = get_u32(p + 28);
+        if (payload_len > kMaxPayloadLen) {
+            return fail(WireError::OversizedPayload,
+                        "payload_len " + std::to_string(payload_len) + " > " +
+                            std::to_string(kMaxPayloadLen));
+        }
+        pending_ = Frame{};
+        pending_.type = static_cast<FrameType>(type);
+        pending_.request_id = get_u64(p + 8);
+        pending_.deadline_ms = static_cast<std::int64_t>(get_u64(p + 16));
+        pending_.aux = get_u16(p + 24);
+        tenant_len_ = tenant_len;
+        body_len_ = static_cast<std::size_t>(tenant_len) + payload_len;
+        have_header_ = true;
+    }
+    if (buffer_.size() < kHeaderSize + body_len_) return Status::NeedMore;
+    pending_.tenant.assign(buffer_, kHeaderSize, tenant_len_);
+    pending_.payload.assign(buffer_, kHeaderSize + tenant_len_, body_len_ - tenant_len_);
+    out = std::move(pending_);
+    pending_ = Frame{};
+    buffer_.erase(0, kHeaderSize + body_len_);
+    have_header_ = false;
+    body_len_ = 0;
+    tenant_len_ = 0;
+    return Status::Ready;
+}
+
+}  // namespace lf::net

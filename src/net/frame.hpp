@@ -1,0 +1,140 @@
+#pragma once
+// Wire protocol for the fusion service (net/server.hpp): a hand-rolled,
+// dependency-free, length-prefixed binary framing over TCP.
+//
+// Every message is one frame: a fixed 32-byte little-endian header followed
+// by the tenant id and the payload bytes.
+//
+//   offset  size  field
+//        0     4  magic "LFNP"
+//        4     2  version (kWireVersion)
+//        6     2  type (FrameType)
+//        8     8  request_id  (echoed verbatim in the reply)
+//       16     8  deadline_ms (i64; Request: job deadline, <0 = none;
+//                              Shed: retry-after hint in ms)
+//       24     2  aux         (type-dependent: PayloadKind / WireError /
+//                              ShedReason / response verdict)
+//       26     2  tenant_len  (<= kMaxTenantLen)
+//       28     4  payload_len (<= kMaxPayloadLen)
+//       32     -  tenant bytes, then payload bytes
+//
+// Decoding is strict and bounds-checked end to end: a frame with a bad
+// magic, unknown version, out-of-range type, oversized tenant or payload is
+// rejected with a typed WireError before a single body byte is buffered,
+// and arbitrary garbage can never make the decoder crash, throw, or
+// allocate unboundedly (fuzzed over random and truncated byte streams in
+// tests/test_net.cpp). After an error the stream has lost frame sync, so
+// the decoder goes sticky-dead and the connection must be closed -- there
+// is deliberately no resynchronization heuristic to exploit.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lf::net {
+
+inline constexpr char kWireMagic[4] = {'L', 'F', 'N', 'P'};
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderSize = 32;
+inline constexpr std::size_t kMaxTenantLen = 256;
+inline constexpr std::size_t kMaxPayloadLen = 1u << 20;  // 1 MiB
+
+enum class FrameType : std::uint16_t {
+    Request = 1,   // client -> server: plan this payload
+    Response = 2,  // server -> client: terminal job verdict (aux: 1 =
+                   // Verified, 2 = Quarantined; payload: JSON detail)
+    Error = 3,     // server -> client: request rejected (aux: WireError)
+    Shed = 4,      // server -> client: admission refused (aux: ShedReason;
+                   // deadline_ms field carries the retry-after hint)
+    Ping = 5,      // client -> server: liveness probe
+    Pong = 6,      // server -> client: liveness echo
+};
+
+/// Request payload encodings (Frame::aux on a Request).
+enum class PayloadKind : std::uint16_t {
+    Dsl = 1,   // DSL program source (replayable job)
+    Mldg = 2,  // ldg/serialization MLDG text (graph-only job)
+};
+
+/// Typed decode/validation failures (Frame::aux on an Error frame).
+enum class WireError : std::uint16_t {
+    None = 0,
+    BadMagic = 1,         // first four bytes are not "LFNP"
+    BadVersion = 2,       // version field != kWireVersion
+    BadType = 3,          // type field outside FrameType
+    OversizedTenant = 4,  // tenant_len > kMaxTenantLen
+    OversizedPayload = 5, // payload_len > kMaxPayloadLen
+    Truncated = 6,        // peer closed mid-frame
+    BadPayload = 7,       // frame was well-formed but the payload was not
+                          // (unparseable DSL/MLDG, unknown payload kind)
+    Internal = 8,         // server-side failure while handling the request
+};
+[[nodiscard]] std::string to_string(WireError e);
+
+/// Why the server refused admission (Frame::aux on a Shed frame).
+enum class ShedReason : std::uint16_t {
+    None = 0,
+    QuotaExceeded = 1,      // per-tenant token bucket empty
+    QueueFull = 2,          // in-flight job queue at max_inflight
+    TooManyConnections = 3, // connection cap reached (sent pre-close)
+};
+[[nodiscard]] std::string to_string(ShedReason r);
+
+/// One decoded wire message (either direction).
+struct Frame {
+    FrameType type = FrameType::Request;
+    std::uint16_t aux = 0;
+    std::uint64_t request_id = 0;
+    std::int64_t deadline_ms = -1;
+    std::string tenant;
+    std::string payload;
+};
+
+/// Serializes `f` into the on-wire byte image. Oversized tenant/payload
+/// fields are truncated to their limits (the encoder cannot produce a
+/// frame the decoder would reject).
+[[nodiscard]] std::string encode_frame(const Frame& f);
+
+/// Incremental, bounds-checked frame decoder over an arbitrary byte
+/// stream. Feed bytes as they arrive; poll() yields complete frames.
+/// Never throws; never buffers more than one frame beyond the header.
+class FrameDecoder {
+  public:
+    enum class Status {
+        NeedMore,  // no complete frame buffered yet
+        Ready,     // one frame decoded into `out`
+        Error,     // stream is malformed; error()/detail() say how.
+                   // Sticky: every later poll() returns Error too.
+    };
+
+    /// Appends raw bytes from the stream. Cheap; validation happens in
+    /// poll(). Bytes fed after an error are dropped.
+    void feed(std::string_view bytes);
+
+    /// Decodes the next frame into `out` if fully buffered.
+    [[nodiscard]] Status poll(Frame& out);
+
+    [[nodiscard]] WireError error() const { return error_; }
+    [[nodiscard]] const std::string& detail() const { return detail_; }
+
+    /// True when a frame header has been accepted but its body has not
+    /// fully arrived -- the slow-read (slow-loris) window the server's
+    /// read timeout guards.
+    [[nodiscard]] bool mid_frame() const { return have_header_ && error_ == WireError::None; }
+
+    /// Bytes buffered and not yet consumed by a decoded frame.
+    [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+  private:
+    Status fail(WireError e, std::string detail);
+
+    std::string buffer_;
+    bool have_header_ = false;
+    Frame pending_;           // header fields of the frame being assembled
+    std::size_t body_len_ = 0;  // tenant_len + payload_len of pending_
+    std::size_t tenant_len_ = 0;
+    WireError error_ = WireError::None;
+    std::string detail_;
+};
+
+}  // namespace lf::net

@@ -33,6 +33,11 @@ constexpr const char* kCompiledIn[] = {
     "svc.verify.replay",     // svc admission gate: differential replay mismatch
     "svc.checkpoint",        // svc checkpoint append fails (run continues)
     "svc.plancache",         // svc plan cache: lookup bypassed (job plans cold)
+    "svc.plancache.disk",    // persistent tier: disk reads miss, writes fail
+    "net.accept",            // server: accepted connection dropped immediately
+    "net.read",              // server: connection read fails mid-frame
+    "net.write",             // server: response write fails (connection closed)
+    "net.torn_response",     // server: response torn mid-frame, then closed
 };
 
 bool known(const std::string& name) {

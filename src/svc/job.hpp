@@ -51,6 +51,14 @@ struct JobSpec {
     /// Inclusive per-level extents for the depth-d differential replay
     /// (size == depth); meaningful only when depth > 2.
     std::vector<std::int64_t> extents_nd;
+    /// Per-job wall-clock deadline in milliseconds; negative = none. The
+    /// network edge (net/server.hpp) fills this from the request frame.
+    /// When both this and RetryPolicy::deadline_ms are set, the tighter
+    /// one governs the job.
+    std::int64_t deadline_ms = -1;
+    /// Originating tenant; empty for local batch runs. Carried into the
+    /// record so per-tenant accounting survives into the report.
+    std::string tenant;
 };
 
 enum class JobStatus {
@@ -97,6 +105,8 @@ struct AttemptRecord {
 struct JobRecord {
     std::string id;
     std::string klass;
+    /// Tenant the job arrived under (JobSpec::tenant); empty for local runs.
+    std::string tenant;
     /// Program depth the job planned at (JobSpec::depth), for the report:
     /// plans of different dimension are never comparable or conflatable.
     int depth = 2;

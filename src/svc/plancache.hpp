@@ -30,6 +30,20 @@
 // sequence is deterministic (pinned by tests/test_plancache.cpp).
 // All entry points are thread-safe (one mutex; the cache sits well off the
 // solver hot path -- one lookup/insert per job, not per solve).
+//
+// Persistent tier (optional, `persist_dir` non-empty): every inserted plan
+// is also written to `<dir>/<16-hex-key>.plan` -- a checksummed text image
+// (svc/planstore.hpp) written *atomically* (temp file, flush, fsync,
+// rename), so a kill -9 can leave at worst a stale temp file, never a torn
+// `.plan`. A memory miss consults the disk tier lazily: a file that decodes
+// cleanly (magic, key, checksum, strict fields) is promoted back into the
+// LRU and served as a hit; anything else -- truncated, bit-flipped, renamed
+// under the wrong key -- is *quarantined* (renamed to `<name>.quarantined`)
+// and counted, and the job replans cold, which rewrites the entry: corrupt
+// state heals instead of wedging. Eviction from the memory LRU leaves the
+// disk file in place -- that is the tier's point: warm state survives both
+// eviction and process death. The "svc.plancache.disk" fault point makes
+// disk reads miss and disk writes fail on demand.
 
 #include <cstdint>
 #include <list>
@@ -61,13 +75,32 @@ struct PlanCacheStats {
     /// job then replans cold). Nonzero only under memory corruption, a
     /// 64-bit content-hash collision, or an injected certify fault.
     std::uint64_t invalidated = 0;
+    /// Persistent tier (all zero when no persist_dir is configured).
+    /// Memory misses served by a cleanly-decoded disk entry (also counted
+    /// in `hits`: the cache as a whole served the plan).
+    std::uint64_t disk_hits = 0;
+    /// Memory misses the disk tier could not serve either.
+    std::uint64_t disk_misses = 0;
+    /// Plan files atomically written (insertions and corrupt-entry rebuilds).
+    std::uint64_t disk_writes = 0;
+    /// Atomic writes that failed (IO error or injected svc.plancache.disk
+    /// fault); the in-memory entry stays valid, only persistence is lost.
+    std::uint64_t disk_write_failures = 0;
+    /// Corrupt/truncated/mis-keyed entries detected, renamed to
+    /// `*.quarantined`, and left for offline inspection; the slot rebuilds
+    /// on the next insert.
+    std::uint64_t disk_quarantined = 0;
 };
 
 class PlanCache {
   public:
     /// `capacity` = maximum resident plans; 0 disables the cache entirely
-    /// (lookup always misses, insert is a no-op).
-    explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+    /// (lookup always misses, insert is a no-op, and the persistent tier is
+    /// not consulted). `persist_dir` non-empty enables the disk tier under
+    /// that directory (created if absent; creation failure degrades to a
+    /// memory-only cache with a stderr warning -- persistence is an
+    /// optimization, never a reason to fail a run).
+    explicit PlanCache(std::size_t capacity, std::string persist_dir = {});
 
     PlanCache(const PlanCache&) = delete;
     PlanCache& operator=(const PlanCache&) = delete;
@@ -112,6 +145,11 @@ class PlanCache {
     [[nodiscard]] PlanCacheStats stats() const;
     [[nodiscard]] std::size_t size() const;
     [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] const std::string& persist_dir() const { return persist_dir_; }
+
+    /// Path the persistent tier uses for `key` (valid only with a persist
+    /// dir). Exposed so tests and drills can corrupt entries on purpose.
+    [[nodiscard]] std::string plan_path(std::uint64_t key) const;
 
     /// Keys in eviction order (least recently used first). For tests.
     [[nodiscard]] std::vector<std::uint64_t> lru_keys() const;
@@ -124,7 +162,20 @@ class PlanCache {
         std::optional<NdFusionPlan> nd_plan;
     };
 
+    /// Memory-miss path: consults the disk tier (when configured), promotes
+    /// a cleanly-decoded entry into the LRU and returns its iterator, or
+    /// returns entries_.end() after counting the miss / quarantining the
+    /// corrupt file. Caller holds mutex_.
+    std::list<Entry>::iterator disk_load_locked(std::uint64_t key, bool want_nd);
+    /// Atomically writes `e` to the disk tier unless a valid-looking file is
+    /// already present. Caller holds mutex_.
+    void disk_write_locked(const Entry& e);
+    /// Promotes `e` to the front of the LRU, evicting at capacity. Caller
+    /// holds mutex_.
+    std::list<Entry>::iterator promote_locked(Entry e);
+
     const std::size_t capacity_;
+    std::string persist_dir_;
     mutable std::mutex mutex_;
     // Most recently used at the front; map values point into the list.
     std::list<Entry> entries_;

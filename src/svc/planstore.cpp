@@ -1,0 +1,481 @@
+#include "svc/planstore.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace lf::svc::planstore {
+
+namespace {
+
+constexpr const char* kMagicLine = "lfplan v1";
+/// Hard ceilings on decoded counts: a plan file is a few loops, not a
+/// database. Anything larger is a corrupt or hostile length field, and
+/// rejecting it up front keeps decode allocation-bounded.
+constexpr std::int64_t kMaxNodes = 1 << 16;
+constexpr std::int64_t kMaxEdges = 1 << 20;
+constexpr std::int64_t kMaxVectorsPerEdge = 1 << 16;
+constexpr std::int64_t kMaxDim = 64;
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a(std::string_view bytes) {
+    std::uint64_t h = kFnvOffset;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::string hex16(std::uint64_t v) {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+    return std::string(buf, 16);
+}
+
+bool parse_hex16(std::string_view s, std::uint64_t& out) {
+    if (s.size() != 16) return false;
+    out = 0;
+    for (const char c : s) {
+        int digit;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else return false;
+        out = (out << 4) | static_cast<std::uint64_t>(digit);
+    }
+    return true;
+}
+
+void emit_vec(std::ostringstream& os, const Vec2& v) { os << v.x << ' ' << v.y; }
+void emit_vec(std::ostringstream& os, const VecN& v) {
+    for (int k = 0; k < v.dim(); ++k) {
+        if (k) os << ' ';
+        os << v[k];
+    }
+}
+
+template <typename V>
+void emit_graph(std::ostringstream& os, const BasicMldg<V>& g) {
+    os << "nodes " << g.num_nodes() << '\n';
+    for (int v = 0; v < g.num_nodes(); ++v) {
+        const LoopNode& n = g.node(v);
+        os << "node " << n.order << ' ' << n.body_cost << ' ' << n.name << '\n';
+    }
+    os << "edges " << g.num_edges() << '\n';
+    for (int e = 0; e < g.num_edges(); ++e) {
+        const auto& edge = g.edge(e);
+        os << "edge " << edge.from << ' ' << edge.to << ' ' << edge.vectors.size() << '\n';
+        for (const V& d : edge.vectors) {
+            os << "v ";
+            emit_vec(os, d);
+            os << '\n';
+        }
+    }
+}
+
+std::string finish_file(std::ostringstream& os) {
+    std::string body = os.str();
+    body += "checksum " + hex16(fnv1a(body)) + "\n";
+    return body;
+}
+
+// ---------------------------------------------------------------- decoding -
+
+/// Line cursor over the body (everything before the checksum footer).
+/// All reads are bounds-checked; nothing throws.
+class Reader {
+  public:
+    explicit Reader(std::string_view body) : body_(body) {}
+
+    /// Next line (without the trailing '\n'); false at end of body.
+    bool next_line(std::string_view& line) {
+        if (pos_ >= body_.size()) return false;
+        const std::size_t nl = body_.find('\n', pos_);
+        if (nl == std::string_view::npos) {
+            // Body lines are always newline-terminated by the encoder; a
+            // missing terminator is truncation.
+            return false;
+        }
+        line = body_.substr(pos_, nl - pos_);
+        pos_ = nl + 1;
+        return true;
+    }
+
+    [[nodiscard]] bool exhausted() const { return pos_ >= body_.size(); }
+
+  private:
+    std::string_view body_;
+    std::size_t pos_ = 0;
+};
+
+bool parse_i64(std::string_view token, std::int64_t& out) {
+    if (token.empty()) return false;
+    std::size_t i = 0;
+    bool neg = false;
+    if (token[0] == '-') {
+        neg = true;
+        i = 1;
+        if (token.size() == 1) return false;
+    }
+    std::uint64_t mag = 0;
+    for (; i < token.size(); ++i) {
+        const char c = token[i];
+        if (c < '0' || c > '9') return false;
+        const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+        if (mag > (~std::uint64_t{0} - d) / 10) return false;
+        mag = mag * 10 + d;
+    }
+    const std::uint64_t limit =
+        neg ? std::uint64_t{1} << 63 : (std::uint64_t{1} << 63) - 1;
+    if (mag > limit) return false;
+    out = neg ? -static_cast<std::int64_t>(mag - 1) - 1 : static_cast<std::int64_t>(mag);
+    return true;
+}
+
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string_view> split(std::string_view line) {
+    std::vector<std::string_view> tokens;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() && line[i] == ' ') ++i;
+        std::size_t j = i;
+        while (j < line.size() && line[j] != ' ') ++j;
+        if (j > i) tokens.push_back(line.substr(i, j - i));
+        i = j;
+    }
+    return tokens;
+}
+
+/// Parses "<keyword> <i64>..." with exactly `count` integers.
+bool parse_ints(std::string_view line, std::string_view keyword,
+                std::vector<std::int64_t>& out, std::size_t count) {
+    const auto tokens = split(line);
+    if (tokens.size() != count + 1 || tokens[0] != keyword) return false;
+    out.clear();
+    for (std::size_t k = 1; k < tokens.size(); ++k) {
+        std::int64_t v;
+        if (!parse_i64(tokens[k], v)) return false;
+        out.push_back(v);
+    }
+    return true;
+}
+
+DecodeResult fail(std::string why) {
+    DecodeResult r;
+    r.error = std::move(why);
+    return r;
+}
+
+struct GraphLines {
+    std::vector<std::int64_t> node_order;
+    std::vector<std::int64_t> node_cost;
+    std::vector<std::string> node_name;
+    struct Edge {
+        int from = 0;
+        int to = 0;
+        std::vector<std::vector<std::int64_t>> vectors;
+    };
+    std::vector<Edge> edges;
+};
+
+/// Parses the nodes/edges block; `dim` components per dependence vector.
+bool parse_graph(Reader& r, std::int64_t dim, GraphLines& g, std::string& why) {
+    std::string_view line;
+    std::vector<std::int64_t> ints;
+    if (!r.next_line(line) || !parse_ints(line, "nodes", ints, 1)) {
+        why = "missing or malformed nodes count";
+        return false;
+    }
+    const std::int64_t nnodes = ints[0];
+    if (nnodes < 0 || nnodes > kMaxNodes) {
+        why = "node count out of range";
+        return false;
+    }
+    for (std::int64_t i = 0; i < nnodes; ++i) {
+        if (!r.next_line(line)) {
+            why = "truncated node list";
+            return false;
+        }
+        // "node <order> <cost> <name>"; the name runs to end of line and may
+        // contain spaces.
+        const auto tokens = split(line);
+        if (tokens.size() < 4 || tokens[0] != "node") {
+            why = "malformed node line";
+            return false;
+        }
+        std::int64_t order, cost;
+        if (!parse_i64(tokens[1], order) || !parse_i64(tokens[2], cost)) {
+            why = "malformed node fields";
+            return false;
+        }
+        const std::size_t name_off = tokens[3].data() - line.data();
+        g.node_order.push_back(order);
+        g.node_cost.push_back(cost);
+        g.node_name.emplace_back(line.substr(name_off));
+    }
+    if (!r.next_line(line) || !parse_ints(line, "edges", ints, 1)) {
+        why = "missing or malformed edges count";
+        return false;
+    }
+    const std::int64_t nedges = ints[0];
+    if (nedges < 0 || nedges > kMaxEdges) {
+        why = "edge count out of range";
+        return false;
+    }
+    for (std::int64_t e = 0; e < nedges; ++e) {
+        if (!r.next_line(line) || !parse_ints(line, "edge", ints, 3)) {
+            why = "malformed edge header";
+            return false;
+        }
+        GraphLines::Edge edge;
+        const std::int64_t from = ints[0], to = ints[1], nvec = ints[2];
+        if (from < 0 || from >= nnodes || to < 0 || to >= nnodes) {
+            why = "edge endpoint out of range";
+            return false;
+        }
+        if (nvec < 1 || nvec > kMaxVectorsPerEdge) {
+            why = "edge vector count out of range";
+            return false;
+        }
+        edge.from = static_cast<int>(from);
+        edge.to = static_cast<int>(to);
+        for (std::int64_t k = 0; k < nvec; ++k) {
+            if (!r.next_line(line) ||
+                !parse_ints(line, "v", ints, static_cast<std::size_t>(dim))) {
+                why = "malformed dependence vector";
+                return false;
+            }
+            edge.vectors.push_back(ints);
+        }
+        g.edges.push_back(std::move(edge));
+    }
+    return true;
+}
+
+}  // namespace
+
+std::string encode_file(std::uint64_t key, const FusionPlan& plan) {
+    std::ostringstream os;
+    os << kMagicLine << '\n';
+    os << "key " << hex16(key) << '\n';
+    os << "flavor 2d\n";
+    os << "dim 2\n";
+    os << "algorithm " << static_cast<int>(plan.algorithm) << '\n';
+    os << "level " << static_cast<int>(plan.level) << '\n';
+    os << "schedule " << plan.schedule.x << ' ' << plan.schedule.y << '\n';
+    os << "hyperplane " << plan.hyperplane.x << ' ' << plan.hyperplane.y << '\n';
+    os << "failed_phase " << (plan.cyclic_doall_failed_phase ? *plan.cyclic_doall_failed_phase : -1)
+       << '\n';
+    os << "retiming " << plan.retiming.num_nodes() << '\n';
+    for (int v = 0; v < plan.retiming.num_nodes(); ++v) {
+        os << "r " << plan.retiming.of(v).x << ' ' << plan.retiming.of(v).y << '\n';
+    }
+    os << "body_order " << plan.body_order.size();
+    for (const int v : plan.body_order) os << ' ' << v;
+    os << '\n';
+    emit_graph(os, plan.retimed);
+    return finish_file(os);
+}
+
+std::string encode_file_nd(std::uint64_t key, const NdFusionPlan& plan) {
+    std::ostringstream os;
+    os << kMagicLine << '\n';
+    os << "key " << hex16(key) << '\n';
+    os << "flavor nd\n";
+    os << "dim " << plan.retimed.dim() << '\n';
+    os << "ndlevel " << static_cast<int>(plan.level) << '\n';
+    os << "schedule ";
+    emit_vec(os, plan.schedule);
+    os << '\n';
+    os << "retiming " << plan.retiming.num_nodes() << '\n';
+    for (int v = 0; v < plan.retiming.num_nodes(); ++v) {
+        os << "r ";
+        emit_vec(os, plan.retiming.of(v));
+        os << '\n';
+    }
+    emit_graph(os, plan.retimed);
+    return finish_file(os);
+}
+
+DecodeResult decode_file(std::uint64_t expected_key, std::string_view bytes) {
+    // ---- Frame: locate and verify the checksum footer first. A file whose
+    // footer does not verify is torn or tampered; nothing inside it can be
+    // trusted, so no field parsing happens before this check passes.
+    constexpr std::string_view kFooterPrefix = "checksum ";
+    if (bytes.empty() || bytes.back() != '\n') return fail("missing final newline (truncated)");
+    const std::size_t footer_nl = bytes.find_last_of('\n', bytes.size() - 2);
+    const std::size_t footer_begin = footer_nl == std::string_view::npos ? 0 : footer_nl + 1;
+    const std::string_view footer = bytes.substr(footer_begin, bytes.size() - 1 - footer_begin);
+    if (footer.size() != kFooterPrefix.size() + 16 ||
+        footer.substr(0, kFooterPrefix.size()) != kFooterPrefix) {
+        return fail("missing checksum footer (truncated)");
+    }
+    std::uint64_t stored_sum = 0;
+    if (!parse_hex16(footer.substr(kFooterPrefix.size()), stored_sum)) {
+        return fail("malformed checksum footer");
+    }
+    const std::string_view body = bytes.substr(0, footer_begin);
+    if (fnv1a(body) != stored_sum) return fail("checksum mismatch");
+
+    // ---- Header.
+    Reader r(body);
+    std::string_view line;
+    if (!r.next_line(line) || line != kMagicLine) return fail("bad magic/version line");
+    if (!r.next_line(line) || split(line).size() != 2 || split(line)[0] != "key") {
+        return fail("missing key line");
+    }
+    std::uint64_t stored_key = 0;
+    if (!parse_hex16(split(line)[1], stored_key)) return fail("malformed key");
+    if (stored_key != expected_key) return fail("key mismatch (file addressed under wrong key)");
+    if (!r.next_line(line)) return fail("missing flavor line");
+    const auto flavor_tokens = split(line);
+    if (flavor_tokens.size() != 2 || flavor_tokens[0] != "flavor") return fail("malformed flavor");
+    const bool is_2d = flavor_tokens[1] == "2d";
+    if (!is_2d && flavor_tokens[1] != "nd") return fail("unknown flavor");
+    std::vector<std::int64_t> ints;
+    if (!r.next_line(line) || !parse_ints(line, "dim", ints, 1)) return fail("missing dim");
+    const std::int64_t dim = ints[0];
+    if (dim < 1 || dim > kMaxDim || (is_2d && dim != 2)) return fail("dim out of range");
+
+    if (is_2d) {
+        FusionPlan plan;
+        if (!r.next_line(line) || !parse_ints(line, "algorithm", ints, 1) || ints[0] < 0 ||
+            ints[0] > static_cast<int>(AlgorithmUsed::DistributionFallback)) {
+            return fail("malformed algorithm");
+        }
+        plan.algorithm = static_cast<AlgorithmUsed>(ints[0]);
+        if (!r.next_line(line) || !parse_ints(line, "level", ints, 1) || ints[0] < 0 ||
+            ints[0] > static_cast<int>(ParallelismLevel::Unfused)) {
+            return fail("malformed level");
+        }
+        plan.level = static_cast<ParallelismLevel>(ints[0]);
+        if (!r.next_line(line) || !parse_ints(line, "schedule", ints, 2)) {
+            return fail("malformed schedule");
+        }
+        plan.schedule = Vec2{ints[0], ints[1]};
+        if (!r.next_line(line) || !parse_ints(line, "hyperplane", ints, 2)) {
+            return fail("malformed hyperplane");
+        }
+        plan.hyperplane = Vec2{ints[0], ints[1]};
+        if (!r.next_line(line) || !parse_ints(line, "failed_phase", ints, 1)) {
+            return fail("malformed failed_phase");
+        }
+        if (ints[0] != -1) {
+            if (ints[0] != 1 && ints[0] != 2) return fail("failed_phase out of range");
+            plan.cyclic_doall_failed_phase = static_cast<int>(ints[0]);
+        }
+        if (!r.next_line(line) || !parse_ints(line, "retiming", ints, 1) || ints[0] < 0 ||
+            ints[0] > kMaxNodes) {
+            return fail("malformed retiming count");
+        }
+        const std::int64_t nret = ints[0];
+        std::vector<Vec2> rvals;
+        for (std::int64_t i = 0; i < nret; ++i) {
+            if (!r.next_line(line) || !parse_ints(line, "r", ints, 2)) {
+                return fail("malformed retiming row");
+            }
+            rvals.push_back(Vec2{ints[0], ints[1]});
+        }
+        plan.retiming = Retiming(std::move(rvals));
+        if (!r.next_line(line)) return fail("missing body_order");
+        {
+            const auto tokens = split(line);
+            if (tokens.size() < 2 || tokens[0] != "body_order") return fail("malformed body_order");
+            std::int64_t count;
+            if (!parse_i64(tokens[1], count) || count < 0 || count > kMaxNodes ||
+                tokens.size() != static_cast<std::size_t>(count) + 2) {
+                return fail("body_order count mismatch");
+            }
+            for (std::size_t k = 2; k < tokens.size(); ++k) {
+                std::int64_t v;
+                if (!parse_i64(tokens[k], v) || v < 0 || v > kMaxNodes) {
+                    return fail("body_order entry out of range");
+                }
+                plan.body_order.push_back(static_cast<int>(v));
+            }
+        }
+        GraphLines g;
+        std::string why;
+        if (!parse_graph(r, 2, g, why)) return fail(why);
+        if (!r.exhausted()) return fail("trailing bytes after graph");
+        if (plan.retiming.num_nodes() != static_cast<int>(g.node_name.size())) {
+            return fail("retiming/node count mismatch");
+        }
+        for (std::size_t i = 0; i < g.node_name.size(); ++i) {
+            const int id = plan.retimed.add_node(g.node_name[i], g.node_cost[i]);
+            plan.retimed.node(id).order = static_cast<int>(g.node_order[i]);
+        }
+        for (auto& e : g.edges) {
+            std::vector<Vec2> vecs;
+            vecs.reserve(e.vectors.size());
+            for (const auto& v : e.vectors) vecs.push_back(Vec2{v[0], v[1]});
+            plan.retimed.add_edge(e.from, e.to, std::move(vecs));
+        }
+        DecodeResult result;
+        result.ok = true;
+        result.plan = std::move(plan);
+        return result;
+    }
+
+    // ---- N-D flavor.
+    NdFusionPlan plan;
+    plan.retimed = MldgN(static_cast<int>(dim));
+    if (!r.next_line(line) || !parse_ints(line, "ndlevel", ints, 1) || ints[0] < 0 ||
+        ints[0] > static_cast<int>(NdParallelism::Hyperplane)) {
+        return fail("malformed ndlevel");
+    }
+    plan.level = static_cast<NdParallelism>(ints[0]);
+    if (!r.next_line(line) || !parse_ints(line, "schedule", ints, static_cast<std::size_t>(dim))) {
+        return fail("malformed schedule");
+    }
+    {
+        VecN s = VecN::zeros(static_cast<int>(dim));
+        for (int k = 0; k < static_cast<int>(dim); ++k) s[k] = ints[static_cast<std::size_t>(k)];
+        plan.schedule = std::move(s);
+    }
+    if (!r.next_line(line) || !parse_ints(line, "retiming", ints, 1) || ints[0] < 0 ||
+        ints[0] > kMaxNodes) {
+        return fail("malformed retiming count");
+    }
+    const std::int64_t nret = ints[0];
+    std::vector<VecN> rvals;
+    for (std::int64_t i = 0; i < nret; ++i) {
+        if (!r.next_line(line) || !parse_ints(line, "r", ints, static_cast<std::size_t>(dim))) {
+            return fail("malformed retiming row");
+        }
+        VecN v = VecN::zeros(static_cast<int>(dim));
+        for (int k = 0; k < static_cast<int>(dim); ++k) v[k] = ints[static_cast<std::size_t>(k)];
+        rvals.push_back(std::move(v));
+    }
+    plan.retiming = RetimingN(std::move(rvals));
+    GraphLines g;
+    std::string why;
+    if (!parse_graph(r, dim, g, why)) return fail(why);
+    if (!r.exhausted()) return fail("trailing bytes after graph");
+    if (plan.retiming.num_nodes() != static_cast<int>(g.node_name.size())) {
+        return fail("retiming/node count mismatch");
+    }
+    for (std::size_t i = 0; i < g.node_name.size(); ++i) {
+        const int id = plan.retimed.add_node(g.node_name[i], g.node_cost[i]);
+        plan.retimed.node(id).order = static_cast<int>(g.node_order[i]);
+    }
+    for (auto& e : g.edges) {
+        std::vector<VecN> vecs;
+        vecs.reserve(e.vectors.size());
+        for (const auto& comps : e.vectors) {
+            VecN v = VecN::zeros(static_cast<int>(dim));
+            for (int k = 0; k < static_cast<int>(dim); ++k) v[k] = comps[static_cast<std::size_t>(k)];
+            vecs.push_back(std::move(v));
+        }
+        plan.retimed.add_edge(e.from, e.to, std::move(vecs));
+    }
+    DecodeResult result;
+    result.ok = true;
+    result.nd_plan = std::move(plan);
+    return result;
+}
+
+}  // namespace lf::svc::planstore

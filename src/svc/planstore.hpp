@@ -1,0 +1,59 @@
+#pragma once
+// On-disk plan encoding for the persistent plan tier (svc/plancache.hpp).
+//
+// A plan file is a deterministic, line-oriented text image of one admitted
+// plan -- 2-D (FusionPlan) or depth-d (NdFusionPlan) -- framed so that any
+// torn, bit-flipped, cross-copied or truncated file is *detected*, never
+// trusted:
+//
+//   lfplan v1
+//   key <16 hex digits>          <- must equal the content-address the file
+//                                   was looked up under (detects renames)
+//   flavor 2d|nd
+//   dim <d>
+//   ... plan fields, retiming, retimed graph ...
+//   checksum <16 hex digits>     <- FNV-1a 64 over every preceding byte
+//
+// The encoding is byte-deterministic for a given plan (no timestamps, no
+// float formatting, maps dumped in id order), which is what lets the
+// kill -9 drill assert that a restarted service serves byte-identical plan
+// files. decode_file is strict: every structural deviation -- bad header,
+// wrong key, checksum mismatch, short field list, trailing garbage --
+// returns a typed failure with a reason, and never throws or crashes on
+// arbitrary bytes (fuzzed in tests/test_plancache.cpp).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "fusion/driver.hpp"
+#include "fusion/multidim.hpp"
+
+namespace lf::svc::planstore {
+
+/// Full file image (header, key, body, checksum footer) for a 2-D plan.
+/// The per-rung `stages` trace is not persisted (it belongs to the job
+/// that planned, not to the content-addressed plan).
+[[nodiscard]] std::string encode_file(std::uint64_t key, const FusionPlan& plan);
+
+/// Depth-d analogue.
+[[nodiscard]] std::string encode_file_nd(std::uint64_t key, const NdFusionPlan& plan);
+
+/// Outcome of decoding a plan file. Exactly one of `plan` / `nd_plan` is
+/// set on success; on failure `error` names the first defect found.
+struct DecodeResult {
+    bool ok = false;
+    std::string error;
+    std::optional<FusionPlan> plan;
+    std::optional<NdFusionPlan> nd_plan;
+};
+
+/// Strict decode of `bytes` as a plan file that must be addressed by
+/// `expected_key`. Rejects (with a reason) anything that is not a
+/// byte-exact well-formed image: bad magic/version, key mismatch,
+/// checksum mismatch, truncation, malformed or out-of-range fields,
+/// trailing bytes after the footer. Never throws.
+[[nodiscard]] DecodeResult decode_file(std::uint64_t expected_key, std::string_view bytes);
+
+}  // namespace lf::svc::planstore

@@ -1,7 +1,10 @@
 #include "svc/report.hpp"
 
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <unistd.h>
 
 #include "support/faultpoint.hpp"
 #include "support/json.hpp"
@@ -60,6 +63,7 @@ void write_job(json::Writer& w, const JobRecord& j, bool include_timings) {
     w.begin_object();
     w.kv("id", j.id);
     w.kv("class", j.klass);
+    w.kv("tenant", j.tenant);
     w.kv("depth", j.depth);
     w.kv("status", to_string(j.status));
     w.kv("attempts", static_cast<int>(j.attempts.size()));
@@ -102,6 +106,8 @@ std::string report_to_json(const RunReport& report, bool include_timings) {
     w.kv("probe_interval", report.config.breaker.probe_interval);
     w.kv("checkpoint", report.config.checkpoint_path);
     w.kv("checkpoint_failures", report.checkpoint_failures);
+    w.kv("checkpoint_malformed", report.checkpoint_malformed);
+    w.kv("plan_store", report.config.plan_store_dir);
     w.end_object();
 
     const RunCounts counts = report.counts();
@@ -124,6 +130,11 @@ std::string report_to_json(const RunReport& report, bool include_timings) {
     w.kv("insertions", report.plancache.insertions);
     w.kv("evictions", report.plancache.evictions);
     w.kv("invalidated", report.plancache.invalidated);
+    w.kv("disk_hits", report.plancache.disk_hits);
+    w.kv("disk_misses", report.plancache.disk_misses);
+    w.kv("disk_writes", report.plancache.disk_writes);
+    w.kv("disk_write_failures", report.plancache.disk_write_failures);
+    w.kv("disk_quarantined", report.plancache.disk_quarantined);
     w.end_object();
 
     w.key("jobs").begin_array();
@@ -151,29 +162,66 @@ namespace {
 
 constexpr const char* kCheckpointHeader = "lfsvc-checkpoint v1";
 
-bool file_nonempty(const std::string& path) {
-    std::ifstream in(path);
-    return in.good() && in.peek() != std::ifstream::traits_type::eof();
+/// Reads the whole manifest (empty string when absent/unreadable).
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) return {};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/// Crash-safe whole-file replace: temp file in the same directory, flush +
+/// fsync, rename over the final name. A kill -9 at any point leaves either
+/// the old manifest or the new one under `path`, never a torn file.
+bool replace_file_atomic(const std::string& path, const std::string& bytes) {
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) return false;
+    bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    ok = ok && std::fflush(f) == 0;
+    ok = ok && ::fsync(::fileno(f)) == 0;
+    ok = std::fclose(f) == 0 && ok;
+    if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok) {
+        std::error_code ec;
+        std::filesystem::remove(tmp, ec);
+    }
+    return ok;
 }
 
 }  // namespace
 
 bool append_checkpoint(const std::string& path, const JobRecord& rec) {
     if (faultpoint::triggered("svc.checkpoint")) return false;
-    const bool fresh = !file_nonempty(path);
-    std::ofstream out(path, std::ios::app);
-    if (!out.good()) return false;
-    if (fresh) out << kCheckpointHeader << '\n';
-    out << rec.id << '\t' << to_string(rec.status) << '\t' << rec.attempts.size() << '\t'
-        << rec.algorithm << '\n';
-    out.flush();
-    return out.good();
+    std::string contents = slurp(path);
+    if (contents.empty()) {
+        contents = std::string(kCheckpointHeader) + '\n';
+    } else if (contents.back() != '\n') {
+        // A torn tail from a pre-crash-safe writer (or outside damage): keep
+        // the partial line -- load_checkpoint skips and counts it -- but
+        // terminate it so the new record starts on its own line.
+        contents.push_back('\n');
+    }
+    contents += rec.id;
+    contents += '\t';
+    contents += to_string(rec.status);
+    contents += '\t';
+    contents += std::to_string(rec.attempts.size());
+    contents += '\t';
+    contents += rec.algorithm;
+    contents += '\n';
+    return replace_file_atomic(path, contents);
 }
 
-std::vector<CheckpointEntry> load_checkpoint(const std::string& path) {
+std::vector<CheckpointEntry> load_checkpoint(const std::string& path, int* malformed) {
     std::vector<CheckpointEntry> entries;
+    if (malformed != nullptr) *malformed = 0;
     std::ifstream in(path);
     if (!in.good()) return entries;
+    const auto count_malformed = [malformed] {
+        if (malformed != nullptr) ++*malformed;
+    };
     std::string line;
     while (std::getline(in, line)) {
         if (line.empty() || line == kCheckpointHeader || line.front() == '#') continue;
@@ -183,7 +231,8 @@ std::vector<CheckpointEntry> load_checkpoint(const std::string& path) {
         std::string attempts;
         if (!std::getline(fields, e.id, '\t') || !std::getline(fields, status, '\t') ||
             !std::getline(fields, attempts, '\t')) {
-            continue;  // truncated / malformed line: skip
+            count_malformed();  // truncated / malformed line: skip
+            continue;
         }
         std::getline(fields, e.algorithm, '\t');  // optional (may be empty)
         if (status == "verified") {
@@ -191,11 +240,13 @@ std::vector<CheckpointEntry> load_checkpoint(const std::string& path) {
         } else if (status == "quarantined") {
             e.status = JobStatus::Quarantined;
         } else {
-            continue;  // unknown terminal state: ignore the record
+            count_malformed();  // unknown terminal state: ignore the record
+            continue;
         }
         try {
             e.attempts = std::stoi(attempts);
         } catch (const std::exception&) {
+            count_malformed();
             continue;
         }
         // Last record for an id wins (a resumed run may have re-finished a

@@ -11,15 +11,19 @@
 // opens; once it opens, which specific jobs get short-circuited depends on
 // completion order.)
 //
-// The checkpoint manifest is deliberately NOT JSON but a line-oriented,
-// append-only text format (no parser to harden, append is atomic enough
-// per line, a truncated tail corrupts at most its own line):
+// The checkpoint manifest is deliberately NOT JSON but a line-oriented
+// text format (no parser to harden, a truncated tail corrupts at most its
+// own line):
 //
 //   lfsvc-checkpoint v1
 //   <id>\t<status>\t<attempts>\t<algorithm>
 //
-// Loading tolerates unknown/malformed lines (skipped) and duplicate ids
-// (last record wins), so a checkpoint from a killed run is always usable.
+// Writes are crash-safe: each append rewrites the manifest through a temp
+// file in the same directory (write, flush, fsync, rename), so a kill -9
+// leaves either the previous manifest or the new one -- never a torn file
+// under the final name. Loading still tolerates unknown/malformed lines
+// (skipped AND counted, for the report) and duplicate ids (last record
+// wins), so even a manifest damaged outside our control is usable.
 
 #include <string>
 #include <vector>
@@ -40,11 +44,16 @@ struct CheckpointEntry {
 };
 
 /// Appends one record (creating the file with its header line if needed).
-/// Returns false on IO failure or when the "svc.checkpoint" fault point
-/// fires; the service treats that as a warning, not a job failure.
+/// The write is atomic: temp file, flush, fsync, rename -- a crash leaves
+/// the previous manifest intact, never a torn one. Returns false on IO
+/// failure or when the "svc.checkpoint" fault point fires; the service
+/// treats that as a warning, not a job failure.
 bool append_checkpoint(const std::string& path, const JobRecord& rec);
 
 /// Loads a checkpoint manifest; a missing file is an empty checkpoint.
-[[nodiscard]] std::vector<CheckpointEntry> load_checkpoint(const std::string& path);
+/// Malformed/truncated lines are skipped; when `malformed` is non-null it
+/// receives how many were skipped.
+[[nodiscard]] std::vector<CheckpointEntry> load_checkpoint(const std::string& path,
+                                                           int* malformed = nullptr);
 
 }  // namespace lf::svc

@@ -73,6 +73,15 @@ StageReport make_stage(const char* stage, StatusCode code, std::string detail) {
     return r;
 }
 
+/// Combines the service-wide deadline with the job's own (wire-provided)
+/// deadline: negative = unset on either side; with both set the tighter
+/// one governs.
+std::int64_t effective_deadline_ms(const RetryPolicy& retry, const JobSpec& job) {
+    if (job.deadline_ms < 0) return retry.deadline_ms;
+    if (retry.deadline_ms < 0) return job.deadline_ms;
+    return std::min(retry.deadline_ms, job.deadline_ms);
+}
+
 }  // namespace
 
 RunCounts RunReport::counts() const {
@@ -94,7 +103,7 @@ RunCounts RunReport::counts() const {
 FusionService::FusionService(ServiceConfig config)
     : config_(std::move(config)),
       breakers_(config_.breaker),
-      plan_cache_(config_.plan_cache_capacity) {
+      plan_cache_(config_.plan_cache_capacity, config_.plan_store_dir) {
     if (config_.workers < 1) config_.workers = 1;
     if (config_.retry.max_attempts < 1) config_.retry.max_attempts = 1;
     if (config_.retry.escalation < 1) config_.retry.escalation = 1;
@@ -120,18 +129,20 @@ void FusionService::process_job(const JobSpec& job, JobRecord& rec, PlannerWorks
     const Clock::time_point t0 = Clock::now();
     rec.id = job.id;
     rec.klass = job.klass;
+    rec.tenant = job.tenant;
     rec.depth = job.depth;
     rec.status = JobStatus::Running;
 
-    const std::int64_t deadline_ms = config_.retry.deadline_ms;
+    const std::int64_t deadline_ms = effective_deadline_ms(config_.retry, job);
 
     // ---- Plan-cache admission decision (svc/plancache.hpp). ----
-    // The fault point is consulted first so arming it is always observable;
-    // it forces a bypass, as does ANY armed fault point: a faulted run must
-    // exercise the real pipeline, and must never poison the cache. The
-    // cache key is content-addressed, so two jobs with structurally
-    // identical graphs share a plan regardless of their ids.
-    const bool cache_fault = faultpoint::triggered("svc.plancache");
+    // The fault points are consulted first so arming either is always
+    // observable; each forces a bypass, as does ANY armed fault point: a
+    // faulted run must exercise the real pipeline, and must never poison the
+    // cache. The cache key is content-addressed, so two jobs with
+    // structurally identical graphs share a plan regardless of their ids.
+    const bool cache_fault = faultpoint::triggered("svc.plancache") ||
+                             faultpoint::triggered("svc.plancache.disk");
     const bool cache_usable = config_.plan_cache_capacity > 0 && !cache_fault &&
                               faultpoint::armed_points().empty();
     rec.cache = CacheOutcome::Bypass;
@@ -297,15 +308,17 @@ void FusionService::process_job_nd(const JobSpec& job, JobRecord& rec, PlannerWo
     const Clock::time_point t0 = Clock::now();
     rec.id = job.id;
     rec.klass = job.klass;
+    rec.tenant = job.tenant;
     rec.depth = job.depth;
     rec.status = JobStatus::Running;
 
-    const std::int64_t deadline_ms = config_.retry.deadline_ms;
+    const std::int64_t deadline_ms = effective_deadline_ms(config_.retry, job);
 
     // Same cache admission rules as the 2-D path; key_of_nd folds the graph
     // dimension in first, so a depth-d key can never collide by construction
     // with a structurally-similar 2-D job's key.
-    const bool cache_fault = faultpoint::triggered("svc.plancache");
+    const bool cache_fault = faultpoint::triggered("svc.plancache") ||
+                             faultpoint::triggered("svc.plancache.disk");
     const bool cache_usable = config_.plan_cache_capacity > 0 && !cache_fault &&
                               faultpoint::armed_points().empty();
     rec.cache = CacheOutcome::Bypass;
@@ -457,15 +470,18 @@ RunReport FusionService::run(const std::vector<JobSpec>& jobs) {
     // Restore verified jobs from the checkpoint manifest.
     if (!config_.checkpoint_path.empty()) {
         std::unordered_map<std::string, CheckpointEntry> done;
-        for (auto& e : load_checkpoint(config_.checkpoint_path)) {
+        int malformed = 0;
+        for (auto& e : load_checkpoint(config_.checkpoint_path, &malformed)) {
             if (e.status == JobStatus::Verified) done[e.id] = std::move(e);
         }
+        report.checkpoint_malformed = malformed;
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             const auto it = done.find(jobs[i].id);
             if (it == done.end()) continue;
             JobRecord& rec = report.jobs[i];
             rec.id = jobs[i].id;
             rec.klass = jobs[i].klass;
+            rec.tenant = jobs[i].tenant;
             rec.depth = jobs[i].depth;
             rec.status = JobStatus::Verified;
             rec.algorithm = it->second.algorithm;

@@ -72,6 +72,10 @@ struct ServiceConfig {
     /// Plan-cache capacity in resident plans (svc/plancache.hpp); 0
     /// disables the cache (every job records cache = bypass).
     std::size_t plan_cache_capacity = 128;
+    /// Directory of the persistent plan tier (svc/plancache.hpp); empty
+    /// disables it. Admitted plans are written there atomically and reloaded
+    /// lazily on memory misses, so warm state survives a kill -9.
+    std::string plan_store_dir;
 };
 
 struct RunCounts {
@@ -94,6 +98,10 @@ struct RunReport {
     /// Checkpoint appends that failed (IO error or injected svc.checkpoint
     /// fault); the run continues, resume just redoes those jobs.
     int checkpoint_failures = 0;
+    /// Malformed/truncated manifest lines skipped while restoring the
+    /// checkpoint (a killed writer's torn tail, manual edits); the affected
+    /// jobs are simply redone.
+    int checkpoint_malformed = 0;
     /// Plan-cache counters at the end of the run (cumulative across every
     /// run() of the same FusionService -- the cache persists between runs).
     PlanCacheStats plancache;
@@ -111,6 +119,17 @@ class FusionService {
     /// returns the full report. Job ids must be unique (lf::Error otherwise
     /// -- a manifest bug, not a job failure).
     [[nodiscard]] RunReport run(const std::vector<JobSpec>& jobs);
+
+    /// Cumulative plan-cache counters (across every run() of this service;
+    /// includes the persistent tier's disk_* counters). For the network
+    /// edge's drills and stats endpoints.
+    [[nodiscard]] PlanCacheStats plancache_stats() const { return plan_cache_.stats(); }
+
+    /// Persistent-tier path of `key`'s plan file (empty plan_store_dir =
+    /// no persistent tier). Exposed for drills that corrupt entries.
+    [[nodiscard]] std::string plan_file_path(std::uint64_t key) const {
+        return plan_cache_.plan_path(key);
+    }
 
   private:
     void process_job(const JobSpec& job, JobRecord& rec, PlannerWorkspace& ws);

@@ -226,6 +226,19 @@ TEST_F(FaultSpecTest, WellFormedSpecReportsNothing) {
     EXPECT_TRUE(faultpoint::is_armed("codegen.emit"));
 }
 
+TEST_F(FaultSpecTest, WireAndDiskTierFaultPointsAreRegistered) {
+    // The network edge and the persistent plan tier are storm-drill
+    // citizens like everything else: their points must be compiled in (so
+    // LF_FAULT can arm them) and drill-visible.
+    for (const char* point : {"net.accept", "net.read", "net.write", "net.torn_response",
+                              "svc.plancache.disk"}) {
+        EXPECT_TRUE(faultpoint::is_known_point(point)) << point;
+    }
+    EXPECT_TRUE(faultpoint::arm_from_spec("net.read,svc.plancache.disk").empty());
+    EXPECT_TRUE(faultpoint::is_armed("net.read"));
+    EXPECT_TRUE(faultpoint::is_armed("svc.plancache.disk"));
+}
+
 TEST_F(FaultSpecTest, CompiledInListMatchesRobustnessDoc) {
     // Drift guard: the table in docs/robustness.md (between the
     // faultpoint-table markers) must list exactly known_points(). A new

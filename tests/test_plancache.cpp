@@ -11,7 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fusion/driver.hpp"
@@ -20,6 +26,7 @@
 #include "support/faultpoint.hpp"
 #include "svc/manifest.hpp"
 #include "svc/plancache.hpp"
+#include "svc/planstore.hpp"
 #include "svc/report.hpp"
 #include "svc/service.hpp"
 #include "workloads/gallery.hpp"
@@ -270,6 +277,331 @@ TEST_F(PlanCacheTest, DisabledCacheRecordsBypass) {
     for (const auto& job : report.jobs) {
         EXPECT_EQ(job.cache, CacheOutcome::Bypass) << job.id;
     }
+}
+
+// ---- Persistent tier ----
+
+/// A fresh, self-cleaning store directory per test.
+struct TempStoreDir {
+    std::string path;
+    explicit TempStoreDir(const std::string& tag)
+        : path(::testing::TempDir() + "lf_plancache_" + tag + "_" + std::to_string(::getpid())) {
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+    ~TempStoreDir() {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+std::string slurp_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+void write_raw(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+FusionPlan fig2_plan() {
+    auto plan = try_plan_fusion(workloads::fig2_graph());
+    EXPECT_TRUE(plan.ok());
+    return *plan;
+}
+
+TEST_F(PlanCacheTest, PersistedPlanSurvivesAProcessRestartByteIdentical) {
+    TempStoreDir dir("roundtrip");
+    const FusionPlan plan = fig2_plan();
+    const std::uint64_t key = PlanCache::key_of(workloads::fig2_graph(), PlanOptions{}, true);
+    std::string file_image;
+    {
+        PlanCache cache(8, dir.path);
+        cache.insert(key, plan);
+        EXPECT_EQ(cache.stats().disk_writes, 1u);
+        ASSERT_TRUE(std::filesystem::exists(cache.plan_path(key)));
+        file_image = slurp_file(cache.plan_path(key));
+        EXPECT_EQ(file_image, planstore::encode_file(key, plan))
+            << "the on-disk image is the deterministic planstore encoding";
+    }
+    // A brand-new cache (the restarted process) serves the plan from disk:
+    // a memory miss, a disk hit, and a byte-identical plan.
+    PlanCache fresh(8, dir.path);
+    const auto hit = fresh.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(plan_fingerprint(*hit), plan_fingerprint(plan));
+    EXPECT_EQ(fresh.stats().hits, 1u);
+    EXPECT_EQ(fresh.stats().disk_hits, 1u);
+    EXPECT_EQ(fresh.stats().disk_misses, 0u);
+    EXPECT_EQ(slurp_file(fresh.plan_path(key)), file_image) << "the load must not rewrite";
+    // Promoted into memory: the second lookup is a pure memory hit.
+    ASSERT_TRUE(fresh.lookup(key).has_value());
+    EXPECT_EQ(fresh.stats().disk_hits, 1u);
+    EXPECT_EQ(fresh.stats().hits, 2u);
+}
+
+TEST_F(PlanCacheTest, EvictionLeavesTheDiskFileToReloadLater) {
+    TempStoreDir dir("evict");
+    const FusionPlan plan = fig2_plan();
+    PlanCache cache(1, dir.path);
+    cache.insert(1, plan);
+    cache.insert(2, plan);  // evicts key 1 from memory
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    ASSERT_TRUE(std::filesystem::exists(cache.plan_path(1)))
+        << "eviction is a memory event; the tier keeps the plan";
+    const auto hit = cache.lookup(1);  // comes back from disk
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(cache.stats().disk_hits, 1u);
+    EXPECT_EQ(plan_fingerprint(*hit), plan_fingerprint(plan));
+}
+
+TEST_F(PlanCacheTest, TruncatedEntryIsQuarantinedThenRebuilt) {
+    TempStoreDir dir("truncated");
+    const FusionPlan plan = fig2_plan();
+    const std::uint64_t key = 77;
+    std::string path;
+    {
+        PlanCache cache(8, dir.path);
+        cache.insert(key, plan);
+        path = cache.plan_path(key);
+    }
+    // A kill mid-rewrite cannot produce this (writes are atomic), but a bad
+    // disk or a meddling operator can.
+    write_raw(path, slurp_file(path).substr(0, 40));
+
+    PlanCache fresh(8, dir.path);
+    EXPECT_FALSE(fresh.lookup(key).has_value());
+    EXPECT_EQ(fresh.stats().disk_quarantined, 1u);
+    EXPECT_EQ(fresh.stats().disk_misses, 1u);
+    EXPECT_FALSE(std::filesystem::exists(path)) << "corrupt file must not stay under its name";
+    EXPECT_TRUE(std::filesystem::exists(path + ".quarantined"))
+        << "quarantined, not destroyed: the evidence survives for inspection";
+    // The job replans cold and re-inserts: the slot heals.
+    fresh.insert(key, plan);
+    EXPECT_EQ(fresh.stats().disk_writes, 1u);
+    ASSERT_TRUE(std::filesystem::exists(path));
+    PlanCache reader(8, dir.path);
+    EXPECT_TRUE(reader.lookup(key).has_value());
+}
+
+TEST_F(PlanCacheTest, BitFlippedEntryFailsTheChecksumAndIsQuarantined) {
+    TempStoreDir dir("bitflip");
+    const FusionPlan plan = fig2_plan();
+    const std::uint64_t key = 78;
+    std::string path;
+    {
+        PlanCache cache(8, dir.path);
+        cache.insert(key, plan);
+        path = cache.plan_path(key);
+    }
+    std::string bytes = slurp_file(path);
+    bytes[bytes.size() / 2] ^= 0x01;
+    write_raw(path, bytes);
+
+    PlanCache fresh(8, dir.path);
+    EXPECT_FALSE(fresh.lookup(key).has_value());
+    EXPECT_EQ(fresh.stats().disk_quarantined, 1u);
+    EXPECT_TRUE(std::filesystem::exists(path + ".quarantined"));
+}
+
+TEST_F(PlanCacheTest, MisKeyedEntryIsDetectedAndQuarantined) {
+    TempStoreDir dir("miskey");
+    const FusionPlan plan = fig2_plan();
+    PlanCache cache(8, dir.path);
+    cache.insert(101, plan);
+    // Copy a perfectly valid file under another key's name (an operator
+    // "restoring" the wrong backup): checksum fine, key line not.
+    std::filesystem::copy_file(cache.plan_path(101), cache.plan_path(202));
+
+    PlanCache fresh(8, dir.path);
+    EXPECT_FALSE(fresh.lookup(202).has_value());
+    EXPECT_EQ(fresh.stats().disk_quarantined, 1u);
+    EXPECT_TRUE(std::filesystem::exists(fresh.plan_path(202) + ".quarantined"));
+    // The honestly-named original still serves.
+    EXPECT_TRUE(fresh.lookup(101).has_value());
+}
+
+TEST_F(PlanCacheTest, DiskFaultPointFailsWritesAndMissesReads) {
+    TempStoreDir dir("fault");
+    const FusionPlan plan = fig2_plan();
+    const std::uint64_t key = 55;
+    {
+        // Armed during insert: the memory entry is fine, persistence fails.
+        PlanCache cache(8, dir.path);
+        faultpoint::arm("svc.plancache.disk");
+        cache.insert(key, plan);
+        EXPECT_EQ(cache.stats().disk_writes, 0u);
+        EXPECT_EQ(cache.stats().disk_write_failures, 1u);
+        EXPECT_FALSE(std::filesystem::exists(cache.plan_path(key)));
+        EXPECT_TRUE(cache.lookup(key).has_value()) << "memory tier unaffected";
+        EXPECT_GE(faultpoint::hits("svc.plancache.disk"), 1);
+        faultpoint::reset();
+        cache.insert(key, plan);  // refresh with the fault cleared: persists
+        EXPECT_EQ(cache.stats().disk_writes, 1u);
+    }
+    // Armed during lookup: the disk tier reports a miss and must NOT touch
+    // (much less quarantine) the perfectly healthy file.
+    PlanCache fresh(8, dir.path);
+    faultpoint::arm("svc.plancache.disk");
+    EXPECT_FALSE(fresh.lookup(key).has_value());
+    EXPECT_EQ(fresh.stats().disk_misses, 1u);
+    EXPECT_EQ(fresh.stats().disk_quarantined, 0u);
+    EXPECT_TRUE(std::filesystem::exists(fresh.plan_path(key)));
+    EXPECT_GE(faultpoint::hits("svc.plancache.disk"), 1);
+    faultpoint::reset();
+    EXPECT_TRUE(fresh.lookup(key).has_value());
+}
+
+TEST_F(PlanCacheTest, NdPlansPersistAndReloadByteIdentical) {
+    TempStoreDir dir("nd");
+    MldgN g(3);
+    g.add_node("A");
+    g.add_node("B");
+    g.add_edge(0, 1, {VecN{0, 0, 1}});
+    const NdFusionPlan plan = plan_fusion_nd(g);
+    const std::uint64_t key = PlanCache::key_of_nd(g, PlanOptions{}, true);
+    {
+        PlanCache cache(8, dir.path);
+        cache.insert_nd(key, plan);
+        EXPECT_EQ(slurp_file(cache.plan_path(key)), planstore::encode_file_nd(key, plan));
+    }
+    PlanCache fresh(8, dir.path);
+    const auto hit = fresh.lookup_nd(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(fresh.stats().disk_hits, 1u);
+    EXPECT_EQ(planstore::encode_file_nd(key, *hit), planstore::encode_file_nd(key, plan));
+}
+
+TEST_F(PlanCacheTest, UncreatableStoreDirDegradesToMemoryOnly) {
+    TempStoreDir dir("degrade");
+    const std::string blocker = dir.path + "/not_a_dir";
+    write_raw(blocker, "file in the way\n");
+    // create_directories under a regular file must fail; the cache keeps
+    // working, just without persistence.
+    PlanCache cache(8, blocker + "/store");
+    EXPECT_TRUE(cache.persist_dir().empty());
+    const FusionPlan plan = fig2_plan();
+    cache.insert(5, plan);
+    EXPECT_TRUE(cache.lookup(5).has_value());
+    EXPECT_EQ(cache.stats().disk_writes, 0u);
+}
+
+TEST_F(PlanCacheTest, DecodeFileRejectsArbitraryGarbageWithoutCrashing) {
+    const FusionPlan plan = fig2_plan();
+    const std::string valid = planstore::encode_file(31337, plan);
+    // Every truncation of a valid image must fail with a reason.
+    for (std::size_t len = 0; len < valid.size(); len += 7) {
+        const auto r = planstore::decode_file(31337, std::string_view(valid.data(), len));
+        EXPECT_FALSE(r.ok) << "truncated to " << len;
+        EXPECT_FALSE(r.error.empty()) << "truncated to " << len;
+    }
+    // Every single-byte corruption must fail (the checksum covers all
+    // preceding bytes; corrupting the checksum line itself mismatches too).
+    for (std::size_t pos = 0; pos < valid.size(); pos += 11) {
+        std::string bytes = valid;
+        bytes[pos] ^= 0x20;
+        EXPECT_FALSE(planstore::decode_file(31337, bytes).ok) << "flipped byte " << pos;
+    }
+    // Random garbage never crashes, never decodes.
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    for (int round = 0; round < 200; ++round) {
+        std::string junk(37 + static_cast<std::size_t>(round) * 3, '\0');
+        for (char& ch : junk) {
+            state = state * 6364136223846793005ull + 1442695040888963407ull;
+            ch = static_cast<char>(state >> 33);
+        }
+        EXPECT_FALSE(planstore::decode_file(1, junk).ok);
+    }
+    // The wrong expected key rejects an otherwise perfect image.
+    EXPECT_FALSE(planstore::decode_file(31338, valid).ok);
+    EXPECT_TRUE(planstore::decode_file(31337, valid).ok);
+}
+
+TEST_F(PlanCacheTest, ConcurrentCachesShareOneStoreDirSafely) {
+    TempStoreDir dir("concurrent");
+    // Four caches (four "processes") hammer one store: tiny memory capacity
+    // forces constant disk loads while others atomically rewrite the same
+    // content-addressed files. Every successful lookup must be the right
+    // plan; rename-based writes mean a reader sees an old or a new complete
+    // file, never a torn one.
+    std::vector<const workloads::Workload*> cases;
+    std::vector<std::string> expected;
+    for (const auto& w : workloads::paper_workloads()) {
+        const auto plan = try_plan_fusion(w.graph);
+        if (!plan.ok()) continue;
+        cases.push_back(&w);
+        expected.push_back(plan_fingerprint(*plan));
+    }
+    ASSERT_GE(cases.size(), 2u);
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> pool;
+    for (int t = 0; t < 4; ++t) {
+        pool.emplace_back([&] {
+            PlanCache cache(1, dir.path);
+            for (int iter = 0; iter < 8; ++iter) {
+                for (std::size_t i = 0; i < cases.size(); ++i) {
+                    const std::uint64_t key =
+                        PlanCache::key_of(cases[i]->graph, PlanOptions{}, true);
+                    auto hit = cache.lookup(key);
+                    if (!hit.has_value()) {
+                        const auto cold = try_plan_fusion(cases[i]->graph);
+                        if (!cold.ok()) continue;
+                        cache.insert(key, *cold);
+                        hit = cache.lookup(key);
+                    }
+                    if (hit.has_value() && plan_fingerprint(*hit) != expected[i]) {
+                        mismatches.fetch_add(1);
+                    }
+                }
+            }
+        });
+    }
+    for (auto& th : pool) th.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    // After the dust settles every plan file decodes cleanly.
+    PlanCache reader(8, dir.path);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const std::uint64_t key = PlanCache::key_of(cases[i]->graph, PlanOptions{}, true);
+        const auto hit = reader.lookup(key);
+        ASSERT_TRUE(hit.has_value()) << cases[i]->id;
+        EXPECT_EQ(plan_fingerprint(*hit), expected[i]) << cases[i]->id;
+    }
+    EXPECT_EQ(reader.stats().disk_quarantined, 0u);
+}
+
+TEST_F(PlanCacheTest, ServiceWarmStateSurvivesARestart) {
+    TempStoreDir dir("service");
+    ServiceConfig config;
+    config.workers = 1;
+    config.plan_store_dir = dir.path;
+    std::string file_image;
+    {
+        FusionService service(config);
+        const RunReport report = service.run(twin_jobs());
+        ASSERT_EQ(report.jobs.size(), 2u);
+        EXPECT_EQ(report.jobs[0].cache, CacheOutcome::Miss);
+        EXPECT_EQ(report.jobs[1].cache, CacheOutcome::Hit);
+        EXPECT_EQ(report.plancache.disk_writes, 1u);
+        const std::uint64_t key =
+            PlanCache::key_of(workloads::fig2_graph(), PlanOptions{}, true);
+        ASSERT_TRUE(std::filesystem::exists(service.plan_file_path(key)));
+        file_image = slurp_file(service.plan_file_path(key));
+    }
+    // The "restarted" service: no memory state, same store. The first twin
+    // is already a hit -- served from the tier the dead service left behind
+    // -- and the bytes on disk do not change.
+    FusionService reborn(config);
+    const RunReport report = reborn.run(twin_jobs());
+    ASSERT_EQ(report.jobs.size(), 2u);
+    EXPECT_EQ(report.jobs[0].cache, CacheOutcome::Hit);
+    EXPECT_EQ(report.jobs[1].cache, CacheOutcome::Hit);
+    EXPECT_EQ(report.jobs[0].status, JobStatus::Verified);
+    EXPECT_EQ(report.plancache.disk_hits, 1u);
+    EXPECT_EQ(report.plancache.disk_writes, 0u);
+    const std::uint64_t key = PlanCache::key_of(workloads::fig2_graph(), PlanOptions{}, true);
+    EXPECT_EQ(slurp_file(reborn.plan_file_path(key)), file_image)
+        << "a pre-kill plan must be served byte-identical after restart";
 }
 
 // ---- Warm-started ladder fidelity ----

@@ -25,6 +25,8 @@
 #include "ir/parser.hpp"
 #include "ldg/legality.hpp"
 #include "ldg/retiming.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "support/faultpoint.hpp"
 #include "support/status.hpp"
 #include "svc/manifest.hpp"
@@ -243,6 +245,28 @@ TEST_F(RobustnessTest, EveryFaultPointFires) {
             // are independent, but within one iteration the single armed
             // point always gets its shot.
             std::remove(ckpt.c_str());
+        }
+
+        // Network edge: the net.* points live on the server's accept / read /
+        // write paths, so reach them over a real loopback connection. A ping
+        // is enough: accepting the connection hits net.accept, reading the
+        // ping hits net.read, writing the pong hits net.write and
+        // net.torn_response. Whatever the armed fault does, the exchange
+        // must end in a closed connection or a frame, never a crash.
+        if (point.rfind("net.", 0) == 0) {
+            net::ServerConfig server_config;
+            server_config.service.workers = 1;
+            net::Server server(server_config);
+            std::string error;
+            ASSERT_TRUE(server.start(&error)) << point << ": " << error;
+            net::BlockingClient client;
+            if (client.connect("127.0.0.1", server.port(), 1000)) {
+                net::Frame ping;
+                ping.type = net::FrameType::Ping;
+                ping.request_id = 1;
+                if (client.send(ping)) (void)client.recv(2000);
+            }
+            server.stop();
         }
 
         EXPECT_GE(faultpoint::hits(point), 1u) << "fault point never reached: " << point;

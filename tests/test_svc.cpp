@@ -10,8 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <string>
@@ -421,6 +424,68 @@ TEST_F(SvcTest, CheckpointToleratesCorruptLinesAndQuarantines) {
     EXPECT_TRUE(fig8->from_checkpoint);
     EXPECT_FALSE(fig2->from_checkpoint);  // quarantined records are redone
     EXPECT_EQ(fig2->status, JobStatus::Verified);
+    std::remove(path.c_str());
+}
+
+TEST_F(SvcTest, CheckpointMalformedLineCountSurfacesInTheReport) {
+    const std::string path = temp_path("svc_malformed_count.ckpt");
+    std::remove(path.c_str());
+    {
+        std::ofstream out(path);
+        out << "lfsvc-checkpoint v1\n"
+            << "no tabs at all\n"                    // truncated fields
+            << "fig8\tverified\t1\tAlgorithm 3 (acyclic)\n"
+            << "fig2\texploded\t1\tx\n"              // unknown terminal state
+            << "fig2\tverified\tNaN\tx\n"            // non-numeric attempts
+            << "torn\tverified";                     // killed writer's tail
+    }
+    int malformed = -1;
+    const auto entries = load_checkpoint(path, &malformed);
+    EXPECT_EQ(entries.size(), 1u);
+    EXPECT_EQ(malformed, 4);
+
+    ServiceConfig config;
+    config.workers = 1;
+    config.checkpoint_path = path;
+    FusionService service(config);
+    const RunReport report = service.run(gallery_jobs());
+    EXPECT_EQ(report.checkpoint_malformed, 4);
+    const std::string json = report_to_json(report, false);
+    EXPECT_NE(json.find("\"checkpoint_malformed\": 4"), std::string::npos);
+
+    // The run appended one well-formed record per job (atomically, so no
+    // new damage), and the pre-existing damaged lines are preserved as
+    // evidence -- still skipped, still counted, never silently dropped.
+    int after = -1;
+    const auto resumed = load_checkpoint(path, &after);
+    EXPECT_EQ(resumed.size(), report.jobs.size());
+    EXPECT_EQ(after, 4);
+    std::remove(path.c_str());
+}
+
+TEST_F(SvcTest, CheckpointAppendTerminatesATornTailAtomically) {
+    const std::string path = temp_path("svc_torn_tail.ckpt");
+    std::remove(path.c_str());
+    {
+        std::ofstream out(path);
+        out << "lfsvc-checkpoint v1\n"
+            << "fig8\tverified\t1\tAlgorithm 3 (acyclic)\n"
+            << "fig2\tveri";  // the byte stream a kill -9 mid-write leaves
+    }
+    JobRecord rec;
+    rec.id = "jacobi";
+    rec.status = JobStatus::Verified;
+    rec.algorithm = "Algorithm 3 (acyclic)";
+    ASSERT_TRUE(append_checkpoint(path, rec));
+
+    int malformed = -1;
+    const auto entries = load_checkpoint(path, &malformed);
+    ASSERT_EQ(entries.size(), 2u);  // fig8 + jacobi; the torn line is skipped
+    EXPECT_EQ(entries[0].id, "fig8");
+    EXPECT_EQ(entries[1].id, "jacobi");
+    EXPECT_EQ(malformed, 1) << "the torn tail is counted, not silently eaten";
+    // No temp droppings from the atomic rewrite.
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp." + std::to_string(::getpid())));
     std::remove(path.c_str());
 }
 

@@ -3,8 +3,10 @@
 
 Works on both machine-readable outputs of bench/bench_micro:
 
-  BENCH_plan.json    entries under "modes",   keyed by "mode",   metric ns_per_plan
-  BENCH_solver.json  entries under "solvers", keyed by "solver", metric ns_per_op
+  BENCH_plan.json    entries under "modes",     keyed by "mode",     metric ns_per_plan
+  BENCH_solver.json  entries under "solvers",   keyed by "solver",   metric ns_per_op
+  BENCH_svc.json     entries under "scenarios", keyed by "scenario", metric p99_us
+                     (written by examples/storm_client against a live server)
 
 For every entry present in both files the ratio current/baseline of the
 time-per-item metric is computed; a ratio above --threshold is a
@@ -30,6 +32,7 @@ import sys
 SCHEMAS = [
     ("modes", "mode", "ns_per_plan"),
     ("solvers", "solver", "ns_per_op"),
+    ("scenarios", "scenario", "p99_us"),
 ]
 
 

@@ -1,0 +1,162 @@
+#!/usr/bin/env bash
+# storm_drill.sh -- the fusion_server acceptance drills.
+#
+# Two parts, mirroring docs/robustness.md ("The network edge"):
+#
+#   1. Fault-point storms: one loopback storm per net.* fault point (the
+#      fault fires on every hit, so transport flaps are the *expected*
+#      outcome -- the pass criterion is typed outcomes only: zero protocol
+#      violations, a clean server stop, never a crash or a hang).
+#   2. The kill -9 drill: warm the persistent plan tier, SIGKILL the server
+#      mid-storm, corrupt one on-disk plan, restart on the same store, and
+#      assert (a) the corrupt entry is quarantined and healed by rewrite,
+#      (b) every untouched pre-kill plan file is byte-identical, and
+#      (c) the reborn server still answers verified.
+#
+# Usage: tools/storm_drill.sh [BUILD_DIR]     (default: build)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVER="$BUILD_DIR/examples/example_fusion_server"
+CLIENT="$BUILD_DIR/examples/example_storm_client"
+[[ -x "$SERVER" && -x "$CLIENT" ]] || {
+    echo "storm_drill: build $SERVER and $CLIENT first" >&2
+    exit 2
+}
+
+WORK="$(mktemp -d /tmp/lf_storm_drill.XXXXXX)"
+SERVER_PID=""
+cleanup() {
+    [[ -n "$SERVER_PID" ]] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Starts the server in the background with the given extra flags, waits for
+# the bound port to land in the port file, and sets SERVER_PID / PORT.
+start_server() {
+    local port_file="$WORK/port"
+    rm -f "$port_file"
+    "$SERVER" --port 0 --port-file "$port_file" --workers 4 "$@" \
+        >"$WORK/server.out" 2>"$WORK/server.err" &
+    SERVER_PID=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$port_file" ]] && break
+        kill -0 "$SERVER_PID" 2>/dev/null || {
+            echo "storm_drill: server died on startup:" >&2
+            cat "$WORK/server.err" >&2
+            exit 1
+        }
+        sleep 0.05
+    done
+    [[ -s "$port_file" ]] || { echo "storm_drill: no port file" >&2; exit 1; }
+    PORT="$(cat "$port_file")"
+}
+
+stop_server() {
+    kill -TERM "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=""
+}
+
+fail=0
+
+echo "== selftest =="
+"$SERVER" --selftest >/dev/null || { echo "FAIL: selftest" >&2; fail=1; }
+
+echo "== baseline storm (no faults) =="
+start_server
+if "$CLIENT" --port "$PORT" --requests 40 --connections 4 --tenants 2 >/dev/null; then
+    echo "ok: baseline"
+else
+    echo "FAIL: baseline storm" >&2; fail=1
+fi
+stop_server
+
+for point in net.accept net.read net.write net.torn_response; do
+    echo "== fault storm: $point =="
+    LF_FAULT="$point" start_server
+    # The armed fault fires on every hit, so transport failures are the
+    # design outcome; protocol violations are the only failure.
+    if "$CLIENT" --port "$PORT" --requests 16 --connections 2 \
+            --timeout-ms 3000 --tolerate-transport >/dev/null; then
+        echo "ok: $point (typed outcomes only)"
+    else
+        echo "FAIL: $point produced a protocol violation" >&2; fail=1
+    fi
+    stop_server
+done
+
+echo "== fault storm: svc.plancache.disk (disk tier down, service up) =="
+LF_FAULT=svc.plancache.disk start_server --store "$WORK/faulted_store"
+if "$CLIENT" --port "$PORT" --requests 16 --connections 2 >/dev/null; then
+    echo "ok: svc.plancache.disk (every request still answered)"
+else
+    echo "FAIL: svc.plancache.disk storm" >&2; fail=1
+fi
+stop_server
+
+echo "== kill -9 / corrupt / restart drill =="
+STORE="$WORK/store"
+start_server --store "$STORE" --checkpoint "$WORK/svc.ckpt"
+# Warm every gallery source the storm client cycles through, so the store
+# holds one plan file per distinct key before the kill.
+"$CLIENT" --port "$PORT" --requests 8 --connections 2 >/dev/null \
+    || { echo "FAIL: warmup storm" >&2; fail=1; }
+shopt -s nullglob
+plans=("$STORE"/*.plan)
+shopt -u nullglob
+if (( ${#plans[@]} < 2 )); then
+    echo "FAIL: expected >=2 persisted plans, found ${#plans[@]}" >&2
+    fail=1
+fi
+victim="${plans[0]}"
+( cd "$STORE" && sha256sum *.plan ) | grep -v "$(basename "$victim")" \
+    > "$WORK/pre_kill.sha256"
+
+# SIGKILL mid-storm: no flush, no goodbye.
+"$CLIENT" --port "$PORT" --requests 400 --connections 4 \
+    --tolerate-transport >/dev/null 2>&1 &
+storm_pid=$!
+sleep 0.3
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+wait "$storm_pid" 2>/dev/null || true
+
+# Corrupt one survivor the way a torn write would: truncate mid-body.
+truncate -s 40 "$victim"
+
+start_server --store "$STORE" --checkpoint "$WORK/svc.ckpt"
+if "$CLIENT" --port "$PORT" --requests 8 --connections 2 >/dev/null; then
+    echo "ok: reborn server answers verified"
+else
+    echo "FAIL: post-restart storm" >&2; fail=1
+fi
+stop_server
+
+shopt -s nullglob
+quarantined=("$STORE"/*.quarantined)
+shopt -u nullglob
+if (( ${#quarantined[@]} >= 1 )); then
+    echo "ok: corrupt entry quarantined (${quarantined[0]##*/})"
+else
+    echo "FAIL: corrupt plan was not quarantined" >&2; fail=1
+fi
+if [[ -f "$victim" ]]; then
+    echo "ok: quarantined entry healed by rewrite"
+else
+    echo "FAIL: quarantined entry was not rebuilt" >&2; fail=1
+fi
+if ( cd "$STORE" && sha256sum -c "$WORK/pre_kill.sha256" --quiet ); then
+    echo "ok: untouched pre-kill plans byte-identical after kill -9"
+else
+    echo "FAIL: pre-kill plan files changed across the kill" >&2; fail=1
+fi
+
+if (( fail )); then
+    echo "storm_drill: FAILED" >&2
+    exit 1
+fi
+echo "storm_drill: all drills passed"
