@@ -25,6 +25,8 @@
 #include <iostream>
 
 #include "analysis/dependence.hpp"
+#include "exec/compile.hpp"
+#include "exec/native.hpp"
 #include "fusion/acyclic_doall.hpp"
 #include "fusion/certify.hpp"
 #include "fusion/cyclic_doall.hpp"
@@ -36,6 +38,8 @@
 #include "graph/solver_workspace.hpp"
 #include "ir/parser.hpp"
 #include "graph/spfa.hpp"
+#include "mdir/analysis.hpp"
+#include "mdir/parser.hpp"
 #include "sim/cache.hpp"
 #include "support/json.hpp"
 #include "support/vecn.hpp"
@@ -493,20 +497,144 @@ bool write_solver_json(const std::string& path) {
     return out.good();
 }
 
+// ---- Machine-readable native-kernel summary (BENCH_exec.json) ----
+//
+// Compiles every replayable gallery workload (plus a depth-3 pipeline)
+// through the crash-contained native backend and reports the fused vs
+// unfused wall time of the *emitted C*, best of `kExecTrials` sandboxed
+// runs per kernel. Each run also differentially checks the native checksum
+// against the interpreter: a kernel only appears as "verified" if every
+// trial reproduced the interpreter's result bit-for-bit. Domains are sized
+// so locality (not parallelism: the sandbox runs without OpenMP here) makes
+// the fused form win -- the acceptance bar is fused_ns <= unfused_ns on
+// every gallery kernel.
+//
+// When no C compiler is on PATH the summary is written with
+// compiler_available=false and an empty kernel array, so report-only CI
+// diffs degrade gracefully instead of failing the build.
+
+struct ExecKernelRow {
+    std::string name;
+    std::string outcome;        // exec::to_string of the worst trial
+    std::int64_t unfused_ns = 0;
+    std::int64_t fused_ns = 0;
+};
+
+/// Folds one native check into the row: keeps the minimum per-form wall
+/// time over trials, and the first non-verified outcome (if any) wins.
+void fold_trial(ExecKernelRow& row, const exec::NativeCheck& nc) {
+    if (!nc.verified()) {
+        if (row.outcome.empty() || row.outcome == "verified") {
+            row.outcome = std::string(exec::to_string(nc.outcome)) +
+                          (nc.detail.empty() ? "" : ": " + nc.detail);
+        }
+        return;
+    }
+    if (row.outcome.empty()) row.outcome = "verified";
+    if (row.unfused_ns == 0 || nc.ns_original < row.unfused_ns) {
+        row.unfused_ns = nc.ns_original;
+    }
+    if (row.fused_ns == 0 || nc.ns_fused < row.fused_ns) row.fused_ns = nc.ns_fused;
+}
+
+bool write_exec_json(const std::string& path) {
+    constexpr int kExecTrials = 7;
+    const Domain dom2d{1024, 1024};
+
+    exec::KernelCompiler compiler;  // fresh mkdtemp cache; objects reused across trials
+    std::vector<ExecKernelRow> rows;
+
+    if (compiler.compiler_available()) {
+        struct GalleryEntry {
+            const char* name;
+            std::string_view source;
+        };
+        const GalleryEntry gallery[] = {
+            {"fig2", workloads::sources::kFig2},
+            {"fig8", workloads::sources::kFig8},
+            {"jacobi", workloads::sources::kJacobiPair},
+            {"iir", workloads::sources::kIirChain},
+        };
+        exec::SandboxLimits limits;
+        limits.wall_ms = 60'000;  // 1024x1024 x 6 arrays is well under this
+        for (const auto& entry : gallery) {
+            ExecKernelRow row;
+            row.name = entry.name;
+            const ir::Program p = ir::parse_program(entry.source);
+            const FusionPlan plan = plan_fusion(analysis::build_mldg(p));
+            for (int t = 0; t < kExecTrials; ++t) {
+                fold_trial(row, exec::native_check(p, plan, dom2d, compiler, limits));
+            }
+            rows.push_back(std::move(row));
+        }
+        {
+            ExecKernelRow row;
+            row.name = "volume3d";
+            const auto p = mdir::parse_md_program(workloads::sources::kVolume3d);
+            const NdFusionPlan plan = plan_fusion_nd(analysis::build_mldg_nd(p));
+            exec::MdDomain mdom;
+            mdom.ext = {96, 96, 96};
+            for (int t = 0; t < kExecTrials; ++t) {
+                fold_trial(row, exec::native_check_nd(p, plan, mdom, compiler, limits));
+            }
+            rows.push_back(std::move(row));
+        }
+    }
+
+    json::Writer w;
+    w.begin_object();
+    w.kv("compiler_available", compiler.compiler_available());
+    w.kv("trials", kExecTrials);
+    w.key("domain_2d").begin_array();
+    w.value(dom2d.n);
+    w.value(dom2d.m);
+    w.end_array();
+    w.key("kernels").begin_array();
+    for (const ExecKernelRow& row : rows) {
+        w.begin_object();
+        w.kv("kernel", row.name);
+        w.kv("native", row.outcome);
+        w.kv("unfused_ns", row.unfused_ns);
+        w.kv("fused_ns", row.fused_ns);
+        w.kv("ratio", row.unfused_ns == 0
+                          ? 0.0
+                          : static_cast<double>(row.fused_ns) /
+                                static_cast<double>(row.unfused_ns));
+        w.end_object();
+    }
+    w.end_array();
+    const exec::CompileStats cs = compiler.stats();
+    w.key("compile").begin_object();
+    w.kv("compiles", cs.compiles);
+    w.kv("cache_hits", cs.cache_hits);
+    w.kv("failures", cs.failures);
+    w.end_object();
+    w.end_object();
+
+    std::ofstream out(path);
+    if (!out.good()) return false;
+    out << w.str() << '\n';
+    return out.good();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::string solver_json = "BENCH_solver.json";
     std::string plan_json = "BENCH_plan.json";
+    std::string exec_json;  // native runs need a C compiler: opt-in
     // Peel off our flags before google-benchmark sees the argument list.
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
         constexpr const char* kSolverFlag = "--solver_json=";
         constexpr const char* kPlanFlag = "--plan_json=";
+        constexpr const char* kExecFlag = "--exec_json=";
         if (std::strncmp(argv[i], kSolverFlag, std::strlen(kSolverFlag)) == 0) {
             solver_json = argv[i] + std::strlen(kSolverFlag);
         } else if (std::strncmp(argv[i], kPlanFlag, std::strlen(kPlanFlag)) == 0) {
             plan_json = argv[i] + std::strlen(kPlanFlag);
+        } else if (std::strncmp(argv[i], kExecFlag, std::strlen(kExecFlag)) == 0) {
+            exec_json = argv[i] + std::strlen(kExecFlag);
         } else {
             argv[kept++] = argv[i];
         }
@@ -529,6 +657,13 @@ int main(int argc, char** argv) {
             return 1;
         }
         std::cout << "wrote " << plan_json << '\n';
+    }
+    if (!exec_json.empty()) {
+        if (!write_exec_json(exec_json)) {
+            std::cerr << "bench_micro: could not write " << exec_json << '\n';
+            return 1;
+        }
+        std::cout << "wrote " << exec_json << '\n';
     }
     return 0;
 }

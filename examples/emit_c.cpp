@@ -1,23 +1,161 @@
-// Example: emit a stand-alone, self-verifying C program for a loop nest.
+// Example: emit -- and optionally compile, sandbox and verify -- the C form
+// of a loop nest.
 //
 //   example_emit_c [file.loop] [--n N] [--m M] > fused.c
 //   cc -O2 -fopenmp -o fused fused.c && ./fused     # prints "OK <checksum>"
 //
+//   example_emit_c --workload jacobi --run          # compile + run natively
+//   example_emit_c --workload volume3d --run        # depth-3 pipeline
+//   example_emit_c --drill crash                    # containment drill
+//
 // With no file argument the paper's Figure 2 program is used. The emitted
 // file contains the original nest, the fused nest (with an OpenMP pragma on
 // DOALL rows) and a bit-exact comparison of the two.
+//
+// --run hands the kernel to the crash-contained native backend: the emitted
+// C is compiled into a cached shared object, executed in a forked sandbox
+// under rlimits and a wall-clock watchdog, and its checksum differentially
+// checked against the interpreter. Exit status: 0 if the kernel verified,
+// 2 if the backend contained a failure (crash, timeout, mismatch, compile
+// error), 1 on harness errors (bad arguments, no workload, parse failure).
+//
+// --drill crash|spin|oom pushes a deliberately broken kernel through the
+// same backend and exits 0 only if the failure was contained as the
+// documented typed outcome while this process survived.
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <vector>
 
 #include "analysis/dependence.hpp"
+#include "exec/compile.hpp"
+#include "exec/native.hpp"
+#include "exec/runner.hpp"
 #include "fusion/driver.hpp"
+#include "fusion/multidim.hpp"
 #include "ir/parser.hpp"
+#include "mdir/analysis.hpp"
+#include "mdir/parser.hpp"
 #include "support/diagnostics.hpp"
 #include "transform/codegen_c.hpp"
+#include "transform/codegen_nd.hpp"
 #include "transform/fused_program.hpp"
 #include "workloads/sources.hpp"
+
+namespace {
+
+using namespace lf;
+
+struct Workload {
+    const char* name;
+    std::string_view source;
+    bool nd;
+};
+
+constexpr Workload kWorkloads[] = {
+    {"fig2", workloads::sources::kFig2, false},
+    {"fig8", workloads::sources::kFig8, false},
+    {"jacobi", workloads::sources::kJacobiPair, false},
+    {"iir", workloads::sources::kIirChain, false},
+    {"volume3d", workloads::sources::kVolume3d, true},
+    {"hyper4d", workloads::sources::kHyper4d, true},
+};
+
+const Workload* find_workload(const std::string& name) {
+    for (const auto& w : kWorkloads) {
+        if (name == w.name) return &w;
+    }
+    return nullptr;
+}
+
+void print_check(const char* what, const exec::NativeCheck& nc) {
+    std::cerr << what << ": " << to_string(nc.outcome);
+    if (!nc.detail.empty()) std::cerr << " -- " << nc.detail;
+    if (nc.verified()) {
+        std::cerr << " (original " << nc.ns_original << "ns, fused " << nc.ns_fused
+                  << "ns" << (nc.from_cache ? ", cached object" : "") << ")";
+    }
+    std::cerr << '\n';
+}
+
+/// Exit status for a finished native check, per the documented contract.
+int check_exit_code(const exec::NativeCheck& nc) {
+    if (nc.verified()) return 0;
+    if (exec::is_native_failure(nc.outcome)) return 2;
+    return 1;  // Skipped / Unavailable / NotRun: nothing was actually proven
+}
+
+/// --drill: compile a kernel that is broken in a known way and confirm the
+/// sandbox reports the documented typed outcome while we stay alive.
+int run_drill(const std::string& mode, bool openmp) {
+    std::string body;
+    exec::RunState expect;
+    exec::SandboxLimits limits;
+    if (mode == "crash") {
+        body = "int lf_kernel_run(void* out) {\n"
+               "    (void)out;\n"
+               "    volatile long long* p = (volatile long long*)0;\n"
+               "    *p = 42;\n"
+               "    return 0;\n"
+               "}\n";
+        expect = exec::RunState::Crashed;
+    } else if (mode == "spin") {
+        body = "int lf_kernel_run(void* out) {\n"
+               "    (void)out;\n"
+               "    volatile int spin = 1;\n"
+               "    while (spin) {}\n"
+               "    return 0;\n"
+               "}\n";
+        expect = exec::RunState::Timeout;
+        limits.wall_ms = 1500;
+        limits.term_grace_ms = 200;
+    } else if (mode == "oom") {
+        body = "#include <stdlib.h>\n"
+               "#include <string.h>\n"
+               "int lf_kernel_run(void* out) {\n"
+               "    (void)out;\n"
+               "    for (;;) {\n"
+               "        void* p = malloc(16u << 20);\n"
+               "        if (p == NULL) abort();\n"
+               "        memset(p, 0xab, 16u << 20);\n"
+               "    }\n"
+               "    return 0;\n"
+               "}\n";
+        expect = exec::RunState::Crashed;
+        limits.address_space_bytes = 256ll << 20;
+        limits.wall_ms = 30'000;
+    } else {
+        std::cerr << "error: unknown drill '" << mode << "' (crash|spin|oom)\n";
+        return 1;
+    }
+
+    exec::CompileOptions copts;
+    copts.openmp = openmp;
+    exec::KernelCompiler compiler(copts);
+    if (!compiler.compiler_available()) {
+        std::cerr << "drill skipped: no C compiler on PATH\n";
+        return 1;
+    }
+    const Result<exec::CompiledKernel> compiled = compiler.compile(body);
+    if (!compiled.ok()) {
+        std::cerr << "drill harness error: " << compiled.status().message() << '\n';
+        return 1;
+    }
+    const exec::RunOutcome out = exec::run_kernel(compiled.value().path, limits);
+    std::cerr << "drill " << mode << ": " << to_string(out.state);
+    if (!out.detail.empty()) std::cerr << " -- " << out.detail;
+    std::cerr << '\n';
+    if (out.state != expect) {
+        std::cerr << "drill FAILED: expected " << to_string(expect) << '\n';
+        return 1;
+    }
+    std::cerr << "drill contained; parent survived\n";
+    return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     using namespace lf;
@@ -25,6 +163,10 @@ int main(int argc, char** argv) {
         // Argument parsing sits inside the try block: std::stoll throws on
         // non-numeric --n/--m values and must exit cleanly, not crash.
         std::string source(workloads::sources::kFig2);
+        bool nd = false;
+        bool run = false;
+        bool openmp = false;
+        std::string drill;
         Domain dom{100, 100};
         for (int k = 1; k < argc; ++k) {
             const std::string arg = argv[k];
@@ -32,6 +174,23 @@ int main(int argc, char** argv) {
                 dom.n = std::stoll(argv[++k]);
             } else if (arg == "--m" && k + 1 < argc) {
                 dom.m = std::stoll(argv[++k]);
+            } else if (arg == "--workload" && k + 1 < argc) {
+                const std::string name = argv[++k];
+                const Workload* w = find_workload(name);
+                if (w == nullptr) {
+                    std::cerr << "error: unknown workload '" << name << "' (";
+                    for (const auto& cand : kWorkloads) std::cerr << cand.name << ' ';
+                    std::cerr << ")\n";
+                    return 1;
+                }
+                source = std::string(w->source);
+                nd = w->nd;
+            } else if (arg == "--drill" && k + 1 < argc) {
+                drill = argv[++k];
+            } else if (arg == "--run") {
+                run = true;
+            } else if (arg == "--openmp") {
+                openmp = true;
             } else {
                 std::ifstream in(arg);
                 if (!in.good()) {
@@ -41,14 +200,48 @@ int main(int argc, char** argv) {
                 std::ostringstream buf;
                 buf << in.rdbuf();
                 source = buf.str();
+                nd = false;
             }
         }
+
+        if (!drill.empty()) return run_drill(drill, openmp);
+
+        exec::CompileOptions copts;
+        copts.openmp = openmp;
+        exec::KernelCompiler compiler(copts);
+
+        if (nd) {
+            const auto program = mdir::parse_md_program(source);
+            const NdFusionPlan plan = plan_fusion_nd(mdir::build_mldg_nd(program));
+            exec::MdDomain mdom;
+            mdom.ext.assign(static_cast<std::size_t>(program.dim), 24);
+            std::cerr << "plan: "
+                      << (plan.level == NdParallelism::OutermostCarried
+                              ? "outermost-carried"
+                              : "hyperplane")
+                      << "\nexpected output: OK "
+                      << transform::expected_md_c_checksum(program, mdom) << '\n';
+            if (run) {
+                const exec::NativeCheck nc =
+                    exec::native_check_nd(program, plan, mdom, compiler);
+                print_check("native", nc);
+                return check_exit_code(nc);
+            }
+            std::cout << transform::emit_md_c_program(program, plan, mdom);
+            return 0;
+        }
+
         const ir::Program program = ir::parse_program(source);
         const FusionPlan plan = plan_fusion(analysis::build_mldg(program));
         const transform::FusedProgram fused = transform::fuse_program(program, plan);
         std::cerr << "plan: " << to_string(plan.algorithm) << " -> " << to_string(plan.level)
                   << "\nexpected output: OK " << transform::expected_c_checksum(program, dom)
                   << '\n';
+        if (run) {
+            const exec::NativeCheck nc = exec::native_check(program, plan, dom, compiler);
+            print_check("native", nc);
+            return check_exit_code(nc);
+        }
         std::cout << transform::emit_c_program(program, fused, dom);
     } catch (const Error& e) {
         std::cerr << "error: " << e.what() << '\n';

@@ -52,6 +52,9 @@ void usage() {
         "  --mldg FILE        add a graph-only job from serialized MLDG text\n"
         "  --dsl FILE         add a replayable job from DSL program text\n"
         "  --domain N M       replay domain (default 12 12)\n"
+        "  --exec             compile + run emitted kernels natively before Verified\n"
+        "  --exec-cache DIR   compiled-object cache directory (default: per-run temp)\n"
+        "  --exec-wall-ms W   native sandbox wall-clock budget (default 10000)\n"
         "  --storm            run once per compiled-in fault point, arming each in turn\n"
         "  --help             this text\n";
 }
@@ -127,7 +130,10 @@ int main(int argc, char** argv) {
             else if (arg == "--domain") {
                 domain.n = std::stoll(next_arg(i));
                 domain.m = std::stoll(next_arg(i));
-            } else if (arg == "--storm") storm = true;
+            } else if (arg == "--exec") config.native_exec = true;
+            else if (arg == "--exec-cache") config.native_cache_dir = next_arg(i);
+            else if (arg == "--exec-wall-ms") config.native_wall_ms = std::stoll(next_arg(i));
+            else if (arg == "--storm") storm = true;
             else if (arg == "--help" || arg == "-h") { usage(); return 0; }
             else {
                 std::cerr << "fusion_service: unknown option '" << arg << "'\n";
@@ -167,6 +173,11 @@ int main(int argc, char** argv) {
                       << " quarantined";
             if (counts.short_circuited > 0) {
                 std::cout << ", " << counts.short_circuited << " short-circuited";
+            }
+            if (config.native_exec) {
+                std::cout << ", native " << counts.native_verified << " verified/"
+                          << counts.native_contained << " contained/"
+                          << counts.native_skipped << " skipped";
             }
             std::cout << " (" << report.jobs.size() << " jobs)\n";
             std::string why;

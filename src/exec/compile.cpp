@@ -1,0 +1,317 @@
+#include "exec/compile.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/faultpoint.hpp"
+
+namespace lf::exec {
+
+namespace {
+
+/// Footer magic: "LFSO" + 16-bit version + 2 pad bytes, 8 bytes total,
+/// followed by 8 bytes of little-endian FNV-1a 64 over everything before
+/// the footer. ELF loaders ignore appended bytes, so footered objects are
+/// dlopen()able without stripping.
+constexpr char kFooterMagic[8] = {'L', 'F', 'S', 'O', 0, 1, 0, 0};
+constexpr std::size_t kFooterSize = 16;
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t h = 0xcbf29ce484222325ULL) {
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string hex16(std::uint64_t v) {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+void put_le64(std::string& out, std::uint64_t v) {
+    for (int k = 0; k < 8; ++k) out.push_back(static_cast<char>((v >> (8 * k)) & 0xff));
+}
+
+std::uint64_t get_le64(const char* p) {
+    std::uint64_t v = 0;
+    for (int k = 7; k >= 0; --k) {
+        v = (v << 8) | static_cast<unsigned char>(p[static_cast<std::size_t>(k)]);
+    }
+    return v;
+}
+
+/// Reads the whole file; false on any IO failure.
+bool slurp(const std::string& path, std::string& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good()) return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return in.good() || in.eof();
+}
+
+/// True when `bytes` is a well-formed footered object image.
+bool footer_valid(const std::string& bytes) {
+    if (bytes.size() < kFooterSize) return false;
+    const std::size_t body = bytes.size() - kFooterSize;
+    if (std::memcmp(bytes.data() + body, kFooterMagic, sizeof(kFooterMagic)) != 0) return false;
+    const std::uint64_t stored = get_le64(bytes.data() + body + sizeof(kFooterMagic));
+    return fnv1a(std::string_view(bytes.data(), body)) == stored;
+}
+
+/// Runs `argv` (argv[0] resolved via PATH), with stdout+stderr redirected
+/// to `log_path`. Returns the wait status, or -1 when the spawn itself
+/// failed. Only async-signal-safe calls between fork and exec.
+int run_subprocess(const std::vector<std::string>& argv, const std::string& log_path) {
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    const int log_fd =
+        ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        if (log_fd >= 0) ::close(log_fd);
+        return -1;
+    }
+    if (pid == 0) {
+        if (log_fd >= 0) {
+            (void)::dup2(log_fd, STDOUT_FILENO);
+            (void)::dup2(log_fd, STDERR_FILENO);
+        }
+        ::execvp(cargv[0], cargv.data());
+        ::_exit(127);  // exec failed (compiler missing)
+    }
+    if (log_fd >= 0) ::close(log_fd);
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0) {
+        if (errno != EINTR) return -1;
+    }
+    return status;
+}
+
+/// First ~600 bytes of the compiler log, for failure diagnostics.
+std::string log_excerpt(const std::string& log_path) {
+    std::string text;
+    if (!slurp(log_path, text)) return "(no compiler output captured)";
+    if (text.size() > 600) {
+        text.resize(600);
+        text += "...";
+    }
+    // Keep the excerpt single-line-ish for Status messages.
+    for (char& c : text) {
+        if (c == '\n') c = ' ';
+    }
+    return text;
+}
+
+std::vector<std::string> effective_flags(const CompileOptions& o) {
+    std::vector<std::string> flags = o.flags;
+    if (o.openmp) flags.push_back("-fopenmp");
+    flags.insert(flags.end(), o.extra_flags.begin(), o.extra_flags.end());
+    return flags;
+}
+
+}  // namespace
+
+KernelCompiler::KernelCompiler(CompileOptions options) : options_(std::move(options)) {}
+
+std::uint64_t KernelCompiler::key_of(const std::string& c_source,
+                                     const CompileOptions& options) {
+    std::uint64_t h = fnv1a(c_source);
+    h = fnv1a("\0cc\0", h);
+    h = fnv1a(options.cc, h);
+    for (const auto& f : effective_flags(options)) {
+        h = fnv1a("\0flag\0", h);
+        h = fnv1a(f, h);
+    }
+    return h;
+}
+
+bool KernelCompiler::compiler_available(const std::string& cc) {
+    static std::mutex m;
+    static std::map<std::string, bool> cache;
+    const std::lock_guard<std::mutex> lock(m);
+    const auto it = cache.find(cc);
+    if (it != cache.end()) return it->second;
+    const std::string cmd = cc + " --version > /dev/null 2>&1";
+    const bool ok = std::system(cmd.c_str()) == 0;
+    cache[cc] = ok;
+    return ok;
+}
+
+CompileStats KernelCompiler::stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::string KernelCompiler::cache_dir() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return dir_;
+}
+
+Result<CompiledKernel> KernelCompiler::compile(const std::string& c_source) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return compile_locked(c_source);
+}
+
+Result<CompiledKernel> KernelCompiler::compile_locked(const std::string& c_source) {
+    if (faultpoint::triggered("exec.compile")) {
+        ++stats_.failures;
+        return Result<CompiledKernel>(
+            Status(StatusCode::Internal, "fault injected: exec.compile"));
+    }
+
+    // Resolve the cache directory lazily (mkdtemp when unset).
+    if (dir_.empty()) {
+        if (!options_.cache_dir.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(options_.cache_dir, ec);
+            if (ec) {
+                ++stats_.failures;
+                return Result<CompiledKernel>(Status(
+                    StatusCode::Internal,
+                    "cannot create kernel cache dir '" + options_.cache_dir + "': " +
+                        ec.message()));
+            }
+            dir_ = options_.cache_dir;
+        } else {
+            const char* tmp = std::getenv("TMPDIR");
+            std::string templ = std::string(tmp != nullptr ? tmp : "/tmp") + "/lfkernelXXXXXX";
+            std::vector<char> buf(templ.begin(), templ.end());
+            buf.push_back('\0');
+            if (::mkdtemp(buf.data()) == nullptr) {
+                ++stats_.failures;
+                return Result<CompiledKernel>(Status(
+                    StatusCode::Internal,
+                    std::string("mkdtemp failed for kernel cache: ") + std::strerror(errno)));
+            }
+            dir_ = buf.data();
+        }
+    }
+
+    const std::uint64_t key = key_of(c_source, options_);
+    const std::string final_path = dir_ + "/" + hex16(key) + ".so";
+
+    // ---- Cache lookup: trust nothing without a valid footer. ----
+    if (std::filesystem::exists(final_path)) {
+        std::string bytes;
+        if (slurp(final_path, bytes) && footer_valid(bytes)) {
+            ++stats_.cache_hits;
+            return Result<CompiledKernel>(CompiledKernel{final_path, key, true});
+        }
+        // Quarantine-by-rename: keep the corrupt object as evidence, then
+        // heal by recompiling below.
+        const std::string quarantine =
+            final_path + ".quarantined." + std::to_string(::getpid()) + "." +
+            std::to_string(seq_);
+        std::error_code ec;
+        std::filesystem::rename(final_path, quarantine, ec);
+        if (ec) std::filesystem::remove(final_path, ec);  // rename failed: drop it
+        ++stats_.quarantined;
+    }
+
+    // ---- Compile to a temp object in the cache directory. ----
+    const std::string tag =
+        std::to_string(static_cast<long long>(::getpid())) + "." + std::to_string(seq_++);
+    const std::string src_path = dir_ + "/tmp." + tag + ".c";
+    const std::string obj_path = dir_ + "/tmp." + tag + ".so";
+    const std::string log_path = dir_ + "/tmp." + tag + ".log";
+    {
+        std::ofstream out(src_path, std::ios::binary);
+        out << c_source;
+        if (!out.good()) {
+            ++stats_.failures;
+            return Result<CompiledKernel>(
+                Status(StatusCode::Internal, "cannot write kernel source to " + src_path));
+        }
+    }
+
+    std::vector<std::string> argv{options_.cc};
+    for (const auto& f : effective_flags(options_)) argv.push_back(f);
+    argv.push_back("-o");
+    argv.push_back(obj_path);
+    argv.push_back(src_path);
+
+    const int status = run_subprocess(argv, log_path);
+    const auto cleanup_tmp = [&] {
+        std::error_code ec;
+        std::filesystem::remove(src_path, ec);
+        std::filesystem::remove(obj_path, ec);
+        std::filesystem::remove(log_path, ec);
+    };
+    if (status < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        std::string why;
+        if (status < 0) {
+            why = "spawn failed";
+        } else if (WIFEXITED(status) && WEXITSTATUS(status) == 127) {
+            why = "compiler '" + options_.cc + "' not found on PATH";
+        } else {
+            why = "compiler exited with status " +
+                  std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1) + ": " +
+                  log_excerpt(log_path);
+        }
+        cleanup_tmp();
+        ++stats_.failures;
+        return Result<CompiledKernel>(
+            Status(StatusCode::Internal, "kernel compile failed: " + why));
+    }
+
+    // ---- Footer + fsync + atomic rename into the content address. ----
+    std::string bytes;
+    if (!slurp(obj_path, bytes) || bytes.empty()) {
+        cleanup_tmp();
+        ++stats_.failures;
+        return Result<CompiledKernel>(
+            Status(StatusCode::Internal, "compiler produced no readable object"));
+    }
+    std::string footer(kFooterMagic, sizeof(kFooterMagic));
+    put_le64(footer, fnv1a(bytes));
+    {
+        const int fd = ::open(obj_path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+        bool ok = fd >= 0;
+        if (ok) {
+            ok = ::write(fd, footer.data(), footer.size()) ==
+                 static_cast<ssize_t>(footer.size());
+            ok = ::fsync(fd) == 0 && ok;
+            ok = ::close(fd) == 0 && ok;
+        }
+        if (!ok) {
+            cleanup_tmp();
+            ++stats_.failures;
+            return Result<CompiledKernel>(
+                Status(StatusCode::Internal, "cannot append checksum footer to " + obj_path));
+        }
+    }
+    {
+        std::error_code ec;
+        std::filesystem::rename(obj_path, final_path, ec);
+        if (ec) {
+            cleanup_tmp();
+            ++stats_.failures;
+            return Result<CompiledKernel>(Status(
+                StatusCode::Internal, "cannot publish kernel object: " + ec.message()));
+        }
+        std::filesystem::remove(src_path, ec);
+        std::filesystem::remove(log_path, ec);
+    }
+    ++stats_.compiles;
+    return Result<CompiledKernel>(CompiledKernel{final_path, key, false});
+}
+
+}  // namespace lf::exec

@@ -1,0 +1,97 @@
+#pragma once
+// Kernel compiler for the native execution backend: turns emitted C kernel
+// sources (transform/codegen_c.hpp, transform/codegen_nd.hpp) into shared
+// objects via a `cc` subprocess, with a content-addressed on-disk cache that
+// follows the planstore discipline (svc/planstore.hpp):
+//
+//   <cache_dir>/<16-hex-key>.so
+//
+// where key = FNV-1a 64 over the source text plus every input that affects
+// the object (compiler name, flag set, OpenMP mode). Each cached file ends
+// in a 16-byte footer -- 8-byte magic "LFSO" + version, then the FNV-1a 64
+// of every preceding byte, little-endian -- appended after compilation.
+// ELF loaders ignore trailing bytes, so the footered file is dlopen()able
+// as-is. On lookup the footer is re-verified: a torn, truncated or
+// bit-flipped object is *quarantined by rename* (never dlopen()ed, never
+// deleted -- it is evidence) and healed by recompiling. Writes are atomic:
+// the compiler writes a temp file in the cache directory, the footer is
+// appended, the file fsync()ed, then rename()d over the final name.
+//
+// compile() never throws; failures come back as typed Status values
+// (Unavailable compiler / cc exit != 0 / injected exec.compile fault), and
+// the class is safe to share across service worker threads.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace lf::exec {
+
+struct CompileOptions {
+    /// Compiler driver, resolved via PATH.
+    std::string cc = "cc";
+    /// Baseline flag set for every kernel.
+    std::vector<std::string> flags = {"-O2", "-fPIC", "-shared"};
+    /// Append -fopenmp (parallel DOALL rows / wavefronts).
+    bool openmp = false;
+    /// Extra flags appended after `flags` (e.g. {"-Wall", "-Werror"}).
+    std::vector<std::string> extra_flags;
+    /// Cache directory; created if missing. Empty: a fresh mkdtemp()
+    /// directory under TMPDIR, created lazily on first compile.
+    std::string cache_dir;
+};
+
+struct CompiledKernel {
+    /// Path of the cached shared object (with checksum footer).
+    std::string path;
+    /// Content address (key) of the object.
+    std::uint64_t key = 0;
+    /// The object was served from the cache without invoking cc.
+    bool from_cache = false;
+};
+
+struct CompileStats {
+    std::uint64_t compiles = 0;       // cc subprocess runs that succeeded
+    std::uint64_t cache_hits = 0;     // footer-verified cache hits
+    std::uint64_t failures = 0;       // cc failures + injected faults
+    std::uint64_t quarantined = 0;    // corrupt cache files renamed aside
+};
+
+class KernelCompiler {
+  public:
+    explicit KernelCompiler(CompileOptions options = {});
+
+    /// Compiles `c_source` (or serves it from the cache). Never throws.
+    /// Fault point "exec.compile" fails the call with StatusCode::Internal.
+    [[nodiscard]] Result<CompiledKernel> compile(const std::string& c_source);
+
+    [[nodiscard]] CompileStats stats() const;
+
+    /// The resolved cache directory ("" until the first compile when the
+    /// options left it empty).
+    [[nodiscard]] std::string cache_dir() const;
+
+    [[nodiscard]] const CompileOptions& options() const { return options_; }
+
+    /// Content address of `c_source` under `options` (what compile() keys
+    /// the cache with).
+    [[nodiscard]] static std::uint64_t key_of(const std::string& c_source,
+                                              const CompileOptions& options);
+
+    /// True when `cc` exists on PATH and runs. Memoized per compiler name.
+    [[nodiscard]] static bool compiler_available(const std::string& cc = "cc");
+
+  private:
+    Result<CompiledKernel> compile_locked(const std::string& c_source);
+
+    CompileOptions options_;
+    mutable std::mutex mutex_;
+    std::string dir_;  // resolved cache directory (lazily created)
+    CompileStats stats_;
+    std::uint64_t seq_ = 0;  // temp-file uniquifier within this compiler
+};
+
+}  // namespace lf::exec

@@ -1,0 +1,146 @@
+#include "exec/native.hpp"
+
+#include "support/cemit.hpp"
+#include "support/diagnostics.hpp"
+#include "transform/codegen_c.hpp"
+#include "transform/codegen_nd.hpp"
+
+namespace lf::exec {
+
+namespace {
+
+/// Shared compile -> sandbox -> differential-compare tail. `expected` is the
+/// interpreter-computed checksum string ("%.17g") the kernel's original-form
+/// checksum must reproduce exactly.
+NativeCheck check_kernel_source(const std::string& c_source, const std::string& expected,
+                                KernelCompiler& compiler, const SandboxLimits& limits) {
+    NativeCheck nc;
+    if (!KernelCompiler::compiler_available(compiler.options().cc)) {
+        nc.outcome = NativeOutcome::Unavailable;
+        nc.detail = "compiler '" + compiler.options().cc + "' not found on PATH";
+        return nc;
+    }
+
+    const Result<CompiledKernel> compiled = compiler.compile(c_source);
+    if (!compiled.ok()) {
+        nc.outcome = NativeOutcome::CompileFailed;
+        nc.detail = compiled.status().message();
+        return nc;
+    }
+    nc.from_cache = compiled.value().from_cache;
+
+    const RunOutcome run = run_kernel(compiled.value().path, limits);
+    switch (run.state) {
+        case RunState::Completed:
+            break;
+        case RunState::Crashed:
+            nc.outcome = NativeOutcome::Crashed;
+            nc.detail = run.detail;
+            return nc;
+        case RunState::Timeout:
+            nc.outcome = NativeOutcome::Timeout;
+            nc.detail = run.detail;
+            return nc;
+        case RunState::SpawnFailed:
+        case RunState::LoadFailed:
+        case RunState::Garbled:
+        case RunState::ExitNonzero:
+            nc.outcome = NativeOutcome::Error;
+            nc.detail = to_string(run.state) + ": " + run.detail;
+            return nc;
+    }
+
+    nc.ns_original = run.result.ns_original;
+    nc.ns_fused = run.result.ns_fused;
+    if (run.result.mismatches != 0) {
+        nc.outcome = NativeOutcome::Mismatch;
+        nc.detail = "fused form diverged from original in " +
+                    std::to_string(run.result.mismatches) + " cell(s)";
+        return nc;
+    }
+    const std::string native = cemit::format_checksum(run.result.checksum_original);
+    if (native != expected) {
+        nc.outcome = NativeOutcome::Mismatch;
+        nc.detail =
+            "native checksum " + native + " != interpreter checksum " + expected;
+        return nc;
+    }
+    nc.outcome = NativeOutcome::Verified;
+    return nc;
+}
+
+}  // namespace
+
+std::string to_string(NativeOutcome outcome) {
+    switch (outcome) {
+        case NativeOutcome::NotRun: return "not-run";
+        case NativeOutcome::Verified: return "verified";
+        case NativeOutcome::Unavailable: return "unavailable";
+        case NativeOutcome::Skipped: return "skipped";
+        case NativeOutcome::CompileFailed: return "compile-failed";
+        case NativeOutcome::Crashed: return "crashed";
+        case NativeOutcome::Timeout: return "timeout";
+        case NativeOutcome::Mismatch: return "mismatch";
+        case NativeOutcome::Error: return "error";
+    }
+    return "unknown";
+}
+
+bool is_native_failure(NativeOutcome outcome) {
+    switch (outcome) {
+        case NativeOutcome::CompileFailed:
+        case NativeOutcome::Crashed:
+        case NativeOutcome::Timeout:
+        case NativeOutcome::Mismatch:
+        case NativeOutcome::Error:
+            return true;
+        case NativeOutcome::NotRun:
+        case NativeOutcome::Verified:
+        case NativeOutcome::Unavailable:
+        case NativeOutcome::Skipped:
+            return false;
+    }
+    return false;
+}
+
+NativeCheck native_check(const ir::Program& p, const FusionPlan& plan, const Domain& dom,
+                         KernelCompiler& compiler, const SandboxLimits& limits) {
+    NativeCheck nc;
+    if (plan.level == ParallelismLevel::Unfused ||
+        plan.algorithm == AlgorithmUsed::DistributionFallback) {
+        nc.outcome = NativeOutcome::Skipped;
+        nc.detail = "plan is the unfused distribution fallback; no fused native form";
+        return nc;
+    }
+    std::string source;
+    std::string expected;
+    try {
+        const transform::FusedProgram fp = transform::fuse_program(p, plan);
+        source = transform::emit_c_kernel_library(p, fp, dom);
+        expected = transform::expected_c_checksum(p, dom);
+    } catch (const Error& e) {
+        nc.outcome = NativeOutcome::Error;
+        nc.detail = std::string("kernel emission failed: ") + e.what();
+        return nc;
+    }
+    return check_kernel_source(source, expected, compiler, limits);
+}
+
+NativeCheck native_check_nd(const front::BasicProgram<VecN>& p, const NdFusionPlan& plan,
+                            const MdDomain& dom, KernelCompiler& compiler,
+                            const SandboxLimits& limits) {
+    NativeCheck nc;
+    std::string source;
+    std::string expected;
+    try {
+        source = transform::emit_md_c_kernel_library(p, plan, dom);
+        expected = transform::expected_md_c_checksum(p, dom);
+    } catch (const Error& e) {
+        nc.outcome = NativeOutcome::Error;
+        nc.detail = std::string("kernel emission failed: ") + e.what();
+        return nc;
+    }
+    return check_kernel_source(source, expected, compiler, limits);
+}
+
+}  // namespace lf::exec

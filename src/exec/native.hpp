@@ -1,0 +1,75 @@
+#pragma once
+// Differential native verification: the bridge between the planner and the
+// crash-contained execution backend. native_check() emits the kernel-library
+// C for a plan, compiles it through KernelCompiler, runs it in run_kernel()'s
+// forked sandbox, and only reports Verified when
+//
+//   * the kernel completed (no crash, no watchdog kill, clean result frame),
+//   * the fused form matched the original bit-for-bit inside the kernel
+//     (mismatches == 0), and
+//   * the kernel's original-form checksum equals the *interpreter's*
+//     checksum computed host-side (expected_c_checksum) -- so native
+//     execution is differential-checked against the existing engines, not
+//     merely self-consistent.
+//
+// Everything else is a typed, contained outcome: the caller (svc admission,
+// examples/emit_c --run, tools/exec_drill.sh) quarantines and moves on; no
+// kernel behavior can take the caller down.
+
+#include <cstdint>
+#include <string>
+
+#include "exec/compile.hpp"
+#include "exec/runner.hpp"
+#include "exec/store_nd.hpp"
+#include "front/ast.hpp"
+#include "fusion/driver.hpp"
+#include "fusion/multidim.hpp"
+#include "ir/ast.hpp"
+#include "support/domain.hpp"
+#include "transform/fused_program.hpp"
+
+namespace lf::exec {
+
+enum class NativeOutcome {
+    NotRun,         // native checking disabled / not attempted
+    Verified,       // ran natively; fused == original == interpreter
+    Unavailable,    // no C compiler on PATH (graceful skip, not a failure)
+    Skipped,        // plan has no fused native form (unfused fallback)
+    CompileFailed,  // cc rejected the emitted kernel (or exec.compile fired)
+    Crashed,        // sandbox worker died on a signal -- contained
+    Timeout,        // watchdog / RLIMIT_CPU killed the worker -- contained
+    Mismatch,       // kernel ran but outputs diverged (fused vs original,
+                    // or native vs interpreter checksum)
+    Error,          // spawn failure, torn result stream, nonzero kernel rc
+};
+[[nodiscard]] std::string to_string(NativeOutcome outcome);
+
+/// True for the outcomes that should quarantine a job (as opposed to
+/// Verified / the two graceful skips).
+[[nodiscard]] bool is_native_failure(NativeOutcome outcome);
+
+struct NativeCheck {
+    NativeOutcome outcome = NativeOutcome::NotRun;
+    std::string detail;
+    /// Kernel-reported wall times (ns) when the kernel completed.
+    std::int64_t ns_original = 0;
+    std::int64_t ns_fused = 0;
+    /// The compiled object was served from the content-addressed cache.
+    bool from_cache = false;
+
+    [[nodiscard]] bool verified() const { return outcome == NativeOutcome::Verified; }
+};
+
+/// Compile-and-run differential check for a 2-D plan. Never throws.
+[[nodiscard]] NativeCheck native_check(const ir::Program& p, const FusionPlan& plan,
+                                       const Domain& dom, KernelCompiler& compiler,
+                                       const SandboxLimits& limits = {});
+
+/// Same for a depth-d plan (fused lexicographic scan vs original schedule).
+[[nodiscard]] NativeCheck native_check_nd(const front::BasicProgram<VecN>& p,
+                                          const NdFusionPlan& plan, const MdDomain& dom,
+                                          KernelCompiler& compiler,
+                                          const SandboxLimits& limits = {});
+
+}  // namespace lf::exec

@@ -1,0 +1,484 @@
+#include "exec/runner.hpp"
+
+#include <dlfcn.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/faultpoint.hpp"
+
+namespace lf::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t fnv1a(const char* data, std::size_t len) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t k = 0; k < len; ++k) {
+        h ^= static_cast<unsigned char>(data[k]);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void put_le16(char* p, std::uint16_t v) {
+    p[0] = static_cast<char>(v & 0xff);
+    p[1] = static_cast<char>((v >> 8) & 0xff);
+}
+
+void put_le32(char* p, std::uint32_t v) {
+    for (int k = 0; k < 4; ++k) p[k] = static_cast<char>((v >> (8 * k)) & 0xff);
+}
+
+void put_le64(char* p, std::uint64_t v) {
+    for (int k = 0; k < 8; ++k) p[k] = static_cast<char>((v >> (8 * k)) & 0xff);
+}
+
+std::uint16_t get_le16(const char* p) {
+    return static_cast<std::uint16_t>(static_cast<unsigned char>(p[0]) |
+                                      (static_cast<unsigned char>(p[1]) << 8));
+}
+
+std::uint32_t get_le32(const char* p) {
+    std::uint32_t v = 0;
+    for (int k = 3; k >= 0; --k) v = (v << 8) | static_cast<unsigned char>(p[k]);
+    return v;
+}
+
+std::uint64_t get_le64(const char* p) {
+    std::uint64_t v = 0;
+    for (int k = 7; k >= 0; --k) v = (v << 8) | static_cast<unsigned char>(p[k]);
+    return v;
+}
+
+/// Builds one frame into `buf` (capacity `cap`); returns the frame size or
+/// 0 when it does not fit. No allocation -- callable from the forked worker.
+std::size_t encode_frame_into(char* buf, std::size_t cap, std::uint16_t type,
+                              const char* payload, std::size_t len) {
+    const std::size_t total = kPipeHeaderSize + len + kPipeTrailerSize;
+    if (cap < total) return 0;
+    std::memcpy(buf, kPipeMagic, sizeof(kPipeMagic));
+    put_le16(buf + 4, kPipeVersion);
+    put_le16(buf + 6, type);
+    put_le32(buf + 8, static_cast<std::uint32_t>(len));
+    std::memcpy(buf + kPipeHeaderSize, payload, len);
+    put_le64(buf + kPipeHeaderSize + len, fnv1a(payload, len));
+    return total;
+}
+
+/// write(2) everything; EINTR-safe. Worker-side (async-signal-safe).
+bool write_all(int fd, const char* data, std::size_t len) {
+    std::size_t done = 0;
+    while (done < len) {
+        const ssize_t n = ::write(fd, data + done, len - done);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+// -------------------------------------------------------------------------
+// Worker side. Everything below runs in the forked child of a potentially
+// multithreaded parent, so it sticks to async-signal-safe calls plus
+// dlopen/dlsym (a documented, practical exception: glibc's loader takes no
+// locks a single-threaded child could deadlock on in this sequence).
+
+enum class ChildMode { None, Crash, Spin, Oom };
+
+void apply_rlimit(int resource, std::int64_t value) {
+    if (value <= 0) return;
+    struct rlimit rl;
+    rl.rlim_cur = static_cast<rlim_t>(value);
+    rl.rlim_max = static_cast<rlim_t>(value);
+    (void)::setrlimit(resource, &rl);
+}
+
+void send_error(int wfd, const char* a, const char* b) {
+    char text[kMaxErrorPayload];
+    text[0] = '\0';
+    std::size_t len = 0;
+    for (const char* part : {a, b}) {
+        if (part == nullptr) continue;
+        const std::size_t plen = std::strlen(part);
+        const std::size_t room = sizeof(text) - 1 - len;
+        const std::size_t take = plen < room ? plen : room;
+        std::memcpy(text + len, part, take);
+        len += take;
+    }
+    text[len] = '\0';
+    char frame[kPipeHeaderSize + kMaxErrorPayload + kPipeTrailerSize];
+    const std::size_t n = encode_frame_into(frame, sizeof(frame), kPipeTypeError, text, len);
+    if (n > 0) (void)write_all(wfd, frame, n);
+}
+
+[[noreturn]] void child_main(int wfd, const char* so_path, ChildMode mode,
+                             const SandboxLimits& limits) {
+    apply_rlimit(RLIMIT_CPU, limits.cpu_seconds);
+    apply_rlimit(RLIMIT_AS, limits.address_space_bytes);
+    apply_rlimit(RLIMIT_FSIZE, limits.file_size_bytes);
+    apply_rlimit(RLIMIT_CORE, 0);
+    {
+        // RLIMIT_CORE = 0 needs an explicit set (apply_rlimit skips <= 0).
+        struct rlimit rl{0, 0};
+        (void)::setrlimit(RLIMIT_CORE, &rl);
+    }
+
+    // Drill modes act before the object is even opened, so crash / spin /
+    // OOM containment is exercisable with a bogus path and no compiler.
+    switch (mode) {
+        case ChildMode::Crash:
+            (void)::raise(SIGSEGV);
+            ::_exit(99);  // unreachable unless SIGSEGV is blocked
+        case ChildMode::Spin: {
+            volatile int spin = 1;
+            while (spin != 0) {
+            }
+            ::_exit(99);
+        }
+        case ChildMode::Oom: {
+            // Allocate-and-touch until the address-space limit bites, then
+            // die loudly: exactly what a leaking kernel would do.
+            for (;;) {
+                void* block = std::malloc(std::size_t{16} << 20);
+                if (block == nullptr) ::abort();
+                std::memset(block, 0xab, std::size_t{16} << 20);
+            }
+        }
+        case ChildMode::None:
+            break;
+    }
+
+    void* handle = ::dlopen(so_path, RTLD_NOW | RTLD_LOCAL);
+    if (handle == nullptr) {
+        send_error(wfd, "dlopen failed: ", ::dlerror());
+        ::_exit(3);
+    }
+    using KernelFn = int (*)(KernelResult*);
+    // The object-pointer/function-pointer cast is how dlsym works; C-cast
+    // keeps the emitted diagnostic set quiet across compilers.
+    KernelFn fn = reinterpret_cast<KernelFn>(::dlsym(handle, "lf_kernel_run"));
+    if (fn == nullptr) {
+        send_error(wfd, "dlsym(lf_kernel_run) failed: ", ::dlerror());
+        ::_exit(4);
+    }
+    KernelResult result;
+    const int rc = fn(&result);
+    if (rc != 0) {
+        char msg[64];
+        std::snprintf(msg, sizeof(msg), "kernel returned nonzero rc %d", rc);
+        send_error(wfd, msg, nullptr);
+        ::_exit(5);
+    }
+    char frame[kPipeHeaderSize + sizeof(KernelResult) + kPipeTrailerSize];
+    const std::size_t n =
+        encode_frame_into(frame, sizeof(frame), kPipeTypeResult,
+                          reinterpret_cast<const char*>(&result), sizeof(result));
+    if (n == 0 || !write_all(wfd, frame, n)) ::_exit(6);
+    ::_exit(0);
+}
+
+// -------------------------------------------------------------------------
+// Parent side.
+
+std::int64_t ms_since(Clock::time_point t0) {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() - t0).count();
+}
+
+std::string signal_name(int sig) {
+    const char* name = ::strsignal(sig);
+    return name != nullptr ? std::string(name) : "signal " + std::to_string(sig);
+}
+
+/// Reaps `pid` without blocking past `budget_ms` (< 0: wait forever).
+/// Returns true with `status` filled when the worker was reaped.
+bool wait_with_budget(pid_t pid, std::int64_t budget_ms, int& status) {
+    const Clock::time_point t0 = Clock::now();
+    for (;;) {
+        const pid_t r = ::waitpid(pid, &status, budget_ms < 0 ? 0 : WNOHANG);
+        if (r == pid) return true;
+        if (r < 0 && errno != EINTR) return false;
+        if (budget_ms >= 0) {
+            if (ms_since(t0) >= budget_ms) return false;
+            ::usleep(2000);
+        }
+    }
+}
+
+}  // namespace
+
+std::string to_string(RunState state) {
+    switch (state) {
+        case RunState::Completed: return "completed";
+        case RunState::SpawnFailed: return "spawn-failed";
+        case RunState::LoadFailed: return "load-failed";
+        case RunState::Crashed: return "crashed";
+        case RunState::Timeout: return "timeout";
+        case RunState::Garbled: return "garbled";
+        case RunState::ExitNonzero: return "exit-nonzero";
+    }
+    return "unknown";
+}
+
+Status RunOutcome::status() const {
+    switch (state) {
+        case RunState::Completed:
+            return Status();
+        case RunState::Timeout:
+            return Status(StatusCode::ResourceExhausted, "sandbox: " + detail);
+        default:
+            return Status(StatusCode::Internal, "sandbox: " + detail);
+    }
+}
+
+std::string encode_result_frame(const KernelResult& r) {
+    char frame[kPipeHeaderSize + sizeof(KernelResult) + kPipeTrailerSize];
+    const std::size_t n =
+        encode_frame_into(frame, sizeof(frame), kPipeTypeResult,
+                          reinterpret_cast<const char*>(&r), sizeof(r));
+    return std::string(frame, n);
+}
+
+std::string encode_error_frame(std::string_view text) {
+    if (text.size() > kMaxErrorPayload) text = text.substr(0, kMaxErrorPayload);
+    std::string frame(kPipeHeaderSize + text.size() + kPipeTrailerSize, '\0');
+    const std::size_t n = encode_frame_into(frame.data(), frame.size(), kPipeTypeError,
+                                            text.data(), text.size());
+    frame.resize(n);
+    return frame;
+}
+
+void PipeDecoder::feed(std::string_view bytes) {
+    if (error_) return;
+    // Hard ceiling: nothing legitimate exceeds one maximal frame; a worker
+    // spraying bytes must not make the parent buffer unboundedly.
+    constexpr std::size_t kMaxBuffered =
+        2 * (kPipeHeaderSize + kMaxErrorPayload + kPipeTrailerSize);
+    if (buffer_.size() + bytes.size() > kMaxBuffered) {
+        (void)fail("worker wrote more bytes than any valid frame stream");
+        return;
+    }
+    buffer_.append(bytes.data(), bytes.size());
+}
+
+PipeDecoder::Status PipeDecoder::fail(std::string detail) {
+    error_ = true;
+    detail_ = std::move(detail);
+    buffer_.clear();
+    return Status::Error;
+}
+
+PipeDecoder::Status PipeDecoder::poll() {
+    if (error_) return Status::Error;
+    if (!have_header_) {
+        if (buffer_.size() < kPipeHeaderSize) return Status::NeedMore;
+        // Validate everything in the header before buffering a body byte.
+        if (std::memcmp(buffer_.data(), kPipeMagic, sizeof(kPipeMagic)) != 0) {
+            return fail("bad frame magic");
+        }
+        const std::uint16_t version = get_le16(buffer_.data() + 4);
+        if (version != kPipeVersion) {
+            return fail("unknown frame version " + std::to_string(version));
+        }
+        const std::uint16_t type = get_le16(buffer_.data() + 6);
+        const std::uint32_t len = get_le32(buffer_.data() + 8);
+        if (type == kPipeTypeResult) {
+            if (len != sizeof(KernelResult)) {
+                return fail("result frame with payload length " + std::to_string(len) +
+                            " (expected " + std::to_string(sizeof(KernelResult)) + ")");
+            }
+        } else if (type == kPipeTypeError) {
+            if (len > kMaxErrorPayload) {
+                return fail("oversized error payload: " + std::to_string(len));
+            }
+        } else {
+            return fail("unknown frame type " + std::to_string(type));
+        }
+        pending_type_ = type;
+        pending_len_ = len;
+        have_header_ = true;
+    }
+    const std::size_t want = kPipeHeaderSize + pending_len_ + kPipeTrailerSize;
+    if (buffer_.size() < want) return Status::NeedMore;
+    const char* body = buffer_.data() + kPipeHeaderSize;
+    const std::uint64_t stored = get_le64(body + pending_len_);
+    if (fnv1a(body, pending_len_) != stored) {
+        return fail("frame payload checksum mismatch");
+    }
+    type_ = pending_type_;
+    payload_.assign(body, pending_len_);
+    buffer_.erase(0, want);
+    have_header_ = false;
+    return Status::Ready;
+}
+
+RunOutcome run_kernel(const std::string& so_path, const SandboxLimits& limits) {
+    RunOutcome out;
+
+    // All fault points are consulted in the parent, pre-fork: the registry
+    // mutex may be held by another service thread at fork time, and a child
+    // touching it could deadlock. The child receives plain mode flags.
+    if (faultpoint::triggered("exec.spawn")) {
+        out.state = RunState::SpawnFailed;
+        out.detail = "fault injected: exec.spawn";
+        return out;
+    }
+    ChildMode mode = ChildMode::None;
+    if (faultpoint::triggered("exec.run")) {
+        mode = ChildMode::Crash;
+    } else if (faultpoint::triggered("exec.timeout")) {
+        mode = ChildMode::Spin;
+    } else if (faultpoint::triggered("exec.oom")) {
+        mode = ChildMode::Oom;
+    }
+
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        out.state = RunState::SpawnFailed;
+        out.detail = std::string("pipe failed: ") + std::strerror(errno);
+        return out;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        out.state = RunState::SpawnFailed;
+        out.detail = std::string("fork failed: ") + std::strerror(errno);
+        return out;
+    }
+    if (pid == 0) {
+        ::close(fds[0]);
+        child_main(fds[1], so_path.c_str(), mode, limits);  // never returns
+    }
+    ::close(fds[1]);
+    const int rfd = fds[0];
+
+    // ---- Read phase, bounded by the wall-clock watchdog. ----
+    const Clock::time_point t0 = Clock::now();
+    PipeDecoder decoder;
+    bool timed_out = false;
+    bool eof = false;
+    while (!eof && !timed_out) {
+        int poll_ms = 100;
+        if (limits.wall_ms > 0) {
+            const std::int64_t remaining = limits.wall_ms - ms_since(t0);
+            if (remaining <= 0) {
+                timed_out = true;
+                break;
+            }
+            poll_ms = static_cast<int>(remaining < 100 ? remaining : 100);
+        }
+        struct pollfd pfd{rfd, POLLIN, 0};
+        const int pr = ::poll(&pfd, 1, poll_ms);
+        if (pr < 0) {
+            if (errno == EINTR) continue;
+            break;  // poll itself broke; fall through to reap + classify
+        }
+        if (pr == 0) continue;  // timeout slice; loop re-checks the deadline
+        char buf[4096];
+        const ssize_t n = ::read(rfd, buf, sizeof(buf));
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        if (n == 0) {
+            eof = true;
+            break;
+        }
+        decoder.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+
+    // ---- Reap phase: escalate SIGTERM -> SIGKILL when the watchdog fired
+    // or the worker lingers past the deadline after closing its pipe. ----
+    int status = 0;
+    bool reaped = false;
+    if (!timed_out) {
+        std::int64_t budget = -1;
+        if (limits.wall_ms > 0) {
+            budget = limits.wall_ms - ms_since(t0);
+            if (budget < 0) budget = 0;
+        }
+        reaped = wait_with_budget(pid, budget, status);
+        if (!reaped) timed_out = true;
+    }
+    if (timed_out && !reaped) {
+        (void)::kill(pid, SIGTERM);
+        reaped = wait_with_budget(pid, limits.term_grace_ms > 0 ? limits.term_grace_ms : 0,
+                                  status);
+        if (!reaped) {
+            (void)::kill(pid, SIGKILL);
+            reaped = wait_with_budget(pid, -1, status);
+        }
+    }
+    ::close(rfd);
+
+    // ---- Classify. Precedence: timeout > signal death > stream defects >
+    // error frame > exit code > result. ----
+    if (timed_out) {
+        out.state = RunState::Timeout;
+        out.signal = reaped && WIFSIGNALED(status) ? WTERMSIG(status) : SIGKILL;
+        out.detail = "watchdog: wall clock exceeded " + std::to_string(limits.wall_ms) +
+                     "ms; worker killed (SIGTERM, then SIGKILL)";
+        return out;
+    }
+    if (reaped && WIFSIGNALED(status)) {
+        const int sig = WTERMSIG(status);
+        if (sig == SIGXCPU) {
+            out.state = RunState::Timeout;
+            out.signal = sig;
+            out.detail = "RLIMIT_CPU exceeded (" + std::to_string(limits.cpu_seconds) +
+                         "s); worker killed by SIGXCPU";
+            return out;
+        }
+        out.state = RunState::Crashed;
+        out.signal = sig;
+        out.detail = "worker killed by signal " + std::to_string(sig) + " (" +
+                     signal_name(sig) + ")";
+        return out;
+    }
+
+    const PipeDecoder::Status ds = decoder.poll();
+    const int exit_code = reaped && WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    if (ds == PipeDecoder::Status::Error) {
+        out.state = RunState::Garbled;
+        out.detail = "result stream corrupt: " + decoder.detail();
+        return out;
+    }
+    if (ds == PipeDecoder::Status::Ready && decoder.type() == kPipeTypeError) {
+        out.state = exit_code == 5 ? RunState::ExitNonzero : RunState::LoadFailed;
+        out.detail = decoder.payload();
+        return out;
+    }
+    if (ds == PipeDecoder::Status::Ready && decoder.type() == kPipeTypeResult) {
+        if (exit_code != 0) {
+            out.state = RunState::ExitNonzero;
+            out.detail = "worker exited with status " + std::to_string(exit_code) +
+                         " after sending a result";
+            return out;
+        }
+        std::memcpy(&out.result, decoder.payload().data(), sizeof(out.result));
+        out.state = RunState::Completed;
+        return out;
+    }
+    if (exit_code != 0) {
+        out.state = RunState::ExitNonzero;
+        out.detail =
+            "worker exited with status " + std::to_string(exit_code) + " (no result frame)";
+        return out;
+    }
+    out.state = RunState::Garbled;
+    out.detail = "worker exited cleanly but sent no complete result frame";
+    return out;
+}
+
+}  // namespace lf::exec

@@ -1,0 +1,158 @@
+#pragma once
+// Sandboxed execution of compiled kernel objects (exec/compile.hpp).
+//
+// Running generated native code inside a long-lived service is a crash-
+// containment problem: a miscompiled kernel that segfaults, spins, or eats
+// memory must never take down the server. run_kernel() therefore executes
+// every kernel in a forked worker process:
+//
+//   * rlimits before anything else: RLIMIT_CPU, RLIMIT_AS, RLIMIT_FSIZE,
+//     RLIMIT_CORE = 0 (no core-dump litter);
+//   * the parent arms a wall-clock watchdog: past the deadline the worker
+//     gets SIGTERM, then -- after a grace period -- SIGKILL;
+//   * the worker dlopen()s the cached object, dlsym()s lf_kernel_run and
+//     writes the 40-byte result back over a pipe as a length-prefixed,
+//     checksummed frame; any failure becomes a typed error frame;
+//   * the parent decodes frames with PipeDecoder -- incremental, bounds-
+//     checked and sticky-error exactly like net::FrameDecoder, so a worker
+//     that dies mid-write (or scribbles garbage) can never confuse, crash
+//     or stall the parent;
+//   * waitpid classification maps signal deaths (SIGSEGV/SIGFPE/SIGKILL-
+//     by-watchdog/...) to a typed RunOutcome whose status() is the Status
+//     the service quarantines the job with. The parent always survives.
+//
+// Wire format (worker -> parent), little-endian:
+//
+//   offset  size  field
+//        0     4  magic "LFEX"
+//        4     2  version (kPipeVersion)
+//        6     2  type (1 = result, 2 = error text)
+//        8     4  payload_len (result: exactly 40; error: <= 4096)
+//       12     -  payload bytes
+//        +     8  FNV-1a 64 of the payload
+//
+// Fault points: "exec.spawn" fails the spawn itself; "exec.run",
+// "exec.timeout" and "exec.oom" are *drill modes* -- the parent consults
+// them before forking (the fault registry's mutex is not fork-safe) and the
+// worker then crashes / spins / exhausts memory before touching the object,
+// so containment is drillable without a compiler on PATH.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/status.hpp"
+
+namespace lf::exec {
+
+// ---------------------------------------------------------------------------
+// Result pipe protocol.
+
+inline constexpr char kPipeMagic[4] = {'L', 'F', 'E', 'X'};
+inline constexpr std::uint16_t kPipeVersion = 1;
+inline constexpr std::size_t kPipeHeaderSize = 12;
+inline constexpr std::size_t kPipeTrailerSize = 8;
+inline constexpr std::uint16_t kPipeTypeResult = 1;
+inline constexpr std::uint16_t kPipeTypeError = 2;
+inline constexpr std::size_t kMaxErrorPayload = 4096;
+
+/// What the emitted kernel's lf_kernel_run fills in (C: lf_kernel_result).
+/// The layout is part of the kernel ABI -- five 8-byte fields, no padding.
+struct KernelResult {
+    double checksum_original = 0.0;
+    double checksum_fused = 0.0;
+    std::int64_t mismatches = 0;
+    std::int64_t ns_original = 0;
+    std::int64_t ns_fused = 0;
+};
+static_assert(sizeof(KernelResult) == 40, "kernel ABI: five 8-byte fields, no padding");
+
+/// Serialized result / error frame (header + payload + checksum trailer).
+[[nodiscard]] std::string encode_result_frame(const KernelResult& r);
+[[nodiscard]] std::string encode_error_frame(std::string_view text);
+
+/// Incremental decoder for the worker's byte stream. Mirrors
+/// net::FrameDecoder: feed() buffers, poll() validates the header before
+/// buffering a body, every defect is a sticky error, and arbitrary garbage
+/// can never crash it or make it buffer unboundedly.
+class PipeDecoder {
+  public:
+    enum class Status {
+        NeedMore,  // no complete frame buffered yet
+        Ready,     // one frame decoded; type()/payload() are valid
+        Error,     // stream is malformed; detail() says how. Sticky.
+    };
+
+    /// Appends raw bytes. Bytes fed after an error are dropped.
+    void feed(std::string_view bytes);
+
+    /// Decodes the next frame if fully buffered.
+    [[nodiscard]] Status poll();
+
+    [[nodiscard]] std::uint16_t type() const { return type_; }
+    [[nodiscard]] const std::string& payload() const { return payload_; }
+    [[nodiscard]] const std::string& detail() const { return detail_; }
+    [[nodiscard]] bool failed() const { return error_; }
+    [[nodiscard]] std::size_t buffered() const { return buffer_.size(); }
+
+  private:
+    Status fail(std::string detail);
+
+    std::string buffer_;
+    bool have_header_ = false;
+    std::uint16_t pending_type_ = 0;
+    std::size_t pending_len_ = 0;
+    std::uint16_t type_ = 0;
+    std::string payload_;
+    bool error_ = false;
+    std::string detail_;
+};
+
+// ---------------------------------------------------------------------------
+// Sandbox.
+
+struct SandboxLimits {
+    /// Wall-clock watchdog; past this the worker gets SIGTERM, and
+    /// `term_grace_ms` later SIGKILL. <= 0: no watchdog.
+    std::int64_t wall_ms = 10'000;
+    std::int64_t term_grace_ms = 500;
+    /// RLIMIT_CPU (seconds; <= 0 leaves the inherited limit).
+    std::int64_t cpu_seconds = 10;
+    /// RLIMIT_AS (bytes; <= 0 leaves the inherited limit).
+    std::int64_t address_space_bytes = std::int64_t{2} << 30;
+    /// RLIMIT_FSIZE (bytes; kernels have no business writing files).
+    std::int64_t file_size_bytes = 1 << 20;
+};
+
+enum class RunState {
+    Completed,    // result frame received, worker exited 0
+    SpawnFailed,  // pipe/fork failed (or exec.spawn injected)
+    LoadFailed,   // worker could not dlopen/dlsym the object (error frame)
+    Crashed,      // worker died on a signal (SIGSEGV, SIGFPE, SIGABRT, ...)
+    Timeout,      // watchdog killed the worker past wall_ms
+    Garbled,      // worker exited but its result stream was torn/corrupt
+    ExitNonzero,  // kernel ran but reported failure (nonzero rc)
+};
+[[nodiscard]] std::string to_string(RunState state);
+
+struct RunOutcome {
+    RunState state = RunState::SpawnFailed;
+    /// Valid only when state == Completed.
+    KernelResult result;
+    /// Terminating signal when Crashed / Timeout (0 otherwise).
+    int signal = 0;
+    std::string detail;
+
+    [[nodiscard]] bool ok() const { return state == RunState::Completed; }
+    /// Ok / ResourceExhausted (Timeout) / Internal (everything else) -- the
+    /// Status the service layer quarantines with.
+    [[nodiscard]] Status status() const;
+};
+
+/// Runs `lf_kernel_run` from the shared object at `so_path` in a forked,
+/// rlimited, watchdogged worker. Never throws; the parent survives any
+/// worker behavior.
+[[nodiscard]] RunOutcome run_kernel(const std::string& so_path,
+                                    const SandboxLimits& limits = {});
+
+}  // namespace lf::exec

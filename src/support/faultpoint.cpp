@@ -38,6 +38,11 @@ constexpr const char* kCompiledIn[] = {
     "net.read",              // server: connection read fails mid-frame
     "net.write",             // server: response write fails (connection closed)
     "net.torn_response",     // server: response torn mid-frame, then closed
+    "exec.compile",          // native backend: kernel compile fails outright
+    "exec.spawn",            // native backend: sandbox worker cannot be spawned
+    "exec.run",              // native backend drill: worker crashes (SIGSEGV)
+    "exec.timeout",          // native backend drill: worker spins past wall_ms
+    "exec.oom",              // native backend drill: worker exhausts RLIMIT_AS
 };
 
 bool known(const std::string& name) {

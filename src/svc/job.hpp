@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/native.hpp"
 #include "ldg/mldg.hpp"
 #include "ldg/mldg_nd.hpp"
 #include "support/domain.hpp"
@@ -130,6 +131,17 @@ struct JobRecord {
     /// insert, a bypass never consults the cache (disabled / fault armed /
     /// distribution-only / checkpoint-restored).
     CacheOutcome cache = CacheOutcome::Bypass;
+    /// Native-execution admission (exec/native.hpp): how the sandboxed
+    /// compile-and-run differential check ended. NotRun unless the service
+    /// ran with ServiceConfig::native_exec; a failure outcome quarantines
+    /// the job even when the interpreter-level gate admitted the plan.
+    exec::NativeOutcome native = exec::NativeOutcome::NotRun;
+    std::string native_detail;
+    /// Kernel-reported wall times (ns) when the native kernel completed.
+    std::int64_t native_ns_original = 0;
+    std::int64_t native_ns_fused = 0;
+    /// The kernel object was served from the content-addressed compile cache.
+    bool native_from_cache = false;
 
     /// The last attempt's trace -- what a quarantined job is diagnosed
     /// from. Empty only for checkpoint-restored records.

@@ -77,7 +77,14 @@ void write_job(json::Writer& w, const JobRecord& j, bool include_timings) {
          !j.attempts.empty() && j.attempts.back().short_circuited);
     w.kv("from_checkpoint", j.from_checkpoint);
     w.kv("cache", to_string(j.cache));
-    if (include_timings) w.kv("wall_ms", j.wall_ms);
+    w.kv("native", exec::to_string(j.native));
+    w.kv("native_detail", j.native_detail);
+    w.kv("native_from_cache", j.native_from_cache);
+    if (include_timings) {
+        w.kv("native_ns_original", j.native_ns_original);
+        w.kv("native_ns_fused", j.native_ns_fused);
+        w.kv("wall_ms", j.wall_ms);
+    }
     SolverStats total;  // per-job aggregate over every attempt's stages
     for (const auto& a : j.attempts) {
         for (const auto& s : a.stages) total.merge(s.solver);
@@ -120,6 +127,9 @@ std::string report_to_json(const RunReport& report, bool include_timings) {
     w.kv("cache_hits", counts.cache_hits);
     w.kv("cache_misses", counts.cache_misses);
     w.kv("cache_bypasses", counts.cache_bypasses);
+    w.kv("native_verified", counts.native_verified);
+    w.kv("native_contained", counts.native_contained);
+    w.kv("native_skipped", counts.native_skipped);
     w.end_object();
 
     w.key("plancache").begin_object();
@@ -135,6 +145,14 @@ std::string report_to_json(const RunReport& report, bool include_timings) {
     w.kv("disk_writes", report.plancache.disk_writes);
     w.kv("disk_write_failures", report.plancache.disk_write_failures);
     w.kv("disk_quarantined", report.plancache.disk_quarantined);
+    w.end_object();
+
+    w.key("exec").begin_object();
+    w.kv("enabled", report.config.native_exec);
+    w.kv("compiles", report.exec_compile.compiles);
+    w.kv("cache_hits", report.exec_compile.cache_hits);
+    w.kv("failures", report.exec_compile.failures);
+    w.kv("quarantined", report.exec_compile.quarantined);
     w.end_object();
 
     w.key("jobs").begin_array();

@@ -9,10 +9,13 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "exec/native.hpp"
 #include "fusion/certify.hpp"
 #include "fusion/driver.hpp"
 #include "fusion/multidim.hpp"
 #include "graph/solver_workspace.hpp"
+#include "ir/parser.hpp"
+#include "mdir/parser.hpp"
 #include "support/diagnostics.hpp"
 #include "support/faultpoint.hpp"
 #include "svc/gate.hpp"
@@ -96,17 +99,94 @@ RunCounts RunReport::counts() const {
             case CacheOutcome::Miss: ++c.cache_misses; break;
             case CacheOutcome::Bypass: ++c.cache_bypasses; break;
         }
+        if (j.native == exec::NativeOutcome::Verified) ++c.native_verified;
+        if (exec::is_native_failure(j.native)) ++c.native_contained;
+        if (j.native == exec::NativeOutcome::Skipped ||
+            j.native == exec::NativeOutcome::Unavailable) {
+            ++c.native_skipped;
+        }
     }
     return c;
 }
 
+namespace {
+
+exec::CompileOptions native_compile_options(const ServiceConfig& config) {
+    exec::CompileOptions opts;
+    opts.cache_dir = config.native_cache_dir;
+    return opts;
+}
+
+}  // namespace
+
 FusionService::FusionService(ServiceConfig config)
     : config_(std::move(config)),
       breakers_(config_.breaker),
-      plan_cache_(config_.plan_cache_capacity, config_.plan_store_dir) {
+      plan_cache_(config_.plan_cache_capacity, config_.plan_store_dir),
+      native_compiler_(native_compile_options(config_)) {
     if (config_.workers < 1) config_.workers = 1;
     if (config_.retry.max_attempts < 1) config_.retry.max_attempts = 1;
     if (config_.retry.escalation < 1) config_.retry.escalation = 1;
+}
+
+/// Shared tail of the two native_admit overloads: records the check into
+/// the job record and the attempt trace; false = quarantine.
+static bool record_native_check(const exec::NativeCheck& nc, JobRecord& rec,
+                                AttemptRecord& att) {
+    rec.native = nc.outcome;
+    rec.native_detail = nc.detail;
+    rec.native_ns_original = nc.ns_original;
+    rec.native_ns_fused = nc.ns_fused;
+    rec.native_from_cache = nc.from_cache;
+    const bool failed = exec::is_native_failure(nc.outcome);
+    att.stages.push_back(make_stage("admit.native",
+                                    failed ? StatusCode::Internal : StatusCode::Ok,
+                                    to_string(nc.outcome) +
+                                        (nc.detail.empty() ? "" : ": " + nc.detail)));
+    return !failed;
+}
+
+bool FusionService::native_admit(const JobSpec& job, const FusionPlan& plan, JobRecord& rec,
+                                 AttemptRecord& att) {
+    if (!config_.native_exec) return true;  // rec.native stays NotRun
+    exec::NativeCheck nc;
+    if (job.dsl_source.empty()) {
+        nc.outcome = exec::NativeOutcome::Skipped;
+        nc.detail = "graph-only job: no program to emit";
+    } else {
+        exec::SandboxLimits limits;
+        limits.wall_ms = config_.native_wall_ms;
+        try {
+            const ir::Program p = ir::parse_program(job.dsl_source);
+            nc = exec::native_check(p, plan, job.domain, native_compiler_, limits);
+        } catch (const std::exception& e) {
+            nc.outcome = exec::NativeOutcome::Error;
+            nc.detail = std::string("kernel emission failed: ") + e.what();
+        }
+    }
+    return record_native_check(nc, rec, att);
+}
+
+bool FusionService::native_admit_nd(const JobSpec& job, const NdFusionPlan& plan,
+                                    JobRecord& rec, AttemptRecord& att) {
+    if (!config_.native_exec) return true;
+    exec::NativeCheck nc;
+    if (job.dsl_source.empty()) {
+        nc.outcome = exec::NativeOutcome::Skipped;
+        nc.detail = "graph-only job: no program to emit";
+    } else {
+        exec::SandboxLimits limits;
+        limits.wall_ms = config_.native_wall_ms;
+        try {
+            const auto p = mdir::parse_md_program(job.dsl_source);
+            const exec::MdDomain dom{job.extents_nd};
+            nc = exec::native_check_nd(p, plan, dom, native_compiler_, limits);
+        } catch (const std::exception& e) {
+            nc.outcome = exec::NativeOutcome::Error;
+            nc.detail = std::string("kernel emission failed: ") + e.what();
+        }
+    }
+    return record_native_check(nc, rec, att);
 }
 
 void FusionService::checkpoint_job(const JobRecord& rec) {
@@ -201,9 +281,22 @@ void FusionService::process_job(const JobSpec& job, JobRecord& rec, PlannerWorks
                     // The differential replay ran when this entry was first
                     // admitted; a hit repeats only the certify check.
                     rec.replay = ReplayOutcome::Skipped;
-                    att.code = StatusCode::Ok;
                     att.stages.push_back(make_stage("svc.plancache", StatusCode::Ok, "cache hit"));
                     att.stages.push_back(make_stage("admit.certify", StatusCode::Ok, {}));
+                    // Native admission still runs on a cache hit: the plan
+                    // was verified when admitted, but this job's kernel may
+                    // never have been compiled or run.
+                    if (!native_admit(job, *cached, rec, att)) {
+                        att.code = StatusCode::Internal;
+                        att.detail = "native execution " + to_string(rec.native) + ": " +
+                                     rec.native_detail;
+                        const std::string why = att.detail;
+                        rec.attempts.push_back(std::move(att));
+                        breakers_.record(job.klass, mode, false);
+                        finish(JobStatus::Quarantined, why);
+                        return;
+                    }
+                    att.code = StatusCode::Ok;
                     rec.attempts.push_back(std::move(att));
                     breakers_.record(job.klass, mode, true);
                     finish(JobStatus::Verified, {});
@@ -261,6 +354,19 @@ void FusionService::process_job(const JobSpec& job, JobRecord& rec, PlannerWorks
                 for (auto& s : gate.stages) att.stages.push_back(std::move(s));
                 att.budget_spent = stage_budget_sum(plan.stages);
                 if (gate.admitted) {
+                    if (!native_admit(job, plan, rec, att)) {
+                        // A contained native failure is a terminal verdict
+                        // on this plan, not a transient fault: quarantine,
+                        // and keep the plan out of the cache.
+                        att.code = StatusCode::Internal;
+                        att.detail = "native execution " + to_string(rec.native) + ": " +
+                                     rec.native_detail;
+                        const std::string why = att.detail;
+                        rec.attempts.push_back(std::move(att));
+                        breakers_.record(job.klass, mode, false);
+                        finish(JobStatus::Quarantined, why);
+                        return;
+                    }
                     att.code = StatusCode::Ok;
                     const bool cacheable =
                         rec.cache == CacheOutcome::Miss && mode != AdmitMode::Fallback;
@@ -369,9 +475,19 @@ void FusionService::process_job_nd(const JobSpec& job, JobRecord& rec, PlannerWo
                     rec.level = nd_level_string(cached->level);
                     rec.certified = true;
                     rec.replay = ReplayOutcome::Skipped;
-                    att.code = StatusCode::Ok;
                     att.stages.push_back(make_stage("svc.plancache", StatusCode::Ok, "cache hit"));
                     att.stages.push_back(make_stage("admit.certify", StatusCode::Ok, {}));
+                    if (!native_admit_nd(job, *cached, rec, att)) {
+                        att.code = StatusCode::Internal;
+                        att.detail = "native execution " + to_string(rec.native) + ": " +
+                                     rec.native_detail;
+                        const std::string why = att.detail;
+                        rec.attempts.push_back(std::move(att));
+                        breakers_.record(job.klass, mode, false);
+                        finish(JobStatus::Quarantined, why);
+                        return;
+                    }
+                    att.code = StatusCode::Ok;
                     rec.attempts.push_back(std::move(att));
                     breakers_.record(job.klass, mode, true);
                     finish(JobStatus::Verified, {});
@@ -424,6 +540,16 @@ void FusionService::process_job_nd(const JobSpec& job, JobRecord& rec, PlannerWo
                 rec.replay = gate.replay;
                 for (auto& s : gate.stages) att.stages.push_back(std::move(s));
                 if (gate.admitted) {
+                    if (!native_admit_nd(job, *plan, rec, att)) {
+                        att.code = StatusCode::Internal;
+                        att.detail = "native execution " + to_string(rec.native) + ": " +
+                                     rec.native_detail;
+                        const std::string why = att.detail;
+                        rec.attempts.push_back(std::move(att));
+                        breakers_.record(job.klass, mode, false);
+                        finish(JobStatus::Quarantined, why);
+                        return;
+                    }
                     att.code = StatusCode::Ok;
                     const bool cacheable = rec.cache == CacheOutcome::Miss;
                     rec.attempts.push_back(std::move(att));
@@ -517,6 +643,7 @@ RunReport FusionService::run(const std::vector<JobSpec>& jobs) {
     report.checkpoint_failures = checkpoint_failures_;
     report.plancache = plan_cache_.stats();
     report.plancache_size = plan_cache_.size();
+    report.exec_compile = native_compiler_.stats();
     report.wall_ms = ms_since(t0);
     return report;
 }

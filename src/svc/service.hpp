@@ -36,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/compile.hpp"
 #include "svc/breaker.hpp"
 #include "svc/job.hpp"
 #include "svc/plancache.hpp"
@@ -76,6 +77,18 @@ struct ServiceConfig {
     /// disables it. Admitted plans are written there atomically and reloaded
     /// lazily on memory misses, so warm state survives a kill -9.
     std::string plan_store_dir;
+    /// Opt-in native-execution admission (exec/native.hpp): before a job may
+    /// end Verified, its emitted C kernel is compiled, run in the forked
+    /// sandbox, and differential-checked against the interpreter. A failure
+    /// outcome (crash / timeout / mismatch / compile error) quarantines the
+    /// job -- contained, the service survives; a missing compiler degrades
+    /// gracefully to NativeOutcome::Unavailable (the job still verifies).
+    bool native_exec = false;
+    /// Compile-cache directory for native_exec; empty = fresh mkdtemp, so a
+    /// long-lived service should point this at the planstore's sibling.
+    std::string native_cache_dir;
+    /// Sandbox wall-clock watchdog for native kernel runs (ms).
+    std::int64_t native_wall_ms = 10'000;
 };
 
 struct RunCounts {
@@ -88,6 +101,13 @@ struct RunCounts {
     int cache_hits = 0;
     int cache_misses = 0;
     int cache_bypasses = 0;
+    /// Native-execution outcomes (all zero unless native_exec was on):
+    /// jobs whose kernel ran and matched, jobs quarantined by a contained
+    /// native failure, and jobs that skipped natively (graph-only, unfused
+    /// fallback, or no compiler on PATH).
+    int native_verified = 0;
+    int native_contained = 0;
+    int native_skipped = 0;
 };
 
 struct RunReport {
@@ -106,6 +126,9 @@ struct RunReport {
     /// run() of the same FusionService -- the cache persists between runs).
     PlanCacheStats plancache;
     std::size_t plancache_size = 0;
+    /// Kernel-compiler counters at the end of the run (cumulative across
+    /// every run() of the same FusionService; all zero without native_exec).
+    exec::CompileStats exec_compile;
     std::int64_t wall_ms = 0;
 
     [[nodiscard]] RunCounts counts() const;
@@ -131,16 +154,27 @@ class FusionService {
         return plan_cache_.plan_path(key);
     }
 
+    /// Cumulative kernel-compiler counters (zero without native_exec).
+    [[nodiscard]] exec::CompileStats exec_stats() const { return native_compiler_.stats(); }
+
   private:
     void process_job(const JobSpec& job, JobRecord& rec, PlannerWorkspace& ws);
     /// Depth-d jobs (JobSpec::depth > 2): plan_fusion_nd + the N-D gate,
     /// under the same retry / breaker / cache / checkpoint machinery.
     void process_job_nd(const JobSpec& job, JobRecord& rec, PlannerWorkspace& ws);
     void checkpoint_job(const JobRecord& rec);
+    /// Native-execution admission step (NotRun when native_exec is off,
+    /// Skipped for graph-only jobs). Fills the record's native_* fields and
+    /// returns whether the job may still verify.
+    bool native_admit(const JobSpec& job, const FusionPlan& plan, JobRecord& rec,
+                      AttemptRecord& att);
+    bool native_admit_nd(const JobSpec& job, const NdFusionPlan& plan, JobRecord& rec,
+                         AttemptRecord& att);
 
     ServiceConfig config_;
     CircuitBreakerBank breakers_;
     PlanCache plan_cache_;
+    exec::KernelCompiler native_compiler_;
     std::mutex checkpoint_mutex_;
     int checkpoint_failures_ = 0;
 };

@@ -6,9 +6,20 @@
 // every produced cell bit-for-bit, prints "OK <checksum>" on success and
 // "MISMATCH ..." otherwise.
 //
-// The fused loop is annotated with `#pragma omp parallel for` when the plan's
-// rows are DOALL, so the emitted code parallelizes under -fopenmp exactly as
-// the paper intends (and compiles unchanged without it).
+// The fused loop is annotated with `#pragma omp parallel for` (guarded by
+// `#if defined(_OPENMP)` so the file stays -Wall -Werror clean without
+// -fopenmp) when the plan's rows are DOALL; hyperplane plans additionally get
+// a wavefront emission over t = s1*i + j whose hyperplanes are DOALL, with
+// the sequential lexicographic scan as the non-OpenMP branch.
+//
+// Two output shapes share the same loop emission:
+//
+//   emit_c_program        -- stand-alone program with main(), prints
+//                            "OK <checksum>" / "MISMATCH ...".
+//   emit_c_kernel_library -- no main(); exports
+//                            int lf_kernel_run(lf_kernel_result*) for the
+//                            sandboxed native backend (src/exec/runner.hpp)
+//                            to dlopen and differential-check.
 
 #include <string>
 
@@ -19,6 +30,13 @@ namespace lf::transform {
 /// The complete self-verifying C program (original + fused + comparison).
 [[nodiscard]] std::string emit_c_program(const ir::Program& p, const FusedProgram& fp,
                                          const Domain& dom);
+
+/// The same computation as a shared-object kernel: exports
+/// `int lf_kernel_run(lf_kernel_result*)` which runs both forms from one
+/// deterministic init, times each with CLOCK_MONOTONIC, counts bitwise cell
+/// mismatches and returns both checksums (layout: exec::KernelResult).
+[[nodiscard]] std::string emit_c_kernel_library(const ir::Program& p, const FusedProgram& fp,
+                                                const Domain& dom);
 
 /// The checksum the emitted program prints on success: the sum over every
 /// in-domain cell of every written array after the *original* execution,

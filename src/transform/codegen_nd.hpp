@@ -17,6 +17,16 @@ namespace lf::transform {
 [[nodiscard]] std::string emit_md_c_program(const front::BasicProgram<VecN>& p,
                                             const NdFusionPlan& plan, const exec::MdDomain& dom);
 
+/// The same computation as a shared-object kernel for the sandboxed native
+/// backend (src/exec/runner.hpp): no main(); exports
+/// `int lf_kernel_run(lf_kernel_result*)` which runs both forms from one
+/// deterministic init, times each, counts bitwise mismatches and returns
+/// both checksums. OutermostCarried plans carry a guarded OpenMP pragma on
+/// the level-1 loop (all inner levels are DOALL).
+[[nodiscard]] std::string emit_md_c_kernel_library(const front::BasicProgram<VecN>& p,
+                                                   const NdFusionPlan& plan,
+                                                   const exec::MdDomain& dom);
+
 /// The "OK <checksum>" checksum the emitted program prints, computed by the
 /// interpreter (cells outer, arrays inner, matching the C accumulation
 /// order).

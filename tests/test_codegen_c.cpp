@@ -61,10 +61,24 @@ TEST(CodegenC, StructureContainsBothFormsAndGuards) {
     EXPECT_NE(src.find("boundary_value"), std::string::npos);
     // The retimed statement of loop D (r = (-1,-1)).
     EXPECT_NE(src.find("f_e(i - 1, j - 1) = f_c(i - 1, j)"), std::string::npos);
-    // Hyperplane plans must not claim parallel rows.
+    // Every pragma is guarded so the file is -Wall -Werror clean sans -fopenmp.
+    EXPECT_NE(src.find("#if defined(_OPENMP)"), std::string::npos);
+    // Hyperplane plans get the dual emission: a DOALL wavefront over
+    // t = s1*i + j under _OPENMP, the sequential lexicographic scan otherwise.
     const ir::Program iir = ir::parse_program(workloads::sources::kIirChain);
     const std::string iir_src = emit_c_program(iir, make_fused(iir), Domain{20, 20});
-    EXPECT_EQ(iir_src.find("#pragma omp"), std::string::npos);
+    EXPECT_NE(iir_src.find("for (int64_t t = "), std::string::npos);
+    EXPECT_NE(iir_src.find("#if defined(_OPENMP)"), std::string::npos);
+    EXPECT_NE(iir_src.find("#else"), std::string::npos);
+    // No unguarded pragma: each "#pragma omp" is preceded by the guard line.
+    std::size_t at = 0;
+    while ((at = iir_src.find("#pragma omp", at)) != std::string::npos) {
+        const std::size_t line_start = iir_src.rfind('\n', at);
+        ASSERT_NE(line_start, std::string::npos);
+        const std::size_t prev = iir_src.rfind("#if defined(_OPENMP)", at);
+        EXPECT_NE(prev, std::string::npos) << "unguarded pragma at offset " << at;
+        at += 1;
+    }
 }
 
 TEST(CodegenC, LiteralsRoundTripAsCDoubles) {

@@ -239,6 +239,19 @@ TEST_F(FaultSpecTest, WireAndDiskTierFaultPointsAreRegistered) {
     EXPECT_TRUE(faultpoint::is_armed("svc.plancache.disk"));
 }
 
+TEST_F(FaultSpecTest, NativeExecutionFaultPointsAreRegistered) {
+    // The native execution backend's compile / spawn / crash / spin / OOM
+    // drills (src/exec/, docs/execution.md) are armable like everything
+    // else, including from LF_FAULT for tools/exec_drill.sh.
+    for (const char* point :
+         {"exec.compile", "exec.spawn", "exec.run", "exec.timeout", "exec.oom"}) {
+        EXPECT_TRUE(faultpoint::is_known_point(point)) << point;
+    }
+    EXPECT_TRUE(faultpoint::arm_from_spec("exec.run,exec.compile").empty());
+    EXPECT_TRUE(faultpoint::is_armed("exec.run"));
+    EXPECT_TRUE(faultpoint::is_armed("exec.compile"));
+}
+
 TEST_F(FaultSpecTest, CompiledInListMatchesRobustnessDoc) {
     // Drift guard: the table in docs/robustness.md (between the
     // faultpoint-table markers) must list exactly known_points(). A new

@@ -15,8 +15,10 @@
 #include <vector>
 
 #include "analysis/dependence.hpp"
+#include "exec/compile.hpp"
 #include "exec/engines.hpp"
 #include "exec/equivalence.hpp"
+#include "exec/runner.hpp"
 #include "fusion/ablation.hpp"
 #include "fusion/driver.hpp"
 #include "graph/bellman_ford.hpp"
@@ -267,6 +269,33 @@ TEST_F(RobustnessTest, EveryFaultPointFires) {
                 if (client.send(ping)) (void)client.recv(2000);
             }
             server.stop();
+        }
+
+        // Native execution backend: exec.compile fires at the compiler's
+        // entry (before any cc subprocess), exec.spawn before the fork, and
+        // exec.run / exec.timeout / exec.oom turn the forked worker into a
+        // crash / spin / OOM drill before it touches the object -- so every
+        // exec.* point is reachable with a bogus path and no compiler. The
+        // parent must classify each as a typed contained outcome.
+        if (point.rfind("exec.", 0) == 0) {
+            if (point == "exec.compile") {
+                exec::KernelCompiler compiler;
+                const auto r = compiler.compile("int x;\n");
+                EXPECT_FALSE(r.ok()) << point;
+            } else {
+                exec::SandboxLimits limits;
+                limits.wall_ms = 400;
+                limits.term_grace_ms = 100;
+                limits.address_space_bytes = 256 << 20;
+                const exec::RunOutcome out =
+                    exec::run_kernel("/nonexistent/kernel.so", limits);
+                EXPECT_NE(out.state, exec::RunState::Completed) << point;
+                if (point == "exec.timeout") {
+                    EXPECT_EQ(out.state, exec::RunState::Timeout) << out.detail;
+                } else if (point == "exec.run" || point == "exec.oom") {
+                    EXPECT_EQ(out.state, exec::RunState::Crashed) << out.detail;
+                }
+            }
         }
 
         EXPECT_GE(faultpoint::hits(point), 1u) << "fault point never reached: " << point;

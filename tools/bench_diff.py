@@ -7,6 +7,8 @@ Works on both machine-readable outputs of bench/bench_micro:
   BENCH_solver.json  entries under "solvers",   keyed by "solver",   metric ns_per_op
   BENCH_svc.json     entries under "scenarios", keyed by "scenario", metric p99_us
                      (written by examples/storm_client against a live server)
+  BENCH_exec.json    entries under "kernels",   keyed by "kernel",   metric fused_ns
+                     (native compiled-and-sandboxed kernels; needs a C compiler)
 
 For every entry present in both files the ratio current/baseline of the
 time-per-item metric is computed; a ratio above --threshold is a
@@ -33,6 +35,7 @@ SCHEMAS = [
     ("modes", "mode", "ns_per_plan"),
     ("solvers", "solver", "ns_per_op"),
     ("scenarios", "scenario", "p99_us"),
+    ("kernels", "kernel", "fused_ns"),
 ]
 
 
