@@ -5,9 +5,9 @@
 // loop-by-loop schedule.
 
 #include "common.hpp"
-#include "mdir/analysis.hpp"
-#include "mdir/exec.hpp"
-#include "mdir/parser.hpp"
+#include "analysis/dependence.hpp"
+#include "exec/engines_nd.hpp"
+#include "front/parse.hpp"
 
 namespace {
 
@@ -32,8 +32,8 @@ int main() {
     using namespace lf;
     using namespace lf::bench;
 
-    const mdir::MdProgram program = mdir::parse_md_program(kVolume3d);
-    const MldgN g = mdir::build_mldg_nd(program);
+    const front::BasicProgram<VecN> program = front::parse_basic_program<VecN>(kVolume3d);
+    const MldgN g = analysis::build_mldg_nd(program);
     std::cout << "3-D volume pipeline:\n" << g.summary() << '\n';
 
     const NdFusionPlan plan = plan_fusion_nd(g);
@@ -51,8 +51,8 @@ int main() {
     print_row(widths, {"extent", "original", "wavefront", "verified", "ratio"});
     print_rule(widths);
     for (const std::int64_t e : {4LL, 8LL, 12LL, 16LL}) {
-        const mdir::MdDomain dom{{e, e, e}};
-        const auto result = mdir::verify_md_fusion(program, dom);
+        const exec::MdDomain dom{{e, e, e}};
+        const auto result = exec::verify_md_fusion(program, dom);
         print_row(widths,
                   {fmt(e) + "^3", fmt(result.original.barriers), fmt(result.transformed.barriers),
                    result.equivalent ? "YES" : "NO",

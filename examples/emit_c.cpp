@@ -36,8 +36,8 @@
 #include "fusion/driver.hpp"
 #include "fusion/multidim.hpp"
 #include "ir/parser.hpp"
-#include "mdir/analysis.hpp"
-#include "mdir/parser.hpp"
+#include "analysis/dependence.hpp"
+#include "front/parse.hpp"
 #include "support/diagnostics.hpp"
 #include "transform/codegen_c.hpp"
 #include "transform/codegen_nd.hpp"
@@ -211,8 +211,8 @@ int main(int argc, char** argv) {
         exec::KernelCompiler compiler(copts);
 
         if (nd) {
-            const auto program = mdir::parse_md_program(source);
-            const NdFusionPlan plan = plan_fusion_nd(mdir::build_mldg_nd(program));
+            const auto program = front::parse_basic_program<VecN>(source);
+            const NdFusionPlan plan = plan_fusion_nd(analysis::build_mldg_nd(program));
             exec::MdDomain mdom;
             mdom.ext.assign(static_cast<std::size_t>(program.dim), 24);
             std::cerr << "plan: "

@@ -45,6 +45,9 @@ void usage() {
         "  --store DIR        persistent plan-tier directory (default: off)\n"
         "  --checkpoint FILE  service checkpoint manifest (default: off)\n"
         "  --cache N          plan-cache capacity (default 128)\n"
+        "  --plan-batch N     jobs per worker pull, batch-planned together (default 8)\n"
+        "  --delta K          delta re-plan against cached graphs differing on <= K\n"
+        "                     edges; 0 disables (default 4)\n"
         "  --deadline-ms D    service-wide per-job deadline (default unlimited)\n"
         "  --max-conns N      connection cap (default 64)\n"
         "  --max-inflight N   admitted-job cap before shedding (default 256)\n"
@@ -190,6 +193,10 @@ int main(int argc, char** argv) {
             config.service.checkpoint_path = next_arg(i);
         } else if (std::strcmp(a, "--cache") == 0) {
             config.service.plan_cache_capacity = static_cast<std::size_t>(std::stoul(next_arg(i)));
+        } else if (std::strcmp(a, "--plan-batch") == 0) {
+            config.service.plan_batch = std::stoi(next_arg(i));
+        } else if (std::strcmp(a, "--delta") == 0) {
+            config.service.delta_max_edges = std::stoi(next_arg(i));
         } else if (std::strcmp(a, "--deadline-ms") == 0) {
             config.service.retry.deadline_ms = std::stoll(next_arg(i));
         } else if (std::strcmp(a, "--max-conns") == 0) {

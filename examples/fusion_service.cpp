@@ -47,6 +47,9 @@ void usage() {
         "  --probe P          probe every P-th open-breaker admission (default 4)\n"
         "  --checkpoint FILE  checkpoint manifest (resume: rerun with the same file)\n"
         "  --cache N          plan-cache capacity in plans; 0 disables (default 128)\n"
+        "  --batch N          jobs per worker pull, batch-planned together (default 8)\n"
+        "  --delta K          delta re-plan against cached graphs differing on <= K\n"
+        "                     edges; 0 disables (default 4)\n"
         "  --report FILE      write the JSON run report here (default: stdout)\n"
         "  --no-timings       omit wall-clock fields from the report\n"
         "  --mldg FILE        add a graph-only job from serialized MLDG text\n"
@@ -123,6 +126,8 @@ int main(int argc, char** argv) {
             else if (arg == "--probe") config.breaker.probe_interval = std::stoi(next_arg(i));
             else if (arg == "--checkpoint") config.checkpoint_path = next_arg(i);
             else if (arg == "--cache") config.plan_cache_capacity = std::stoull(next_arg(i));
+            else if (arg == "--batch") config.plan_batch = std::stoi(next_arg(i));
+            else if (arg == "--delta") config.delta_max_edges = std::stoi(next_arg(i));
             else if (arg == "--report") report_path = next_arg(i);
             else if (arg == "--no-timings") include_timings = false;
             else if (arg == "--mldg") mldg_files.push_back(next_arg(i));

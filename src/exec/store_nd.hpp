@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "front/ast.hpp"
-#include "support/vecn.hpp"
+#include "support/lexvec.hpp"
 
 namespace lf::exec {
 

@@ -1,16 +1,11 @@
 #include "fusion/driver.hpp"
 
+#include <span>
 #include <sstream>
 
-#include "fusion/ablation.hpp"
-#include "fusion/compact.hpp"
-#include "fusion/acyclic_doall.hpp"
-#include "fusion/cyclic_doall.hpp"
-#include "fusion/hyperplane.hpp"
-#include "graph/solver_workspace.hpp"
+#include "fusion/ladder.hpp"
 #include "ldg/legality.hpp"
 #include "support/diagnostics.hpp"
-#include "support/faultpoint.hpp"
 
 namespace lf {
 
@@ -34,284 +29,16 @@ std::string to_string(AlgorithmUsed algorithm) {
     return "?";
 }
 
-namespace {
-
-/// Rung-failure severity for picking try_plan_fusion's overall error code:
-/// running out of budget must surface even when later rungs report ordinary
-/// infeasibility, and detected overflow outranks a mere fault/postcondition.
-int severity(StatusCode code) {
-    switch (code) {
-        case StatusCode::ResourceExhausted: return 4;
-        case StatusCode::Overflow: return 3;
-        case StatusCode::Internal: return 2;
-        case StatusCode::Infeasible: return 1;
-        default: return 0;
-    }
-}
-
-/// Completes a plan whose retiming/level/algorithm/schedule are set: builds
-/// the retimed graph and fused body order and re-verifies the paper's
-/// guarantees. Returns the empty string on success, else the reason the plan
-/// must be rejected (the ladder then moves on to the next rung).
-std::string finalize_plan(const Mldg& g, FusionPlan& plan) {
-    plan.retimed = plan.retiming.apply(g);
-    auto order = fused_body_order(plan.retimed);
-    if (!order.has_value()) return "(0,0)-dependence cycle in the retimed graph";
-    plan.body_order = std::move(*order);
-    if (!is_fusion_legal(plan.retimed, plan.body_order)) return "fusion illegal after retiming";
-    if (plan.level == ParallelismLevel::InnerDoall &&
-        !is_fused_inner_doall(plan.retimed, plan.body_order)) {
-        return "fused inner loop not DOALL";
-    }
-    if (!is_strict_schedule_vector(plan.retimed, plan.schedule)) return "schedule not strict";
-    return {};
-}
-
-std::vector<int> program_order_of(const Mldg& g) {
-    std::vector<int> order(static_cast<std::size_t>(g.num_nodes()));
-    for (int i = 0; i < g.num_nodes(); ++i) {
-        order[static_cast<std::size_t>(g.node_ref(i).order)] = i;
-    }
-    return order;
-}
-
-}  // namespace
-
 Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options) {
-    ResourceGuard guard(options.limits);
-    PlannerWorkspace* ws = options.workspace;
-    std::vector<StageReport> stages;
-    std::uint64_t metered = 0;
-    // Solver telemetry accumulated since the last push_stage; each stage
-    // report carries exactly the solver work done on its behalf.
-    SolverStats rung_stats;
-    auto push_stage = [&](std::string stage, StatusCode code, std::string detail) {
-        StageReport r;
-        r.stage = std::move(stage);
-        r.code = code;
-        r.detail = std::move(detail);
-        r.budget_consumed = guard.consumed() - metered;
-        metered = guard.consumed();
-        r.solver = rung_stats;
-        rung_stats = SolverStats{};
-        stages.push_back(std::move(r));
-    };
-
-    // ---- Validation ----
-    // Program-model legality is solver-free and implies schedulability
-    // (L2+L3: every cycle has x-weight >= 1); only graphs outside the
-    // program model need the solver-backed schedulability check.
-    const bool model_legal = is_legal_mldg(g);
-    if (!model_legal) {
-        const LegalityReport rep =
-            check_schedulable(g, &guard, &rung_stats, ws != nullptr ? &ws->scalar : nullptr);
-        if (rep.status != StatusCode::Ok) {
-            push_stage("validate", rep.status, "schedulability check aborted");
-            Status st(rep.status, "try_plan_fusion: could not validate the input MLDG");
-            st.stages = std::move(stages);
-            return st;
-        }
-        if (!rep.legal) {
-            const std::string why =
-                rep.violations.empty() ? std::string("?") : rep.violations.front();
-            push_stage("validate", StatusCode::IllegalInput, why);
-            Status st(StatusCode::IllegalInput,
-                      "try_plan_fusion: input MLDG is not schedulable: " + why);
-            st.stages = std::move(stages);
-            return st;
-        }
-    }
-    push_stage("validate", StatusCode::Ok,
-               model_legal ? "program-model legal" : "schedulable (outside the program model)");
-
-    std::optional<int> a4_failed_phase;
-    // Rung 2's phase-1 fixpoint, kept for warm-starting rung 3: the forced-
-    // carry x-system only tightens the selective phase-1 system (non-hard
-    // bounds drop from delta.x to delta.x - 1), so the selective fixpoint is
-    // a valid starting potential there.
-    std::vector<std::int64_t> a4_phase1_values;
-
-    // Compact refinement (PlanOptions::compact_prologue) as a post-pass: the
-    // plain rung's solution is kept unless the compacted one re-verifies.
-    auto apply_compact = [&](FusionPlan& plan) {
-        if (!options.plan.compact_prologue) return;
-        try {
-            // The accepted rung's raw x components are the fixpoint of the
-            // compact pass's base system (directly for Algorithm 4's phase 1;
-            // via the lexicographic-minimum projection for Algorithm 3), so
-            // they warm-start the compact solves without changing them.
-            std::vector<std::int64_t> local_warm;
-            std::vector<std::int64_t>& warm_x = ws != nullptr ? ws->warm_x : local_warm;
-            warm_x.clear();
-            warm_x.reserve(static_cast<std::size_t>(g.num_nodes()));
-            for (int v = 0; v < g.num_nodes(); ++v) warm_x.push_back(plan.retiming.of(v).x);
-            std::optional<Retiming> alt;
-            if (plan.algorithm == AlgorithmUsed::AcyclicDoall) {
-                alt = acyclic_doall_fusion_compact(g, &rung_stats, ws, &warm_x);
-            } else if (plan.algorithm == AlgorithmUsed::CyclicDoall) {
-                alt = cyclic_doall_fusion_compact(g, &rung_stats, ws, &warm_x);
-            }
-            if (!alt.has_value()) return;
-            FusionPlan refined;
-            refined.retiming = std::move(*alt);
-            refined.level = plan.level;
-            refined.algorithm = plan.algorithm;
-            refined.schedule = plan.schedule;
-            refined.hyperplane = plan.hyperplane;
-            if (finalize_plan(g, refined).empty()) {
-                plan = std::move(refined);
-                push_stage("compact", StatusCode::Ok, "x-spread minimized");
-            }
-        } catch (const std::exception&) {
-            // Keep the plain rung's verified solution.
-        }
-    };
-
-    auto finish = [&](FusionPlan&& plan) -> FusionPlan {
-        apply_compact(plan);
-        plan.cyclic_doall_failed_phase = a4_failed_phase;
-        plan.stages = std::move(stages);
-        return std::move(plan);
-    };
-
-    // ---- Rung 1: Algorithm 3 (acyclic graphs only). ----
-    if (!options.distribution_only && g.is_acyclic()) {
-        try {
-            auto r = try_acyclic_doall_fusion(g, &guard, &rung_stats, ws);
-            if (r.ok()) {
-                FusionPlan plan;
-                plan.retiming = std::move(r).value();
-                plan.algorithm = AlgorithmUsed::AcyclicDoall;
-                plan.level = ParallelismLevel::InnerDoall;
-                const std::string err = finalize_plan(g, plan);
-                if (err.empty()) {
-                    push_stage("acyclic-doall", StatusCode::Ok, {});
-                    return finish(std::move(plan));
-                }
-                push_stage("acyclic-doall", StatusCode::Internal, err);
-            } else {
-                push_stage("acyclic-doall", r.status().code(), r.status().message());
-            }
-        } catch (const std::exception& e) {
-            push_stage("acyclic-doall", StatusCode::Internal, e.what());
-        }
-    }
-
-    // ---- Rung 2: Algorithm 4 (also handles acyclic graphs when rung 1
-    // fell through). ----
-    if (!options.distribution_only) try {
-        auto outcome = cyclic_doall_fusion(g, &guard, &rung_stats, ws);
-        a4_phase1_values = std::move(outcome.phase1_values);
-        if (outcome.retiming.has_value()) {
-            FusionPlan plan;
-            plan.retiming = std::move(*outcome.retiming);
-            plan.algorithm = AlgorithmUsed::CyclicDoall;
-            plan.level = ParallelismLevel::InnerDoall;
-            const std::string err = finalize_plan(g, plan);
-            if (err.empty()) {
-                push_stage("cyclic-doall", StatusCode::Ok, {});
-                return finish(std::move(plan));
-            }
-            push_stage("cyclic-doall", StatusCode::Internal, err);
-        } else {
-            a4_failed_phase = outcome.failed_phase;
-            if (outcome.status != StatusCode::Ok) {
-                push_stage("cyclic-doall", outcome.status,
-                           "phase " + std::to_string(outcome.failed_phase) + " aborted");
-            } else {
-                push_stage("cyclic-doall", StatusCode::Infeasible,
-                           "phase " + std::to_string(outcome.failed_phase) + " infeasible");
-            }
-        }
-    } catch (const std::exception& e) {
-        push_stage("cyclic-doall", StatusCode::Internal, e.what());
-    }
-
-    // ---- Rung 3: forced-carry variant (extension; still DOALL rows). ----
-    if (!options.distribution_only) try {
-        auto r = ablation::try_cyclic_doall_all_hard(
-            g, &guard, &rung_stats, ws,
-            a4_phase1_values.empty() ? nullptr : &a4_phase1_values);
-        if (r.ok()) {
-            FusionPlan plan;
-            plan.retiming = std::move(r).value();
-            plan.algorithm = AlgorithmUsed::CyclicDoallForced;
-            plan.level = ParallelismLevel::InnerDoall;
-            const std::string err = finalize_plan(g, plan);
-            if (err.empty()) {
-                push_stage("forced-carry", StatusCode::Ok, {});
-                return finish(std::move(plan));
-            }
-            push_stage("forced-carry", StatusCode::Internal, err);
-        } else {
-            push_stage("forced-carry", r.status().code(), r.status().message());
-        }
-    } catch (const std::exception& e) {
-        push_stage("forced-carry", StatusCode::Internal, e.what());
-    }
-
-    // ---- Rung 4: Algorithm 5 (hyperplane wavefront). ----
-    if (!options.distribution_only) try {
-        auto r = try_hyperplane_fusion(g, &guard, &rung_stats, ws);
-        if (r.ok()) {
-            FusionPlan plan;
-            plan.retiming = std::move(r.value().retiming);
-            plan.algorithm = AlgorithmUsed::Hyperplane;
-            plan.level = ParallelismLevel::Hyperplane;
-            plan.schedule = r.value().schedule;
-            plan.hyperplane = r.value().hyperplane;
-            const std::string err = finalize_plan(g, plan);
-            if (err.empty()) {
-                push_stage("hyperplane", StatusCode::Ok, {});
-                return finish(std::move(plan));
-            }
-            push_stage("hyperplane", StatusCode::Internal, err);
-        } else {
-            push_stage("hyperplane", r.status().code(), r.status().message());
-        }
-    } catch (const std::exception& e) {
-        push_stage("hyperplane", StatusCode::Internal, e.what());
-    }
-
-    // ---- Rung 5: loop distribution (unfused but legal). ----
-    // No solver involved: the plan *is* the original program, so it needs no
-    // verification beyond program-model legality (checked above). Only that
-    // legality makes the unfused original executable, so graphs like the
-    // paper's Figure 14 (schedulable only) cannot take this rung.
-    if (options.allow_distribution_fallback) {
-        if (!model_legal) {
-            push_stage("distribution", StatusCode::IllegalInput,
-                       "input is not program-model legal; the unfused original is not "
-                       "an executable Figure-1 program");
-        } else if (faultpoint::triggered("distribution")) {
-            push_stage("distribution", StatusCode::Internal, "fault injected");
-        } else {
-            FusionPlan plan;
-            plan.retiming = Retiming(g.num_nodes());  // identity
-            plan.level = ParallelismLevel::Unfused;
-            plan.algorithm = AlgorithmUsed::DistributionFallback;
-            plan.retimed = g;
-            plan.body_order = program_order_of(g);
-            push_stage("distribution", StatusCode::Ok, "unfused fallback");
-            plan.cyclic_doall_failed_phase = a4_failed_phase;
-            plan.stages = std::move(stages);
-            return plan;
-        }
-    }
-
-    // ---- Every rung fell through. ----
-    StatusCode worst = StatusCode::Internal;
-    int worst_rank = -1;
-    for (const auto& s : stages) {
-        if (s.code == StatusCode::Ok) continue;
-        if (severity(s.code) > worst_rank) {
-            worst_rank = severity(s.code);
-            worst = s.code;
-        }
-    }
-    Status st(worst, "try_plan_fusion: no ladder rung produced a verifiable plan");
-    st.stages = std::move(stages);
-    return st;
+    // The degradation ladder lives in fusion/ladder.cpp as a batched planner
+    // over the shared constraint-system core; the sequential API is a batch
+    // of one, so both paths are the same code (and bit-identical).
+    BatchPlanJob job;
+    job.graph = &g;
+    job.hints = options.warm_hints;
+    try_plan_fusion_batch(std::span<BatchPlanJob>(&job, 1), options);
+    if (options.artifacts != nullptr) *options.artifacts = std::move(job.artifacts);
+    return std::move(*job.result);
 }
 
 FusionPlan plan_fusion(const Mldg& g, const PlanOptions& options) {

@@ -35,6 +35,8 @@
 namespace lf {
 
 struct PlannerWorkspace;
+struct LadderWarmHints;
+struct LadderArtifacts;
 
 enum class ParallelismLevel {
     /// The fused innermost loop is DOALL: one barrier per outer iteration.
@@ -120,6 +122,14 @@ struct TryPlanOptions {
     /// the constraint systems nest (see DESIGN.md, "Planning performance").
     /// Never changes any planning result. Not owned; may be null.
     PlannerWorkspace* workspace = nullptr;
+    /// Starting potentials for delta re-planning, derived from a structural
+    /// near-neighbor's cached fixpoints (fusion/ladder.hpp). Warm-start
+    /// legality guarantees the plan is unchanged; only relaxation work
+    /// shrinks. Not owned; may be null.
+    const LadderWarmHints* warm_hints = nullptr;
+    /// Optional output: the feasible fixpoints the ladder computed (for the
+    /// plan cache's distance-vector sidecar). Not owned; may be null.
+    LadderArtifacts* artifacts = nullptr;
 };
 
 /// Never-throwing planner with graceful degradation. Tries, in order:

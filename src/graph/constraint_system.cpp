@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <sstream>
 
-#include "support/vec2.hpp"
+#include "support/lexvec.hpp"
 
 namespace lf {
 

@@ -8,7 +8,7 @@
 // Bellman-Ford as the 1-D/2-D systems (fault point "solver.bellman_ford").
 
 #include "graph/constraint_system.hpp"
-#include "support/vecn.hpp"
+#include "support/lexvec.hpp"
 
 namespace lf {
 

@@ -22,8 +22,7 @@
 #include <memory>
 #include <vector>
 
-#include "support/vec2.hpp"
-#include "support/vecn.hpp"
+#include "support/lexvec.hpp"
 
 namespace lf {
 

@@ -11,7 +11,7 @@
 
 #include "front/ast.hpp"
 #include "ir/token.hpp"
-#include "support/vec2.hpp"
+#include "support/lexvec.hpp"
 
 namespace lf::ir {
 

@@ -8,7 +8,7 @@
 // O(1) endpoint index are unchanged from the historical 2-D class.
 
 #include "ldg/basic_mldg.hpp"
-#include "support/vec2.hpp"
+#include "support/lexvec.hpp"
 
 namespace lf {
 

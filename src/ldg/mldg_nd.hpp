@@ -14,7 +14,7 @@
 #include "ldg/basic_mldg.hpp"
 #include "support/solver_stats.hpp"
 #include "support/status.hpp"
-#include "support/vecn.hpp"
+#include "support/lexvec.hpp"
 
 namespace lf {
 

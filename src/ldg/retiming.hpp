@@ -8,7 +8,7 @@
 
 #include "ldg/basic_mldg.hpp"
 #include "ldg/mldg.hpp"
-#include "support/vec2.hpp"
+#include "support/lexvec.hpp"
 
 namespace lf {
 

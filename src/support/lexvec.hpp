@@ -16,8 +16,7 @@
 //     historical `VecN`, powering the n-D generalizations whose dimension is
 //     only known when the MLDG is built.
 //
-// `Vec2` and `VecN` remain the canonical spellings (as aliases); the old
-// support/vec2.hpp and support/vecn.hpp headers forward here.
+// `Vec2` and `VecN` remain the canonical spellings (as aliases).
 
 #include <array>
 #include <compare>

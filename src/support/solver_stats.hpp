@@ -41,6 +41,17 @@ struct SolverStats {
     /// Solves that initialized from scratch (no usable warm hint). Every
     /// accounted solve is exactly one of warm_starts / cold_solves.
     std::uint64_t cold_solves = 0;
+    /// Ladder rungs that reused the shared constraint-system core (edge
+    /// arrays, cached schedulability verdict, previous-rung fixpoints)
+    /// instead of rebuilding their system from the MLDG (fusion/ladder.hpp).
+    std::uint64_t rungs_shared = 0;
+    /// Solves executed by the batched all-sources kernel together with at
+    /// least one other job over shared adjacency (one count per lane).
+    std::uint64_t batch_solves = 0;
+    /// Solves warm-started from a cached *neighbor's* feasible distances
+    /// (plan-cache structural near-miss; see svc/plancache.hpp) rather than
+    /// from this job's own previous rung.
+    std::uint64_t delta_solves = 0;
     /// Wall time spent inside solver entry points, in nanoseconds. Only
     /// meaningful on the machine that produced it; report emission omits it
     /// under the determinism contract (include_timings=false).
@@ -57,11 +68,16 @@ struct SolverStats {
         overflow_near_misses += o.overflow_near_misses;
         warm_starts += o.warm_starts;
         cold_solves += o.cold_solves;
+        rungs_shared += o.rungs_shared;
+        batch_solves += o.batch_solves;
+        delta_solves += o.delta_solves;
         wall_ns += o.wall_ns;
     }
 
-    /// True when at least one solve was accounted (gates report emission).
-    [[nodiscard]] bool any() const { return solves != 0; }
+    /// True when any solver work was accounted (gates report emission).
+    /// A rung can share the core without solving (fault-injected phases),
+    /// so rungs_shared counts as work of its own.
+    [[nodiscard]] bool any() const { return solves != 0 || rungs_shared != 0; }
 };
 
 }  // namespace lf

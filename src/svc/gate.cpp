@@ -7,7 +7,7 @@
 #include "exec/store_nd.hpp"
 #include "fusion/certify.hpp"
 #include "ir/parser.hpp"
-#include "mdir/parser.hpp"
+#include "front/parse.hpp"
 #include "support/faultpoint.hpp"
 #include "transform/distribution.hpp"
 #include "transform/fused_program.hpp"
@@ -154,7 +154,7 @@ GateResult admit_plan_nd(const JobSpec& job, const NdFusionPlan& plan) {
     }
 
     try {
-        const auto p = mdir::parse_md_program(job.dsl_source);
+        const auto p = front::parse_basic_program<VecN>(job.dsl_source);
         const MldgN derived = analysis::build_mldg_nd(p);
         if (derived.num_nodes() != job.graph_nd.num_nodes()) {
             res.replay = ReplayOutcome::Error;

@@ -1,0 +1,399 @@
+// Batched planning and incremental re-planning guards.
+//
+// The contract under test (fusion/ladder.hpp): try_plan_fusion_batch is a
+// pure reordering of the sequential planner -- every job's plan, status and
+// per-rung stage trace must be BYTE-IDENTICAL whether the job planned alone
+// or batched with skeleton-mates, under clean runs and under every armed
+// planner fault point. Likewise a delta re-plan seeded by
+// PlanCache::near_miss_hints must land on the same plan as a cold solve;
+// only the solver telemetry (batch_solves / delta_solves) may differ, and
+// the digests below deliberately exclude it.
+
+#include <optional>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/dependence.hpp"
+#include "fusion/driver.hpp"
+#include "fusion/ladder.hpp"
+#include "fusion/multidim.hpp"
+#include "ir/parser.hpp"
+#include "ldg/serialization.hpp"
+#include "support/diagnostics.hpp"
+#include "support/faultpoint.hpp"
+#include "svc/plancache.hpp"
+#include "svc/service.hpp"
+#include "workloads/extra.hpp"
+#include "workloads/gallery.hpp"
+
+namespace lf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Digests: everything observable about a planning result EXCEPT solver
+// telemetry (batching legitimately changes how work is counted, never what
+// is planned).
+
+std::string digest_result(const Result<FusionPlan>& r) {
+    std::ostringstream out;
+    const std::vector<StageReport>& stages = r.ok() ? r.value().stages : r.status().stages;
+    for (const StageReport& s : stages) {
+        out << "stage " << s.stage << ":" << to_string(s.code);
+        if (!s.detail.empty()) out << " [" << s.detail << "]";
+        out << "\n";
+    }
+    if (!r.ok()) {
+        out << "status " << to_string(r.status().code()) << " [" << r.status().message()
+            << "]\n";
+        return out.str();
+    }
+    const FusionPlan& plan = r.value();
+    out << "status Ok\n";
+    out << "algorithm " << to_string(plan.algorithm) << "\n";
+    out << "level " << to_string(plan.level) << "\n";
+    out << "schedule " << plan.schedule.str() << "\n";
+    out << "hyperplane " << plan.hyperplane.str() << "\n";
+    out << "body_order";
+    for (int n : plan.body_order) out << " " << plan.retimed.node(n).name;
+    out << "\n";
+    out << "retiming";
+    for (int n = 0; n < plan.retiming.num_nodes(); ++n) {
+        out << " " << plan.retimed.node(n).name << "=" << plan.retiming.of(n).str();
+    }
+    out << "\n";
+    out << serialize_mldg(plan.retimed, "retimed");
+    return out.str();
+}
+
+std::string digest_nd(const std::optional<NdFusionPlan>& plan, const std::string& error,
+                      const MldgN& g) {
+    std::ostringstream out;
+    if (!plan.has_value()) {
+        out << "error [" << error << "]\n";
+        return out.str();
+    }
+    out << "level "
+        << (plan->level == NdParallelism::OutermostCarried ? "OutermostCarried" : "Hyperplane")
+        << "\n";
+    out << "schedule " << plan->schedule.str() << "\n";
+    out << "retiming";
+    for (int n = 0; n < plan->retiming.num_nodes(); ++n) {
+        out << " " << g.node(n).name << "=" << plan->retiming.of(n).str();
+    }
+    out << "\n" << plan->retimed.summary();
+    return out.str();
+}
+
+/// Every gallery graph -- the paper's figures, the extended DSL gallery,
+/// and the canonical illegal input -- so the batch exercises all five rungs
+/// (acyclic, cyclic-DOALL, forced carry, hyperplane, distribution) plus the
+/// failure paths.
+std::vector<std::pair<std::string, Mldg>> gallery_graphs() {
+    std::vector<std::pair<std::string, Mldg>> graphs;
+    for (const workloads::Workload& w : workloads::paper_workloads()) {
+        graphs.emplace_back(w.id, w.graph);
+    }
+    for (const workloads::ExtraWorkload& w : workloads::extra_workloads()) {
+        graphs.emplace_back(w.id, analysis::build_mldg(ir::parse_program(w.dsl_source)));
+    }
+    graphs.emplace_back("fig14_as_printed", workloads::fig14_graph_as_printed());
+    return graphs;
+}
+
+std::uint64_t sum_stat(const Result<FusionPlan>& r,
+                       std::uint64_t SolverStats::*field) {
+    std::uint64_t total = 0;
+    const std::vector<StageReport>& stages = r.ok() ? r.value().stages : r.status().stages;
+    for (const StageReport& s : stages) total += s.solver.*field;
+    return total;
+}
+
+class BatchPlan : public ::testing::Test {
+  protected:
+    void SetUp() override { faultpoint::reset(); }
+    void TearDown() override { faultpoint::reset(); }
+};
+
+// ---------------------------------------------------------------------------
+// Batch vs sequential: bit identity.
+
+TEST_F(BatchPlan, GalleryBatchMatchesSequential) {
+    const auto graphs = gallery_graphs();
+    ASSERT_GE(graphs.size(), 5u);
+
+    std::vector<std::string> sequential;
+    for (const auto& [id, g] : graphs) sequential.push_back(digest_result(try_plan_fusion(g)));
+
+    std::vector<BatchPlanJob> jobs(graphs.size());
+    for (std::size_t i = 0; i < graphs.size(); ++i) jobs[i].graph = &graphs[i].second;
+    try_plan_fusion_batch(std::span<BatchPlanJob>(jobs));
+
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+        ASSERT_TRUE(jobs[i].result.has_value()) << graphs[i].first;
+        EXPECT_EQ(sequential[i], digest_result(*jobs[i].result))
+            << "batched plan diverged from sequential for workload " << graphs[i].first;
+    }
+}
+
+TEST_F(BatchPlan, SameSkeletonJobsSolveInLockstep) {
+    // Two structurally identical graphs share one endpoint structure; the
+    // batched kernel must report multi-lane solves while the plans stay
+    // exactly the sequential ones.
+    const Mldg g1 = workloads::fig2_graph();
+    const Mldg g2 = workloads::fig2_graph();
+    std::vector<BatchPlanJob> jobs(2);
+    jobs[0].graph = &g1;
+    jobs[1].graph = &g2;
+    try_plan_fusion_batch(std::span<BatchPlanJob>(jobs));
+    ASSERT_TRUE(jobs[0].result.has_value());
+    ASSERT_TRUE(jobs[1].result.has_value());
+
+    const std::string alone = digest_result(try_plan_fusion(g1));
+    EXPECT_EQ(alone, digest_result(*jobs[0].result));
+    EXPECT_EQ(alone, digest_result(*jobs[1].result));
+    EXPECT_GE(sum_stat(*jobs[0].result, &SolverStats::batch_solves), 1u)
+        << "same-skeleton jobs should have solved in lockstep";
+}
+
+TEST_F(BatchPlan, BatchMatchesSequentialUnderEveryPlannerFault) {
+    const auto graphs = gallery_graphs();
+    const char* const kFaults[] = {
+        "acyclic_doall", "cyclic_doall.phase1", "cyclic_doall.phase2", "forced_carry",
+        "hyperplane",    "llofra",              "distribution",        "solver.bellman_ford",
+    };
+    for (const char* fault : kFaults) {
+        faultpoint::reset();
+        faultpoint::arm(fault);
+        std::vector<std::string> sequential;
+        for (const auto& [id, g] : graphs) {
+            sequential.push_back(digest_result(try_plan_fusion(g)));
+        }
+
+        faultpoint::reset();
+        faultpoint::arm(fault);
+        std::vector<BatchPlanJob> jobs(graphs.size());
+        for (std::size_t i = 0; i < graphs.size(); ++i) jobs[i].graph = &graphs[i].second;
+        try_plan_fusion_batch(std::span<BatchPlanJob>(jobs));
+
+        for (std::size_t i = 0; i < graphs.size(); ++i) {
+            ASSERT_TRUE(jobs[i].result.has_value());
+            EXPECT_EQ(sequential[i], digest_result(*jobs[i].result))
+                << "fault " << fault << ", workload " << graphs[i].first;
+        }
+    }
+}
+
+TEST_F(BatchPlan, NdBatchMatchesSequential) {
+    std::vector<std::pair<std::string, MldgN>> fixtures;
+    {
+        MldgN g(3);
+        const int a = g.add_node("A");
+        const int b = g.add_node("B");
+        const int c = g.add_node("C");
+        g.add_edge(a, b, {VecN{0, 0, -2}, VecN{0, 0, 1}});
+        g.add_edge(b, c, {VecN{0, 1, -1}});
+        g.add_edge(c, a, {VecN{1, -1, 0}});
+        g.add_edge(c, c, {VecN{1, 0, 2}});
+        fixtures.emplace_back("stencil_3d", std::move(g));
+    }
+    {
+        MldgN g(4);
+        const int a = g.add_node("A");
+        const int b = g.add_node("B");
+        g.add_edge(a, b, {VecN{0, 0, 0, -3}, VecN{0, 0, 1, 2}});
+        g.add_edge(b, a, {VecN{0, 1, -1, 0}});
+        g.add_edge(a, a, {VecN{1, 0, 0, -2}});
+        fixtures.emplace_back("wavefront_4d", std::move(g));
+    }
+    {
+        // Unschedulable: a zero-distance cycle. The batched entry point must
+        // report the same error text the sequential planner throws.
+        MldgN g(2);
+        const int a = g.add_node("A");
+        const int b = g.add_node("B");
+        g.add_edge(a, b, {VecN{0, 0}});
+        g.add_edge(b, a, {VecN{0, 0}});
+        fixtures.emplace_back("zero_cycle", std::move(g));
+    }
+
+    std::vector<BatchPlanJobNd> jobs(fixtures.size());
+    for (std::size_t i = 0; i < fixtures.size(); ++i) jobs[i].graph = &fixtures[i].second;
+    try_plan_fusion_batch_nd(std::span<BatchPlanJobNd>(jobs));
+
+    for (std::size_t i = 0; i < fixtures.size(); ++i) {
+        const MldgN& g = fixtures[i].second;
+        std::optional<NdFusionPlan> seq;
+        std::string seq_error;
+        try {
+            seq.emplace(plan_fusion_nd(g));
+        } catch (const std::exception& e) {
+            seq_error = e.what();
+        }
+        EXPECT_EQ(digest_nd(seq, seq_error, g), digest_nd(jobs[i].plan, jobs[i].error, g))
+            << fixtures[i].first;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental re-planning: near-miss warm starts land on the cold plan.
+
+/// A cyclic, schedulable three-loop ring whose last edge's dependence set is
+/// parameterized -- the knob that turns one graph into a structural
+/// near-miss of another.
+Mldg ring(std::int64_t y) {
+    Mldg g;
+    const int a = g.add_node("A");
+    const int b = g.add_node("B");
+    const int c = g.add_node("C");
+    g.add_edge(a, b, {{0, 1}});
+    g.add_edge(b, c, {{1, -2}});
+    g.add_edge(c, a, {{1, y}});
+    return g;
+}
+
+TEST_F(BatchPlan, NearMissHintsReproduceColdPlan) {
+    const Mldg base = ring(3);
+    LadderArtifacts artifacts;
+    TryPlanOptions opts;
+    opts.artifacts = &artifacts;
+    const Result<FusionPlan> seeded = try_plan_fusion(base, opts);
+    ASSERT_TRUE(seeded.ok());
+    ASSERT_FALSE(artifacts.empty()) << "a solved ladder must leave distance vectors behind";
+
+    svc::PlanCache cache(8);
+    const std::uint64_t key = svc::PlanCache::key_of(base, PlanOptions{}, true);
+    cache.insert(key, seeded.value(), &base, &artifacts);
+
+    // An exact structural match is a cache hit's business, never a near miss.
+    EXPECT_FALSE(cache.near_miss_hints(base, 4).has_value());
+
+    const Mldg target = ring(5);
+    const std::optional<LadderWarmHints> hints = cache.near_miss_hints(target, 4);
+    ASSERT_TRUE(hints.has_value());
+    EXPECT_GE(cache.stats().near_miss_hits, 1u);
+
+    const Result<FusionPlan> cold = try_plan_fusion(target);
+    TryPlanOptions warm_opts;
+    warm_opts.warm_hints = &*hints;
+    const Result<FusionPlan> warm = try_plan_fusion(target, warm_opts);
+    ASSERT_TRUE(cold.ok());
+    ASSERT_TRUE(warm.ok());
+    EXPECT_EQ(digest_result(cold), digest_result(warm))
+        << "a delta re-plan must be bit-identical to a cold plan";
+    EXPECT_GE(sum_stat(warm, &SolverStats::delta_solves), 1u)
+        << "the warm hints were never adopted";
+}
+
+TEST_F(BatchPlan, NearMissRespectsEdgeDiffBudget) {
+    const Mldg base = ring(3);
+    LadderArtifacts artifacts;
+    TryPlanOptions opts;
+    opts.artifacts = &artifacts;
+    const Result<FusionPlan> seeded = try_plan_fusion(base, opts);
+    ASSERT_TRUE(seeded.ok());
+    svc::PlanCache cache(8);
+    cache.insert(svc::PlanCache::key_of(base, PlanOptions{}, true), seeded.value(), &base,
+                 &artifacts);
+
+    // Two edges differ; a budget of one must refuse, a budget of two accept.
+    Mldg two_off;
+    {
+        const int a = two_off.add_node("A");
+        const int b = two_off.add_node("B");
+        const int c = two_off.add_node("C");
+        two_off.add_edge(a, b, {{0, 2}});
+        two_off.add_edge(b, c, {{1, -2}});
+        two_off.add_edge(c, a, {{1, 7}});
+    }
+    EXPECT_FALSE(cache.near_miss_hints(two_off, 1).has_value());
+    EXPECT_TRUE(cache.near_miss_hints(two_off, 2).has_value());
+
+    // A different skeleton never matches, whatever the budget.
+    Mldg chain;
+    {
+        const int a = chain.add_node("A");
+        const int b = chain.add_node("B");
+        const int c = chain.add_node("C");
+        chain.add_edge(a, b, {{0, 1}});
+        chain.add_edge(b, c, {{1, -2}});
+        chain.add_edge(a, c, {{1, 3}});
+    }
+    EXPECT_FALSE(cache.near_miss_hints(chain, 8).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Service-level: the delta path serves real jobs, and arming the plan-cache
+// fault forces every job back onto the cold path with identical outcomes.
+
+TEST_F(BatchPlan, ServiceDeltaReplanMatchesColdUnderFault) {
+    std::vector<svc::JobSpec> jobs(2);
+    jobs[0].id = "seed";
+    jobs[0].graph = ring(3);
+    jobs[1].id = "near_miss";
+    jobs[1].graph = ring(5);
+
+    svc::ServiceConfig config;
+    config.workers = 1;
+    config.plan_batch = 1;  // force the sequential path: job 2 must delta-solve
+    svc::FusionService service(config);
+    const svc::RunReport clean = service.run(jobs);
+    ASSERT_EQ(clean.jobs.size(), 2u);
+    EXPECT_EQ(clean.jobs[0].status, svc::JobStatus::Verified);
+    EXPECT_EQ(clean.jobs[1].status, svc::JobStatus::Verified);
+    EXPECT_EQ(clean.jobs[1].cache, svc::CacheOutcome::Miss);
+    EXPECT_GE(clean.plancache.near_miss_hits, 1u)
+        << "the second job should have warm-started off the first's entry";
+
+    // svc.plancache armed: both jobs bypass the cache (no lookups, no delta
+    // hints, no inserts) and replan cold -- with the same verdicts and plans.
+    faultpoint::arm("svc.plancache");
+    svc::FusionService faulted(config);
+    const svc::RunReport cold = faulted.run(jobs);
+    EXPECT_GE(faultpoint::hits("svc.plancache"), 1u);
+    ASSERT_EQ(cold.jobs.size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(cold.jobs[i].status, svc::JobStatus::Verified);
+        EXPECT_EQ(cold.jobs[i].cache, svc::CacheOutcome::Bypass);
+        EXPECT_EQ(cold.jobs[i].algorithm, clean.jobs[i].algorithm);
+        EXPECT_EQ(cold.jobs[i].level, clean.jobs[i].level);
+    }
+    EXPECT_EQ(cold.plancache.near_miss_hits + cold.plancache.near_miss_misses, 0u)
+        << "a bypassed run must never consult the near-miss index";
+}
+
+TEST_F(BatchPlan, ServiceBatchPrepassKeepsVerdicts) {
+    // A mixed manifest planned with batching on vs off must produce the same
+    // per-job verdicts, algorithms and levels.
+    std::vector<svc::JobSpec> jobs;
+    int n = 0;
+    for (const auto& [id, g] : gallery_graphs()) {
+        svc::JobSpec spec;
+        spec.id = "job" + std::to_string(n++) + "_" + id;
+        spec.graph = g;
+        jobs.push_back(std::move(spec));
+    }
+
+    svc::ServiceConfig batched;
+    batched.workers = 2;
+    batched.plan_batch = 8;
+    const svc::RunReport with_batch = svc::FusionService(batched).run(jobs);
+
+    svc::ServiceConfig solo;
+    solo.workers = 2;
+    solo.plan_batch = 1;
+    const svc::RunReport without = svc::FusionService(solo).run(jobs);
+
+    ASSERT_EQ(with_batch.jobs.size(), without.jobs.size());
+    for (std::size_t i = 0; i < with_batch.jobs.size(); ++i) {
+        EXPECT_EQ(with_batch.jobs[i].status, without.jobs[i].status) << jobs[i].id;
+        EXPECT_EQ(with_batch.jobs[i].algorithm, without.jobs[i].algorithm) << jobs[i].id;
+        EXPECT_EQ(with_batch.jobs[i].level, without.jobs[i].level) << jobs[i].id;
+    }
+}
+
+}  // namespace
+}  // namespace lf

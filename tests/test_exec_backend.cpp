@@ -37,8 +37,8 @@
 #include "fusion/driver.hpp"
 #include "fusion/multidim.hpp"
 #include "ir/parser.hpp"
-#include "mdir/analysis.hpp"
-#include "mdir/parser.hpp"
+#include "analysis/dependence.hpp"
+#include "front/parse.hpp"
 #include "support/cemit.hpp"
 #include "support/faultpoint.hpp"
 #include "svc/manifest.hpp"
@@ -542,14 +542,14 @@ TEST_F(ExecBackendTest, NdPipelinesVerifyNatively) {
     opts.cache_dir = fresh_cache_dir("nd");
     KernelCompiler compiler(opts);
     {
-        const mdir::MdProgram p = mdir::parse_md_program(workloads::sources::kVolume3d);
-        const NdFusionPlan plan = plan_fusion_nd(mdir::build_mldg_nd(p));
+        const front::BasicProgram<VecN> p = front::parse_basic_program<VecN>(workloads::sources::kVolume3d);
+        const NdFusionPlan plan = plan_fusion_nd(analysis::build_mldg_nd(p));
         const NativeCheck nc = native_check_nd(p, plan, MdDomain{{6, 5, 7}}, compiler);
         EXPECT_EQ(nc.outcome, NativeOutcome::Verified) << nc.detail;
     }
     {
-        const mdir::MdProgram p = mdir::parse_md_program(workloads::sources::kHyper4d);
-        const NdFusionPlan plan = plan_fusion_nd(mdir::build_mldg_nd(p));
+        const front::BasicProgram<VecN> p = front::parse_basic_program<VecN>(workloads::sources::kHyper4d);
+        const NdFusionPlan plan = plan_fusion_nd(analysis::build_mldg_nd(p));
         const NativeCheck nc = native_check_nd(p, plan, MdDomain{{3, 3, 3, 4}}, compiler);
         EXPECT_EQ(nc.outcome, NativeOutcome::Verified) << nc.detail;
     }
@@ -686,8 +686,8 @@ TEST_F(ExecBackendTest, EmittedCIsWarningCleanAcrossTheGallery) {
                                     << "): " << r.status().str();
             }
         }
-        const mdir::MdProgram vol = mdir::parse_md_program(workloads::sources::kVolume3d);
-        const NdFusionPlan plan = plan_fusion_nd(mdir::build_mldg_nd(vol));
+        const front::BasicProgram<VecN> vol = front::parse_basic_program<VecN>(workloads::sources::kVolume3d);
+        const NdFusionPlan plan = plan_fusion_nd(analysis::build_mldg_nd(vol));
         const MdDomain mdom{{5, 5, 5}};
         for (const std::string& src :
              {transform::emit_md_c_program(vol, plan, mdom),

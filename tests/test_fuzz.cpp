@@ -16,7 +16,7 @@
 #include "ir/parser.hpp"
 #include "ldg/legality.hpp"
 #include "ldg/serialization.hpp"
-#include "mdir/parser.hpp"
+#include "front/parse.hpp"
 #include "support/diagnostics.hpp"
 #include "support/faultpoint.hpp"
 #include "support/rng.hpp"
@@ -137,7 +137,7 @@ TEST_P(FuzzTest, MdParserThrowsButNeverCrashes) {
                                    random_token_soup(rng, static_cast<int>(rng.uniform(1, 40))) +
                                    " }";
         try {
-            (void)mdir::parse_md_program(source);
+            (void)front::parse_basic_program<VecN>(source);
         } catch (const Error&) {
         }
     }

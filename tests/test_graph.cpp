@@ -13,7 +13,7 @@
 #include "graph/digraph.hpp"
 #include "graph/spfa.hpp"
 #include "support/rng.hpp"
-#include "support/vec2.hpp"
+#include "support/lexvec.hpp"
 
 namespace lf {
 namespace {

@@ -4,13 +4,29 @@
 
 #include <gtest/gtest.h>
 
-#include "mdir/analysis.hpp"
-#include "mdir/exec.hpp"
-#include "mdir/parser.hpp"
+#include "analysis/dependence.hpp"
+#include "exec/engines_nd.hpp"
+#include "front/parse.hpp"
 #include "support/diagnostics.hpp"
 
-namespace lf::mdir {
+namespace lf {
 namespace {
+
+// The historical mdir:: spellings, resolved to where they live now: the
+// dimension-generic front end, the shared dependence analyzer, and the
+// N-D exec/codegen layers.
+using MdProgram = front::BasicProgram<VecN>;
+using analysis::build_mldg_nd;
+using exec::MdArrayStore;
+using exec::MdDomain;
+using exec::MdExecStats;
+using exec::MdVerification;
+using exec::run_original_md;
+using exec::verify_md_fusion;
+
+MdProgram parse_md_program(std::string_view source) {
+    return front::parse_basic_program<VecN>(source);
+}
 
 constexpr std::string_view kVolume3d = R"(
 # 3-D volume pipeline: time (i1) x plane (i2) x column (j).
@@ -184,4 +200,4 @@ TEST(MdExec, FourDimensionalPipelineVerifies) {
 }
 
 }  // namespace
-}  // namespace lf::mdir
+}  // namespace lf

@@ -8,13 +8,27 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "exec/store_nd.hpp"
 #include "fusion/multidim.hpp"
-#include "mdir/analysis.hpp"
-#include "mdir/codegen_c.hpp"
-#include "mdir/parser.hpp"
+#include "analysis/dependence.hpp"
+#include "transform/codegen_nd.hpp"
+#include "front/parse.hpp"
 
-namespace lf::mdir {
+namespace lf {
 namespace {
+
+// The historical mdir:: spellings, resolved to where they live now: the
+// dimension-generic front end, the shared dependence analyzer, and the
+// N-D exec/codegen layers.
+using MdProgram = front::BasicProgram<VecN>;
+using analysis::build_mldg_nd;
+using exec::MdDomain;
+using transform::emit_md_c_program;
+using transform::expected_md_c_checksum;
+
+MdProgram parse_md_program(std::string_view source) {
+    return front::parse_basic_program<VecN>(source);
+}
 
 bool have_cc() {
     static const bool available = std::system("cc --version > /dev/null 2>&1") == 0;
@@ -93,4 +107,4 @@ TEST(MdCodegenC, CompiledFourDimensionalPipelineAgrees) {
 }
 
 }  // namespace
-}  // namespace lf::mdir
+}  // namespace lf

@@ -8,7 +8,7 @@
 #include "ldg/mldg_nd.hpp"
 #include "support/diagnostics.hpp"
 #include "support/rng.hpp"
-#include "support/vecn.hpp"
+#include "support/lexvec.hpp"
 
 namespace lf {
 namespace {

@@ -9,7 +9,7 @@
 #include "support/diagnostics.hpp"
 #include "support/math_util.hpp"
 #include "support/rng.hpp"
-#include "support/vec2.hpp"
+#include "support/lexvec.hpp"
 
 namespace lf {
 namespace {

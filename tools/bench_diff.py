@@ -20,10 +20,16 @@ workspace arena, not a timing number, so no threshold applies.
 
 Exit status: 0 when clean, 1 on regression -- unless --report-only is
 given, which always exits 0 so CI can surface numbers without gating on
-shared-runner timing noise.
+shared-runner timing noise. --gate ENTRY (repeatable) re-promotes specific
+entries to hard failures even under --report-only: a regression in a gated
+entry always exits 1. Use it for wins that are structural rather than
+timing-noise-sized (e.g. the 2-D cold ladder after the shared
+constraint-system refactor), where a > threshold slide means the
+architecture regressed, not the runner.
 
 Usage:
-  tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 2.0] [--report-only]
+  tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 2.0]
+                      [--report-only] [--gate ENTRY]...
 """
 
 import argparse
@@ -58,6 +64,9 @@ def main():
                     help="regression factor on time-per-item (default 2.0)")
     ap.add_argument("--report-only", action="store_true",
                     help="print the comparison but always exit 0")
+    ap.add_argument("--gate", action="append", default=[], metavar="ENTRY",
+                    help="entry that fails the run on regression even under "
+                         "--report-only (repeatable)")
     args = ap.parse_args()
 
     base, base_metric = load_entries(args.baseline)
@@ -67,7 +76,13 @@ def main():
                  f"({base_metric} vs {curr_metric})")
     metric = base_metric
 
+    for gate in args.gate:
+        if gate not in base and gate not in curr:
+            sys.exit(f"bench_diff: --gate {gate}: no such entry in either file "
+                     "(misspelled gates would never fire)")
+
     regressions = []
+    gated_regressions = []
     name_w = max([len(n) for n in (set(base) | set(curr))] + [len("entry")])
     print(f"{'entry':<{name_w}}  {'baseline':>12}  {'current':>12}  {'ratio':>7}  verdict")
     for name in sorted(set(base) | set(curr)):
@@ -85,6 +100,9 @@ def main():
         if ratio > args.threshold:
             verdict = f"REGRESSION (> {args.threshold:g}x)"
             regressions.append(f"{name}: {metric} {b:.1f} -> {c:.1f} ({ratio:.2f}x)")
+            if name in args.gate:
+                verdict += " [gated]"
+                gated_regressions.append(name)
         elif ratio < 1.0 / args.threshold:
             verdict = "improved"
         print(f"{name:<{name_w}}  {b:>12.1f}  {c:>12.1f}  {ratio:>6.2f}x  {verdict}")
@@ -94,6 +112,8 @@ def main():
         if alloc_b == 0 and alloc_c is not None and alloc_c > 0:
             msg = f"{name}: allocations_per_plan was 0, now {alloc_c}"
             regressions.append(msg)
+            if name in args.gate:
+                gated_regressions.append(name)
             print(f"{'':<{name_w}}  {'':>12}  {'':>12}  {'':>7}  "
                   f"ALLOC REGRESSION ({alloc_c}/plan, baseline 0)")
 
@@ -102,6 +122,10 @@ def main():
         for r in regressions:
             print(f"  {r}", file=sys.stderr)
         if not args.report_only:
+            sys.exit(1)
+        if gated_regressions:
+            print("gated entries regressed, failing despite report-only: "
+                  + ", ".join(sorted(set(gated_regressions))), file=sys.stderr)
             sys.exit(1)
         print("(report-only: not failing the run)", file=sys.stderr)
     else:

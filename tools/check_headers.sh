@@ -12,6 +12,17 @@ CXX="${1:-${CXX:-c++}}"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
+# Retired forwarding shims must stay deleted: new code includes the real
+# homes (front/parse.hpp, analysis/dependence.hpp, exec/*_nd.hpp,
+# transform/codegen_nd.hpp, support/lexvec.hpp) directly.
+retired="src/mdir src/support/vec2.hpp src/support/vecn.hpp"
+for path in $retired; do
+    if [ -e "$path" ]; then
+        echo "RETIRED SHIM RESURRECTED: $path"
+        exit 1
+    fi
+done
+
 failures=0
 count=0
 for header in $(find src -name '*.hpp' | sort); do
