@@ -27,6 +27,7 @@
 #include <fstream>
 #include <iostream>
 #include <span>
+#include <thread>
 
 #include "analysis/dependence.hpp"
 #include "exec/compile.hpp"
@@ -50,6 +51,9 @@
 #include "support/lexvec.hpp"
 #include "svc/manifest.hpp"
 #include "svc/plancache.hpp"
+#include "transform/codegen_c.hpp"
+#include "transform/codegen_nd.hpp"
+#include "transform/fused_program.hpp"
 #include "workloads/gallery.hpp"
 #include "workloads/generators.hpp"
 #include "workloads/sources.hpp"
@@ -595,7 +599,7 @@ bool write_exec_json(const std::string& path) {
     exec::KernelCompiler compiler;  // fresh mkdtemp cache; objects reused across trials
     std::vector<ExecKernelRow> rows;
 
-    if (compiler.compiler_available()) {
+    if (compiler.available()) {
         struct GalleryEntry {
             const char* name;
             std::string_view source;
@@ -634,7 +638,7 @@ bool write_exec_json(const std::string& path) {
 
     json::Writer w;
     w.begin_object();
-    w.kv("compiler_available", compiler.compiler_available());
+    w.kv("compiler_available", compiler.available());
     w.kv("trials", kExecTrials);
     w.key("domain_2d").begin_array();
     w.value(dom2d.n);
@@ -668,22 +672,188 @@ bool write_exec_json(const std::string& path) {
     return out.good();
 }
 
+// ---- Speedup-vs-threads curves for the parallel entry (BENCH_exec_par.json) ----
+//
+// Compiles each gallery kernel library once (the object is content-addressed,
+// so every thread count shares the same .so) and runs the ABI v2 entry
+// `lf_kernel_run_par` at 1/2/4/8 lanes through the forked sandbox. The
+// 1-lane run doubles as the serial baseline: lf_run_fused_par degrades to
+// the plain fused scan at a single lane, so speedup_tN = ns(1) / ns(N).
+//
+// Every run must report zero bitwise mismatches against the original form,
+// and the fused checksum must be bit-identical across all thread counts
+// (the same thread-count-invariance rule exec/native.cpp enforces at
+// admission); any variance poisons the row's "native" field instead of
+// producing a speedup. The 2-D domain stays at BENCH_exec's 1024x1024:
+// the gallery kernels' values grow superexponentially with the domain and
+// overflow to NaN past ~1536, where bitwise comparison of the two forms
+// breaks down (NaN payloads differ under commuted operands). 1024 rows of
+// 1024 iterations is already far above any sane serial cutoff.
+//
+// Speedup > 1 is only reachable on multi-core hosts -- on a 1-CPU container
+// the lanes time-slice one core and the curve is flat or worse. The writer
+// records host_cpus so tools/bench_diff.py can gate its --require
+// assertion on the measuring host, not on wherever CI happens to run.
+
+struct ExecParRow {
+    std::string name;
+    std::string outcome;            // "verified" or the first failure, verbatim
+    std::vector<std::int64_t> ns;   // best fused wall ns per thread step
+};
+
+bool write_exec_par_json(const std::string& path) {
+    constexpr int kParTrials = 3;
+    constexpr int kThreadSteps[] = {1, 2, 4, 8};
+    const Domain dom2d{1024, 1024};
+
+    exec::KernelCompiler compiler;
+    std::vector<ExecParRow> rows;
+
+    if (compiler.available()) {
+        struct ParEntry {
+            const char* name;
+            std::string source;  // emitted kernel-library C
+        };
+        struct GalleryEntry {
+            const char* name;
+            std::string_view source;
+        };
+        const GalleryEntry gallery[] = {
+            {"fig2", workloads::sources::kFig2},
+            {"fig8", workloads::sources::kFig8},
+            {"jacobi", workloads::sources::kJacobiPair},
+            {"iir", workloads::sources::kIirChain},
+        };
+        std::vector<ParEntry> entries;
+        for (const auto& [name, text] : gallery) {
+            const ir::Program p = ir::parse_program(text);
+            const FusionPlan plan = plan_fusion(analysis::build_mldg(p));
+            const transform::FusedProgram fp = transform::fuse_program(p, plan);
+            entries.push_back({name, transform::emit_c_kernel_library(p, fp, dom2d)});
+        }
+        {
+            const auto p = front::parse_basic_program<VecN>(workloads::sources::kVolume3d);
+            const NdFusionPlan plan = plan_fusion_nd(analysis::build_mldg_nd(p));
+            exec::MdDomain mdom;
+            mdom.ext = {128, 128, 128};
+            entries.push_back({"volume3d", transform::emit_md_c_kernel_library(p, plan, mdom)});
+        }
+
+        exec::SandboxLimits limits;
+        limits.wall_ms = 120'000;  // 8 lanes time-slicing one core is slow
+        for (auto& entry : entries) {
+            ExecParRow row;
+            row.name = entry.name;
+            const auto compiled = compiler.compile(entry.source);
+            if (!compiled.ok()) {
+                row.outcome = "compile failed: " + compiled.status().message();
+                rows.push_back(std::move(row));
+                continue;
+            }
+            double ref_checksum = 0.0;
+            bool have_ref = false;
+            for (const int threads : kThreadSteps) {
+                std::int64_t best = 0;
+                std::string bad;
+                for (int t = 0; t < kParTrials && bad.empty(); ++t) {
+                    exec::KernelParams params;
+                    params.threads = threads;
+                    const exec::RunOutcome run =
+                        exec::run_kernel_par(compiled.value().path, params, limits);
+                    if (!run.ok()) {
+                        bad = std::string(exec::to_string(run.state)) +
+                              (run.detail.empty() ? "" : ": " + run.detail);
+                    } else if (run.result.mismatches != 0) {
+                        bad = "fused/original mismatch at " + std::to_string(threads) +
+                              " threads";
+                    } else if (!have_ref) {
+                        ref_checksum = run.result.checksum_fused;
+                        have_ref = true;
+                    } else if (std::memcmp(&run.result.checksum_fused, &ref_checksum,
+                                           sizeof(double)) != 0) {
+                        bad = "thread count changed the result at " +
+                              std::to_string(threads) + " threads";
+                    }
+                    if (bad.empty() &&
+                        (best == 0 || run.result.ns_fused < best)) {
+                        best = run.result.ns_fused;
+                    }
+                }
+                if (!bad.empty()) {
+                    row.outcome = bad;
+                    break;
+                }
+                row.ns.push_back(best);
+            }
+            if (row.outcome.empty()) row.outcome = "verified";
+            rows.push_back(std::move(row));
+        }
+    }
+
+    json::Writer w;
+    w.begin_object();
+    w.kv("compiler_available", compiler.available());
+    w.kv("host_cpus",
+         static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+    w.kv("trials", kParTrials);
+    w.key("threads").begin_array();
+    for (const int t : kThreadSteps) w.value(t);
+    w.end_array();
+    w.key("domain_2d").begin_array();
+    w.value(dom2d.n);
+    w.value(dom2d.m);
+    w.end_array();
+    w.key("speedups").begin_array();
+    for (const ExecParRow& row : rows) {
+        w.begin_object();
+        w.kv("kernel", row.name);
+        w.kv("native", row.outcome);
+        for (std::size_t i = 0; i < row.ns.size(); ++i) {
+            w.kv("ns_t" + std::to_string(kThreadSteps[i]), row.ns[i]);
+        }
+        for (std::size_t i = 1; i < row.ns.size(); ++i) {
+            w.kv("speedup_t" + std::to_string(kThreadSteps[i]),
+                 row.ns[i] == 0 ? 0.0
+                                : static_cast<double>(row.ns[0]) /
+                                      static_cast<double>(row.ns[i]));
+        }
+        w.end_object();
+    }
+    w.end_array();
+    const exec::CompileStats cs = compiler.stats();
+    w.key("compile").begin_object();
+    w.kv("compiles", cs.compiles);
+    w.kv("cache_hits", cs.cache_hits);
+    w.kv("failures", cs.failures);
+    w.end_object();
+    w.end_object();
+
+    std::ofstream out(path);
+    if (!out.good()) return false;
+    out << w.str() << '\n';
+    return out.good();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     std::string solver_json = "BENCH_solver.json";
     std::string plan_json = "BENCH_plan.json";
-    std::string exec_json;  // native runs need a C compiler: opt-in
+    std::string exec_json;      // native runs need a C compiler: opt-in
+    std::string exec_par_json;  // parallel speedup curves: opt-in
     // Peel off our flags before google-benchmark sees the argument list.
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
         constexpr const char* kSolverFlag = "--solver_json=";
         constexpr const char* kPlanFlag = "--plan_json=";
         constexpr const char* kExecFlag = "--exec_json=";
+        constexpr const char* kExecParFlag = "--exec_par_json=";
         if (std::strncmp(argv[i], kSolverFlag, std::strlen(kSolverFlag)) == 0) {
             solver_json = argv[i] + std::strlen(kSolverFlag);
         } else if (std::strncmp(argv[i], kPlanFlag, std::strlen(kPlanFlag)) == 0) {
             plan_json = argv[i] + std::strlen(kPlanFlag);
+        } else if (std::strncmp(argv[i], kExecParFlag, std::strlen(kExecParFlag)) == 0) {
+            exec_par_json = argv[i] + std::strlen(kExecParFlag);
         } else if (std::strncmp(argv[i], kExecFlag, std::strlen(kExecFlag)) == 0) {
             exec_json = argv[i] + std::strlen(kExecFlag);
         } else {
@@ -715,6 +885,13 @@ int main(int argc, char** argv) {
             return 1;
         }
         std::cout << "wrote " << exec_json << '\n';
+    }
+    if (!exec_par_json.empty()) {
+        if (!write_exec_par_json(exec_par_json)) {
+            std::cerr << "bench_micro: could not write " << exec_par_json << '\n';
+            return 1;
+        }
+        std::cout << "wrote " << exec_par_json << '\n';
     }
     return 0;
 }

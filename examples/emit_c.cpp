@@ -6,7 +6,9 @@
 //
 //   example_emit_c --workload jacobi --run          # compile + run natively
 //   example_emit_c --workload volume3d --run        # depth-3 pipeline
+//   example_emit_c --workload iir --run --threads 4 # + ABI v2 parallel check
 //   example_emit_c --drill crash                    # containment drill
+//   example_emit_c --drill par-crash                # lane crash mid-wavefront
 //
 // With no file argument the paper's Figure 2 program is used. The emitted
 // file contains the original nest, the fused nest (with an OpenMP pragma on
@@ -22,6 +24,13 @@
 // --drill crash|spin|oom pushes a deliberately broken kernel through the
 // same backend and exits 0 only if the failure was contained as the
 // documented typed outcome while this process survived.
+//
+// --drill par-crash|par-spin does the same through the ABI v2 parallel
+// entry: the kernel starts worker lanes and one lane segfaults (par-crash)
+// or spins forever while its peers wait at the wavefront barrier
+// (par-spin). Containment must be identical to the serial drills -- the
+// whole child dies with a typed RunState (Crashed / Timeout) and the
+// parent survives; a wedged lane can never wedge the service.
 
 #include <cstdlib>
 #include <fstream>
@@ -76,6 +85,10 @@ void print_check(const char* what, const exec::NativeCheck& nc) {
     if (nc.verified()) {
         std::cerr << " (original " << nc.ns_original << "ns, fused " << nc.ns_fused
                   << "ns" << (nc.from_cache ? ", cached object" : "") << ")";
+        if (nc.par_threads > 0) {
+            std::cerr << " parallel x" << nc.par_threads << ": fused "
+                      << nc.ns_fused_par << "ns, thread-count invariant";
+        }
     }
     std::cerr << '\n';
 }
@@ -126,15 +139,67 @@ int run_drill(const std::string& mode, bool openmp) {
         expect = exec::RunState::Crashed;
         limits.address_space_bytes = 256ll << 20;
         limits.wall_ms = 30'000;
+    } else if (mode == "par-crash") {
+        // Lane 1 of the pool segfaults mid-round while its peers run: the
+        // signal kills the whole child (threads share the address space),
+        // so containment is identical to the serial crash drill.
+        body = "#include <pthread.h>\n"
+               "#include <stddef.h>\n"
+               "typedef struct { int threads; int tile; long long cutoff; }"
+               " lf_kernel_params;\n"
+               "static void* lf_lane(void* arg) {\n"
+               "    if ((long)arg == 1) {\n"
+               "        volatile long long* p = (volatile long long*)0;\n"
+               "        *p = 42;\n"
+               "    }\n"
+               "    return NULL;\n"
+               "}\n"
+               "int lf_kernel_run(void* out) { (void)out; return 0; }\n"
+               "int lf_kernel_run_par(const lf_kernel_params* params, void* out) {\n"
+               "    (void)out;\n"
+               "    long lanes = params->threads < 8 ? params->threads : 8;\n"
+               "    pthread_t tid[8];\n"
+               "    for (long i = 1; i < lanes; ++i)\n"
+               "        pthread_create(&tid[i], NULL, lf_lane, (void*)i);\n"
+               "    for (long i = 1; i < lanes; ++i) pthread_join(tid[i], NULL);\n"
+               "    return 0;\n"
+               "}\n";
+        expect = exec::RunState::Crashed;
+    } else if (mode == "par-spin") {
+        // One lane never reaches the barrier: the caller blocks in join
+        // forever (a wedged wavefront) and the watchdog must fire.
+        body = "#include <pthread.h>\n"
+               "#include <stddef.h>\n"
+               "typedef struct { int threads; int tile; long long cutoff; }"
+               " lf_kernel_params;\n"
+               "static void* lf_lane(void* arg) {\n"
+               "    (void)arg;\n"
+               "    volatile int spin = 1;\n"
+               "    while (spin) {}\n"
+               "    return NULL;\n"
+               "}\n"
+               "int lf_kernel_run(void* out) { (void)out; return 0; }\n"
+               "int lf_kernel_run_par(const lf_kernel_params* params, void* out) {\n"
+               "    (void)params; (void)out;\n"
+               "    pthread_t tid;\n"
+               "    pthread_create(&tid, NULL, lf_lane, NULL);\n"
+               "    pthread_join(tid, NULL);\n"
+               "    return 0;\n"
+               "}\n";
+        expect = exec::RunState::Timeout;
+        limits.wall_ms = 1500;
+        limits.term_grace_ms = 200;
     } else {
-        std::cerr << "error: unknown drill '" << mode << "' (crash|spin|oom)\n";
+        std::cerr << "error: unknown drill '" << mode
+                  << "' (crash|spin|oom|par-crash|par-spin)\n";
         return 1;
     }
+    const bool parallel = mode.rfind("par-", 0) == 0;
 
     exec::CompileOptions copts;
     copts.openmp = openmp;
     exec::KernelCompiler compiler(copts);
-    if (!compiler.compiler_available()) {
+    if (!compiler.available()) {
         std::cerr << "drill skipped: no C compiler on PATH\n";
         return 1;
     }
@@ -143,7 +208,11 @@ int run_drill(const std::string& mode, bool openmp) {
         std::cerr << "drill harness error: " << compiled.status().message() << '\n';
         return 1;
     }
-    const exec::RunOutcome out = exec::run_kernel(compiled.value().path, limits);
+    exec::KernelParams params;
+    params.threads = 4;
+    const exec::RunOutcome out =
+        parallel ? exec::run_kernel_par(compiled.value().path, params, limits)
+                 : exec::run_kernel(compiled.value().path, limits);
     std::cerr << "drill " << mode << ": " << to_string(out.state);
     if (!out.detail.empty()) std::cerr << " -- " << out.detail;
     std::cerr << '\n';
@@ -167,6 +236,7 @@ int main(int argc, char** argv) {
         bool run = false;
         bool openmp = false;
         std::string drill;
+        exec::KernelParams params;
         Domain dom{100, 100};
         for (int k = 1; k < argc; ++k) {
             const std::string arg = argv[k];
@@ -174,6 +244,8 @@ int main(int argc, char** argv) {
                 dom.n = std::stoll(argv[++k]);
             } else if (arg == "--m" && k + 1 < argc) {
                 dom.m = std::stoll(argv[++k]);
+            } else if (arg == "--threads" && k + 1 < argc) {
+                params.threads = std::stoi(argv[++k]);
             } else if (arg == "--workload" && k + 1 < argc) {
                 const std::string name = argv[++k];
                 const Workload* w = find_workload(name);
@@ -223,7 +295,7 @@ int main(int argc, char** argv) {
                       << transform::expected_md_c_checksum(program, mdom) << '\n';
             if (run) {
                 const exec::NativeCheck nc =
-                    exec::native_check_nd(program, plan, mdom, compiler);
+                    exec::native_check_nd(program, plan, mdom, compiler, {}, params);
                 print_check("native", nc);
                 return check_exit_code(nc);
             }
@@ -238,7 +310,8 @@ int main(int argc, char** argv) {
                   << "\nexpected output: OK " << transform::expected_c_checksum(program, dom)
                   << '\n';
         if (run) {
-            const exec::NativeCheck nc = exec::native_check(program, plan, dom, compiler);
+            const exec::NativeCheck nc =
+                exec::native_check(program, plan, dom, compiler, {}, params);
             print_check("native", nc);
             return check_exit_code(nc);
         }

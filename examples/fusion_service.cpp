@@ -56,8 +56,15 @@ void usage() {
         "  --dsl FILE         add a replayable job from DSL program text\n"
         "  --domain N M       replay domain (default 12 12)\n"
         "  --exec             compile + run emitted kernels natively before Verified\n"
-        "  --exec-cache DIR   compiled-object cache directory (default: per-run temp)\n"
+        "  --exec-cache DIR   compiled-object cache directory (default: per-run temp,\n"
+        "                     or <store>/objects when --store is set)\n"
         "  --exec-wall-ms W   native sandbox wall-clock budget (default 10000)\n"
+        "  --exec-threads T   also run the ABI v2 parallel kernel entry with T lanes\n"
+        "                     and quarantine on any thread-count variance (default 1)\n"
+        "  --exec-tile N      parallel scheduler tile in iterations (default: auto)\n"
+        "  --exec-cutoff C    rounds narrower than C stay serial (default 0)\n"
+        "  --store DIR        persistent plan tier; admitted plans and compiled\n"
+        "                     objects survive restarts under this directory\n"
         "  --storm            run once per compiled-in fault point, arming each in turn\n"
         "  --help             this text\n";
 }
@@ -138,6 +145,10 @@ int main(int argc, char** argv) {
             } else if (arg == "--exec") config.native_exec = true;
             else if (arg == "--exec-cache") config.native_cache_dir = next_arg(i);
             else if (arg == "--exec-wall-ms") config.native_wall_ms = std::stoll(next_arg(i));
+            else if (arg == "--exec-threads") config.exec_threads = std::stoi(next_arg(i));
+            else if (arg == "--exec-tile") config.exec_tile = std::stoi(next_arg(i));
+            else if (arg == "--exec-cutoff") config.exec_serial_cutoff = std::stoll(next_arg(i));
+            else if (arg == "--store") config.plan_store_dir = next_arg(i);
             else if (arg == "--storm") storm = true;
             else if (arg == "--help" || arg == "-h") { usage(); return 0; }
             else {

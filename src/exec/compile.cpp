@@ -123,6 +123,7 @@ std::string log_excerpt(const std::string& log_path) {
 std::vector<std::string> effective_flags(const CompileOptions& o) {
     std::vector<std::string> flags = o.flags;
     if (o.openmp) flags.push_back("-fopenmp");
+    if (o.pthread) flags.push_back("-pthread");
     flags.insert(flags.end(), o.extra_flags.begin(), o.extra_flags.end());
     return flags;
 }
@@ -143,16 +144,56 @@ std::uint64_t KernelCompiler::key_of(const std::string& c_source,
     return h;
 }
 
-bool KernelCompiler::compiler_available(const std::string& cc) {
+bool KernelCompiler::compiler_available(const std::string& cc,
+                                        const std::vector<std::string>& flags) {
+    // Memoized per (cc, flag set): "cc works" is not one fact -- the serial
+    // probe and the -pthread / -fopenmp probes can disagree on a stripped
+    // toolchain, and a stale positive would turn every later compile into a
+    // hard failure instead of a clean Unavailable skip.
     static std::mutex m;
     static std::map<std::string, bool> cache;
+    std::string memo_key = cc;
+    for (const auto& f : flags) {
+        memo_key.push_back('\0');
+        memo_key += f;
+    }
     const std::lock_guard<std::mutex> lock(m);
-    const auto it = cache.find(cc);
+    const auto it = cache.find(memo_key);
     if (it != cache.end()) return it->second;
-    const std::string cmd = cc + " --version > /dev/null 2>&1";
-    const bool ok = std::system(cmd.c_str()) == 0;
-    cache[cc] = ok;
+
+    // Real probe compile of a trivial translation unit with exactly the
+    // requested flags ("int main" satisfies both executable and -shared
+    // links). Probe artifacts live in a throwaway TMPDIR directory.
+    bool ok = false;
+    const char* tmp = std::getenv("TMPDIR");
+    std::string templ = std::string(tmp != nullptr ? tmp : "/tmp") + "/lfprobeXXXXXX";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    if (::mkdtemp(buf.data()) != nullptr) {
+        const std::string dir = buf.data();
+        const std::string src = dir + "/probe.c";
+        const std::string obj = dir + "/probe.out";
+        const std::string log = dir + "/probe.log";
+        {
+            std::ofstream out(src, std::ios::binary);
+            out << "int main(void) { return 0; }\n";
+        }
+        std::vector<std::string> argv{cc};
+        for (const auto& f : flags) argv.push_back(f);
+        argv.push_back("-o");
+        argv.push_back(obj);
+        argv.push_back(src);
+        const int status = run_subprocess(argv, log);
+        ok = status >= 0 && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        std::error_code ec;
+        std::filesystem::remove_all(dir, ec);
+    }
+    cache[memo_key] = ok;
     return ok;
+}
+
+bool KernelCompiler::available() const {
+    return compiler_available(options_.cc, effective_flags(options_));
 }
 
 CompileStats KernelCompiler::stats() const {

@@ -37,6 +37,10 @@ struct CompileOptions {
     std::vector<std::string> flags = {"-O2", "-fPIC", "-shared"};
     /// Append -fopenmp (parallel DOALL rows / wavefronts).
     bool openmp = false;
+    /// Append -pthread: emitted kernels carry the ABI v2 worker-pool
+    /// runtime, which needs pthread compile *and* link semantics. Part of
+    /// the content address (turning it off re-keys every object).
+    bool pthread = true;
     /// Extra flags appended after `flags` (e.g. {"-Wall", "-Werror"}).
     std::vector<std::string> extra_flags;
     /// Cache directory; created if missing. Empty: a fresh mkdtemp()
@@ -81,8 +85,16 @@ class KernelCompiler {
     [[nodiscard]] static std::uint64_t key_of(const std::string& c_source,
                                               const CompileOptions& options);
 
-    /// True when `cc` exists on PATH and runs. Memoized per compiler name.
-    [[nodiscard]] static bool compiler_available(const std::string& cc = "cc");
+    /// True when `cc` can actually build a trivial object with `flags` (a
+    /// real probe compile, not just --version: a driver may exist yet lack
+    /// e.g. -pthread or -fopenmp support). Memoized per (cc, flag set) --
+    /// distinct flag sets probe independently.
+    [[nodiscard]] static bool compiler_available(const std::string& cc = "cc",
+                                                 const std::vector<std::string>& flags = {});
+
+    /// compiler_available() for this compiler's effective flag set (the
+    /// exact flags compile() passes, -fopenmp / -pthread included).
+    [[nodiscard]] bool available() const;
 
   private:
     Result<CompiledKernel> compile_locked(const std::string& c_source);

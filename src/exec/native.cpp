@@ -1,5 +1,7 @@
 #include "exec/native.hpp"
 
+#include <cstring>
+
 #include "support/cemit.hpp"
 #include "support/diagnostics.hpp"
 #include "transform/codegen_c.hpp"
@@ -11,11 +13,15 @@ namespace {
 
 /// Shared compile -> sandbox -> differential-compare tail. `expected` is the
 /// interpreter-computed checksum string ("%.17g") the kernel's original-form
-/// checksum must reproduce exactly.
+/// checksum must reproduce exactly. With `params.threads > 1` the ABI v2
+/// parallel entry runs in a second sandboxed worker and must agree with
+/// both the serial kernel (bit-for-bit) and the interpreter before the
+/// kernel is admitted as Verified.
 NativeCheck check_kernel_source(const std::string& c_source, const std::string& expected,
-                                KernelCompiler& compiler, const SandboxLimits& limits) {
+                                KernelCompiler& compiler, const SandboxLimits& limits,
+                                const KernelParams& params) {
     NativeCheck nc;
-    if (!KernelCompiler::compiler_available(compiler.options().cc)) {
+    if (!compiler.available()) {
         nc.outcome = NativeOutcome::Unavailable;
         nc.detail = "compiler '" + compiler.options().cc + "' not found on PATH";
         return nc;
@@ -65,6 +71,62 @@ NativeCheck check_kernel_source(const std::string& c_source, const std::string& 
             "native checksum " + native + " != interpreter checksum " + expected;
         return nc;
     }
+
+    // ---- ABI v2 admission: the parallel entry, same differential bar. ----
+    if (params.threads > 1) {
+        const RunOutcome par = run_kernel_par(compiled.value().path, params, limits);
+        const std::string who =
+            "parallel (" + std::to_string(params.threads) + " threads): ";
+        switch (par.state) {
+            case RunState::Completed:
+                break;
+            case RunState::Crashed:
+                nc.outcome = NativeOutcome::Crashed;
+                nc.detail = who + par.detail;
+                return nc;
+            case RunState::Timeout:
+                nc.outcome = NativeOutcome::Timeout;
+                nc.detail = who + par.detail;
+                return nc;
+            case RunState::SpawnFailed:
+            case RunState::LoadFailed:
+            case RunState::Garbled:
+            case RunState::ExitNonzero:
+                nc.outcome = NativeOutcome::Error;
+                nc.detail = who + to_string(par.state) + ": " + par.detail;
+                return nc;
+        }
+        if (par.result.mismatches != 0) {
+            nc.outcome = NativeOutcome::Mismatch;
+            nc.detail = who + "fused form diverged from original in " +
+                        std::to_string(par.result.mismatches) + " cell(s)";
+            return nc;
+        }
+        // Thread-count invariance: the parallel fused checksum must equal
+        // the serial kernel's at the bit level (memcmp, not an epsilon --
+        // the lanes compute the very same FP operations in the same order
+        // per cell, only the cell->lane assignment differs).
+        if (std::memcmp(&par.result.checksum_fused, &run.result.checksum_fused,
+                        sizeof(double)) != 0) {
+            nc.outcome = NativeOutcome::Mismatch;
+            nc.detail = who + "fused checksum " +
+                        cemit::format_checksum(par.result.checksum_fused) +
+                        " != serial kernel checksum " +
+                        cemit::format_checksum(run.result.checksum_fused) +
+                        " (thread count changed the result)";
+            return nc;
+        }
+        const std::string par_native = cemit::format_checksum(par.result.checksum_original);
+        if (par_native != expected) {
+            nc.outcome = NativeOutcome::Mismatch;
+            nc.detail = who + "native checksum " + par_native +
+                        " != interpreter checksum " + expected;
+            return nc;
+        }
+        nc.par_threads = params.threads;
+        nc.par_tile = params.tile;
+        nc.ns_fused_par = par.result.ns_fused;
+    }
     nc.outcome = NativeOutcome::Verified;
     return nc;
 }
@@ -104,7 +166,8 @@ bool is_native_failure(NativeOutcome outcome) {
 }
 
 NativeCheck native_check(const ir::Program& p, const FusionPlan& plan, const Domain& dom,
-                         KernelCompiler& compiler, const SandboxLimits& limits) {
+                         KernelCompiler& compiler, const SandboxLimits& limits,
+                         const KernelParams& params) {
     NativeCheck nc;
     if (plan.level == ParallelismLevel::Unfused ||
         plan.algorithm == AlgorithmUsed::DistributionFallback) {
@@ -123,12 +186,12 @@ NativeCheck native_check(const ir::Program& p, const FusionPlan& plan, const Dom
         nc.detail = std::string("kernel emission failed: ") + e.what();
         return nc;
     }
-    return check_kernel_source(source, expected, compiler, limits);
+    return check_kernel_source(source, expected, compiler, limits, params);
 }
 
 NativeCheck native_check_nd(const front::BasicProgram<VecN>& p, const NdFusionPlan& plan,
                             const MdDomain& dom, KernelCompiler& compiler,
-                            const SandboxLimits& limits) {
+                            const SandboxLimits& limits, const KernelParams& params) {
     NativeCheck nc;
     std::string source;
     std::string expected;
@@ -140,7 +203,7 @@ NativeCheck native_check_nd(const front::BasicProgram<VecN>& p, const NdFusionPl
         nc.detail = std::string("kernel emission failed: ") + e.what();
         return nc;
     }
-    return check_kernel_source(source, expected, compiler, limits);
+    return check_kernel_source(source, expected, compiler, limits, params);
 }
 
 }  // namespace lf::exec

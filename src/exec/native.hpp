@@ -57,19 +57,32 @@ struct NativeCheck {
     std::int64_t ns_fused = 0;
     /// The compiled object was served from the content-addressed cache.
     bool from_cache = false;
+    /// ABI v2 admission record: lanes the parallel entry verified with
+    /// (0 = no parallel run was requested), its tile parameter, and the
+    /// parallel fused wall time. Verified with par_threads > 0 means the
+    /// parallel output matched the serial kernel bit-for-bit AND the
+    /// interpreter checksum -- thread count proven result-invariant.
+    std::int32_t par_threads = 0;
+    std::int32_t par_tile = 0;
+    std::int64_t ns_fused_par = 0;
 
     [[nodiscard]] bool verified() const { return outcome == NativeOutcome::Verified; }
 };
 
 /// Compile-and-run differential check for a 2-D plan. Never throws.
+/// `params.threads > 1` additionally runs the ABI v2 parallel entry in its
+/// own sandboxed worker and only reports Verified when the parallel fused
+/// output is bit-identical to both the serial kernel and the interpreter.
 [[nodiscard]] NativeCheck native_check(const ir::Program& p, const FusionPlan& plan,
                                        const Domain& dom, KernelCompiler& compiler,
-                                       const SandboxLimits& limits = {});
+                                       const SandboxLimits& limits = {},
+                                       const KernelParams& params = {});
 
 /// Same for a depth-d plan (fused lexicographic scan vs original schedule).
 [[nodiscard]] NativeCheck native_check_nd(const front::BasicProgram<VecN>& p,
                                           const NdFusionPlan& plan, const MdDomain& dom,
                                           KernelCompiler& compiler,
-                                          const SandboxLimits& limits = {});
+                                          const SandboxLimits& limits = {},
+                                          const KernelParams& params = {});
 
 }  // namespace lf::exec

@@ -122,8 +122,10 @@ void send_error(int wfd, const char* a, const char* b) {
     if (n > 0) (void)write_all(wfd, frame, n);
 }
 
+/// `params == nullptr` selects the serial ABI v1 entry (lf_kernel_run);
+/// otherwise the v2 entry lf_kernel_run_par runs with `*params`.
 [[noreturn]] void child_main(int wfd, const char* so_path, ChildMode mode,
-                             const SandboxLimits& limits) {
+                             const SandboxLimits& limits, const KernelParams* params) {
     apply_rlimit(RLIMIT_CPU, limits.cpu_seconds);
     apply_rlimit(RLIMIT_AS, limits.address_space_bytes);
     apply_rlimit(RLIMIT_FSIZE, limits.file_size_bytes);
@@ -165,15 +167,26 @@ void send_error(int wfd, const char* a, const char* b) {
         ::_exit(3);
     }
     using KernelFn = int (*)(KernelResult*);
-    // The object-pointer/function-pointer cast is how dlsym works; C-cast
-    // keeps the emitted diagnostic set quiet across compilers.
-    KernelFn fn = reinterpret_cast<KernelFn>(::dlsym(handle, "lf_kernel_run"));
-    if (fn == nullptr) {
-        send_error(wfd, "dlsym(lf_kernel_run) failed: ", ::dlerror());
-        ::_exit(4);
-    }
+    using KernelParFn = int (*)(const KernelParams*, KernelResult*);
     KernelResult result;
-    const int rc = fn(&result);
+    int rc = 0;
+    if (params == nullptr) {
+        // The object-pointer/function-pointer cast is how dlsym works;
+        // reinterpret_cast keeps the diagnostic set quiet across compilers.
+        KernelFn fn = reinterpret_cast<KernelFn>(::dlsym(handle, "lf_kernel_run"));
+        if (fn == nullptr) {
+            send_error(wfd, "dlsym(lf_kernel_run) failed: ", ::dlerror());
+            ::_exit(4);
+        }
+        rc = fn(&result);
+    } else {
+        KernelParFn fn = reinterpret_cast<KernelParFn>(::dlsym(handle, "lf_kernel_run_par"));
+        if (fn == nullptr) {
+            send_error(wfd, "dlsym(lf_kernel_run_par) failed: ", ::dlerror());
+            ::_exit(4);
+        }
+        rc = fn(params, &result);
+    }
     if (rc != 0) {
         char msg[64];
         std::snprintf(msg, sizeof(msg), "kernel returned nonzero rc %d", rc);
@@ -322,7 +335,10 @@ PipeDecoder::Status PipeDecoder::poll() {
     return Status::Ready;
 }
 
-RunOutcome run_kernel(const std::string& so_path, const SandboxLimits& limits) {
+namespace {
+
+RunOutcome run_kernel_impl(const std::string& so_path, const SandboxLimits& limits,
+                           const KernelParams* params) {
     RunOutcome out;
 
     // All fault points are consulted in the parent, pre-fork: the registry
@@ -358,7 +374,7 @@ RunOutcome run_kernel(const std::string& so_path, const SandboxLimits& limits) {
     }
     if (pid == 0) {
         ::close(fds[0]);
-        child_main(fds[1], so_path.c_str(), mode, limits);  // never returns
+        child_main(fds[1], so_path.c_str(), mode, limits, params);  // never returns
     }
     ::close(fds[1]);
     const int rfd = fds[0];
@@ -479,6 +495,19 @@ RunOutcome run_kernel(const std::string& so_path, const SandboxLimits& limits) {
     out.state = RunState::Garbled;
     out.detail = "worker exited cleanly but sent no complete result frame";
     return out;
+}
+
+}  // namespace
+
+RunOutcome run_kernel(const std::string& so_path, const SandboxLimits& limits) {
+    return run_kernel_impl(so_path, limits, nullptr);
+}
+
+RunOutcome run_kernel_par(const std::string& so_path, const KernelParams& params,
+                          const SandboxLimits& limits) {
+    // Scale RLIMIT_AS for the requested lanes before the fork; the kernel's
+    // data budget is unchanged, only the thread-stack reservation grows.
+    return run_kernel_impl(so_path, limits.for_threads(params.threads), &params);
 }
 
 }  // namespace lf::exec

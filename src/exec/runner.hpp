@@ -67,6 +67,21 @@ struct KernelResult {
 };
 static_assert(sizeof(KernelResult) == 40, "kernel ABI: five 8-byte fields, no padding");
 
+/// Runtime parameters of the ABI v2 entry point (C: lf_kernel_params,
+/// passed to int lf_kernel_run_par(const lf_kernel_params*,
+/// lf_kernel_result*)). One compiled object serves every configuration;
+/// the thread count must never change a result bit. Layout is part of the
+/// kernel ABI -- two 4-byte fields then one 8-byte field, no padding.
+struct KernelParams {
+    /// Lanes including the calling thread; <= 1 runs the serial scan.
+    std::int32_t threads = 1;
+    /// Iterations per scheduler tile; <= 0 picks ceil(round / lanes).
+    std::int32_t tile = 0;
+    /// Rounds with at most this many iterations run whole on lane 0.
+    std::int64_t serial_cutoff = 0;
+};
+static_assert(sizeof(KernelParams) == 16, "kernel ABI v2: 4+4+8 bytes, no padding");
+
 /// Serialized result / error frame (header + payload + checksum trailer).
 [[nodiscard]] std::string encode_result_frame(const KernelResult& r);
 [[nodiscard]] std::string encode_error_frame(std::string_view text);
@@ -122,6 +137,25 @@ struct SandboxLimits {
     std::int64_t address_space_bytes = std::int64_t{2} << 30;
     /// RLIMIT_FSIZE (bytes; kernels have no business writing files).
     std::int64_t file_size_bytes = 1 << 20;
+
+    /// The limits for a worker that will run `threads` lanes: RLIMIT_AS
+    /// grows by a per-thread stack/TLS allowance on top of the serial cap.
+    /// A multithreaded child under the serial RLIMIT_AS fails in
+    /// pthread_create (glibc reserves ~8 MiB of stack address space per
+    /// thread) and would silently degrade to fewer lanes -- the cap must
+    /// scale with the requested thread count, not ignore it.
+    [[nodiscard]] SandboxLimits for_threads(int threads) const {
+        SandboxLimits scaled = *this;
+        if (scaled.address_space_bytes > 0 && threads > 1) {
+            scaled.address_space_bytes +=
+                static_cast<std::int64_t>(threads - 1) * kPerThreadAddressSpaceBytes;
+        }
+        return scaled;
+    }
+
+    /// Address-space allowance per extra lane: 8 MiB default stack + guard
+    /// pages + TLS, rounded up generously (reserved, not committed).
+    static constexpr std::int64_t kPerThreadAddressSpaceBytes = std::int64_t{16} << 20;
 };
 
 enum class RunState {
@@ -154,5 +188,15 @@ struct RunOutcome {
 /// worker behavior.
 [[nodiscard]] RunOutcome run_kernel(const std::string& so_path,
                                     const SandboxLimits& limits = {});
+
+/// Runs the ABI v2 entry `lf_kernel_run_par` with `params`. The RLIMIT_AS
+/// cap is scaled for the requested thread count via
+/// SandboxLimits::for_threads() before the fork, so thread stacks never
+/// eat into the kernel's data budget. Containment semantics are identical
+/// to run_kernel(): a lane that crashes or spins mid-wavefront surfaces as
+/// the same typed RunState and the parent always survives.
+[[nodiscard]] RunOutcome run_kernel_par(const std::string& so_path,
+                                        const KernelParams& params,
+                                        const SandboxLimits& limits = {});
 
 }  // namespace lf::exec

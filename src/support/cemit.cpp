@@ -30,4 +30,230 @@ std::string format_checksum(double checksum) {
     return buf;
 }
 
+std::string parallel_runtime_includes_c() {
+    return "#include <pthread.h>\n#include <sched.h>\n#include <stdatomic.h>\n";
+}
+
+std::string parallel_runtime_c(bool with_div_helpers) {
+    std::string os;
+    os +=
+        "/* ------------------------------------------------------------------\n"
+        " * Thread-parallel runtime (kernel ABI v2). The fused scan decomposes\n"
+        " * into rounds (a DOALL row, a wavefront diagonal, an outermost-\n"
+        " * carried slab); within a round the lanes own tiles round-robin and\n"
+        " * every lane crosses one barrier per round -- the same sync-count\n"
+        " * model the host-side engines price. Thread count, tile size and the\n"
+        " * serial cutoff are runtime state, so one compiled object serves\n"
+        " * every configuration; lanes <= 1 degrades to the serial scan. */\n"
+        "typedef struct {\n"
+        "    int32_t threads;        /* lanes incl. the caller; <= 1: serial */\n"
+        "    int32_t tile;           /* iterations per tile; <= 0: auto */\n"
+        "    int64_t serial_cutoff;  /* rounds narrower than this stay serial */\n"
+        "} lf_kernel_params;\n"
+        "\n"
+        "#define LF_MAX_LANES 64\n"
+        "\n"
+        "static int lf_lanes = 1;\n"
+        "static int64_t lf_tile = 0;\n"
+        "static int64_t lf_cutoff = 0;\n"
+        "\n"
+        "/* Sense-reversing barrier over C11 atomics: no syscalls on the fast\n"
+        " * path, sched_yield() when oversubscribed, race-free under TSan. */\n"
+        "static atomic_int lf_bar_arrived;\n"
+        "static atomic_int lf_bar_sense;\n"
+        "\n"
+        "static void lf_barrier(int* my_sense) {\n"
+        "    const int sense = 1 - *my_sense;\n"
+        "    *my_sense = sense;\n"
+        "    if (atomic_fetch_add_explicit(&lf_bar_arrived, 1, memory_order_acq_rel) ==\n"
+        "        lf_lanes - 1) {\n"
+        "        atomic_store_explicit(&lf_bar_arrived, 0, memory_order_relaxed);\n"
+        "        atomic_store_explicit(&lf_bar_sense, sense, memory_order_release);\n"
+        "    } else {\n"
+        "        int spins = 0;\n"
+        "        while (atomic_load_explicit(&lf_bar_sense, memory_order_acquire) !=\n"
+        "               sense) {\n"
+        "            if (++spins >= 256) {\n"
+        "                spins = 0;\n"
+        "                (void)sched_yield();\n"
+        "            }\n"
+        "        }\n"
+        "    }\n"
+        "}\n"
+        "\n"
+        "/* A contiguous span of one round at a fixed round index (the third\n"
+        " * parameter is the row i / diagonal t / outermost iteration v0). */\n"
+        "typedef void (*lf_range_fn)(int64_t lo, int64_t hi, int64_t arg);\n"
+        "\n"
+        "/* Lane `lane`'s share of round [lo, hi]: tiles round-robin by tile\n"
+        " * index. Rounds narrower than the serial cutoff run whole on lane 0\n"
+        " * (every lane still reaches the round's barrier in its caller). */\n"
+        "static void lf_lane_round(int lane, int64_t lo, int64_t hi, int64_t arg,\n"
+        "                          lf_range_fn range) {\n"
+        "    if (hi < lo) return;\n"
+        "    const int64_t trip = hi - lo + 1;\n"
+        "    if (lf_lanes <= 1 || trip <= lf_cutoff) {\n"
+        "        if (lane == 0) range(lo, hi, arg);\n"
+        "        return;\n"
+        "    }\n"
+        "    int64_t tile = lf_tile;\n"
+        "    if (tile <= 0) tile = (trip + lf_lanes - 1) / lf_lanes;\n"
+        "    const int64_t tiles = (trip + tile - 1) / tile;\n"
+        "    for (int64_t t = lane; t < tiles; t += lf_lanes) {\n"
+        "        const int64_t s = lo + t * tile;\n"
+        "        int64_t e = s + tile - 1;\n"
+        "        if (e > hi) e = hi;\n"
+        "        range(s, e, arg);\n"
+        "    }\n"
+        "}\n"
+        "\n";
+    if (with_div_helpers) {
+        os +=
+            "/* Floor/ceiling division for clamping wavefront lane ranges. */\n"
+            "static int64_t lf_floor_div(int64_t a, int64_t b) {\n"
+            "    int64_t q = a / b;\n"
+            "    if ((a % b != 0) && ((a < 0) != (b < 0))) --q;\n"
+            "    return q;\n"
+            "}\n"
+            "\n"
+            "static int64_t lf_ceil_div(int64_t a, int64_t b) {\n"
+            "    return -lf_floor_div(-a, b);\n"
+            "}\n"
+            "\n";
+    }
+    os +=
+        "/* Plan-specific lane body: all rounds of one fused run. */\n"
+        "static void lf_fused_lane(int lane);\n"
+        "\n"
+        "/* Persistent pool: lf_pool_start() spawns the workers once, each\n"
+        " * fused run is one generation dispatch, lf_pool_stop() joins. */\n"
+        "static struct {\n"
+        "    pthread_t tid[LF_MAX_LANES];\n"
+        "    pthread_mutex_t mu;\n"
+        "    pthread_cond_t work_cv;\n"
+        "    pthread_cond_t done_cv;\n"
+        "    int workers;\n"
+        "    int done;\n"
+        "    int shutdown;\n"
+        "    long generation;\n"
+        "} lf_pool;\n"
+        "\n"
+        "static void* lf_pool_worker(void* argp) {\n"
+        "    const int lane = (int)(intptr_t)argp;\n"
+        "    long seen = 0;\n"
+        "    pthread_mutex_lock(&lf_pool.mu);\n"
+        "    for (;;) {\n"
+        "        while (!lf_pool.shutdown && lf_pool.generation == seen) {\n"
+        "            pthread_cond_wait(&lf_pool.work_cv, &lf_pool.mu);\n"
+        "        }\n"
+        "        if (lf_pool.shutdown) break;\n"
+        "        seen = lf_pool.generation;\n"
+        "        pthread_mutex_unlock(&lf_pool.mu);\n"
+        "        lf_fused_lane(lane);\n"
+        "        pthread_mutex_lock(&lf_pool.mu);\n"
+        "        if (++lf_pool.done == lf_pool.workers) {\n"
+        "            pthread_cond_signal(&lf_pool.done_cv);\n"
+        "        }\n"
+        "    }\n"
+        "    pthread_mutex_unlock(&lf_pool.mu);\n"
+        "    return 0;\n"
+        "}\n"
+        "\n"
+        "/* Spawns `threads - 1` workers; returns the lane count actually\n"
+        " * running (creation failures degrade toward the serial scan). */\n"
+        "static int lf_pool_start(int threads) {\n"
+        "    if (threads > LF_MAX_LANES) threads = LF_MAX_LANES;\n"
+        "    pthread_mutex_init(&lf_pool.mu, 0);\n"
+        "    pthread_cond_init(&lf_pool.work_cv, 0);\n"
+        "    pthread_cond_init(&lf_pool.done_cv, 0);\n"
+        "    lf_pool.workers = 0;\n"
+        "    lf_pool.done = 0;\n"
+        "    lf_pool.shutdown = 0;\n"
+        "    lf_pool.generation = 0;\n"
+        "    for (int lane = 1; lane < threads; ++lane) {\n"
+        "        if (pthread_create(&lf_pool.tid[lane], 0, lf_pool_worker,\n"
+        "                           (void*)(intptr_t)lane) != 0) {\n"
+        "            break;\n"
+        "        }\n"
+        "        ++lf_pool.workers;\n"
+        "    }\n"
+        "    lf_lanes = lf_pool.workers + 1;\n"
+        "    return lf_lanes;\n"
+        "}\n"
+        "\n"
+        "static void lf_pool_stop(void) {\n"
+        "    pthread_mutex_lock(&lf_pool.mu);\n"
+        "    lf_pool.shutdown = 1;\n"
+        "    pthread_cond_broadcast(&lf_pool.work_cv);\n"
+        "    pthread_mutex_unlock(&lf_pool.mu);\n"
+        "    for (int lane = 1; lane <= lf_pool.workers; ++lane) {\n"
+        "        (void)pthread_join(lf_pool.tid[lane], 0);\n"
+        "    }\n"
+        "    lf_pool.workers = 0;\n"
+        "    lf_lanes = 1;\n"
+        "    pthread_mutex_destroy(&lf_pool.mu);\n"
+        "    pthread_cond_destroy(&lf_pool.work_cv);\n"
+        "    pthread_cond_destroy(&lf_pool.done_cv);\n"
+        "}\n"
+        "\n"
+        "/* One parallel fused run: reset the barrier, wake the workers for a\n"
+        " * new generation, run lane 0 in the caller, wait for the rest. */\n"
+        "static void lf_run_fused_par(void) {\n"
+        "    if (lf_lanes <= 1) {\n"
+        "        run_fused();\n"
+        "        return;\n"
+        "    }\n"
+        "    atomic_store_explicit(&lf_bar_arrived, 0, memory_order_relaxed);\n"
+        "    atomic_store_explicit(&lf_bar_sense, 0, memory_order_relaxed);\n"
+        "    pthread_mutex_lock(&lf_pool.mu);\n"
+        "    lf_pool.done = 0;\n"
+        "    ++lf_pool.generation;\n"
+        "    pthread_cond_broadcast(&lf_pool.work_cv);\n"
+        "    pthread_mutex_unlock(&lf_pool.mu);\n"
+        "    lf_fused_lane(0);\n"
+        "    pthread_mutex_lock(&lf_pool.mu);\n"
+        "    while (lf_pool.done != lf_pool.workers) {\n"
+        "        pthread_cond_wait(&lf_pool.done_cv, &lf_pool.mu);\n"
+        "    }\n"
+        "    pthread_mutex_unlock(&lf_pool.mu);\n"
+        "}\n"
+        "\n";
+    return os;
+}
+
+std::string timing_reps_c(const std::string& fused_call) {
+    // Per-form wall time is the minimum over reps, each from a fresh init()
+    // sweep, alternating which form runs first so time-varying machine load
+    // cannot systematically favor one side.
+    std::string os;
+    os +=
+        "    int64_t ns_original = 0;\n"
+        "    int64_t ns_fused = 0;\n"
+        "    for (int rep = 0; rep < 4; ++rep) {\n"
+        "        init();\n"
+        "        int64_t dt_original;\n"
+        "        int64_t dt_fused;\n"
+        "        if (rep % 2 == 0) {\n"
+        "            const int64_t t0 = lf_now_ns();\n"
+        "            run_original();\n"
+        "            const int64_t t1 = lf_now_ns();\n"
+        "            " + fused_call + "();\n"
+        "            const int64_t t2 = lf_now_ns();\n"
+        "            dt_original = t1 - t0;\n"
+        "            dt_fused = t2 - t1;\n"
+        "        } else {\n"
+        "            const int64_t t0 = lf_now_ns();\n"
+        "            " + fused_call + "();\n"
+        "            const int64_t t1 = lf_now_ns();\n"
+        "            run_original();\n"
+        "            const int64_t t2 = lf_now_ns();\n"
+        "            dt_fused = t1 - t0;\n"
+        "            dt_original = t2 - t1;\n"
+        "        }\n"
+        "        if (rep == 0 || dt_original < ns_original) ns_original = dt_original;\n"
+        "        if (rep == 0 || dt_fused < ns_fused) ns_fused = dt_fused;\n"
+        "    }\n";
+    return os;
+}
+
 }  // namespace lf::cemit

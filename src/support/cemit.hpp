@@ -28,6 +28,30 @@ namespace lf::cemit {
 /// (printf "%.17g"), so host-side expectations compare byte-for-byte.
 [[nodiscard]] std::string format_checksum(double checksum);
 
+/// The headers the thread-parallel runtime needs, emitted into the
+/// prelude's include block (pthread, sched, stdatomic, stdint).
+[[nodiscard]] std::string parallel_runtime_includes_c();
+
+/// The generic half of the kernel ABI v2 parallel runtime, identical for
+/// every plan shape and dialect: the `lf_kernel_params` struct, a
+/// sense-reversing atomic barrier, the tiled round scheduler
+/// (`lf_lane_round`), floor/ceil division helpers for wavefront clamping
+/// (only when `with_div_helpers`), and a persistent pthread pool whose
+/// workers park on a generation condvar between fused runs
+/// (`lf_pool_start` / `lf_run_fused_par` / `lf_pool_stop`).
+///
+/// The including file must define `run_fused(void)` *before* this text and
+/// a plan-specific `lf_fused_lane(int lane)` *after* it (a forward
+/// declaration is emitted here). One dispatch = one fused run; rounds
+/// inside a run (rows, diagonals, slabs) synchronize on the spin barrier,
+/// one barrier per round -- the sync-count model priced by exec/engines.
+[[nodiscard]] std::string parallel_runtime_c(bool with_div_helpers);
+
+/// The alternating-order, min-over-reps timing loop shared by both kernel
+/// entry points: times `run_original()` against `<fused_call>()`, leaving
+/// `ns_original` / `ns_fused` in scope. Emitted inside a function body.
+[[nodiscard]] std::string timing_reps_c(const std::string& fused_call);
+
 /// Recursive C expression printer, generic over the IR dialect. `Dialect`
 /// names the four node types; `ref_fn(os, read_node)` prints an array
 /// reference in the dialect's syntax (the only part that differs between

@@ -142,6 +142,12 @@ struct JobRecord {
     std::int64_t native_ns_fused = 0;
     /// The kernel object was served from the content-addressed compile cache.
     bool native_from_cache = false;
+    /// ABI v2 parallel admission (ServiceConfig::exec_threads > 1): the
+    /// lane count and tile the parallel entry verified with (0 threads =
+    /// no parallel run), and its fused wall time.
+    std::int32_t native_par_threads = 0;
+    std::int32_t native_par_tile = 0;
+    std::int64_t native_ns_fused_par = 0;
 
     /// The last attempt's trace -- what a quarantined job is diagnosed
     /// from. Empty only for checkpoint-restored records.

@@ -83,9 +83,12 @@ void write_job(json::Writer& w, const JobRecord& j, bool include_timings) {
     w.kv("native", exec::to_string(j.native));
     w.kv("native_detail", j.native_detail);
     w.kv("native_from_cache", j.native_from_cache);
+    w.kv("native_par_threads", static_cast<std::int64_t>(j.native_par_threads));
+    w.kv("native_par_tile", static_cast<std::int64_t>(j.native_par_tile));
     if (include_timings) {
         w.kv("native_ns_original", j.native_ns_original);
         w.kv("native_ns_fused", j.native_ns_fused);
+        w.kv("native_ns_fused_par", j.native_ns_fused_par);
         w.kv("wall_ms", j.wall_ms);
     }
     // Per-job aggregate over every attempt's stages. Every solve is
@@ -164,6 +167,8 @@ std::string report_to_json(const RunReport& report, bool include_timings) {
 
     w.key("exec").begin_object();
     w.kv("enabled", report.config.native_exec);
+    w.kv("threads", static_cast<std::int64_t>(report.config.exec_threads));
+    w.kv("tile", static_cast<std::int64_t>(report.config.exec_tile));
     w.kv("compiles", report.exec_compile.compiles);
     w.kv("cache_hits", report.exec_compile.cache_hits);
     w.kv("failures", report.exec_compile.failures);

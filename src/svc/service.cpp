@@ -119,19 +119,30 @@ exec::CompileOptions native_compile_options(const ServiceConfig& config) {
     return opts;
 }
 
+/// Clamps the knobs and resolves defaults before any member consumes the
+/// config (the compiler is constructed from it in the init list).
+ServiceConfig normalize(ServiceConfig config) {
+    if (config.workers < 1) config.workers = 1;
+    if (config.retry.max_attempts < 1) config.retry.max_attempts = 1;
+    if (config.retry.escalation < 1) config.retry.escalation = 1;
+    if (config.plan_batch < 1) config.plan_batch = 1;
+    if (config.delta_max_edges < 0) config.delta_max_edges = 0;
+    if (config.exec_threads < 1) config.exec_threads = 1;
+    // A persistent plan tier implies a persistent object tier: compiled
+    // kernels live beside the plans unless the caller chose otherwise.
+    if (config.native_cache_dir.empty() && !config.plan_store_dir.empty()) {
+        config.native_cache_dir = config.plan_store_dir + "/objects";
+    }
+    return config;
+}
+
 }  // namespace
 
 FusionService::FusionService(ServiceConfig config)
-    : config_(std::move(config)),
+    : config_(normalize(std::move(config))),
       breakers_(config_.breaker),
       plan_cache_(config_.plan_cache_capacity, config_.plan_store_dir),
-      native_compiler_(native_compile_options(config_)) {
-    if (config_.workers < 1) config_.workers = 1;
-    if (config_.retry.max_attempts < 1) config_.retry.max_attempts = 1;
-    if (config_.retry.escalation < 1) config_.retry.escalation = 1;
-    if (config_.plan_batch < 1) config_.plan_batch = 1;
-    if (config_.delta_max_edges < 0) config_.delta_max_edges = 0;
-}
+      native_compiler_(native_compile_options(config_)) {}
 
 /// Shared tail of the two native_admit overloads: records the check into
 /// the job record and the attempt trace; false = quarantine.
@@ -142,6 +153,9 @@ static bool record_native_check(const exec::NativeCheck& nc, JobRecord& rec,
     rec.native_ns_original = nc.ns_original;
     rec.native_ns_fused = nc.ns_fused;
     rec.native_from_cache = nc.from_cache;
+    rec.native_par_threads = nc.par_threads;
+    rec.native_par_tile = nc.par_tile;
+    rec.native_ns_fused_par = nc.ns_fused_par;
     const bool failed = exec::is_native_failure(nc.outcome);
     att.stages.push_back(make_stage("admit.native",
                                     failed ? StatusCode::Internal : StatusCode::Ok,
@@ -160,9 +174,13 @@ bool FusionService::native_admit(const JobSpec& job, const FusionPlan& plan, Job
     } else {
         exec::SandboxLimits limits;
         limits.wall_ms = config_.native_wall_ms;
+        exec::KernelParams params;
+        params.threads = config_.exec_threads;
+        params.tile = config_.exec_tile;
+        params.serial_cutoff = config_.exec_serial_cutoff;
         try {
             const ir::Program p = ir::parse_program(job.dsl_source);
-            nc = exec::native_check(p, plan, job.domain, native_compiler_, limits);
+            nc = exec::native_check(p, plan, job.domain, native_compiler_, limits, params);
         } catch (const std::exception& e) {
             nc.outcome = exec::NativeOutcome::Error;
             nc.detail = std::string("kernel emission failed: ") + e.what();
@@ -181,10 +199,14 @@ bool FusionService::native_admit_nd(const JobSpec& job, const NdFusionPlan& plan
     } else {
         exec::SandboxLimits limits;
         limits.wall_ms = config_.native_wall_ms;
+        exec::KernelParams params;
+        params.threads = config_.exec_threads;
+        params.tile = config_.exec_tile;
+        params.serial_cutoff = config_.exec_serial_cutoff;
         try {
             const auto p = front::parse_basic_program<VecN>(job.dsl_source);
             const exec::MdDomain dom{job.extents_nd};
-            nc = exec::native_check_nd(p, plan, dom, native_compiler_, limits);
+            nc = exec::native_check_nd(p, plan, dom, native_compiler_, limits, params);
         } catch (const std::exception& e) {
             nc.outcome = exec::NativeOutcome::Error;
             nc.detail = std::string("kernel emission failed: ") + e.what();

@@ -84,11 +84,26 @@ struct ServiceConfig {
     /// job -- contained, the service survives; a missing compiler degrades
     /// gracefully to NativeOutcome::Unavailable (the job still verifies).
     bool native_exec = false;
-    /// Compile-cache directory for native_exec; empty = fresh mkdtemp, so a
-    /// long-lived service should point this at the planstore's sibling.
+    /// Compile-cache directory for native_exec. Empty with a plan_store_dir
+    /// set defaults to "<plan_store_dir>/objects", so pointing --store at a
+    /// directory gives the object tier the same kill-9 persistence as the
+    /// plan tier (warm restarts recompile nothing). Empty without a store:
+    /// a fresh per-run mkdtemp.
     std::string native_cache_dir;
     /// Sandbox wall-clock watchdog for native kernel runs (ms).
     std::int64_t native_wall_ms = 10'000;
+    /// Lanes for the ABI v2 parallel admission run (exec/native.hpp):
+    /// <= 1 runs only the serial kernel entry; > 1 additionally runs
+    /// lf_kernel_run_par with this thread count and quarantines on any
+    /// divergence from the serial kernel or the interpreter. One compiled
+    /// object serves every thread count -- this knob never re-keys the
+    /// object cache.
+    int exec_threads = 1;
+    /// Scheduler tile for the parallel run (iterations per tile; <= 0 lets
+    /// the kernel pick ceil(round / lanes)).
+    int exec_tile = 0;
+    /// Rounds narrower than this run whole on lane 0 (parallel run only).
+    std::int64_t exec_serial_cutoff = 0;
     /// Jobs a worker pulls from the queue at once. Chunks of eligible 2-D
     /// jobs (first attempt, no deadline, closed breaker, not cached, no
     /// fault armed) are pre-planned through try_plan_fusion_batch, so jobs

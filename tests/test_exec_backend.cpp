@@ -15,6 +15,12 @@
 //   * differential verification -- native_check over the 2-D gallery and
 //     the depth-d pipelines reports Verified only when the native run
 //     reproduces the interpreter checksum bit-for-bit;
+//   * ABI v2 parallel entry -- lf_kernel_run_par is bit-identical to the
+//     serial kernel and the interpreter at 1/2/4 lanes on every workload
+//     (the thread-count-invariance rule), RLIMIT_AS scales with the
+//     requested lane count, a crashing or wedging lane is contained as a
+//     typed outcome, and the per-flag-set compiler probe memoizes both
+//     hits and misses;
 //   * emission hygiene -- every gallery kernel and stand-alone program
 //     compiles under -Wall -Wextra -Werror, with and without -fopenmp.
 
@@ -590,6 +596,218 @@ TEST_F(ExecBackendTest, InjectedCompileFaultQuarantinesTheCheck) {
     EXPECT_TRUE(is_native_failure(nc.outcome));
 }
 
+// ---- ABI v2 parallel entry ----
+
+TEST_F(ExecBackendTest, AddressSpaceLimitScalesWithThreadCount) {
+    const SandboxLimits base;
+    const SandboxLimits four = base.for_threads(4);
+    EXPECT_EQ(four.address_space_bytes,
+              base.address_space_bytes + 3 * SandboxLimits::kPerThreadAddressSpaceBytes);
+    // Budgets other than the address space are untouched.
+    EXPECT_EQ(four.wall_ms, base.wall_ms);
+    EXPECT_EQ(four.cpu_seconds, base.cpu_seconds);
+    // One lane (or nonsense) leaves the serial cap alone.
+    EXPECT_EQ(base.for_threads(1).address_space_bytes, base.address_space_bytes);
+    EXPECT_EQ(base.for_threads(0).address_space_bytes, base.address_space_bytes);
+    // An unlimited cap (<= 0) stays unlimited rather than becoming finite.
+    SandboxLimits unlimited;
+    unlimited.address_space_bytes = 0;
+    EXPECT_EQ(unlimited.for_threads(8).address_space_bytes, 0);
+}
+
+TEST_F(ExecBackendTest, ParallelEntryIsBitIdenticalToSerialAtEveryLaneCount) {
+    if (!have_cc()) GTEST_SKIP() << "no system C compiler";
+    CompileOptions opts;
+    opts.cache_dir = fresh_cache_dir("parbits");
+    KernelCompiler compiler(opts);
+    const Domain dom{24, 24};
+    for (const auto& wc : kGallery) {
+        const ir::Program p = ir::parse_program(wc.source);
+        const transform::FusedProgram fp =
+            transform::fuse_program(p, plan_fusion(analysis::build_mldg(p)));
+        const auto compiled =
+            compiler.compile(transform::emit_c_kernel_library(p, fp, dom));
+        ASSERT_TRUE(compiled.ok()) << wc.id << ": " << compiled.status().str();
+        const RunOutcome serial = run_kernel(compiled.value().path);
+        ASSERT_EQ(serial.state, RunState::Completed) << wc.id << ": " << serial.detail;
+        ASSERT_EQ(serial.result.mismatches, 0) << wc.id;
+        for (const int threads : {1, 2, 4}) {
+            KernelParams params;
+            params.threads = threads;
+            const RunOutcome par = run_kernel_par(compiled.value().path, params);
+            ASSERT_EQ(par.state, RunState::Completed)
+                << wc.id << " x" << threads << ": " << par.detail;
+            EXPECT_EQ(par.result.mismatches, 0) << wc.id << " x" << threads;
+            // Bitwise, not value, equality: the invariance rule.
+            EXPECT_EQ(std::memcmp(&par.result.checksum_fused,
+                                  &serial.result.checksum_fused, sizeof(double)),
+                      0)
+                << wc.id << " x" << threads << " changed the fused checksum";
+            EXPECT_EQ(std::memcmp(&par.result.checksum_original,
+                                  &serial.result.checksum_original, sizeof(double)),
+                      0)
+                << wc.id << " x" << threads;
+        }
+    }
+}
+
+TEST_F(ExecBackendTest, ParallelAdmissionVerifiesGalleryAndNdAtEveryLaneCount) {
+    if (!have_cc()) GTEST_SKIP() << "no system C compiler";
+    CompileOptions opts;
+    opts.cache_dir = fresh_cache_dir("paradmit");
+    KernelCompiler compiler(opts);
+    const Domain dom{12, 12};
+    for (const int threads : {2, 4}) {
+        KernelParams params;
+        params.threads = threads;
+        for (const auto& wc : kGallery) {
+            const ir::Program p = ir::parse_program(wc.source);
+            const FusionPlan plan = plan_fusion(analysis::build_mldg(p));
+            const NativeCheck nc = native_check(p, plan, dom, compiler, {}, params);
+            EXPECT_EQ(nc.outcome, NativeOutcome::Verified)
+                << wc.id << " x" << threads << ": " << nc.detail;
+            EXPECT_EQ(nc.par_threads, threads) << wc.id;
+        }
+        for (const std::string_view source :
+             {workloads::sources::kVolume3d, workloads::sources::kHyper4d}) {
+            const auto p = front::parse_basic_program<VecN>(source);
+            const NdFusionPlan plan = plan_fusion_nd(analysis::build_mldg_nd(p));
+            MdDomain mdom;
+            mdom.ext.assign(static_cast<std::size_t>(p.dim), 6);
+            const NativeCheck nc =
+                native_check_nd(p, plan, mdom, compiler, {}, params);
+            EXPECT_EQ(nc.outcome, NativeOutcome::Verified)
+                << "nd x" << threads << ": " << nc.detail;
+            EXPECT_EQ(nc.par_threads, threads);
+        }
+    }
+    // Explicit tile / serial-cutoff settings must not change results either.
+    {
+        KernelParams params;
+        params.threads = 4;
+        params.tile = 3;
+        params.serial_cutoff = 5;
+        const ir::Program p = ir::parse_program(workloads::sources::kIirChain);
+        const FusionPlan plan = plan_fusion(analysis::build_mldg(p));
+        const NativeCheck nc = native_check(p, plan, dom, compiler, {}, params);
+        EXPECT_EQ(nc.outcome, NativeOutcome::Verified) << nc.detail;
+        EXPECT_EQ(nc.par_tile, 3);
+    }
+}
+
+TEST_F(ExecBackendTest, EightLanesCompleteUnderTheScaledAddressSpaceCap) {
+    if (!have_cc()) GTEST_SKIP() << "no system C compiler";
+    // Regression: under the serial RLIMIT_AS a multithreaded child fails in
+    // pthread_create (8 MiB reserved stack per lane) and silently degrades.
+    // run_kernel_par scales the cap via for_threads; with a deliberately
+    // tight serial cap the 8-lane run must still complete and agree.
+    CompileOptions opts;
+    opts.cache_dir = fresh_cache_dir("parlimits");
+    KernelCompiler compiler(opts);
+    const ir::Program p = ir::parse_program(workloads::sources::kFig2);
+    const transform::FusedProgram fp =
+        transform::fuse_program(p, plan_fusion(analysis::build_mldg(p)));
+    const auto compiled =
+        compiler.compile(transform::emit_c_kernel_library(p, fp, Domain{16, 16}));
+    ASSERT_TRUE(compiled.ok()) << compiled.status().str();
+    SandboxLimits limits;
+    limits.address_space_bytes = 192 << 20;  // enough for data, tight for stacks
+    KernelParams params;
+    params.threads = 8;
+    const RunOutcome out = run_kernel_par(compiled.value().path, params, limits);
+    ASSERT_EQ(out.state, RunState::Completed) << out.detail;
+    EXPECT_EQ(out.result.mismatches, 0);
+}
+
+TEST_F(ExecBackendTest, CrashingParallelLaneIsContained) {
+    if (!have_cc()) GTEST_SKIP() << "no system C compiler";
+    CompileOptions opts;
+    opts.cache_dir = fresh_cache_dir("parsegv");
+    KernelCompiler compiler(opts);
+    const auto compiled = compiler.compile(
+        "#include <pthread.h>\n"
+        "#include <stddef.h>\n"
+        "typedef struct { int threads; int tile; long long cutoff; }"
+        " lf_kernel_params;\n"
+        "static void* lf_lane(void* arg) {\n"
+        "    (void)arg;\n"
+        "    volatile int* p = (volatile int*)0;\n"
+        "    *p = 1;\n"
+        "    return NULL;\n"
+        "}\n"
+        "int lf_kernel_run(void* out) { (void)out; return 0; }\n"
+        "int lf_kernel_run_par(const lf_kernel_params* params, void* out) {\n"
+        "    (void)params; (void)out;\n"
+        "    pthread_t tid;\n"
+        "    pthread_create(&tid, NULL, lf_lane, NULL);\n"
+        "    pthread_join(tid, NULL);\n"
+        "    return 0;\n"
+        "}\n");
+    ASSERT_TRUE(compiled.ok()) << compiled.status().str();
+    KernelParams params;
+    params.threads = 4;
+    const RunOutcome out = run_kernel_par(compiled.value().path, params);
+    EXPECT_EQ(out.state, RunState::Crashed) << out.detail;
+    EXPECT_EQ(out.signal, SIGSEGV);
+    // The parent (this test) survived a lane segfault in the child pool.
+}
+
+TEST_F(ExecBackendTest, WedgedParallelLaneHitsTheWatchdog) {
+    if (!have_cc()) GTEST_SKIP() << "no system C compiler";
+    CompileOptions opts;
+    opts.cache_dir = fresh_cache_dir("parwedge");
+    KernelCompiler compiler(opts);
+    const auto compiled = compiler.compile(
+        "#include <pthread.h>\n"
+        "#include <stddef.h>\n"
+        "typedef struct { int threads; int tile; long long cutoff; }"
+        " lf_kernel_params;\n"
+        "static void* lf_lane(void* arg) {\n"
+        "    (void)arg;\n"
+        "    volatile int spin = 1;\n"
+        "    while (spin) {}\n"
+        "    return NULL;\n"
+        "}\n"
+        "int lf_kernel_run(void* out) { (void)out; return 0; }\n"
+        "int lf_kernel_run_par(const lf_kernel_params* params, void* out) {\n"
+        "    (void)params; (void)out;\n"
+        "    pthread_t tid;\n"
+        "    pthread_create(&tid, NULL, lf_lane, NULL);\n"
+        "    pthread_join(tid, NULL);\n"
+        "    return 0;\n"
+        "}\n");
+    ASSERT_TRUE(compiled.ok()) << compiled.status().str();
+    SandboxLimits limits;
+    limits.wall_ms = 300;
+    limits.term_grace_ms = 100;
+    KernelParams params;
+    params.threads = 2;
+    const RunOutcome out = run_kernel_par(compiled.value().path, params, limits);
+    EXPECT_EQ(out.state, RunState::Timeout) << out.detail;
+    EXPECT_EQ(out.status().code(), StatusCode::ResourceExhausted);
+}
+
+TEST_F(ExecBackendTest, CompilerProbeMemoizesPerFlagSet) {
+    // The probe is per (compiler, flag set): a missing driver is a miss, a
+    // working driver with a nonsense flag is a *different* miss, and the
+    // plain driver's verdict is unaffected by either.
+    EXPECT_FALSE(KernelCompiler::compiler_available("lf-no-such-compiler-exists"));
+    // Memoized: the second call answers from the table (same verdict).
+    EXPECT_FALSE(KernelCompiler::compiler_available("lf-no-such-compiler-exists"));
+    if (!have_cc()) GTEST_SKIP() << "no system C compiler";
+    EXPECT_TRUE(KernelCompiler::compiler_available("cc"));
+    EXPECT_FALSE(
+        KernelCompiler::compiler_available("cc", {"-fno-such-flag-exists"}));
+    EXPECT_TRUE(KernelCompiler::compiler_available("cc"));
+    // The instance probe uses the compiler's effective flags: an option set
+    // the driver rejects makes the whole backend unavailable up front,
+    // instead of failing every compile downstream.
+    CompileOptions bad;
+    bad.extra_flags = {"-fno-such-flag-exists"};
+    EXPECT_FALSE(KernelCompiler(bad).available());
+    EXPECT_TRUE(KernelCompiler().available());
+}
+
 // ---- Service integration: opt-in native-execution admission ----
 
 TEST_F(ExecBackendTest, ServiceNativelyVerifiesTheGallery) {
@@ -624,6 +842,45 @@ TEST_F(ExecBackendTest, ServiceNativelyVerifiesTheGallery) {
     const std::string json = svc::report_to_json(report, false);
     EXPECT_NE(json.find("\"native\": \"verified\""), std::string::npos);
     EXPECT_NE(json.find("\"exec\""), std::string::npos);
+}
+
+TEST_F(ExecBackendTest, ServiceParallelAdmissionRecordsLaneCount) {
+    if (!have_cc()) GTEST_SKIP() << "no system C compiler";
+    svc::ServiceConfig config;
+    config.workers = 2;
+    config.native_exec = true;
+    config.exec_threads = 2;
+    config.native_cache_dir = fresh_cache_dir("svc_par");
+    svc::FusionService service(config);
+    const svc::RunReport report = service.run(svc::gallery_jobs());
+    EXPECT_EQ(report.counts().native_contained, 0);
+    int parallel_verified = 0;
+    for (const auto& j : report.jobs) {
+        if (j.native != NativeOutcome::Verified) continue;
+        EXPECT_EQ(j.native_par_threads, 2) << j.id;
+        ++parallel_verified;
+    }
+    EXPECT_GE(parallel_verified, 4);
+    const std::string json = svc::report_to_json(report, false);
+    EXPECT_NE(json.find("\"native_par_threads\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"threads\": 2"), std::string::npos);
+}
+
+TEST_F(ExecBackendTest, PlanStoreImpliesSiblingObjectCache) {
+    // --store DIR without an explicit object-cache dir must persist compiled
+    // kernels under DIR/objects, so a warm restart recompiles nothing.
+    const std::string store = fresh_cache_dir("svc_store");
+    svc::ServiceConfig config;
+    config.plan_store_dir = store;
+    svc::FusionService service(config);
+    const svc::RunReport report = service.run({});
+    EXPECT_EQ(report.config.native_cache_dir, store + "/objects");
+    // An explicit cache dir always wins over the implied sibling.
+    svc::ServiceConfig explicit_config;
+    explicit_config.plan_store_dir = store;
+    explicit_config.native_cache_dir = store + "/elsewhere";
+    svc::FusionService other(explicit_config);
+    EXPECT_EQ(other.run({}).config.native_cache_dir, store + "/elsewhere");
 }
 
 TEST_F(ExecBackendTest, ServiceDisabledNativeExecLeavesJobsNotRun) {

@@ -284,7 +284,12 @@ TEST_F(RobustnessTest, EveryFaultPointFires) {
                 EXPECT_FALSE(r.ok()) << point;
             } else {
                 exec::SandboxLimits limits;
-                limits.wall_ms = 400;
+                // The spin drill must hit the watchdog, so its wall budget
+                // stays short. The crash / OOM drills die as soon as the
+                // forked child is scheduled; a short wall there only races
+                // the watchdog against CPU starvation when the suite runs
+                // under `ctest -j` on a loaded box.
+                limits.wall_ms = (point == "exec.timeout") ? 400 : 10'000;
                 limits.term_grace_ms = 100;
                 limits.address_space_bytes = 256 << 20;
                 const exec::RunOutcome out =

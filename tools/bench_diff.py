@@ -9,6 +9,9 @@ Works on both machine-readable outputs of bench/bench_micro:
                      (written by examples/storm_client against a live server)
   BENCH_exec.json    entries under "kernels",   keyed by "kernel",   metric fused_ns
                      (native compiled-and-sandboxed kernels; needs a C compiler)
+  BENCH_exec_par.json entries under "speedups", keyed by "kernel",   metric speedup_t4
+                     (parallel-entry speedup curves; higher is better,
+                     so the regression ratio inverts to baseline/current)
 
 For every entry present in both files the ratio current/baseline of the
 time-per-item metric is computed; a ratio above --threshold is a
@@ -17,6 +20,24 @@ fail the run (benchmarks come and go across PRs). For plan summaries,
 a steady-state allocation count that was zero in the baseline and is
 nonzero now is always flagged -- that is a correctness property of the
 workspace arena, not a timing number, so no threshold applies.
+
+Speedup baselines are reference-host artifacts: the checked-in file
+records the host_cpus it was measured on, and a 1-CPU CI runner will
+legitimately show every curve below 1.0 (the lanes time-slice one core).
+Two provisions keep the diff meaningful anyway:
+
+  * a baseline entry may carry a per-kernel "tolerance" field overriding
+    --threshold for that kernel (wavefront kernels are noisier than
+    row-parallel ones);
+  * --require ENTRY (repeatable) asserts that ENTRY's current speedup_t4
+    is >= 1.0 -- parallel no slower than serial at 4 threads -- and fails
+    the run on violation even under --report-only. The assertion is
+    skipped (with a note) when the *current* file's host_cpus is below 4,
+    so it only bites on hosts that can physically show a speedup.
+
+A missing or malformed baseline file is always a hard failure, also under
+--report-only: a silently absent baseline would make every future
+regression invisible.
 
 Exit status: 0 when clean, 1 on regression -- unless --report-only is
 given, which always exits 0 so CI can surface numbers without gating on
@@ -29,29 +50,43 @@ architecture regressed, not the runner.
 
 Usage:
   tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 2.0]
-                      [--report-only] [--gate ENTRY]...
+                      [--report-only] [--gate ENTRY]... [--require ENTRY]...
 """
 
 import argparse
 import json
 import sys
 
-# (array key, entry name key, time-per-item metric) per known schema.
+# (array key, entry name key, per-item metric) per known schema.
 SCHEMAS = [
     ("modes", "mode", "ns_per_plan"),
     ("solvers", "solver", "ns_per_op"),
     ("scenarios", "scenario", "p99_us"),
     ("kernels", "kernel", "fused_ns"),
+    ("speedups", "kernel", "speedup_t4"),
 ]
+
+# Metrics where larger is better: the regression ratio inverts to
+# baseline/current so "ratio > threshold" still reads as "got worse".
+HIGHER_IS_BETTER = {"speedup_t4"}
 
 
 def load_entries(path):
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"bench_diff: {path}: cannot read baseline/current: {e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"bench_diff: {path}: malformed JSON: {e}")
     for array_key, name_key, metric in SCHEMAS:
         if array_key in doc:
-            entries = {e[name_key]: e for e in doc[array_key]}
-            return entries, metric
+            try:
+                entries = {e[name_key]: e for e in doc[array_key]}
+            except (KeyError, TypeError):
+                sys.exit(f"bench_diff: {path}: entries under '{array_key}' "
+                         f"lack the '{name_key}' key")
+            return entries, metric, doc
     sys.exit(f"bench_diff: {path}: no known entry array "
              f"(expected one of {[s[0] for s in SCHEMAS]})")
 
@@ -67,19 +102,28 @@ def main():
     ap.add_argument("--gate", action="append", default=[], metavar="ENTRY",
                     help="entry that fails the run on regression even under "
                          "--report-only (repeatable)")
+    ap.add_argument("--require", action="append", default=[], metavar="ENTRY",
+                    help="assert ENTRY's current speedup_t4 >= 1.0 (parallel "
+                         "no slower than serial at 4 threads); skipped when "
+                         "the current file's host_cpus < 4; fails even under "
+                         "--report-only (repeatable)")
     args = ap.parse_args()
 
-    base, base_metric = load_entries(args.baseline)
-    curr, curr_metric = load_entries(args.current)
+    base, base_metric, _base_doc = load_entries(args.baseline)
+    curr, curr_metric, curr_doc = load_entries(args.current)
     if base_metric != curr_metric:
         sys.exit("bench_diff: baseline and current use different schemas "
                  f"({base_metric} vs {curr_metric})")
     metric = base_metric
+    inverted = metric in HIGHER_IS_BETTER
 
     for gate in args.gate:
         if gate not in base and gate not in curr:
             sys.exit(f"bench_diff: --gate {gate}: no such entry in either file "
                      "(misspelled gates would never fire)")
+    if args.require and metric != "speedup_t4":
+        sys.exit("bench_diff: --require only applies to the speedup schema "
+                 "(BENCH_exec_par.json)")
 
     regressions = []
     gated_regressions = []
@@ -87,23 +131,37 @@ def main():
     print(f"{'entry':<{name_w}}  {'baseline':>12}  {'current':>12}  {'ratio':>7}  verdict")
     for name in sorted(set(base) | set(curr)):
         if name not in base:
-            print(f"{name:<{name_w}}  {'-':>12}  {curr[name][metric]:>12.1f}  "
+            c = curr[name].get(metric)
+            shown = f"{c:>12.1f}" if c is not None else f"{'-':>12}"
+            print(f"{name:<{name_w}}  {'-':>12}  {shown}  "
                   f"{'-':>7}  new (not in baseline)")
             continue
         if name not in curr:
-            print(f"{name:<{name_w}}  {base[name][metric]:>12.1f}  {'-':>12}  "
+            b = base[name].get(metric)
+            shown = f"{b:>12.1f}" if b is not None else f"{'-':>12}"
+            print(f"{name:<{name_w}}  {shown}  {'-':>12}  "
                   f"{'-':>7}  removed")
             continue
-        b, c = base[name][metric], curr[name][metric]
-        ratio = c / b if b > 0 else float("inf")
+        b, c = base[name].get(metric), curr[name].get(metric)
+        if b is None or c is None:
+            # A speedup row without its metric means that side's kernel did
+            # not verify at every thread count; surface it, don't crash.
+            print(f"{name:<{name_w}}  {'-':>12}  {'-':>12}  {'-':>7}  "
+                  f"no {metric} (kernel not verified on one side)")
+            continue
+        # For higher-is-better metrics the ratio inverts so that a value
+        # above the threshold always means "got worse".
+        denom = c if inverted else b
+        ratio = ((b / c) if inverted else (c / b)) if denom > 0 else float("inf")
+        threshold = base[name].get("tolerance", args.threshold)
         verdict = "ok"
-        if ratio > args.threshold:
-            verdict = f"REGRESSION (> {args.threshold:g}x)"
-            regressions.append(f"{name}: {metric} {b:.1f} -> {c:.1f} ({ratio:.2f}x)")
+        if ratio > threshold:
+            verdict = f"REGRESSION (> {threshold:g}x)"
+            regressions.append(f"{name}: {metric} {b:.1f} -> {c:.1f} ({ratio:.2f}x worse)")
             if name in args.gate:
                 verdict += " [gated]"
                 gated_regressions.append(name)
-        elif ratio < 1.0 / args.threshold:
+        elif ratio < 1.0 / threshold:
             verdict = "improved"
         print(f"{name:<{name_w}}  {b:>12.1f}  {c:>12.1f}  {ratio:>6.2f}x  {verdict}")
 
@@ -117,10 +175,38 @@ def main():
             print(f"{'':<{name_w}}  {'':>12}  {'':>12}  {'':>7}  "
                   f"ALLOC REGRESSION ({alloc_c}/plan, baseline 0)")
 
+    require_failures = []
+    if args.require:
+        host_cpus = curr_doc.get("host_cpus", 0)
+        if host_cpus < 4:
+            print(f"\n--require skipped: current host_cpus={host_cpus} < 4 "
+                  "(a time-sliced core cannot show a speedup)")
+        else:
+            for name in args.require:
+                entry = curr.get(name)
+                speedup = entry.get("speedup_t4") if entry else None
+                if entry is None:
+                    require_failures.append(f"{name}: entry missing from current")
+                elif speedup is None:
+                    require_failures.append(
+                        f"{name}: no speedup_t4 (kernel did not verify)")
+                elif speedup < 1.0:
+                    require_failures.append(
+                        f"{name}: speedup_t4 {speedup:.3f} < 1.0 "
+                        "(parallel slower than serial at 4 threads)")
+                else:
+                    print(f"--require {name}: speedup_t4 {speedup:.3f} >= 1.0 ok")
+
     if regressions:
         print(f"\n{len(regressions)} regression(s) vs {args.baseline}:", file=sys.stderr)
         for r in regressions:
             print(f"  {r}", file=sys.stderr)
+    if require_failures:
+        print(f"\n{len(require_failures)} --require violation(s):", file=sys.stderr)
+        for r in require_failures:
+            print(f"  {r}", file=sys.stderr)
+        sys.exit(1)  # required properties fail even under --report-only
+    if regressions:
         if not args.report_only:
             sys.exit(1)
         if gated_regressions:
@@ -128,7 +214,7 @@ def main():
                   + ", ".join(sorted(set(gated_regressions))), file=sys.stderr)
             sys.exit(1)
         print("(report-only: not failing the run)", file=sys.stderr)
-    else:
+    if not regressions:
         print("\nno regressions")
 
 

@@ -2,11 +2,15 @@
 # exec_drill.sh -- the crash-contained native execution acceptance drills.
 #
 # Mirrors docs/execution.md: every emitted gallery kernel must compile, run
-# in the forked sandbox and verify against the interpreter; deliberately
-# broken kernels (SIGSEGV / infinite spin / address-space exhaustion) and
-# armed exec.* fault points must end as typed contained outcomes while the
-# driving process survives; and a service run with native execution enabled
-# must keep every job terminal (Verified | Quarantined-with-trace).
+# in the forked sandbox and verify against the interpreter -- serially and
+# through the ABI v2 parallel entry; deliberately broken kernels (SIGSEGV /
+# infinite spin / address-space exhaustion / a lane crashing or wedging
+# mid-wavefront) and armed exec.* fault points must end as typed contained
+# outcomes while the driving process survives; a service run with native
+# execution enabled must keep every job terminal (Verified |
+# Quarantined-with-trace); a warm restart against the same --store must
+# recompile nothing; and when the compiler supports ThreadSanitizer, the
+# emitted parallel kernels must run race-free at 4 lanes.
 #
 # Exits 0 when every drill passes. When no C compiler is on PATH the native
 # drills cannot run at all: the script reports that and exits 0 (skipping is
@@ -48,8 +52,19 @@ for w in fig2 fig8 jacobi iir volume3d hyper4d; do
     fi
 done
 
+echo "== parallel verification: ABI v2 entry at 4 lanes =="
+for w in fig2 fig8 jacobi iir volume3d hyper4d; do
+    if "$EMIT" --workload "$w" --run --threads 4 >/dev/null 2>"$WORK/par_$w.err"; then
+        echo "ok: $w verified thread-count invariant at 4 lanes"
+    else
+        echo "FAIL: $w parallel entry did not verify:" >&2
+        cat "$WORK/par_$w.err" >&2
+        fail=1
+    fi
+done
+
 echo "== containment: deliberately broken kernels =="
-for drill in crash spin oom; do
+for drill in crash spin oom par-crash par-spin; do
     # Exit 0 from --drill means: the documented typed outcome was observed
     # AND the parent survived to report it.
     if "$EMIT" --drill "$drill" >/dev/null 2>"$WORK/drill_$drill.err"; then
@@ -89,6 +104,47 @@ if "$SERVICE" --exec --workers 2 --exec-cache "$WORK/cache" \
 else
     echo "FAIL: service run with --exec" >&2
     cat "$WORK/svc.out" >&2
+    fail=1
+fi
+
+echo "== service: parallel admission (--exec-threads 2) =="
+if "$SERVICE" --exec --exec-threads 2 --workers 2 --exec-cache "$WORK/cache_par" \
+        --report "$WORK/par.json" >"$WORK/svc_par.out" 2>&1; then
+    if grep -q '"native_par_threads": 2' "$WORK/par.json"; then
+        echo "ok: service verified kernels through the parallel entry"
+    else
+        echo "FAIL: no native_par_threads=2 job in report" >&2
+        fail=1
+    fi
+else
+    echo "FAIL: service run with --exec-threads 2" >&2
+    cat "$WORK/svc_par.out" >&2
+    fail=1
+fi
+
+echo "== store: warm restart recompiles nothing =="
+# --store implies the sibling objects/ cache tier: a second service run
+# against the same store must serve every kernel from disk (compiles == 0).
+rc=0
+"$SERVICE" --exec --workers 2 --store "$WORK/store" \
+    --report "$WORK/cold.json" >"$WORK/svc_cold.out" 2>&1 || rc=$?
+if [[ "$rc" == 0 ]] && "$SERVICE" --exec --workers 2 --store "$WORK/store" \
+        --report "$WORK/warm.json" >"$WORK/svc_warm.out" 2>&1; then
+    python3 - "$WORK/cold.json" "$WORK/warm.json" <<'EOF' && \
+        echo "ok: warm restart served every object from the store" || fail=1
+import json, sys
+cold = json.load(open(sys.argv[1]))["exec"]
+warm = json.load(open(sys.argv[2]))["exec"]
+if cold["compiles"] == 0:
+    print("FAIL: cold run compiled nothing (drill is vacuous)")
+    sys.exit(1)
+if warm["compiles"] != 0 or warm["cache_hits"] == 0:
+    print(f"FAIL: warm restart recompiled: {warm}")
+    sys.exit(1)
+EOF
+else
+    echo "FAIL: service runs against --store" >&2
+    cat "$WORK/svc_cold.out" "$WORK/svc_warm.out" >&2
     fail=1
 fi
 
@@ -133,6 +189,30 @@ EOF
     fi
 else
     echo "== bench: $BENCH not built; skipping =="
+fi
+
+echo "== tsan: emitted parallel kernels are race-free at 4 lanes =="
+# The emitted pool synchronizes through C11 atomics and a condvar; TSan
+# over the standalone program is the strongest local race check we have.
+# Skipped (not failed) when the toolchain lacks libtsan.
+echo 'int main(void) { return 0; }' > "$WORK/tsan_probe.c"
+if cc -fsanitize=thread -pthread -o "$WORK/tsan_probe" "$WORK/tsan_probe.c" \
+        >/dev/null 2>&1 && "$WORK/tsan_probe" >/dev/null 2>&1; then
+    for w in fig2 fig8 jacobi iir volume3d hyper4d; do
+        "$EMIT" --workload "$w" > "$WORK/tsan_$w.c" 2>/dev/null
+        if cc -O1 -fsanitize=thread -pthread -o "$WORK/tsan_$w" "$WORK/tsan_$w.c" \
+                2>"$WORK/tsan_$w.cc.err" &&
+           LF_THREADS=4 "$WORK/tsan_$w" >"$WORK/tsan_$w.out" 2>"$WORK/tsan_$w.err" &&
+           grep -q '^OK ' "$WORK/tsan_$w.out"; then
+            echo "ok: $w race-free under TSan (4 lanes)"
+        else
+            echo "FAIL: $w under ThreadSanitizer:" >&2
+            cat "$WORK/tsan_$w.cc.err" "$WORK/tsan_$w.err" >&2
+            fail=1
+        fi
+    done
+else
+    echo "tsan unavailable on this toolchain; sweep skipped"
 fi
 
 if (( fail )); then
