@@ -22,6 +22,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -35,6 +36,7 @@
 #include "fusion/acyclic_doall.hpp"
 #include "fusion/certify.hpp"
 #include "fusion/cyclic_doall.hpp"
+#include "fusion/compact.hpp"
 #include "fusion/driver.hpp"
 #include "fusion/hyperplane.hpp"
 #include "fusion/ladder.hpp"
@@ -47,6 +49,7 @@
 #include "analysis/dependence.hpp"
 #include "front/parse.hpp"
 #include "sim/cache.hpp"
+#include "support/cemit.hpp"
 #include "support/json.hpp"
 #include "support/lexvec.hpp"
 #include "svc/manifest.hpp"
@@ -834,6 +837,146 @@ bool write_exec_par_json(const std::string& path) {
     return out.good();
 }
 
+// ---- Emitted-code size under a planning objective (BENCH_codesize.json) ----
+//
+// Measures what PlanPolicy::SmallestCode buys: per-kernel emitted C bytes
+// and lines, cold-compile wall time, total retiming magnitude, and fringe
+// trip counts. The checked-in baseline (bench/baselines/BENCH_codesize.json)
+// was generated with --codesize_policy=fastest; CI regenerates under
+// --codesize_policy=smallest (the default here), so the report-only diff
+// shows the realized reduction in bytes and compile time.
+//
+// compile_ns is the minimum over kCodesizeReps compiles, each through a
+// FRESH KernelCompiler -- a fresh mkdtemp object cache per rep -- so every
+// rep pays the true cold-compile cost instead of hitting the content-
+// addressed cache. Size fields are deterministic; when no C compiler is on
+// PATH they are still written, with compiler_available=false and
+// compile_ns=0, so report-only CI diffs degrade gracefully.
+
+struct CodesizeRow {
+    std::string name;
+    std::string source;                    // emitted kernel-library C
+    std::int64_t retiming_magnitude = 0;
+    std::int64_t prologue_iters = 0;       // summed across loop dimensions
+    std::int64_t epilogue_iters = 0;
+    std::int64_t compile_ns = 0;
+};
+
+/// Sums prologue/epilogue widths over per-dimension shift vectors, through
+/// the same fringe model the emitters use (widths are domain-independent,
+/// so extent 0 serves).
+void fold_fringes(CodesizeRow& row, std::span<const std::vector<std::int64_t>> dims) {
+    for (const auto& shifts : dims) {
+        const cemit::FringeBounds b = cemit::fringe_bounds(shifts, 0);
+        row.prologue_iters += b.prologue();
+        row.epilogue_iters += b.epilogue();
+    }
+}
+
+bool write_codesize_json(const std::string& path, PlanPolicy policy) {
+    constexpr int kCodesizeReps = 3;
+    const Domain dom2d{1024, 1024};
+
+    std::vector<CodesizeRow> rows;
+    {
+        struct GalleryEntry {
+            const char* name;
+            std::string_view source;
+        };
+        const GalleryEntry gallery[] = {
+            {"fig2", workloads::sources::kFig2},
+            {"fig8", workloads::sources::kFig8},
+            {"jacobi", workloads::sources::kJacobiPair},
+            {"iir", workloads::sources::kIirChain},
+        };
+        PlanOptions popts;
+        popts.policy = policy;
+        for (const auto& entry : gallery) {
+            CodesizeRow row;
+            row.name = entry.name;
+            const ir::Program p = ir::parse_program(entry.source);
+            const FusionPlan plan = plan_fusion(analysis::build_mldg(p), popts);
+            const transform::FusedProgram fp = transform::fuse_program(p, plan);
+            row.source = transform::emit_c_kernel_library(p, fp, dom2d);
+            row.retiming_magnitude = retiming_magnitude(plan.retiming);
+            const int n = plan.retimed.num_nodes();
+            std::vector<std::vector<std::int64_t>> dims(2);
+            for (int v = 0; v < n; ++v) {
+                dims[0].push_back(plan.retiming.of(v).x);
+                dims[1].push_back(plan.retiming.of(v).y);
+            }
+            fold_fringes(row, dims);
+            rows.push_back(std::move(row));
+        }
+        {
+            CodesizeRow row;
+            row.name = "volume3d";
+            const auto p = front::parse_basic_program<VecN>(workloads::sources::kVolume3d);
+            const MldgN g = analysis::build_mldg_nd(p);
+            const NdFusionPlan plan = plan_fusion_nd(g, nullptr, policy);
+            exec::MdDomain mdom;
+            mdom.ext = {96, 96, 96};
+            row.source = transform::emit_md_c_kernel_library(p, plan, mdom);
+            row.retiming_magnitude = retiming_magnitude_nd(plan.retiming);
+            std::vector<std::vector<std::int64_t>> dims(
+                static_cast<std::size_t>(g.dim()));
+            for (int v = 0; v < g.num_nodes(); ++v) {
+                for (int k = 0; k < g.dim(); ++k) {
+                    dims[static_cast<std::size_t>(k)].push_back(plan.retiming.of(v)[k]);
+                }
+            }
+            fold_fringes(row, dims);
+            rows.push_back(std::move(row));
+        }
+    }
+
+    bool compiler_available = false;
+    for (CodesizeRow& row : rows) {
+        for (int rep = 0; rep < kCodesizeReps; ++rep) {
+            exec::KernelCompiler cold;  // fresh mkdtemp cache: no reuse across reps
+            if (!cold.available()) break;
+            compiler_available = true;
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto compiled = cold.compile(row.source);
+            const auto t1 = std::chrono::steady_clock::now();
+            if (!compiled.ok()) break;
+            const std::int64_t ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+            if (row.compile_ns == 0 || ns < row.compile_ns) row.compile_ns = ns;
+        }
+    }
+
+    json::Writer w;
+    w.begin_object();
+    w.kv("compiler_available", compiler_available);
+    w.kv("reps", kCodesizeReps);
+    w.kv("policy", to_string(policy));
+    w.key("domain_2d").begin_array();
+    w.value(dom2d.n);
+    w.value(dom2d.m);
+    w.end_array();
+    w.key("codesize").begin_array();
+    for (const CodesizeRow& row : rows) {
+        w.begin_object();
+        w.kv("kernel", row.name);
+        w.kv("source_bytes", static_cast<std::int64_t>(row.source.size()));
+        w.kv("source_lines", static_cast<std::int64_t>(
+                                 std::count(row.source.begin(), row.source.end(), '\n')));
+        w.kv("compile_ns", row.compile_ns);
+        w.kv("retiming_magnitude", row.retiming_magnitude);
+        w.kv("prologue_iters", row.prologue_iters);
+        w.kv("epilogue_iters", row.epilogue_iters);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+
+    std::ofstream out(path);
+    if (!out.good()) return false;
+    out << w.str() << '\n';
+    return out.good();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -841,6 +984,8 @@ int main(int argc, char** argv) {
     std::string plan_json = "BENCH_plan.json";
     std::string exec_json;      // native runs need a C compiler: opt-in
     std::string exec_par_json;  // parallel speedup curves: opt-in
+    std::string codesize_json;  // emitted-code size summary: opt-in
+    lf::PlanPolicy codesize_policy = lf::PlanPolicy::SmallestCode;
     // Peel off our flags before google-benchmark sees the argument list.
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
@@ -848,6 +993,8 @@ int main(int argc, char** argv) {
         constexpr const char* kPlanFlag = "--plan_json=";
         constexpr const char* kExecFlag = "--exec_json=";
         constexpr const char* kExecParFlag = "--exec_par_json=";
+        constexpr const char* kCodesizeFlag = "--codesize_json=";
+        constexpr const char* kCodesizePolicyFlag = "--codesize_policy=";
         if (std::strncmp(argv[i], kSolverFlag, std::strlen(kSolverFlag)) == 0) {
             solver_json = argv[i] + std::strlen(kSolverFlag);
         } else if (std::strncmp(argv[i], kPlanFlag, std::strlen(kPlanFlag)) == 0) {
@@ -856,6 +1003,18 @@ int main(int argc, char** argv) {
             exec_par_json = argv[i] + std::strlen(kExecParFlag);
         } else if (std::strncmp(argv[i], kExecFlag, std::strlen(kExecFlag)) == 0) {
             exec_json = argv[i] + std::strlen(kExecFlag);
+        } else if (std::strncmp(argv[i], kCodesizePolicyFlag,
+                                std::strlen(kCodesizePolicyFlag)) == 0) {
+            const char* name = argv[i] + std::strlen(kCodesizePolicyFlag);
+            const std::optional<lf::PlanPolicy> parsed = lf::parse_plan_policy(name);
+            if (!parsed.has_value()) {
+                std::cerr << "bench_micro: unknown plan policy '" << name
+                          << "' (fastest|smallest)\n";
+                return 1;
+            }
+            codesize_policy = *parsed;
+        } else if (std::strncmp(argv[i], kCodesizeFlag, std::strlen(kCodesizeFlag)) == 0) {
+            codesize_json = argv[i] + std::strlen(kCodesizeFlag);
         } else {
             argv[kept++] = argv[i];
         }
@@ -892,6 +1051,13 @@ int main(int argc, char** argv) {
             return 1;
         }
         std::cout << "wrote " << exec_par_json << '\n';
+    }
+    if (!codesize_json.empty()) {
+        if (!write_codesize_json(codesize_json, codesize_policy)) {
+            std::cerr << "bench_micro: could not write " << codesize_json << '\n';
+            return 1;
+        }
+        std::cout << "wrote " << codesize_json << '\n';
     }
     return 0;
 }

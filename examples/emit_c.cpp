@@ -7,8 +7,17 @@
 //   example_emit_c --workload jacobi --run          # compile + run natively
 //   example_emit_c --workload volume3d --run        # depth-3 pipeline
 //   example_emit_c --workload iir --run --threads 4 # + ABI v2 parallel check
+//   example_emit_c --workload iir --stats           # code-size + fringe stats
+//   example_emit_c --plan-policy smallest --stats   # objective-aware plan
 //   example_emit_c --drill crash                    # containment drill
 //   example_emit_c --drill par-crash                # lane crash mid-wavefront
+//
+// --plan-policy fastest|smallest selects the planning objective
+// (fusion/driver.hpp): `fastest` (default) reproduces the classic planner
+// bit for bit; `smallest` re-solves for the smallest-magnitude feasible
+// retiming before emission. --stats prints the emitted-C line/byte counts
+// and the per-level prologue/steady/epilogue trip counts to stdout instead
+// of the program itself.
 //
 // With no file argument the paper's Figure 2 program is used. The emitted
 // file contains the original nest, the fused nest (with an OpenMP pragma on
@@ -42,8 +51,10 @@
 #include "exec/compile.hpp"
 #include "exec/native.hpp"
 #include "exec/runner.hpp"
+#include "fusion/compact.hpp"
 #include "fusion/driver.hpp"
 #include "fusion/multidim.hpp"
+#include "support/cemit.hpp"
 #include "ir/parser.hpp"
 #include "analysis/dependence.hpp"
 #include "front/parse.hpp"
@@ -91,6 +102,26 @@ void print_check(const char* what, const exec::NativeCheck& nc) {
         }
     }
     std::cerr << '\n';
+}
+
+/// --stats: one line per loop level plus emitted-source totals, printed to
+/// stdout in place of the C program. `shifts[k]` holds every body's retiming
+/// component for level k; trip counts come from the shared fringe model
+/// (support/cemit.hpp), so they match what the emitters actually generate.
+void print_stats(const std::string& c_source, const char* const* level_names,
+                 const std::vector<std::vector<std::int64_t>>& shifts,
+                 const std::vector<std::int64_t>& extents, std::int64_t magnitude) {
+    std::int64_t lines = 0;
+    for (char c : c_source) lines += c == '\n' ? 1 : 0;
+    std::cout << "emitted lines: " << lines << '\n';
+    std::cout << "emitted bytes: " << c_source.size() << '\n';
+    for (std::size_t k = 0; k < shifts.size(); ++k) {
+        const cemit::FringeBounds b = cemit::fringe_bounds(shifts[k], extents[k]);
+        const std::int64_t steady = b.nonempty_interior() ? b.in_hi - b.in_lo + 1 : 0;
+        std::cout << level_names[k] << ": prologue " << b.prologue() << " steady " << steady
+                  << " epilogue " << b.epilogue() << '\n';
+    }
+    std::cout << "retiming magnitude: " << magnitude << '\n';
 }
 
 /// Exit status for a finished native check, per the documented contract.
@@ -235,6 +266,8 @@ int main(int argc, char** argv) {
         bool nd = false;
         bool run = false;
         bool openmp = false;
+        bool stats = false;
+        PlanPolicy policy = PlanPolicy::FastestSchedule;
         std::string drill;
         exec::KernelParams params;
         Domain dom{100, 100};
@@ -259,8 +292,19 @@ int main(int argc, char** argv) {
                 nd = w->nd;
             } else if (arg == "--drill" && k + 1 < argc) {
                 drill = argv[++k];
+            } else if (arg == "--plan-policy" && k + 1 < argc) {
+                const std::string name = argv[++k];
+                const std::optional<PlanPolicy> parsed = parse_plan_policy(name);
+                if (!parsed.has_value()) {
+                    std::cerr << "error: unknown plan policy '" << name
+                              << "' (fastest|smallest)\n";
+                    return 1;
+                }
+                policy = *parsed;
             } else if (arg == "--run") {
                 run = true;
+            } else if (arg == "--stats") {
+                stats = true;
             } else if (arg == "--openmp") {
                 openmp = true;
             } else {
@@ -284,7 +328,8 @@ int main(int argc, char** argv) {
 
         if (nd) {
             const auto program = front::parse_basic_program<VecN>(source);
-            const NdFusionPlan plan = plan_fusion_nd(analysis::build_mldg_nd(program));
+            const NdFusionPlan plan =
+                plan_fusion_nd(analysis::build_mldg_nd(program), nullptr, policy);
             exec::MdDomain mdom;
             mdom.ext.assign(static_cast<std::size_t>(program.dim), 24);
             std::cerr << "plan: "
@@ -299,12 +344,33 @@ int main(int argc, char** argv) {
                 print_check("native", nc);
                 return check_exit_code(nc);
             }
+            if (stats) {
+                const int dim = plan.retiming.num_nodes() > 0 ? plan.retiming.of(0).dim()
+                                                              : program.dim;
+                std::vector<std::vector<std::int64_t>> shifts(static_cast<std::size_t>(dim));
+                std::vector<std::int64_t> extents(mdom.ext.begin(), mdom.ext.end());
+                std::vector<std::string> names;
+                std::vector<const char*> name_ptrs;
+                for (int k = 0; k < dim; ++k) {
+                    for (int v = 0; v < plan.retiming.num_nodes(); ++v) {
+                        shifts[static_cast<std::size_t>(k)].push_back(plan.retiming.of(v)[k]);
+                    }
+                    names.push_back("dim " + std::to_string(k));
+                }
+                for (const auto& n : names) name_ptrs.push_back(n.c_str());
+                print_stats(transform::emit_md_c_program(program, plan, mdom),
+                            name_ptrs.data(), shifts, extents,
+                            retiming_magnitude_nd(plan.retiming));
+                return 0;
+            }
             std::cout << transform::emit_md_c_program(program, plan, mdom);
             return 0;
         }
 
         const ir::Program program = ir::parse_program(source);
-        const FusionPlan plan = plan_fusion(analysis::build_mldg(program));
+        PlanOptions popts;
+        popts.policy = policy;
+        const FusionPlan plan = plan_fusion(analysis::build_mldg(program), popts);
         const transform::FusedProgram fused = transform::fuse_program(program, plan);
         std::cerr << "plan: " << to_string(plan.algorithm) << " -> " << to_string(plan.level)
                   << "\nexpected output: OK " << transform::expected_c_checksum(program, dom)
@@ -314,6 +380,17 @@ int main(int argc, char** argv) {
                 exec::native_check(program, plan, dom, compiler, {}, params);
             print_check("native", nc);
             return check_exit_code(nc);
+        }
+        if (stats) {
+            std::vector<std::vector<std::int64_t>> shifts(2);
+            for (int v = 0; v < plan.retiming.num_nodes(); ++v) {
+                shifts[0].push_back(plan.retiming.of(v).x);
+                shifts[1].push_back(plan.retiming.of(v).y);
+            }
+            static const char* const kLevels[] = {"i", "j"};
+            print_stats(transform::emit_c_program(program, fused, dom), kLevels, shifts,
+                        {dom.n, dom.m}, retiming_magnitude(plan.retiming));
+            return 0;
         }
         std::cout << transform::emit_c_program(program, fused, dom);
     } catch (const Error& e) {

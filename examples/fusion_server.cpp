@@ -48,6 +48,7 @@ void usage() {
         "  --plan-batch N     jobs per worker pull, batch-planned together (default 8)\n"
         "  --delta K          delta re-plan against cached graphs differing on <= K\n"
         "                     edges; 0 disables (default 4)\n"
+        "  --plan-policy P    planning objective: fastest (default) or smallest\n"
         "  --deadline-ms D    service-wide per-job deadline (default unlimited)\n"
         "  --max-conns N      connection cap (default 64)\n"
         "  --max-inflight N   admitted-job cap before shedding (default 256)\n"
@@ -197,6 +198,14 @@ int main(int argc, char** argv) {
             config.service.plan_batch = std::stoi(next_arg(i));
         } else if (std::strcmp(a, "--delta") == 0) {
             config.service.delta_max_edges = std::stoi(next_arg(i));
+        } else if (std::strcmp(a, "--plan-policy") == 0) {
+            const std::string name = next_arg(i);
+            const std::optional<lf::PlanPolicy> parsed = lf::parse_plan_policy(name);
+            if (!parsed.has_value()) {
+                std::cerr << "error: unknown plan policy '" << name << "' (fastest|smallest)\n";
+                return 1;
+            }
+            config.service.plan_policy = *parsed;
         } else if (std::strcmp(a, "--deadline-ms") == 0) {
             config.service.retry.deadline_ms = std::stoll(next_arg(i));
         } else if (std::strcmp(a, "--max-conns") == 0) {

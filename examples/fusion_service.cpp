@@ -50,6 +50,8 @@ void usage() {
         "  --batch N          jobs per worker pull, batch-planned together (default 8)\n"
         "  --delta K          delta re-plan against cached graphs differing on <= K\n"
         "                     edges; 0 disables (default 4)\n"
+        "  --plan-policy P    planning objective: fastest (default; classic plans,\n"
+        "                     bit-identical) or smallest (smallest-magnitude retiming)\n"
         "  --report FILE      write the JSON run report here (default: stdout)\n"
         "  --no-timings       omit wall-clock fields from the report\n"
         "  --mldg FILE        add a graph-only job from serialized MLDG text\n"
@@ -135,6 +137,16 @@ int main(int argc, char** argv) {
             else if (arg == "--cache") config.plan_cache_capacity = std::stoull(next_arg(i));
             else if (arg == "--batch") config.plan_batch = std::stoi(next_arg(i));
             else if (arg == "--delta") config.delta_max_edges = std::stoi(next_arg(i));
+            else if (arg == "--plan-policy") {
+                const std::string name = next_arg(i);
+                const std::optional<lf::PlanPolicy> parsed = lf::parse_plan_policy(name);
+                if (!parsed.has_value()) {
+                    std::cerr << "error: unknown plan policy '" << name
+                              << "' (fastest|smallest)\n";
+                    return 1;
+                }
+                config.plan_policy = *parsed;
+            }
             else if (arg == "--report") report_path = next_arg(i);
             else if (arg == "--no-timings") include_timings = false;
             else if (arg == "--mldg") mldg_files.push_back(next_arg(i));

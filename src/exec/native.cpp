@@ -1,5 +1,6 @@
 #include "exec/native.hpp"
 
+#include <chrono>
 #include <cstring>
 
 #include "support/cemit.hpp"
@@ -21,13 +22,18 @@ NativeCheck check_kernel_source(const std::string& c_source, const std::string& 
                                 KernelCompiler& compiler, const SandboxLimits& limits,
                                 const KernelParams& params) {
     NativeCheck nc;
+    nc.source_bytes = static_cast<std::int64_t>(c_source.size());
     if (!compiler.available()) {
         nc.outcome = NativeOutcome::Unavailable;
         nc.detail = "compiler '" + compiler.options().cc + "' not found on PATH";
         return nc;
     }
 
+    const auto compile_t0 = std::chrono::steady_clock::now();
     const Result<CompiledKernel> compiled = compiler.compile(c_source);
+    nc.compile_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - compile_t0)
+                        .count();
     if (!compiled.ok()) {
         nc.outcome = NativeOutcome::CompileFailed;
         nc.detail = compiled.status().message();

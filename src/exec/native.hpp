@@ -65,6 +65,12 @@ struct NativeCheck {
     std::int32_t par_threads = 0;
     std::int32_t par_tile = 0;
     std::int64_t ns_fused_par = 0;
+    /// Code-size observables for the plan-policy layer: bytes of the emitted
+    /// C translation unit handed to the compiler (0 until emission
+    /// succeeded) and the wall time of the compiler.compile() call (0 when
+    /// compilation was skipped; cache hits still time the lookup).
+    std::int64_t source_bytes = 0;
+    std::int64_t compile_ns = 0;
 
     [[nodiscard]] bool verified() const { return outcome == NativeOutcome::Verified; }
 };

@@ -1,6 +1,7 @@
 #include "fusion/compact.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "fusion/cyclic_doall.hpp"
 #include "graph/constraint_system.hpp"
@@ -12,27 +13,16 @@ namespace lf {
 
 namespace {
 
-struct XConstraint {
-    int from;
-    int to;
-    std::int64_t bound;
-};
-
-std::int64_t spread_of(const std::vector<std::int64_t>& values) {
-    const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
-    return *hi - *lo;
-}
-
 /// Solves the base system plus pairwise spread bounds; nullopt if infeasible.
 /// `warm` (optional) must be a fixpoint of a looser system over the same
 /// variables (the base alone, or base + a larger spread bound).
 std::optional<std::vector<std::int64_t>> solve_with_spread(
-    int num_nodes, const std::vector<XConstraint>& base, std::int64_t spread,
+    int num_nodes, const std::vector<ScalarConstraint>& base, std::int64_t spread,
     SolverStats* stats, SolverWorkspace<std::int64_t>* ws,
     const std::vector<std::int64_t>* warm) {
     DifferenceConstraintSystem<std::int64_t> sys;
     for (int v = 0; v < num_nodes; ++v) sys.add_variable();
-    for (const XConstraint& c : base) sys.add_constraint(c.from, c.to, c.bound);
+    for (const ScalarConstraint& c : base) sys.add_constraint(c.from, c.to, c.bound);
     for (int u = 0; u < num_nodes; ++u) {
         for (int v = 0; v < num_nodes; ++v) {
             if (u != v) sys.add_constraint(u, v, spread);  // x_v - x_u <= spread
@@ -43,23 +33,33 @@ std::optional<std::vector<std::int64_t>> solve_with_spread(
     return std::move(solution.values);
 }
 
-/// Minimum-spread solution of the base system, assuming it is feasible.
-/// `warm_base` (optional): a known fixpoint of the base system. Each binary-
-/// search probe then warms from the best (loosest-spread) feasible solution
-/// found so far: shrinking the spread bound only tightens the system, so the
-/// previous fixpoint stays a valid starting potential.
+}  // namespace
+
+std::int64_t centering_shift(std::vector<std::int64_t> values) {
+    if (values.empty()) return 0;
+    const auto mid = values.begin() + (static_cast<std::ptrdiff_t>(values.size()) - 1) / 2;
+    std::nth_element(values.begin(), mid, values.end());
+    return -*mid;
+}
+
+std::int64_t value_spread(const std::vector<std::int64_t>& values) {
+    if (values.empty()) return 0;
+    const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+    return *hi - *lo;
+}
+
 std::vector<std::int64_t> min_spread_solution(int num_nodes,
-                                              const std::vector<XConstraint>& base,
+                                              const std::vector<ScalarConstraint>& base,
                                               SolverStats* stats,
                                               SolverWorkspace<std::int64_t>* ws,
                                               const std::vector<std::int64_t>* warm_base) {
     DifferenceConstraintSystem<std::int64_t> sys;
     for (int v = 0; v < num_nodes; ++v) sys.add_variable();
-    for (const XConstraint& c : base) sys.add_constraint(c.from, c.to, c.bound);
+    for (const ScalarConstraint& c : base) sys.add_constraint(c.from, c.to, c.bound);
     const auto unconstrained = sys.solve(nullptr, stats, ws, warm_base);
     check(unconstrained.feasible, "min_spread_solution: base system infeasible");
 
-    std::int64_t hi = spread_of(unconstrained.values);
+    std::int64_t hi = value_spread(unconstrained.values);
     std::vector<std::int64_t> best = unconstrained.values;
     std::int64_t lo = 0;
     while (lo < hi) {
@@ -74,7 +74,100 @@ std::vector<std::int64_t> min_spread_solution(int num_nodes,
     return best;
 }
 
-}  // namespace
+std::int64_t retiming_magnitude(const Retiming& r) {
+    std::int64_t total = 0;
+    for (int v = 0; v < r.num_nodes(); ++v) {
+        total += std::abs(r.of(v).x) + std::abs(r.of(v).y);
+    }
+    return total;
+}
+
+MagnitudeOutcome minimize_plan_magnitude(const Mldg& g, const FusionPlan& plan,
+                                         SolverStats* stats, PlannerWorkspace* ws) {
+    MagnitudeOutcome out;
+    out.retiming = plan.retiming;
+    out.before = retiming_magnitude(plan.retiming);
+    out.after = out.before;
+    const int n = g.num_nodes();
+    if (n == 0 || plan.algorithm == AlgorithmUsed::DistributionFallback) return out;
+    SolverWorkspace<std::int64_t>* scalar_ws = ws != nullptr ? &ws->scalar : nullptr;
+
+    Retiming cand = plan.retiming;
+
+    // (a) Trailing-component re-solve. With x fixed, the y feasibility
+    // conditions are a scalar difference system; its minimum-spread solution
+    // comes from the same binary-search core the compact pass uses, warmed
+    // from the plan's own y components (a fixpoint of the base system).
+    std::vector<ScalarConstraint> base;
+    bool refine_y = false;
+    switch (plan.algorithm) {
+        case AlgorithmUsed::CyclicDoall:
+        case AlgorithmUsed::CyclicDoallForced:
+            // Mirror Algorithm 4 phase 2: every non-hard edge whose x-retimed
+            // delta is zero keeps its y equality (as an inequality pair);
+            // everything else leaves y free.
+            for (const auto& e : g.edges()) {
+                if (e.is_hard()) continue;
+                const std::int64_t rx = e.delta().x + cand.of(e.from).x - cand.of(e.to).x;
+                if (rx != 0) continue;
+                base.push_back({e.from, e.to, e.delta().y});
+                base.push_back({e.to, e.from, -e.delta().y});
+            }
+            refine_y = true;
+            break;
+        case AlgorithmUsed::Hyperplane:
+            // Lexicographic nonnegativity of every retimed dependence vector:
+            // vectors carried on x leave y free; x-flat vectors need retimed
+            // y >= 0, i.e. y(to) - y(from) <= d.y.
+            for (const auto& e : g.edges()) {
+                for (const Vec2& d : e.vectors) {
+                    if (d.x + cand.of(e.from).x - cand.of(e.to).x != 0) continue;
+                    base.push_back({e.from, e.to, d.y});
+                }
+            }
+            refine_y = true;
+            break;
+        case AlgorithmUsed::AcyclicDoall:
+        case AlgorithmUsed::DistributionFallback:
+            break;  // y is identically zero (or the plan is unfused)
+    }
+    if (refine_y) {
+        std::vector<std::int64_t> warm_y(static_cast<std::size_t>(n));
+        for (int v = 0; v < n; ++v) warm_y[static_cast<std::size_t>(v)] = cand.of(v).y;
+        const std::vector<std::int64_t> ry =
+            min_spread_solution(n, base, stats, scalar_ws, &warm_y);
+        // Adopt only a strict spread win: an equal-spread re-solution churns
+        // the plan without shrinking any fringe.
+        if (value_spread(ry) < value_spread(warm_y)) {
+            for (int v = 0; v < n; ++v) cand.of(v).y = ry[static_cast<std::size_t>(v)];
+        }
+    }
+
+    // (b) Per-component median recentering: a uniform translation cancels
+    // out of every retimed delta (delta + r(from) - r(to)), so the retimed
+    // graph, schedule, and fringes are untouched -- only sum |r| shrinks.
+    {
+        std::vector<std::int64_t> xs(static_cast<std::size_t>(n));
+        std::vector<std::int64_t> ys(static_cast<std::size_t>(n));
+        for (int v = 0; v < n; ++v) {
+            xs[static_cast<std::size_t>(v)] = cand.of(v).x;
+            ys[static_cast<std::size_t>(v)] = cand.of(v).y;
+        }
+        const std::int64_t tx = centering_shift(std::move(xs));
+        const std::int64_t ty = centering_shift(std::move(ys));
+        for (int v = 0; v < n; ++v) {
+            cand.of(v).x += tx;
+            cand.of(v).y += ty;
+        }
+    }
+
+    const std::int64_t after = retiming_magnitude(cand);
+    if (after < out.before) {
+        out.retiming = std::move(cand);
+        out.after = after;
+    }
+    return out;
+}
 
 std::optional<Retiming> cyclic_doall_fusion_compact(const Mldg& g, SolverStats* stats,
                                                     PlannerWorkspace* ws,
@@ -83,7 +176,7 @@ std::optional<Retiming> cyclic_doall_fusion_compact(const Mldg& g, SolverStats* 
     SolverWorkspace<std::int64_t>* scalar_ws = ws != nullptr ? &ws->scalar : nullptr;
 
     // Phase 1 constraints, exactly as in cyclic_doall_fusion.
-    std::vector<XConstraint> base;
+    std::vector<ScalarConstraint> base;
     base.reserve(static_cast<std::size_t>(g.num_edges()));
     for (const auto& e : g.edges()) {
         base.push_back({e.from, e.to, e.delta().x - (e.is_hard() ? 1 : 0)});
@@ -91,7 +184,7 @@ std::optional<Retiming> cyclic_doall_fusion_compact(const Mldg& g, SolverStats* 
     {
         DifferenceConstraintSystem<std::int64_t> probe;
         for (int v = 0; v < g.num_nodes(); ++v) probe.add_variable();
-        for (const XConstraint& c : base) probe.add_constraint(c.from, c.to, c.bound);
+        for (const ScalarConstraint& c : base) probe.add_constraint(c.from, c.to, c.bound);
         if (!probe.solve(nullptr, stats, scalar_ws, warm_base).feasible) {
             return std::nullopt;  // same failure as phase 1
         }
@@ -126,7 +219,7 @@ Retiming acyclic_doall_fusion_compact(const Mldg& g, SolverStats* stats, Planner
     check(g.is_acyclic(), "acyclic_doall_fusion_compact: input MLDG has a cycle");
     check(is_schedulable(g), "acyclic_doall_fusion_compact: input MLDG is not schedulable");
     SolverWorkspace<std::int64_t>* scalar_ws = ws != nullptr ? &ws->scalar : nullptr;
-    std::vector<XConstraint> base;
+    std::vector<ScalarConstraint> base;
     base.reserve(static_cast<std::size_t>(g.num_edges()));
     for (const auto& e : g.edges()) {
         base.push_back({e.from, e.to, e.delta().x - 1});

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "fusion/driver.hpp"
 #include "ldg/mldg.hpp"
 #include "ldg/retiming.hpp"
 #include "support/solver_stats.hpp"
@@ -30,6 +31,68 @@
 namespace lf {
 
 struct PlannerWorkspace;
+template <typename W>
+struct SolverWorkspace;
+
+/// One scalar difference constraint  x_to - x_from <= bound  of a system
+/// handed to min_spread_solution.
+struct ScalarConstraint {
+    int from;
+    int to;
+    std::int64_t bound;
+};
+
+/// max - min of a non-empty value vector (0 when empty).
+[[nodiscard]] std::int64_t value_spread(const std::vector<std::int64_t>& values);
+
+/// Deterministic centering shift for one retiming component: the uniform
+/// translation t minimizing sum_v |values[v] + t| is t = -median; with an
+/// even count any t between the two middle values ties, and we pick the
+/// lower median so the choice is reproducible. A uniform per-component
+/// translation cancels out of every retimed delta, so applying the shift
+/// never changes the retimed graph, schedule, or fringes.
+[[nodiscard]] std::int64_t centering_shift(std::vector<std::int64_t> values);
+
+/// Minimum-spread solution of a feasible scalar difference system: binary-
+/// searches the tightest feasible pairwise bound x_u - x_v <= S on top of
+/// `base` (feasibility is monotone in S). Throws lf::Error if `base` itself
+/// is infeasible. `warm_base` (optional): a known fixpoint of the base
+/// system; each probe then warms from the best feasible solution so far.
+/// This is the shared core behind the compact pass, the SmallestCode
+/// post-pass, and the N-D trailing-component refinement.
+[[nodiscard]] std::vector<std::int64_t> min_spread_solution(
+    int num_nodes, const std::vector<ScalarConstraint>& base, SolverStats* stats = nullptr,
+    SolverWorkspace<std::int64_t>* ws = nullptr,
+    const std::vector<std::int64_t>* warm_base = nullptr);
+
+/// Total retiming magnitude sum_v (|r_x(v)| + |r_y(v)|) -- the quantity
+/// PlanPolicy::SmallestCode minimizes, and the `retiming_magnitude` field
+/// the ladder reports per plan.
+[[nodiscard]] std::int64_t retiming_magnitude(const Retiming& r);
+
+/// Result of the SmallestCode post-pass. `retiming` equals the input plan's
+/// retiming when no strictly smaller feasible candidate was found.
+struct MagnitudeOutcome {
+    Retiming retiming{0};
+    std::int64_t before = 0;
+    std::int64_t after = 0;
+    [[nodiscard]] bool changed() const { return after < before; }
+};
+
+/// PlanPolicy::SmallestCode post-pass: given an already-feasible plan,
+/// re-solve for the smallest-magnitude feasible retiming. The leading (x)
+/// components stay fixed -- the lexicographic solve already made their
+/// spread minimal (see the optimality note above) and moving them could
+/// change the rung's verdict -- so the pass (a) re-solves the trailing (y)
+/// system through the same min-spread binary-search core, warm-started from
+/// the plan's own y components (a known fixpoint: shrinking only tightens),
+/// and (b) recenters each component at its median, a uniform translation
+/// that cancels out of every retimed delta. Feasibility is preserved by
+/// construction; the caller still re-validates the candidate exactly like
+/// any other plan (fusion legality + strict schedule) before adopting it.
+[[nodiscard]] MagnitudeOutcome minimize_plan_magnitude(const Mldg& g, const FusionPlan& plan,
+                                                       SolverStats* stats = nullptr,
+                                                       PlannerWorkspace* ws = nullptr);
 
 /// Algorithm 4 with x-spread minimization. Same success set as
 /// cyclic_doall_fusion (falls back to its solution if the compacted phase 1

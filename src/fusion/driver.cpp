@@ -29,6 +29,20 @@ std::string to_string(AlgorithmUsed algorithm) {
     return "?";
 }
 
+std::string to_string(PlanPolicy policy) {
+    switch (policy) {
+        case PlanPolicy::FastestSchedule: return "fastest";
+        case PlanPolicy::SmallestCode: return "smallest";
+    }
+    return "?";
+}
+
+std::optional<PlanPolicy> parse_plan_policy(const std::string& text) {
+    if (text == "fastest" || text == "fastest-schedule") return PlanPolicy::FastestSchedule;
+    if (text == "smallest" || text == "smallest-code") return PlanPolicy::SmallestCode;
+    return std::nullopt;
+}
+
 Result<FusionPlan> try_plan_fusion(const Mldg& g, const TryPlanOptions& options) {
     // The degradation ladder lives in fusion/ladder.cpp as a batched planner
     // over the shared constraint-system core; the sequential API is a batch

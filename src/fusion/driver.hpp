@@ -64,8 +64,29 @@ enum class AlgorithmUsed {
                           // produces this
 };
 
+/// Planning objective. Feasibility is policy-independent: both policies
+/// succeed on exactly the same inputs with the same parallelism level; the
+/// policy only selects WHICH feasible retiming a successful rung returns.
+enum class PlanPolicy {
+    /// First feasible retiming wins (the historical behavior): the ladder's
+    /// lexicographic solve already minimizes the outer-loop spread, nothing
+    /// else is optimized. Plans are bit-identical to pre-policy builds.
+    FastestSchedule,
+    /// After the rung succeeds, re-solve for the smallest-magnitude feasible
+    /// retiming (fusion/compact.hpp minimize_plan_magnitude): trailing
+    /// retiming components are spread-minimized through the same constraint
+    /// core, then the whole vector is recentered. Shrinks the
+    /// prologue/epilogue fringes of the emitted code; legality is re-checked
+    /// exactly as for any plan.
+    SmallestCode,
+};
+
 [[nodiscard]] std::string to_string(ParallelismLevel level);
 [[nodiscard]] std::string to_string(AlgorithmUsed algorithm);
+[[nodiscard]] std::string to_string(PlanPolicy policy);
+/// Parses "fastest" / "smallest" (the CLI spellings). Returns nullopt on
+/// anything else.
+[[nodiscard]] std::optional<PlanPolicy> parse_plan_policy(const std::string& text);
 
 struct FusionPlan {
     Retiming retiming;
@@ -98,6 +119,9 @@ struct PlanOptions {
     /// of prologue/epilogue rows) via fusion/compact.hpp. Never changes the
     /// achieved parallelism level.
     bool compact_prologue = false;
+    /// Planning objective (see PlanPolicy). The default reproduces the
+    /// historical first-feasible behavior bit-for-bit.
+    PlanPolicy policy = PlanPolicy::FastestSchedule;
 };
 
 /// Plans fusion for a legal 2LDG (throws lf::Error on illegal input).

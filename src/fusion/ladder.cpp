@@ -9,6 +9,7 @@
 #include "graph/bellman_ford.hpp"
 #include "graph/solver_workspace.hpp"
 #include "ldg/legality.hpp"
+#include "support/cemit.hpp"
 #include "support/diagnostics.hpp"
 #include "support/faultpoint.hpp"
 
@@ -227,8 +228,74 @@ void plan_group(std::span<BatchPlanJob> jobs, const std::vector<std::size_t>& id
         }
     };
 
+    // PlanPolicy::SmallestCode post-pass: re-solve the accepted rung for the
+    // smallest-magnitude feasible retiming (fusion/compact.hpp). Feasibility
+    // is policy-independent -- the pass only swaps WHICH feasible retiming
+    // the rung returns -- and the candidate re-verifies through the same
+    // finalize_plan gate as any plan, falling back to the rung's own
+    // solution on any rejection. Never runs under the default policy, so
+    // default-policy plans and stage traces stay bit-identical.
+    auto apply_policy = [&](Lane& L, FusionPlan& plan) {
+        if (options.plan.policy != PlanPolicy::SmallestCode) return;
+        try {
+            const MagnitudeOutcome m =
+                minimize_plan_magnitude(*L.g, plan, &L.rung_stats, ws);
+            if (!m.changed()) {
+                L.push_stage("minimize", StatusCode::Ok,
+                             "retiming magnitude already minimal (" +
+                                 std::to_string(m.before) + ")");
+                return;
+            }
+            FusionPlan refined;
+            refined.retiming = m.retiming;
+            refined.level = plan.level;
+            refined.algorithm = plan.algorithm;
+            refined.schedule = plan.schedule;
+            refined.hyperplane = plan.hyperplane;
+            if (plan.algorithm == AlgorithmUsed::Hyperplane) {
+                // A trailing-spread reduction changes the retimed graph;
+                // re-derive the wavefront schedule for it as rung 4 does.
+                const Mldg retimed = refined.retiming.apply(*L.g);
+                refined.schedule = schedule_vector_for(retimed);
+                refined.hyperplane = Vec2{refined.schedule.y, -refined.schedule.x};
+            }
+            if (finalize_plan(*L.g, refined).empty()) {
+                plan = std::move(refined);
+                L.push_stage("minimize", StatusCode::Ok,
+                             "retiming magnitude " + std::to_string(m.before) + " -> " +
+                                 std::to_string(m.after));
+            } else {
+                L.push_stage("minimize", StatusCode::Internal,
+                             "candidate failed re-verification; keeping the rung's plan");
+            }
+        } catch (const std::exception&) {
+            // Keep the rung's verified solution.
+        }
+    };
+
+    // Per-plan code-shape metrics on the stage that accepted the plan, via
+    // the same fringe model the emitters use (support/cemit.hpp). The
+    // widths are domain-independent, so extent 0 serves.
+    auto fill_metrics = [&](Lane& L, const FusionPlan& plan) {
+        if (L.stages.empty()) return;
+        std::vector<std::int64_t> sx(static_cast<std::size_t>(n));
+        std::vector<std::int64_t> sy(static_cast<std::size_t>(n));
+        for (int v = 0; v < n; ++v) {
+            sx[static_cast<std::size_t>(v)] = plan.retiming.of(v).x;
+            sy[static_cast<std::size_t>(v)] = plan.retiming.of(v).y;
+        }
+        const cemit::FringeBounds bi = cemit::fringe_bounds(sx, 0);
+        const cemit::FringeBounds bj = cemit::fringe_bounds(sy, 0);
+        StageReport& s = L.stages.back();
+        s.prologue_iters = bi.prologue() + bj.prologue();
+        s.epilogue_iters = bi.epilogue() + bj.epilogue();
+        s.retiming_magnitude = retiming_magnitude(plan.retiming);
+    };
+
     auto accept = [&](Lane& L, FusionPlan&& plan) {
         apply_compact(L, plan);
+        apply_policy(L, plan);
+        fill_metrics(L, plan);
         plan.cyclic_doall_failed_phase = L.a4_failed_phase;
         plan.stages = std::move(L.stages);
         L.job->result.emplace(std::move(plan));

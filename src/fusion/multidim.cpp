@@ -1,7 +1,9 @@
 #include "fusion/multidim.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "fusion/compact.hpp"
 #include "graph/constraint_system.hpp"
 #include "graph/solver_workspace.hpp"
 #include "support/diagnostics.hpp"
@@ -70,7 +72,103 @@ VecN schedule_vector_nd(const MldgN& retimed) {
     return s;
 }
 
-NdFusionPlan plan_fusion_nd(const MldgN& g, PlannerWorkspace* ws) {
+std::int64_t retiming_magnitude_nd(const RetimingN& r) {
+    std::int64_t total = 0;
+    for (int v = 0; v < r.num_nodes(); ++v) {
+        const VecN& rv = r.of(v);
+        for (int k = 0; k < rv.dim(); ++k) total += std::abs(rv[k]);
+    }
+    return total;
+}
+
+namespace {
+
+/// PlanPolicy::SmallestCode post-pass, n-D analogue of
+/// minimize_plan_magnitude. Mutates `plan` only when a strictly smaller
+/// candidate re-verifies; otherwise the plan is left exactly as built.
+void minimize_plan_magnitude_nd(const MldgN& g, NdFusionPlan& plan, PlannerWorkspace* ws) {
+    const int n = g.num_nodes();
+    const int dim = g.dim();
+    if (n == 0 || dim == 0) return;
+    SolverWorkspace<std::int64_t>* scalar_ws = ws != nullptr ? &ws->scalar : nullptr;
+    RetimingN cand = plan.retiming;
+
+    // (a) Trailing-component re-solve (hyperplane plans only; outermost-
+    // carried retimings are zero beyond component 0 already). LLOFRA keeps
+    // retimed vectors LEX-nonnegative, so -- exactly as in the 2-D pass -- a
+    // vector constrains dimension k only when its retimed prefix (dims
+    // 0..k-1 under the candidate so far) is all zero: lex-nonnegativity then
+    // needs retimed d[k] >= 0, i.e. r_k(to) - r_k(from) <= d[k]. A vector
+    // already carried by an earlier dimension leaves d[k] free. Ascending k
+    // keeps the induction honest: dim k's adopted values feed the prefix
+    // test of every later dimension.
+    if (plan.level == NdParallelism::Hyperplane) {
+        for (int k = 1; k < dim; ++k) {
+            std::vector<ScalarConstraint> base;
+            for (const auto& e : g.edges()) {
+                for (const VecN& d : e.vectors) {
+                    bool prefix_flat = true;
+                    for (int i = 0; i < k && prefix_flat; ++i) {
+                        prefix_flat = d[i] + cand.of(e.from)[i] - cand.of(e.to)[i] == 0;
+                    }
+                    if (prefix_flat) base.push_back({e.from, e.to, d[k]});
+                }
+            }
+            std::vector<std::int64_t> warm(static_cast<std::size_t>(n));
+            for (int v = 0; v < n; ++v) warm[static_cast<std::size_t>(v)] = cand.of(v)[k];
+            const std::vector<std::int64_t> rk =
+                min_spread_solution(n, base, nullptr, scalar_ws, &warm);
+            // Adopt only a strict spread win, as in the 2-D pass.
+            if (value_spread(rk) < value_spread(warm)) {
+                for (int v = 0; v < n; ++v) cand.of(v)[k] = rk[static_cast<std::size_t>(v)];
+            }
+        }
+    }
+
+    // (b) Per-component median recentering (translation-invariant on the
+    // retimed graph, so valid for both parallelism levels).
+    for (int k = 0; k < dim; ++k) {
+        std::vector<std::int64_t> vals(static_cast<std::size_t>(n));
+        for (int v = 0; v < n; ++v) vals[static_cast<std::size_t>(v)] = cand.of(v)[k];
+        const std::int64_t t = centering_shift(std::move(vals));
+        for (int v = 0; v < n; ++v) cand.of(v)[k] += t;
+    }
+
+    if (retiming_magnitude_nd(cand) >= retiming_magnitude_nd(plan.retiming)) return;
+
+    // Re-verify the candidate from scratch before adopting it.
+    NdFusionPlan refined;
+    refined.retiming = std::move(cand);
+    refined.retimed = refined.retiming.apply(g);
+    refined.level = plan.level;
+    if (plan.level == NdParallelism::Hyperplane) {
+        for (const auto& e : refined.retimed.edges()) {
+            for (const VecN& d : e.vectors) {
+                // VecN order is lexicographic -- the same invariant LLOFRA
+                // establishes and schedule_vector_nd requires.
+                if (!(d >= VecN::zeros(dim))) return;  // keep the original plan
+            }
+        }
+        refined.schedule = schedule_vector_nd(refined.retimed);
+    } else {
+        for (const auto& e : refined.retimed.edges()) {
+            for (const VecN& d : e.vectors) {
+                if (!d.is_zero() && d[0] < 1) return;  // keep the original plan
+            }
+        }
+        refined.schedule = plan.schedule;
+    }
+    for (const auto& e : refined.retimed.edges()) {
+        for (const VecN& d : e.vectors) {
+            if (!d.is_zero() && refined.schedule.dot(d) <= 0) return;
+        }
+    }
+    plan = std::move(refined);
+}
+
+}  // namespace
+
+NdFusionPlan plan_fusion_nd(const MldgN& g, PlannerWorkspace* ws, PlanPolicy policy) {
     NdFusionPlan plan;
     if (g.is_acyclic()) {
         plan.retiming = acyclic_outermost_fusion_nd(g, ws);
@@ -84,6 +182,9 @@ NdFusionPlan plan_fusion_nd(const MldgN& g, PlannerWorkspace* ws) {
         plan.retimed = plan.retiming.apply(g);
         plan.level = NdParallelism::Hyperplane;
         plan.schedule = schedule_vector_nd(plan.retimed);
+    }
+    if (policy == PlanPolicy::SmallestCode) {
+        minimize_plan_magnitude_nd(g, plan, ws);
     }
     // Post-condition: the schedule is strict for every nonzero vector.
     for (const auto& e : plan.retimed.edges()) {

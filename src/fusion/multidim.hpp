@@ -24,6 +24,7 @@
 
 #include <optional>
 
+#include "fusion/driver.hpp"
 #include "ldg/mldg_nd.hpp"
 
 namespace lf {
@@ -59,8 +60,24 @@ struct NdFusionPlan {
     VecN schedule;
 };
 
+/// Total retiming magnitude sum_v sum_k |r(v)[k]| -- the n-D analogue of
+/// retiming_magnitude, minimized by PlanPolicy::SmallestCode.
+[[nodiscard]] std::int64_t retiming_magnitude_nd(const RetimingN& r);
+
 /// Acyclic -> OutermostCarried (Alg 3 generalization); otherwise LLOFRA +
 /// hyperplane schedule (Alg 5 generalization).
-[[nodiscard]] NdFusionPlan plan_fusion_nd(const MldgN& g, PlannerWorkspace* ws = nullptr);
+///
+/// Under PlanPolicy::SmallestCode the plan additionally runs a magnitude
+/// post-pass before the strictness post-condition: hyperplane plans re-solve
+/// each trailing component k >= 1 through min_spread_solution (a vector
+/// whose retimed prefix is all zero under the candidate bounds
+/// r_k(to) - r_k(from) <= d[k]; vectors carried by an earlier dimension
+/// leave dim k free -- preserving the lex-nonnegativity LLOFRA established),
+/// then every plan recenters each component at its median. A candidate is
+/// adopted only when it re-verifies (lex-nonnegative retimed vectors, strict
+/// schedule) with strictly smaller magnitude. FastestSchedule output is
+/// bit-identical to the pre-policy planner.
+[[nodiscard]] NdFusionPlan plan_fusion_nd(const MldgN& g, PlannerWorkspace* ws = nullptr,
+                                          PlanPolicy policy = PlanPolicy::FastestSchedule);
 
 }  // namespace lf

@@ -1,8 +1,23 @@
 #include "support/cemit.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace lf::cemit {
+
+FringeBounds fringe_bounds(std::span<const std::int64_t> shifts, std::int64_t extent) {
+    FringeBounds b;
+    if (shifts.empty()) return b;
+    b.lo = b.in_lo = -shifts[0];
+    b.hi = b.in_hi = extent - shifts[0];
+    for (std::size_t v = 1; v < shifts.size(); ++v) {
+        b.lo = std::min(b.lo, -shifts[v]);
+        b.in_lo = std::max(b.in_lo, -shifts[v]);
+        b.hi = std::max(b.hi, extent - shifts[v]);
+        b.in_hi = std::min(b.in_hi, extent - shifts[v]);
+    }
+    return b;
+}
 
 std::string c_double(double v) {
     char buf[64];

@@ -10,12 +10,36 @@
 // reference syntax, loop structure).
 
 #include <cstdint>
+#include <span>
 #include <sstream>
 #include <string>
 
 #include "support/diagnostics.hpp"
 
 namespace lf::cemit {
+
+/// One-dimensional fringe model of the fused scan, shared by the planner's
+/// per-plan StageReport metrics and both code generators (so all three
+/// agree on what "prologue" and "epilogue" mean). Along one dimension,
+/// body v of the fused nest covers [-shift_v, extent - shift_v] (shift_v =
+/// its retiming component): `lo..hi` is the union box the guarded scan
+/// walks and `in_lo..in_hi` the steady-state interior where every body is
+/// active with no guards. prologue()/epilogue() are the guarded fringe
+/// widths on either side of the interior; both equal the shift spread, and
+/// are independent of `extent`, whenever the interior is nonempty.
+struct FringeBounds {
+    std::int64_t lo = 0, hi = 0;        // union box, inclusive
+    std::int64_t in_lo = 0, in_hi = 0;  // interior intersection, inclusive
+    [[nodiscard]] std::int64_t prologue() const { return in_lo - lo; }
+    [[nodiscard]] std::int64_t epilogue() const { return hi - in_hi; }
+    [[nodiscard]] bool nonempty_interior() const { return in_lo <= in_hi; }
+};
+
+/// Fringe bounds for one dimension of the fused scan. `shifts` holds every
+/// body's retiming component along that dimension; empty shifts yield the
+/// zero bounds.
+[[nodiscard]] FringeBounds fringe_bounds(std::span<const std::int64_t> shifts,
+                                         std::int64_t extent);
 
 /// `v` as a C double literal: %.17g round-trips every double, plus a ".0"
 /// suffix when the result would otherwise parse as an integer constant.

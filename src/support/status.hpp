@@ -55,6 +55,17 @@ struct StageReport {
     /// Solver telemetry accounted while this stage ran (zero/empty for
     /// solver-free stages such as validation or the distribution fallback).
     SolverStats solver;
+    /// Per-plan code-shape metrics, filled by the planner on the stage that
+    /// accepted a plan (zero everywhere else). The fringe widths follow the
+    /// shared model in support/cemit.hpp (cemit::fringe_bounds): guarded
+    /// iterations on either side of the steady-state interior, summed over
+    /// dimensions -- the model is symmetric, so the two match and both equal
+    /// the total retiming spread. `retiming_magnitude` is sum_v |r(v)|
+    /// summed over components, the quantity PlanPolicy::SmallestCode
+    /// minimizes.
+    std::int64_t prologue_iters = 0;
+    std::int64_t epilogue_iters = 0;
+    std::int64_t retiming_magnitude = 0;
 
     [[nodiscard]] std::string str() const;
 };

@@ -148,6 +148,12 @@ struct JobRecord {
     std::int32_t native_par_threads = 0;
     std::int32_t native_par_tile = 0;
     std::int64_t native_ns_fused_par = 0;
+    /// Code-size observables (exec::NativeCheck): bytes of the emitted C
+    /// translation unit (deterministic for a given plan + domain) and the
+    /// wall time of the kernel compile call (a timing, so the JSON report
+    /// gates it behind include_timings).
+    std::int64_t native_source_bytes = 0;
+    std::int64_t native_compile_ns = 0;
 
     /// The last attempt's trace -- what a quarantined job is diagnosed
     /// from. Empty only for checkpoint-restored records.

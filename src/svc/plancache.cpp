@@ -385,10 +385,18 @@ std::uint64_t PlanCache::key_of(const Mldg& graph, const PlanOptions& options,
             h = fnv1a_u64(h, static_cast<std::uint64_t>(d.y));
         }
     }
-    // Fold in every option that changes what the ladder can produce.
+    // Fold in every option that changes what the ladder can produce. The
+    // plan policy is folded only when it differs from the default, so every
+    // FastestSchedule key is bit-identical to the pre-policy cache key (old
+    // persistent tiers stay warm); a non-default policy gets its own key
+    // space and can never conflate with the default's entries.
     const char opts[2] = {options.compact_prologue ? '\1' : '\0',
                           allow_distribution_fallback ? '\1' : '\0'};
-    return fnv1a(h, opts, sizeof(opts));
+    h = fnv1a(h, opts, sizeof(opts));
+    if (options.policy != PlanPolicy::FastestSchedule) {
+        h = fnv1a_u64(h, static_cast<std::uint64_t>(options.policy));
+    }
+    return h;
 }
 
 std::uint64_t PlanCache::key_of_nd(const MldgN& graph, const PlanOptions& options,
@@ -420,7 +428,12 @@ std::uint64_t PlanCache::key_of_nd(const MldgN& graph, const PlanOptions& option
     }
     const char opts[2] = {options.compact_prologue ? '\1' : '\0',
                           allow_distribution_fallback ? '\1' : '\0'};
-    return fnv1a(h, opts, sizeof(opts));
+    h = fnv1a(h, opts, sizeof(opts));
+    if (options.policy != PlanPolicy::FastestSchedule) {
+        // Same default-transparent policy fold as key_of.
+        h = fnv1a_u64(h, static_cast<std::uint64_t>(options.policy));
+    }
+    return h;
 }
 
 std::optional<FusionPlan> PlanCache::lookup(std::uint64_t key) {

@@ -41,6 +41,14 @@ void write_stage(json::Writer& w, const StageReport& s, bool include_timings) {
     w.kv("code", to_string(s.code));
     w.kv("detail", s.detail);
     w.kv("budget", s.budget_consumed);
+    // Plan-shape observables (filled on a rung's accepting stage); omitted
+    // when all zero so non-planning stages stay compact. Deterministic for a
+    // given plan, so they are safe outside include_timings.
+    if (s.prologue_iters != 0 || s.epilogue_iters != 0 || s.retiming_magnitude != 0) {
+        w.kv("prologue_iters", s.prologue_iters);
+        w.kv("epilogue_iters", s.epilogue_iters);
+        w.kv("retiming_magnitude", s.retiming_magnitude);
+    }
     if (s.solver.any()) {
         w.key("solver");
         write_solver_stats(w, s.solver, include_timings);
@@ -85,10 +93,14 @@ void write_job(json::Writer& w, const JobRecord& j, bool include_timings) {
     w.kv("native_from_cache", j.native_from_cache);
     w.kv("native_par_threads", static_cast<std::int64_t>(j.native_par_threads));
     w.kv("native_par_tile", static_cast<std::int64_t>(j.native_par_tile));
+    // Emitted-source size is deterministic for a given plan + domain; the
+    // compile wall time is not, so it rides with the other timings.
+    w.kv("native_source_bytes", j.native_source_bytes);
     if (include_timings) {
         w.kv("native_ns_original", j.native_ns_original);
         w.kv("native_ns_fused", j.native_ns_fused);
         w.kv("native_ns_fused_par", j.native_ns_fused_par);
+        w.kv("native_compile_ns", j.native_compile_ns);
         w.kv("wall_ms", j.wall_ms);
     }
     // Per-job aggregate over every attempt's stages. Every solve is
@@ -128,6 +140,7 @@ std::string report_to_json(const RunReport& report, bool include_timings) {
     w.kv("plan_store", report.config.plan_store_dir);
     w.kv("plan_batch", report.config.plan_batch);
     w.kv("delta_max_edges", report.config.delta_max_edges);
+    w.kv("plan_policy", to_string(report.config.plan_policy));
     w.end_object();
 
     const RunCounts counts = report.counts();

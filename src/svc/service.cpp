@@ -156,6 +156,8 @@ static bool record_native_check(const exec::NativeCheck& nc, JobRecord& rec,
     rec.native_par_threads = nc.par_threads;
     rec.native_par_tile = nc.par_tile;
     rec.native_ns_fused_par = nc.ns_fused_par;
+    rec.native_source_bytes = nc.source_bytes;
+    rec.native_compile_ns = nc.compile_ns;
     const bool failed = exec::is_native_failure(nc.outcome);
     att.stages.push_back(make_stage("admit.native",
                                     failed ? StatusCode::Internal : StatusCode::Ok,
@@ -255,7 +257,7 @@ void FusionService::prepass_chunk(const std::vector<JobSpec>& jobs,
         if (effective_deadline_ms(config_.retry, job) >= 0) continue;
         if (!breakers_.closed(job.klass)) continue;
         if (config_.plan_cache_capacity > 0 &&
-            plan_cache_.contains(PlanCache::key_of(job.graph, PlanOptions{},
+            plan_cache_.contains(PlanCache::key_of(job.graph, plan_options(),
                                                    /*allow_distribution_fallback=*/true))) {
             continue;
         }
@@ -275,6 +277,7 @@ void FusionService::prepass_chunk(const std::vector<JobSpec>& jobs,
     if (batch.size() < 2) return;
 
     TryPlanOptions opts;
+    opts.plan = plan_options();
     opts.workspace = &ws;
     opts.limits.max_steps = escalated_steps(config_.retry, 1);
     try {
@@ -318,7 +321,7 @@ void FusionService::process_job(const JobSpec& job, JobRecord& rec, PlannerWorks
                               faultpoint::armed_points().empty();
     rec.cache = CacheOutcome::Bypass;
     const std::uint64_t cache_key =
-        cache_usable ? PlanCache::key_of(job.graph, PlanOptions{},
+        cache_usable ? PlanCache::key_of(job.graph, plan_options(),
                                          /*allow_distribution_fallback=*/true)
                      : 0;
 
@@ -402,6 +405,7 @@ void FusionService::process_job(const JobSpec& job, JobRecord& rec, PlannerWorks
         }
 
         TryPlanOptions opts;
+        opts.plan = plan_options();
         opts.workspace = &ws;
         opts.limits.max_steps = escalated_steps(config_.retry, attempt);
         att.max_steps = opts.limits.max_steps;
@@ -545,7 +549,7 @@ void FusionService::process_job_nd(const JobSpec& job, JobRecord& rec, PlannerWo
                               faultpoint::armed_points().empty();
     rec.cache = CacheOutcome::Bypass;
     const std::uint64_t cache_key =
-        cache_usable ? PlanCache::key_of_nd(job.graph_nd, PlanOptions{},
+        cache_usable ? PlanCache::key_of_nd(job.graph_nd, plan_options(),
                                             /*allow_distribution_fallback=*/true)
                      : 0;
 
@@ -636,7 +640,7 @@ void FusionService::process_job_nd(const JobSpec& job, JobRecord& rec, PlannerWo
         } else {
             std::optional<NdFusionPlan> plan;
             try {
-                plan.emplace(plan_fusion_nd(job.graph_nd, &ws));
+                plan.emplace(plan_fusion_nd(job.graph_nd, &ws, config_.plan_policy));
             } catch (const std::exception& e) {
                 // Unschedulable graph, solver fault, or guard trip -- the
                 // N-D planner reports all of them by throwing; treat as the

@@ -115,6 +115,11 @@ struct ServiceConfig {
     /// warm-starts the ladder from that entry's stored distances
     /// (PlanCache::near_miss_hints). 0 disables delta re-planning.
     int delta_max_edges = 4;
+    /// Planning objective (fusion/driver.hpp) applied to every job: the
+    /// default reproduces the pre-policy service bit-for-bit (plans, cache
+    /// keys, reports); SmallestCode additionally runs the magnitude
+    /// post-pass and keys the cache per policy.
+    PlanPolicy plan_policy = PlanPolicy::FastestSchedule;
 };
 
 struct RunCounts {
@@ -215,6 +220,14 @@ class FusionService {
                       AttemptRecord& att);
     bool native_admit_nd(const JobSpec& job, const NdFusionPlan& plan, JobRecord& rec,
                          AttemptRecord& att);
+    /// The PlanOptions every planning path and cache-key computation derives
+    /// from the config. One construction site keeps the prepass, the
+    /// sequential path, and both key_of calls agreeing on the policy.
+    [[nodiscard]] PlanOptions plan_options() const {
+        PlanOptions o;
+        o.policy = config_.plan_policy;
+        return o;
+    }
 
     ServiceConfig config_;
     CircuitBreakerBank breakers_;

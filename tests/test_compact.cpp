@@ -2,12 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/dependence.hpp"
+#include "exec/engines.hpp"
+#include "exec/equivalence.hpp"
+#include "exec/store.hpp"
 #include "fusion/ablation.hpp"
 #include "fusion/acyclic_doall.hpp"
+#include "fusion/certify.hpp"
 #include "fusion/compact.hpp"
 #include "fusion/cyclic_doall.hpp"
 #include "fusion/driver.hpp"
+#include "ir/parser.hpp"
 #include "ldg/legality.hpp"
+#include "transform/fused_program.hpp"
 #include "support/diagnostics.hpp"
 #include "workloads/gallery.hpp"
 #include "workloads/generators.hpp"
@@ -137,6 +144,86 @@ TEST(Compact, DriverOptionOnCarriedChain) {
 
 TEST(Compact, RejectsBadInputs) {
     EXPECT_THROW((void)acyclic_doall_fusion_compact(workloads::fig2_graph()), Error);
+}
+
+// ---- Golden minimality: the PlanPolicy::SmallestCode objective ----
+//
+// Across the full paper gallery the smallest-code plan must (a) certify,
+// (b) never carry more total retiming magnitude than the default
+// fastest-schedule plan, and (c) be strictly smaller on at least two
+// workloads -- the objective has to actually buy something, not just
+// break even.
+
+TEST(PolicyGolden, SmallestCodeNeverLargerAcrossGalleryAndStrictlySmallerTwice) {
+    PlanOptions fastest;
+    PlanOptions smallest;
+    smallest.policy = PlanPolicy::SmallestCode;
+    int strict_wins = 0;
+    for (const auto& w : workloads::paper_workloads()) {
+        const FusionPlan pf = plan_fusion(w.graph, fastest);
+        const FusionPlan ps = plan_fusion(w.graph, smallest);
+        const std::int64_t mf = retiming_magnitude(pf.retiming);
+        const std::int64_t ms = retiming_magnitude(ps.retiming);
+        EXPECT_LE(ms, mf) << w.id << ": smallest-code plan grew the retiming";
+        if (ms < mf) ++strict_wins;
+        // The objective trades fringe size, never parallelism: the rung
+        // that accepted the plan is the same under both policies.
+        EXPECT_EQ(ps.level, pf.level) << w.id;
+        const PlanCertificate cert = certify_plan(w.graph, ps);
+        EXPECT_TRUE(cert.valid) << w.id << ": "
+                                << (cert.violations.empty() ? "" : cert.violations.front());
+    }
+    EXPECT_GE(strict_wins, 2) << "the minimization pass stopped buying anything";
+}
+
+TEST(PolicyGolden, KnownMagnitudes) {
+    // Pinned wins (golden values): fig8's acyclic chain compacts 10 -> 4
+    // and the iir cascade recenters 13 -> 9. A legitimate planner change
+    // may move these -- update the constants alongside BENCH_codesize's
+    // baseline if so -- but an accidental slide should be loud.
+    PlanOptions smallest;
+    smallest.policy = PlanPolicy::SmallestCode;
+    EXPECT_EQ(retiming_magnitude(
+                  plan_fusion(workloads::fig8_graph(), smallest).retiming), 4);
+    EXPECT_EQ(retiming_magnitude(
+                  plan_fusion(workloads::iir_chain_graph(), smallest).retiming), 9);
+}
+
+TEST(PolicyGolden, DefaultPolicyIsBitIdenticalToLegacyPlans) {
+    // PlanOptions{} must reproduce the historical planner exactly: same
+    // retiming on every node, same level, same schedule.
+    for (const auto& w : workloads::paper_workloads()) {
+        const FusionPlan legacy = plan_fusion(w.graph);
+        const FusionPlan opt = plan_fusion(w.graph, PlanOptions{});
+        ASSERT_EQ(legacy.retiming.num_nodes(), opt.retiming.num_nodes()) << w.id;
+        for (int v = 0; v < legacy.retiming.num_nodes(); ++v) {
+            EXPECT_EQ(legacy.retiming.of(v).x, opt.retiming.of(v).x) << w.id;
+            EXPECT_EQ(legacy.retiming.of(v).y, opt.retiming.of(v).y) << w.id;
+        }
+        EXPECT_EQ(legacy.level, opt.level) << w.id;
+    }
+}
+
+TEST(PolicyGolden, SmallestCodePlansPreserveInterpreterResults) {
+    // Magnitude minimization must be invisible to the program semantics:
+    // for every replayable workload, the fused form under the smallest-code
+    // plan computes bit-identical results to the original loop sequence.
+    PlanOptions smallest;
+    smallest.policy = PlanPolicy::SmallestCode;
+    const Domain dom{17, 13};
+    for (const auto& w : workloads::paper_workloads()) {
+        if (w.dsl_source.empty()) continue;  // fig14 is graph-only
+        const ir::Program p = ir::parse_program(w.dsl_source);
+        const FusionPlan plan = plan_fusion(analysis::build_mldg(p), smallest);
+        const transform::FusedProgram fp = transform::fuse_program(p, plan);
+        exec::ArrayStore golden(p, dom);
+        exec::ArrayStore subject(p, dom);
+        (void)exec::run_original(p, dom, golden);
+        // Sequential lexicographic order is valid for every plan level.
+        (void)exec::run_fused_rowwise(fp, dom, subject);
+        const auto diff = exec::first_difference(p, dom, golden, subject);
+        EXPECT_FALSE(diff.has_value()) << w.id << ": " << diff.value_or("");
+    }
 }
 
 }  // namespace

@@ -659,5 +659,68 @@ TEST_F(PlanCacheTest, SteadyStateWorkspaceAllocationsAreZero) {
     EXPECT_EQ(ws.total_allocations(), 0u);
 }
 
+// ---- Plan policy and the cache key ----
+
+TEST_F(PlanCacheTest, PlanPoliciesNeverConflateAndSurviveRestart) {
+    // The same MLDG planned under two objectives yields two distinct keys,
+    // two cache entries, and both survive a persistent-tier restart with
+    // their own plan -- a smallest-code plan must never be served to a
+    // fastest-schedule caller or vice versa.
+    const Mldg g = workloads::fig8_graph();
+    PlanOptions fastest;
+    PlanOptions smallest;
+    smallest.policy = PlanPolicy::SmallestCode;
+    const std::uint64_t kf = PlanCache::key_of(g, fastest, true);
+    const std::uint64_t ks = PlanCache::key_of(g, smallest, true);
+    EXPECT_NE(kf, ks);
+    // The default policy folds nothing into the hash: default keys are
+    // bit-identical to the pre-policy scheme, so persistent tiers written
+    // before the policy layer stay warm.
+    EXPECT_EQ(kf, PlanCache::key_of(g, PlanOptions{}, true));
+
+    const FusionPlan fast_plan = plan_fusion(g, fastest);
+    const FusionPlan small_plan = plan_fusion(g, smallest);
+    // fig8 is a workload the objective actually changes; conflation would
+    // be invisible on a graph where both plans coincide.
+    bool plans_differ = false;
+    for (int v = 0; v < g.num_nodes(); ++v) {
+        plans_differ = plans_differ ||
+                       fast_plan.retiming.of(v).x != small_plan.retiming.of(v).x ||
+                       fast_plan.retiming.of(v).y != small_plan.retiming.of(v).y;
+    }
+    ASSERT_TRUE(plans_differ);
+
+    TempStoreDir dir("policy");
+    {
+        PlanCache cache(8, dir.path);
+        cache.insert(kf, fast_plan);
+        cache.insert(ks, small_plan);
+        EXPECT_EQ(cache.stats().insertions, 2u);
+        EXPECT_EQ(cache.size(), 2u);
+    }
+    // Cold restart: both entries come back from disk, each under its key.
+    PlanCache fresh(8, dir.path);
+    const auto hit_fast = fresh.lookup(kf);
+    const auto hit_small = fresh.lookup(ks);
+    ASSERT_TRUE(hit_fast.has_value());
+    ASSERT_TRUE(hit_small.has_value());
+    for (int v = 0; v < g.num_nodes(); ++v) {
+        EXPECT_EQ(hit_fast->retiming.of(v).x, fast_plan.retiming.of(v).x);
+        EXPECT_EQ(hit_fast->retiming.of(v).y, fast_plan.retiming.of(v).y);
+        EXPECT_EQ(hit_small->retiming.of(v).x, small_plan.retiming.of(v).x);
+        EXPECT_EQ(hit_small->retiming.of(v).y, small_plan.retiming.of(v).y);
+    }
+}
+
+TEST_F(PlanCacheTest, PlanPolicyKeysAreDistinctForNdGraphsToo) {
+    PlanOptions smallest;
+    smallest.policy = PlanPolicy::SmallestCode;
+    for (const JobSpec& job : nd_jobs()) {
+        EXPECT_NE(PlanCache::key_of_nd(job.graph_nd, PlanOptions{}, true),
+                  PlanCache::key_of_nd(job.graph_nd, smallest, true))
+            << job.id;
+    }
+}
+
 }  // namespace
 }  // namespace lf::svc

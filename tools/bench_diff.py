@@ -12,6 +12,16 @@ Works on both machine-readable outputs of bench/bench_micro:
   BENCH_exec_par.json entries under "speedups", keyed by "kernel",   metric speedup_t4
                      (parallel-entry speedup curves; higher is better,
                      so the regression ratio inverts to baseline/current)
+  BENCH_codesize.json entries under "codesize", keyed by "kernel",   metric source_bytes
+                     (emitted-C size under a plan policy; lower is better.
+                     compile_ns -- also lower-is-better -- is shown as an
+                     informational secondary ratio but never gates: cold-
+                     compile wall time is runner noise, bytes are not)
+
+A file whose top-level arrays-of-objects include a key outside this table
+is a hard failure, never a guess: the old behavior of picking the first
+recognized array silently compared the wrong (or no) data when a schema
+was renamed or misspelled.
 
 For every entry present in both files the ratio current/baseline of the
 time-per-item metric is computed; a ratio above --threshold is a
@@ -64,6 +74,7 @@ SCHEMAS = [
     ("scenarios", "scenario", "p99_us"),
     ("kernels", "kernel", "fused_ns"),
     ("speedups", "kernel", "speedup_t4"),
+    ("codesize", "kernel", "source_bytes"),
 ]
 
 # Metrics where larger is better: the regression ratio inverts to
@@ -79,16 +90,31 @@ def load_entries(path):
         sys.exit(f"bench_diff: {path}: cannot read baseline/current: {e}")
     except json.JSONDecodeError as e:
         sys.exit(f"bench_diff: {path}: malformed JSON: {e}")
-    for array_key, name_key, metric in SCHEMAS:
-        if array_key in doc:
-            try:
-                entries = {e[name_key]: e for e in doc[array_key]}
-            except (KeyError, TypeError):
-                sys.exit(f"bench_diff: {path}: entries under '{array_key}' "
-                         f"lack the '{name_key}' key")
-            return entries, metric, doc
-    sys.exit(f"bench_diff: {path}: no known entry array "
-             f"(expected one of {[s[0] for s in SCHEMAS]})")
+    known = {s[0]: s for s in SCHEMAS}
+    found = []
+    for key, value in doc.items():
+        if not isinstance(value, list):
+            continue
+        if key in known:
+            found.append(known[key])
+        elif value and all(isinstance(e, dict) for e in value):
+            # An array of objects under an unknown key is a schema we do not
+            # speak -- renamed, misspelled, or newer than this script. Guessing
+            # (the old first-match behavior) would silently compare the wrong
+            # data or nothing at all.
+            sys.exit(f"bench_diff: {path}: unrecognized entry array '{key}' "
+                     f"(known: {sorted(known)}); refusing to guess a schema")
+    if len(found) != 1:
+        sys.exit(f"bench_diff: {path}: expected exactly one known entry array, "
+                 f"found {[s[0] for s in found]} "
+                 f"(expected one of {[s[0] for s in SCHEMAS]})")
+    array_key, name_key, metric = found[0]
+    try:
+        entries = {e[name_key]: e for e in doc[array_key]}
+    except (KeyError, TypeError):
+        sys.exit(f"bench_diff: {path}: entries under '{array_key}' "
+                 f"lack the '{name_key}' key")
+    return entries, metric, doc
 
 
 def main():
@@ -164,6 +190,16 @@ def main():
         elif ratio < 1.0 / threshold:
             verdict = "improved"
         print(f"{name:<{name_w}}  {b:>12.1f}  {c:>12.1f}  {ratio:>6.2f}x  {verdict}")
+
+        if metric == "source_bytes":
+            # Cold-compile wall time rides along informationally: lower is
+            # better, but it is runner-speed noise, so it never gates.
+            cns_b = base[name].get("compile_ns")
+            cns_c = curr[name].get("compile_ns")
+            if cns_b and cns_c:
+                cns_ratio = cns_c / cns_b
+                print(f"{'':<{name_w}}  {cns_b:>12.0f}  {cns_c:>12.0f}  "
+                      f"{cns_ratio:>6.2f}x  compile_ns (informational)")
 
         alloc_b = base[name].get("allocations_per_plan")
         alloc_c = curr[name].get("allocations_per_plan")

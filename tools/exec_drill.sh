@@ -17,11 +17,16 @@
 # the documented degraded mode -- the interpreter tier still gates every
 # plan; CI runners without cc must not go red).
 #
-# Usage: tools/exec_drill.sh [BUILD_DIR]     (default: build)
+# Usage: tools/exec_drill.sh [BUILD_DIR] [PLAN_POLICY]
+#   BUILD_DIR    default: build
+#   PLAN_POLICY  fastest (default) or smallest -- threaded through every
+#                emit_c / fusion_service invocation, so CI runs the whole
+#                drill once per planning objective.
 
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
+POLICY="${2:-fastest}"
 EMIT="$BUILD_DIR/examples/example_emit_c"
 SERVICE="$BUILD_DIR/examples/example_fusion_service"
 BENCH="$BUILD_DIR/bench/bench_micro"
@@ -41,9 +46,10 @@ trap cleanup EXIT
 
 fail=0
 
-echo "== native verification: every replayable workload =="
+echo "== native verification: every replayable workload (policy: $POLICY) =="
 for w in fig2 fig8 jacobi iir volume3d hyper4d; do
-    if "$EMIT" --workload "$w" --run >/dev/null 2>"$WORK/$w.err"; then
+    if "$EMIT" --workload "$w" --plan-policy "$POLICY" --run \
+            >/dev/null 2>"$WORK/$w.err"; then
         echo "ok: $w verified natively"
     else
         echo "FAIL: $w did not verify:" >&2
@@ -54,7 +60,8 @@ done
 
 echo "== parallel verification: ABI v2 entry at 4 lanes =="
 for w in fig2 fig8 jacobi iir volume3d hyper4d; do
-    if "$EMIT" --workload "$w" --run --threads 4 >/dev/null 2>"$WORK/par_$w.err"; then
+    if "$EMIT" --workload "$w" --plan-policy "$POLICY" --run --threads 4 \
+            >/dev/null 2>"$WORK/par_$w.err"; then
         echo "ok: $w verified thread-count invariant at 4 lanes"
     else
         echo "FAIL: $w parallel entry did not verify:" >&2
@@ -80,7 +87,7 @@ echo "== containment: armed exec.* fault points =="
 # With a fault armed, the native check must come back as a *contained*
 # failure (exit 2 from --run), never a harness error or a crash.
 for point in exec.compile exec.spawn exec.run exec.timeout exec.oom; do
-    LF_FAULT="$point" "$EMIT" --workload jacobi --run \
+    LF_FAULT="$point" "$EMIT" --workload jacobi --plan-policy "$POLICY" --run \
         >/dev/null 2>"$WORK/fault_$point.err" && rc=0 || rc=$?
     if [[ "$rc" == 2 ]]; then
         echo "ok: $point -> contained quarantine"
@@ -92,7 +99,7 @@ for point in exec.compile exec.spawn exec.run exec.timeout exec.oom; do
 done
 
 echo "== service: native admission over the full gallery =="
-if "$SERVICE" --exec --workers 2 --exec-cache "$WORK/cache" \
+if "$SERVICE" --exec --workers 2 --plan-policy "$POLICY" --exec-cache "$WORK/cache" \
         --report "$WORK/run.json" >"$WORK/svc.out" 2>&1; then
     if grep -q '"native": "verified"' "$WORK/run.json" &&
        ! grep -q '"quarantined": [1-9]' "$WORK/run.json"; then
@@ -108,7 +115,8 @@ else
 fi
 
 echo "== service: parallel admission (--exec-threads 2) =="
-if "$SERVICE" --exec --exec-threads 2 --workers 2 --exec-cache "$WORK/cache_par" \
+if "$SERVICE" --exec --exec-threads 2 --workers 2 --plan-policy "$POLICY" \
+        --exec-cache "$WORK/cache_par" \
         --report "$WORK/par.json" >"$WORK/svc_par.out" 2>&1; then
     if grep -q '"native_par_threads": 2' "$WORK/par.json"; then
         echo "ok: service verified kernels through the parallel entry"
@@ -126,9 +134,10 @@ echo "== store: warm restart recompiles nothing =="
 # --store implies the sibling objects/ cache tier: a second service run
 # against the same store must serve every kernel from disk (compiles == 0).
 rc=0
-"$SERVICE" --exec --workers 2 --store "$WORK/store" \
+"$SERVICE" --exec --workers 2 --plan-policy "$POLICY" --store "$WORK/store" \
     --report "$WORK/cold.json" >"$WORK/svc_cold.out" 2>&1 || rc=$?
-if [[ "$rc" == 0 ]] && "$SERVICE" --exec --workers 2 --store "$WORK/store" \
+if [[ "$rc" == 0 ]] && "$SERVICE" --exec --workers 2 --plan-policy "$POLICY" \
+        --store "$WORK/store" \
         --report "$WORK/warm.json" >"$WORK/svc_warm.out" 2>&1; then
     python3 - "$WORK/cold.json" "$WORK/warm.json" <<'EOF' && \
         echo "ok: warm restart served every object from the store" || fail=1
@@ -150,6 +159,7 @@ fi
 
 echo "== service: crashing kernels are quarantined, service survives =="
 if LF_FAULT=exec.run "$SERVICE" --exec --workers 2 --attempts 1 \
+        --plan-policy "$POLICY" \
         --exec-cache "$WORK/cache_crash" --report "$WORK/crash.json" \
         >"$WORK/svc_crash.out" 2>&1; then
     # Every replayable job must be Quarantined-with-trace (the exit-0
@@ -199,7 +209,7 @@ echo 'int main(void) { return 0; }' > "$WORK/tsan_probe.c"
 if cc -fsanitize=thread -pthread -o "$WORK/tsan_probe" "$WORK/tsan_probe.c" \
         >/dev/null 2>&1 && "$WORK/tsan_probe" >/dev/null 2>&1; then
     for w in fig2 fig8 jacobi iir volume3d hyper4d; do
-        "$EMIT" --workload "$w" > "$WORK/tsan_$w.c" 2>/dev/null
+        "$EMIT" --workload "$w" --plan-policy "$POLICY" > "$WORK/tsan_$w.c" 2>/dev/null
         if cc -O1 -fsanitize=thread -pthread -o "$WORK/tsan_$w" "$WORK/tsan_$w.c" \
                 2>"$WORK/tsan_$w.cc.err" &&
            LF_THREADS=4 "$WORK/tsan_$w" >"$WORK/tsan_$w.out" 2>"$WORK/tsan_$w.err" &&
